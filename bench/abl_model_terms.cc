@@ -1,0 +1,62 @@
+// Ablation (extension beyond the paper): how much does each term of the
+// Pandia model contribute to accuracy? Disable burstiness, communication,
+// load balancing, or the iterative refinement one at a time and measure the
+// error inflation on the X3-2 across the full suite.
+#include "bench/common.h"
+
+#include "src/util/stats.h"
+
+int main() {
+  using namespace pandia;
+  std::printf("=== Ablation: error contribution of each model term (X3-2) ===\n\n");
+  const eval::Pipeline pipeline("x3-2");
+  const eval::SweepOptions options =
+      bench::PaperSweepOptions(pipeline.machine().topology());
+
+  struct Variant {
+    const char* name;
+    PredictionOptions options;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"full model", PredictionOptions{}});
+  {
+    PredictionOptions o;
+    o.model_burstiness = false;
+    variants.push_back({"no burstiness (b)", o});
+  }
+  {
+    PredictionOptions o;
+    o.model_communication = false;
+    variants.push_back({"no communication (o_s)", o});
+  }
+  {
+    PredictionOptions o;
+    o.model_load_balance = false;
+    variants.push_back({"no load balancing (l)", o});
+  }
+  {
+    PredictionOptions o;
+    o.iterate = false;
+    variants.push_back({"single iteration", o});
+  }
+
+  Table table({"variant", "median error%", "median offset%", "mean best gap%"});
+  for (const Variant& variant : variants) {
+    std::vector<double> medians, offsets, gaps;
+    for (const sim::WorkloadSpec& workload : workloads::EvaluationSuite()) {
+      const WorkloadDescription desc = pipeline.Profile(workload);
+      const Predictor predictor = pipeline.MakePredictor(desc, variant.options);
+      const eval::SweepResult result =
+          eval::RunSweep(pipeline.machine(), predictor, workload, options);
+      medians.push_back(result.error_median);
+      offsets.push_back(result.offset_error_median);
+      gaps.push_back(result.best_placement_gap_pct);
+    }
+    table.AddRow({variant.name, StrFormat("%.1f", Median(medians)),
+                  StrFormat("%.1f", Median(offsets)), StrFormat("%.2f", Mean(gaps))});
+  }
+  table.Print();
+  std::printf("\nexpectation: every removed term inflates the error and/or the "
+              "best-placement gap; the full model dominates.\n");
+  return 0;
+}

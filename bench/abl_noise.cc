@@ -1,0 +1,43 @@
+// Ablation (extension): how robust are the six-run descriptions and the
+// resulting predictions to measurement noise? The paper's profiling runs
+// are single timed runs; real machines jitter. We sweep the simulator's
+// noise magnitude and report the drift of the description parameters and
+// the resulting accuracy on the X3-2.
+#include "bench/common.h"
+
+#include "src/machine_desc/generator.h"
+#include "src/util/stats.h"
+#include "src/workload_desc/profiler.h"
+
+int main() {
+  using namespace pandia;
+  std::printf("=== Ablation: measurement-noise sensitivity (CG and MD, X3-2) ===\n\n");
+  Table table({"noise", "workload", "p", "o_s", "l", "b", "error med%", "best gap%"});
+  for (const double noise : {0.0, 0.005, 0.01, 0.02, 0.05}) {
+    sim::MachineSpec spec = sim::MachineByName("x3-2");
+    spec.noise_magnitude = noise;
+    const sim::Machine machine{spec};
+    const MachineDescription description = GenerateMachineDescription(machine);
+    const WorkloadProfiler profiler(machine, description);
+    for (const char* name : {"CG", "MD"}) {
+      const sim::WorkloadSpec workload = workloads::ByName(name);
+      const WorkloadDescription desc = profiler.Profile(workload);
+      const Predictor predictor(description, desc);
+      eval::SweepOptions options;
+      const eval::SweepResult result =
+          eval::RunSweep(machine, predictor, workload, options);
+      table.AddRow({StrFormat("%.1f%%", noise * 100.0), name,
+                    StrFormat("%.4f", desc.parallel_fraction),
+                    StrFormat("%.4f", desc.inter_socket_overhead),
+                    StrFormat("%.2f", desc.load_balance),
+                    StrFormat("%.2f", desc.burstiness),
+                    StrFormat("%.1f", result.error_median),
+                    StrFormat("%.2f", result.best_placement_gap_pct)});
+    }
+  }
+  table.Print();
+  std::printf("\nexpectation: parameters drift smoothly with noise; the six-run "
+              "description stays usable well past realistic (~1%%) run-to-run "
+              "variation, degrading gracefully at 5%%.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Shared helpers for the bench binaries that regenerate the paper's tables
+// and figures. Each binary prints the same rows/series the paper reports;
+// sampling density can be adjusted via environment variables:
+//
+//   PANDIA_SAMPLES      placements per workload on machines too large to
+//                       enumerate (default 3600 on the X5-2, ~20% of the
+//                       canonical space — the paper's coverage)
+//   PANDIA_CSV          when set to 1, figure benches also emit CSV series
+#ifndef PANDIA_BENCH_COMMON_H_
+#define PANDIA_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/eval/experiment.h"
+#include "src/eval/pipeline.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+#include "src/workloads/workloads.h"
+
+namespace pandia {
+namespace bench {
+
+inline int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+inline bool CsvRequested() { return EnvInt("PANDIA_CSV", 0) != 0; }
+
+// Sweep options mirroring the paper's coverage for a machine: exhaustive on
+// the 2-socket 8-core parts (1034 placements), sampled at ~20% on the X5-2,
+// sampled per class on the X2-4.
+inline eval::SweepOptions PaperSweepOptions(const MachineTopology& topo) {
+  eval::SweepOptions options;
+  options.exhaustive_limit = 2000;
+  options.sample_count =
+      static_cast<size_t>(EnvInt("PANDIA_SAMPLES", topo.num_sockets > 2 ? 2000 : 3600));
+  return options;
+}
+
+// Prints a Figure-1-style series: placement index (paper order) against
+// normalized measured and predicted performance.
+inline void PrintSeries(const eval::SweepResult& result, size_t max_rows = 12) {
+  std::printf("# %s on %s: %zu placements, error mean %.1f%% median %.1f%%, "
+              "offset %.1f%%/%.1f%%, best-placement gap %.2f%%\n",
+              result.workload.c_str(), result.machine.c_str(),
+              result.placements.size(), result.error_mean, result.error_median,
+              result.offset_error_mean, result.offset_error_median,
+              result.best_placement_gap_pct);
+  if (CsvRequested()) {
+    std::printf("placement,measured_norm,predicted_norm\n");
+    for (size_t i = 0; i < result.placements.size(); ++i) {
+      std::printf("%zu,%.4f,%.4f\n", i, result.placements[i].measured_norm,
+                  result.placements[i].predicted_norm);
+    }
+    return;
+  }
+  // Condensed preview: evenly spaced rows across the series.
+  Table table({"idx", "placement", "measured", "predicted"});
+  const size_t step = std::max<size_t>(1, result.placements.size() / max_rows);
+  for (size_t i = 0; i < result.placements.size(); i += step) {
+    const eval::PlacementResult& pr = result.placements[i];
+    table.AddRow({StrFormat("%zu", i), pr.placement.ToString(),
+                  StrFormat("%.3f", pr.measured_norm),
+                  StrFormat("%.3f", pr.predicted_norm)});
+  }
+  table.Print();
+}
+
+}  // namespace bench
+}  // namespace pandia
+
+#endif  // PANDIA_BENCH_COMMON_H_

@@ -1,0 +1,67 @@
+// Extension experiment (paper §8 future work): co-scheduling two workloads
+// on one machine. For every pair of a small workload set, predict each
+// job's slowdown when sharing the X3-2 (one job per socket... and packed
+// onto shared sockets), and validate against simulated co-runs.
+#include <cmath>
+#include <map>
+
+#include "bench/common.h"
+
+#include "src/predictor/co_schedule.h"
+#include "src/util/stats.h"
+
+int main() {
+  using namespace pandia;
+  std::printf("=== Extension: co-scheduling interference prediction (X3-2) ===\n\n");
+  const eval::Pipeline pipeline("x3-2");
+  const MachineTopology& topo = pipeline.machine().topology();
+  const CoSchedulePredictor engine(pipeline.description());
+
+  const std::vector<std::string> names{"EP", "MD", "CG", "Swim", "IS", "NPO"};
+  std::map<std::string, WorkloadDescription> descs;
+  for (const std::string& name : names) {
+    descs.emplace(name, pipeline.Profile(workloads::ByName(name)));
+  }
+
+  // Job A packed two-per-core on cores 0-3 of socket 0, job B on cores 4-7
+  // — eight threads each, fighting for socket 0's caches and memory channel.
+  const Placement a_place(topo, {2, 2, 2, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+  const Placement b_place(topo, {0, 0, 0, 0, 2, 2, 2, 2, 0, 0, 0, 0, 0, 0, 0, 0});
+
+  Table table({"job A", "job B", "pred A slowdown", "meas A slowdown", "error%"});
+  std::vector<double> errors;
+  for (const std::string& a : names) {
+    for (const std::string& b : names) {
+      const WorkloadDescription& da = descs.at(a);
+      const WorkloadDescription& db = descs.at(b);
+      const std::vector<CoScheduleRequest> requests{{&da, a_place}, {&db, b_place}};
+      const double predicted_time = engine.Predict(requests).jobs[0].time;
+      const Predictor solo = pipeline.MakePredictor(da);
+      const double predicted_slowdown = predicted_time / solo.Predict(a_place).time;
+
+      const sim::WorkloadSpec a_spec = workloads::ByName(a);
+      const sim::WorkloadSpec b_spec = workloads::ByName(b);
+      const std::vector<sim::JobRequest> jobs{
+          {&a_spec, a_place, /*background=*/false},
+          {&b_spec, b_place, /*background=*/true},
+      };
+      const double co_time =
+          pipeline.machine().Run(jobs).jobs[0].completion_time;
+      const double alone =
+          pipeline.machine().RunOne(a_spec, a_place).jobs[0].completion_time;
+      const double measured_slowdown = co_time / alone;
+      const double error =
+          std::fabs(predicted_slowdown - measured_slowdown) / measured_slowdown * 100.0;
+      errors.push_back(error);
+      table.AddRow({a, b, StrFormat("%.2fx", predicted_slowdown),
+                    StrFormat("%.2fx", measured_slowdown), StrFormat("%.1f", error)});
+    }
+  }
+  table.Print();
+  std::printf("\ninterference-prediction error: mean %.1f%%, median %.1f%%\n",
+              Mean(errors), Median(errors));
+  std::printf("(no paper reference: §8 sketches this as future work — \"we "
+              "believe Pandia's prediction of resource consumption ... will let "
+              "us handle cases with multiple workloads sharing a machine\")\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Figure 10: measured vs predicted performance series for all 22 evaluation
+// workloads on the X5-2 (MD appears separately in Figure 1). One condensed
+// series per workload; set PANDIA_CSV=1 for the full plottable series.
+#include "bench/common.h"
+
+int main() {
+  using namespace pandia;
+  std::printf("=== Figure 10: all workloads on the X5-2, measured vs predicted ===\n");
+  const eval::Pipeline pipeline("x5-2");
+  const eval::SweepOptions options =
+      bench::PaperSweepOptions(pipeline.machine().topology());
+  for (const sim::WorkloadSpec& workload : workloads::EvaluationSuite()) {
+    const WorkloadDescription desc = pipeline.Profile(workload);
+    const Predictor predictor = pipeline.MakePredictor(desc);
+    const eval::SweepResult result =
+        eval::RunSweep(pipeline.machine(), predictor, workload, options);
+    std::printf("\n");
+    pandia::bench::PrintSeries(result, 8);
+  }
+  return 0;
+}

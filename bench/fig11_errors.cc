@@ -1,0 +1,40 @@
+// Figure 11a/b: per-workload mean and median error and offset error of the
+// predictions on the X5-2 (a) and X3-2 (b). Paper: median error 8.5% and
+// median offset error 3.6% on the X5-2; 3.8% and 1.5% on the X3-2.
+#include "bench/common.h"
+
+#include "src/util/stats.h"
+
+int main() {
+  using namespace pandia;
+  for (const char* machine_name : {"x5-2", "x3-2"}) {
+    std::printf("=== Figure 11%s: prediction errors on the %s ===\n",
+                std::string(machine_name) == "x5-2" ? "a" : "b", machine_name);
+    const eval::Pipeline pipeline(machine_name);
+    const eval::SweepOptions options =
+        bench::PaperSweepOptions(pipeline.machine().topology());
+    Table table({"workload", "mean%", "median%", "offset mean%", "offset median%"});
+    std::vector<double> medians;
+    std::vector<double> offset_medians;
+    for (const sim::WorkloadSpec& workload : workloads::EvaluationSuite()) {
+      const WorkloadDescription desc = pipeline.Profile(workload);
+      const Predictor predictor = pipeline.MakePredictor(desc);
+      const eval::SweepResult result =
+          eval::RunSweep(pipeline.machine(), predictor, workload, options);
+      table.AddRow({workload.name, StrFormat("%.1f", result.error_mean),
+                    StrFormat("%.1f", result.error_median),
+                    StrFormat("%.1f", result.offset_error_mean),
+                    StrFormat("%.1f", result.offset_error_median)});
+      medians.push_back(result.error_median);
+      offset_medians.push_back(result.offset_error_median);
+    }
+    table.Print();
+    std::printf("across workloads: median error %.1f%%, median offset error %.1f%%\n",
+                Median(medians), Median(offset_medians));
+    std::printf("paper reference: %s\n\n",
+                std::string(machine_name) == "x5-2"
+                    ? "median error 8.5%, median offset error 3.6%"
+                    : "median error 3.8%, median offset error 1.5%");
+  }
+  return 0;
+}

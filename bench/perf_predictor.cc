@@ -1,0 +1,88 @@
+// Performance of the pipeline itself (google-benchmark). The paper notes
+// that "making predictions using Pandia takes a fraction of a second per
+// placement" vs 153 machine-days of exhaustive testing on the X5-2; here we
+// time single predictions, full placement-space optimization, profiling,
+// and simulator runs.
+#include <benchmark/benchmark.h>
+
+#include "src/eval/pipeline.h"
+#include "src/predictor/optimizer.h"
+#include "src/topology/enumerate.h"
+#include "src/workloads/workloads.h"
+
+namespace {
+
+using namespace pandia;
+
+const eval::Pipeline& X5Pipeline() {
+  static const eval::Pipeline pipeline("x5-2");
+  return pipeline;
+}
+
+const Predictor& MdPredictor() {
+  static const Predictor predictor = [] {
+    const sim::WorkloadSpec workload = workloads::ByName("MD");
+    return X5Pipeline().MakePredictor(X5Pipeline().Profile(workload));
+  }();
+  return predictor;
+}
+
+void BM_PredictOnePlacement(benchmark::State& state) {
+  const MachineTopology& topo = X5Pipeline().machine().topology();
+  const Placement placement =
+      Placement::OnePerCore(topo, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MdPredictor().Predict(placement));
+  }
+}
+BENCHMARK(BM_PredictOnePlacement)->Arg(1)->Arg(18)->Arg(36);
+
+void BM_PredictPackedFullMachine(benchmark::State& state) {
+  const MachineTopology& topo = X5Pipeline().machine().topology();
+  const Placement placement = Placement::TwoPerCore(topo, topo.NumHwThreads());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MdPredictor().Predict(placement));
+  }
+}
+BENCHMARK(BM_PredictPackedFullMachine);
+
+void BM_FindBestPlacementSampled(benchmark::State& state) {
+  OptimizerOptions options;
+  options.exhaustive_limit = 1;  // force sampling
+  options.sample_count = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindBestPlacement(MdPredictor(), options));
+  }
+}
+BENCHMARK(BM_FindBestPlacementSampled)->Arg(100)->Arg(1000);
+
+void BM_SimulatorRun(benchmark::State& state) {
+  const sim::WorkloadSpec workload = workloads::ByName("CG");
+  const MachineTopology& topo = X5Pipeline().machine().topology();
+  const Placement placement =
+      Placement::TwoPerCore(topo, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(X5Pipeline().machine().RunOne(workload, placement));
+  }
+}
+BENCHMARK(BM_SimulatorRun)->Arg(4)->Arg(36)->Arg(72);
+
+void BM_ProfileWorkload(benchmark::State& state) {
+  const sim::WorkloadSpec workload = workloads::ByName("CG");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(X5Pipeline().Profile(workload));
+  }
+}
+BENCHMARK(BM_ProfileWorkload);
+
+void BM_EnumerateCanonicalPlacements(benchmark::State& state) {
+  const MachineTopology& topo = X5Pipeline().machine().topology();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EnumerateCanonicalPlacements(topo));
+  }
+}
+BENCHMARK(BM_EnumerateCanonicalPlacements);
+
+}  // namespace
+
+BENCHMARK_MAIN();

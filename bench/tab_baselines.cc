@@ -1,0 +1,82 @@
+// Baseline comparison (extension; paper §7): how much performance do the
+// placement policies mainstream systems actually use leave behind, compared
+// with Pandia's model-driven choice?
+//
+//   * "pack all"   — every hardware thread, SMT first (OS default affinity)
+//   * "spread all" — one thread per core over all sockets, no SMT
+//   * "half"       — one socket fully packed (naive partitioning)
+//   * Pandia       — predicted-best placement from the six-run description
+//
+// Reported as measured performance lost versus the true best placement in
+// the exhaustively measured space (X3-2).
+#include "bench/common.h"
+
+#include "src/eval/regression_baseline.h"
+#include "src/util/stats.h"
+
+int main() {
+  using namespace pandia;
+  std::printf("=== Placement policies vs Pandia (X3-2, gap to true best) ===\n\n");
+  const eval::Pipeline pipeline("x3-2");
+  const MachineTopology& topo = pipeline.machine().topology();
+  const eval::SweepOptions options = bench::PaperSweepOptions(topo);
+
+  const Placement pack_all = Placement::TwoPerCore(topo, topo.NumHwThreads());
+  const Placement spread_all = Placement::OnePerCore(topo, topo.NumCores());
+  std::vector<SocketLoad> half_loads{{0, topo.cores_per_socket}, {0, 0}};
+  const Placement half = Placement::FromSocketLoads(topo, half_loads);
+
+  Table table({"workload", "pack all", "spread all", "one socket", "count-only", "pandia"});
+  std::vector<double> gaps_pack, gaps_spread, gaps_half, gaps_reg, gaps_pandia;
+  for (const sim::WorkloadSpec& workload : workloads::EvaluationSuite()) {
+    const WorkloadDescription desc = pipeline.Profile(workload);
+    const Predictor predictor = pipeline.MakePredictor(desc);
+    const eval::SweepResult sweep =
+        eval::RunSweep(pipeline.machine(), predictor, workload, options);
+    const double best_perf =
+        1.0 / sweep.placements[sweep.best_measured_index].measured_time;
+    auto gap = [&](const Placement& placement) {
+      const double time =
+          pipeline.machine().RunOne(workload, placement).jobs[0].completion_time;
+      return (best_perf - 1.0 / time) / best_perf * 100.0;
+    };
+    const double g_pack = gap(pack_all);
+    const double g_spread = gap(spread_all);
+    const double g_half = gap(half);
+    // Count-only regression baseline (§7, ESTIMA-style): fit scaling from
+    // low thread counts, pick the best count, pack it.
+    const eval::RegressionBaseline regression(pipeline.machine(), workload);
+    int best_n = 1;
+    for (int n = 1; n <= topo.NumHwThreads(); ++n) {
+      if (regression.PredictTime(n) < regression.PredictTime(best_n)) {
+        best_n = n;
+      }
+    }
+    const Placement regression_choice =
+        best_n <= topo.NumCores() ? Placement::OnePerCore(topo, best_n)
+                                  : Placement::TwoPerCore(topo, best_n);
+    const double g_reg = gap(regression_choice);
+    const double g_pandia = sweep.best_placement_gap_pct;
+    gaps_pack.push_back(g_pack);
+    gaps_spread.push_back(g_spread);
+    gaps_half.push_back(g_half);
+    gaps_reg.push_back(g_reg);
+    gaps_pandia.push_back(g_pandia);
+    table.AddRow({workload.name, StrFormat("%.1f", g_pack), StrFormat("%.1f", g_spread),
+                  StrFormat("%.1f", g_half), StrFormat("%.1f", g_reg),
+                  StrFormat("%.1f", g_pandia)});
+  }
+  table.Print();
+  std::printf("\nmean gap: pack-all %.1f%%, spread-all %.1f%%, one-socket %.1f%%, "
+              "count-only %.1f%%, pandia %.1f%%\n",
+              Mean(gaps_pack), Mean(gaps_spread), Mean(gaps_half), Mean(gaps_reg),
+              Mean(gaps_pandia));
+  std::printf("median gap: pack-all %.1f%%, spread-all %.1f%%, one-socket %.1f%%, "
+              "count-only %.1f%%, pandia %.1f%%\n",
+              Median(gaps_pack), Median(gaps_spread), Median(gaps_half),
+              Median(gaps_reg), Median(gaps_pandia));
+  std::printf("\n(§7: mainstream OS heuristics 'always pack threads together, or "
+              "always distribute threads onto different sockets' and never choose "
+              "the thread count; Pandia does both.)\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Bottleneck census (extension): which resource binds each workload, and
+// where the binding resource *shifts* as the placement grows — the
+// "comprehensive" claim of the title ("the points of contention for a
+// workload can shift between resources as the degree of parallelism and
+// thread placement changes", §1).
+#include "bench/common.h"
+
+#include "src/topology/resource_index.h"
+
+namespace {
+
+// Human-readable class of the bottleneck resource of the median thread.
+std::string BottleneckClass(const pandia::ResourceIndex& index, int resource) {
+  using pandia::ResourceKind;
+  if (resource < 0) {
+    return "-";
+  }
+  switch (index.KindOf(resource)) {
+    case ResourceKind::kCore:
+      return "core";
+    case ResourceKind::kL1:
+      return "L1";
+    case ResourceKind::kL2:
+      return "L2";
+    case ResourceKind::kL3Port:
+      return "L3 port";
+    case ResourceKind::kL3Agg:
+      return "L3 agg";
+    case ResourceKind::kDram:
+      return "DRAM";
+    case ResourceKind::kLink:
+      return "link";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  using namespace pandia;
+  std::printf("=== Bottleneck census on the X5-2: what binds, and where it "
+              "shifts ===\n\n");
+  const eval::Pipeline pipeline("x5-2");
+  const MachineTopology& topo = pipeline.machine().topology();
+  const ResourceIndex index(topo);
+
+  Table table({"workload", "18 thr (1 skt)", "36 thr (2 skt)", "72 thr (SMT)",
+               "slowdown@72"});
+  for (const sim::WorkloadSpec& workload : workloads::EvaluationSuite()) {
+    const WorkloadDescription desc = pipeline.Profile(workload);
+    const Predictor predictor = pipeline.MakePredictor(desc);
+    std::vector<std::string> row{workload.name};
+    double final_slowdown = 1.0;
+    std::vector<SocketLoad> two_sockets{{18, 0}, {18, 0}};
+    for (const Placement& placement :
+         {Placement::OnePerCore(topo, 18),
+          Placement::FromSocketLoads(topo, two_sockets),
+          Placement::TwoPerCore(topo, 72)}) {
+      const Prediction prediction = predictor.Predict(placement);
+      row.push_back(
+          BottleneckClass(index, prediction.threads.front().bottleneck));
+      final_slowdown = prediction.threads.front().overall_slowdown;
+    }
+    row.push_back(StrFormat("%.2f", final_slowdown));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("\npaper §1: contention points shift between resources as the "
+              "degree of parallelism and placement change; '-' marks placements "
+              "where no resource is oversubscribed (Amdahl/communication bound).\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// §6.3 "Simple pattern exploration": compare Pandia's six profiling runs
+// against a simple sweep that times 1..N threads packed as close together
+// as possible and spread as far apart as possible, then picks the best.
+// Paper: the sweep costs 8.0x (X5-2) / 4.2x (X4-2) / 4.0x (X3-2) as much
+// machine time as Pandia's profiling, finds the best placement for 21/22
+// workloads on the X3-2 and 20/22 on the X4-2, but only 8/22 on the X5-2.
+#include "bench/common.h"
+
+#include "src/util/stats.h"
+
+int main() {
+  using namespace pandia;
+  std::printf("=== Simple sweep baseline vs Pandia profiling (paper §6.3) ===\n\n");
+  for (const char* machine_name : {"x5-2", "x4-2", "x3-2"}) {
+    const eval::Pipeline pipeline(machine_name);
+    const eval::SweepOptions options =
+        bench::PaperSweepOptions(pipeline.machine().topology());
+    Table table({"workload", "cost ratio", "sweep gap%", "pandia gap%", "sweep found best"});
+    std::vector<double> ratios;
+    int sweep_hits = 0;
+    int pandia_hits = 0;
+    for (const sim::WorkloadSpec& workload : workloads::EvaluationSuite()) {
+      const WorkloadDescription desc = pipeline.Profile(workload);
+      const Predictor predictor = pipeline.MakePredictor(desc);
+      const eval::SweepResult full =
+          eval::RunSweep(pipeline.machine(), predictor, workload, options);
+      const eval::SweepBaselineResult baseline =
+          eval::RunSweepBaseline(pipeline.machine(), workload, desc, full);
+      ratios.push_back(baseline.cost_ratio);
+      sweep_hits += baseline.found_best ? 1 : 0;
+      pandia_hits += baseline.pandia_best_gap_pct <= 1.0 ? 1 : 0;
+      table.AddRow({workload.name, StrFormat("%.1fx", baseline.cost_ratio),
+                    StrFormat("%.2f", baseline.sweep_best_gap_pct),
+                    StrFormat("%.2f", baseline.pandia_best_gap_pct),
+                    baseline.found_best ? "yes" : "no"});
+    }
+    std::printf("--- %s ---\n", machine_name);
+    table.Print();
+    std::printf("mean cost ratio %.1fx; sweep found the best placement for %d of "
+                "%zu workloads; Pandia within 1%% for %d of %zu\n\n",
+                Mean(ratios), sweep_hits, ratios.size(), pandia_hits, ratios.size());
+  }
+  std::printf("paper reference: cost ratios 8.0x / 4.2x / 4.0x; sweep hits "
+              "8/22 on the X5-2, 20/22 on the X4-2, 21/22 on the X3-2.\n");
+  return 0;
+}

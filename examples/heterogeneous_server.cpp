@@ -1,0 +1,68 @@
+// Heterogeneous server: the §6.4 "multiple thread types" scenario, handled
+// with explicit thread groups as the paper suggests.
+//
+// An analytics server pipelines two stages: a scan group streaming a
+// column (Swim-like behaviour) feeding an aggregation group (EP-like
+// compute). The end-to-end rate is the slower stage's rate. The grouped
+// predictor profiles each stage separately, then searches machine splits
+// for the best balanced rate — against giving each stage half the machine.
+//
+// Run: build/examples/heterogeneous_server [machine]
+#include <cstdio>
+#include <string>
+
+#include "src/eval/pipeline.h"
+#include "src/predictor/grouped.h"
+#include "src/util/table.h"
+#include "src/util/strings.h"
+#include "src/workloads/workloads.h"
+
+int main(int argc, char** argv) {
+  using namespace pandia;
+  const std::string machine_name = argc > 1 ? argv[1] : "x3-2";
+  std::printf("== Heterogeneous server (scan stage + aggregate stage) on %s ==\n\n",
+              machine_name.c_str());
+  const eval::Pipeline pipeline(machine_name);
+  const MachineTopology& topo = pipeline.machine().topology();
+
+  // Profile each stage as its own workload (the paper's suggestion: expose
+  // groupings explicitly instead of inferring them).
+  std::vector<ThreadGroup> groups{
+      {"scan", pipeline.Profile(workloads::ByName("Swim")), /*weight=*/1.0},
+      {"aggregate", pipeline.Profile(workloads::ByName("EP")), /*weight=*/1.0},
+  };
+  const GroupedWorkloadPredictor predictor(pipeline.description(), groups);
+
+  // Naive: half the machine each.
+  std::vector<uint8_t> half_a(static_cast<size_t>(topo.NumCores()), 0);
+  std::vector<uint8_t> half_b(static_cast<size_t>(topo.NumCores()), 0);
+  for (int c = 0; c < topo.NumCores(); ++c) {
+    (c < topo.NumCores() / 2 ? half_a : half_b)[c] = 1;
+  }
+  const std::vector<Placement> naive{Placement(topo, half_a), Placement(topo, half_b)};
+  const GroupedPrediction naive_prediction = predictor.Predict(naive);
+
+  // Pandia: balanced split.
+  const std::vector<Placement> tuned = predictor.OptimizeSplit();
+  const GroupedPrediction tuned_prediction = predictor.Predict(tuned);
+
+  Table table({"split", "scan placement", "aggregate placement", "scan rate",
+               "agg rate", "pipeline rate"});
+  auto add_row = [&](const char* name, const std::vector<Placement>& placements,
+                     const GroupedPrediction& prediction) {
+    table.AddRow({name, placements[0].ToString(), placements[1].ToString(),
+                  StrFormat("%.1f", prediction.groups[0].speedup),
+                  StrFormat("%.1f", prediction.groups[1].speedup),
+                  StrFormat("%.1f", prediction.pipeline_rate)});
+  };
+  add_row("half/half", naive, naive_prediction);
+  add_row("balanced", tuned, tuned_prediction);
+  table.Print();
+
+  std::printf("\nbottleneck stage: %s; balanced split improves the pipeline rate "
+              "by %.0f%% over half/half.\n",
+              groups[tuned_prediction.bottleneck_group].name.c_str(),
+              (tuned_prediction.pipeline_rate / naive_prediction.pipeline_rate - 1.0) *
+                  100.0);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Placement advisor: the paper's motivating database scenario (§1, §6).
+//
+// A main-memory database wants to run a join operator but must decide how
+// many threads to use, whether to span both sockets, and whether to use SMT
+// siblings. This example profiles each join operator once (six runs) and
+// then lets Pandia answer those questions from the model alone — no
+// placement search on the real machine.
+//
+// Run: build/examples/placement_advisor [machine]
+#include <cstdio>
+#include <string>
+
+#include "src/eval/pipeline.h"
+#include "src/predictor/optimizer.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+#include "src/workloads/workloads.h"
+
+namespace {
+
+using namespace pandia;
+
+// Classifies what the chosen placement says about the three §1 decisions.
+std::string SocketAdvice(const Placement& placement) {
+  return placement.NumActiveSockets() > 1 ? "use both sockets" : "stay on one socket";
+}
+
+std::string SmtAdvice(const Placement& placement) {
+  const std::vector<SocketLoad> loads = placement.SocketLoads();
+  int doubles = 0;
+  for (const SocketLoad& load : loads) {
+    doubles += load.doubles;
+  }
+  return doubles > 0 ? "use SMT siblings" : "one thread per core";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string machine_name = argc > 1 ? argv[1] : "x5-2";
+  std::printf("== Placement advisor for the join operators on %s ==\n\n",
+              machine_name.c_str());
+  const eval::Pipeline pipeline(machine_name);
+
+  Table table({"operator", "threads", "sockets", "smt", "pred speedup", "measured"});
+  for (const char* name : {"NPO", "PRH", "PRHO", "PRO", "Sort-Join"}) {
+    const sim::WorkloadSpec workload = workloads::ByName(name);
+    const WorkloadDescription desc = pipeline.Profile(workload);
+    const Predictor predictor = pipeline.MakePredictor(desc);
+    const RankedPlacement best = FindBestPlacement(predictor);
+    const double measured =
+        pipeline.machine().RunOne(workload, best.placement).jobs[0].completion_time;
+    table.AddRow({name, StrFormat("%d", best.placement.TotalThreads()),
+                  SocketAdvice(best.placement), SmtAdvice(best.placement),
+                  StrFormat("%.1fx", best.prediction.speedup),
+                  StrFormat("%.1fx over t1", desc.t1 / measured)});
+  }
+  table.Print();
+
+  std::printf("\nEach recommendation comes from six profiling runs plus model "
+              "evaluation; an exhaustive search would need thousands of timed "
+              "runs per operator (the paper spent 153 machine-days on the "
+              "X5-2's placement space).\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Quickstart: the full Pandia pipeline on one workload.
+//
+//   1. Build the (simulated) machine and measure its machine description.
+//   2. Profile the workload with the six Pandia runs.
+//   3. Predict a few placements and compare with measured times.
+//   4. Ask the optimizer for the best placement.
+//
+// Run: build/examples/quickstart [machine] [workload]
+#include <cstdio>
+#include <string>
+
+#include "src/eval/pipeline.h"
+#include "src/predictor/optimizer.h"
+#include "src/topology/enumerate.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+#include "src/workloads/workloads.h"
+
+int main(int argc, char** argv) {
+  using namespace pandia;
+  const std::string machine_name = argc > 1 ? argv[1] : "x3-2";
+  const std::string workload_name = argc > 2 ? argv[2] : "MD";
+
+  std::printf("== Pandia quickstart: %s on %s ==\n\n", workload_name.c_str(),
+              machine_name.c_str());
+
+  // 1. Machine description (one-time per machine, from stress runs).
+  const eval::Pipeline pipeline(machine_name);
+  std::printf("machine description (measured):\n  %s\n\n",
+              pipeline.description().ToString().c_str());
+
+  // 2. Workload description (six profiling runs).
+  const sim::WorkloadSpec workload = workloads::ByName(workload_name);
+  const WorkloadDescription desc = pipeline.Profile(workload);
+  std::printf("workload description:\n");
+  std::printf("  t1 = %.2f   instr rate = %.2f\n", desc.t1, desc.demands.instr_rate);
+  std::printf("  bandwidth: l1 %.1f  l2 %.1f  l3 %.1f  dram %.1f (%.1f local, %.1f remote)\n",
+              desc.demands.l1_bw, desc.demands.l2_bw, desc.demands.l3_bw,
+              desc.demands.dram_total_bw(), desc.demands.dram_local_bw,
+              desc.demands.dram_remote_bw);
+  std::printf("  p = %.4f   o_s = %.5f   l = %.2f   b = %.3f   (run2 threads: %d)\n\n",
+              desc.parallel_fraction, desc.inter_socket_overhead, desc.load_balance,
+              desc.burstiness, desc.profile_threads);
+
+  // 3. Predictions vs measurements on a few interesting placements.
+  const Predictor predictor = pipeline.MakePredictor(desc);
+  const MachineTopology& topo = pipeline.machine().topology();
+  Table table({"placement", "predicted", "measured", "pred speedup"});
+  auto probe = [&](const Placement& placement) {
+    const Prediction prediction = predictor.Predict(placement);
+    const double measured =
+        pipeline.machine().RunOne(workload, placement).jobs[0].completion_time;
+    table.AddRow({placement.ToString(), StrFormat("%8.2f", prediction.time),
+                  StrFormat("%8.2f", measured),
+                  StrFormat("%6.2f", prediction.speedup)});
+  };
+  probe(Placement::OnePerCore(topo, 1));
+  probe(Placement::OnePerCore(topo, topo.cores_per_socket));
+  {
+    std::vector<SocketLoad> loads(static_cast<size_t>(topo.num_sockets));
+    loads[0] = SocketLoad{topo.cores_per_socket, 0};
+    loads[1] = SocketLoad{topo.cores_per_socket, 0};
+    probe(Placement::FromSocketLoads(topo, loads));
+  }
+  {
+    std::vector<SocketLoad> loads(static_cast<size_t>(topo.num_sockets));
+    loads[0] = SocketLoad{0, topo.cores_per_socket};
+    loads[1] = SocketLoad{0, topo.cores_per_socket};
+    probe(Placement::FromSocketLoads(topo, loads));
+  }
+  table.Print();
+
+  // 4. Best placement according to Pandia.
+  const RankedPlacement best = FindBestPlacement(predictor);
+  const double measured_best =
+      pipeline.machine().RunOne(workload, best.placement).jobs[0].completion_time;
+  std::printf("\npredicted-best placement: %s\n", best.placement.ToString().c_str());
+  std::printf("  predicted %.2f, measured %.2f (speedup %.2fx over t1=%.2f)\n",
+              best.prediction.time, measured_best, best.prediction.speedup, desc.t1);
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "src/counters/counters.h"
+
+#include "src/util/check.h"
+
+namespace pandia {
+
+CounterView::CounterView(const sim::Machine& machine, const sim::RunResult& result,
+                         int job_index)
+    : machine_(&machine), result_(&result), job_index_(job_index) {
+  PANDIA_CHECK(job_index >= 0 &&
+               static_cast<size_t>(job_index) < result.jobs.size());
+}
+
+double CounterView::Instructions() const {
+  return BytesOnKind(ResourceKind::kCore);
+}
+
+double CounterView::BytesOnKind(ResourceKind kind) const {
+  const ResourceIndex& idx = machine_->index();
+  const std::vector<double>& used = job().resource_consumption;
+  double total = 0.0;
+  for (int r = 0; r < idx.Count(); ++r) {
+    if (idx.KindOf(r) == kind) {
+      total += used[r];
+    }
+  }
+  return total;
+}
+
+double CounterView::DramBytesOnNode(int socket) const {
+  return ResourceConsumption(machine_->index().Dram(socket));
+}
+
+double CounterView::ResourceConsumption(int resource) const {
+  PANDIA_CHECK(resource >= 0 && resource < machine_->index().Count());
+  return job().resource_consumption[resource];
+}
+
+int CounterView::NumThreads() const {
+  return static_cast<int>(job().threads.size());
+}
+
+double CounterView::ThreadBusyTime(int thread) const {
+  PANDIA_CHECK(thread >= 0 && thread < NumThreads());
+  return job().threads[thread].busy_time;
+}
+
+}  // namespace pandia

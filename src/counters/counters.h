@@ -1,0 +1,67 @@
+// Perf-like counter facade over simulator run results.
+//
+// Pandia's measurement components (machine description generator, workload
+// profiler) observe runs exclusively through this view — wall time plus
+// hardware-counter-style aggregates — never through the hidden WorkloadSpec
+// or MachineSpec. This mirrors the information boundary of the paper, which
+// measures real binaries with CPU performance counters (§3, §4).
+//
+// Semantics notes:
+//   * Instructions() counts issue slots consumed on the cores. For runs
+//     without SMT burst collisions this equals retired instructions; under
+//     collisions it includes replay slots, as issue-slot counters do.
+//   * Bandwidth counters report bytes moved on each class of link; DRAM
+//     traffic is additionally available per memory node (uncore-IMC style).
+#ifndef PANDIA_SRC_COUNTERS_COUNTERS_H_
+#define PANDIA_SRC_COUNTERS_COUNTERS_H_
+
+#include "src/sim/machine.h"
+#include "src/topology/resource_index.h"
+
+namespace pandia {
+
+class CounterView {
+ public:
+  // The view keeps references; machine and result must outlive it.
+  CounterView(const sim::Machine& machine, const sim::RunResult& result, int job_index);
+
+  double WallTime() const { return result_->wall_time; }
+  double CompletionTime() const { return job().completion_time; }
+
+  // Total issue slots consumed on all cores by this job.
+  double Instructions() const;
+
+  // Bytes moved by this job on all resources of the given kind.
+  double BytesOnKind(ResourceKind kind) const;
+
+  double L1Bytes() const { return BytesOnKind(ResourceKind::kL1); }
+  double L2Bytes() const { return BytesOnKind(ResourceKind::kL2); }
+  double L3Bytes() const { return BytesOnKind(ResourceKind::kL3Port); }
+  double DramBytes() const { return BytesOnKind(ResourceKind::kDram); }
+  double InterconnectBytes() const { return BytesOnKind(ResourceKind::kLink); }
+
+  // Bytes this job moved to the DRAM channel of one memory node.
+  double DramBytesOnNode(int socket) const;
+
+  // Raw consumption on one resource (ResourceIndex order). Used by the
+  // machine description generator to read individual link bandwidths.
+  double ResourceConsumption(int resource) const;
+
+  // Per-thread scheduling view (perf's per-thread task clock): how long
+  // each of the job's threads was busy rather than waiting at barriers.
+  int NumThreads() const;
+  double ThreadBusyTime(int thread) const;
+
+  const ResourceIndex& index() const { return machine_->index(); }
+
+ private:
+  const sim::JobResult& job() const { return result_->jobs[job_index_]; }
+
+  const sim::Machine* machine_;
+  const sim::RunResult* result_;
+  int job_index_;
+};
+
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_COUNTERS_COUNTERS_H_

@@ -1,0 +1,24 @@
+#include "src/eval/pipeline.h"
+
+#include "src/machine_desc/generator.h"
+#include "src/workload_desc/profiler.h"
+
+namespace pandia {
+namespace eval {
+
+Pipeline::Pipeline(const std::string& machine_name)
+    : machine_(sim::MachineByName(machine_name)),
+      description_(GenerateMachineDescription(machine_)) {}
+
+WorkloadDescription Pipeline::Profile(const sim::WorkloadSpec& workload) const {
+  const WorkloadProfiler profiler(machine_, description_);
+  return profiler.Profile(workload);
+}
+
+Predictor Pipeline::MakePredictor(const WorkloadDescription& description,
+                                  const PredictionOptions& options) const {
+  return Predictor(description_, description, options);
+}
+
+}  // namespace eval
+}  // namespace pandia

@@ -1,0 +1,42 @@
+// Convenience wiring of the full Pandia pipeline on one simulated machine:
+// machine description generation, workload profiling, and predictor
+// construction. Shared by the bench binaries and examples.
+#ifndef PANDIA_SRC_EVAL_PIPELINE_H_
+#define PANDIA_SRC_EVAL_PIPELINE_H_
+
+#include <string>
+
+#include "src/machine_desc/machine_description.h"
+#include "src/predictor/predictor.h"
+#include "src/sim/machine.h"
+#include "src/workload_desc/description.h"
+
+namespace pandia {
+namespace eval {
+
+class Pipeline {
+ public:
+  // Builds the simulated machine ("x5-2", "x4-2", "x3-2", "x2-4") and
+  // generates its machine description from stress runs.
+  explicit Pipeline(const std::string& machine_name);
+
+  const sim::Machine& machine() const { return machine_; }
+  const MachineDescription& description() const { return description_; }
+
+  // Runs the six profiling runs for `workload` (§4).
+  WorkloadDescription Profile(const sim::WorkloadSpec& workload) const;
+
+  // Predictor for a workload description (typically from Profile(); for the
+  // portability studies, from another machine's pipeline).
+  Predictor MakePredictor(const WorkloadDescription& description,
+                          const PredictionOptions& options = {}) const;
+
+ private:
+  sim::Machine machine_;
+  MachineDescription description_;
+};
+
+}  // namespace eval
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_EVAL_PIPELINE_H_

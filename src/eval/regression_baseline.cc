@@ -1,0 +1,74 @@
+#include "src/eval/regression_baseline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace pandia {
+namespace eval {
+
+RegressionBaseline::RegressionBaseline(const sim::Machine& machine,
+                                       const sim::WorkloadSpec& workload,
+                                       std::vector<int> training_counts) {
+  PANDIA_CHECK(!training_counts.empty());
+  const MachineTopology& topo = machine.topology();
+  std::vector<std::pair<int, double>> samples;  // (n, time)
+  for (int n : training_counts) {
+    PANDIA_CHECK(n >= 1 && n <= topo.NumHwThreads());
+    const Placement placement = n <= topo.NumCores()
+                                    ? Placement::OnePerCore(topo, n)
+                                    : Placement::TwoPerCore(topo, n);
+    const double time = machine.RunOne(workload, placement).jobs[0].completion_time;
+    training_cost_ += time;
+    samples.emplace_back(n, time);
+    if (n == 1) {
+      t1_ = time;
+    }
+  }
+  PANDIA_CHECK_MSG(t1_ > 0.0, "training counts must include n = 1");
+
+  // Least squares over y(n) = time(n)/t1 = (1 - p) + p/n + c*(n - 1):
+  // linear in the unknowns a = (1 - p) and with basis {1, 1/n, (n-1)}.
+  // Substitute p = 1 - a to reduce to two unknowns (a, c) with
+  // y - 1/n = a * (1 - 1/n) + c * (n - 1).
+  double sxx = 0.0, sxy = 0.0, sxz = 0.0, szz = 0.0, szy = 0.0;
+  for (const auto& [n, time] : samples) {
+    const double x = 1.0 - 1.0 / n;
+    const double z = n - 1.0;
+    const double y = time / t1_ - 1.0 / n;
+    sxx += x * x;
+    sxy += x * y;
+    sxz += x * z;
+    szz += z * z;
+    szy += z * y;
+  }
+  // Solve the 2x2 normal equations; fall back to Amdahl-only when the
+  // system is degenerate (e.g. a single multi-thread sample).
+  const double det = sxx * szz - sxz * sxz;
+  double a;
+  if (std::fabs(det) > 1e-12) {
+    a = (sxy * szz - szy * sxz) / det;
+    c_ = (sxx * szy - sxz * sxy) / det;
+  } else if (sxx > 1e-12) {
+    a = sxy / sxx;
+    c_ = 0.0;
+  } else {
+    a = 0.0;
+    c_ = 0.0;
+  }
+  p_ = std::clamp(1.0 - a, 0.0, 1.0);
+  c_ = std::max(c_, 0.0);
+}
+
+double RegressionBaseline::PredictTime(const Placement& placement) const {
+  return PredictTime(placement.TotalThreads());
+}
+
+double RegressionBaseline::PredictTime(int threads) const {
+  PANDIA_CHECK(threads >= 1);
+  return t1_ * ((1.0 - p_) + p_ / threads + c_ * (threads - 1));
+}
+
+}  // namespace eval
+}  // namespace pandia

@@ -1,0 +1,55 @@
+// Thread-count-only regression baseline (related work, §7).
+//
+// ESTIMA [9] and regression approaches [5] extrapolate a workload's scaling
+// from runs at low thread counts and predict by thread count alone — they
+// "do not model different thread placements or resource demands". This
+// baseline reproduces that class of predictor: it fits
+//
+//     time(n) = t1 * ((1 - p) + p/n + c * (n - 1))
+//
+// to a handful of measured compact-placement runs (least squares over p
+// and the linear contention term c) and predicts any placement from its
+// thread count only. Comparing it against Pandia isolates the value of
+// placement awareness.
+#ifndef PANDIA_SRC_EVAL_REGRESSION_BASELINE_H_
+#define PANDIA_SRC_EVAL_REGRESSION_BASELINE_H_
+
+#include <vector>
+
+#include "src/sim/machine.h"
+#include "src/topology/placement.h"
+
+namespace pandia {
+namespace eval {
+
+class RegressionBaseline {
+ public:
+  // Fits the model from runs at the given thread counts (one per core,
+  // packed onto the lowest sockets — the cheap low-count runs such
+  // approaches use).
+  RegressionBaseline(const sim::Machine& machine, const sim::WorkloadSpec& workload,
+                     std::vector<int> training_counts = {1, 2, 3, 4, 6});
+
+  // Predicted time for any placement: depends only on TotalThreads().
+  double PredictTime(const Placement& placement) const;
+  double PredictTime(int threads) const;
+
+  // Fitted parameters (exposed for tests).
+  double t1() const { return t1_; }
+  double parallel_fraction() const { return p_; }
+  double contention_per_thread() const { return c_; }
+
+  // Total machine time spent on the training runs.
+  double training_cost() const { return training_cost_; }
+
+ private:
+  double t1_ = 0.0;
+  double p_ = 1.0;
+  double c_ = 0.0;
+  double training_cost_ = 0.0;
+};
+
+}  // namespace eval
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_EVAL_REGRESSION_BASELINE_H_

@@ -1,0 +1,20 @@
+// Machine description generator (paper §3).
+//
+// Runs the stress applications on a machine and reads performance counters
+// to measure the capacity of every resource class. Idle cores are filled
+// with a background load during every measurement so Turbo Boost sits at
+// its all-core bin (§6.3). The generator observes the machine only through
+// the counter facade — never through sim::MachineSpec.
+#ifndef PANDIA_SRC_MACHINE_DESC_GENERATOR_H_
+#define PANDIA_SRC_MACHINE_DESC_GENERATOR_H_
+
+#include "src/machine_desc/machine_description.h"
+#include "src/sim/machine.h"
+
+namespace pandia {
+
+MachineDescription GenerateMachineDescription(const sim::Machine& machine);
+
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_MACHINE_DESC_GENERATOR_H_

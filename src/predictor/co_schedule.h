@@ -1,0 +1,60 @@
+// Co-scheduling prediction — the extension the paper sketches as future
+// work (§8): "We believe Pandia's prediction of resource consumption as
+// well as overall workload performance will let us handle cases with
+// multiple workloads sharing a machine."
+//
+// The iterative model of §5 generalizes directly: all jobs' threads route
+// their utilization-scaled demands onto the shared resource vector; each
+// thread's slowdown is its worst oversubscription factor; burstiness
+// applies per core occupancy across jobs; communication and load-balancing
+// penalties apply within each job; utilization feedback runs globally until
+// the joint prediction converges. Predicting one job reduces exactly to the
+// single-workload model, and Predictor::Predict is implemented on top of
+// this engine.
+#ifndef PANDIA_SRC_PREDICTOR_CO_SCHEDULE_H_
+#define PANDIA_SRC_PREDICTOR_CO_SCHEDULE_H_
+
+#include <span>
+#include <vector>
+
+#include "src/machine_desc/machine_description.h"
+#include "src/predictor/predictor.h"
+#include "src/topology/placement.h"
+#include "src/workload_desc/description.h"
+
+namespace pandia {
+
+struct CoScheduleRequest {
+  const WorkloadDescription* workload = nullptr;
+  Placement placement;
+};
+
+struct CoSchedulePrediction {
+  // One prediction per request, in request order: each job's speedup is
+  // relative to its own t1, accounting for interference from every other
+  // job.
+  std::vector<Prediction> jobs;
+  // Combined load on every resource (ResourceIndex order).
+  std::vector<double> resource_load;
+};
+
+class CoSchedulePredictor {
+ public:
+  explicit CoSchedulePredictor(MachineDescription machine,
+                               PredictionOptions options = {});
+
+  // Jointly predicts the given jobs. All placements must match the machine
+  // description's topology shape; cores may be shared between jobs.
+  CoSchedulePrediction Predict(std::span<const CoScheduleRequest> requests) const;
+
+  const MachineDescription& machine() const { return machine_; }
+
+ private:
+  MachineDescription machine_;
+  PredictionOptions options_;
+  ResourceIndex index_;
+};
+
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_PREDICTOR_CO_SCHEDULE_H_

@@ -1,0 +1,107 @@
+#include "src/predictor/grouped.h"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+#include "src/util/check.h"
+
+namespace pandia {
+namespace {
+
+// Splits `total` cores between two contiguous runs of the core list in
+// every proportion; for more than two groups, recurses on the remainder.
+// Placements are one thread per core or two per core (packed variant).
+void EnumerateSplits(const MachineTopology& topo, int group,
+                     int first_core, int cores_left, int num_groups,
+                     std::vector<std::pair<int, bool>>& current,
+                     std::vector<std::vector<std::pair<int, bool>>>& out) {
+  const int groups_left = num_groups - group;
+  if (groups_left == 1) {
+    for (const bool packed : {false, true}) {
+      current[group] = {cores_left, packed};
+      out.push_back(current);
+    }
+    return;
+  }
+  // Leave at least one core per remaining group.
+  for (int take = 1; take <= cores_left - (groups_left - 1); ++take) {
+    for (const bool packed : {false, true}) {
+      current[group] = {take, packed};
+      EnumerateSplits(topo, group + 1, first_core + take, cores_left - take,
+                      num_groups, current, out);
+    }
+  }
+}
+
+}  // namespace
+
+GroupedWorkloadPredictor::GroupedWorkloadPredictor(MachineDescription machine,
+                                                   std::vector<ThreadGroup> groups,
+                                                   PredictionOptions options)
+    : machine_(std::move(machine)), groups_(std::move(groups)), options_(options) {
+  PANDIA_CHECK(!groups_.empty());
+  for (const ThreadGroup& group : groups_) {
+    PANDIA_CHECK_MSG(group.weight > 0.0, "group weight must be positive");
+  }
+}
+
+GroupedPrediction GroupedWorkloadPredictor::Predict(
+    std::span<const Placement> placements) const {
+  PANDIA_CHECK(placements.size() == groups_.size());
+  std::vector<CoScheduleRequest> requests;
+  requests.reserve(groups_.size());
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    requests.push_back(CoScheduleRequest{&groups_[g].description, placements[g]});
+  }
+  const CoSchedulePredictor engine(machine_, options_);
+  CoSchedulePrediction joint = engine.Predict(requests);
+
+  GroupedPrediction result;
+  result.pipeline_rate = std::numeric_limits<double>::infinity();
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    const double rate = joint.jobs[g].speedup / groups_[g].weight;
+    if (rate < result.pipeline_rate) {
+      result.pipeline_rate = rate;
+      result.bottleneck_group = static_cast<int>(g);
+    }
+  }
+  result.groups = std::move(joint.jobs);
+  return result;
+}
+
+std::vector<Placement> GroupedWorkloadPredictor::OptimizeSplit() const {
+  const MachineTopology& topo = machine_.topo;
+  const int num_groups = static_cast<int>(groups_.size());
+  PANDIA_CHECK_MSG(num_groups <= topo.NumCores(),
+                   "more groups than cores to split");
+
+  std::vector<std::vector<std::pair<int, bool>>> splits;
+  std::vector<std::pair<int, bool>> current(static_cast<size_t>(num_groups));
+  EnumerateSplits(topo, 0, 0, topo.NumCores(), num_groups, current, splits);
+
+  std::optional<std::vector<Placement>> best;
+  double best_rate = 0.0;
+  for (const auto& split : splits) {
+    std::vector<Placement> placements;
+    placements.reserve(split.size());
+    int core = 0;
+    for (const auto& [cores, packed] : split) {
+      std::vector<uint8_t> per_core(static_cast<size_t>(topo.NumCores()), 0);
+      for (int i = 0; i < cores; ++i) {
+        per_core[core + i] = packed ? 2 : 1;
+      }
+      core += cores;
+      placements.emplace_back(topo, std::move(per_core));
+    }
+    const GroupedPrediction prediction = Predict(placements);
+    if (prediction.pipeline_rate > best_rate) {
+      best_rate = prediction.pipeline_rate;
+      best = std::move(placements);
+    }
+  }
+  PANDIA_CHECK(best.has_value());
+  return std::move(*best);
+}
+
+}  // namespace pandia

@@ -1,0 +1,64 @@
+// Heterogeneous thread groups — the §6.4 limitation, addressed the way the
+// paper suggests: "We suspect that more heterogeneous workloads could be
+// considered by identifying groups of threads through profiling. In
+// practice ... it may be more productive to expose thread groupings
+// explicitly in software."
+//
+// A grouped workload is a set of named thread groups (e.g. a scan group
+// feeding an aggregation group), each profiled separately into its own
+// workload description. Prediction runs the groups jointly through the
+// co-scheduling engine; for pipeline-structured applications the end-to-end
+// rate is the slowest group's rate, so the optimizer searches the splits of
+// the machine between groups for the best balanced rate.
+#ifndef PANDIA_SRC_PREDICTOR_GROUPED_H_
+#define PANDIA_SRC_PREDICTOR_GROUPED_H_
+
+#include <string>
+#include <vector>
+
+#include "src/machine_desc/machine_description.h"
+#include "src/predictor/co_schedule.h"
+
+namespace pandia {
+
+struct ThreadGroup {
+  std::string name;
+  WorkloadDescription description;
+  // Relative work rate this group must sustain per unit of application
+  // progress (a pipeline stage that processes twice the data has weight 2).
+  double weight = 1.0;
+};
+
+struct GroupedPrediction {
+  std::vector<Prediction> groups;  // one per group, in group order
+  // End-to-end pipeline rate: min over groups of speedup / weight.
+  double pipeline_rate = 0.0;
+  int bottleneck_group = 0;
+};
+
+class GroupedWorkloadPredictor {
+ public:
+  GroupedWorkloadPredictor(MachineDescription machine, std::vector<ThreadGroup> groups,
+                           PredictionOptions options = {});
+
+  // Predicts the groups under explicit placements (one per group; cores may
+  // overlap, e.g. SMT-sharing a producer with its consumer).
+  GroupedPrediction Predict(std::span<const Placement> placements) const;
+
+  // Searches splits of the whole machine between the groups (disjoint
+  // cores, spread and packed variants, every thread-count partition at
+  // one-per-core granularity) for the best pipeline rate. Returns the
+  // per-group placements.
+  std::vector<Placement> OptimizeSplit() const;
+
+  const std::vector<ThreadGroup>& groups() const { return groups_; }
+
+ private:
+  MachineDescription machine_;
+  std::vector<ThreadGroup> groups_;
+  PredictionOptions options_;
+};
+
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_PREDICTOR_GROUPED_H_

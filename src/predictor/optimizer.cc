@@ -1,0 +1,117 @@
+#include "src/predictor/optimizer.h"
+
+#include <algorithm>
+
+#include "src/topology/enumerate.h"
+#include "src/util/check.h"
+
+namespace pandia {
+namespace {
+
+std::vector<Placement> CandidatePlacements(const MachineTopology& topo,
+                                           const OptimizerOptions& options) {
+  std::vector<Placement> candidates;
+  if (CountCanonicalPlacements(topo) <= options.exhaustive_limit) {
+    candidates = EnumerateCanonicalPlacements(topo);
+    if (options.constraint) {
+      std::erase_if(candidates,
+                    [&](const Placement& p) { return !options.constraint(p); });
+    }
+  } else {
+    candidates = SampleCanonicalPlacements(topo, options.sample_count,
+                                           options.sample_seed, options.constraint);
+  }
+  PANDIA_CHECK_MSG(!candidates.empty(), "no placements satisfy the constraint");
+  return candidates;
+}
+
+}  // namespace
+
+std::function<bool(const Placement&)> NoSmtConstraint() {
+  return [](const Placement& placement) {
+    for (const SocketLoad& load : placement.SocketLoads()) {
+      if (load.doubles > 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+}
+
+std::function<bool(const Placement&)> MaxSocketsConstraint(int max_sockets) {
+  PANDIA_CHECK(max_sockets > 0);
+  return [max_sockets](const Placement& placement) {
+    return placement.NumActiveSockets() <= max_sockets;
+  };
+}
+
+std::function<bool(const Placement&)> MaxThreadsConstraint(int max_threads) {
+  PANDIA_CHECK(max_threads > 0);
+  return [max_threads](const Placement& placement) {
+    return placement.TotalThreads() <= max_threads;
+  };
+}
+
+RankedPlacement FindBestPlacement(const Predictor& predictor,
+                                  const OptimizerOptions& options) {
+  std::vector<RankedPlacement> ranked = RankPlacements(predictor, 1, options);
+  PANDIA_CHECK(!ranked.empty());
+  return std::move(ranked.front());
+}
+
+std::vector<RankedPlacement> RankPlacements(const Predictor& predictor, size_t top_k,
+                                            const OptimizerOptions& options) {
+  PANDIA_CHECK(top_k > 0);
+  const std::vector<Placement> candidates =
+      CandidatePlacements(predictor.machine().topo, options);
+  std::vector<RankedPlacement> ranked;
+  ranked.reserve(candidates.size());
+  for (const Placement& placement : candidates) {
+    ranked.push_back(RankedPlacement{placement, predictor.Predict(placement)});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedPlacement& a, const RankedPlacement& b) {
+              return a.prediction.speedup > b.prediction.speedup;
+            });
+  if (ranked.size() > top_k) {
+    ranked.erase(ranked.begin() + static_cast<ptrdiff_t>(top_k), ranked.end());
+  }
+  return ranked;
+}
+
+std::optional<RankedPlacement> FindCheapestPlacement(const Predictor& predictor,
+                                                     double target_fraction,
+                                                     const OptimizerOptions& options) {
+  PANDIA_CHECK(target_fraction > 0.0 && target_fraction <= 1.0);
+  const std::vector<Placement> candidates =
+      CandidatePlacements(predictor.machine().topo, options);
+  double best_speedup = 0.0;
+  std::vector<RankedPlacement> all;
+  all.reserve(candidates.size());
+  for (const Placement& placement : candidates) {
+    all.push_back(RankedPlacement{placement, predictor.Predict(placement)});
+    best_speedup = std::max(best_speedup, all.back().prediction.speedup);
+  }
+  const double target = best_speedup * target_fraction;
+  std::optional<RankedPlacement> cheapest;
+  auto cost_less = [](const RankedPlacement& a, const RankedPlacement& b) {
+    if (a.placement.TotalThreads() != b.placement.TotalThreads()) {
+      return a.placement.TotalThreads() < b.placement.TotalThreads();
+    }
+    if (a.placement.NumActiveSockets() != b.placement.NumActiveSockets()) {
+      return a.placement.NumActiveSockets() < b.placement.NumActiveSockets();
+    }
+    return a.prediction.speedup > b.prediction.speedup;
+  };
+  for (RankedPlacement& candidate : all) {
+    if (candidate.prediction.speedup + 1e-12 < target) {
+      continue;
+    }
+    if (!cheapest.has_value() || cost_less(candidate, *cheapest)) {
+      cheapest = std::move(candidate);
+    }
+  }
+  return cheapest;
+}
+
+}  // namespace pandia

@@ -1,0 +1,59 @@
+// Placement optimization on top of the predictor — the paper's headline use
+// cases (§1): pick the best placement for a workload, and find the smallest
+// resource footprint that still meets a performance target (e.g. limit a
+// poorly scaling workload to a few cores).
+#ifndef PANDIA_SRC_PREDICTOR_OPTIMIZER_H_
+#define PANDIA_SRC_PREDICTOR_OPTIMIZER_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/predictor/predictor.h"
+#include "src/topology/placement.h"
+
+namespace pandia {
+
+struct RankedPlacement {
+  Placement placement;
+  Prediction prediction;
+};
+
+struct OptimizerOptions {
+  // When the canonical placement space is larger than this, placements are
+  // sampled instead of enumerated.
+  uint64_t exhaustive_limit = 25000;
+  size_t sample_count = 4000;
+  uint64_t sample_seed = 1;
+  // Optional admission constraint on candidate placements (e.g. "no SMT",
+  // "at most one socket" when other tenants own the rest of the machine).
+  std::function<bool(const Placement&)> constraint;
+};
+
+// Common constraints for the optimizer (and for eval sweeps).
+std::function<bool(const Placement&)> NoSmtConstraint();
+std::function<bool(const Placement&)> MaxSocketsConstraint(int max_sockets);
+std::function<bool(const Placement&)> MaxThreadsConstraint(int max_threads);
+
+// Predicts every canonical placement (or a deterministic sample on very
+// large machines) and returns the one with the highest predicted speedup.
+RankedPlacement FindBestPlacement(const Predictor& predictor,
+                                  const OptimizerOptions& options = {});
+
+// Returns the best placements in descending predicted-speedup order (at
+// most `top_k`).
+std::vector<RankedPlacement> RankPlacements(const Predictor& predictor, size_t top_k,
+                                            const OptimizerOptions& options = {});
+
+// Smallest placement (fewest hardware threads, then fewest active sockets)
+// whose predicted speedup is at least `target_fraction` of the best
+// predicted speedup. Identifies over-provisioning: when scaling is poor, a
+// few cores deliver almost all of the achievable performance.
+std::optional<RankedPlacement> FindCheapestPlacement(
+    const Predictor& predictor, double target_fraction,
+    const OptimizerOptions& options = {});
+
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_PREDICTOR_OPTIMIZER_H_

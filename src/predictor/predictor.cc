@@ -1,0 +1,28 @@
+#include "src/predictor/predictor.h"
+
+#include "src/predictor/co_schedule.h"
+#include "src/util/check.h"
+
+namespace pandia {
+
+Predictor::Predictor(MachineDescription machine, WorkloadDescription workload,
+                     PredictionOptions options)
+    : machine_(std::move(machine)),
+      workload_(std::move(workload)),
+      options_(options) {
+  PANDIA_CHECK(workload_.t1 > 0.0);
+  PANDIA_CHECK(workload_.parallel_fraction >= 0.0 && workload_.parallel_fraction <= 1.0);
+  PANDIA_CHECK(workload_.load_balance >= 0.0 && workload_.load_balance <= 1.0);
+}
+
+Prediction Predictor::Predict(const Placement& placement) const {
+  // The single-workload model (§5) is the one-job case of the co-scheduling
+  // engine; see co_schedule.cc for the iterative model itself.
+  const CoSchedulePredictor engine(machine_, options_);
+  const CoScheduleRequest request{&workload_, placement};
+  CoSchedulePrediction joint =
+      engine.Predict(std::span<const CoScheduleRequest>(&request, 1));
+  return std::move(joint.jobs.front());
+}
+
+}  // namespace pandia

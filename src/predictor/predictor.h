@@ -1,0 +1,89 @@
+// The Pandia performance predictor (paper §5).
+//
+// Given a machine description, a workload description, and a proposed
+// thread placement, predicts the workload's speedup relative to its
+// single-thread time. The prediction combines an Amdahl's-law speedup with
+// per-thread slowdowns from three iteratively refined sources:
+//
+//   1. resource contention — each thread is slowed by the oversubscription
+//      factor of its most contended resource, plus the core-burstiness
+//      penalty when threads share a core (§5.1);
+//   2. inter-socket communication — per-remote-peer latency o_s, charged
+//      between the lockstep and work-weighted extremes according to the
+//      load-balancing factor l (§5.2);
+//   3. load balancing — threads are pulled toward the slowest thread's
+//      slowdown when work cannot be redistributed (§5.3).
+//
+// Thread-utilization factors scale each thread's demands by the fraction of
+// time it is busy, and carry information between iterations (§5.4). The
+// final speedup is Amdahl's speedup times the mean reciprocal slowdown
+// (§5.5).
+#ifndef PANDIA_SRC_PREDICTOR_PREDICTOR_H_
+#define PANDIA_SRC_PREDICTOR_PREDICTOR_H_
+
+#include <vector>
+
+#include "src/machine_desc/machine_description.h"
+#include "src/topology/placement.h"
+#include "src/workload_desc/description.h"
+
+namespace pandia {
+
+struct PredictionOptions {
+  int max_iterations = 1000;
+  double convergence_eps = 1e-6;
+  // §5.4: a dampening function engages after 100 iterations to prevent
+  // oscillation.
+  int dampen_after = 100;
+
+  // Ablation switches (all on for the paper's model; see bench/abl_model_terms).
+  bool model_burstiness = true;
+  bool model_communication = true;
+  bool model_load_balance = true;
+  bool iterate = true;  // false: stop after the first iteration
+};
+
+struct ThreadPrediction {
+  ThreadLocation location;
+  double resource_slowdown = 1.0;  // incl. burstiness
+  double comm_penalty = 0.0;
+  double balance_penalty = 0.0;
+  double overall_slowdown = 1.0;
+  double utilization = 1.0;        // final thread-utilization factor
+  int bottleneck = -1;             // ResourceIndex of the binding resource
+};
+
+struct Prediction {
+  double amdahl_speedup = 1.0;
+  double speedup = 1.0;   // predicted speedup over t1
+  double time = 0.0;      // predicted execution time (t1 / speedup)
+  int iterations = 0;
+  bool converged = false;
+  std::vector<ThreadPrediction> threads;
+  // Modeled load on every resource (ResourceIndex order) at the final
+  // utilizations — Pandia's resource-consumption prediction (§1, §6.3).
+  std::vector<double> resource_load;
+};
+
+class Predictor {
+ public:
+  // The descriptions are copied; `options` tunes iteration and ablations.
+  Predictor(MachineDescription machine, WorkloadDescription workload,
+            PredictionOptions options = {});
+
+  // Predicts performance for `placement`, which must match the machine
+  // description's topology shape.
+  Prediction Predict(const Placement& placement) const;
+
+  const MachineDescription& machine() const { return machine_; }
+  const WorkloadDescription& workload() const { return workload_; }
+
+ private:
+  MachineDescription machine_;
+  WorkloadDescription workload_;
+  PredictionOptions options_;
+};
+
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_PREDICTOR_PREDICTOR_H_

@@ -1,0 +1,62 @@
+#include "src/predictor/report.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/topology/resource_index.h"
+#include "src/util/check.h"
+#include "src/util/strings.h"
+
+namespace pandia {
+namespace {
+
+struct Row {
+  ThreadPrediction sample;
+  int count = 1;
+};
+
+bool SameClass(const ThreadPrediction& a, const ThreadPrediction& b) {
+  auto close = [](double x, double y) { return std::fabs(x - y) < 5e-3; };
+  return a.location.socket == b.location.socket && a.bottleneck == b.bottleneck &&
+         close(a.resource_slowdown, b.resource_slowdown) &&
+         close(a.comm_penalty, b.comm_penalty) &&
+         close(a.balance_penalty, b.balance_penalty);
+}
+
+}  // namespace
+
+std::string ExplainPrediction(const MachineDescription& machine,
+                              const Placement& placement,
+                              const Prediction& prediction) {
+  PANDIA_CHECK(static_cast<int>(prediction.threads.size()) == placement.TotalThreads());
+  const ResourceIndex index(machine.topo);
+
+  std::vector<Row> rows;
+  for (const ThreadPrediction& thread : prediction.threads) {
+    if (!rows.empty() && SameClass(rows.back().sample, thread)) {
+      ++rows.back().count;
+    } else {
+      rows.push_back(Row{thread, 1});
+    }
+  }
+
+  std::string out = StrFormat("prediction for %s\n", placement.ToString().c_str());
+  out += StrFormat(
+      "  Amdahl speedup %.2f, predicted speedup %.2f (time %.2f), %d iterations%s\n",
+      prediction.amdahl_speedup, prediction.speedup, prediction.time,
+      prediction.iterations, prediction.converged ? "" : " (NOT converged)");
+  out += StrFormat("  %-8s %-7s %-10s %-7s %-9s %-9s %-6s %s\n", "threads", "socket",
+                   "resource", "+comm", "+balance", "overall", "util", "bottleneck");
+  for (const Row& row : rows) {
+    out += StrFormat("  %-8d %-7d %-10.2f %-7.2f %-9.2f %-9.2f %-6.2f %s\n", row.count,
+                     row.sample.location.socket, row.sample.resource_slowdown,
+                     row.sample.comm_penalty, row.sample.balance_penalty,
+                     row.sample.overall_slowdown, row.sample.utilization,
+                     row.sample.bottleneck >= 0
+                         ? index.Name(row.sample.bottleneck).c_str()
+                         : "-");
+  }
+  return out;
+}
+
+}  // namespace pandia

@@ -1,0 +1,25 @@
+// Human-readable prediction reports in the style of the paper's worked
+// example (Figure 7): per-thread slowdown decomposition — resource
+// contention, communication penalty, load-balance penalty — plus the named
+// bottleneck resource, utilizations, and the final speedup.
+#ifndef PANDIA_SRC_PREDICTOR_REPORT_H_
+#define PANDIA_SRC_PREDICTOR_REPORT_H_
+
+#include <string>
+
+#include "src/machine_desc/machine_description.h"
+#include "src/predictor/predictor.h"
+#include "src/topology/placement.h"
+
+namespace pandia {
+
+// Renders the prediction as a table. Threads with identical locations-class
+// and penalties are folded into one row with a multiplicity column, so full
+// 72-thread placements stay readable.
+std::string ExplainPrediction(const MachineDescription& machine,
+                              const Placement& placement,
+                              const Prediction& prediction);
+
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_PREDICTOR_REPORT_H_

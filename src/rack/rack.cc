@@ -1,0 +1,324 @@
+#include "src/rack/rack.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "src/util/check.h"
+
+namespace pandia {
+namespace rack {
+namespace {
+
+// Per-core thread counts for `t` threads on one socket of a partially
+// occupied machine. Spread variant: empty cores first (no co-location),
+// then SMT slots next to residents, then own SMT pairs. Packed variant:
+// fill each empty core completely before touching the next.
+bool BuildSocketVariant(const MachineTopology& topo, int socket, int t, bool spread,
+                        const std::vector<uint8_t>& free, std::vector<uint8_t>& out) {
+  const int first = topo.FirstCoreOfSocket(socket);
+  std::vector<int> empty;  // free == 2
+  std::vector<int> half;   // free == 1
+  for (int i = 0; i < topo.cores_per_socket; ++i) {
+    const int core = first + i;
+    if (free[core] >= 2) {
+      empty.push_back(core);
+    } else if (free[core] == 1) {
+      half.push_back(core);
+    }
+  }
+  int remaining = t;
+  if (spread) {
+    for (int core : empty) {
+      if (remaining == 0) {
+        break;
+      }
+      out[core] += 1;
+      --remaining;
+    }
+    for (int core : half) {
+      if (remaining == 0) {
+        break;
+      }
+      out[core] += 1;
+      --remaining;
+    }
+    for (int core : empty) {  // second pass: own SMT pairs
+      if (remaining == 0) {
+        break;
+      }
+      out[core] += 1;
+      --remaining;
+    }
+  } else {
+    for (int core : empty) {
+      while (remaining > 0 && out[core] < free[core]) {
+        out[core] += 1;
+        --remaining;
+      }
+    }
+    for (int core : half) {
+      if (remaining == 0) {
+        break;
+      }
+      out[core] += 1;
+      --remaining;
+    }
+  }
+  return remaining == 0;
+}
+
+int FreeOnSocket(const MachineTopology& topo, int socket,
+                 const std::vector<uint8_t>& free) {
+  int total = 0;
+  for (int i = 0; i < topo.cores_per_socket; ++i) {
+    total += free[topo.FirstCoreOfSocket(socket) + i];
+  }
+  return total;
+}
+
+}  // namespace
+
+std::string PolicyName(Policy policy) {
+  switch (policy) {
+    case Policy::kFirstFit:
+      return "first-fit";
+    case Policy::kBestSpeedup:
+      return "best-speedup";
+    case Policy::kLeastInterference:
+      return "least-interference";
+  }
+  return "unknown";
+}
+
+std::optional<Placement> PlaceLoadsOnFreeCores(const MachineTopology& topo,
+                                               std::span<const SocketLoad> loads,
+                                               const std::vector<uint8_t>& free) {
+  PANDIA_CHECK(static_cast<int>(loads.size()) == topo.num_sockets);
+  PANDIA_CHECK(static_cast<int>(free.size()) == topo.NumCores());
+  std::vector<uint8_t> per_core(static_cast<size_t>(topo.NumCores()), 0);
+  for (int s = 0; s < topo.num_sockets; ++s) {
+    int doubles = loads[s].doubles;
+    int singles = loads[s].singles;
+    const int first = topo.FirstCoreOfSocket(s);
+    // Doubles need fully free cores.
+    for (int i = 0; i < topo.cores_per_socket && doubles > 0; ++i) {
+      const int core = first + i;
+      if (free[core] >= 2 && per_core[core] == 0) {
+        per_core[core] = 2;
+        --doubles;
+      }
+    }
+    if (doubles > 0) {
+      return std::nullopt;
+    }
+    // Singles prefer half-occupied cores, then untouched free cores.
+    for (int pass = 0; pass < 2 && singles > 0; ++pass) {
+      for (int i = 0; i < topo.cores_per_socket && singles > 0; ++i) {
+        const int core = first + i;
+        if (per_core[core] != 0) {
+          continue;
+        }
+        const bool half = free[core] == 1;
+        if ((pass == 0 && half) || (pass == 1 && free[core] >= 1)) {
+          per_core[core] = 1;
+          --singles;
+        }
+      }
+    }
+    if (singles > 0) {
+      return std::nullopt;
+    }
+  }
+  int total = std::accumulate(per_core.begin(), per_core.end(), 0);
+  if (total == 0) {
+    return std::nullopt;
+  }
+  return Placement(topo, std::move(per_core));
+}
+
+RackScheduler::RackScheduler(std::vector<RackMachine> machines,
+                             PredictionOptions options)
+    : machines_(std::move(machines)), options_(options) {
+  PANDIA_CHECK(!machines_.empty());
+  residents_.resize(machines_.size());
+}
+
+const std::vector<RackScheduler::Resident>& RackScheduler::ResidentsOf(
+    int machine_index) const {
+  PANDIA_CHECK(machine_index >= 0 &&
+               static_cast<size_t>(machine_index) < residents_.size());
+  return residents_[machine_index];
+}
+
+void RackScheduler::Reset() {
+  for (auto& residents : residents_) {
+    residents.clear();
+  }
+}
+
+std::vector<uint8_t> RackScheduler::FreeThreads(int machine_index) const {
+  const MachineTopology& topo = machines_[machine_index].description.topo;
+  std::vector<uint8_t> free(static_cast<size_t>(topo.NumCores()),
+                            static_cast<uint8_t>(topo.threads_per_core));
+  for (const Resident& resident : residents_[machine_index]) {
+    for (int c = 0; c < topo.NumCores(); ++c) {
+      const int used = resident.placement.ThreadsOnCore(c);
+      PANDIA_CHECK(free[c] >= used);
+      free[c] = static_cast<uint8_t>(free[c] - used);
+    }
+  }
+  return free;
+}
+
+std::optional<RackScheduler::Candidate> RackScheduler::BestCandidateOn(
+    int machine_index, const JobRequest& job, Policy policy) const {
+  const RackMachine& machine = machines_[machine_index];
+  const MachineTopology& topo = machine.description.topo;
+  const auto desc_it = job.descriptions.find(topo.name);
+  if (desc_it == job.descriptions.end()) {
+    return std::nullopt;  // no description for this machine type
+  }
+  const WorkloadDescription& workload = desc_it->second;
+  const std::vector<uint8_t> free = FreeThreads(machine_index);
+
+  // Candidate generation (heuristic, bounded): for every feasible thread
+  // count up to the request, split the threads over the k most-free sockets
+  // (k = 1..num_sockets) as evenly as possible, in a spread and a packed
+  // per-core variant.
+  std::vector<int> socket_order(static_cast<size_t>(topo.num_sockets));
+  std::iota(socket_order.begin(), socket_order.end(), 0);
+  std::stable_sort(socket_order.begin(), socket_order.end(), [&](int a, int b) {
+    return FreeOnSocket(topo, a, free) > FreeOnSocket(topo, b, free);
+  });
+  int capacity = 0;
+  for (uint8_t f : free) {
+    capacity += f;
+  }
+  const int want = std::min(job.requested_threads, capacity);
+  if (want <= 0) {
+    return std::nullopt;
+  }
+
+  // Aggregate speedup of the machine's residents before the new job, so
+  // the interference objective scores the *change* caused by admitting it
+  // (a plain after-sum would reward already-busy machines).
+  double before_total = 0.0;
+  if (!residents_[machine_index].empty()) {
+    std::vector<CoScheduleRequest> requests;
+    requests.reserve(residents_[machine_index].size());
+    for (const Resident& resident : residents_[machine_index]) {
+      requests.push_back(CoScheduleRequest{&resident.description, resident.placement});
+    }
+    const CoSchedulePredictor engine(machine.description, options_);
+    for (const Prediction& prediction : engine.Predict(requests).jobs) {
+      before_total += prediction.speedup;
+    }
+  }
+
+  std::set<std::vector<uint8_t>> seen;
+  std::optional<Candidate> best;
+  for (int total = 1; total <= want; ++total) {
+    for (int k = 1; k <= topo.num_sockets; ++k) {
+      for (const bool spread : {true, false}) {
+        std::vector<uint8_t> per_core(static_cast<size_t>(topo.NumCores()), 0);
+        int remaining = total;
+        bool ok = true;
+        for (int i = 0; i < k && ok; ++i) {
+          const int share = remaining / (k - i) + (remaining % (k - i) != 0 ? 1 : 0);
+          const int socket = socket_order[i];
+          const int here = std::min(share, FreeOnSocket(topo, socket, free));
+          ok = BuildSocketVariant(topo, socket, here, spread, free, per_core);
+          remaining -= here;
+        }
+        if (!ok || remaining != 0) {
+          continue;
+        }
+        if (!seen.insert(per_core).second) {
+          continue;
+        }
+        const Placement placement(topo, per_core);
+
+        // Joint prediction with the machine's residents.
+        std::vector<CoScheduleRequest> requests;
+        requests.reserve(residents_[machine_index].size() + 1);
+        for (const Resident& resident : residents_[machine_index]) {
+          requests.push_back(
+              CoScheduleRequest{&resident.description, resident.placement});
+        }
+        requests.push_back(CoScheduleRequest{&workload, placement});
+        const CoSchedulePredictor engine(machine.description, options_);
+        const CoSchedulePrediction joint = engine.Predict(requests);
+        Candidate candidate{placement, joint.jobs.back().speedup, 0.0};
+        for (const Prediction& prediction : joint.jobs) {
+          candidate.total_speedup += prediction.speedup;
+        }
+        candidate.total_speedup -= before_total;  // net rack-wide gain
+        const bool better = [&] {
+          if (!best.has_value()) {
+            return true;
+          }
+          if (policy == Policy::kLeastInterference) {
+            return candidate.total_speedup > best->total_speedup;
+          }
+          return candidate.job_speedup > best->job_speedup;
+        }();
+        if (better) {
+          best = std::move(candidate);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<Assignment> RackScheduler::Schedule(std::span<const JobRequest> jobs,
+                                                Policy policy) {
+  std::vector<Assignment> assignments;
+  assignments.reserve(jobs.size());
+  for (const JobRequest& job : jobs) {
+    PANDIA_CHECK(job.requested_threads > 0);
+    Assignment assignment;
+    assignment.job = job.name;
+    std::optional<Candidate> chosen;
+    int chosen_machine = -1;
+    for (size_t m = 0; m < machines_.size(); ++m) {
+      const std::optional<Candidate> candidate =
+          BestCandidateOn(static_cast<int>(m), job, policy);
+      if (!candidate.has_value()) {
+        continue;
+      }
+      if (policy == Policy::kFirstFit) {
+        chosen = candidate;
+        chosen_machine = static_cast<int>(m);
+        break;
+      }
+      const bool better = [&] {
+        if (!chosen.has_value()) {
+          return true;
+        }
+        if (policy == Policy::kLeastInterference) {
+          return candidate->total_speedup > chosen->total_speedup;
+        }
+        return candidate->job_speedup > chosen->job_speedup;
+      }();
+      if (better) {
+        chosen = candidate;
+        chosen_machine = static_cast<int>(m);
+      }
+    }
+    if (chosen.has_value()) {
+      assignment.machine_index = chosen_machine;
+      assignment.placement = chosen->placement;
+      assignment.predicted_speedup = chosen->job_speedup;
+      const MachineTopology& topo = machines_[chosen_machine].description.topo;
+      residents_[chosen_machine].push_back(
+          Resident{job.descriptions.at(topo.name), *assignment.placement});
+    }
+    assignments.push_back(std::move(assignment));
+  }
+  return assignments;
+}
+
+}  // namespace rack
+}  // namespace pandia

@@ -1,0 +1,110 @@
+// Rack-scale scheduling — the last §8 future-work item: "extend Pandia from
+// scheduling a single workload on a single machine to the scheduling of
+// multiple workloads on a rack-scale system".
+//
+// A rack is a set of machines (possibly of different types), each described
+// by its machine description. Jobs arrive with one workload description per
+// machine type (descriptions are machine-specific, §4). The scheduler
+// assigns each job to one machine and one placement on that machine's free
+// hardware threads, using the co-scheduling predictor to account for the
+// jobs already running there.
+#ifndef PANDIA_SRC_RACK_RACK_H_
+#define PANDIA_SRC_RACK_RACK_H_
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/machine_desc/machine_description.h"
+#include "src/predictor/co_schedule.h"
+#include "src/topology/placement.h"
+#include "src/workload_desc/description.h"
+
+namespace pandia {
+namespace rack {
+
+struct RackMachine {
+  std::string name;  // instance name, e.g. "node0"
+  MachineDescription description;
+};
+
+struct JobRequest {
+  std::string name;
+  // Workload description per machine *type* (MachineDescription.topo.name).
+  // A job can only be placed on machines whose type it has a description
+  // for.
+  std::map<std::string, WorkloadDescription> descriptions;
+  // Threads the job wants; the scheduler may trim to what fits.
+  int requested_threads = 0;
+};
+
+struct Assignment {
+  std::string job;
+  int machine_index = -1;  // -1: the job could not be placed
+  std::optional<Placement> placement;
+  // Predicted speedup (relative to the job's t1 on that machine type) under
+  // the machine's predicted co-location at assignment time.
+  double predicted_speedup = 0.0;
+};
+
+enum class Policy {
+  kFirstFit,           // first machine with room, best placement there
+  kBestSpeedup,        // machine+placement maximizing the job's own speedup
+  kLeastInterference,  // maximize the sum of speedups of all jobs on the
+                       // chosen machine (new job included)
+};
+
+std::string PolicyName(Policy policy);
+
+// Builds a placement with the given per-socket loads using only free
+// hardware threads (free[c] in [0, threads_per_core]). Doubles take cores
+// with two free slots; singles prefer half-occupied cores. Returns nullopt
+// when the loads do not fit.
+std::optional<Placement> PlaceLoadsOnFreeCores(const MachineTopology& topo,
+                                               std::span<const SocketLoad> loads,
+                                               const std::vector<uint8_t>& free);
+
+class RackScheduler {
+ public:
+  explicit RackScheduler(std::vector<RackMachine> machines,
+                         PredictionOptions options = {});
+
+  // Assigns jobs online, in order. Jobs that fit nowhere get
+  // machine_index = -1.
+  std::vector<Assignment> Schedule(std::span<const JobRequest> jobs, Policy policy);
+
+  const std::vector<RackMachine>& machines() const { return machines_; }
+
+  // Jobs currently assigned to a machine (for inspection and validation).
+  // Descriptions are stored by value, so assignments outlive the requests.
+  struct Resident {
+    WorkloadDescription description;
+    Placement placement;
+  };
+  const std::vector<Resident>& ResidentsOf(int machine_index) const;
+
+  // Clears all assignments.
+  void Reset();
+
+ private:
+  struct Candidate {
+    Placement placement;
+    double job_speedup = 0.0;
+    double total_speedup = 0.0;  // net change in the machine's aggregate speedup
+  };
+
+  std::optional<Candidate> BestCandidateOn(int machine_index, const JobRequest& job,
+                                           Policy policy) const;
+  std::vector<uint8_t> FreeThreads(int machine_index) const;
+
+  std::vector<RackMachine> machines_;
+  PredictionOptions options_;
+  std::vector<std::vector<Resident>> residents_;
+};
+
+}  // namespace rack
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_RACK_RACK_H_

@@ -1,0 +1,312 @@
+#include "src/serialize/serialize.h"
+
+#include <cstdio>
+#include <map>
+
+#include "src/util/strings.h"
+
+namespace pandia {
+namespace {
+
+constexpr const char* kMachineMagic = "pandia-machine-description v1";
+constexpr const char* kWorkloadMagic = "pandia-workload-description v1";
+
+// Minimal key=value document: first line is the magic, then one `key = value`
+// per line; '#' starts a comment; blank lines are ignored.
+class Document {
+ public:
+  static std::optional<Document> Parse(const std::string& text, const char* magic,
+                                       std::string* error) {
+    Document doc;
+    bool saw_magic = false;
+    for (std::string line : StrSplit(text, '\n')) {
+      const size_t comment = line.find('#');
+      if (comment != std::string::npos) {
+        line = line.substr(0, comment);
+      }
+      // Trim.
+      const size_t begin = line.find_first_not_of(" \t\r");
+      if (begin == std::string::npos) {
+        continue;
+      }
+      const size_t end = line.find_last_not_of(" \t\r");
+      line = line.substr(begin, end - begin + 1);
+      if (!saw_magic) {
+        if (line != magic) {
+          Fail(error, StrFormat("expected magic '%s', got '%s'", magic, line.c_str()));
+          return std::nullopt;
+        }
+        saw_magic = true;
+        continue;
+      }
+      const size_t eq = line.find('=');
+      if (eq == std::string::npos) {
+        Fail(error, StrFormat("malformed line '%s'", line.c_str()));
+        return std::nullopt;
+      }
+      std::string key = line.substr(0, eq);
+      std::string value = line.substr(eq + 1);
+      const size_t key_end = key.find_last_not_of(" \t");
+      key = key_end == std::string::npos ? "" : key.substr(0, key_end + 1);
+      const size_t value_begin = value.find_first_not_of(" \t");
+      value = value_begin == std::string::npos ? "" : value.substr(value_begin);
+      if (key.empty()) {
+        Fail(error, StrFormat("empty key in '%s'", line.c_str()));
+        return std::nullopt;
+      }
+      doc.values_[key] = value;
+    }
+    if (!saw_magic) {
+      Fail(error, StrFormat("missing magic line '%s'", magic));
+      return std::nullopt;
+    }
+    return doc;
+  }
+
+  std::optional<std::string> GetString(const char* key, std::string* error) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      Fail(error, StrFormat("missing key '%s'", key));
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  std::optional<double> GetDouble(const char* key, std::string* error) const {
+    const std::optional<std::string> raw = GetString(key, error);
+    if (!raw.has_value()) {
+      return std::nullopt;
+    }
+    char* end = nullptr;
+    const double value = std::strtod(raw->c_str(), &end);
+    if (end == raw->c_str() || *end != '\0') {
+      Fail(error, StrFormat("key '%s' has non-numeric value '%s'", key, raw->c_str()));
+      return std::nullopt;
+    }
+    return value;
+  }
+
+  std::optional<int> GetInt(const char* key, std::string* error) const {
+    const std::optional<double> value = GetDouble(key, error);
+    if (!value.has_value()) {
+      return std::nullopt;
+    }
+    const int i = static_cast<int>(*value);
+    if (static_cast<double>(i) != *value) {
+      Fail(error, StrFormat("key '%s' is not an integer", key));
+      return std::nullopt;
+    }
+    return i;
+  }
+
+ private:
+  static void Fail(std::string* error, std::string message) {
+    if (error != nullptr) {
+      *error = std::move(message);
+    }
+  }
+
+  std::map<std::string, std::string> values_;
+};
+
+std::optional<MemoryPolicy> PolicyFromName(const std::string& name) {
+  for (MemoryPolicy policy :
+       {MemoryPolicy::kLocal, MemoryPolicy::kInterleaveAll,
+        MemoryPolicy::kInterleaveActive, MemoryPolicy::kHomeSocket}) {
+    if (MemoryPolicyName(policy) == name) {
+      return policy;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string MachineDescriptionToText(const MachineDescription& desc) {
+  std::string out = StrFormat("%s\n", kMachineMagic);
+  out += StrFormat("machine = %s\n", desc.topo.name.c_str());
+  out += StrFormat("sockets = %d\n", desc.topo.num_sockets);
+  out += StrFormat("cores_per_socket = %d\n", desc.topo.cores_per_socket);
+  out += StrFormat("threads_per_core = %d\n", desc.topo.threads_per_core);
+  out += StrFormat("l1_size = %.17g\n", desc.topo.l1_size);
+  out += StrFormat("l2_size = %.17g\n", desc.topo.l2_size);
+  out += StrFormat("l3_size = %.17g\n", desc.topo.l3_size);
+  out += "# measured capacities (consistent units; §3)\n";
+  out += StrFormat("core_ops = %.17g\n", desc.core_ops);
+  out += StrFormat("smt_combined_ops = %.17g\n", desc.smt_combined_ops);
+  out += StrFormat("l1_bw = %.17g\n", desc.l1_bw);
+  out += StrFormat("l2_bw = %.17g\n", desc.l2_bw);
+  out += StrFormat("l3_port_bw = %.17g\n", desc.l3_port_bw);
+  out += StrFormat("l3_agg_bw = %.17g\n", desc.l3_agg_bw);
+  out += StrFormat("dram_bw = %.17g\n", desc.dram_bw);
+  out += StrFormat("link_bw = %.17g\n", desc.link_bw);
+  return out;
+}
+
+std::optional<MachineDescription> MachineDescriptionFromText(const std::string& text,
+                                                             std::string* error) {
+  const std::optional<Document> doc = Document::Parse(text, kMachineMagic, error);
+  if (!doc.has_value()) {
+    return std::nullopt;
+  }
+  MachineDescription desc;
+  const std::optional<std::string> name = doc->GetString("machine", error);
+  const std::optional<int> sockets = doc->GetInt("sockets", error);
+  const std::optional<int> cores = doc->GetInt("cores_per_socket", error);
+  const std::optional<int> smt = doc->GetInt("threads_per_core", error);
+  const std::optional<double> l1_size = doc->GetDouble("l1_size", error);
+  const std::optional<double> l2_size = doc->GetDouble("l2_size", error);
+  const std::optional<double> l3_size = doc->GetDouble("l3_size", error);
+  const std::optional<double> core_ops = doc->GetDouble("core_ops", error);
+  const std::optional<double> smt_ops = doc->GetDouble("smt_combined_ops", error);
+  const std::optional<double> l1_bw = doc->GetDouble("l1_bw", error);
+  const std::optional<double> l2_bw = doc->GetDouble("l2_bw", error);
+  const std::optional<double> l3_port = doc->GetDouble("l3_port_bw", error);
+  const std::optional<double> l3_agg = doc->GetDouble("l3_agg_bw", error);
+  const std::optional<double> dram = doc->GetDouble("dram_bw", error);
+  const std::optional<double> link = doc->GetDouble("link_bw", error);
+  if (!name || !sockets || !cores || !smt || !l1_size || !l2_size || !l3_size ||
+      !core_ops || !smt_ops || !l1_bw || !l2_bw || !l3_port || !l3_agg || !dram ||
+      !link) {
+    return std::nullopt;
+  }
+  desc.topo = MachineTopology{.name = *name,
+                              .num_sockets = *sockets,
+                              .cores_per_socket = *cores,
+                              .threads_per_core = *smt,
+                              .l1_size = *l1_size,
+                              .l2_size = *l2_size,
+                              .l3_size = *l3_size};
+  if (desc.topo.num_sockets <= 0 || desc.topo.cores_per_socket <= 0 ||
+      desc.topo.threads_per_core <= 0) {
+    if (error != nullptr) {
+      *error = "non-positive topology dimensions";
+    }
+    return std::nullopt;
+  }
+  desc.core_ops = *core_ops;
+  desc.smt_combined_ops = *smt_ops;
+  desc.l1_bw = *l1_bw;
+  desc.l2_bw = *l2_bw;
+  desc.l3_port_bw = *l3_port;
+  desc.l3_agg_bw = *l3_agg;
+  desc.dram_bw = *dram;
+  desc.link_bw = *link;
+  return desc;
+}
+
+std::string WorkloadDescriptionToText(const WorkloadDescription& desc) {
+  std::string out = StrFormat("%s\n", kWorkloadMagic);
+  out += StrFormat("workload = %s\n", desc.workload.c_str());
+  out += StrFormat("machine = %s\n", desc.machine.c_str());
+  out += "# step 1: single-thread time and demand vector d (§4.1)\n";
+  out += StrFormat("t1 = %.17g\n", desc.t1);
+  out += StrFormat("instr_rate = %.17g\n", desc.demands.instr_rate);
+  out += StrFormat("l1_bw = %.17g\n", desc.demands.l1_bw);
+  out += StrFormat("l2_bw = %.17g\n", desc.demands.l2_bw);
+  out += StrFormat("l3_bw = %.17g\n", desc.demands.l3_bw);
+  out += StrFormat("dram_local_bw = %.17g\n", desc.demands.dram_local_bw);
+  out += StrFormat("dram_remote_bw = %.17g\n", desc.demands.dram_remote_bw);
+  out += "# steps 2-5 (§4.2-§4.5)\n";
+  out += StrFormat("parallel_fraction = %.17g\n", desc.parallel_fraction);
+  out += StrFormat("inter_socket_overhead = %.17g\n", desc.inter_socket_overhead);
+  out += StrFormat("load_balance = %.17g\n", desc.load_balance);
+  out += StrFormat("burstiness = %.17g\n", desc.burstiness);
+  out += StrFormat("memory_policy = %s\n", MemoryPolicyName(desc.memory_policy).c_str());
+  out += "# profiling bookkeeping\n";
+  out += StrFormat("profile_threads = %d\n", desc.profile_threads);
+  out += StrFormat("r2 = %.17g\n", desc.r2);
+  out += StrFormat("r3 = %.17g\n", desc.r3);
+  out += StrFormat("r4 = %.17g\n", desc.r4);
+  out += StrFormat("r5 = %.17g\n", desc.r5);
+  out += StrFormat("r6 = %.17g\n", desc.r6);
+  return out;
+}
+
+std::optional<WorkloadDescription> WorkloadDescriptionFromText(const std::string& text,
+                                                               std::string* error) {
+  const std::optional<Document> doc = Document::Parse(text, kWorkloadMagic, error);
+  if (!doc.has_value()) {
+    return std::nullopt;
+  }
+  WorkloadDescription desc;
+  const std::optional<std::string> workload = doc->GetString("workload", error);
+  const std::optional<std::string> machine = doc->GetString("machine", error);
+  const std::optional<double> t1 = doc->GetDouble("t1", error);
+  const std::optional<double> instr = doc->GetDouble("instr_rate", error);
+  const std::optional<double> l1 = doc->GetDouble("l1_bw", error);
+  const std::optional<double> l2 = doc->GetDouble("l2_bw", error);
+  const std::optional<double> l3 = doc->GetDouble("l3_bw", error);
+  const std::optional<double> dram_local = doc->GetDouble("dram_local_bw", error);
+  const std::optional<double> dram_remote = doc->GetDouble("dram_remote_bw", error);
+  const std::optional<double> p = doc->GetDouble("parallel_fraction", error);
+  const std::optional<double> os = doc->GetDouble("inter_socket_overhead", error);
+  const std::optional<double> l = doc->GetDouble("load_balance", error);
+  const std::optional<double> b = doc->GetDouble("burstiness", error);
+  const std::optional<std::string> policy_name = doc->GetString("memory_policy", error);
+  const std::optional<int> profile_threads = doc->GetInt("profile_threads", error);
+  const std::optional<double> r2 = doc->GetDouble("r2", error);
+  const std::optional<double> r3 = doc->GetDouble("r3", error);
+  const std::optional<double> r4 = doc->GetDouble("r4", error);
+  const std::optional<double> r5 = doc->GetDouble("r5", error);
+  const std::optional<double> r6 = doc->GetDouble("r6", error);
+  if (!workload || !machine || !t1 || !instr || !l1 || !l2 || !l3 || !dram_local ||
+      !dram_remote || !p || !os || !l || !b || !policy_name || !profile_threads ||
+      !r2 || !r3 || !r4 || !r5 || !r6) {
+    return std::nullopt;
+  }
+  const std::optional<MemoryPolicy> policy = PolicyFromName(*policy_name);
+  if (!policy.has_value()) {
+    if (error != nullptr) {
+      *error = StrFormat("unknown memory policy '%s'", policy_name->c_str());
+    }
+    return std::nullopt;
+  }
+  desc.workload = *workload;
+  desc.machine = *machine;
+  desc.t1 = *t1;
+  desc.demands = ResourceDemandVector{*instr, *l1, *l2, *l3, *dram_local, *dram_remote};
+  desc.parallel_fraction = *p;
+  desc.inter_socket_overhead = *os;
+  desc.load_balance = *l;
+  desc.burstiness = *b;
+  desc.memory_policy = *policy;
+  desc.profile_threads = *profile_threads;
+  desc.r2 = *r2;
+  desc.r3 = *r3;
+  desc.r4 = *r4;
+  desc.r5 = *r5;
+  desc.r6 = *r6;
+  return desc;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), file);
+  const bool ok = std::fclose(file) == 0 && written == content.size();
+  return ok;
+}
+
+std::optional<std::string> ReadTextFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return std::nullopt;
+  }
+  std::string content;
+  char buffer[4096];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    content.append(buffer, got);
+  }
+  const bool ok = std::ferror(file) == 0;
+  std::fclose(file);
+  if (!ok) {
+    return std::nullopt;
+  }
+  return content;
+}
+
+}  // namespace pandia

@@ -1,0 +1,34 @@
+// Textual serialization of machine and workload descriptions.
+//
+// A machine description is created once per machine (§3) and a workload
+// description once per workload per machine (§4); both are meant to be
+// stored and shipped (the portability study of §6.1 moves workload
+// descriptions between machines). The format is a line-based `key = value`
+// text with '#' comments, stable across versions via a leading magic line.
+#ifndef PANDIA_SRC_SERIALIZE_SERIALIZE_H_
+#define PANDIA_SRC_SERIALIZE_SERIALIZE_H_
+
+#include <optional>
+#include <string>
+
+#include "src/machine_desc/machine_description.h"
+#include "src/workload_desc/description.h"
+
+namespace pandia {
+
+std::string MachineDescriptionToText(const MachineDescription& desc);
+std::optional<MachineDescription> MachineDescriptionFromText(const std::string& text,
+                                                             std::string* error = nullptr);
+
+std::string WorkloadDescriptionToText(const WorkloadDescription& desc);
+std::optional<WorkloadDescription> WorkloadDescriptionFromText(
+    const std::string& text, std::string* error = nullptr);
+
+// Whole-file convenience wrappers. Write returns false on I/O failure; Read
+// returns nullopt on I/O or parse failure.
+bool WriteTextFile(const std::string& path, const std::string& content);
+std::optional<std::string> ReadTextFile(const std::string& path);
+
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_SERIALIZE_SERIALIZE_H_

@@ -1,0 +1,112 @@
+#include "src/sim/fair_share.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace pandia {
+namespace sim {
+namespace {
+
+constexpr double kRelEps = 1e-12;
+
+}  // namespace
+
+FairShareResult SolveMaxMinFairShare(const FairShareProblem& problem) {
+  const size_t num_threads = problem.demands.size();
+  const size_t num_resources = problem.capacities.size();
+  PANDIA_CHECK(problem.rate_caps.size() == num_threads);
+  for (double cap : problem.capacities) {
+    PANDIA_CHECK_MSG(cap > 0.0, "resource capacity must be positive");
+  }
+
+  FairShareResult result;
+  result.rates.assign(num_threads, 0.0);
+  result.resource_usage.assign(num_resources, 0.0);
+  if (num_threads == 0) {
+    return result;
+  }
+
+  std::vector<bool> frozen(num_threads, false);
+  // Aggregate demand of unfrozen threads on each resource.
+  std::vector<double> active_demand(num_resources, 0.0);
+  size_t unfrozen = 0;
+  for (size_t t = 0; t < num_threads; ++t) {
+    PANDIA_CHECK_MSG(problem.rate_caps[t] > 0.0, "rate cap must be positive");
+    // Threads with no demands are only bounded by their cap.
+    for (const ResourceDemand& d : problem.demands[t]) {
+      PANDIA_CHECK(d.resource >= 0 && static_cast<size_t>(d.resource) < num_resources);
+      PANDIA_CHECK(d.amount >= 0.0);
+      active_demand[d.resource] += d.amount;
+    }
+    ++unfrozen;
+  }
+
+  while (unfrozen > 0) {
+    // Largest uniform rate increase before a resource saturates or a thread
+    // hits its cap.
+    double delta = std::numeric_limits<double>::infinity();
+    for (size_t t = 0; t < num_threads; ++t) {
+      if (!frozen[t]) {
+        delta = std::min(delta, problem.rate_caps[t] - result.rates[t]);
+      }
+    }
+    for (size_t r = 0; r < num_resources; ++r) {
+      if (active_demand[r] > kRelEps * problem.capacities[r] + 0.0 &&
+          active_demand[r] > 0.0) {
+        const double slack = problem.capacities[r] - result.resource_usage[r];
+        delta = std::min(delta, slack / active_demand[r]);
+      }
+    }
+    delta = std::max(delta, 0.0);
+
+    for (size_t t = 0; t < num_threads; ++t) {
+      if (!frozen[t]) {
+        result.rates[t] += delta;
+      }
+    }
+    for (size_t r = 0; r < num_resources; ++r) {
+      result.resource_usage[r] += delta * active_demand[r];
+    }
+
+    // Freeze threads that hit their cap or use a saturated resource.
+    std::vector<bool> saturated(num_resources, false);
+    for (size_t r = 0; r < num_resources; ++r) {
+      saturated[r] = result.resource_usage[r] >=
+                     problem.capacities[r] * (1.0 - kRelEps) - kRelEps;
+    }
+    size_t newly_frozen = 0;
+    for (size_t t = 0; t < num_threads; ++t) {
+      if (frozen[t]) {
+        continue;
+      }
+      bool freeze = result.rates[t] >= problem.rate_caps[t] * (1.0 - kRelEps);
+      if (!freeze) {
+        for (const ResourceDemand& d : problem.demands[t]) {
+          if (d.amount > 0.0 && saturated[d.resource]) {
+            freeze = true;
+            break;
+          }
+        }
+      }
+      if (freeze) {
+        frozen[t] = true;
+        ++newly_frozen;
+        --unfrozen;
+        for (const ResourceDemand& d : problem.demands[t]) {
+          active_demand[d.resource] -= d.amount;
+        }
+      }
+    }
+    // Progressive filling must retire at least one thread per round; if
+    // numerics ever stall, freeze everything rather than spin.
+    if (newly_frozen == 0) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace sim
+}  // namespace pandia

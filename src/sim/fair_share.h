@@ -1,0 +1,42 @@
+// Max-min fair rate allocation over a capacitated resource network.
+//
+// Each thread demands a fixed amount of every resource on its path per unit
+// of progress; resources have finite capacities; threads may additionally
+// carry an individual rate cap (e.g. from communication stalls). The solver
+// computes the classic max-min-fair allocation by progressive filling: all
+// unfrozen rates grow at the same speed until a resource saturates (freezing
+// every thread that uses it) or a thread hits its cap.
+//
+// This is the simulator's ground-truth contention model. Pandia's predictor
+// approximates the same physics with the paper's single-bottleneck
+// oversubscription factor.
+#ifndef PANDIA_SRC_SIM_FAIR_SHARE_H_
+#define PANDIA_SRC_SIM_FAIR_SHARE_H_
+
+#include <vector>
+
+namespace pandia {
+namespace sim {
+
+struct ResourceDemand {
+  int resource = 0;
+  double amount = 0.0;  // consumption per unit of thread progress rate
+};
+
+struct FairShareProblem {
+  std::vector<double> capacities;                     // per resource, > 0
+  std::vector<std::vector<ResourceDemand>> demands;   // per thread, sparse
+  std::vector<double> rate_caps;                      // per thread, > 0, finite
+};
+
+struct FairShareResult {
+  std::vector<double> rates;           // per thread
+  std::vector<double> resource_usage;  // per resource
+};
+
+FairShareResult SolveMaxMinFairShare(const FairShareProblem& problem);
+
+}  // namespace sim
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_SIM_FAIR_SHARE_H_

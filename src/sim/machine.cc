@@ -1,0 +1,621 @@
+#include "src/sim/machine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/sim/fair_share.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace pandia {
+namespace sim {
+namespace {
+
+constexpr double kWorkEps = 1e-9;
+
+// Fraction of traffic at a cache level that spills to the next level when
+// the resident working set is `ratio` times the cache size. Adaptive caches
+// (§2.2) degrade gradually; older parts fall off a cliff.
+double Overflow(double ratio, bool adaptive, double sharpness) {
+  if (ratio <= 1.0) {
+    return 0.0;
+  }
+  if (adaptive) {
+    return 1.0 - 1.0 / ratio;
+  }
+  return std::min(0.95, sharpness * (ratio - 1.0));
+}
+
+struct SimThread {
+  int job = 0;
+  ThreadLocation loc;
+  bool background = false;
+  bool worker = true;       // false: placed but idle (max_active_threads)
+  int remote_peers = 0;     // same-job workers on other sockets
+  double stall_per_work = 0.0;
+  double remaining = 0.0;   // static-mode parallel share left
+  bool finished = false;    // static mode: reached the barrier
+  double work_done = 0.0;
+  double busy_time = 0.0;
+};
+
+struct JobMeta {
+  const WorkloadSpec* spec = nullptr;
+  bool background = false;
+  std::vector<bool> active_sockets;
+  int home_socket = 0;
+  int n_workers = 0;
+  double eff_total_work = 0.0;
+};
+
+// One contention interval: the fair-share problem for the currently working
+// threads plus everything needed to integrate consumption over time.
+struct Interval {
+  std::vector<int> working;  // indices into the thread array
+  FairShareProblem problem;  // parallel arrays with `working`
+  FairShareResult solution;
+};
+
+class Engine {
+ public:
+  Engine(const MachineSpec& spec, const ResourceIndex& index,
+         std::span<const JobRequest> jobs)
+      : spec_(spec), index_(index), jobs_(jobs) {
+    Validate();
+    BuildThreads();
+    BuildTurbo();
+  }
+
+  RunResult Execute();
+
+ private:
+  void Validate();
+  void BuildThreads();
+  void BuildTurbo();
+
+  // Builds and solves the contention problem for the given working threads.
+  Interval SolveInterval(const std::vector<int>& working) const;
+
+  // Integrates `dt` seconds of the interval into work/busy/consumption.
+  void Accumulate(const Interval& interval, double dt);
+
+  double RunSerial();
+  double RunParallelStatic();
+  double RunParallelDynamic();
+
+  std::vector<int> BackgroundWorkers() const;
+
+  const MachineSpec& spec_;
+  const ResourceIndex& index_;
+  std::span<const JobRequest> jobs_;
+
+  int foreground_ = -1;
+  std::vector<SimThread> threads_;
+  std::vector<JobMeta> meta_;
+  std::vector<double> socket_freq_;
+  // consumption[job][resource]
+  std::vector<std::vector<double>> consumption_;
+};
+
+void Engine::Validate() {
+  PANDIA_CHECK_MSG(!jobs_.empty(), "no jobs");
+  const MachineTopology& topo = spec_.topo;
+  for (size_t j = 0; j < jobs_.size(); ++j) {
+    const JobRequest& job = jobs_[j];
+    PANDIA_CHECK(job.spec != nullptr);
+    const MachineTopology& placement_topo = job.placement.topology();
+    PANDIA_CHECK_MSG(placement_topo.num_sockets == topo.num_sockets &&
+                         placement_topo.cores_per_socket == topo.cores_per_socket &&
+                         placement_topo.threads_per_core == topo.threads_per_core,
+                     "placement topology does not match machine");
+    PANDIA_CHECK(job.placement.TotalThreads() > 0);
+    if (!job.background) {
+      PANDIA_CHECK_MSG(foreground_ < 0, "exactly one foreground job supported");
+      foreground_ = static_cast<int>(j);
+    }
+  }
+  PANDIA_CHECK_MSG(foreground_ >= 0, "a foreground job is required");
+}
+
+void Engine::BuildThreads() {
+  const MachineTopology& topo = spec_.topo;
+  meta_.resize(jobs_.size());
+  consumption_.assign(jobs_.size(),
+                      std::vector<double>(static_cast<size_t>(index_.Count()), 0.0));
+  for (size_t j = 0; j < jobs_.size(); ++j) {
+    const JobRequest& job = jobs_[j];
+    JobMeta& meta = meta_[j];
+    meta.spec = job.spec;
+    meta.background = job.background;
+    meta.active_sockets.assign(static_cast<size_t>(topo.num_sockets), false);
+    const std::vector<ThreadLocation> locations = job.placement.ThreadLocations();
+    meta.home_socket = job.spec->home_socket >= 0 ? job.spec->home_socket
+                                                  : locations.front().socket;
+    PANDIA_CHECK(meta.home_socket < topo.num_sockets);
+    for (const ThreadLocation& loc : locations) {
+      meta.active_sockets[loc.socket] = true;
+    }
+    const int max_active = job.spec->max_active_threads;
+    for (size_t i = 0; i < locations.size(); ++i) {
+      SimThread thread;
+      thread.job = static_cast<int>(j);
+      thread.loc = locations[i];
+      thread.background = job.background;
+      thread.worker = max_active <= 0 || static_cast<int>(i) < max_active;
+      threads_.push_back(thread);
+      if (thread.worker) {
+        ++meta.n_workers;
+      }
+    }
+    PANDIA_CHECK(meta.n_workers > 0);
+  }
+  // Remote peers and the resulting communication stall (workers only).
+  for (SimThread& thread : threads_) {
+    if (!thread.worker) {
+      continue;
+    }
+    for (const SimThread& other : threads_) {
+      if (&other != &thread && other.job == thread.job && other.worker &&
+          other.loc.socket != thread.loc.socket) {
+        ++thread.remote_peers;
+      }
+    }
+    // Saturating peer count: a thread's communication volume is split among
+    // its remote peers, so the marginal cost of extra peers falls off.
+    const double effective_peers =
+        thread.remote_peers /
+        (1.0 + thread.remote_peers / spec_.comm_peer_saturation);
+    thread.stall_per_work = meta_[thread.job].spec->comm_intensity *
+                            spec_.remote_latency_scale * effective_peers;
+  }
+  // Effective total work (equake-style growth uses the worker count).
+  for (JobMeta& meta : meta_) {
+    meta.eff_total_work =
+        meta.spec->total_work *
+        (1.0 + meta.spec->work_growth * std::max(0, meta.n_workers - 1));
+  }
+}
+
+void Engine::BuildTurbo() {
+  const MachineTopology& topo = spec_.topo;
+  // Placed threads (even spinning ones) keep their cores out of deep sleep,
+  // so the turbo bin is a function of placement alone.
+  std::vector<bool> core_awake(static_cast<size_t>(topo.NumCores()), false);
+  for (const SimThread& thread : threads_) {
+    core_awake[thread.loc.core] = true;
+  }
+  socket_freq_.resize(static_cast<size_t>(topo.num_sockets));
+  for (int s = 0; s < topo.num_sockets; ++s) {
+    int awake = 0;
+    for (int c = topo.FirstCoreOfSocket(s), i = 0; i < topo.cores_per_socket; ++i, ++c) {
+      awake += core_awake[c] ? 1 : 0;
+    }
+    socket_freq_[s] =
+        spec_.turbo.Multiplier(awake, topo.cores_per_socket, spec_.turbo_enabled);
+  }
+}
+
+Interval Engine::SolveInterval(const std::vector<int>& working) const {
+  const MachineTopology& topo = spec_.topo;
+  Interval interval;
+  interval.working = working;
+
+  // Working-thread census per core / per socket, and distinct working sets.
+  std::vector<int> core_count(static_cast<size_t>(topo.NumCores()), 0);
+  std::vector<double> core_ws(static_cast<size_t>(topo.NumCores()), 0.0);
+  std::vector<double> socket_ws(static_cast<size_t>(topo.num_sockets), 0.0);
+  // Distinct working set accounting per (job, core) and (job, socket): the
+  // shared fraction is resident once, the private remainder once per thread.
+  std::vector<std::vector<int>> job_core(jobs_.size());
+  std::vector<std::vector<int>> job_socket(jobs_.size());
+  for (size_t j = 0; j < jobs_.size(); ++j) {
+    job_core[j].assign(static_cast<size_t>(topo.NumCores()), 0);
+    job_socket[j].assign(static_cast<size_t>(topo.num_sockets), 0);
+  }
+  for (int t : working) {
+    const SimThread& thread = threads_[t];
+    ++core_count[thread.loc.core];
+    ++job_core[thread.job][thread.loc.core];
+    ++job_socket[thread.job][thread.loc.socket];
+  }
+  for (size_t j = 0; j < jobs_.size(); ++j) {
+    const WorkloadSpec& sp = *meta_[j].spec;
+    if (sp.working_set <= 0.0) {
+      continue;
+    }
+    auto distinct = [&sp](int n) {
+      return n == 0 ? 0.0
+                    : sp.working_set *
+                          (sp.shared_fraction + (1.0 - sp.shared_fraction) * n);
+    };
+    for (int c = 0; c < topo.NumCores(); ++c) {
+      core_ws[c] += distinct(job_core[j][c]);
+    }
+    for (int s = 0; s < topo.num_sockets; ++s) {
+      socket_ws[s] += distinct(job_socket[j][s]);
+    }
+  }
+  std::vector<double> l2_overflow(static_cast<size_t>(topo.NumCores()), 0.0);
+  for (int c = 0; c < topo.NumCores(); ++c) {
+    l2_overflow[c] = Overflow(core_ws[c] / topo.l2_size, spec_.adaptive_caches,
+                              spec_.cache_cliff_sharpness);
+  }
+  std::vector<double> l3_overflow(static_cast<size_t>(topo.num_sockets), 0.0);
+  for (int s = 0; s < topo.num_sockets; ++s) {
+    l3_overflow[s] = Overflow(socket_ws[s] / topo.l3_size, spec_.adaptive_caches,
+                              spec_.cache_cliff_sharpness);
+  }
+
+  // Capacities. Core-clocked resources scale with the socket's turbo bin.
+  FairShareProblem& problem = interval.problem;
+  problem.capacities.assign(static_cast<size_t>(index_.Count()), 0.0);
+  for (int c = 0; c < topo.NumCores(); ++c) {
+    const double freq = socket_freq_[topo.SocketOfCore(c)];
+    const double smt = core_count[c] > 1 ? spec_.smt_combined_factor : 1.0;
+    problem.capacities[index_.Core(c)] = spec_.core_ops * freq * smt;
+    problem.capacities[index_.L1(c)] = spec_.l1_bw * freq;
+    problem.capacities[index_.L2(c)] = spec_.l2_bw * freq;
+    problem.capacities[index_.L3Port(c)] = spec_.l3_port_bw;
+  }
+  // DRAM requesters per memory node: threads with any DRAM traffic count
+  // toward every node their policy routes them to.
+  std::vector<int> dram_requesters(static_cast<size_t>(topo.num_sockets), 0);
+  for (int t : working) {
+    const SimThread& thread = threads_[t];
+    const WorkloadSpec& sp = *meta_[thread.job].spec;
+    if (sp.dram_bpw > 0.0 || sp.working_set > 0.0) {
+      const std::vector<double> weights =
+          MemoryNodeWeights(sp.memory_policy, topo.num_sockets,
+                            meta_[thread.job].active_sockets, thread.loc.socket,
+                            meta_[thread.job].home_socket);
+      for (int m = 0; m < topo.num_sockets; ++m) {
+        if (weights[m] > 0.0) {
+          ++dram_requesters[m];
+        }
+      }
+    }
+  }
+  // L3 requesters: working threads on the socket with L3 traffic.
+  std::vector<int> l3_requesters(static_cast<size_t>(topo.num_sockets), 0);
+  for (int t : working) {
+    const SimThread& thread = threads_[t];
+    const WorkloadSpec& sp = *meta_[thread.job].spec;
+    if (sp.l3_bpw > 0.0 || sp.l2_bpw > 0.0) {
+      ++l3_requesters[thread.loc.socket];
+    }
+  }
+  for (int s = 0; s < topo.num_sockets; ++s) {
+    // Both the sliced L3 and the DRAM banks run closer to peak with more
+    // concurrent requesters.
+    const double l3_req = std::max(1, l3_requesters[s]);
+    problem.capacities[index_.L3Agg(s)] =
+        spec_.l3_agg_bw * l3_req / (l3_req + spec_.dram_mlp_k);
+    const double requesters = std::max(1, dram_requesters[s]);
+    problem.capacities[index_.Dram(s)] =
+        spec_.dram_bw * requesters / (requesters + spec_.dram_mlp_k);
+  }
+  for (int a = 0; a < topo.num_sockets; ++a) {
+    for (int b = a + 1; b < topo.num_sockets; ++b) {
+      problem.capacities[index_.Link(a, b)] = spec_.link_bw;
+    }
+  }
+
+  // Per-thread demands and rate caps.
+  problem.demands.resize(working.size());
+  problem.rate_caps.resize(working.size());
+  for (size_t i = 0; i < working.size(); ++i) {
+    const SimThread& thread = threads_[working[i]];
+    const WorkloadSpec& sp = *meta_[thread.job].spec;
+    const int core = thread.loc.core;
+    const int socket = thread.loc.socket;
+    std::vector<ResourceDemand>& demands = problem.demands[i];
+
+    // SMT burst collisions inflate the effective core demand when several
+    // bursty threads are resident on one core.
+    const double burst = 1.0 + spec_.burst_collision_beta * (1.0 - sp.duty_cycle) *
+                                   (core_count[core] - 1);
+    demands.push_back({index_.Core(core), sp.ops_per_work * burst});
+    if (sp.l1_bpw > 0.0) {
+      demands.push_back({index_.L1(core), sp.l1_bpw});
+    }
+    if (sp.l2_bpw > 0.0) {
+      demands.push_back({index_.L2(core), sp.l2_bpw});
+    }
+    const double l3_eff =
+        sp.l3_bpw + spec_.l2_spill_fraction * l2_overflow[core] * sp.l2_bpw;
+    if (l3_eff > 0.0) {
+      demands.push_back({index_.L3Port(core), l3_eff});
+      demands.push_back({index_.L3Agg(socket), l3_eff});
+    }
+    const double dram_eff = sp.dram_bpw + l3_overflow[socket] * l3_eff;
+    double remote_fraction = 0.0;
+    {
+      const std::vector<double> weights =
+          MemoryNodeWeights(sp.memory_policy, topo.num_sockets,
+                            meta_[thread.job].active_sockets, socket,
+                            meta_[thread.job].home_socket);
+      for (int m = 0; m < topo.num_sockets; ++m) {
+        if (m != socket) {
+          remote_fraction += weights[m];
+        }
+        if (weights[m] <= 0.0 || dram_eff <= 0.0) {
+          continue;
+        }
+        demands.push_back({index_.Dram(m), dram_eff * weights[m]});
+        if (m != socket) {
+          demands.push_back({index_.Link(socket, m), dram_eff * weights[m]});
+        }
+      }
+    }
+    if (sp.comm_bytes_per_work > 0.0) {
+      // Coherence traffic to each socket hosting working same-job peers,
+      // with the same per-peer saturation as the latency cost.
+      int remote_working = 0;
+      for (int m = 0; m < topo.num_sockets; ++m) {
+        if (m != socket) {
+          remote_working += job_socket[thread.job][m];
+        }
+      }
+      const double peer_scale =
+          1.0 / (1.0 + remote_working / spec_.comm_peer_saturation);
+      for (int m = 0; m < topo.num_sockets; ++m) {
+        if (m != socket && job_socket[thread.job][m] > 0) {
+          demands.push_back({index_.Link(socket, m),
+                             sp.comm_bytes_per_work * peer_scale *
+                                 job_socket[thread.job][m]});
+        }
+      }
+    }
+
+    // Rate cap: the uncontended rate, degraded by communication stalls. A
+    // single thread only reaches single_thread_ipc of the core's issue
+    // capacity (ILP limit), which is the headroom SMT exploits.
+    double uncontended = std::numeric_limits<double>::infinity();
+    for (const ResourceDemand& d : demands) {
+      if (d.amount > 0.0) {
+        double capacity = problem.capacities[d.resource];
+        if (index_.KindOf(d.resource) == ResourceKind::kCore) {
+          capacity *= sp.single_thread_ipc;
+        }
+        uncontended = std::min(uncontended, capacity / d.amount);
+      }
+    }
+    PANDIA_CHECK(std::isfinite(uncontended));
+    // Sharing the core divides the achievable rate regardless of which
+    // resource the thread is bound on (front-end partitioning, halved MLP).
+    uncontended /= 1.0 + spec_.smt_pressure * (core_count[core] - 1);
+    const double memory_stall =
+        sp.remote_access_cost * spec_.remote_latency_scale * remote_fraction;
+    problem.rate_caps[i] =
+        1.0 / (1.0 / uncontended + thread.stall_per_work + memory_stall);
+  }
+
+  interval.solution = SolveMaxMinFairShare(problem);
+  return interval;
+}
+
+void Engine::Accumulate(const Interval& interval, double dt) {
+  if (dt <= 0.0) {
+    return;
+  }
+  for (size_t i = 0; i < interval.working.size(); ++i) {
+    SimThread& thread = threads_[interval.working[i]];
+    const double rate = interval.solution.rates[i];
+    thread.work_done += rate * dt;
+    thread.busy_time += dt;
+    std::vector<double>& used = consumption_[thread.job];
+    for (const ResourceDemand& d : interval.problem.demands[i]) {
+      used[d.resource] += d.amount * rate * dt;
+    }
+  }
+}
+
+std::vector<int> Engine::BackgroundWorkers() const {
+  std::vector<int> workers;
+  for (size_t t = 0; t < threads_.size(); ++t) {
+    if (threads_[t].background && threads_[t].worker) {
+      workers.push_back(static_cast<int>(t));
+    }
+  }
+  return workers;
+}
+
+double Engine::RunSerial() {
+  const JobMeta& meta = meta_[foreground_];
+  const double serial_work =
+      (1.0 - meta.spec->parallel_fraction) * meta.eff_total_work;
+  if (serial_work <= kWorkEps) {
+    return 0.0;
+  }
+  const std::vector<int> background = BackgroundWorkers();
+  const double share = serial_work / meta.n_workers;
+  double elapsed = 0.0;
+  // Critical sections rotate over the workers; each executes its share with
+  // only the background jobs contending.
+  for (size_t t = 0; t < threads_.size(); ++t) {
+    const SimThread& thread = threads_[t];
+    if (thread.background || !thread.worker) {
+      continue;
+    }
+    std::vector<int> working = background;
+    working.push_back(static_cast<int>(t));
+    Interval interval = SolveInterval(working);
+    const double rate = interval.solution.rates.back();
+    PANDIA_CHECK(rate > 0.0);
+    const double dt = share / rate;
+    Accumulate(interval, dt);
+    elapsed += dt;
+  }
+  return elapsed;
+}
+
+double Engine::RunParallelStatic() {
+  const JobMeta& meta = meta_[foreground_];
+  const double parallel_work = meta.spec->parallel_fraction * meta.eff_total_work;
+  if (parallel_work <= kWorkEps) {
+    return 0.0;
+  }
+  // Static distribution: equal shares, or — when the parallel loop has a
+  // finite number of indivisible iterations (§6.4) — a ceil/floor split of
+  // the quanta, which is what makes scaling discontinuous.
+  std::vector<int> pending;
+  int worker_rank = 0;
+  for (size_t t = 0; t < threads_.size(); ++t) {
+    SimThread& thread = threads_[t];
+    if (thread.background || !thread.worker) {
+      continue;
+    }
+    if (meta.spec->parallel_quanta > 0) {
+      const int quanta = meta.spec->parallel_quanta;
+      const int base = quanta / meta.n_workers;
+      const int extra = worker_rank < quanta % meta.n_workers ? 1 : 0;
+      thread.remaining = (base + extra) * (parallel_work / quanta);
+    } else {
+      thread.remaining = parallel_work / meta.n_workers;
+    }
+    ++worker_rank;
+    if (thread.remaining > kWorkEps) {
+      pending.push_back(static_cast<int>(t));
+    }
+  }
+  PANDIA_CHECK(!pending.empty());
+  const std::vector<int> background = BackgroundWorkers();
+  double elapsed = 0.0;
+  // Event loop: rates are constant between completions; each event retires
+  // at least one thread, so there are at most n_workers rounds (and in
+  // practice as many rounds as there are distinct thread classes).
+  while (!pending.empty()) {
+    std::vector<int> working = background;
+    working.insert(working.end(), pending.begin(), pending.end());
+    Interval interval = SolveInterval(working);
+    double dt = std::numeric_limits<double>::infinity();
+    for (size_t i = background.size(); i < working.size(); ++i) {
+      const double rate = interval.solution.rates[i];
+      PANDIA_CHECK(rate > 0.0);
+      dt = std::min(dt, threads_[working[i]].remaining / rate);
+    }
+    Accumulate(interval, dt);
+    elapsed += dt;
+    std::vector<int> still_pending;
+    for (size_t i = background.size(); i < working.size(); ++i) {
+      SimThread& thread = threads_[working[i]];
+      thread.remaining -= interval.solution.rates[i] * dt;
+      if (thread.remaining > kWorkEps * parallel_work / meta.n_workers) {
+        still_pending.push_back(working[i]);
+      } else {
+        thread.remaining = 0.0;
+        thread.finished = true;
+      }
+    }
+    pending = std::move(still_pending);
+  }
+  return elapsed;
+}
+
+double Engine::RunParallelDynamic() {
+  const JobMeta& meta = meta_[foreground_];
+  const double parallel_work = meta.spec->parallel_fraction * meta.eff_total_work;
+  if (parallel_work <= kWorkEps) {
+    return 0.0;
+  }
+  std::vector<int> workers;
+  for (size_t t = 0; t < threads_.size(); ++t) {
+    if (!threads_[t].background && threads_[t].worker) {
+      workers.push_back(static_cast<int>(t));
+    }
+  }
+  const std::vector<int> background = BackgroundWorkers();
+  std::vector<int> working = background;
+  working.insert(working.end(), workers.begin(), workers.end());
+  Interval interval = SolveInterval(working);
+  double aggregate = 0.0;
+  double slowest = std::numeric_limits<double>::infinity();
+  int slowest_thread = workers.front();
+  for (size_t i = background.size(); i < working.size(); ++i) {
+    const double rate = interval.solution.rates[i];
+    PANDIA_CHECK(rate > 0.0);
+    aggregate += rate;
+    if (rate < slowest) {
+      slowest = rate;
+      slowest_thread = working[i];
+    }
+  }
+  // The pool drains at the aggregate rate; the final chunk leaves the
+  // slowest thread running alone (work-stealing tail).
+  const double chunk = std::min(meta.spec->chunk_fraction * parallel_work,
+                                parallel_work / meta.n_workers);
+  const double main_time = (parallel_work - chunk) / aggregate;
+  Accumulate(interval, main_time);
+  double elapsed = main_time;
+  if (chunk > kWorkEps) {
+    std::vector<int> tail = background;
+    tail.push_back(slowest_thread);
+    Interval tail_interval = SolveInterval(tail);
+    const double tail_rate = tail_interval.solution.rates.back();
+    PANDIA_CHECK(tail_rate > 0.0);
+    const double dt = chunk / tail_rate;
+    Accumulate(tail_interval, dt);
+    elapsed += dt;
+  }
+  return elapsed;
+}
+
+RunResult Engine::Execute() {
+  const double serial_time = RunSerial();
+  const double parallel_time =
+      meta_[foreground_].spec->balance == BalanceMode::kStatic
+          ? RunParallelStatic()
+          : RunParallelDynamic();
+  double wall = serial_time + parallel_time;
+  PANDIA_CHECK(wall > 0.0);
+
+  // Deterministic measurement jitter, keyed on the run configuration.
+  uint64_t key = spec_.noise_seed;
+  key = HashCombine(key, std::hash<std::string>{}(spec_.topo.name));
+  for (const JobRequest& job : jobs_) {
+    key = HashCombine(key, std::hash<std::string>{}(job.spec->name));
+    for (uint8_t count : job.placement.PerCore()) {
+      key = HashCombine(key, count);
+    }
+  }
+  Rng rng(key);
+  const double scale = 1.0 + rng.NextJitter(spec_.noise_magnitude);
+  wall *= scale;
+
+  RunResult result;
+  result.wall_time = wall;
+  result.socket_frequency = socket_freq_;
+  result.jobs.resize(jobs_.size());
+  size_t thread_cursor = 0;
+  for (size_t j = 0; j < jobs_.size(); ++j) {
+    JobResult& job_result = result.jobs[j];
+    job_result.completion_time = wall;
+    job_result.resource_consumption = std::move(consumption_[j]);
+    const size_t placed = static_cast<size_t>(jobs_[j].placement.TotalThreads());
+    for (size_t i = 0; i < placed; ++i) {
+      const SimThread& thread = threads_[thread_cursor + i];
+      job_result.threads.push_back(
+          ThreadResult{thread.loc, thread.work_done, thread.busy_time * scale});
+    }
+    thread_cursor += placed;
+  }
+  return result;
+}
+
+}  // namespace
+
+Machine::Machine(MachineSpec spec) : spec_(std::move(spec)), index_(spec_.topo) {}
+
+RunResult Machine::Run(std::span<const JobRequest> jobs) const {
+  Engine engine(spec_, index_, jobs);
+  return engine.Execute();
+}
+
+RunResult Machine::RunOne(const WorkloadSpec& workload, const Placement& placement) const {
+  const JobRequest request{&workload, placement, /*background=*/false};
+  return Run(std::span<const JobRequest>(&request, 1));
+}
+
+}  // namespace sim
+}  // namespace pandia

@@ -1,0 +1,90 @@
+// The simulated machine: executes workloads under explicit thread placements
+// and reports times plus resource-consumption counters.
+//
+// This module stands in for the paper's physical Xeons. A run consists of
+// one foreground job (the workload being timed) and any number of background
+// jobs (stress applications / background fillers, which run for the whole
+// duration of the foreground job). Execution is modeled as:
+//
+//   * a serial section ((1-p) of the work) executed by one thread at a time
+//     in critical sections spread over all threads (paper §2.3),
+//   * a parallel section executed under the workload's balancing mode:
+//     equal static shares with an end barrier, or a dynamic chunk pool,
+//   * contention resolved by max-min fair sharing over the resource network,
+//     with Turbo-Boost frequency scaling, SMT burst collisions,
+//     cache-capacity overflow, NUMA traffic routing, and per-thread
+//     communication stalls,
+//   * deterministic measurement jitter applied to the final time.
+#ifndef PANDIA_SRC_SIM_MACHINE_H_
+#define PANDIA_SRC_SIM_MACHINE_H_
+
+#include <span>
+#include <vector>
+
+#include "src/sim/machine_spec.h"
+#include "src/topology/resource_index.h"
+#include "src/sim/workload_spec.h"
+#include "src/topology/placement.h"
+
+namespace pandia {
+namespace sim {
+
+struct JobRequest {
+  const WorkloadSpec* spec = nullptr;
+  Placement placement;
+  // Background jobs (stressors) run for as long as the foreground job and
+  // have no completion time of their own.
+  bool background = false;
+};
+
+struct ThreadResult {
+  ThreadLocation location;
+  double work_done = 0.0;
+  double busy_time = 0.0;
+};
+
+struct JobResult {
+  // Foreground: time to completion (== wall_time). Background: wall_time.
+  double completion_time = 0.0;
+  std::vector<ThreadResult> threads;
+  // Integrated consumption per resource (ResourceIndex order): bytes for
+  // bandwidth resources, instructions for cores. This is what the counter
+  // facade exposes.
+  std::vector<double> resource_consumption;
+};
+
+struct RunResult {
+  double wall_time = 0.0;
+  std::vector<JobResult> jobs;  // same order as the request span
+  // Frequency multiplier each socket ran at (fixed per run: placed threads
+  // keep their cores awake, so the turbo bin is a function of placement).
+  std::vector<double> socket_frequency;
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineSpec spec);
+
+  const MachineTopology& topology() const { return spec_.topo; }
+  const ResourceIndex& index() const { return index_; }
+
+  // Ground truth — used by benches/tests for calibration, never by the
+  // Pandia pipeline (machine_desc / workload_desc / predictor).
+  const MachineSpec& spec() const { return spec_; }
+
+  // Executes the given jobs. Exactly one job must be foreground; every
+  // placement must belong to this machine's topology.
+  RunResult Run(std::span<const JobRequest> jobs) const;
+
+  // Convenience wrapper for a solo foreground run.
+  RunResult RunOne(const WorkloadSpec& spec, const Placement& placement) const;
+
+ private:
+  MachineSpec spec_;
+  ResourceIndex index_;
+};
+
+}  // namespace sim
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_SIM_MACHINE_H_

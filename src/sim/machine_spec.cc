@@ -1,0 +1,149 @@
+#include "src/sim/machine_spec.h"
+
+#include "src/util/check.h"
+
+namespace pandia {
+namespace sim {
+
+double TurboCurve::Multiplier(int active_cores, int cores_per_socket,
+                              bool turbo_enabled) const {
+  PANDIA_CHECK(active_cores >= 0 && active_cores <= cores_per_socket);
+  if (!turbo_enabled) {
+    return 1.0;
+  }
+  if (active_cores <= 1) {
+    return max_single_ghz / nominal_ghz;
+  }
+  // Turbo bins fall steeply for the first few active cores and then flatten
+  // toward the all-core bin (convex, as on real Xeon parts): the boost above
+  // the all-core frequency decays as 1/active, scaled to land exactly on
+  // max_all_ghz when every core is awake.
+  const double fade = static_cast<double>(cores_per_socket - active_cores) /
+                      static_cast<double>(cores_per_socket - 1);
+  const double ghz =
+      max_all_ghz + (max_single_ghz - max_all_ghz) * fade / active_cores;
+  return ghz / nominal_ghz;
+}
+
+MachineSpec MakeX5_2() {
+  MachineSpec spec;
+  spec.topo = MachineTopology{.name = "x5-2",
+                              .num_sockets = 2,
+                              .cores_per_socket = 18,
+                              .threads_per_core = 2,
+                              .l1_size = 0.032,
+                              .l2_size = 0.25,
+                              .l3_size = 45.0};
+  spec.turbo = TurboCurve{.nominal_ghz = 2.3, .max_single_ghz = 3.6, .max_all_ghz = 2.8};
+  spec.core_ops = 9.2;
+  spec.smt_combined_factor = 0.90;
+  spec.l1_bw = 150.0;
+  spec.l2_bw = 64.0;
+  spec.l3_port_bw = 30.0;
+  spec.l3_agg_bw = 300.0;
+  spec.dram_bw = 60.0;
+  spec.link_bw = 38.0;
+  spec.adaptive_caches = true;
+  spec.burst_collision_beta = 1.0;
+  spec.smt_pressure = 0.15;
+  spec.remote_latency_scale = 1.0;
+  return spec;
+}
+
+MachineSpec MakeX4_2() {
+  MachineSpec spec;
+  spec.topo = MachineTopology{.name = "x4-2",
+                              .num_sockets = 2,
+                              .cores_per_socket = 8,
+                              .threads_per_core = 2,
+                              .l1_size = 0.032,
+                              .l2_size = 0.25,
+                              .l3_size = 25.0};
+  spec.turbo = TurboCurve{.nominal_ghz = 2.9, .max_single_ghz = 3.6, .max_all_ghz = 3.2};
+  spec.core_ops = 8.2;
+  spec.smt_combined_factor = 0.89;
+  spec.l1_bw = 120.0;
+  spec.l2_bw = 52.0;
+  spec.l3_port_bw = 26.0;
+  spec.l3_agg_bw = 170.0;
+  spec.dram_bw = 50.0;
+  spec.link_bw = 32.0;
+  spec.adaptive_caches = true;
+  spec.burst_collision_beta = 1.1;
+  spec.smt_pressure = 0.16;
+  spec.remote_latency_scale = 1.05;
+  return spec;
+}
+
+MachineSpec MakeX3_2() {
+  MachineSpec spec;
+  spec.topo = MachineTopology{.name = "x3-2",
+                              .num_sockets = 2,
+                              .cores_per_socket = 8,
+                              .threads_per_core = 2,
+                              .l1_size = 0.032,
+                              .l2_size = 0.25,
+                              .l3_size = 20.0};
+  spec.turbo = TurboCurve{.nominal_ghz = 2.7, .max_single_ghz = 3.5, .max_all_ghz = 3.1};
+  spec.core_ops = 7.4;
+  spec.smt_combined_factor = 0.88;
+  spec.l1_bw = 100.0;
+  spec.l2_bw = 45.0;
+  spec.l3_port_bw = 23.0;
+  spec.l3_agg_bw = 150.0;
+  spec.dram_bw = 42.0;
+  spec.link_bw = 26.0;
+  spec.adaptive_caches = true;
+  spec.burst_collision_beta = 1.15;
+  spec.smt_pressure = 0.18;
+  spec.remote_latency_scale = 1.15;
+  return spec;
+}
+
+MachineSpec MakeX2_4() {
+  MachineSpec spec;
+  spec.topo = MachineTopology{.name = "x2-4",
+                              .num_sockets = 4,
+                              .cores_per_socket = 10,
+                              .threads_per_core = 2,
+                              .l1_size = 0.032,
+                              .l2_size = 0.25,
+                              .l3_size = 24.0};
+  spec.turbo = TurboCurve{.nominal_ghz = 2.26, .max_single_ghz = 2.66, .max_all_ghz = 2.4};
+  spec.core_ops = 5.8;
+  spec.smt_combined_factor = 0.86;
+  spec.l1_bw = 80.0;
+  spec.l2_bw = 36.0;
+  spec.l3_port_bw = 18.0;
+  spec.l3_agg_bw = 110.0;
+  spec.dram_bw = 30.0;
+  spec.link_bw = 20.0;
+  // Westmere predates adaptive insertion policies (§6.2): sharper cliffs.
+  spec.adaptive_caches = false;
+  spec.cache_cliff_sharpness = 2.0;
+  spec.burst_collision_beta = 1.3;
+  spec.smt_pressure = 0.20;
+  spec.remote_latency_scale = 1.4;
+  return spec;
+}
+
+std::vector<std::string> KnownMachineNames() { return {"x5-2", "x4-2", "x3-2", "x2-4"}; }
+
+MachineSpec MachineByName(const std::string& name) {
+  if (name == "x5-2") {
+    return MakeX5_2();
+  }
+  if (name == "x4-2") {
+    return MakeX4_2();
+  }
+  if (name == "x3-2") {
+    return MakeX3_2();
+  }
+  if (name == "x2-4") {
+    return MakeX2_4();
+  }
+  PANDIA_CHECK_MSG(false, "unknown machine name");
+}
+
+}  // namespace sim
+}  // namespace pandia

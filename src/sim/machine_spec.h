@@ -1,0 +1,112 @@
+// Ground-truth machine model used by the simulator.
+//
+// This is the simulated hardware: true capacities, the Turbo-Boost frequency
+// curve, SMT behaviour, cache-overflow sharpness, and measurement noise.
+// Pandia never reads this struct — it measures the machine through stress
+// runs (src/machine_desc) exactly as the paper does on real hardware.
+//
+// Units are abstract but consistent (paper §3, Figure 3): instruction rates
+// in Gops/s-like units, bandwidths in GB/s-like units, cache sizes in
+// MiB-like units.
+#ifndef PANDIA_SRC_SIM_MACHINE_SPEC_H_
+#define PANDIA_SRC_SIM_MACHINE_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/topology/topology.h"
+
+namespace pandia {
+namespace sim {
+
+// Per-socket frequency as a function of how many of the socket's cores are
+// awake. Mirrors Intel Turbo Boost (paper §6.3, Figure 14): the highest bin
+// applies with one active core, decaying linearly to the all-core turbo
+// frequency; with turbo disabled the chip runs at nominal frequency, which is
+// *below* the all-core turbo frequency.
+struct TurboCurve {
+  double nominal_ghz = 2.3;     // frequency with Turbo Boost disabled
+  double max_single_ghz = 3.6;  // one active core on the socket
+  double max_all_ghz = 2.8;     // every core on the socket active
+
+  // Frequency multiplier relative to nominal for a socket with
+  // `active_cores` of `cores_per_socket` cores awake.
+  double Multiplier(int active_cores, int cores_per_socket, bool turbo_enabled) const;
+};
+
+struct MachineSpec {
+  MachineTopology topo;
+  TurboCurve turbo;
+  bool turbo_enabled = true;
+
+  // Capacities at nominal frequency. Core-clocked resources (core issue
+  // capacity and the private L1/L2 links) scale with the turbo multiplier;
+  // L3, DRAM, and the interconnect run on fixed clocks.
+  double core_ops = 8.0;              // per core
+  double smt_combined_factor = 0.98;  // peak core throughput with 2 resident threads,
+                                      // relative to 1 (front-end sharing loss)
+  double l1_bw = 150.0;               // per core
+  double l2_bw = 64.0;                // per core
+  double l3_port_bw = 30.0;           // per core into the shared L3
+  double l3_agg_bw = 320.0;           // per socket, aggregate L3 bandwidth
+  double dram_bw = 60.0;              // per socket memory channel
+  double link_bw = 38.0;              // per interconnect link (both directions summed)
+
+  // Cache-capacity overflow behaviour. Adaptive caches (§2.2, Qureshi et al.)
+  // overflow gradually; older parts (Westmere X2-4) fall off a cliff.
+  bool adaptive_caches = true;
+  double cache_cliff_sharpness = 2.0;  // only used when !adaptive_caches
+  // Fraction of a thread's L2 traffic that turns into L3 traffic when the
+  // co-resident working sets outgrow the L2: only the reuse component
+  // re-misses; the streaming component already missed.
+  double l2_spill_fraction = 0.4;
+
+  // Bank-level parallelism: with r threads issuing misses to a channel, the
+  // channel sustains dram_bw * r / (r + dram_mlp_k) — more requesters keep
+  // more banks busy, which is why SMT helps even saturated workloads.
+  double dram_mlp_k = 1.0;
+
+  // SMT burst-collision severity: how strongly bursty co-resident threads
+  // inflate each other's effective core demand (ground truth behind the
+  // paper's core-burstiness factor b).
+  double burst_collision_beta = 1.0;
+
+  // Generic SMT sibling pressure: sharing a core statically partitions
+  // front-end queues and halves per-thread MLP, so each co-resident working
+  // thread divides a thread's achievable rate by (1 + smt_pressure),
+  // whatever resource it is bound on.
+  double smt_pressure = 0.3;
+
+  // Cross-socket latency scale: multiplies a workload's comm_intensity to
+  // give the per-remote-peer rate penalty. Bigger machines with slower
+  // interconnects have larger values.
+  double remote_latency_scale = 1.0;
+
+  // A thread's total communication volume is roughly constant, so the
+  // per-peer cost saturates: peers are charged peers/(1 + peers/k) with
+  // k = comm_peer_saturation (linear for few peers, bounded at many).
+  double comm_peer_saturation = 8.0;
+
+  // Relative magnitude of deterministic measurement jitter on run times.
+  double noise_magnitude = 0.01;
+  uint64_t noise_seed = 0x50414e444941ULL;  // "PANDIA"
+};
+
+// The four machines of the paper's evaluation (§6.1–6.2).
+MachineSpec MakeX5_2();  // 2-socket Haswell,      2 x 18 cores, 72 HW threads
+MachineSpec MakeX4_2();  // 2-socket Ivy Bridge,   2 x 8 cores,  32 HW threads
+MachineSpec MakeX3_2();  // 2-socket Sandy Bridge, 2 x 8 cores,  32 HW threads
+MachineSpec MakeX2_4();  // 4-socket Westmere,     4 x 10 cores, 80 HW threads
+
+// Looks up a machine by name ("x5-2", "x4-2", "x3-2", "x2-4"); aborts on an
+// unknown name. CLI front-ends should check KnownMachineNames() first.
+MachineSpec MachineByName(const std::string& name);
+
+// The machines this build can simulate.
+std::vector<std::string> KnownMachineNames();
+
+}  // namespace sim
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_SIM_MACHINE_SPEC_H_

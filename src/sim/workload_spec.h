@@ -1,0 +1,105 @@
+// Ground-truth workload description for the simulator.
+//
+// A WorkloadSpec stands in for a benchmark binary: it defines behaviour the
+// real benchmark would exhibit on hardware. Pandia's profiler must never
+// read these fields — it observes the workload only through run times and
+// the counter facade, exactly as the paper observes NPB/OMP/join binaries.
+// The single exception is `memory_policy`, which is run configuration
+// (numactl) rather than a hidden property.
+#ifndef PANDIA_SRC_SIM_WORKLOAD_SPEC_H_
+#define PANDIA_SRC_SIM_WORKLOAD_SPEC_H_
+
+#include <string>
+
+#include "src/topology/memory_policy.h"
+
+namespace pandia {
+namespace sim {
+
+// How the parallel section distributes work between threads.
+enum class BalanceMode {
+  kStatic,   // equal per-thread shares, barrier at the end (OpenMP static)
+  kDynamic,  // shared pool, threads pull chunks (work stealing / guided)
+};
+
+struct WorkloadSpec {
+  std::string name;
+
+  // Total useful work in abstract units (one unit = ops_per_work
+  // instructions). Constant regardless of thread count, per the paper's
+  // workload assumptions (§2.3) — except see work_growth.
+  double total_work = 1000.0;
+
+  // Fraction of the work that can run in parallel (Amdahl p). The serial
+  // remainder is executed in critical sections spread over all threads.
+  double parallel_fraction = 0.99;
+
+  BalanceMode balance = BalanceMode::kStatic;
+  // Dynamic mode: chunk size as a fraction of the parallel work. Small
+  // chunks give near-perfect balancing; large chunks behave like static
+  // distribution with a tail.
+  double chunk_fraction = 0.01;
+
+  // Fraction of a core's issue capacity that a single thread of this
+  // workload can exploit (ILP limit). Values below 1 leave headroom that a
+  // second SMT thread on the core can use.
+  double single_thread_ipc = 1.0;
+
+  // Resource demands per work unit.
+  double ops_per_work = 1.0;  // instructions
+  double l1_bpw = 8.0;        // bytes to the private L1
+  double l2_bpw = 2.0;        // bytes to the private L2
+  double l3_bpw = 1.0;        // bytes to the shared L3
+  double dram_bpw = 0.5;      // bytes to memory (routed per memory_policy)
+
+  // Cache footprint: per-thread working set (MiB-like units, matching
+  // MachineTopology cache sizes) and the fraction of it shared between
+  // threads. Drives L2->L3 and L3->DRAM overflow when co-located threads
+  // outgrow a cache.
+  double working_set = 0.0;
+  double shared_fraction = 0.0;
+
+  // Cross-socket communication. comm_intensity is the per-remote-peer
+  // latency cost (relative time units, the ground truth behind the paper's
+  // o_s); comm_bytes_per_work is the interconnect traffic per work unit per
+  // remote peer.
+  double comm_intensity = 0.0;
+  double comm_bytes_per_work = 0.0;
+
+  // Remote-memory latency: extra stall seconds per work unit when every
+  // access is to a remote node, scaled by the fraction of the thread's DRAM
+  // traffic that is remote under the memory policy. Captures the NUMA
+  // latency cost that the paper folds into o_s (§2.3, §4.3).
+  double remote_access_cost = 0.0;
+
+  // Duty cycle in (0, 1]: 1.0 = perfectly smooth demand; smaller values
+  // issue the same average demand in bursts, which collide when threads
+  // share a core (ground truth behind the paper's burstiness b).
+  double duty_cycle = 1.0;
+
+  MemoryPolicy memory_policy = MemoryPolicy::kInterleaveActive;
+  // For MemoryPolicy::kHomeSocket: the socket holding the data. -1 = the
+  // socket of the job's first thread. Lets stressors generate pure
+  // cross-socket traffic regardless of where their threads run.
+  int home_socket = -1;
+
+  // Violations of the paper's assumptions, for the §6.3/§6.4 limit studies:
+  // equake-style work growth, total_work * (1 + work_growth * (n - 1)) ...
+  double work_growth = 0.0;
+  // ... NPO-1T-style capped parallelism: threads beyond this many idle
+  // after initialization (0 = unlimited) ...
+  int max_active_threads = 0;
+  // ... and discontinuous scaling (§6.4, BT with its smallest dataset): the
+  // parallel loop has only this many indivisible iterations before a
+  // barrier, so with n threads some receive ceil(quanta/n) iterations and
+  // performance plateaus between divisors. 0 = effectively infinite
+  // fine-grained parallelism. Only meaningful with BalanceMode::kStatic;
+  // dynamic schedulers redistribute iterations, so their granularity is
+  // expressed via chunk_fraction instead.
+  int parallel_quanta = 0;
+};
+
+}  // namespace sim
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_SIM_WORKLOAD_SPEC_H_

@@ -1,0 +1,56 @@
+#include "src/topology/memory_policy.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace pandia {
+
+std::string MemoryPolicyName(MemoryPolicy policy) {
+  switch (policy) {
+    case MemoryPolicy::kLocal:
+      return "local";
+    case MemoryPolicy::kInterleaveAll:
+      return "interleave-all";
+    case MemoryPolicy::kInterleaveActive:
+      return "interleave-active";
+    case MemoryPolicy::kHomeSocket:
+      return "home-socket";
+  }
+  return "unknown";
+}
+
+std::vector<double> MemoryNodeWeights(MemoryPolicy policy, int num_sockets,
+                                      const std::vector<bool>& active_sockets,
+                                      int thread_socket, int home_socket) {
+  PANDIA_CHECK(num_sockets > 0);
+  PANDIA_CHECK(static_cast<int>(active_sockets.size()) == num_sockets);
+  PANDIA_CHECK(thread_socket >= 0 && thread_socket < num_sockets);
+  PANDIA_CHECK(home_socket >= 0 && home_socket < num_sockets);
+  std::vector<double> weights(static_cast<size_t>(num_sockets), 0.0);
+  switch (policy) {
+    case MemoryPolicy::kLocal:
+      weights[thread_socket] = 1.0;
+      break;
+    case MemoryPolicy::kInterleaveAll:
+      std::fill(weights.begin(), weights.end(), 1.0 / num_sockets);
+      break;
+    case MemoryPolicy::kInterleaveActive: {
+      const int active =
+          static_cast<int>(std::count(active_sockets.begin(), active_sockets.end(), true));
+      PANDIA_CHECK_MSG(active > 0, "job has no active sockets");
+      for (int s = 0; s < num_sockets; ++s) {
+        if (active_sockets[s]) {
+          weights[s] = 1.0 / active;
+        }
+      }
+      break;
+    }
+    case MemoryPolicy::kHomeSocket:
+      weights[home_socket] = 1.0;
+      break;
+  }
+  return weights;
+}
+
+}  // namespace pandia

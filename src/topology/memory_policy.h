@@ -1,0 +1,35 @@
+// NUMA memory-placement policy.
+//
+// Where a workload's pages live is run configuration (numactl in the paper,
+// §3.1), visible both to the machine that executes the run and to Pandia's
+// model — it is not a hidden workload property. The weight helper is shared
+// by the simulator's traffic routing and the predictor's demand routing.
+#ifndef PANDIA_SRC_TOPOLOGY_MEMORY_POLICY_H_
+#define PANDIA_SRC_TOPOLOGY_MEMORY_POLICY_H_
+
+#include <string>
+#include <vector>
+
+namespace pandia {
+
+enum class MemoryPolicy {
+  kLocal,             // each thread's data is on its own socket
+  kInterleaveAll,     // pages interleaved across every socket (numactl -i all)
+  kInterleaveActive,  // pages interleaved across sockets that run threads
+                      // (parallel first-touch initialization)
+  kHomeSocket,        // all pages on the job's first socket (serial init)
+};
+
+std::string MemoryPolicyName(MemoryPolicy policy);
+
+// Fraction of a thread's DRAM traffic that goes to each memory node.
+// `active_sockets[s]` is true when the job has at least one thread placed on
+// socket s; `thread_socket` is where the accessing thread runs; `home_socket`
+// is the job's first socket. The weights sum to 1.
+std::vector<double> MemoryNodeWeights(MemoryPolicy policy, int num_sockets,
+                                      const std::vector<bool>& active_sockets,
+                                      int thread_socket, int home_socket);
+
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_TOPOLOGY_MEMORY_POLICY_H_

@@ -1,0 +1,142 @@
+#include "src/topology/placement.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/strings.h"
+
+namespace pandia {
+
+Placement::Placement(const MachineTopology& topo, std::vector<uint8_t> threads_per_core)
+    : topo_(topo), per_core_(std::move(threads_per_core)) {
+  PANDIA_CHECK_MSG(static_cast<int>(per_core_.size()) == topo.NumCores(),
+                   "per-core vector size != core count");
+  for (uint8_t count : per_core_) {
+    PANDIA_CHECK_MSG(count <= topo.threads_per_core, "core over-subscribed");
+    total_threads_ += count;
+  }
+}
+
+Placement Placement::FromSocketLoads(const MachineTopology& topo,
+                                     std::span<const SocketLoad> loads) {
+  PANDIA_CHECK(static_cast<int>(loads.size()) == topo.num_sockets);
+  PANDIA_CHECK_MSG(topo.threads_per_core >= 2 || std::all_of(loads.begin(), loads.end(),
+                                                             [](const SocketLoad& l) {
+                                                               return l.doubles == 0;
+                                                             }),
+                   "doubles require SMT");
+  std::vector<uint8_t> per_core(static_cast<size_t>(topo.NumCores()), 0);
+  for (int s = 0; s < topo.num_sockets; ++s) {
+    const SocketLoad& load = loads[s];
+    PANDIA_CHECK(load.singles >= 0 && load.doubles >= 0);
+    PANDIA_CHECK_MSG(load.CoresUsed() <= topo.cores_per_socket, "socket over-subscribed");
+    int core = topo.FirstCoreOfSocket(s);
+    for (int i = 0; i < load.doubles; ++i) {
+      per_core[core++] = 2;
+    }
+    for (int i = 0; i < load.singles; ++i) {
+      per_core[core++] = 1;
+    }
+  }
+  return Placement(topo, std::move(per_core));
+}
+
+Placement Placement::OnePerCore(const MachineTopology& topo, int n_threads) {
+  PANDIA_CHECK(n_threads >= 0 && n_threads <= topo.NumCores());
+  std::vector<uint8_t> per_core(static_cast<size_t>(topo.NumCores()), 0);
+  for (int i = 0; i < n_threads; ++i) {
+    per_core[i] = 1;
+  }
+  return Placement(topo, std::move(per_core));
+}
+
+Placement Placement::TwoPerCore(const MachineTopology& topo, int n_threads) {
+  PANDIA_CHECK(topo.threads_per_core >= 2);
+  PANDIA_CHECK(n_threads >= 0 && n_threads <= 2 * topo.NumCores());
+  std::vector<uint8_t> per_core(static_cast<size_t>(topo.NumCores()), 0);
+  int remaining = n_threads;
+  for (int core = 0; remaining > 0; ++core) {
+    const int here = std::min(remaining, 2);
+    per_core[core] = static_cast<uint8_t>(here);
+    remaining -= here;
+  }
+  return Placement(topo, std::move(per_core));
+}
+
+int Placement::ThreadsOnSocket(int socket) const {
+  int total = 0;
+  for (int c = topo_.FirstCoreOfSocket(socket), i = 0; i < topo_.cores_per_socket;
+       ++i, ++c) {
+    total += per_core_[c];
+  }
+  return total;
+}
+
+int Placement::CoresUsedOnSocket(int socket) const {
+  int used = 0;
+  for (int c = topo_.FirstCoreOfSocket(socket), i = 0; i < topo_.cores_per_socket;
+       ++i, ++c) {
+    used += per_core_[c] > 0 ? 1 : 0;
+  }
+  return used;
+}
+
+int Placement::NumActiveSockets() const {
+  int active = 0;
+  for (int s = 0; s < topo_.num_sockets; ++s) {
+    active += ThreadsOnSocket(s) > 0 ? 1 : 0;
+  }
+  return active;
+}
+
+std::vector<ThreadLocation> Placement::ThreadLocations() const {
+  std::vector<ThreadLocation> locations;
+  locations.reserve(static_cast<size_t>(total_threads_));
+  for (int core = 0; core < topo_.NumCores(); ++core) {
+    for (int slot = 0; slot < per_core_[core]; ++slot) {
+      locations.push_back(ThreadLocation{topo_.SocketOfCore(core), core, slot});
+    }
+  }
+  return locations;
+}
+
+std::vector<SocketLoad> Placement::SocketLoads() const {
+  std::vector<SocketLoad> loads(static_cast<size_t>(topo_.num_sockets));
+  for (int core = 0; core < topo_.NumCores(); ++core) {
+    SocketLoad& load = loads[topo_.SocketOfCore(core)];
+    if (per_core_[core] == 1) {
+      ++load.singles;
+    } else if (per_core_[core] >= 2) {
+      ++load.doubles;
+    }
+  }
+  return loads;
+}
+
+bool Placement::PaperOrderLess(const Placement& a, const Placement& b) {
+  if (a.total_threads_ != b.total_threads_) {
+    return a.total_threads_ < b.total_threads_;
+  }
+  return a.per_core_ < b.per_core_;
+}
+
+std::string Placement::ToString() const {
+  std::string out = StrFormat("%d threads [", total_threads_);
+  for (int s = 0; s < topo_.num_sockets; ++s) {
+    SocketLoad load{};
+    for (int c = topo_.FirstCoreOfSocket(s), i = 0; i < topo_.cores_per_socket;
+         ++i, ++c) {
+      if (per_core_[c] == 1) {
+        ++load.singles;
+      } else if (per_core_[c] >= 2) {
+        ++load.doubles;
+      }
+    }
+    out += StrFormat("%ss%d: %dx1+%dx2", s == 0 ? "" : ", ", s, load.singles,
+                     load.doubles);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace pandia

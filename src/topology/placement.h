@@ -1,0 +1,96 @@
+// Thread placements.
+//
+// A placement assigns a number of workload threads (0..threads_per_core) to
+// each core of a machine. Cores within a socket are interchangeable, as are
+// sockets within the machine, so placements are kept in a canonical form:
+// within each socket the fully-occupied cores come first, then the singly
+// occupied cores; sockets are sorted by (threads desc, doubles desc).
+#ifndef PANDIA_SRC_TOPOLOGY_PLACEMENT_H_
+#define PANDIA_SRC_TOPOLOGY_PLACEMENT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/topology/topology.h"
+
+namespace pandia {
+
+// Location of a single workload thread on the machine.
+struct ThreadLocation {
+  int socket = 0;
+  int core = 0;  // global core id
+  int slot = 0;  // SMT slot within the core
+
+  friend bool operator==(const ThreadLocation&, const ThreadLocation&) = default;
+};
+
+// Per-socket load in canonical form: `doubles` cores run 2 threads and
+// `singles` cores run 1 thread (SMT width 2 machines; wider SMT is expressed
+// via the raw per-core constructor).
+struct SocketLoad {
+  int singles = 0;
+  int doubles = 0;
+
+  int Threads() const { return singles + 2 * doubles; }
+  int CoresUsed() const { return singles + doubles; }
+  friend bool operator==(const SocketLoad&, const SocketLoad&) = default;
+};
+
+class Placement {
+ public:
+  // Builds a placement from an explicit per-core thread count vector
+  // (size topo.NumCores(), each entry in [0, threads_per_core]).
+  Placement(const MachineTopology& topo, std::vector<uint8_t> threads_per_core);
+
+  // Builds a canonical placement from per-socket loads (loads.size() must
+  // equal topo.num_sockets; each socket's CoresUsed() must fit).
+  static Placement FromSocketLoads(const MachineTopology& topo,
+                                   std::span<const SocketLoad> loads);
+
+  // Convenience: n threads, one per core, packed onto the lowest sockets.
+  static Placement OnePerCore(const MachineTopology& topo, int n_threads);
+
+  // Convenience: n threads packed two per core onto the lowest sockets.
+  static Placement TwoPerCore(const MachineTopology& topo, int n_threads);
+
+  int TotalThreads() const { return total_threads_; }
+  int ThreadsOnSocket(int socket) const;
+  int CoresUsedOnSocket(int socket) const;
+  int ActiveCoresOnSocket(int socket) const { return CoresUsedOnSocket(socket); }
+  int NumActiveSockets() const;
+  uint8_t ThreadsOnCore(int core) const { return per_core_[core]; }
+  const std::vector<uint8_t>& PerCore() const { return per_core_; }
+
+  // Deterministic expansion to individual thread locations: cores in index
+  // order, SMT slots in order within each core.
+  std::vector<ThreadLocation> ThreadLocations() const;
+
+  // Canonical per-socket loads (valid for SMT-2 machines).
+  std::vector<SocketLoad> SocketLoads() const;
+
+  // Paper ordering (§6.1): placements are sorted first by total thread
+  // count, then lexicographically by the per-core counts.
+  static bool PaperOrderLess(const Placement& a, const Placement& b);
+
+  // Human-readable form, e.g. "12 threads [s0: 8x1+2x2, s1: 0]".
+  std::string ToString() const;
+
+  // Stored by value: placements routinely outlive the scope that built
+  // them (sweep results, rack assignments), so they must not dangle.
+  const MachineTopology& topology() const { return topo_; }
+
+  friend bool operator==(const Placement& a, const Placement& b) {
+    return a.per_core_ == b.per_core_;
+  }
+
+ private:
+  MachineTopology topo_;
+  std::vector<uint8_t> per_core_;
+  int total_threads_ = 0;
+};
+
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_TOPOLOGY_PLACEMENT_H_

@@ -1,0 +1,154 @@
+#include "src/topology/placement_parse.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "src/util/strings.h"
+
+namespace pandia {
+namespace {
+
+void SetError(std::string* error, std::string message) {
+  if (error != nullptr) {
+    *error = std::move(message);
+  }
+}
+
+// Parses a non-negative integer at text[pos...], advancing pos. Returns -1
+// if no digits are present.
+int ParseInt(const std::string& text, size_t& pos) {
+  if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+    return -1;
+  }
+  int value = 0;
+  while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) {
+    value = value * 10 + (text[pos] - '0');
+    ++pos;
+    if (value > 1 << 20) {
+      return -1;  // absurd thread counts are malformed input, not overflow
+    }
+  }
+  return value;
+}
+
+// "Nx1", "Nx2", "Nx1+Mx2", or "0".
+std::optional<SocketLoad> ParseLoad(const std::string& field, std::string* error) {
+  SocketLoad load{};
+  size_t pos = 0;
+  while (pos < field.size()) {
+    const int count = ParseInt(field, pos);
+    if (count < 0) {
+      SetError(error, StrFormat("expected a count in '%s'", field.c_str()));
+      return std::nullopt;
+    }
+    if (pos == field.size() && count == 0) {
+      break;  // "0": empty socket
+    }
+    if (pos >= field.size() || field[pos] != 'x') {
+      SetError(error, StrFormat("expected 'x1' or 'x2' in '%s'", field.c_str()));
+      return std::nullopt;
+    }
+    ++pos;
+    const int width = ParseInt(field, pos);
+    if (width == 1) {
+      load.singles += count;
+    } else if (width == 2) {
+      load.doubles += count;
+    } else {
+      SetError(error, StrFormat("unsupported occupancy 'x%d' in '%s'", width,
+                                field.c_str()));
+      return std::nullopt;
+    }
+    if (pos < field.size()) {
+      if (field[pos] != '+') {
+        SetError(error, StrFormat("expected '+' in '%s'", field.c_str()));
+        return std::nullopt;
+      }
+      ++pos;
+    }
+  }
+  return load;
+}
+
+}  // namespace
+
+std::optional<Placement> ParsePlacement(const MachineTopology& topo,
+                                        const std::string& text,
+                                        std::string* error) {
+  if (text.empty()) {
+    SetError(error, "empty placement");
+    return std::nullopt;
+  }
+
+  // Shorthands: "N" (one per core) and "Nx2" (two per core).
+  if (text.find(':') == std::string::npos) {
+    size_t pos = 0;
+    const int n = ParseInt(text, pos);
+    if (n <= 0) {
+      SetError(error, StrFormat("malformed placement '%s'", text.c_str()));
+      return std::nullopt;
+    }
+    if (pos == text.size()) {
+      if (n > topo.NumCores()) {
+        SetError(error, StrFormat("%d threads exceed the %d cores", n, topo.NumCores()));
+        return std::nullopt;
+      }
+      return Placement::OnePerCore(topo, n);
+    }
+    if (text.substr(pos) == "x2") {
+      if (topo.threads_per_core < 2 || n > topo.NumHwThreads()) {
+        SetError(error, StrFormat("%d packed threads do not fit", n));
+        return std::nullopt;
+      }
+      return Placement::TwoPerCore(topo, n);
+    }
+    SetError(error, StrFormat("malformed placement '%s'", text.c_str()));
+    return std::nullopt;
+  }
+
+  std::vector<SocketLoad> loads(static_cast<size_t>(topo.num_sockets));
+  for (const std::string& raw : StrSplit(text, ',')) {
+    std::string field = raw;
+    // Tolerate the spaces Placement::ToString emits.
+    std::erase(field, ' ');
+    if (field.size() < 3 || field[0] != 's') {
+      SetError(error, StrFormat("expected 'sN:...' in '%s'", raw.c_str()));
+      return std::nullopt;
+    }
+    size_t pos = 1;
+    const int socket = ParseInt(field, pos);
+    if (socket < 0 || socket >= topo.num_sockets) {
+      SetError(error, StrFormat("bad socket index in '%s'", raw.c_str()));
+      return std::nullopt;
+    }
+    if (pos >= field.size() || field[pos] != ':') {
+      SetError(error, StrFormat("expected ':' in '%s'", raw.c_str()));
+      return std::nullopt;
+    }
+    const std::optional<SocketLoad> load = ParseLoad(field.substr(pos + 1), error);
+    if (!load.has_value()) {
+      return std::nullopt;
+    }
+    if (load->CoresUsed() > topo.cores_per_socket) {
+      SetError(error, StrFormat("socket %d over-subscribed: %d cores needed, %d present",
+                                socket, load->CoresUsed(), topo.cores_per_socket));
+      return std::nullopt;
+    }
+    if (load->doubles > 0 && topo.threads_per_core < 2) {
+      SetError(error, "machine has no SMT");
+      return std::nullopt;
+    }
+    loads[socket] = *load;
+  }
+  int total = 0;
+  for (const SocketLoad& load : loads) {
+    total += load.Threads();
+  }
+  if (total == 0) {
+    SetError(error, "placement has no threads");
+    return std::nullopt;
+  }
+  return Placement::FromSocketLoads(topo, loads);
+}
+
+}  // namespace pandia

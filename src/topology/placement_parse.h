@@ -1,0 +1,31 @@
+// Parsing placements from their textual form.
+//
+// Grammar (matching Placement::ToString and the CLI tools):
+//   placement   := socket-load (',' socket-load)*     one entry per socket
+//   socket-load := 's' INDEX ':' SINGLES 'x1' '+' DOUBLES 'x2'
+//                | 's' INDEX ':' SINGLES 'x1'
+//                | 's' INDEX ':' '0'
+// Examples: "s0:8x1+2x2,s1:4x1", "s0:0,s1:0x1+8x2".
+// Shorthands (no 's' prefixes) are also accepted:
+//   "12"        -> 12 threads, one per core, packed onto the lowest sockets
+//   "12x2"      -> 12 threads packed two per core
+#ifndef PANDIA_SRC_TOPOLOGY_PLACEMENT_PARSE_H_
+#define PANDIA_SRC_TOPOLOGY_PLACEMENT_PARSE_H_
+
+#include <optional>
+#include <string>
+
+#include "src/topology/placement.h"
+#include "src/topology/topology.h"
+
+namespace pandia {
+
+// Parses `text` into a placement on `topo`. Returns nullopt (with a message
+// in *error if non-null) on malformed input or loads that do not fit.
+std::optional<Placement> ParsePlacement(const MachineTopology& topo,
+                                        const std::string& text,
+                                        std::string* error = nullptr);
+
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_TOPOLOGY_PLACEMENT_PARSE_H_

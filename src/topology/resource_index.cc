@@ -1,0 +1,70 @@
+#include "src/topology/resource_index.h"
+
+#include "src/util/check.h"
+#include "src/util/strings.h"
+
+namespace pandia {
+
+
+ResourceIndex::ResourceIndex(const MachineTopology& topo)
+    : topo_(topo),
+      num_cores_(topo.NumCores()),
+      num_sockets_(topo.num_sockets),
+      count_(4 * topo.NumCores() + 2 * topo.num_sockets + topo.NumInterconnectLinks()) {
+  PANDIA_CHECK(num_cores_ > 0);
+}
+
+ResourceKind ResourceIndex::KindOf(int index) const {
+  PANDIA_CHECK(index >= 0 && index < count_);
+  if (index < num_cores_) {
+    return ResourceKind::kCore;
+  }
+  if (index < 2 * num_cores_) {
+    return ResourceKind::kL1;
+  }
+  if (index < 3 * num_cores_) {
+    return ResourceKind::kL2;
+  }
+  if (index < 4 * num_cores_) {
+    return ResourceKind::kL3Port;
+  }
+  if (index < 4 * num_cores_ + num_sockets_) {
+    return ResourceKind::kL3Agg;
+  }
+  if (index < 4 * num_cores_ + 2 * num_sockets_) {
+    return ResourceKind::kDram;
+  }
+  return ResourceKind::kLink;
+}
+
+std::string ResourceIndex::Name(int index) const {
+  switch (KindOf(index)) {
+    case ResourceKind::kCore:
+      return StrFormat("core%d", index);
+    case ResourceKind::kL1:
+      return StrFormat("l1.%d", index - num_cores_);
+    case ResourceKind::kL2:
+      return StrFormat("l2.%d", index - 2 * num_cores_);
+    case ResourceKind::kL3Port:
+      return StrFormat("l3port%d", index - 3 * num_cores_);
+    case ResourceKind::kL3Agg:
+      return StrFormat("l3agg%d", index - 4 * num_cores_);
+    case ResourceKind::kDram:
+      return StrFormat("dram%d", index - 4 * num_cores_ - num_sockets_);
+    case ResourceKind::kLink: {
+      const int link = index - 4 * num_cores_ - 2 * num_sockets_;
+      // Invert LinkIndex for naming.
+      for (int a = 0; a < num_sockets_; ++a) {
+        for (int b = a + 1; b < num_sockets_; ++b) {
+          if (topo_.LinkIndex(a, b) == link) {
+            return StrFormat("link%d-%d", a, b);
+          }
+        }
+      }
+      return StrFormat("link?%d", link);
+    }
+  }
+  return "unknown";
+}
+
+}  // namespace pandia

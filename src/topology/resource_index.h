@@ -1,0 +1,60 @@
+// Flat indexing of the machine's contended resources.
+//
+// Both the simulator and the predictor view the machine as a vector of
+// capacity-limited resources: per-core issue slots and private-cache links,
+// per-core L3 ports, per-socket L3 aggregate bandwidth and DRAM channels,
+// and per-socket-pair interconnect links (paper §3, Figure 3).
+#ifndef PANDIA_SRC_TOPOLOGY_RESOURCE_INDEX_H_
+#define PANDIA_SRC_TOPOLOGY_RESOURCE_INDEX_H_
+
+#include <string>
+
+#include "src/topology/topology.h"
+
+namespace pandia {
+
+
+enum class ResourceKind {
+  kCore,     // instruction issue capacity of one core
+  kL1,       // per-core L1 link
+  kL2,       // per-core L2 link
+  kL3Port,   // per-core port into the socket's shared L3
+  kL3Agg,    // per-socket aggregate L3 bandwidth
+  kDram,     // per-socket memory channel
+  kLink,     // per-socket-pair interconnect link
+};
+
+class ResourceIndex {
+ public:
+  // The topology is stored by value so objects embedding a ResourceIndex
+  // (Machine, Predictor) stay self-contained under copy and move.
+  explicit ResourceIndex(const MachineTopology& topo);
+
+  int Core(int core) const { return core; }
+  int L1(int core) const { return num_cores_ + core; }
+  int L2(int core) const { return 2 * num_cores_ + core; }
+  int L3Port(int core) const { return 3 * num_cores_ + core; }
+  int L3Agg(int socket) const { return 4 * num_cores_ + socket; }
+  int Dram(int socket) const { return 4 * num_cores_ + num_sockets_ + socket; }
+  int Link(int socket_a, int socket_b) const {
+    return 4 * num_cores_ + 2 * num_sockets_ + topo_.LinkIndex(socket_a, socket_b);
+  }
+
+  int Count() const { return count_; }
+
+  ResourceKind KindOf(int index) const;
+  // Human-readable name, e.g. "core17", "dram0", "link0-1".
+  std::string Name(int index) const;
+
+  const MachineTopology& topology() const { return topo_; }
+
+ private:
+  MachineTopology topo_;
+  int num_cores_;
+  int num_sockets_;
+  int count_;
+};
+
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_TOPOLOGY_RESOURCE_INDEX_H_

@@ -1,0 +1,19 @@
+#include "src/topology/topology.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace pandia {
+
+int MachineTopology::LinkIndex(int socket_a, int socket_b) const {
+  PANDIA_CHECK(socket_a != socket_b);
+  PANDIA_CHECK(socket_a >= 0 && socket_a < num_sockets);
+  PANDIA_CHECK(socket_b >= 0 && socket_b < num_sockets);
+  const int lo = std::min(socket_a, socket_b);
+  const int hi = std::max(socket_a, socket_b);
+  // Row-major index into the strict upper triangle of the socket matrix.
+  return lo * num_sockets - lo * (lo + 1) / 2 + (hi - lo - 1);
+}
+
+}  // namespace pandia

@@ -1,0 +1,39 @@
+// Lightweight invariant checking for the Pandia libraries.
+//
+// PANDIA_CHECK is an always-on assertion: it documents and enforces contract
+// violations that indicate programmer error (not recoverable conditions).
+// The libraries do not use exceptions; violated checks abort with a message.
+#ifndef PANDIA_SRC_UTIL_CHECK_H_
+#define PANDIA_SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pandia {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const char* msg) {
+  std::fprintf(stderr, "PANDIA_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace pandia
+
+#define PANDIA_CHECK(expr)                                                 \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::pandia::internal::CheckFailed(__FILE__, __LINE__, #expr, "");      \
+    }                                                                      \
+  } while (false)
+
+#define PANDIA_CHECK_MSG(expr, msg)                                        \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::pandia::internal::CheckFailed(__FILE__, __LINE__, #expr, (msg));   \
+    }                                                                      \
+  } while (false)
+
+#endif  // PANDIA_SRC_UTIL_CHECK_H_

@@ -1,0 +1,19 @@
+#include "src/util/rng.h"
+
+#include "src/util/check.h"
+
+namespace pandia {
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  PANDIA_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  while (true) {
+    const uint64_t r = NextU64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+}  // namespace pandia

@@ -1,0 +1,62 @@
+// Deterministic pseudo-random utilities.
+//
+// All randomness in the repository flows through these helpers so that runs
+// are reproducible: the simulator's measurement jitter is a pure function of
+// (seed, keys), and sampled placement sweeps are stable across runs.
+#ifndef PANDIA_SRC_UTIL_RNG_H_
+#define PANDIA_SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace pandia {
+
+// splitmix64: tiny, high-quality 64-bit mixer (Vigna, public domain idiom).
+constexpr uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Combines a seed with an arbitrary number of keys into one hash.
+constexpr uint64_t HashCombine(uint64_t seed) { return SplitMix64(seed); }
+
+template <typename... Rest>
+constexpr uint64_t HashCombine(uint64_t seed, uint64_t key, Rest... rest) {
+  return HashCombine(SplitMix64(seed ^ (key + 0x9e3779b97f4a7c15ULL)), rest...);
+}
+
+// A small deterministic generator (splitmix64 stream).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t NextU64() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t x = state_;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, bound). Requires bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Symmetric triangular-ish jitter in [-magnitude, +magnitude] (sum of two
+  // uniforms, so small deviations are more likely than extremes).
+  double NextJitter(double magnitude) {
+    return magnitude * (NextDouble() + NextDouble() - 1.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_UTIL_RNG_H_

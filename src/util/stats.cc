@@ -1,0 +1,84 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace pandia {
+namespace {
+
+std::vector<double> Sorted(std::span<const double> values) {
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  return copy;
+}
+
+}  // namespace
+
+double Mean(std::span<const double> values) {
+  PANDIA_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double Median(std::span<const double> values) { return Percentile(values, 50.0); }
+
+double Percentile(std::span<const double> values, double q) {
+  PANDIA_CHECK(!values.empty());
+  PANDIA_CHECK(q >= 0.0 && q <= 100.0);
+  const std::vector<double> sorted = Sorted(values);
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double StdDev(std::span<const double> values) {
+  const double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) {
+    sum_sq += (v - mean) * (v - mean);
+  }
+  return std::sqrt(sum_sq / static_cast<double>(values.size()));
+}
+
+double Min(std::span<const double> values) {
+  PANDIA_CHECK(!values.empty());
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(std::span<const double> values) {
+  PANDIA_CHECK(!values.empty());
+  return *std::max_element(values.begin(), values.end());
+}
+
+Summary Summarize(std::span<const double> values) {
+  Summary s;
+  s.min = Min(values);
+  s.p25 = Percentile(values, 25.0);
+  s.median = Median(values);
+  s.p75 = Percentile(values, 75.0);
+  s.max = Max(values);
+  s.mean = Mean(values);
+  return s;
+}
+
+double GeoMean(std::span<const double> values) {
+  PANDIA_CHECK(!values.empty());
+  double log_sum = 0.0;
+  for (double v : values) {
+    PANDIA_CHECK_MSG(v > 0.0, "GeoMean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace pandia

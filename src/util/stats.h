@@ -1,0 +1,43 @@
+// Small statistics helpers used by the evaluation harness and tests.
+#ifndef PANDIA_SRC_UTIL_STATS_H_
+#define PANDIA_SRC_UTIL_STATS_H_
+
+#include <span>
+#include <vector>
+
+namespace pandia {
+
+// Arithmetic mean. Requires a non-empty input.
+double Mean(std::span<const double> values);
+
+// Median via sorting a copy. Requires a non-empty input. For an even count
+// the average of the two middle elements is returned.
+double Median(std::span<const double> values);
+
+// Linear-interpolation percentile, q in [0, 100]. Requires non-empty input.
+double Percentile(std::span<const double> values, double q);
+
+// Population standard deviation. Requires a non-empty input.
+double StdDev(std::span<const double> values);
+
+double Min(std::span<const double> values);
+double Max(std::span<const double> values);
+
+// Five-number summary plus mean, convenient for printing result tables.
+struct Summary {
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+Summary Summarize(std::span<const double> values);
+
+// Geometric mean. Requires non-empty input of positive values.
+double GeoMean(std::span<const double> values);
+
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_UTIL_STATS_H_

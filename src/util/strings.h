@@ -1,0 +1,20 @@
+// printf-style std::string formatting (GCC 12 lacks <format>).
+#ifndef PANDIA_SRC_UTIL_STRINGS_H_
+#define PANDIA_SRC_UTIL_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace pandia {
+
+// Returns the printf-formatted string. The format string must be a valid
+// printf format for the supplied arguments; mismatches are undefined
+// behaviour exactly as with printf.
+[[gnu::format(printf, 1, 2)]] std::string StrFormat(const char* fmt, ...);
+
+// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> StrSplit(const std::string& text, char sep);
+
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_UTIL_STRINGS_H_

@@ -1,0 +1,60 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace pandia {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  PANDIA_CHECK(!header_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  PANDIA_CHECK_MSG(row.size() == header_.size(), "row arity != header arity");
+  rows_.push_back(std::move(row));
+}
+
+void Table::Print(std::FILE* out) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%-*s%s", static_cast<int>(widths[c]), row[c].c_str(),
+                   c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  print_row(header_);
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule.append(widths[c], '-');
+    if (c + 1 != widths.size()) {
+      rule.append("  ");
+    }
+  }
+  std::fprintf(out, "%s\n", rule.c_str());
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void Table::PrintCsv(std::FILE* out) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%s", row[c].c_str(), c + 1 == row.size() ? "\n" : ",");
+    }
+  };
+  print_row(header_);
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+}  // namespace pandia

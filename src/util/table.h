@@ -1,0 +1,37 @@
+// Fixed-width text tables and CSV output for bench binaries.
+//
+// The bench harness prints the same rows/series the paper reports; Table
+// keeps that output aligned and also supports CSV emission so series (e.g.
+// Figure 1/10 placement sweeps) can be piped into a plotting tool.
+#ifndef PANDIA_SRC_UTIL_TABLE_H_
+#define PANDIA_SRC_UTIL_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pandia {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Appends a row; the row must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the table with aligned columns to `out`.
+  void Print(std::FILE* out = stdout) const;
+
+  // Renders the table as CSV to `out`.
+  void PrintCsv(std::FILE* out = stdout) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_UTIL_TABLE_H_

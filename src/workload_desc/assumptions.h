@@ -1,0 +1,53 @@
+// Workload-assumption validation.
+//
+// Pandia's model rests on the §2.3 assumptions: constant total work as the
+// thread count varies, and plentiful fine-grained parallelism. The paper
+// excludes equake for violating the first (§6, §6.3) and observes BT's
+// smallest dataset violating the second (§6.4) — both found by hand. This
+// module detects the violations automatically from the same counters the
+// profiler already reads:
+//
+//   * constant work — compare retired instructions between the 1-thread
+//     and n-thread profiling runs: growth beyond tolerance means per-thread
+//     work is being added (equake's reduction step);
+//   * fine-grained parallelism — compare per-thread busy times in the
+//     n-thread run: a coarse-quantized loop (BT-small's 64 iterations)
+//     leaves some threads idle at the barrier even without contention.
+#ifndef PANDIA_SRC_WORKLOAD_DESC_ASSUMPTIONS_H_
+#define PANDIA_SRC_WORKLOAD_DESC_ASSUMPTIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/machine_desc/machine_description.h"
+#include "src/sim/machine.h"
+
+namespace pandia {
+
+struct AssumptionReport {
+  // §2.3: "a fixed amount of computation". Estimated relative work growth
+  // per added thread (equake's ground truth is 0.05); ok when ~0.
+  bool constant_work_ok = true;
+  double work_growth_per_thread = 0.0;
+
+  // §2.3: "plentiful work to share" / §6.4 discontinuous scaling. Relative
+  // spread of per-thread busy time in a contention-free run; ok when small.
+  bool fine_grained_ok = true;
+  double busy_time_skew = 0.0;
+
+  // Human-readable explanations for everything that failed.
+  std::vector<std::string> warnings;
+
+  bool AllOk() const { return constant_work_ok && fine_grained_ok; }
+};
+
+// Runs the workload twice (1 thread; a handful of same-socket threads,
+// background-filled like the profiling runs) and checks the assumptions.
+// Thresholds: work growth beyond 2% per thread, busy-time skew beyond 8%.
+AssumptionReport ValidateAssumptions(const sim::Machine& machine,
+                                     const MachineDescription& description,
+                                     const sim::WorkloadSpec& workload);
+
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_WORKLOAD_DESC_ASSUMPTIONS_H_

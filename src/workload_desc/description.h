@@ -1,0 +1,51 @@
+// Workload description (paper §4, Figure 4).
+//
+// Produced from the six profiling runs; machine-specific (though §6.1 shows
+// some portability across similar machines). This is the complete input
+// that Pandia's predictor has about a workload — five measured properties
+// plus the memory policy the workload is launched with (run configuration,
+// not a measurement).
+#ifndef PANDIA_SRC_WORKLOAD_DESC_DESCRIPTION_H_
+#define PANDIA_SRC_WORKLOAD_DESC_DESCRIPTION_H_
+
+#include <string>
+
+#include "src/topology/memory_policy.h"
+
+namespace pandia {
+
+// Step 1: single-thread resource demand rates (measured over t1).
+struct ResourceDemandVector {
+  double instr_rate = 0.0;      // instructions per unit time
+  double l1_bw = 0.0;           // bytes per unit time on the private L1 link
+  double l2_bw = 0.0;
+  double l3_bw = 0.0;           // into the shared L3
+  double dram_local_bw = 0.0;   // to the thread's own memory node
+  double dram_remote_bw = 0.0;  // to all other memory nodes combined
+
+  double dram_total_bw() const { return dram_local_bw + dram_remote_bw; }
+};
+
+struct WorkloadDescription {
+  std::string workload;
+  std::string machine;  // the machine the description was generated on
+
+  double t1 = 0.0;                    // Step 1: single-thread execution time
+  ResourceDemandVector demands;       // Step 1: demand vector d
+  double parallel_fraction = 1.0;     // Step 2: Amdahl p
+  double inter_socket_overhead = 0.0; // Step 3: o_s, latency per remote peer
+                                      //   relative to t1
+  double load_balance = 1.0;          // Step 4: l in [0,1]
+  double burstiness = 0.0;            // Step 5: b, extra slowdown fraction
+                                      //   when threads share a core
+  MemoryPolicy memory_policy = MemoryPolicy::kInterleaveActive;
+
+  // Bookkeeping from profiling (not used by the predictor): the thread
+  // count of run 2 and the raw relative times of the six runs.
+  int profile_threads = 0;
+  double r2 = 0.0, r3 = 0.0, r4 = 0.0, r5 = 0.0, r6 = 0.0;
+};
+
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_WORKLOAD_DESC_DESCRIPTION_H_

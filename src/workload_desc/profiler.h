@@ -1,0 +1,56 @@
+// Workload description generator (paper §4): runs a workload six times in
+// carefully chosen configurations and extracts the five model properties.
+//
+//   Run 1: one thread                        -> t1 and the demand vector d
+//   Run 2: n2 threads, one per core, one     -> parallel fraction p via
+//          socket, no oversubscription          Amdahl's law
+//   Run 3: n2 threads split across two       -> inter-socket overhead o_s
+//          sockets
+//   Run 4: run 2 placement, every thread     -> with run 5: load-balancing
+//          sharing its core with a CPU          factor l
+//          stressor
+//   Run 5: run 2 placement, one thread
+//          sharing its core with a stressor
+//   Run 6: n2 threads packed two per core    -> core burstiness b
+//
+// Idle cores are filled with a background load in every run so Turbo Boost
+// stays at its all-core bin (§6.3). Steps 3 and 6 divide out the slowdown
+// k_x that the partial Pandia model already predicts, so each step measures
+// only its own new effect (§4.1).
+//
+// The profiler sees the workload as an opaque handle: it reads only run
+// times and the counter facade, plus the memory policy (run configuration).
+#ifndef PANDIA_SRC_WORKLOAD_DESC_PROFILER_H_
+#define PANDIA_SRC_WORKLOAD_DESC_PROFILER_H_
+
+#include "src/machine_desc/machine_description.h"
+#include "src/sim/machine.h"
+#include "src/workload_desc/description.h"
+
+namespace pandia {
+
+class WorkloadProfiler {
+ public:
+  WorkloadProfiler(const sim::Machine& machine, MachineDescription description);
+
+  WorkloadDescription Profile(const sim::WorkloadSpec& workload) const;
+
+  // The run-2 thread count chosen for a workload with the given measured
+  // demand vector: the largest even number of single-socket one-per-core
+  // threads that oversubscribes no resource (§4.2). Exposed for tests.
+  int ChooseProfileThreads(const WorkloadDescription& partial) const;
+
+ private:
+  // Executes the workload (plus optional co-runner) with idle cores filled;
+  // returns the foreground completion time.
+  double TimedRun(const sim::WorkloadSpec& workload, const Placement& placement,
+                  const sim::WorkloadSpec* corunner,
+                  const Placement* corunner_placement) const;
+
+  const sim::Machine* machine_;
+  MachineDescription description_;
+};
+
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_WORKLOAD_DESC_PROFILER_H_

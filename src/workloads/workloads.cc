@@ -1,0 +1,538 @@
+#include "src/workloads/workloads.h"
+
+#include "src/util/check.h"
+
+namespace pandia {
+namespace workloads {
+namespace {
+
+using sim::BalanceMode;
+using sim::WorkloadSpec;
+
+// All workloads perform the same abstract amount of work; t1 differences
+// come from their instruction/bandwidth demands, as with real binaries
+// whose inputs were chosen for comparable run times (§6).
+constexpr double kTotalWork = 1000.0;
+
+WorkloadSpec Base(const char* name) {
+  WorkloadSpec spec;
+  spec.name = name;
+  spec.total_work = kTotalWork;
+  // NPB/OMP-style codes initialize their arrays in the parallel loops that
+  // later process them, so first-touch keeps each thread's pages local; the
+  // shared-data workloads (joins, PageRank) override this with interleaving.
+  spec.memory_policy = MemoryPolicy::kLocal;
+  return spec;
+}
+
+// --- NAS parallel benchmarks [2] ---
+
+WorkloadSpec BT() {
+  WorkloadSpec spec = Base("BT");
+  // Block tri-diagonal solver: compute-leaning stencil sweeps with regular
+  // barriers and moderate memory traffic.
+  spec.parallel_fraction = 0.996;
+  spec.balance = BalanceMode::kStatic;
+  spec.single_thread_ipc = 0.65;
+  spec.l1_bpw = 16.0;
+  spec.l2_bpw = 5.0;
+  spec.l3_bpw = 0.9;
+  spec.dram_bpw = 0.25;
+  spec.working_set = 0.5;
+  spec.shared_fraction = 0.5;
+  spec.comm_intensity = 0.0002;
+  spec.remote_access_cost = 0.01;
+  spec.duty_cycle = 0.9;
+  return spec;
+}
+
+WorkloadSpec CG() {
+  WorkloadSpec spec = Base("CG");
+  // Conjugate gradient: irregular sparse matrix-vector products, strongly
+  // memory-bound, low IPC.
+  spec.parallel_fraction = 0.995;
+  spec.balance = BalanceMode::kStatic;
+  spec.single_thread_ipc = 0.5;
+  spec.l1_bpw = 20.0;
+  spec.l2_bpw = 8.0;
+  spec.l3_bpw = 1.9;
+  spec.dram_bpw = 0.75;
+  spec.working_set = 0.8;
+  spec.shared_fraction = 0.5;
+  spec.comm_intensity = 0.0004;
+  spec.remote_access_cost = 0.03;
+  spec.duty_cycle = 0.95;
+  return spec;
+}
+
+WorkloadSpec EP() {
+  WorkloadSpec spec = Base("EP");
+  // Embarrassingly parallel: pure compute, negligible traffic, dynamic
+  // scheduling of independent batches.
+  spec.parallel_fraction = 0.9998;
+  spec.balance = BalanceMode::kDynamic;
+  spec.chunk_fraction = 0.002;
+  spec.single_thread_ipc = 0.6;
+  spec.l1_bpw = 4.0;
+  spec.l2_bpw = 0.3;
+  spec.l3_bpw = 0.05;
+  spec.dram_bpw = 0.01;
+  spec.working_set = 0.005;
+  spec.shared_fraction = 0.5;
+  spec.remote_access_cost = 0.001;
+  spec.memory_policy = MemoryPolicy::kLocal;
+  return spec;
+}
+
+WorkloadSpec FT() {
+  WorkloadSpec spec = Base("FT");
+  // 3D FFT: bandwidth-hungry butterflies plus an all-to-all transpose that
+  // makes it the most communication-sensitive NPB kernel.
+  spec.parallel_fraction = 0.995;
+  spec.balance = BalanceMode::kStatic;
+  spec.single_thread_ipc = 0.6;
+  spec.l1_bpw = 18.0;
+  spec.l2_bpw = 6.0;
+  spec.l3_bpw = 1.4;
+  spec.dram_bpw = 0.5;
+  spec.working_set = 0.9;
+  spec.shared_fraction = 0.5;
+  spec.comm_intensity = 0.0012;
+  spec.comm_bytes_per_work = 0.01;
+  spec.remote_access_cost = 0.04;
+  spec.duty_cycle = 0.9;
+  return spec;
+}
+
+WorkloadSpec IS() {
+  WorkloadSpec spec = Base("IS");
+  // Integer sort: bucketed counting sort, DRAM-bound with a key-exchange
+  // phase; buckets are handed out dynamically.
+  spec.parallel_fraction = 0.99;
+  spec.balance = BalanceMode::kDynamic;
+  spec.chunk_fraction = 0.004;
+  spec.single_thread_ipc = 0.45;
+  spec.l1_bpw = 14.0;
+  spec.l2_bpw = 6.0;
+  spec.l3_bpw = 2.0;
+  spec.dram_bpw = 0.85;
+  spec.working_set = 0.7;
+  spec.shared_fraction = 0.5;
+  spec.comm_intensity = 0.0009;
+  spec.comm_bytes_per_work = 0.012;
+  spec.remote_access_cost = 0.05;
+  spec.duty_cycle = 0.95;
+  return spec;
+}
+
+WorkloadSpec LU() {
+  WorkloadSpec spec = Base("LU");
+  // Lower-upper Gauss-Seidel: pipelined wavefronts, moderately bursty.
+  spec.parallel_fraction = 0.993;
+  spec.balance = BalanceMode::kStatic;
+  spec.single_thread_ipc = 0.6;
+  spec.l1_bpw = 15.0;
+  spec.l2_bpw = 5.0;
+  spec.l3_bpw = 1.0;
+  spec.dram_bpw = 0.3;
+  spec.working_set = 0.6;
+  spec.shared_fraction = 0.5;
+  spec.comm_intensity = 0.0003;
+  spec.remote_access_cost = 0.02;
+  spec.duty_cycle = 0.85;
+  return spec;
+}
+
+WorkloadSpec MG() {
+  WorkloadSpec spec = Base("MG");
+  // Multi-grid: long stride sweeps over a mesh hierarchy, bandwidth-bound.
+  spec.parallel_fraction = 0.993;
+  spec.balance = BalanceMode::kStatic;
+  spec.single_thread_ipc = 0.55;
+  spec.l1_bpw = 18.0;
+  spec.l2_bpw = 7.0;
+  spec.l3_bpw = 1.5;
+  spec.dram_bpw = 0.55;
+  spec.working_set = 1.1;
+  spec.shared_fraction = 0.5;
+  spec.comm_intensity = 0.0005;
+  spec.remote_access_cost = 0.04;
+  spec.duty_cycle = 0.9;
+  return spec;
+}
+
+WorkloadSpec SP() {
+  WorkloadSpec spec = Base("SP");
+  // Scalar penta-diagonal solver: BT's sibling with higher memory pressure.
+  spec.parallel_fraction = 0.995;
+  spec.balance = BalanceMode::kStatic;
+  spec.single_thread_ipc = 0.6;
+  spec.l1_bpw = 16.0;
+  spec.l2_bpw = 6.0;
+  spec.l3_bpw = 1.1;
+  spec.dram_bpw = 0.4;
+  spec.working_set = 0.7;
+  spec.shared_fraction = 0.5;
+  spec.comm_intensity = 0.0003;
+  spec.remote_access_cost = 0.02;
+  spec.duty_cycle = 0.9;
+  return spec;
+}
+
+// --- SPEC OMP workloads [24] ---
+
+WorkloadSpec Applu() {
+  WorkloadSpec spec = Base("Applu");
+  // Parabolic/elliptic PDE solver.
+  spec.parallel_fraction = 0.99;
+  spec.balance = BalanceMode::kStatic;
+  spec.single_thread_ipc = 0.6;
+  spec.l1_bpw = 15.0;
+  spec.l2_bpw = 5.0;
+  spec.l3_bpw = 1.0;
+  spec.dram_bpw = 0.35;
+  spec.working_set = 0.6;
+  spec.shared_fraction = 0.5;
+  spec.comm_intensity = 0.0003;
+  spec.remote_access_cost = 0.025;
+  spec.duty_cycle = 0.9;
+  return spec;
+}
+
+WorkloadSpec Apsi() {
+  WorkloadSpec spec = Base("Apsi");
+  // Pollutant-distribution meteorology: compute-leaning, modest footprint,
+  // a visible serial fraction.
+  spec.parallel_fraction = 0.985;
+  spec.balance = BalanceMode::kStatic;
+  spec.single_thread_ipc = 0.65;
+  spec.l1_bpw = 12.0;
+  spec.l2_bpw = 3.0;
+  spec.l3_bpw = 0.6;
+  spec.dram_bpw = 0.15;
+  spec.working_set = 0.4;
+  spec.shared_fraction = 0.5;
+  spec.comm_intensity = 0.0002;
+  spec.remote_access_cost = 0.01;
+  return spec;
+}
+
+WorkloadSpec Art() {
+  WorkloadSpec spec = Base("Art");
+  // Neural-network image recognition: famously cache-capacity-sensitive —
+  // per-thread working sets overflow the LLC as threads pack together.
+  spec.parallel_fraction = 0.995;
+  spec.balance = BalanceMode::kStatic;
+  spec.single_thread_ipc = 0.55;
+  spec.l1_bpw = 16.0;
+  spec.l2_bpw = 6.0;
+  spec.l3_bpw = 1.6;
+  spec.dram_bpw = 0.2;
+  spec.working_set = 3.2;
+  spec.shared_fraction = 0.1;
+  spec.comm_intensity = 0.0003;
+  spec.remote_access_cost = 0.02;
+  spec.duty_cycle = 0.9;
+  return spec;
+}
+
+WorkloadSpec Bwaves() {
+  WorkloadSpec spec = Base("Bwaves");
+  // Blast-wave CFD: streaming, strongly bandwidth-bound.
+  spec.parallel_fraction = 0.997;
+  spec.balance = BalanceMode::kStatic;
+  spec.single_thread_ipc = 0.5;
+  spec.l1_bpw = 20.0;
+  spec.l2_bpw = 8.0;
+  spec.l3_bpw = 1.9;
+  spec.dram_bpw = 0.8;
+  spec.working_set = 0.8;
+  spec.shared_fraction = 0.5;
+  spec.comm_intensity = 0.0004;
+  spec.remote_access_cost = 0.04;
+  return spec;
+}
+
+WorkloadSpec Fma3d() {
+  WorkloadSpec spec = Base("FMA-3D");
+  // Finite-element crash simulation: irregular elements, bursty demand,
+  // a noticeable serial contact-search fraction.
+  spec.parallel_fraction = 0.98;
+  spec.balance = BalanceMode::kStatic;
+  spec.single_thread_ipc = 0.6;
+  spec.l1_bpw = 14.0;
+  spec.l2_bpw = 4.5;
+  spec.l3_bpw = 0.9;
+  spec.dram_bpw = 0.28;
+  spec.working_set = 0.5;
+  spec.shared_fraction = 0.5;
+  spec.comm_intensity = 0.0003;
+  spec.remote_access_cost = 0.02;
+  spec.duty_cycle = 0.8;
+  return spec;
+}
+
+WorkloadSpec MD() {
+  WorkloadSpec spec = Base("MD");
+  // Molecular dynamics (Figure 1): compute-dominant force evaluation with
+  // work-stealing over particle blocks; scales broadly.
+  spec.parallel_fraction = 0.9985;
+  spec.balance = BalanceMode::kDynamic;
+  spec.chunk_fraction = 0.002;
+  spec.single_thread_ipc = 0.7;
+  spec.l1_bpw = 12.0;
+  spec.l2_bpw = 3.0;
+  spec.l3_bpw = 0.5;
+  spec.dram_bpw = 0.1;
+  spec.working_set = 0.2;
+  spec.shared_fraction = 0.5;
+  spec.comm_intensity = 0.00025;
+  spec.remote_access_cost = 0.01;
+  spec.duty_cycle = 0.95;
+  return spec;
+}
+
+WorkloadSpec Swim() {
+  WorkloadSpec spec = Base("Swim");
+  // Shallow-water modeling: the textbook stream-limited stencil.
+  spec.parallel_fraction = 0.997;
+  spec.balance = BalanceMode::kStatic;
+  spec.single_thread_ipc = 0.5;
+  spec.l1_bpw = 22.0;
+  spec.l2_bpw = 9.0;
+  spec.l3_bpw = 2.0;
+  spec.dram_bpw = 0.9;
+  spec.working_set = 1.3;
+  spec.shared_fraction = 0.5;
+  spec.comm_intensity = 0.0004;
+  spec.remote_access_cost = 0.05;
+  return spec;
+}
+
+WorkloadSpec Wupwise() {
+  WorkloadSpec spec = Base("Wupwise");
+  // Wilson fermion solver: mixed compute/bandwidth, guided scheduling.
+  spec.parallel_fraction = 0.996;
+  spec.balance = BalanceMode::kDynamic;
+  spec.chunk_fraction = 0.003;
+  spec.single_thread_ipc = 0.68;
+  spec.l1_bpw = 14.0;
+  spec.l2_bpw = 4.0;
+  spec.l3_bpw = 0.8;
+  spec.dram_bpw = 0.3;
+  spec.working_set = 0.45;
+  spec.shared_fraction = 0.5;
+  spec.comm_intensity = 0.0003;
+  spec.remote_access_cost = 0.02;
+  return spec;
+}
+
+// --- Main-memory hash joins, Balkesen et al. [3] ---
+
+WorkloadSpec NPO() {
+  WorkloadSpec spec = Base("NPO");
+  // No-partitioning join: probes of a shared hash table, heavy random DRAM
+  // traffic and cross-socket coherence on the table.
+  spec.parallel_fraction = 0.99;
+  spec.balance = BalanceMode::kDynamic;
+  spec.chunk_fraction = 0.003;
+  spec.single_thread_ipc = 0.5;
+  spec.l1_bpw = 16.0;
+  spec.l2_bpw = 7.0;
+  spec.l3_bpw = 1.5;
+  spec.dram_bpw = 0.5;
+  spec.working_set = 2.0;
+  spec.shared_fraction = 0.7;
+  spec.comm_intensity = 0.0006;
+  spec.comm_bytes_per_work = 0.01;
+  spec.remote_access_cost = 0.05;
+  spec.duty_cycle = 0.75;
+  spec.memory_policy = MemoryPolicy::kInterleaveAll;
+  return spec;
+}
+
+WorkloadSpec PRH() {
+  WorkloadSpec spec = Base("PRH");
+  // Parallel radix join (histogram variant): partition passes alternate
+  // bursts of bandwidth with compute, then local probes.
+  spec.parallel_fraction = 0.985;
+  spec.balance = BalanceMode::kStatic;
+  spec.single_thread_ipc = 0.55;
+  spec.l1_bpw = 18.0;
+  spec.l2_bpw = 7.0;
+  spec.l3_bpw = 1.4;
+  spec.dram_bpw = 0.5;
+  spec.working_set = 0.7;
+  spec.shared_fraction = 0.5;
+  spec.comm_intensity = 0.0004;
+  spec.remote_access_cost = 0.04;
+  spec.duty_cycle = 0.55;
+  spec.memory_policy = MemoryPolicy::kInterleaveAll;
+  return spec;
+}
+
+WorkloadSpec PRHO() {
+  WorkloadSpec spec = Base("PRHO");
+  // PRH with software-managed buffers: fewer passes, smoother demand.
+  spec.parallel_fraction = 0.99;
+  spec.balance = BalanceMode::kStatic;
+  spec.single_thread_ipc = 0.58;
+  spec.l1_bpw = 17.0;
+  spec.l2_bpw = 6.5;
+  spec.l3_bpw = 1.3;
+  spec.dram_bpw = 0.45;
+  spec.working_set = 0.65;
+  spec.shared_fraction = 0.5;
+  spec.comm_intensity = 0.0004;
+  spec.remote_access_cost = 0.035;
+  spec.duty_cycle = 0.6;
+  spec.memory_policy = MemoryPolicy::kInterleaveAll;
+  return spec;
+}
+
+WorkloadSpec PRO() {
+  WorkloadSpec spec = Base("PRO");
+  // Radix join with task queues: dynamic partition assignment.
+  spec.parallel_fraction = 0.99;
+  spec.balance = BalanceMode::kDynamic;
+  spec.chunk_fraction = 0.004;
+  spec.single_thread_ipc = 0.58;
+  spec.l1_bpw = 17.0;
+  spec.l2_bpw = 6.0;
+  spec.l3_bpw = 1.2;
+  spec.dram_bpw = 0.4;
+  spec.working_set = 0.6;
+  spec.shared_fraction = 0.5;
+  spec.comm_intensity = 0.0004;
+  spec.remote_access_cost = 0.035;
+  spec.duty_cycle = 0.65;
+  spec.memory_policy = MemoryPolicy::kInterleaveAll;
+  return spec;
+}
+
+WorkloadSpec SortJoin() {
+  WorkloadSpec spec = Base("Sort-Join");
+  // Sort-merge join with AVX bitonic kernels (§6.1: peaks at 32 threads on
+  // the X5-2; §6.2: omitted on Westmere for lacking AVX): a single thread
+  // nearly saturates the vector units, so SMT sharing only collides.
+  spec.parallel_fraction = 0.99;
+  spec.balance = BalanceMode::kStatic;
+  spec.single_thread_ipc = 0.95;
+  spec.l1_bpw = 14.0;
+  spec.l2_bpw = 5.0;
+  spec.l3_bpw = 1.0;
+  spec.dram_bpw = 0.35;
+  spec.working_set = 0.9;
+  spec.shared_fraction = 0.5;
+  spec.comm_intensity = 0.0007;
+  spec.remote_access_cost = 0.06;
+  spec.duty_cycle = 0.5;
+  spec.memory_policy = MemoryPolicy::kInterleaveAll;
+  return spec;
+}
+
+// --- In-memory graph analytics [14] ---
+
+WorkloadSpec PageRank() {
+  WorkloadSpec spec = Base("PageRank");
+  // Parallel PageRank over Callisto-style fine-grain loops: irregular
+  // bandwidth-bound gathers over a shared graph, fine-grained stealing.
+  spec.parallel_fraction = 0.997;
+  spec.balance = BalanceMode::kDynamic;
+  spec.chunk_fraction = 0.0015;
+  spec.single_thread_ipc = 0.45;
+  spec.l1_bpw = 18.0;
+  spec.l2_bpw = 8.0;
+  spec.l3_bpw = 1.6;
+  spec.dram_bpw = 0.6;
+  spec.working_set = 2.5;
+  spec.shared_fraction = 0.7;
+  spec.comm_intensity = 0.0008;
+  spec.comm_bytes_per_work = 0.012;
+  spec.remote_access_cost = 0.06;
+  spec.duty_cycle = 0.9;
+  spec.memory_policy = MemoryPolicy::kInterleaveAll;
+  return spec;
+}
+
+}  // namespace
+
+std::vector<WorkloadSpec> EvaluationSuite() {
+  // Figure 11 order (alphabetical as in the paper's bar charts).
+  return {Applu(),  Apsi(), Art(),      BT(),       Bwaves(), CG(),
+          EP(),     Fma3d(), FT(),      IS(),       LU(),     MD(),
+          MG(),     NPO(),  PRH(),      PRHO(),     PRO(),    PageRank(),
+          SortJoin(), SP(), Swim(),     Wupwise()};
+}
+
+std::vector<std::string> DevelopmentSet() { return {"BT", "CG", "IS", "MD"}; }
+
+sim::WorkloadSpec NpoSingleThreaded() {
+  WorkloadSpec spec = NPO();
+  // One thread does all the work; the others stay idle after initialization
+  // (§6.3, Figure 13a) but still spread the data across their sockets.
+  spec.name = "NPO-1T";
+  spec.max_active_threads = 1;
+  return spec;
+}
+
+sim::WorkloadSpec Equake() {
+  WorkloadSpec spec = Base("Equake");
+  // Earthquake FEM: the reduction step adds work with every extra thread,
+  // violating the constant-work assumption (§6.3, Figure 13b/c).
+  spec.parallel_fraction = 0.98;
+  spec.balance = BalanceMode::kStatic;
+  spec.single_thread_ipc = 0.6;
+  spec.l1_bpw = 14.0;
+  spec.l2_bpw = 5.0;
+  spec.l3_bpw = 0.9;
+  spec.dram_bpw = 0.3;
+  spec.working_set = 0.6;
+  spec.shared_fraction = 0.5;
+  spec.comm_intensity = 0.0003;
+  spec.remote_access_cost = 0.02;
+  spec.duty_cycle = 0.9;
+  spec.work_growth = 0.05;
+  return spec;
+}
+
+sim::WorkloadSpec BtSmall() {
+  WorkloadSpec spec = BT();
+  // BT with its smallest dataset (§6.4): the main parallel loop has only 64
+  // iterations before a barrier, so between 32 and 64 threads extra threads
+  // add nothing.
+  spec.name = "BT-small";
+  spec.total_work = 250.0;
+  spec.parallel_quanta = 64;
+  return spec;
+}
+
+bool Exists(const std::string& name) {
+  for (const WorkloadSpec& spec : EvaluationSuite()) {
+    if (spec.name == name) {
+      return true;
+    }
+  }
+  return name == "NPO-1T" || name == "Equake" || name == "BT-small";
+}
+
+sim::WorkloadSpec ByName(const std::string& name) {
+  for (const WorkloadSpec& spec : EvaluationSuite()) {
+    if (spec.name == name) {
+      return spec;
+    }
+  }
+  if (name == "NPO-1T") {
+    return NpoSingleThreaded();
+  }
+  if (name == "Equake") {
+    return Equake();
+  }
+  if (name == "BT-small") {
+    return BtSmall();
+  }
+  PANDIA_CHECK_MSG(false, "unknown workload name");
+}
+
+}  // namespace workloads
+}  // namespace pandia

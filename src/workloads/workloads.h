@@ -1,0 +1,46 @@
+// The evaluation workload suite (paper §6).
+//
+// Ground-truth specs standing in for the paper's 22 benchmark binaries —
+// NPB [2], SPEC OMP [24], the Balkesen et al. hash joins [3], and in-memory
+// graph analytics [14] — plus the two §6.3 limit studies (single-threaded
+// NPO and equake). Each spec encodes the published character of its
+// benchmark: compute vs bandwidth intensity, parallel fraction, balancing
+// discipline, cache footprint, communication behaviour, and burstiness.
+//
+// Pandia's pipeline treats these as opaque binaries: only the simulator
+// reads the fields.
+#ifndef PANDIA_SRC_WORKLOADS_WORKLOADS_H_
+#define PANDIA_SRC_WORKLOADS_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/workload_spec.h"
+
+namespace pandia {
+namespace workloads {
+
+// The paper's 22 evaluation workloads, in the order of Figure 11's x-axis.
+std::vector<sim::WorkloadSpec> EvaluationSuite();
+
+// The 4 workloads studied while developing Pandia (§6: BT, CG, IS, MD);
+// the remaining 18 form the test set.
+std::vector<std::string> DevelopmentSet();
+
+// §6.3/§6.4 limit studies.
+sim::WorkloadSpec NpoSingleThreaded();  // non-scaling workload (Figure 13a)
+sim::WorkloadSpec Equake();             // work grows with threads (Figure 13b/c)
+sim::WorkloadSpec BtSmall();            // 64-iteration parallel loop: the
+                                        // discontinuous-scaling case of §6.4
+
+// Lookup by name across the suite and the limit studies; aborts on unknown
+// names. CLI front-ends should check Exists() first.
+sim::WorkloadSpec ByName(const std::string& name);
+
+// True when ByName(name) would succeed.
+bool Exists(const std::string& name);
+
+}  // namespace workloads
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_WORKLOADS_WORKLOADS_H_

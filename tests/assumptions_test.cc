@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "src/machine_desc/generator.h"
+#include "src/sim/machine.h"
+#include "src/sim/machine_spec.h"
+#include "src/workload_desc/assumptions.h"
+#include "src/workloads/workloads.h"
+
+namespace pandia {
+namespace {
+
+const sim::Machine& X3() {
+  static const sim::Machine machine{sim::MakeX3_2()};
+  return machine;
+}
+
+const MachineDescription& X3Desc() {
+  static const MachineDescription desc = GenerateMachineDescription(X3());
+  return desc;
+}
+
+TEST(Assumptions, SuiteWorkloadsPassValidation) {
+  for (const char* name : {"BT", "CG", "EP", "MD", "Swim", "NPO"}) {
+    const AssumptionReport report =
+        ValidateAssumptions(X3(), X3Desc(), workloads::ByName(name));
+    EXPECT_TRUE(report.AllOk()) << name << ": "
+                                << (report.warnings.empty() ? "" : report.warnings[0]);
+    EXPECT_LT(report.work_growth_per_thread, 0.02) << name;
+    EXPECT_LT(report.busy_time_skew, 0.08) << name;
+  }
+}
+
+TEST(Assumptions, DetectsEquakeWorkGrowth) {
+  const AssumptionReport report =
+      ValidateAssumptions(X3(), X3Desc(), workloads::Equake());
+  EXPECT_FALSE(report.constant_work_ok);
+  // Ground truth growth is 0.05 per thread.
+  EXPECT_NEAR(report.work_growth_per_thread, 0.05, 0.015);
+  ASSERT_FALSE(report.warnings.empty());
+  EXPECT_NE(report.warnings[0].find("constant-work"), std::string::npos);
+}
+
+TEST(Assumptions, DetectsCoarseParallelLoops) {
+  // BT-small's 64 iterations over 7 threads: one thread runs 10 quanta,
+  // the others 9 -> ~10% busy-time skew.
+  const AssumptionReport report =
+      ValidateAssumptions(X3(), X3Desc(), workloads::BtSmall());
+  EXPECT_FALSE(report.fine_grained_ok);
+  EXPECT_GT(report.busy_time_skew, 0.08);
+  ASSERT_FALSE(report.warnings.empty());
+}
+
+TEST(Assumptions, RegularBtPassesWhereSmallFails) {
+  const AssumptionReport big = ValidateAssumptions(X3(), X3Desc(), workloads::ByName("BT"));
+  const AssumptionReport small = ValidateAssumptions(X3(), X3Desc(), workloads::BtSmall());
+  EXPECT_TRUE(big.fine_grained_ok);
+  EXPECT_FALSE(small.fine_grained_ok);
+}
+
+TEST(Assumptions, ReportIsCheapTwoRuns) {
+  // The validator must stay two runs: cheap enough to bolt onto the six
+  // profiling runs. (Smoke-check by timing: far below a placement sweep.)
+  const AssumptionReport report =
+      ValidateAssumptions(X3(), X3Desc(), workloads::ByName("CG"));
+  EXPECT_TRUE(report.AllOk());
+}
+
+}  // namespace
+}  // namespace pandia

@@ -1,0 +1,145 @@
+// Tests for the co-scheduling extension (§8 future work): the joint model
+// must reduce exactly to the single-workload model, capture interference
+// between jobs, and roughly agree with simulated co-runs.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/eval/pipeline.h"
+#include "src/predictor/co_schedule.h"
+#include "src/workloads/workloads.h"
+
+namespace pandia {
+namespace {
+
+const eval::Pipeline& X3() {
+  static const eval::Pipeline pipeline("x3-2");
+  return pipeline;
+}
+
+const WorkloadDescription& Desc(const char* name) {
+  static std::map<std::string, WorkloadDescription> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache.emplace(name, X3().Profile(workloads::ByName(name))).first;
+  }
+  return it->second;
+}
+
+TEST(CoSchedule, SingleJobMatchesPredictorExactly) {
+  const WorkloadDescription& desc = Desc("CG");
+  const Predictor predictor = X3().MakePredictor(desc);
+  const CoSchedulePredictor engine(X3().description());
+  const MachineTopology& topo = X3().machine().topology();
+  for (const Placement& placement :
+       {Placement::OnePerCore(topo, 6), Placement::TwoPerCore(topo, 20)}) {
+    const Prediction single = predictor.Predict(placement);
+    const CoScheduleRequest request{&desc, placement};
+    const CoSchedulePrediction joint =
+        engine.Predict(std::span<const CoScheduleRequest>(&request, 1));
+    EXPECT_DOUBLE_EQ(single.speedup, joint.jobs[0].speedup);
+    EXPECT_DOUBLE_EQ(single.time, joint.jobs[0].time);
+    EXPECT_EQ(single.iterations, joint.jobs[0].iterations);
+  }
+}
+
+TEST(CoSchedule, DisjointComputeJobsDoNotInterfere) {
+  const WorkloadDescription& desc = Desc("EP");
+  const MachineTopology& topo = X3().machine().topology();
+  // EP on socket 0 and EP on socket 1, no shared resources to saturate.
+  std::vector<SocketLoad> s0{{4, 0}, {0, 0}};
+  std::vector<SocketLoad> s1{{0, 0}, {4, 0}};
+  const std::vector<CoScheduleRequest> requests{
+      {&desc, Placement::FromSocketLoads(topo, s0)},
+      {&desc, Placement::FromSocketLoads(topo, s1)},
+  };
+  const CoSchedulePredictor engine(X3().description());
+  const CoSchedulePrediction joint = engine.Predict(requests);
+  const Predictor solo = X3().MakePredictor(desc);
+  const Prediction alone = solo.Predict(Placement::FromSocketLoads(topo, s0));
+  EXPECT_NEAR(joint.jobs[0].speedup, alone.speedup, alone.speedup * 0.02);
+  EXPECT_NEAR(joint.jobs[1].speedup, alone.speedup, alone.speedup * 0.02);
+}
+
+TEST(CoSchedule, MemoryJobsOnOneSocketInterfere) {
+  const WorkloadDescription& desc = Desc("Swim");
+  const MachineTopology& topo = X3().machine().topology();
+  // Two bandwidth-bound jobs packed onto the same socket must slow each
+  // other; the same jobs on separate sockets must not.
+  std::vector<SocketLoad> first_half{{4, 0}, {0, 0}};
+  Placement second_half(topo, {0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0});
+  const std::vector<CoScheduleRequest> same_socket{
+      {&desc, Placement::FromSocketLoads(topo, first_half)},
+      {&desc, second_half},
+  };
+  std::vector<SocketLoad> other_socket{{0, 0}, {4, 0}};
+  const std::vector<CoScheduleRequest> split{
+      {&desc, Placement::FromSocketLoads(topo, first_half)},
+      {&desc, Placement::FromSocketLoads(topo, other_socket)},
+  };
+  const CoSchedulePredictor engine(X3().description());
+  const double same = engine.Predict(same_socket).jobs[0].speedup;
+  const double apart = engine.Predict(split).jobs[0].speedup;
+  EXPECT_LT(same, apart * 0.92);
+}
+
+TEST(CoSchedule, InterferencePredictionTracksSimulatedCoRun) {
+  // Simulate CG (foreground) sharing socket 0 with a continuously running
+  // Swim (background); the joint prediction of CG's time must land within
+  // a factor of ~1.5 of the simulated co-run.
+  const WorkloadDescription& cg = Desc("CG");
+  const WorkloadDescription& swim = Desc("Swim");
+  const MachineTopology& topo = X3().machine().topology();
+  const Placement cg_placement(topo, {1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+  const Placement swim_placement(topo, {0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0});
+
+  const std::vector<CoScheduleRequest> requests{
+      {&cg, cg_placement},
+      {&swim, swim_placement},
+  };
+  const CoSchedulePredictor engine(X3().description());
+  const double predicted = engine.Predict(requests).jobs[0].time;
+
+  const sim::WorkloadSpec cg_spec = workloads::ByName("CG");
+  const sim::WorkloadSpec swim_spec = workloads::ByName("Swim");
+  const std::vector<sim::JobRequest> jobs{
+      {&cg_spec, cg_placement, /*background=*/false},
+      {&swim_spec, swim_placement, /*background=*/true},
+  };
+  const double measured = X3().machine().Run(jobs).jobs[0].completion_time;
+  EXPECT_LT(predicted, measured * 1.5);
+  EXPECT_GT(predicted, measured / 1.5);
+
+  // And the co-run must be slower than CG alone on those cores.
+  const double alone =
+      X3().machine().RunOne(cg_spec, cg_placement).jobs[0].completion_time;
+  EXPECT_GT(measured, alone * 1.02);
+  const Predictor solo = X3().MakePredictor(cg);
+  EXPECT_GT(predicted, solo.Predict(cg_placement).time * 1.02);
+}
+
+TEST(CoSchedule, CombinedResourceLoadIsSumOfJobs) {
+  const WorkloadDescription& cg = Desc("CG");
+  const MachineTopology& topo = X3().machine().topology();
+  std::vector<SocketLoad> s0{{2, 0}, {0, 0}};
+  std::vector<SocketLoad> s1{{0, 0}, {2, 0}};
+  const std::vector<CoScheduleRequest> requests{
+      {&cg, Placement::FromSocketLoads(topo, s0)},
+      {&cg, Placement::FromSocketLoads(topo, s1)},
+  };
+  const CoSchedulePredictor engine(X3().description());
+  const CoSchedulePrediction joint = engine.Predict(requests);
+  const ResourceIndex index(topo);
+  // Both jobs are symmetric, so both DRAM nodes see the same load.
+  EXPECT_NEAR(joint.resource_load[index.Dram(0)], joint.resource_load[index.Dram(1)],
+              1e-9);
+  EXPECT_GT(joint.resource_load[index.Dram(0)], 0.0);
+}
+
+TEST(CoScheduleDeath, RejectsEmptyRequests) {
+  const CoSchedulePredictor engine(X3().description());
+  EXPECT_DEATH(engine.Predict({}), "PANDIA_CHECK");
+}
+
+}  // namespace
+}  // namespace pandia

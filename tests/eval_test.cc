@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "src/eval/experiment.h"
+#include "src/eval/pipeline.h"
+#include "src/sim/machine_spec.h"
+#include "src/workloads/workloads.h"
+
+namespace pandia {
+namespace eval {
+namespace {
+
+MachineTopology X3Topo() { return sim::MakeX3_2().topo; }
+
+SweepResult MakeSyntheticSweep(double predicted_scale) {
+  // Three placements with measured times 10, 5, 2 and predictions scaled by
+  // `predicted_scale` (1.0 = perfect).
+  const MachineTopology topo = X3Topo();
+  static const MachineTopology static_topo = X3Topo();
+  SweepResult result;
+  result.workload = "synthetic";
+  result.machine = "x3-2";
+  const double measured[] = {10.0, 5.0, 2.0};
+  for (int i = 0; i < 3; ++i) {
+    PlacementResult pr{Placement::OnePerCore(static_topo, i + 1)};
+    pr.measured_time = measured[i];
+    pr.predicted_time = measured[i] * predicted_scale;
+    result.placements.push_back(std::move(pr));
+  }
+  ComputeMetrics(result);
+  return result;
+}
+
+TEST(EvalMetrics, PerfectPredictionsHaveZeroError) {
+  const SweepResult result = MakeSyntheticSweep(1.0);
+  EXPECT_NEAR(result.error_mean, 0.0, 1e-9);
+  EXPECT_NEAR(result.error_median, 0.0, 1e-9);
+  EXPECT_NEAR(result.offset_error_mean, 0.0, 1e-9);
+  EXPECT_EQ(result.best_measured_index, 2u);
+  EXPECT_EQ(result.best_predicted_index, 2u);
+  EXPECT_NEAR(result.best_placement_gap_pct, 0.0, 1e-9);
+}
+
+TEST(EvalMetrics, ConstantFactorErrorVanishesUnderNormalization) {
+  // A uniform 2x misprediction normalizes away entirely: both error metrics
+  // are zero because the series are normalized to their own bests (§6.1).
+  const SweepResult result = MakeSyntheticSweep(2.0);
+  EXPECT_NEAR(result.error_mean, 0.0, 1e-9);
+  EXPECT_NEAR(result.offset_error_mean, 0.0, 1e-9);
+}
+
+TEST(EvalMetrics, ShapeErrorSurvivesOffsetCorrection) {
+  const MachineTopology topo = X3Topo();
+  static const MachineTopology static_topo = X3Topo();
+  SweepResult result;
+  result.workload = "shape";
+  result.machine = "x3-2";
+  const double measured[] = {10.0, 5.0, 2.0};
+  const double predicted[] = {10.0, 8.0, 2.0};  // middle placement mispredicted
+  for (int i = 0; i < 3; ++i) {
+    PlacementResult pr{Placement::OnePerCore(static_topo, i + 1)};
+    pr.measured_time = measured[i];
+    pr.predicted_time = predicted[i];
+    result.placements.push_back(std::move(pr));
+  }
+  ComputeMetrics(result);
+  // A shape error cannot be repaired by a constant shift: both metrics stay
+  // positive (the offset metric may redistribute, not erase, the error).
+  EXPECT_GT(result.error_mean, 5.0);
+  EXPECT_GT(result.offset_error_mean, 1.0);
+}
+
+TEST(EvalSweep, PlacementsAreExhaustiveOnSmallMachines) {
+  SweepOptions options;
+  const std::vector<Placement> placements = SweepPlacements(X3Topo(), options);
+  EXPECT_EQ(placements.size(), 1034u);
+}
+
+TEST(EvalSweep, SamplingKicksInAboveLimit) {
+  SweepOptions options;
+  options.exhaustive_limit = 100;
+  options.sample_count = 250;
+  const std::vector<Placement> placements = SweepPlacements(X3Topo(), options);
+  EXPECT_EQ(placements.size(), 251u);  // 250 sampled + anchored full machine
+}
+
+TEST(EvalSweep, FilterRestrictsClasses) {
+  const MachineTopology topo = sim::MakeX2_4().topo;
+  SweepOptions options;
+  options.exhaustive_limit = 1;  // force sampling
+  options.sample_count = 120;
+  options.filter = AtMostTwoSockets;
+  for (const Placement& p : SweepPlacements(topo, options)) {
+    EXPECT_LE(p.NumActiveSockets(), 2);
+  }
+  options.filter = AtMostTwentyCores;
+  for (const Placement& p : SweepPlacements(topo, options)) {
+    int cores = 0;
+    for (int s = 0; s < topo.num_sockets; ++s) {
+      cores += p.CoresUsedOnSocket(s);
+    }
+    EXPECT_LE(cores, 20);
+  }
+}
+
+TEST(EvalSweep, EndToEndSweepProducesFiniteMetrics) {
+  const Pipeline pipeline("x3-2");
+  const sim::WorkloadSpec workload = workloads::ByName("EP");
+  const WorkloadDescription desc = pipeline.Profile(workload);
+  const Predictor predictor = pipeline.MakePredictor(desc);
+  SweepOptions options;
+  options.exhaustive_limit = 100;  // sample to keep the test fast
+  options.sample_count = 60;
+  const SweepResult result = RunSweep(pipeline.machine(), predictor, workload, options);
+  EXPECT_EQ(result.placements.size(), 61u);  // 60 sampled + anchored full machine
+  EXPECT_GE(result.error_mean, 0.0);
+  EXPECT_GE(result.offset_error_median, 0.0);
+  EXPECT_LE(result.offset_error_median, result.error_mean + 50.0);
+  EXPECT_LT(result.best_placement_gap_pct, 50.0);
+}
+
+TEST(EvalSweep, BaselineComparesCosts) {
+  const Pipeline pipeline("x3-2");
+  const sim::WorkloadSpec workload = workloads::ByName("EP");
+  const WorkloadDescription desc = pipeline.Profile(workload);
+  const Predictor predictor = pipeline.MakePredictor(desc);
+  SweepOptions options;
+  options.exhaustive_limit = 100;
+  options.sample_count = 80;
+  const SweepResult sweep = RunSweep(pipeline.machine(), predictor, workload, options);
+  const SweepBaselineResult baseline =
+      RunSweepBaseline(pipeline.machine(), workload, desc, sweep);
+  EXPECT_GT(baseline.cost_ratio, 0.5);  // exploring 64 placements costs more
+  // The reference sweep here is a small sample, so the compact/spread sweep
+  // may legitimately beat it (negative gap).
+  EXPECT_LT(baseline.sweep_best_gap_pct, 100.0);
+  if (baseline.sweep_best_gap_pct <= 0.0) {
+    EXPECT_TRUE(baseline.found_best);
+  }
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace pandia

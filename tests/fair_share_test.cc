@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/sim/fair_share.h"
+#include "src/util/rng.h"
+
+namespace pandia {
+namespace sim {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(FairShare, EmptyProblem) {
+  const FairShareResult result = SolveMaxMinFairShare(FairShareProblem{});
+  EXPECT_TRUE(result.rates.empty());
+}
+
+TEST(FairShare, SingleThreadHitsItsBottleneck) {
+  FairShareProblem problem;
+  problem.capacities = {10.0, 4.0};
+  problem.demands = {{{0, 1.0}, {1, 2.0}}};
+  problem.rate_caps = {100.0};
+  const FairShareResult result = SolveMaxMinFairShare(problem);
+  // Resource 1 binds: rate = 4 / 2 = 2.
+  EXPECT_NEAR(result.rates[0], 2.0, kTol);
+  EXPECT_NEAR(result.resource_usage[1], 4.0, kTol);
+}
+
+TEST(FairShare, CapBindsBeforeResources) {
+  FairShareProblem problem;
+  problem.capacities = {10.0};
+  problem.demands = {{{0, 1.0}}};
+  problem.rate_caps = {3.0};
+  const FairShareResult result = SolveMaxMinFairShare(problem);
+  EXPECT_NEAR(result.rates[0], 3.0, kTol);
+}
+
+TEST(FairShare, EqualSplitOnSharedResource) {
+  FairShareProblem problem;
+  problem.capacities = {12.0};
+  problem.demands = {{{0, 1.0}}, {{0, 1.0}}, {{0, 1.0}}};
+  problem.rate_caps = {100.0, 100.0, 100.0};
+  const FairShareResult result = SolveMaxMinFairShare(problem);
+  for (double rate : result.rates) {
+    EXPECT_NEAR(rate, 4.0, kTol);
+  }
+}
+
+TEST(FairShare, CappedThreadReleasesShareToOthers) {
+  FairShareProblem problem;
+  problem.capacities = {12.0};
+  problem.demands = {{{0, 1.0}}, {{0, 1.0}}};
+  problem.rate_caps = {2.0, 100.0};
+  const FairShareResult result = SolveMaxMinFairShare(problem);
+  EXPECT_NEAR(result.rates[0], 2.0, kTol);
+  EXPECT_NEAR(result.rates[1], 10.0, kTol);
+}
+
+TEST(FairShare, HeterogeneousDemandsShareProportionally) {
+  // Thread 0 needs 2 units per rate, thread 1 needs 1: max-min equalizes
+  // the *rates*, not the consumption.
+  FairShareProblem problem;
+  problem.capacities = {9.0};
+  problem.demands = {{{0, 2.0}}, {{0, 1.0}}};
+  problem.rate_caps = {100.0, 100.0};
+  const FairShareResult result = SolveMaxMinFairShare(problem);
+  EXPECT_NEAR(result.rates[0], 3.0, kTol);
+  EXPECT_NEAR(result.rates[1], 3.0, kTol);
+}
+
+TEST(FairShare, TwoBottlenecksFreezeInOrder)
+{
+  // Threads 0,1 share resource 0 (tight); thread 2 uses resource 1 (loose).
+  FairShareProblem problem;
+  problem.capacities = {4.0, 10.0};
+  problem.demands = {{{0, 1.0}}, {{0, 1.0}}, {{1, 1.0}}};
+  problem.rate_caps = {100.0, 100.0, 8.0};
+  const FairShareResult result = SolveMaxMinFairShare(problem);
+  EXPECT_NEAR(result.rates[0], 2.0, kTol);
+  EXPECT_NEAR(result.rates[1], 2.0, kTol);
+  EXPECT_NEAR(result.rates[2], 8.0, kTol);
+}
+
+TEST(FairShare, ZeroDemandThreadOnlyBoundByCap) {
+  FairShareProblem problem;
+  problem.capacities = {1.0};
+  problem.demands = {{}, {{0, 1.0}}};
+  problem.rate_caps = {5.0, 100.0};
+  const FairShareResult result = SolveMaxMinFairShare(problem);
+  EXPECT_NEAR(result.rates[0], 5.0, kTol);
+  EXPECT_NEAR(result.rates[1], 1.0, kTol);
+}
+
+TEST(FairShareDeath, RejectsNonPositiveCapacity) {
+  FairShareProblem problem;
+  problem.capacities = {0.0};
+  problem.demands = {{{0, 1.0}}};
+  problem.rate_caps = {1.0};
+  EXPECT_DEATH(SolveMaxMinFairShare(problem), "positive");
+}
+
+TEST(FairShareDeath, RejectsNonPositiveCap) {
+  FairShareProblem problem;
+  problem.capacities = {1.0};
+  problem.demands = {{{0, 1.0}}};
+  problem.rate_caps = {0.0};
+  EXPECT_DEATH(SolveMaxMinFairShare(problem), "positive");
+}
+
+// Property sweep: random problems must satisfy the max-min invariants.
+class FairShareProperty : public ::testing::TestWithParam<int> {};
+
+FairShareProblem RandomProblem(uint64_t seed) {
+  Rng rng(seed);
+  FairShareProblem problem;
+  const int resources = 2 + static_cast<int>(rng.NextBounded(6));
+  const int threads = 1 + static_cast<int>(rng.NextBounded(8));
+  for (int r = 0; r < resources; ++r) {
+    problem.capacities.push_back(1.0 + rng.NextDouble() * 20.0);
+  }
+  problem.demands.resize(threads);
+  problem.rate_caps.resize(threads);
+  for (int t = 0; t < threads; ++t) {
+    const int touches = 1 + static_cast<int>(rng.NextBounded(resources));
+    for (int k = 0; k < touches; ++k) {
+      problem.demands[t].push_back(
+          {static_cast<int>(rng.NextBounded(resources)), 0.1 + rng.NextDouble() * 3.0});
+    }
+    problem.rate_caps[t] = 0.5 + rng.NextDouble() * 10.0;
+  }
+  return problem;
+}
+
+TEST_P(FairShareProperty, InvariantsHold) {
+  const FairShareProblem problem = RandomProblem(1000 + GetParam());
+  const FairShareResult result = SolveMaxMinFairShare(problem);
+  const size_t threads = problem.demands.size();
+  const size_t resources = problem.capacities.size();
+
+  // Feasibility: no resource over capacity, no cap exceeded, rates > 0.
+  std::vector<double> usage(resources, 0.0);
+  for (size_t t = 0; t < threads; ++t) {
+    EXPECT_GT(result.rates[t], 0.0);
+    EXPECT_LE(result.rates[t], problem.rate_caps[t] * (1.0 + 1e-9));
+    for (const ResourceDemand& d : problem.demands[t]) {
+      usage[d.resource] += d.amount * result.rates[t];
+    }
+  }
+  for (size_t r = 0; r < resources; ++r) {
+    EXPECT_LE(usage[r], problem.capacities[r] * (1.0 + 1e-9));
+    EXPECT_NEAR(usage[r], result.resource_usage[r], 1e-6);
+  }
+
+  // Max-min optimality: every thread is either at its cap or touches a
+  // saturated resource (cannot be raised without lowering someone else).
+  for (size_t t = 0; t < threads; ++t) {
+    bool bound = result.rates[t] >= problem.rate_caps[t] * (1.0 - 1e-6);
+    for (const ResourceDemand& d : problem.demands[t]) {
+      if (d.amount > 0.0 &&
+          usage[d.resource] >= problem.capacities[d.resource] * (1.0 - 1e-6)) {
+        bound = true;
+      }
+    }
+    EXPECT_TRUE(bound) << "thread " << t << " could still grow";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomProblems, FairShareProperty, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace sim
+}  // namespace pandia

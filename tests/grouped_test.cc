@@ -1,0 +1,105 @@
+// Tests for heterogeneous thread groups (§6.4 limitation, addressed via
+// explicit groupings as the paper suggests).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/eval/pipeline.h"
+#include "src/predictor/grouped.h"
+#include "src/workloads/workloads.h"
+
+namespace pandia {
+namespace {
+
+const eval::Pipeline& X3() {
+  static const eval::Pipeline pipeline("x3-2");
+  return pipeline;
+}
+
+ThreadGroup MakeGroup(const char* workload, double weight = 1.0) {
+  return ThreadGroup{workload, X3().Profile(workloads::ByName(workload)), weight};
+}
+
+TEST(Grouped, PipelineRateIsTheSlowestGroup) {
+  GroupedWorkloadPredictor predictor(X3().description(),
+                                     {MakeGroup("EP"), MakeGroup("Swim")});
+  const MachineTopology& topo = X3().machine().topology();
+  // EP gets 12 cores, Swim only 4: Swim limits the pipeline.
+  Placement ep_cores(topo, {1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0});
+  Placement swim_cores(topo, {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1});
+  const std::vector<Placement> placements{ep_cores, swim_cores};
+  const GroupedPrediction prediction = predictor.Predict(placements);
+  ASSERT_EQ(prediction.groups.size(), 2u);
+  EXPECT_EQ(prediction.bottleneck_group, 1);
+  EXPECT_NEAR(prediction.pipeline_rate, prediction.groups[1].speedup, 1e-9);
+  EXPECT_GT(prediction.groups[0].speedup, prediction.groups[1].speedup);
+}
+
+TEST(Grouped, WeightsShiftTheBottleneck) {
+  // Same placements, but the EP group must do 10x the work per unit of
+  // progress: now EP limits the pipeline.
+  GroupedWorkloadPredictor predictor(X3().description(),
+                                     {MakeGroup("EP", 10.0), MakeGroup("Swim")});
+  const MachineTopology& topo = X3().machine().topology();
+  Placement ep_cores(topo, {1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0});
+  Placement swim_cores(topo, {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1});
+  const GroupedPrediction prediction =
+      predictor.Predict(std::vector<Placement>{ep_cores, swim_cores});
+  EXPECT_EQ(prediction.bottleneck_group, 0);
+}
+
+TEST(Grouped, OptimizeSplitBalancesTheGroups) {
+  GroupedWorkloadPredictor predictor(X3().description(),
+                                     {MakeGroup("EP"), MakeGroup("Swim")});
+  const std::vector<Placement> split = predictor.OptimizeSplit();
+  ASSERT_EQ(split.size(), 2u);
+  // Disjoint cores covering at most the machine.
+  const MachineTopology& topo = X3().machine().topology();
+  for (int c = 0; c < topo.NumCores(); ++c) {
+    EXPECT_FALSE(split[0].ThreadsOnCore(c) > 0 && split[1].ThreadsOnCore(c) > 0);
+  }
+  const GroupedPrediction balanced = predictor.Predict(split);
+  // The optimized split beats a naive half/half split.
+  Placement half_a(topo, {1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0});
+  Placement half_b(topo, {0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1});
+  const GroupedPrediction naive =
+      predictor.Predict(std::vector<Placement>{half_a, half_b});
+  EXPECT_GE(balanced.pipeline_rate, naive.pipeline_rate * 0.999);
+  // Swim saturates early while EP scales with few cores packed, so
+  // bottleneck balancing hands the struggling group (Swim) the larger
+  // share of cores.
+  int ep_cores = 0;
+  int swim_cores = 0;
+  for (int c = 0; c < topo.NumCores(); ++c) {
+    ep_cores += split[0].ThreadsOnCore(c) > 0 ? 1 : 0;
+    swim_cores += split[1].ThreadsOnCore(c) > 0 ? 1 : 0;
+  }
+  EXPECT_GE(swim_cores, ep_cores);
+  // And the groups' rates are closer together than in the naive split.
+  const double balanced_gap = std::fabs(balanced.groups[0].speedup -
+                                        balanced.groups[1].speedup);
+  const double naive_gap =
+      std::fabs(naive.groups[0].speedup - naive.groups[1].speedup);
+  EXPECT_LE(balanced_gap, naive_gap + 1e-9);
+}
+
+TEST(Grouped, SingleGroupMatchesPlainPredictor) {
+  GroupedWorkloadPredictor predictor(X3().description(), {MakeGroup("CG")});
+  const MachineTopology& topo = X3().machine().topology();
+  const Placement placement = Placement::OnePerCore(topo, 8);
+  const GroupedPrediction grouped =
+      predictor.Predict(std::vector<Placement>{placement});
+  const Predictor plain = X3().MakePredictor(predictor.groups()[0].description);
+  EXPECT_DOUBLE_EQ(grouped.groups[0].speedup, plain.Predict(placement).speedup);
+  EXPECT_DOUBLE_EQ(grouped.pipeline_rate, grouped.groups[0].speedup);
+}
+
+TEST(GroupedDeath, RejectsInvalidConfiguration) {
+  EXPECT_DEATH(GroupedWorkloadPredictor(X3().description(), {}), "PANDIA_CHECK");
+  ThreadGroup bad = MakeGroup("EP");
+  bad.weight = 0.0;
+  EXPECT_DEATH(GroupedWorkloadPredictor(X3().description(), {bad}), "weight");
+}
+
+}  // namespace
+}  // namespace pandia

@@ -1,0 +1,104 @@
+// Tests for the §6.3/§6.4 limit-study mechanics: work growth, capped
+// parallelism, and discontinuous scaling via quantized parallel loops.
+#include <gtest/gtest.h>
+
+#include "src/eval/pipeline.h"
+#include "src/sim/machine.h"
+#include "src/sim/machine_spec.h"
+#include "src/workloads/workloads.h"
+
+namespace pandia {
+namespace {
+
+const sim::Machine& X5() {
+  static const sim::Machine machine{sim::MakeX5_2()};
+  return machine;
+}
+
+double Time(const sim::Machine& machine, const sim::WorkloadSpec& spec, int threads) {
+  const MachineTopology& topo = machine.topology();
+  const Placement placement = threads <= topo.NumCores()
+                                  ? Placement::OnePerCore(topo, threads)
+                                  : Placement::TwoPerCore(topo, threads);
+  return machine.RunOne(spec, placement).jobs[0].completion_time;
+}
+
+TEST(Limits, QuantizedLoopPlateausBetweenDivisors) {
+  const sim::WorkloadSpec spec = workloads::BtSmall();
+  ASSERT_EQ(spec.parallel_quanta, 64);
+  // §6.4: "By the time 32 threads are reached there will be no further
+  // performance increase until 64 threads are available". With 33..63
+  // threads some thread still executes 2 of the 64 iterations.
+  const double t32 = Time(X5(), spec, 32);
+  const double t48 = Time(X5(), spec, 48);
+  const double t64 = Time(X5(), spec, 64);
+  EXPECT_GT(t48, t32 * 0.95);   // no meaningful gain from 32 -> 48
+  EXPECT_LT(t64, t48 * 0.85);   // the next divisor unlocks a real gain
+}
+
+TEST(Limits, QuantizedLoopConservesWork) {
+  const sim::WorkloadSpec spec = workloads::BtSmall();
+  const sim::RunResult result =
+      X5().RunOne(spec, Placement::OnePerCore(X5().topology(), 23));
+  double total = 0.0;
+  for (const sim::ThreadResult& thread : result.jobs[0].threads) {
+    total += thread.work_done;
+  }
+  EXPECT_NEAR(total, spec.total_work, spec.total_work * 1e-6);
+}
+
+TEST(Limits, QuantizedLoopMatchesEqualSplitAtDivisors) {
+  // At thread counts dividing the quanta, quantization changes nothing.
+  sim::WorkloadSpec quantized = workloads::BtSmall();
+  sim::WorkloadSpec smooth = quantized;
+  smooth.name = "BT-small-smooth";
+  smooth.parallel_quanta = 0;
+  for (int n : {8, 16, 32}) {
+    EXPECT_NEAR(Time(X5(), quantized, n), Time(X5(), smooth, n),
+                Time(X5(), smooth, n) * 0.021)  // noise keys differ by name
+        << n;
+  }
+}
+
+TEST(Limits, ModelMissesThePlateau) {
+  // The predictor assumes plentiful fine-grained work (§2.3), so it keeps
+  // predicting gains between 32 and 63 threads where the machine plateaus.
+  const eval::Pipeline pipeline("x5-2");
+  const sim::WorkloadSpec spec = workloads::BtSmall();
+  const WorkloadDescription desc = pipeline.Profile(spec);
+  const Predictor predictor = pipeline.MakePredictor(desc);
+  const MachineTopology& topo = pipeline.machine().topology();
+  const double pred32 = predictor.Predict(Placement::OnePerCore(topo, 32)).time;
+  const double pred36 = predictor.Predict(Placement::OnePerCore(topo, 36)).time;
+  EXPECT_LT(pred36, pred32 * 0.97);  // model predicts a gain...
+  const double meas32 = Time(pipeline.machine(), spec, 32);
+  const double meas36 = Time(pipeline.machine(), spec, 36);
+  EXPECT_GT(meas36, meas32 * 0.97);  // ...that the machine does not deliver
+                                     // (36 threads still run 2 iterations each)
+}
+
+TEST(Limits, EquakeWorkGrowthRaisesTotalWork) {
+  const sim::WorkloadSpec spec = workloads::Equake();
+  const sim::RunResult result =
+      X5().RunOne(spec, Placement::OnePerCore(X5().topology(), 20));
+  double total = 0.0;
+  for (const sim::ThreadResult& thread : result.jobs[0].threads) {
+    total += thread.work_done;
+  }
+  EXPECT_NEAR(total, spec.total_work * (1.0 + spec.work_growth * 19), 1.0);
+}
+
+TEST(Limits, Npo1tIgnoresExtraThreadsEntirely) {
+  const sim::WorkloadSpec spec = workloads::NpoSingleThreaded();
+  // With local-socket-only placements the run time is independent of the
+  // number of idle extra threads (modulo turbo and noise).
+  const MachineTopology& topo = X5().topology();
+  const double t4 = X5().RunOne(spec, Placement::OnePerCore(topo, 4))
+                        .jobs[0].completion_time;
+  const double t16 = X5().RunOne(spec, Placement::OnePerCore(topo, 16))
+                         .jobs[0].completion_time;
+  EXPECT_NEAR(t4, t16, t4 * 0.1);
+}
+
+}  // namespace
+}  // namespace pandia

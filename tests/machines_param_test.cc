@@ -1,0 +1,120 @@
+// Machine-generic invariants, parameterized over all four evaluation
+// machines (§6.1-§6.2): description generation, profiling, prediction, and
+// sweep metrics must hold on every topology, including the 4-socket X2-4.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/eval/experiment.h"
+#include "src/eval/pipeline.h"
+#include "src/sim/machine_spec.h"
+#include "src/topology/enumerate.h"
+#include "src/workloads/workloads.h"
+
+namespace pandia {
+namespace {
+
+class EveryMachine : public ::testing::TestWithParam<std::string> {
+ protected:
+  static const eval::Pipeline& PipelineFor(const std::string& name) {
+    static std::map<std::string, eval::Pipeline> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+      it = cache.emplace(name, eval::Pipeline(name)).first;
+    }
+    return it->second;
+  }
+  const eval::Pipeline& P() const { return PipelineFor(GetParam()); }
+};
+
+TEST_P(EveryMachine, DescriptionCapacitiesArePositiveAndOrdered) {
+  const MachineDescription& desc = P().description();
+  EXPECT_GT(desc.core_ops, 0.0);
+  EXPECT_GT(desc.smt_combined_ops, desc.core_ops);
+  // The memory hierarchy narrows on the way down.
+  EXPECT_GT(desc.l1_bw, desc.l2_bw);
+  EXPECT_GT(desc.l2_bw, desc.l3_port_bw);
+  EXPECT_GT(desc.l3_agg_bw, desc.l3_port_bw);
+  EXPECT_GT(desc.dram_bw, 0.0);
+  EXPECT_GT(desc.link_bw, 0.0);
+  EXPECT_LT(desc.link_bw, desc.dram_bw * desc.topo.num_sockets);
+}
+
+TEST_P(EveryMachine, TurboIsMeasuredAtTheAllCoreBin) {
+  const sim::MachineSpec truth = sim::MachineByName(GetParam());
+  const double all_core = truth.turbo.Multiplier(
+      truth.topo.cores_per_socket, truth.topo.cores_per_socket, true);
+  // CPU stressor ILP cap is 0.75 of the core.
+  EXPECT_NEAR(P().description().core_ops, truth.core_ops * all_core * 0.75,
+              P().description().core_ops * 0.05);
+}
+
+TEST_P(EveryMachine, ProfilerProducesValidDescriptions) {
+  for (const char* name : {"MD", "CG"}) {
+    const WorkloadDescription desc = P().Profile(workloads::ByName(name));
+    EXPECT_GT(desc.t1, 0.0) << GetParam() << "/" << name;
+    EXPECT_GE(desc.parallel_fraction, 0.9) << GetParam() << "/" << name;
+    EXPECT_GE(desc.profile_threads, 2);
+    EXPECT_LE(desc.profile_threads, P().machine().topology().cores_per_socket);
+  }
+}
+
+TEST_P(EveryMachine, SweepMetricsStayInPaperBallpark) {
+  const sim::WorkloadSpec workload = workloads::ByName("MD");
+  const WorkloadDescription desc = P().Profile(workload);
+  const Predictor predictor = P().MakePredictor(desc);
+  eval::SweepOptions options;
+  options.exhaustive_limit = 1100;  // exhaustive only on the 8-core parts
+  options.sample_count = 400;
+  const eval::SweepResult result =
+      eval::RunSweep(P().machine(), predictor, workload, options);
+  EXPECT_LT(result.error_median, 25.0) << GetParam();
+  EXPECT_LT(result.best_placement_gap_pct, 12.0) << GetParam();
+}
+
+TEST_P(EveryMachine, PredictionsCoverTheWholeCanonicalSpace) {
+  const sim::WorkloadSpec workload = workloads::ByName("EP");
+  const WorkloadDescription desc = P().Profile(workload);
+  const Predictor predictor = P().MakePredictor(desc);
+  const MachineTopology& topo = P().machine().topology();
+  for (const Placement& placement : SampleCanonicalPlacements(topo, 60, 5)) {
+    const Prediction p = predictor.Predict(placement);
+    EXPECT_GT(p.speedup, 0.0) << GetParam() << " " << placement.ToString();
+    EXPECT_TRUE(p.converged) << GetParam() << " " << placement.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMachines, EveryMachine,
+                         ::testing::Values("x5-2", "x4-2", "x3-2", "x2-4"));
+
+TEST(FourSocket, InterleaveAllRoutesOverEveryLink) {
+  const eval::Pipeline pipeline("x2-4");
+  const MachineTopology& topo = pipeline.machine().topology();
+  sim::WorkloadSpec workload = workloads::ByName("NPO");  // interleave-all
+  std::vector<SocketLoad> loads{{2, 0}, {2, 0}, {2, 0}, {2, 0}};
+  const sim::RunResult result = pipeline.machine().RunOne(
+      workload, Placement::FromSocketLoads(topo, loads));
+  const ResourceIndex& index = pipeline.machine().index();
+  for (int a = 0; a < topo.num_sockets; ++a) {
+    for (int b = a + 1; b < topo.num_sockets; ++b) {
+      EXPECT_GT(result.jobs[0].resource_consumption[index.Link(a, b)], 0.0)
+          << a << "-" << b;
+    }
+  }
+}
+
+TEST(FourSocket, CommunicationPenaltyCountsPeersAcrossAllSockets) {
+  const eval::Pipeline pipeline("x2-4");
+  const WorkloadDescription desc = pipeline.Profile(workloads::ByName("FT"));
+  const Predictor predictor = pipeline.MakePredictor(desc);
+  const MachineTopology& topo = pipeline.machine().topology();
+  std::vector<SocketLoad> two{{4, 0}, {4, 0}, {0, 0}, {0, 0}};
+  std::vector<SocketLoad> four{{2, 0}, {2, 0}, {2, 0}, {2, 0}};
+  const Prediction on_two = predictor.Predict(Placement::FromSocketLoads(topo, two));
+  const Prediction on_four = predictor.Predict(Placement::FromSocketLoads(topo, four));
+  // Same thread count; more remote peers on four sockets.
+  EXPECT_GE(on_four.threads[0].comm_penalty, on_two.threads[0].comm_penalty);
+}
+
+}  // namespace
+}  // namespace pandia

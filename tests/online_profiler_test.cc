@@ -1,0 +1,159 @@
+// Tests for the online profiler (§8 runtime-integration extension): a
+// runtime feeding loop epochs must converge to a description close to what
+// the dedicated six-run profiler produces.
+#include <gtest/gtest.h>
+
+#include "src/eval/pipeline.h"
+#include "src/workload_desc/online_profiler.h"
+#include "src/workloads/workloads.h"
+
+namespace pandia {
+namespace {
+
+const eval::Pipeline& X3() {
+  static const eval::Pipeline pipeline("x3-2");
+  return pipeline;
+}
+
+OnlineProfiler MakeProfiler(const sim::WorkloadSpec& workload) {
+  return OnlineProfiler(X3().description(), workload.name, workload.memory_policy);
+}
+
+TEST(OnlineProfiler, StartsEmpty) {
+  const sim::WorkloadSpec workload = workloads::ByName("MD");
+  const OnlineProfiler profiler = MakeProfiler(workload);
+  EXPECT_FALSE(profiler.demands_known());
+  EXPECT_FALSE(profiler.Complete());
+}
+
+TEST(OnlineProfiler, OrderingIsEnforced) {
+  const sim::WorkloadSpec workload = workloads::ByName("MD");
+  OnlineProfiler profiler = MakeProfiler(workload);
+  const MachineTopology& topo = X3().machine().topology();
+  // A parallel epoch before any single-thread epoch cannot be used (§4's
+  // step dependencies).
+  EXPECT_FALSE(
+      profiler.ObserveRun(X3().machine(), workload, Placement::OnePerCore(topo, 4)));
+  EXPECT_TRUE(
+      profiler.ObserveRun(X3().machine(), workload, Placement::OnePerCore(topo, 1)));
+  EXPECT_TRUE(
+      profiler.ObserveRun(X3().machine(), workload, Placement::OnePerCore(topo, 4)));
+  EXPECT_TRUE(profiler.parallel_fraction_known());
+}
+
+TEST(OnlineProfiler, ConvergesToOfflineDescription) {
+  const sim::WorkloadSpec workload = workloads::ByName("MD");
+  OnlineProfiler profiler = MakeProfiler(workload);
+  const MachineTopology& topo = X3().machine().topology();
+  EXPECT_TRUE(
+      profiler.ObserveRun(X3().machine(), workload, Placement::OnePerCore(topo, 1)));
+  EXPECT_TRUE(
+      profiler.ObserveRun(X3().machine(), workload, Placement::OnePerCore(topo, 6)));
+  std::vector<SocketLoad> split{{3, 0}, {3, 0}};
+  EXPECT_TRUE(profiler.ObserveRun(X3().machine(), workload,
+                                  Placement::FromSocketLoads(topo, split)));
+  std::vector<SocketLoad> packed{{0, 3}, {0, 0}};
+  EXPECT_TRUE(profiler.ObserveRun(X3().machine(), workload,
+                                  Placement::FromSocketLoads(topo, packed)));
+  EXPECT_TRUE(profiler.Complete());
+
+  const WorkloadDescription offline = X3().Profile(workload);
+  const WorkloadDescription& online = profiler.description();
+  // Online epochs run without the background filler, so tolerances are
+  // loose — but every parameter must land in the right region.
+  EXPECT_NEAR(online.parallel_fraction, offline.parallel_fraction, 0.04);  // turbo skews unfixed online epochs
+  EXPECT_NEAR(online.demands.instr_rate, offline.demands.instr_rate,
+              offline.demands.instr_rate * 0.25);
+  EXPECT_NEAR(online.inter_socket_overhead, offline.inter_socket_overhead, 0.02);
+  EXPECT_NEAR(online.burstiness, offline.burstiness, 0.3);
+}
+
+TEST(OnlineProfiler, OnlineDescriptionPredictsUsefully) {
+  const sim::WorkloadSpec workload = workloads::ByName("CG");
+  OnlineProfiler profiler = MakeProfiler(workload);
+  const MachineTopology& topo = X3().machine().topology();
+  profiler.ObserveRun(X3().machine(), workload, Placement::OnePerCore(topo, 1));
+  profiler.ObserveRun(X3().machine(), workload, Placement::OnePerCore(topo, 4));
+  std::vector<SocketLoad> split{{2, 0}, {2, 0}};
+  profiler.ObserveRun(X3().machine(), workload,
+                      Placement::FromSocketLoads(topo, split));
+  std::vector<SocketLoad> packed{{0, 2}, {0, 0}};
+  profiler.ObserveRun(X3().machine(), workload,
+                      Placement::FromSocketLoads(topo, packed));
+  ASSERT_TRUE(profiler.Complete());
+
+  const Predictor predictor(X3().description(), profiler.description());
+  for (int n : {8, 16}) {
+    const Placement placement = Placement::OnePerCore(topo, n);
+    const double predicted = predictor.Predict(placement).time;
+    const double measured =
+        X3().machine().RunOne(workload, placement).jobs[0].completion_time;
+    EXPECT_LT(predicted, measured * 1.6) << n;
+    EXPECT_GT(predicted, measured / 1.6) << n;
+  }
+}
+
+TEST(OnlineProfiler, RepeatedEpochsRefineByAveraging) {
+  const sim::WorkloadSpec workload = workloads::ByName("EP");
+  OnlineProfiler profiler = MakeProfiler(workload);
+  const MachineTopology& topo = X3().machine().topology();
+  profiler.ObserveRun(X3().machine(), workload, Placement::OnePerCore(topo, 1));
+  const double t1_first = profiler.description().t1;
+  profiler.ObserveRun(X3().machine(), workload, Placement::OnePerCore(topo, 1));
+  // Deterministic sim: identical epochs, identical average.
+  EXPECT_NEAR(profiler.description().t1, t1_first, t1_first * 1e-9);
+}
+
+TEST(OnlineProfiler, ContaminatedParallelEpochIsRejected) {
+  // Swim saturates shared resources with a full socket of threads: such an
+  // epoch must not contaminate the Amdahl estimate.
+  const sim::WorkloadSpec workload = workloads::ByName("Swim");
+  OnlineProfiler profiler = MakeProfiler(workload);
+  const MachineTopology& topo = X3().machine().topology();
+  profiler.ObserveRun(X3().machine(), workload, Placement::OnePerCore(topo, 1));
+  EXPECT_FALSE(profiler.ObserveRun(X3().machine(), workload,
+                                   Placement::OnePerCore(topo, 8)));
+  EXPECT_TRUE(profiler.ObserveRun(X3().machine(), workload,
+                                  Placement::OnePerCore(topo, 2)));
+}
+
+TEST(OnlineProfiler, SuggestedProbesCompleteTheDescription) {
+  const sim::WorkloadSpec workload = workloads::ByName("Swim");
+  OnlineProfiler profiler = MakeProfiler(workload);
+  int probes = 0;
+  while (!profiler.Complete()) {
+    const std::optional<Placement> probe = profiler.SuggestNextProbe();
+    ASSERT_TRUE(probe.has_value()) << "stuck after " << probes << " probes";
+    EXPECT_TRUE(profiler.ObserveRun(X3().machine(), workload, *probe))
+        << probe->ToString();
+    ASSERT_LT(++probes, 10);
+  }
+  // Exactly the paper's measurement structure: one probe per §4 step that a
+  // runtime can observe (t1, p, o_s, b).
+  EXPECT_EQ(probes, 4);
+  EXPECT_FALSE(profiler.SuggestNextProbe().has_value());
+}
+
+TEST(OnlineProfiler, SuggestedParallelProbeIsContentionFree) {
+  // Swim saturates shared resources quickly: the suggested parallel probe
+  // must use fewer threads than a full socket.
+  const sim::WorkloadSpec workload = workloads::ByName("Swim");
+  OnlineProfiler profiler = MakeProfiler(workload);
+  profiler.ObserveRun(X3().machine(), workload, *profiler.SuggestNextProbe());
+  const std::optional<Placement> parallel_probe = profiler.SuggestNextProbe();
+  ASSERT_TRUE(parallel_probe.has_value());
+  EXPECT_LT(parallel_probe->TotalThreads(),
+            X3().machine().topology().cores_per_socket);
+  EXPECT_EQ(parallel_probe->TotalThreads() % 2, 0);
+}
+
+TEST(OnlineProfilerDeath, RejectsNonPositiveTime) {
+  const sim::WorkloadSpec workload = workloads::ByName("MD");
+  OnlineProfiler profiler = MakeProfiler(workload);
+  EpochObservation epoch{Placement::OnePerCore(X3().machine().topology(), 1)};
+  epoch.time = 0.0;
+  EXPECT_DEATH(profiler.Observe(epoch), "PANDIA_CHECK");
+}
+
+}  // namespace
+}  // namespace pandia

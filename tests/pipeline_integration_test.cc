@@ -1,0 +1,91 @@
+// End-to-end accuracy gates: the full Pandia pipeline on the simulated
+// machines must land in the ballpark the paper reports (§6.1) — small
+// best-placement gaps and modest errors — for the development workloads.
+#include <gtest/gtest.h>
+
+#include "src/eval/experiment.h"
+#include "src/eval/pipeline.h"
+#include "src/workloads/workloads.h"
+
+namespace pandia {
+namespace {
+
+const eval::Pipeline& X3Pipeline() {
+  static const eval::Pipeline pipeline("x3-2");
+  return pipeline;
+}
+
+eval::SweepResult SweepFor(const std::string& workload_name) {
+  const sim::WorkloadSpec workload = workloads::ByName(workload_name);
+  const WorkloadDescription desc = X3Pipeline().Profile(workload);
+  const Predictor predictor = X3Pipeline().MakePredictor(desc);
+  eval::SweepOptions options;  // exhaustive 1034 placements on the x3-2
+  return eval::RunSweep(X3Pipeline().machine(), predictor, workload, options);
+}
+
+class DevelopmentWorkload : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DevelopmentWorkload, ErrorsAreWithinPaperBallpark) {
+  const eval::SweepResult result = SweepFor(GetParam());
+  // Paper (X3-2): median error 3.8%, median offset error 1.5% across all
+  // workloads, with individual workloads up to tens of percent. Gate each
+  // development workload loosely enough to be robust, tightly enough to
+  // catch regressions.
+  EXPECT_LT(result.error_median, 20.0) << GetParam();
+  EXPECT_LT(result.offset_error_median, 12.0) << GetParam();
+}
+
+TEST_P(DevelopmentWorkload, PredictedBestPlacementIsNearlyOptimal) {
+  const eval::SweepResult result = SweepFor(GetParam());
+  // Paper: mean 0.77%, median 0% lost on the X3-2. Allow a few percent.
+  EXPECT_LT(result.best_placement_gap_pct, 6.0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(DevSet, DevelopmentWorkload,
+                         ::testing::Values("BT", "CG", "IS", "MD"));
+
+TEST(PipelineIntegration, PredictionsAreDeterministic) {
+  const sim::WorkloadSpec workload = workloads::ByName("MD");
+  const WorkloadDescription a = X3Pipeline().Profile(workload);
+  const WorkloadDescription b = X3Pipeline().Profile(workload);
+  EXPECT_DOUBLE_EQ(a.t1, b.t1);
+  EXPECT_DOUBLE_EQ(a.parallel_fraction, b.parallel_fraction);
+  EXPECT_DOUBLE_EQ(a.burstiness, b.burstiness);
+}
+
+TEST(PipelineIntegration, DescriptionsDifferAcrossMachines) {
+  const eval::Pipeline x5("x5-2");
+  const sim::WorkloadSpec workload = workloads::ByName("CG");
+  const WorkloadDescription on_x3 = X3Pipeline().Profile(workload);
+  const WorkloadDescription on_x5 = x5.Profile(workload);
+  EXPECT_NE(on_x3.t1, on_x5.t1);
+  EXPECT_EQ(on_x3.machine, "x3-2");
+  EXPECT_EQ(on_x5.machine, "x5-2");
+}
+
+TEST(PipelineIntegration, PortabilityPredictorIsUsable) {
+  // §6.1 Figure 11c/d: X3-2 workload description driven by the X5-2
+  // machine description (and vice versa) still yields usable predictions.
+  const eval::Pipeline x5("x5-2");
+  const sim::WorkloadSpec workload = workloads::ByName("MD");
+  const WorkloadDescription from_x3 = X3Pipeline().Profile(workload);
+  const Predictor cross = x5.MakePredictor(from_x3);
+  const Prediction p =
+      cross.Predict(Placement::OnePerCore(x5.machine().topology(), 16));
+  EXPECT_GT(p.speedup, 1.0);
+  EXPECT_TRUE(p.converged);
+}
+
+TEST(PipelineIntegration, NonScalingWorkloadIsDetected) {
+  // §6.3 Figure 13a: Pandia detects the absence of scaling for NPO-1T.
+  const sim::WorkloadSpec workload = workloads::NpoSingleThreaded();
+  const WorkloadDescription desc = X3Pipeline().Profile(workload);
+  EXPECT_LT(desc.parallel_fraction, 0.2);
+  const Predictor predictor = X3Pipeline().MakePredictor(desc);
+  const Prediction p = predictor.Predict(
+      Placement::OnePerCore(X3Pipeline().machine().topology(), 8));
+  EXPECT_LT(p.speedup, 1.3);
+}
+
+}  // namespace
+}  // namespace pandia

@@ -1,0 +1,162 @@
+// Metamorphic properties of the predictor.
+//
+// The paper claims the model is unit-free (§3, Figure 3: "so long as
+// consistent units are used ... the exact scale is not significant") and
+// structurally symmetric (homogeneous machines, §2.2). These tests pin
+// those invariances, plus robustness over randomized descriptions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/machine_desc/generator.h"
+#include "src/predictor/predictor.h"
+#include "src/sim/machine.h"
+#include "src/sim/machine_spec.h"
+#include "src/util/rng.h"
+
+namespace pandia {
+namespace {
+
+const MachineDescription& BaseMachine() {
+  static const MachineDescription desc = [] {
+    const sim::Machine machine{sim::MakeX3_2()};
+    return GenerateMachineDescription(machine);
+  }();
+  return desc;
+}
+
+WorkloadDescription BaseWorkload() {
+  WorkloadDescription desc;
+  desc.workload = "meta";
+  desc.machine = "x3-2";
+  desc.t1 = 120.0;
+  desc.demands = ResourceDemandVector{4.0, 45.0, 12.0, 8.0, 6.0, 2.0};
+  desc.memory_policy = MemoryPolicy::kInterleaveAll;
+  desc.parallel_fraction = 0.98;
+  desc.inter_socket_overhead = 0.02;
+  desc.load_balance = 0.4;
+  desc.burstiness = 0.25;
+  return desc;
+}
+
+MachineDescription ScaleMachine(const MachineDescription& base, double bw_scale,
+                                double ops_scale) {
+  MachineDescription scaled = base;
+  scaled.core_ops *= ops_scale;
+  scaled.smt_combined_ops *= ops_scale;
+  scaled.l1_bw *= bw_scale;
+  scaled.l2_bw *= bw_scale;
+  scaled.l3_port_bw *= bw_scale;
+  scaled.l3_agg_bw *= bw_scale;
+  scaled.dram_bw *= bw_scale;
+  scaled.link_bw *= bw_scale;
+  return scaled;
+}
+
+WorkloadDescription ScaleWorkload(const WorkloadDescription& base, double bw_scale,
+                                  double ops_scale) {
+  WorkloadDescription scaled = base;
+  scaled.demands.instr_rate *= ops_scale;
+  scaled.demands.l1_bw *= bw_scale;
+  scaled.demands.l2_bw *= bw_scale;
+  scaled.demands.l3_bw *= bw_scale;
+  scaled.demands.dram_local_bw *= bw_scale;
+  scaled.demands.dram_remote_bw *= bw_scale;
+  return scaled;
+}
+
+class UnitScale : public ::testing::TestWithParam<double> {};
+
+TEST_P(UnitScale, ConsistentRescalingLeavesSpeedupsUnchanged) {
+  const double scale = GetParam();
+  const Predictor original(BaseMachine(), BaseWorkload());
+  const Predictor rescaled(ScaleMachine(BaseMachine(), scale, scale),
+                           ScaleWorkload(BaseWorkload(), scale, scale));
+  const MachineTopology& topo = BaseMachine().topo;
+  for (const Placement& placement :
+       {Placement::OnePerCore(topo, 5), Placement::TwoPerCore(topo, 14),
+        Placement::TwoPerCore(topo, topo.NumHwThreads())}) {
+    const Prediction a = original.Predict(placement);
+    const Prediction b = rescaled.Predict(placement);
+    EXPECT_NEAR(a.speedup, b.speedup, a.speedup * 1e-9) << placement.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, UnitScale,
+                         ::testing::Values(0.001, 0.1, 3.0, 1000.0, 1e6));
+
+TEST(UnitScaleMixed, IndependentOpsAndByteUnitsAlsoCancel) {
+  // Instructions and bytes are separate unit systems; rescaling them by
+  // different factors must also cancel.
+  const Predictor original(BaseMachine(), BaseWorkload());
+  const Predictor rescaled(ScaleMachine(BaseMachine(), 512.0, 0.01),
+                           ScaleWorkload(BaseWorkload(), 512.0, 0.01));
+  const Placement placement = Placement::TwoPerCore(BaseMachine().topo, 20);
+  EXPECT_NEAR(original.Predict(placement).speedup, rescaled.Predict(placement).speedup,
+              1e-9);
+}
+
+TEST(Symmetry, MirroredPlacementPredictsIdentically) {
+  // Sockets are homogeneous: swapping the socket loads cannot change the
+  // prediction.
+  const Predictor predictor(BaseMachine(), BaseWorkload());
+  const MachineTopology& topo = BaseMachine().topo;
+  std::vector<SocketLoad> ab{{5, 2}, {1, 0}};
+  std::vector<SocketLoad> ba{{1, 0}, {5, 2}};
+  const Prediction a = predictor.Predict(Placement::FromSocketLoads(topo, ab));
+  const Prediction b = predictor.Predict(Placement::FromSocketLoads(topo, ba));
+  EXPECT_NEAR(a.speedup, b.speedup, a.speedup * 1e-9);
+}
+
+TEST(Symmetry, CoreIndexWithinSocketIsIrrelevant) {
+  const Predictor predictor(BaseMachine(), BaseWorkload());
+  const MachineTopology& topo = BaseMachine().topo;
+  const Prediction low(predictor.Predict(Placement(topo, {1, 1, 0, 0, 0, 0, 0, 0,
+                                                          0, 0, 0, 0, 0, 0, 0, 0})));
+  const Prediction high(predictor.Predict(Placement(topo, {0, 0, 0, 0, 0, 0, 1, 1,
+                                                           0, 0, 0, 0, 0, 0, 0, 0})));
+  EXPECT_NEAR(low.speedup, high.speedup, low.speedup * 1e-9);
+}
+
+// --- fuzz: random-but-valid descriptions never break the iteration ---
+
+class PredictorFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PredictorFuzz, RandomDescriptionsStayFiniteAndBounded) {
+  Rng rng(7000 + GetParam());
+  WorkloadDescription desc = BaseWorkload();
+  desc.t1 = 1.0 + rng.NextDouble() * 1000.0;
+  desc.demands.instr_rate = rng.NextDouble() * BaseMachine().core_ops * 1.2;
+  desc.demands.l1_bw = rng.NextDouble() * BaseMachine().l1_bw * 1.2;
+  desc.demands.l2_bw = rng.NextDouble() * BaseMachine().l2_bw * 1.2;
+  desc.demands.l3_bw = rng.NextDouble() * BaseMachine().l3_port_bw * 1.2;
+  desc.demands.dram_local_bw = rng.NextDouble() * BaseMachine().dram_bw;
+  desc.demands.dram_remote_bw = rng.NextDouble() * BaseMachine().link_bw;
+  desc.parallel_fraction = rng.NextDouble();
+  desc.inter_socket_overhead = rng.NextDouble() * 0.3;
+  desc.load_balance = rng.NextDouble();
+  desc.burstiness = rng.NextDouble() * 2.0;
+  const MemoryPolicy policies[] = {MemoryPolicy::kLocal, MemoryPolicy::kInterleaveAll,
+                                   MemoryPolicy::kInterleaveActive};
+  desc.memory_policy = policies[rng.NextBounded(3)];
+
+  const Predictor predictor(BaseMachine(), desc);
+  const MachineTopology& topo = BaseMachine().topo;
+  const int threads = 1 + static_cast<int>(rng.NextBounded(topo.NumHwThreads()));
+  const Placement placement = Placement::TwoPerCore(topo, threads);
+  const Prediction p = predictor.Predict(placement);
+  EXPECT_TRUE(std::isfinite(p.speedup));
+  EXPECT_GT(p.speedup, 0.0);
+  EXPECT_LE(p.speedup, p.amdahl_speedup * (1.0 + 1e-9));
+  EXPECT_LE(p.iterations, 1000);
+  for (const ThreadPrediction& thread : p.threads) {
+    EXPECT_TRUE(std::isfinite(thread.overall_slowdown));
+    EXPECT_GE(thread.overall_slowdown, 1.0 - 1e-9);
+    EXPECT_GT(thread.utilization, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredictorFuzz, ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace pandia

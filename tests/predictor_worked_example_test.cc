@@ -1,0 +1,164 @@
+// Reproduces the paper's worked example end to end (§4 Figure 4, §5
+// Figures 7 and 9): a two-socket, two-core-per-socket machine with DRAM
+// bandwidth 100 per socket, interconnect 50, core rate 10 (Figure 3), and a
+// workload with d = (instr 7, dram 40 to each socket), p = 0.9, o_s = 0.1,
+// l = 0.5, b = 0.5. Three threads are placed with U and V sharing a core on
+// socket 0 and W alone on socket 1.
+#include <gtest/gtest.h>
+
+#include "src/machine_desc/machine_description.h"
+#include "src/predictor/predictor.h"
+
+namespace pandia {
+namespace {
+
+MachineDescription PaperMachine() {
+  MachineDescription desc;
+  desc.topo = MachineTopology{.name = "figure3",
+                              .num_sockets = 2,
+                              .cores_per_socket = 2,
+                              .threads_per_core = 2,
+                              .l1_size = 1.0,
+                              .l2_size = 1.0,
+                              .l3_size = 1.0};
+  desc.core_ops = 10.0;
+  desc.smt_combined_ops = 10.0;
+  // The example machine has no caches; make those links unconstraining.
+  desc.l1_bw = 1e9;
+  desc.l2_bw = 1e9;
+  desc.l3_port_bw = 1e9;
+  desc.l3_agg_bw = 1e9;
+  desc.dram_bw = 100.0;
+  desc.link_bw = 50.0;
+  return desc;
+}
+
+WorkloadDescription PaperWorkload() {
+  WorkloadDescription desc;
+  desc.workload = "example";
+  desc.machine = "figure3";
+  desc.t1 = 1000.0;
+  desc.demands.instr_rate = 7.0;
+  // "memory transfer bandwidth of 40 to each socket" (Figure 6, run 1):
+  // with one thread on socket 0, 40 is local and 40 remote, interleaved
+  // over all sockets.
+  desc.demands.dram_local_bw = 40.0;
+  desc.demands.dram_remote_bw = 40.0;
+  desc.memory_policy = MemoryPolicy::kInterleaveAll;
+  desc.parallel_fraction = 0.9;
+  desc.inter_socket_overhead = 0.1;
+  desc.load_balance = 0.5;
+  desc.burstiness = 0.5;
+  return desc;
+}
+
+// U and V share core 0 (socket 0); W runs alone on core 2 (socket 1).
+Placement PaperPlacement(const MachineTopology& topo) {
+  return Placement(topo, {2, 0, 1, 0});
+}
+
+TEST(WorkedExample, AmdahlSpeedupAndInitialUtilization) {
+  const MachineDescription machine = PaperMachine();
+  const Predictor predictor(machine, PaperWorkload());
+  const Prediction p = predictor.Predict(PaperPlacement(machine.topo));
+  // n = 3, p = 0.9: speedup 1 / (0.1 + 0.3) = 2.5; f_initial = 2.5/3 = 0.83.
+  EXPECT_NEAR(p.amdahl_speedup, 2.5, 1e-12);
+}
+
+TEST(WorkedExample, FirstIterationMatchesFigure7) {
+  const MachineDescription machine = PaperMachine();
+  PredictionOptions options;
+  options.iterate = false;  // stop after iteration 1 = Figure 7 (c)-(e)
+  const Predictor predictor(machine, PaperWorkload(), options);
+  const Prediction p = predictor.Predict(PaperPlacement(machine.topo));
+  ASSERT_EQ(p.threads.size(), 3u);
+  const ThreadPrediction& u = p.threads[0];
+  const ThreadPrediction& v = p.threads[1];
+  const ThreadPrediction& w = p.threads[2];
+
+  // Figure 7(c): resource slowdowns 2.83 / 2.83 / 2.00. The interconnect is
+  // oversubscribed 100/50 = 2.00; U and V add the burstiness term
+  // 2.00 * (1 + 0.5 * 0.83) = 2.83.
+  EXPECT_NEAR(u.resource_slowdown, 2.83, 0.01);
+  EXPECT_NEAR(v.resource_slowdown, 2.83, 0.01);
+  EXPECT_NEAR(w.resource_slowdown, 2.00, 0.01);
+
+  // Figure 7(d): communication penalties 0.03 / 0.03 / 0.08.
+  EXPECT_NEAR(u.comm_penalty, 0.03, 0.005);
+  EXPECT_NEAR(v.comm_penalty, 0.03, 0.005);
+  EXPECT_NEAR(w.comm_penalty, 0.08, 0.005);
+
+  // Figure 7(e): the load-balance step pulls W halfway toward the slowest
+  // thread: overall slowdowns 2.87 / 2.87 / 2.48, utilizations .29/.29/.34.
+  EXPECT_NEAR(u.overall_slowdown, 2.87, 0.01);
+  EXPECT_NEAR(w.balance_penalty, 0.40, 0.01);
+  EXPECT_NEAR(w.overall_slowdown, 2.48, 0.01);
+  EXPECT_NEAR(u.utilization, 0.29, 0.005);
+  EXPECT_NEAR(w.utilization, 0.34, 0.005);
+}
+
+TEST(WorkedExample, BottleneckIsTheInterconnect) {
+  const MachineDescription machine = PaperMachine();
+  PredictionOptions options;
+  options.iterate = false;
+  const Predictor predictor(machine, PaperWorkload(), options);
+  const Prediction p = predictor.Predict(PaperPlacement(machine.topo));
+  const ResourceIndex index(machine.topo);
+  for (const ThreadPrediction& thread : p.threads) {
+    EXPECT_EQ(thread.bottleneck, index.Link(0, 1));
+  }
+}
+
+TEST(WorkedExample, NaiveDemandsMatchFigure7b) {
+  // At f = 0.83 the aggregate DRAM demand on each node is 100 and the
+  // interconnect carries 100 (Figure 7b).
+  const MachineDescription machine = PaperMachine();
+  PredictionOptions options;
+  options.iterate = false;
+  const Predictor predictor(machine, PaperWorkload(), options);
+  const Prediction p = predictor.Predict(PaperPlacement(machine.topo));
+  const ResourceIndex index(machine.topo);
+  // resource_load is evaluated at the *final* utilizations of the last
+  // iteration's step 1, which for a single iteration is f_initial = 0.83.
+  EXPECT_NEAR(p.resource_load[index.Dram(0)], 100.0, 0.5);
+  EXPECT_NEAR(p.resource_load[index.Dram(1)], 100.0, 0.5);
+  EXPECT_NEAR(p.resource_load[index.Link(0, 1)], 100.0, 0.5);
+  // Core with U and V: 2 * 7 * 0.83 = 11.7; W's core: 5.8 (Figure 7b).
+  EXPECT_NEAR(p.resource_load[index.Core(0)], 11.7, 0.1);
+  EXPECT_NEAR(p.resource_load[index.Core(2)], 5.8, 0.1);
+}
+
+TEST(WorkedExample, SecondIterationStartsFromFigure9) {
+  // Figure 9(b): with utilizations 0.82/0.82/0.67 the naive DRAM demands
+  // drop to 92.8 per node. Run two iterations and inspect the load.
+  const MachineDescription machine = PaperMachine();
+  PredictionOptions options;
+  options.max_iterations = 2;
+  options.convergence_eps = 0.0;  // force exactly two iterations
+  const Predictor predictor(machine, PaperWorkload(), options);
+  const Prediction p = predictor.Predict(PaperPlacement(machine.topo));
+  const ResourceIndex index(machine.topo);
+  EXPECT_NEAR(p.resource_load[index.Dram(0)], 92.8, 0.5);
+  EXPECT_NEAR(p.resource_load[index.Link(0, 1)], 92.8, 0.5);
+}
+
+TEST(WorkedExample, ConvergedSpeedupMatchesSection55) {
+  // §5.5: "a predicted speedup of 1.005 after 4 iterations" — the
+  // interconnect is almost saturated by a single thread's demand.
+  const MachineDescription machine = PaperMachine();
+  const Predictor predictor(machine, PaperWorkload());
+  const Prediction p = predictor.Predict(PaperPlacement(machine.topo));
+  EXPECT_TRUE(p.converged);
+  EXPECT_NEAR(p.speedup, 1.005, 0.08);
+}
+
+TEST(WorkedExample, PredictionIsFastAndIterationsFew) {
+  const MachineDescription machine = PaperMachine();
+  const Predictor predictor(machine, PaperWorkload());
+  const Prediction p = predictor.Predict(PaperPlacement(machine.topo));
+  // §5.4: "in practice only a few iteration steps are needed".
+  EXPECT_LE(p.iterations, 50);
+}
+
+}  // namespace
+}  // namespace pandia

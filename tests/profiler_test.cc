@@ -1,0 +1,187 @@
+// Parameter-recovery tests for the six-run workload profiler (§4): craft
+// ground-truth specs whose behaviour pins one model property, profile them
+// through the full measurement stack, and check the description recovers
+// the property. These close the loop between the simulator and the model.
+#include <gtest/gtest.h>
+
+#include "src/machine_desc/generator.h"
+#include "src/sim/machine.h"
+#include "src/sim/machine_spec.h"
+#include "src/workload_desc/profiler.h"
+
+namespace pandia {
+namespace {
+
+// Noise-free machine so recovery tolerances stay tight.
+const sim::Machine& Quiet() {
+  static const sim::Machine machine{[] {
+    sim::MachineSpec spec = sim::MakeX3_2();
+    spec.noise_magnitude = 0.0;
+    return spec;
+  }()};
+  return machine;
+}
+
+const MachineDescription& QuietDesc() {
+  static const MachineDescription desc = GenerateMachineDescription(Quiet());
+  return desc;
+}
+
+WorkloadDescription ProfileSpec(const sim::WorkloadSpec& spec) {
+  const WorkloadProfiler profiler(Quiet(), QuietDesc());
+  return profiler.Profile(spec);
+}
+
+// Contention-free base workload: compute-light, private data.
+sim::WorkloadSpec BaseSpec(const char* name) {
+  sim::WorkloadSpec spec;
+  spec.name = name;
+  spec.total_work = 500.0;
+  spec.parallel_fraction = 1.0;
+  spec.balance = sim::BalanceMode::kStatic;
+  spec.single_thread_ipc = 0.6;
+  spec.ops_per_work = 1.0;
+  spec.l1_bpw = 8.0;
+  spec.l2_bpw = 1.0;
+  spec.l3_bpw = 0.3;
+  spec.dram_bpw = 0.05;
+  spec.memory_policy = MemoryPolicy::kLocal;
+  return spec;
+}
+
+TEST(Profiler, SingleThreadDemandsMatchSpec) {
+  const sim::WorkloadSpec spec = BaseSpec("demands");
+  const WorkloadDescription desc = ProfileSpec(spec);
+  // Solo rate: ipc-capped core at the all-core turbo bin.
+  const double rate = desc.demands.instr_rate;  // work/s since ops_per_work=1
+  EXPECT_NEAR(desc.demands.l1_bw / rate, spec.l1_bpw, 0.01 * spec.l1_bpw);
+  EXPECT_NEAR(desc.demands.l2_bw / rate, spec.l2_bpw, 0.01 * spec.l2_bpw);
+  EXPECT_NEAR(desc.t1 * rate, spec.total_work, spec.total_work * 0.01);
+  // Local policy: no remote traffic in run 1.
+  EXPECT_DOUBLE_EQ(desc.demands.dram_remote_bw, 0.0);
+}
+
+class ParallelFractionRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(ParallelFractionRecovery, RecoversP) {
+  sim::WorkloadSpec spec = BaseSpec("amdahl");
+  spec.parallel_fraction = GetParam();
+  const WorkloadDescription desc = ProfileSpec(spec);
+  EXPECT_NEAR(desc.parallel_fraction, GetParam(), 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, ParallelFractionRecovery,
+                         ::testing::Values(0.5, 0.8, 0.9, 0.95, 0.99, 0.999, 1.0));
+
+TEST(Profiler, RecoversZeroParallelFraction) {
+  sim::WorkloadSpec spec = BaseSpec("serial");
+  spec.parallel_fraction = 0.0;
+  const WorkloadDescription desc = ProfileSpec(spec);
+  EXPECT_NEAR(desc.parallel_fraction, 0.0, 0.02);
+}
+
+TEST(Profiler, CommIntensityYieldsPositiveOs) {
+  sim::WorkloadSpec with_comm = BaseSpec("comm");
+  with_comm.comm_intensity = 0.002;
+  sim::WorkloadSpec no_comm = BaseSpec("no-comm");
+  const WorkloadDescription a = ProfileSpec(with_comm);
+  const WorkloadDescription b = ProfileSpec(no_comm);
+  EXPECT_GT(a.inter_socket_overhead, 0.005);
+  EXPECT_LT(b.inter_socket_overhead, a.inter_socket_overhead * 0.2);
+}
+
+TEST(Profiler, OsScalesWithCommIntensity) {
+  sim::WorkloadSpec light = BaseSpec("light-comm");
+  light.comm_intensity = 0.001;
+  sim::WorkloadSpec heavy = BaseSpec("heavy-comm");
+  heavy.comm_intensity = 0.004;
+  const double os_light = ProfileSpec(light).inter_socket_overhead;
+  const double os_heavy = ProfileSpec(heavy).inter_socket_overhead;
+  EXPECT_NEAR(os_heavy / os_light, 4.0, 1.0);
+}
+
+TEST(Profiler, RemoteMemoryCostAppearsInOs) {
+  sim::WorkloadSpec spec = BaseSpec("numa");
+  spec.dram_bpw = 0.5;
+  spec.memory_policy = MemoryPolicy::kInterleaveActive;
+  spec.remote_access_cost = 0.05;
+  const WorkloadDescription desc = ProfileSpec(spec);
+  EXPECT_GT(desc.inter_socket_overhead, 0.002);
+}
+
+TEST(Profiler, StaticWorkloadHasLowL) {
+  sim::WorkloadSpec spec = BaseSpec("static");
+  spec.parallel_fraction = 0.99;
+  spec.balance = sim::BalanceMode::kStatic;
+  const WorkloadDescription desc = ProfileSpec(spec);
+  EXPECT_LT(desc.load_balance, 0.15);
+}
+
+TEST(Profiler, DynamicWorkloadHasHighL) {
+  sim::WorkloadSpec spec = BaseSpec("dynamic");
+  spec.parallel_fraction = 0.99;
+  spec.balance = sim::BalanceMode::kDynamic;
+  spec.chunk_fraction = 0.001;
+  const WorkloadDescription desc = ProfileSpec(spec);
+  EXPECT_GT(desc.load_balance, 0.85);
+}
+
+TEST(Profiler, SmoothWorkloadHasModestB) {
+  sim::WorkloadSpec spec = BaseSpec("smooth");
+  const WorkloadDescription desc = ProfileSpec(spec);
+  // b still captures the generic SMT pressure, but stays moderate.
+  EXPECT_GE(desc.burstiness, 0.0);
+  EXPECT_LT(desc.burstiness, 1.0);
+}
+
+TEST(Profiler, BurstyWorkloadHasLargerB) {
+  sim::WorkloadSpec smooth = BaseSpec("smooth2");
+  smooth.ops_per_work = 2.0;  // make the core matter
+  sim::WorkloadSpec bursty = smooth;
+  bursty.name = "bursty";
+  bursty.duty_cycle = 0.5;
+  const double b_smooth = ProfileSpec(smooth).burstiness;
+  const double b_bursty = ProfileSpec(bursty).burstiness;
+  EXPECT_GT(b_bursty, b_smooth + 0.05);
+}
+
+TEST(Profiler, ChoosesLargestContentionFreeEvenThreadCount) {
+  // Light workload: the whole socket fits.
+  const WorkloadDescription light = ProfileSpec(BaseSpec("light"));
+  EXPECT_EQ(light.profile_threads, 8);
+  // DRAM-heavy: few threads before the channel saturates.
+  sim::WorkloadSpec heavy = BaseSpec("heavy");
+  heavy.single_thread_ipc = 1.0;
+  heavy.dram_bpw = 3.0;
+  heavy.l3_bpw = 3.0;
+  const WorkloadDescription desc = ProfileSpec(heavy);
+  EXPECT_LT(desc.profile_threads, 8);
+  EXPECT_GE(desc.profile_threads, 2);
+  EXPECT_EQ(desc.profile_threads % 2, 0);
+}
+
+TEST(Profiler, RecordsRunConfiguration) {
+  sim::WorkloadSpec spec = BaseSpec("config");
+  spec.memory_policy = MemoryPolicy::kInterleaveAll;
+  const WorkloadDescription desc = ProfileSpec(spec);
+  EXPECT_EQ(desc.memory_policy, MemoryPolicy::kInterleaveAll);
+  EXPECT_EQ(desc.workload, "config");
+  EXPECT_EQ(desc.machine, "x3-2");
+  EXPECT_GT(desc.r2, 0.0);
+  EXPECT_GT(desc.r6, 0.0);
+}
+
+TEST(Profiler, RelativeRunTimesAreOrderedSanely) {
+  const WorkloadDescription desc = ProfileSpec(BaseSpec("sanity"));
+  // Parallel runs are faster than the single-thread run...
+  EXPECT_LT(desc.r2, 1.0);
+  EXPECT_LT(desc.r3, 1.0);
+  // ...run 4 (all threads slowed) is slower than run 2, and run 5 (one
+  // thread slowed) sits between.
+  EXPECT_GT(desc.r4, desc.r2);
+  EXPECT_GE(desc.r5, desc.r2 * 0.999);
+  EXPECT_LE(desc.r5, desc.r4 * 1.001);
+}
+
+}  // namespace
+}  // namespace pandia

@@ -1,0 +1,194 @@
+// Tests for the rack-scale scheduler (§8 future-work extension).
+#include <gtest/gtest.h>
+
+#include "src/eval/pipeline.h"
+#include "src/rack/rack.h"
+#include "src/workloads/workloads.h"
+
+namespace pandia {
+namespace rack {
+namespace {
+
+const eval::Pipeline& X3() {
+  static const eval::Pipeline pipeline("x3-2");
+  return pipeline;
+}
+
+const eval::Pipeline& X5() {
+  static const eval::Pipeline pipeline("x5-2");
+  return pipeline;
+}
+
+JobRequest MakeJob(const std::string& workload, int threads) {
+  JobRequest job;
+  job.name = workload;
+  job.requested_threads = threads;
+  job.descriptions.emplace("x3-2", X3().Profile(workloads::ByName(workload)));
+  job.descriptions.emplace("x5-2", X5().Profile(workloads::ByName(workload)));
+  return job;
+}
+
+std::vector<RackMachine> TwoNodeRack() {
+  return {{"node0", X3().description()}, {"node1", X3().description()}};
+}
+
+// --- PlaceLoadsOnFreeCores ---
+
+TEST(PlaceOnFreeCores, UsesOnlyFreeSlots) {
+  const MachineTopology& topo = X3().machine().topology();
+  std::vector<uint8_t> free(static_cast<size_t>(topo.NumCores()), 2);
+  free[0] = 0;  // core 0 fully occupied
+  free[1] = 1;  // core 1 half occupied
+  std::vector<SocketLoad> loads{{2, 1}, {0, 0}};
+  const std::optional<Placement> placement = PlaceLoadsOnFreeCores(topo, loads, free);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(placement->ThreadsOnCore(0), 0);
+  EXPECT_EQ(placement->TotalThreads(), 4);
+  // Singles prefer the half-occupied core.
+  EXPECT_EQ(placement->ThreadsOnCore(1), 1);
+}
+
+TEST(PlaceOnFreeCores, FailsWhenDoublesDoNotFit) {
+  const MachineTopology& topo = X3().machine().topology();
+  std::vector<uint8_t> free(static_cast<size_t>(topo.NumCores()), 1);  // all half
+  std::vector<SocketLoad> loads{{0, 1}, {0, 0}};
+  EXPECT_FALSE(PlaceLoadsOnFreeCores(topo, loads, free).has_value());
+}
+
+TEST(PlaceOnFreeCores, FailsWhenSocketFull) {
+  const MachineTopology& topo = X3().machine().topology();
+  std::vector<uint8_t> free(static_cast<size_t>(topo.NumCores()), 2);
+  for (int c = 0; c < topo.cores_per_socket; ++c) {
+    free[c] = 0;
+  }
+  std::vector<SocketLoad> loads{{1, 0}, {0, 0}};
+  EXPECT_FALSE(PlaceLoadsOnFreeCores(topo, loads, free).has_value());
+}
+
+// --- scheduling ---
+
+TEST(RackScheduler, PlacesEveryJobWhileRoomRemains) {
+  RackScheduler scheduler(TwoNodeRack());
+  const std::vector<JobRequest> jobs{MakeJob("CG", 8), MakeJob("EP", 8),
+                                     MakeJob("MD", 8)};
+  const std::vector<Assignment> assignments =
+      scheduler.Schedule(jobs, Policy::kBestSpeedup);
+  ASSERT_EQ(assignments.size(), 3u);
+  for (const Assignment& assignment : assignments) {
+    EXPECT_GE(assignment.machine_index, 0) << assignment.job;
+    ASSERT_TRUE(assignment.placement.has_value());
+    EXPECT_GE(assignment.placement->TotalThreads(), 1);
+    EXPECT_LE(assignment.placement->TotalThreads(), 8);
+    EXPECT_GT(assignment.predicted_speedup, 0.0);
+  }
+}
+
+TEST(RackScheduler, NeverOverSubscribesAMachine) {
+  RackScheduler scheduler(TwoNodeRack());
+  // Far more thread demand than the rack holds (2 x 32 hardware threads).
+  std::vector<JobRequest> jobs;
+  for (int i = 0; i < 6; ++i) {
+    jobs.push_back(MakeJob("EP", 16));
+  }
+  const std::vector<Assignment> assignments =
+      scheduler.Schedule(jobs, Policy::kFirstFit);
+  std::vector<std::vector<int>> used(2);
+  for (auto& u : used) {
+    u.assign(static_cast<size_t>(X3().machine().topology().NumCores()), 0);
+  }
+  for (const Assignment& assignment : assignments) {
+    if (assignment.machine_index < 0) {
+      continue;
+    }
+    for (int c = 0; c < X3().machine().topology().NumCores(); ++c) {
+      used[assignment.machine_index][c] += assignment.placement->ThreadsOnCore(c);
+      EXPECT_LE(used[assignment.machine_index][c], 2);
+    }
+  }
+}
+
+TEST(RackScheduler, FirstFitFillsNodeZeroFirst) {
+  RackScheduler scheduler(TwoNodeRack());
+  const std::vector<JobRequest> jobs{MakeJob("EP", 4)};
+  const std::vector<Assignment> assignments =
+      scheduler.Schedule(jobs, Policy::kFirstFit);
+  EXPECT_EQ(assignments[0].machine_index, 0);
+}
+
+TEST(RackScheduler, BestSpeedupAvoidsTheBusyMachine) {
+  RackScheduler scheduler(TwoNodeRack());
+  // Saturate node0 with a bandwidth hog, then place another one.
+  const std::vector<JobRequest> first{MakeJob("Swim", 16)};
+  scheduler.Schedule(first, Policy::kFirstFit);
+  const std::vector<JobRequest> second{MakeJob("Swim", 16)};
+  const std::vector<Assignment> assignments =
+      scheduler.Schedule(second, Policy::kBestSpeedup);
+  EXPECT_EQ(assignments[0].machine_index, 1);
+}
+
+TEST(RackScheduler, HeterogeneousRackPrefersTheBiggerMachine) {
+  std::vector<RackMachine> machines{{"small", X3().description()},
+                                    {"big", X5().description()}};
+  RackScheduler scheduler(std::move(machines));
+  const std::vector<JobRequest> jobs{MakeJob("MD", 36)};
+  const std::vector<Assignment> assignments =
+      scheduler.Schedule(jobs, Policy::kBestSpeedup);
+  // MD scales: 36 threads on the Haswell beat 32 on the Sandy Bridge.
+  EXPECT_EQ(assignments[0].machine_index, 1);
+  EXPECT_EQ(assignments[0].placement->TotalThreads(), 36);
+}
+
+TEST(RackScheduler, SkipsMachinesWithoutADescription) {
+  std::vector<RackMachine> machines{{"small", X3().description()},
+                                    {"big", X5().description()}};
+  RackScheduler scheduler(std::move(machines));
+  JobRequest job;
+  job.name = "CG-x5-only";
+  job.requested_threads = 8;
+  job.descriptions.emplace("x5-2", X5().Profile(workloads::ByName("CG")));
+  const std::vector<Assignment> assignments =
+      scheduler.Schedule(std::vector<JobRequest>{job}, Policy::kFirstFit);
+  EXPECT_EQ(assignments[0].machine_index, 1);
+}
+
+TEST(RackScheduler, ReportsUnplaceableJobs) {
+  std::vector<RackMachine> machines{{"node0", X3().description()}};
+  RackScheduler scheduler(std::move(machines));
+  std::vector<JobRequest> jobs{MakeJob("EP", 32), MakeJob("EP", 32),
+                               MakeJob("EP", 4)};
+  const std::vector<Assignment> assignments =
+      scheduler.Schedule(jobs, Policy::kFirstFit);
+  EXPECT_GE(assignments[0].machine_index, 0);
+  EXPECT_EQ(assignments[1].machine_index, -1);  // machine already full
+  EXPECT_EQ(assignments[2].machine_index, -1);
+}
+
+TEST(RackScheduler, LeastInterferenceBeatsFirstFitOnAggregateSpeedup) {
+  // Two bandwidth hogs and two compute jobs on two nodes: interference-
+  // aware assignment pairs a hog with a compute job instead of stacking
+  // the hogs.
+  const std::vector<JobRequest> jobs{MakeJob("Swim", 8), MakeJob("Bwaves", 8),
+                                     MakeJob("EP", 8), MakeJob("MD", 8)};
+  auto aggregate = [&](Policy policy) {
+    RackScheduler scheduler(TwoNodeRack());
+    double total = 0.0;
+    for (const Assignment& assignment : scheduler.Schedule(jobs, policy)) {
+      total += assignment.predicted_speedup;
+    }
+    return total;
+  };
+  EXPECT_GE(aggregate(Policy::kLeastInterference),
+            aggregate(Policy::kFirstFit) * 0.99);
+}
+
+TEST(RackScheduler, ResetClearsResidents) {
+  RackScheduler scheduler(TwoNodeRack());
+  scheduler.Schedule(std::vector<JobRequest>{MakeJob("EP", 8)}, Policy::kFirstFit);
+  EXPECT_FALSE(scheduler.ResidentsOf(0).empty());
+  scheduler.Reset();
+  EXPECT_TRUE(scheduler.ResidentsOf(0).empty());
+}
+
+}  // namespace
+}  // namespace rack
+}  // namespace pandia

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/eval/pipeline.h"
+#include "src/eval/regression_baseline.h"
+#include "src/sim/machine_spec.h"
+#include "src/workloads/workloads.h"
+
+namespace pandia {
+namespace eval {
+namespace {
+
+const sim::Machine& Quiet() {
+  static const sim::Machine machine{[] {
+    sim::MachineSpec spec = sim::MakeX3_2();
+    spec.noise_magnitude = 0.0;
+    return spec;
+  }()};
+  return machine;
+}
+
+TEST(RegressionBaseline, RecoversAmdahlForCleanWorkload) {
+  // EP has p ~ 1 and no contention at low counts. Turbo Boost contaminates
+  // naive low-count training runs (the 1-thread run boosts higher), so the
+  // fitted p lands a little low — a real weakness of this predictor class.
+  const RegressionBaseline baseline(Quiet(), workloads::ByName("EP"));
+  EXPECT_GT(baseline.parallel_fraction(), 0.85);
+  EXPECT_LT(baseline.contention_per_thread(), 0.01);
+  EXPECT_GT(baseline.t1(), 0.0);
+  EXPECT_GT(baseline.training_cost(), baseline.t1());
+}
+
+TEST(RegressionBaseline, PredictsTrainingPointsClosely) {
+  const sim::WorkloadSpec workload = workloads::ByName("CG");
+  const RegressionBaseline baseline(Quiet(), workload);
+  const MachineTopology& topo = Quiet().topology();
+  for (int n : {1, 2, 4}) {
+    const double measured =
+        Quiet().RunOne(workload, Placement::OnePerCore(topo, n)).jobs[0].completion_time;
+    EXPECT_NEAR(baseline.PredictTime(n), measured, measured * 0.2) << n;
+  }
+}
+
+TEST(RegressionBaseline, IsPlacementBlind) {
+  // The defining limitation (§7): identical predictions for any placement
+  // with the same thread count.
+  const RegressionBaseline baseline(Quiet(), workloads::ByName("CG"));
+  const MachineTopology& topo = Quiet().topology();
+  std::vector<SocketLoad> split{{4, 0}, {4, 0}};
+  const double spread = baseline.PredictTime(Placement::FromSocketLoads(topo, split));
+  const double packed = baseline.PredictTime(Placement::TwoPerCore(topo, 8));
+  EXPECT_DOUBLE_EQ(spread, packed);
+}
+
+TEST(RegressionBaseline, ExtrapolationDegradesForSaturatingWorkloads) {
+  // Swim starts saturating the memory channel within the training counts;
+  // the linear contention term then extrapolates a slope that reality does
+  // not follow (saturation flattens). Either way, the count-only model is
+  // far off at full scale where Pandia's bottleneck model is not.
+  const sim::WorkloadSpec workload = workloads::ByName("Swim");
+  const RegressionBaseline baseline(Quiet(), workload);
+  const MachineTopology& topo = Quiet().topology();
+  const Placement full = Placement::OnePerCore(topo, topo.NumCores());
+  const double measured = Quiet().RunOne(workload, full).jobs[0].completion_time;
+  const double predicted = baseline.PredictTime(full);
+  EXPECT_GT(std::fabs(predicted - measured) / measured, 0.15);
+}
+
+TEST(RegressionBaselineDeath, RequiresSingleThreadSample) {
+  EXPECT_DEATH(RegressionBaseline(Quiet(), workloads::ByName("EP"), {2, 4}),
+               "n = 1");
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace pandia

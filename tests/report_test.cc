@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "src/machine_desc/machine_description.h"
+#include "src/predictor/report.h"
+
+namespace pandia {
+namespace {
+
+// The paper's worked-example machine (Figure 3) keeps expectations exact.
+MachineDescription ExampleMachine() {
+  MachineDescription desc;
+  desc.topo = MachineTopology{.name = "figure3",
+                              .num_sockets = 2,
+                              .cores_per_socket = 2,
+                              .threads_per_core = 2,
+                              .l1_size = 1.0,
+                              .l2_size = 1.0,
+                              .l3_size = 1.0};
+  desc.core_ops = 10.0;
+  desc.smt_combined_ops = 10.0;
+  desc.l1_bw = 1e9;
+  desc.l2_bw = 1e9;
+  desc.l3_port_bw = 1e9;
+  desc.l3_agg_bw = 1e9;
+  desc.dram_bw = 100.0;
+  desc.link_bw = 50.0;
+  return desc;
+}
+
+WorkloadDescription ExampleWorkload() {
+  WorkloadDescription desc;
+  desc.workload = "example";
+  desc.machine = "figure3";
+  desc.t1 = 1000.0;
+  desc.demands.instr_rate = 7.0;
+  desc.demands.dram_local_bw = 40.0;
+  desc.demands.dram_remote_bw = 40.0;
+  desc.memory_policy = MemoryPolicy::kInterleaveAll;
+  desc.parallel_fraction = 0.9;
+  desc.inter_socket_overhead = 0.1;
+  desc.load_balance = 0.5;
+  desc.burstiness = 0.5;
+  return desc;
+}
+
+TEST(Report, FoldsIdenticalThreadsAndNamesBottleneck) {
+  const MachineDescription machine = ExampleMachine();
+  const Predictor predictor(machine, ExampleWorkload());
+  const Placement placement(machine.topo, {2, 0, 1, 0});
+  const Prediction prediction = predictor.Predict(placement);
+  const std::string report = ExplainPrediction(machine, placement, prediction);
+  // U and V fold into one 2-thread row; W gets its own row.
+  EXPECT_NE(report.find("prediction for 3 threads"), std::string::npos) << report;
+  EXPECT_NE(report.find("Amdahl speedup 2.50"), std::string::npos) << report;
+  EXPECT_NE(report.find("link0-1"), std::string::npos) << report;
+  // Two data rows: one with 2 threads, one with 1.
+  EXPECT_NE(report.find("\n  2        0"), std::string::npos) << report;
+  EXPECT_NE(report.find("\n  1        1"), std::string::npos) << report;
+}
+
+TEST(Report, LargePlacementStaysCompact) {
+  const MachineDescription machine = ExampleMachine();
+  const Predictor predictor(machine, ExampleWorkload());
+  // Fully packed machine: 8 identical threads -> a single folded row.
+  const Placement placement = Placement::TwoPerCore(machine.topo, 8);
+  const Prediction prediction = predictor.Predict(placement);
+  const std::string report = ExplainPrediction(machine, placement, prediction);
+  int rows = 0;
+  size_t pos = 0;
+  while ((pos = report.find("\n  ", pos)) != std::string::npos) {
+    ++rows;
+    pos += 3;
+  }
+  // Header lines plus at most a handful of folded class rows.
+  EXPECT_LE(rows, 6) << report;
+}
+
+TEST(ReportDeath, RejectsMismatchedPrediction) {
+  const MachineDescription machine = ExampleMachine();
+  const Predictor predictor(machine, ExampleWorkload());
+  const Placement small = Placement::OnePerCore(machine.topo, 1);
+  const Placement large = Placement::OnePerCore(machine.topo, 3);
+  const Prediction prediction = predictor.Predict(small);
+  EXPECT_DEATH(ExplainPrediction(machine, large, prediction), "PANDIA_CHECK");
+}
+
+}  // namespace
+}  // namespace pandia

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/machine_desc/generator.h"
+#include "src/serialize/serialize.h"
+#include "src/sim/machine.h"
+#include "src/sim/machine_spec.h"
+#include "src/topology/placement_parse.h"
+#include "src/util/strings.h"
+
+namespace pandia {
+namespace {
+
+MachineDescription SomeMachine() {
+  const sim::Machine machine{sim::MakeX3_2()};
+  return GenerateMachineDescription(machine);
+}
+
+WorkloadDescription SomeWorkload() {
+  WorkloadDescription desc;
+  desc.workload = "MD";
+  desc.machine = "x3-2";
+  desc.t1 = 167.25;
+  desc.demands = ResourceDemandVector{5.9, 71.0, 18.0, 13.5, 1.1, 0.25};
+  desc.parallel_fraction = 0.9951;
+  desc.inter_socket_overhead = 0.0108;
+  desc.load_balance = 0.94;
+  desc.burstiness = 0.14;
+  desc.memory_policy = MemoryPolicy::kInterleaveAll;
+  desc.profile_threads = 8;
+  desc.r2 = 0.13;
+  desc.r3 = 0.14;
+  desc.r4 = 0.22;
+  desc.r5 = 0.15;
+  desc.r6 = 0.19;
+  return desc;
+}
+
+// --- machine description round trip ---
+
+TEST(SerializeMachine, RoundTripsAllFields) {
+  const MachineDescription original = SomeMachine();
+  const std::string text = MachineDescriptionToText(original);
+  std::string error;
+  const std::optional<MachineDescription> parsed =
+      MachineDescriptionFromText(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->topo.name, original.topo.name);
+  EXPECT_EQ(parsed->topo.num_sockets, original.topo.num_sockets);
+  EXPECT_EQ(parsed->topo.cores_per_socket, original.topo.cores_per_socket);
+  EXPECT_EQ(parsed->topo.threads_per_core, original.topo.threads_per_core);
+  EXPECT_DOUBLE_EQ(parsed->topo.l3_size, original.topo.l3_size);
+  EXPECT_DOUBLE_EQ(parsed->core_ops, original.core_ops);
+  EXPECT_DOUBLE_EQ(parsed->smt_combined_ops, original.smt_combined_ops);
+  EXPECT_DOUBLE_EQ(parsed->l1_bw, original.l1_bw);
+  EXPECT_DOUBLE_EQ(parsed->l2_bw, original.l2_bw);
+  EXPECT_DOUBLE_EQ(parsed->l3_port_bw, original.l3_port_bw);
+  EXPECT_DOUBLE_EQ(parsed->l3_agg_bw, original.l3_agg_bw);
+  EXPECT_DOUBLE_EQ(parsed->dram_bw, original.dram_bw);
+  EXPECT_DOUBLE_EQ(parsed->link_bw, original.link_bw);
+}
+
+TEST(SerializeMachine, RejectsWrongMagic) {
+  std::string error;
+  EXPECT_FALSE(MachineDescriptionFromText("bogus v9\ncore_ops = 1\n", &error));
+  EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+TEST(SerializeMachine, RejectsMissingKey) {
+  const std::string text = MachineDescriptionToText(SomeMachine());
+  // Drop the dram_bw line.
+  std::string mutated;
+  for (const std::string& line : StrSplit(text, '\n')) {
+    if (line.rfind("dram_bw", 0) != 0) {
+      mutated += line + "\n";
+    }
+  }
+  std::string error;
+  EXPECT_FALSE(MachineDescriptionFromText(mutated, &error).has_value());
+  EXPECT_NE(error.find("dram_bw"), std::string::npos);
+}
+
+TEST(SerializeMachine, RejectsNonNumericValue) {
+  std::string text = MachineDescriptionToText(SomeMachine());
+  const size_t pos = text.find("core_ops = ");
+  text.replace(pos, std::string("core_ops = ").size(), "core_ops = fast");
+  // Remove the rest of the old value up to the newline.
+  const size_t line_end = text.find('\n', pos);
+  const size_t value_end = text.find('\n', pos + std::string("core_ops = fast").size());
+  (void)line_end;
+  text.erase(pos + std::string("core_ops = fast").size(),
+             value_end - (pos + std::string("core_ops = fast").size()));
+  std::string error;
+  EXPECT_FALSE(MachineDescriptionFromText(text, &error).has_value());
+}
+
+TEST(SerializeMachine, ToleratesCommentsAndBlankLines) {
+  std::string text = MachineDescriptionToText(SomeMachine());
+  text += "\n# trailing comment\n\n";
+  EXPECT_TRUE(MachineDescriptionFromText(text).has_value());
+}
+
+// --- workload description round trip ---
+
+TEST(SerializeWorkload, RoundTripsAllFields) {
+  const WorkloadDescription original = SomeWorkload();
+  const std::string text = WorkloadDescriptionToText(original);
+  std::string error;
+  const std::optional<WorkloadDescription> parsed =
+      WorkloadDescriptionFromText(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->workload, original.workload);
+  EXPECT_EQ(parsed->machine, original.machine);
+  EXPECT_DOUBLE_EQ(parsed->t1, original.t1);
+  EXPECT_DOUBLE_EQ(parsed->demands.instr_rate, original.demands.instr_rate);
+  EXPECT_DOUBLE_EQ(parsed->demands.dram_remote_bw, original.demands.dram_remote_bw);
+  EXPECT_DOUBLE_EQ(parsed->parallel_fraction, original.parallel_fraction);
+  EXPECT_DOUBLE_EQ(parsed->inter_socket_overhead, original.inter_socket_overhead);
+  EXPECT_DOUBLE_EQ(parsed->load_balance, original.load_balance);
+  EXPECT_DOUBLE_EQ(parsed->burstiness, original.burstiness);
+  EXPECT_EQ(parsed->memory_policy, original.memory_policy);
+  EXPECT_EQ(parsed->profile_threads, original.profile_threads);
+  EXPECT_DOUBLE_EQ(parsed->r6, original.r6);
+}
+
+TEST(SerializeWorkload, RejectsUnknownPolicy) {
+  std::string text = WorkloadDescriptionToText(SomeWorkload());
+  const size_t pos = text.find("memory_policy = ");
+  const size_t end = text.find('\n', pos);
+  text.replace(pos, end - pos, "memory_policy = quantum");
+  std::string error;
+  EXPECT_FALSE(WorkloadDescriptionFromText(text, &error).has_value());
+  EXPECT_NE(error.find("quantum"), std::string::npos);
+}
+
+TEST(SerializeWorkload, RejectsMachineMagic) {
+  EXPECT_FALSE(
+      WorkloadDescriptionFromText(MachineDescriptionToText(SomeMachine())).has_value());
+}
+
+// --- file round trip ---
+
+TEST(SerializeFiles, WriteAndReadBack) {
+  const std::string path = ::testing::TempDir() + "/pandia_serialize_test.txt";
+  const std::string content = MachineDescriptionToText(SomeMachine());
+  ASSERT_TRUE(WriteTextFile(path, content));
+  const std::optional<std::string> read = ReadTextFile(path);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(*read, content);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeFiles, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadTextFile("/nonexistent/pandia/file").has_value());
+}
+
+// --- placement parsing ---
+
+class PlacementParse : public ::testing::Test {
+ protected:
+  const MachineTopology topo_ = sim::MakeX3_2().topo;
+};
+
+TEST_F(PlacementParse, RoundTripsToString) {
+  std::vector<SocketLoad> loads{{3, 2}, {1, 0}};
+  const Placement original = Placement::FromSocketLoads(topo_, loads);
+  std::string error;
+  const std::optional<Placement> parsed =
+      ParsePlacement(topo_, original.ToString().substr(original.ToString().find('[')),
+                     &error);
+  // ToString embeds "N threads [s0: ..., s1: ...]"; parse just the loads.
+  ASSERT_FALSE(parsed.has_value());  // brackets are not part of the grammar
+  const std::optional<Placement> direct = ParsePlacement(topo_, "s0:3x1+2x2,s1:1x1");
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_TRUE(*direct == original);
+}
+
+TEST_F(PlacementParse, ShorthandOnePerCore) {
+  const std::optional<Placement> p = ParsePlacement(topo_, "12");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(*p == Placement::OnePerCore(topo_, 12));
+}
+
+TEST_F(PlacementParse, ShorthandTwoPerCore) {
+  const std::optional<Placement> p = ParsePlacement(topo_, "10x2");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(*p == Placement::TwoPerCore(topo_, 10));
+}
+
+TEST_F(PlacementParse, EmptySocketSpelledZero) {
+  const std::optional<Placement> p = ParsePlacement(topo_, "s0:0,s1:4x1");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->ThreadsOnSocket(0), 0);
+  EXPECT_EQ(p->ThreadsOnSocket(1), 4);
+}
+
+TEST_F(PlacementParse, ToleratesSpaces) {
+  const std::optional<Placement> p = ParsePlacement(topo_, "s0: 2x1+1x2, s1: 0");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->TotalThreads(), 4);
+}
+
+TEST_F(PlacementParse, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(ParsePlacement(topo_, "", &error).has_value());
+  EXPECT_FALSE(ParsePlacement(topo_, "sA:1x1", &error).has_value());
+  EXPECT_FALSE(ParsePlacement(topo_, "s0:1x3", &error).has_value());
+  EXPECT_NE(error.find("x3"), std::string::npos);
+  EXPECT_FALSE(ParsePlacement(topo_, "s9:1x1", &error).has_value());
+  EXPECT_FALSE(ParsePlacement(topo_, "s0:9x1", &error).has_value());  // > 8 cores
+  EXPECT_FALSE(ParsePlacement(topo_, "s0:0,s1:0", &error).has_value());  // empty
+  EXPECT_FALSE(ParsePlacement(topo_, "99", &error).has_value());  // > cores
+  EXPECT_FALSE(ParsePlacement(topo_, "999x2", &error).has_value());
+}
+
+TEST_F(PlacementParse, RejectsOversubscribedMix) {
+  std::string error;
+  EXPECT_FALSE(ParsePlacement(topo_, "s0:5x1+4x2", &error).has_value());
+  EXPECT_NE(error.find("over-subscribed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pandia

@@ -1,0 +1,154 @@
+// Simulator edge cases: degenerate workload parameters and unusual job
+// combinations that the engine must handle without surprises.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/sim/machine.h"
+#include "src/sim/machine_spec.h"
+#include "src/stress/stress.h"
+
+namespace pandia {
+namespace sim {
+namespace {
+
+MachineSpec Calm() {
+  MachineSpec spec = MakeX3_2();
+  spec.turbo_enabled = false;
+  spec.noise_magnitude = 0.0;
+  return spec;
+}
+
+WorkloadSpec Tiny(const char* name) {
+  WorkloadSpec spec;
+  spec.name = name;
+  spec.total_work = 10.0;
+  spec.parallel_fraction = 1.0;
+  spec.single_thread_ipc = 0.5;
+  spec.l1_bpw = 1.0;
+  spec.memory_policy = MemoryPolicy::kLocal;
+  return spec;
+}
+
+TEST(SimEdge, FullySerialWorkloadIgnoresExtraThreads) {
+  const Machine machine{Calm()};
+  WorkloadSpec spec = Tiny("serial");
+  spec.parallel_fraction = 0.0;
+  const MachineTopology& topo = machine.topology();
+  const double t1 =
+      machine.RunOne(spec, Placement::OnePerCore(topo, 1)).jobs[0].completion_time;
+  const double t8 =
+      machine.RunOne(spec, Placement::OnePerCore(topo, 8)).jobs[0].completion_time;
+  EXPECT_NEAR(t1, t8, t1 * 1e-9);
+}
+
+TEST(SimEdge, DynamicChunkLargerThanPoolIsClamped) {
+  const Machine machine{Calm()};
+  WorkloadSpec spec = Tiny("bigchunk");
+  spec.balance = BalanceMode::kDynamic;
+  spec.chunk_fraction = 10.0;  // silly: clamp to pool/threads
+  const RunResult result =
+      machine.RunOne(spec, Placement::OnePerCore(machine.topology(), 4));
+  double total = 0.0;
+  for (const ThreadResult& thread : result.jobs[0].threads) {
+    total += thread.work_done;
+  }
+  EXPECT_NEAR(total, spec.total_work, 1e-6);
+  EXPECT_GT(result.wall_time, 0.0);
+}
+
+TEST(SimEdge, ZeroChunkDynamicIsPerfectlyBalanced) {
+  const Machine machine{Calm()};
+  WorkloadSpec spec = Tiny("zerochunk");
+  spec.balance = BalanceMode::kDynamic;
+  spec.chunk_fraction = 0.0;
+  const MachineTopology& topo = machine.topology();
+  const double t1 =
+      machine.RunOne(spec, Placement::OnePerCore(topo, 1)).jobs[0].completion_time;
+  const double t4 =
+      machine.RunOne(spec, Placement::OnePerCore(topo, 4)).jobs[0].completion_time;
+  EXPECT_NEAR(t1 / t4, 4.0, 0.01);
+}
+
+TEST(SimEdge, SmtSlotOfIdleThreadCostsNothing) {
+  // An idle (max_active-capped) thread sharing a core must not slow the
+  // working sibling: spinners consume no pipeline resources (§2.3).
+  const Machine machine{Calm()};
+  WorkloadSpec spec = Tiny("capped");
+  spec.max_active_threads = 1;
+  const MachineTopology& topo = machine.topology();
+  const double alone =
+      machine.RunOne(spec, Placement::OnePerCore(topo, 1)).jobs[0].completion_time;
+  const double with_idle_sibling =
+      machine.RunOne(spec, Placement::TwoPerCore(topo, 2)).jobs[0].completion_time;
+  EXPECT_NEAR(alone, with_idle_sibling, alone * 1e-9);
+}
+
+TEST(SimEdge, MultipleBackgroundJobsCoexist) {
+  const Machine machine{Calm()};
+  const WorkloadSpec fg = Tiny("fg");
+  const sim::WorkloadSpec cpu = stress::CpuStressor();
+  const sim::WorkloadSpec dram = stress::DramStressor();
+  const MachineTopology& topo = machine.topology();
+  std::vector<SocketLoad> bg1{{0, 0}, {4, 0}};
+  std::vector<SocketLoad> bg2{{0, 0}, {0, 4}};
+  const std::vector<JobRequest> jobs{
+      {&fg, Placement::OnePerCore(topo, 2), false},
+      {&cpu, Placement::FromSocketLoads(topo, bg1), true},
+      {&dram, Placement::FromSocketLoads(topo, bg2), true},
+  };
+  const RunResult result = machine.Run(jobs);
+  EXPECT_EQ(result.jobs.size(), 3u);
+  EXPECT_GT(result.jobs[1].threads[0].work_done, 0.0);
+  EXPECT_GT(result.jobs[2].threads[0].work_done, 0.0);
+}
+
+TEST(SimEdge, HomeSocketOverrideOnForeground) {
+  const Machine machine{Calm()};
+  WorkloadSpec spec = Tiny("remote-home");
+  spec.dram_bpw = 1.0;
+  spec.l3_bpw = 1.0;
+  spec.memory_policy = MemoryPolicy::kHomeSocket;
+  spec.home_socket = 1;
+  const MachineTopology& topo = machine.topology();
+  const RunResult result = machine.RunOne(spec, Placement::OnePerCore(topo, 1));
+  const ResourceIndex& index = machine.index();
+  // Thread on socket 0, data on socket 1: all DRAM traffic remote.
+  EXPECT_DOUBLE_EQ(result.jobs[0].resource_consumption[index.Dram(0)], 0.0);
+  EXPECT_GT(result.jobs[0].resource_consumption[index.Dram(1)], 0.0);
+  EXPECT_GT(result.jobs[0].resource_consumption[index.Link(0, 1)], 0.0);
+}
+
+TEST(SimEdge, QuantaWithMoreThreadsThanQuantaLeavesThreadsIdle) {
+  const Machine machine{Calm()};
+  WorkloadSpec spec = Tiny("fewquanta");
+  spec.parallel_quanta = 3;
+  const RunResult result =
+      machine.RunOne(spec, Placement::OnePerCore(machine.topology(), 6));
+  int workers_with_work = 0;
+  double total = 0.0;
+  for (const ThreadResult& thread : result.jobs[0].threads) {
+    workers_with_work += thread.work_done > 0.0 ? 1 : 0;
+    total += thread.work_done;
+  }
+  EXPECT_EQ(workers_with_work, 3);
+  EXPECT_NEAR(total, spec.total_work, 1e-6);
+}
+
+TEST(SimEdge, BurstinessAboveOneClamps) {
+  // duty_cycle must stay in (0,1]; a smooth workload with duty 1.0 and a
+  // saturated one with duty near 0 both simulate without issues.
+  const Machine machine{Calm()};
+  WorkloadSpec spec = Tiny("verybursty");
+  spec.ops_per_work = 4.0;
+  spec.duty_cycle = 0.05;
+  const double packed =
+      machine.RunOne(spec, Placement::TwoPerCore(machine.topology(), 2))
+          .jobs[0].completion_time;
+  EXPECT_GT(packed, 0.0);
+  EXPECT_TRUE(std::isfinite(packed));
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace pandia

@@ -1,0 +1,390 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/sim/machine.h"
+#include "src/sim/machine_spec.h"
+
+namespace pandia {
+namespace sim {
+namespace {
+
+// A small deterministic machine for precise expectations: no turbo, no
+// noise, generous caches.
+MachineSpec CalmMachine() {
+  MachineSpec spec = MakeX3_2();
+  spec.topo.name = "calm";
+  spec.turbo_enabled = false;
+  spec.noise_magnitude = 0.0;
+  spec.smt_pressure = 0.3;
+  return spec;
+}
+
+// A fully parallel compute-light workload that contends with nothing.
+WorkloadSpec IdealWorkload() {
+  WorkloadSpec spec;
+  spec.name = "ideal";
+  spec.total_work = 100.0;
+  spec.parallel_fraction = 1.0;
+  spec.balance = BalanceMode::kStatic;
+  spec.ops_per_work = 1.0;
+  spec.single_thread_ipc = 0.5;
+  spec.l1_bpw = 1.0;
+  spec.l2_bpw = 0.0;
+  spec.l3_bpw = 0.0;
+  spec.dram_bpw = 0.0;
+  spec.duty_cycle = 1.0;
+  spec.memory_policy = MemoryPolicy::kLocal;
+  return spec;
+}
+
+double RunTime(const Machine& machine, const WorkloadSpec& workload,
+               const Placement& placement) {
+  return machine.RunOne(workload, placement).jobs[0].completion_time;
+}
+
+TEST(SimMachine, SingleThreadTimeMatchesClosedForm) {
+  const Machine machine{CalmMachine()};
+  const WorkloadSpec workload = IdealWorkload();
+  const double time =
+      RunTime(machine, workload, Placement::OnePerCore(machine.topology(), 1));
+  // Rate = single_thread_ipc * core_ops (no turbo) = 0.5 * 7.4.
+  EXPECT_NEAR(time, 100.0 / (0.5 * 7.4), 1e-9);
+}
+
+TEST(SimMachine, PerfectScalingForIdealWorkload) {
+  const Machine machine{CalmMachine()};
+  const WorkloadSpec workload = IdealWorkload();
+  const double t1 = RunTime(machine, workload, Placement::OnePerCore(machine.topology(), 1));
+  const double t8 = RunTime(machine, workload, Placement::OnePerCore(machine.topology(), 8));
+  EXPECT_NEAR(t1 / t8, 8.0, 1e-6);
+}
+
+TEST(SimMachine, AmdahlLimitsSpeedup) {
+  const Machine machine{CalmMachine()};
+  WorkloadSpec workload = IdealWorkload();
+  workload.parallel_fraction = 0.9;
+  const double t1 = RunTime(machine, workload, Placement::OnePerCore(machine.topology(), 1));
+  const double t8 = RunTime(machine, workload, Placement::OnePerCore(machine.topology(), 8));
+  const double expected = 1.0 / (0.1 + 0.9 / 8.0);
+  EXPECT_NEAR(t1 / t8, expected, 1e-6);
+}
+
+TEST(SimMachine, WorkIsConserved) {
+  const Machine machine{CalmMachine()};
+  WorkloadSpec workload = IdealWorkload();
+  workload.parallel_fraction = 0.8;
+  const RunResult result =
+      machine.RunOne(workload, Placement::OnePerCore(machine.topology(), 6));
+  double total = 0.0;
+  for (const ThreadResult& thread : result.jobs[0].threads) {
+    total += thread.work_done;
+  }
+  EXPECT_NEAR(total, workload.total_work, 1e-6);
+}
+
+TEST(SimMachine, CountersMatchDemandTimesWork) {
+  const Machine machine{CalmMachine()};
+  WorkloadSpec workload = IdealWorkload();
+  workload.l1_bpw = 3.0;
+  const RunResult result =
+      machine.RunOne(workload, Placement::OnePerCore(machine.topology(), 2));
+  const ResourceIndex& index = machine.index();
+  double l1_bytes = 0.0;
+  double instructions = 0.0;
+  for (int c = 0; c < machine.topology().NumCores(); ++c) {
+    l1_bytes += result.jobs[0].resource_consumption[index.L1(c)];
+    instructions += result.jobs[0].resource_consumption[index.Core(c)];
+  }
+  EXPECT_NEAR(l1_bytes, 3.0 * workload.total_work, 1e-6);
+  EXPECT_NEAR(instructions, 1.0 * workload.total_work, 1e-6);
+}
+
+TEST(SimMachine, DramChannelSaturationFlattensScaling) {
+  const Machine machine{CalmMachine()};
+  WorkloadSpec workload = IdealWorkload();
+  workload.dram_bpw = 4.0;  // per-thread demand 4 * 3.7 = 14.8; channel is 42
+  workload.l3_bpw = 4.0;
+  const MachineTopology& topo = machine.topology();
+  const double t1 = RunTime(machine, workload, Placement::OnePerCore(topo, 1));
+  const double t2 = RunTime(machine, workload, Placement::OnePerCore(topo, 2));
+  const double t8 = RunTime(machine, workload, Placement::OnePerCore(topo, 8));
+  // Two threads still scale nearly perfectly (bank-level parallelism also
+  // raises the channel's achievable bandwidth); eight saturate the channel
+  // well below 8x.
+  EXPECT_GT(t1 / t2, 1.8);
+  EXPECT_LE(t1 / t2, 2.0 + 1e-9);
+  EXPECT_LT(t1 / t8, 4.5);
+  EXPECT_GT(t1 / t8, 2.0);
+}
+
+TEST(SimMachine, InterleavedTrafficCrossesTheInterconnect) {
+  const Machine machine{CalmMachine()};
+  WorkloadSpec workload = IdealWorkload();
+  workload.dram_bpw = 2.0;
+  workload.l3_bpw = 2.0;
+  workload.memory_policy = MemoryPolicy::kInterleaveActive;
+  const MachineTopology& topo = machine.topology();
+  // 8 threads over both sockets: half of all DRAM traffic is remote.
+  std::vector<SocketLoad> loads{{4, 0}, {4, 0}};
+  const RunResult result =
+      machine.RunOne(workload, Placement::FromSocketLoads(topo, loads));
+  const double link_bytes =
+      result.jobs[0].resource_consumption[machine.index().Link(0, 1)];
+  EXPECT_NEAR(link_bytes, 0.5 * 2.0 * workload.total_work, 1e-6);
+}
+
+TEST(SimMachine, LocalPolicyAvoidsTheInterconnect) {
+  const Machine machine{CalmMachine()};
+  WorkloadSpec workload = IdealWorkload();
+  workload.dram_bpw = 2.0;
+  workload.memory_policy = MemoryPolicy::kLocal;
+  std::vector<SocketLoad> loads{{4, 0}, {4, 0}};
+  const RunResult result = machine.RunOne(
+      workload, Placement::FromSocketLoads(machine.topology(), loads));
+  EXPECT_DOUBLE_EQ(result.jobs[0].resource_consumption[machine.index().Link(0, 1)], 0.0);
+}
+
+TEST(SimMachine, RemoteAccessCostSlowsSpreadPlacements) {
+  const Machine machine{CalmMachine()};
+  WorkloadSpec workload = IdealWorkload();
+  workload.dram_bpw = 0.5;
+  workload.remote_access_cost = 0.05;
+  workload.memory_policy = MemoryPolicy::kInterleaveActive;
+  const MachineTopology& topo = machine.topology();
+  const double local =
+      RunTime(machine, workload, Placement::OnePerCore(topo, 2));
+  std::vector<SocketLoad> loads{{1, 0}, {1, 0}};
+  const double spread =
+      RunTime(machine, workload, Placement::FromSocketLoads(topo, loads));
+  EXPECT_GT(spread, local * 1.05);
+}
+
+TEST(SimMachine, CommIntensityChargesRemotePeers) {
+  const Machine machine{CalmMachine()};
+  WorkloadSpec workload = IdealWorkload();
+  workload.comm_intensity = 0.01;
+  const MachineTopology& topo = machine.topology();
+  const double same_socket = RunTime(machine, workload, Placement::OnePerCore(topo, 4));
+  std::vector<SocketLoad> loads{{2, 0}, {2, 0}};
+  const double split = RunTime(machine, workload, Placement::FromSocketLoads(topo, loads));
+  EXPECT_GT(split, same_socket * 1.02);
+}
+
+TEST(SimMachine, SmtSharingSlowsCoLocatedThreads) {
+  const Machine machine{CalmMachine()};
+  const WorkloadSpec workload = IdealWorkload();
+  const MachineTopology& topo = machine.topology();
+  const double spread = RunTime(machine, workload, Placement::OnePerCore(topo, 2));
+  const double packed = RunTime(machine, workload, Placement::TwoPerCore(topo, 2));
+  // smt_pressure = 0.3 halves nothing but costs ~23%.
+  EXPECT_GT(packed, spread * 1.1);
+}
+
+TEST(SimMachine, BurstyThreadsCollideHarderOnSharedCores) {
+  const Machine machine{CalmMachine()};
+  WorkloadSpec smooth = IdealWorkload();
+  smooth.ops_per_work = 4.0;  // make the core the contended resource
+  WorkloadSpec bursty = smooth;
+  bursty.name = "bursty";
+  bursty.duty_cycle = 0.5;
+  const MachineTopology& topo = machine.topology();
+  const Placement packed = Placement::TwoPerCore(topo, 2);
+  const Placement spread = Placement::OnePerCore(topo, 2);
+  const double smooth_ratio =
+      RunTime(machine, smooth, packed) / RunTime(machine, smooth, spread);
+  const double bursty_ratio =
+      RunTime(machine, bursty, packed) / RunTime(machine, bursty, spread);
+  EXPECT_GT(bursty_ratio, smooth_ratio * 1.05);
+}
+
+TEST(SimMachine, TurboBoostsLightlyLoadedSockets) {
+  MachineSpec spec = CalmMachine();
+  spec.turbo_enabled = true;
+  const Machine machine{spec};
+  const WorkloadSpec workload = IdealWorkload();
+  const MachineTopology& topo = machine.topology();
+  const double alone = RunTime(machine, workload, Placement::OnePerCore(topo, 1));
+  // Same single thread, but its socket is fully awake via idle co-runners:
+  // use 8 one-per-core threads and compare per-thread completion indirectly.
+  const RunResult result = machine.RunOne(workload, Placement::OnePerCore(topo, 8));
+  EXPECT_GT(result.socket_frequency[0], 1.0);
+  const Machine no_turbo{CalmMachine()};
+  const double nominal = RunTime(no_turbo, workload, Placement::OnePerCore(topo, 1));
+  // Single active core runs at max single-core turbo: 3.5 / 2.7.
+  EXPECT_NEAR(nominal / alone, 3.5 / 2.7, 1e-6);
+}
+
+TEST(SimMachine, StaticStragglersDelayTheBarrier) {
+  const Machine machine{CalmMachine()};
+  WorkloadSpec workload = IdealWorkload();
+  workload.ops_per_work = 4.0;
+  const MachineTopology& topo = machine.topology();
+  // 3 threads: two share a core (slow), one alone (fast).
+  const Placement asym(topo, {2, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+  WorkloadSpec dynamic = workload;
+  dynamic.name = "dynamic";
+  dynamic.balance = BalanceMode::kDynamic;
+  dynamic.chunk_fraction = 0.001;
+  const double t_static = RunTime(machine, workload, asym);
+  const double t_dynamic = RunTime(machine, dynamic, asym);
+  // With stealing, the fast thread absorbs the imbalance.
+  EXPECT_LT(t_dynamic, t_static * 0.97);
+}
+
+TEST(SimMachine, DynamicChunkTailCostsTime) {
+  const Machine machine{CalmMachine()};
+  WorkloadSpec fine = IdealWorkload();
+  fine.balance = BalanceMode::kDynamic;
+  fine.chunk_fraction = 0.0005;
+  WorkloadSpec coarse = fine;
+  coarse.name = "coarse";
+  coarse.chunk_fraction = 0.1;
+  const Placement placement = Placement::OnePerCore(machine.topology(), 8);
+  EXPECT_GT(RunTime(machine, coarse, placement), RunTime(machine, fine, placement));
+}
+
+TEST(SimMachine, WorkGrowthAddsWorkPerThread) {
+  const Machine machine{CalmMachine()};
+  WorkloadSpec workload = IdealWorkload();
+  workload.work_growth = 0.1;
+  const RunResult result =
+      machine.RunOne(workload, Placement::OnePerCore(machine.topology(), 4));
+  double total = 0.0;
+  for (const ThreadResult& thread : result.jobs[0].threads) {
+    total += thread.work_done;
+  }
+  EXPECT_NEAR(total, 100.0 * (1.0 + 0.1 * 3), 1e-6);
+}
+
+TEST(SimMachine, MaxActiveThreadsLeavesOthersIdle) {
+  const Machine machine{CalmMachine()};
+  WorkloadSpec workload = IdealWorkload();
+  workload.max_active_threads = 1;
+  const RunResult result =
+      machine.RunOne(workload, Placement::OnePerCore(machine.topology(), 4));
+  EXPECT_GT(result.jobs[0].threads[0].work_done, 0.0);
+  for (size_t i = 1; i < result.jobs[0].threads.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.jobs[0].threads[i].work_done, 0.0);
+  }
+}
+
+TEST(SimMachine, CacheOverflowIncreasesDramTraffic) {
+  const Machine machine{CalmMachine()};
+  WorkloadSpec workload = IdealWorkload();
+  workload.l3_bpw = 4.0;
+  workload.dram_bpw = 0.1;
+  workload.working_set = 4.0;  // 8 threads * 4 = 32 > 20 (L3) on one socket
+  const MachineTopology& topo = machine.topology();
+  const ResourceIndex& index = machine.index();
+  const RunResult one = machine.RunOne(workload, Placement::OnePerCore(topo, 1));
+  const RunResult eight = machine.RunOne(workload, Placement::OnePerCore(topo, 8));
+  const double dram_per_work_1 =
+      one.jobs[0].resource_consumption[index.Dram(0)] / workload.total_work;
+  const double dram_per_work_8 =
+      eight.jobs[0].resource_consumption[index.Dram(0)] / workload.total_work;
+  EXPECT_GT(dram_per_work_8, dram_per_work_1 * 2.0);
+}
+
+TEST(SimMachine, BackgroundJobRunsForTheWholeDuration) {
+  const Machine machine{CalmMachine()};
+  const WorkloadSpec foreground = IdealWorkload();
+  WorkloadSpec background = IdealWorkload();
+  background.name = "bg";
+  const MachineTopology& topo = machine.topology();
+  std::vector<SocketLoad> bg_loads{{0, 0}, {1, 0}};
+  const std::vector<JobRequest> jobs{
+      {&foreground, Placement::OnePerCore(topo, 1), false},
+      {&background, Placement::FromSocketLoads(topo, bg_loads), true},
+  };
+  const RunResult result = machine.Run(jobs);
+  // The background thread is busy for the whole run.
+  EXPECT_NEAR(result.jobs[1].threads[0].busy_time, result.wall_time, 1e-6);
+  EXPECT_GT(result.jobs[1].threads[0].work_done, 0.0);
+}
+
+TEST(SimMachine, CoRunnerOnSameCoreSlowsForeground) {
+  const Machine machine{CalmMachine()};
+  const WorkloadSpec foreground = IdealWorkload();
+  WorkloadSpec corunner = IdealWorkload();
+  corunner.name = "corunner";
+  const MachineTopology& topo = machine.topology();
+  const double alone = RunTime(machine, foreground, Placement::OnePerCore(topo, 1));
+  const std::vector<JobRequest> jobs{
+      {&foreground, Placement::OnePerCore(topo, 1), false},
+      {&corunner, Placement::OnePerCore(topo, 1), true},
+  };
+  const RunResult result = machine.Run(jobs);
+  EXPECT_GT(result.jobs[0].completion_time, alone * 1.15);
+}
+
+TEST(SimMachine, DeterministicAcrossRuns) {
+  const Machine machine{MakeX3_2()};
+  const WorkloadSpec workload = IdealWorkload();
+  const Placement placement = Placement::OnePerCore(machine.topology(), 5);
+  const double a = RunTime(machine, workload, placement);
+  const double b = RunTime(machine, workload, placement);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(SimMachine, NoiseVariesWithPlacement) {
+  const Machine machine{MakeX3_2()};
+  WorkloadSpec workload = IdealWorkload();
+  workload.parallel_fraction = 0.0;  // same serial time regardless of threads
+  const MachineTopology& topo = machine.topology();
+  std::vector<SocketLoad> a_loads{{2, 0}, {0, 0}};
+  std::vector<SocketLoad> b_loads{{0, 1}, {0, 0}};
+  const double a = RunTime(machine, workload, Placement::FromSocketLoads(topo, a_loads));
+  const double b = RunTime(machine, workload, Placement::FromSocketLoads(topo, b_loads));
+  EXPECT_NE(a, b);
+}
+
+TEST(SimMachineDeath, RequiresExactlyOneForeground) {
+  const Machine machine{CalmMachine()};
+  const WorkloadSpec workload = IdealWorkload();
+  const Placement placement = Placement::OnePerCore(machine.topology(), 1);
+  const std::vector<JobRequest> none{{&workload, placement, true}};
+  EXPECT_DEATH(machine.Run(none), "foreground");
+  const std::vector<JobRequest> two{{&workload, placement, false},
+                                    {&workload, placement, false}};
+  EXPECT_DEATH(machine.Run(two), "foreground");
+}
+
+TEST(SimMachineDeath, RejectsMismatchedTopology) {
+  const Machine machine{CalmMachine()};
+  const Machine other{MakeX5_2()};
+  const WorkloadSpec workload = IdealWorkload();
+  const Placement placement = Placement::OnePerCore(other.topology(), 1);
+  const std::vector<JobRequest> jobs{{&workload, placement, false}};
+  EXPECT_DEATH(machine.Run(jobs), "topology");
+}
+
+// --- TurboCurve unit behaviour ---
+
+TEST(TurboCurve, MonotonicallyDecreasing) {
+  const TurboCurve curve{.nominal_ghz = 2.3, .max_single_ghz = 3.6, .max_all_ghz = 2.8};
+  double prev = curve.Multiplier(1, 18, true);
+  for (int active = 2; active <= 18; ++active) {
+    const double mult = curve.Multiplier(active, 18, true);
+    EXPECT_LE(mult, prev);
+    prev = mult;
+  }
+  EXPECT_NEAR(curve.Multiplier(18, 18, true), 2.8 / 2.3, 1e-12);
+}
+
+TEST(TurboCurve, DisabledIsNominal) {
+  const TurboCurve curve{.nominal_ghz = 2.3, .max_single_ghz = 3.6, .max_all_ghz = 2.8};
+  EXPECT_DOUBLE_EQ(curve.Multiplier(1, 18, false), 1.0);
+  EXPECT_DOUBLE_EQ(curve.Multiplier(18, 18, false), 1.0);
+}
+
+TEST(MachineSpecs, LookupByName) {
+  EXPECT_EQ(MachineByName("x5-2").topo.cores_per_socket, 18);
+  EXPECT_EQ(MachineByName("x2-4").topo.num_sockets, 4);
+  EXPECT_FALSE(MachineByName("x2-4").adaptive_caches);
+  EXPECT_DEATH(MachineByName("pdp-11"), "unknown machine");
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace pandia

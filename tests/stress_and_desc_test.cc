@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "src/counters/counters.h"
+#include "src/machine_desc/generator.h"
+#include "src/machine_desc/machine_description.h"
+#include "src/sim/machine.h"
+#include "src/sim/machine_spec.h"
+#include "src/stress/stress.h"
+
+namespace pandia {
+namespace {
+
+const sim::Machine& X3() {
+  static const sim::Machine machine{sim::MakeX3_2()};
+  return machine;
+}
+
+// --- CounterView ---
+
+TEST(Counters, AggregatesMatchPerResourceSums) {
+  const sim::Machine& machine = X3();
+  const sim::WorkloadSpec spec = stress::L3Stressor();
+  const sim::RunResult result =
+      machine.RunOne(spec, Placement::OnePerCore(machine.topology(), 2));
+  const CounterView view(machine, result, 0);
+  double l3 = 0.0;
+  for (int c = 0; c < machine.topology().NumCores(); ++c) {
+    l3 += view.ResourceConsumption(machine.index().L3Port(c));
+  }
+  EXPECT_DOUBLE_EQ(view.L3Bytes(), l3);
+  EXPECT_GT(view.Instructions(), 0.0);
+  EXPECT_DOUBLE_EQ(view.WallTime(), result.wall_time);
+}
+
+TEST(Counters, DramPerNodeSumsToTotal) {
+  const sim::Machine& machine = X3();
+  sim::WorkloadSpec spec = stress::DramStressor();
+  spec.memory_policy = MemoryPolicy::kInterleaveAll;
+  const sim::RunResult result =
+      machine.RunOne(spec, Placement::OnePerCore(machine.topology(), 4));
+  const CounterView view(machine, result, 0);
+  double per_node = 0.0;
+  for (int s = 0; s < machine.topology().num_sockets; ++s) {
+    per_node += view.DramBytesOnNode(s);
+  }
+  EXPECT_NEAR(view.DramBytes(), per_node, 1e-9);
+  // Interleaved across both sockets: equal split.
+  EXPECT_NEAR(view.DramBytesOnNode(0), view.DramBytesOnNode(1), 1e-6);
+}
+
+TEST(CountersDeath, RejectsBadJobIndex) {
+  const sim::Machine& machine = X3();
+  const sim::WorkloadSpec spec = stress::CpuStressor();
+  const sim::RunResult result =
+      machine.RunOne(spec, Placement::OnePerCore(machine.topology(), 1));
+  EXPECT_DEATH(CounterView(machine, result, 1), "PANDIA_CHECK");
+}
+
+// --- stressors bind the intended resource ---
+
+TEST(Stress, CpuStressorIsComputeBound) {
+  const sim::Machine& machine = X3();
+  const sim::RunResult result = machine.RunOne(
+      stress::CpuStressor(), Placement::OnePerCore(machine.topology(), 1));
+  const CounterView view(machine, result, 0);
+  // Instruction traffic dominates byte traffic.
+  EXPECT_GT(view.Instructions(), view.DramBytes() * 100.0);
+  EXPECT_DOUBLE_EQ(view.DramBytes(), 0.0);
+}
+
+TEST(Stress, DramStressorMovesDramBytes) {
+  const sim::Machine& machine = X3();
+  const sim::RunResult result = machine.RunOne(
+      stress::DramStressor(), Placement::OnePerCore(machine.topology(), 1));
+  const CounterView view(machine, result, 0);
+  EXPECT_GT(view.DramBytes(), 0.0);
+  // Local policy: no interconnect traffic.
+  EXPECT_DOUBLE_EQ(view.InterconnectBytes(), 0.0);
+}
+
+TEST(Stress, RemoteStressorCrossesTheLink) {
+  const sim::Machine& machine = X3();
+  const MachineTopology& topo = machine.topology();
+  std::vector<SocketLoad> loads{{0, 0}, {2, 0}};
+  const sim::RunResult result = machine.RunOne(
+      stress::RemoteDramStressor(0), Placement::FromSocketLoads(topo, loads));
+  const CounterView view(machine, result, 0);
+  // All DRAM traffic lands on node 0 and crosses the link.
+  EXPECT_NEAR(view.DramBytesOnNode(0), view.DramBytes(), 1e-9);
+  EXPECT_NEAR(view.InterconnectBytes(), view.DramBytes(), 1e-9);
+}
+
+TEST(Stress, FillerPlacementCoversComplement) {
+  const MachineTopology topo = X3().topology();
+  const Placement used = Placement::OnePerCore(topo, 5);
+  const std::optional<Placement> filler =
+      stress::FillerPlacement(topo, std::span(&used, 1));
+  ASSERT_TRUE(filler.has_value());
+  for (int c = 0; c < topo.NumCores(); ++c) {
+    const bool occupied = used.ThreadsOnCore(c) > 0;
+    EXPECT_EQ(filler->ThreadsOnCore(c), occupied ? 0 : 1);
+  }
+}
+
+TEST(Stress, FillerPlacementEmptyWhenMachineFull) {
+  const MachineTopology topo = X3().topology();
+  const Placement used = Placement::OnePerCore(topo, topo.NumCores());
+  EXPECT_FALSE(stress::FillerPlacement(topo, std::span(&used, 1)).has_value());
+}
+
+// --- machine description generation ---
+
+class MachineDescTest : public ::testing::Test {
+ protected:
+  static const MachineDescription& Desc() {
+    static const MachineDescription desc = GenerateMachineDescription(X3());
+    return desc;
+  }
+};
+
+TEST_F(MachineDescTest, TopologyCopiedFromOs) {
+  EXPECT_EQ(Desc().topo.num_sockets, 2);
+  EXPECT_EQ(Desc().topo.cores_per_socket, 8);
+  EXPECT_EQ(Desc().topo.threads_per_core, 2);
+}
+
+TEST_F(MachineDescTest, CoreRateReflectsAllCoreTurboAndIlp) {
+  const sim::MachineSpec truth = sim::MakeX3_2();
+  // Background-filled: all-core turbo bin; single thread capped by the
+  // stressor's ILP (0.75 of the core).
+  const double all_core = truth.turbo.Multiplier(truth.topo.cores_per_socket,
+                                                 truth.topo.cores_per_socket, true);
+  EXPECT_NEAR(Desc().core_ops, truth.core_ops * all_core * 0.75,
+              Desc().core_ops * 0.03);
+}
+
+TEST_F(MachineDescTest, SmtCombinedExceedsSingleThread) {
+  EXPECT_GT(Desc().smt_combined_ops, Desc().core_ops);
+  const sim::MachineSpec truth = sim::MakeX3_2();
+  const double all_core = truth.turbo.Multiplier(truth.topo.cores_per_socket,
+                                                 truth.topo.cores_per_socket, true);
+  EXPECT_NEAR(Desc().smt_combined_ops,
+              truth.core_ops * all_core * truth.smt_combined_factor,
+              Desc().smt_combined_ops * 0.03);
+}
+
+TEST_F(MachineDescTest, BandwidthsMatchGroundTruth) {
+  const sim::MachineSpec truth = sim::MakeX3_2();
+  const double all_core = truth.turbo.Multiplier(truth.topo.cores_per_socket,
+                                                 truth.topo.cores_per_socket, true);
+  EXPECT_NEAR(Desc().l1_bw, truth.l1_bw * all_core, Desc().l1_bw * 0.03);
+  EXPECT_NEAR(Desc().l2_bw, truth.l2_bw * all_core, Desc().l2_bw * 0.03);
+  EXPECT_NEAR(Desc().l3_port_bw, truth.l3_port_bw, Desc().l3_port_bw * 0.03);
+  // The DRAM and link stress runs use one thread per core of a socket, so
+  // the channel runs at the bank-parallelism utilization of that census.
+  const double requesters = truth.topo.cores_per_socket;
+  const double mlp = requesters / (requesters + truth.dram_mlp_k);
+  EXPECT_NEAR(Desc().dram_bw, truth.dram_bw * mlp, Desc().dram_bw * 0.03);
+  EXPECT_NEAR(Desc().link_bw, truth.link_bw, Desc().link_bw * 0.03);
+}
+
+TEST_F(MachineDescTest, AggregateL3BelowSumOfPorts) {
+  EXPECT_LT(Desc().l3_agg_bw,
+            Desc().l3_port_bw * Desc().topo.cores_per_socket);
+  EXPECT_GT(Desc().l3_agg_bw, Desc().l3_port_bw);
+}
+
+TEST_F(MachineDescTest, CapacitiesRespectSmtOccupancy) {
+  const MachineDescription& desc = Desc();
+  std::vector<uint8_t> per_core(static_cast<size_t>(desc.topo.NumCores()), 0);
+  per_core[0] = 1;
+  per_core[1] = 2;
+  const std::vector<double> caps = desc.Capacities(per_core);
+  const ResourceIndex index(desc.topo);
+  EXPECT_DOUBLE_EQ(caps[index.Core(0)], desc.core_ops);
+  EXPECT_DOUBLE_EQ(caps[index.Core(1)], desc.smt_combined_ops);
+  EXPECT_DOUBLE_EQ(caps[index.Dram(1)], desc.dram_bw);
+  EXPECT_DOUBLE_EQ(caps[index.Link(0, 1)], desc.link_bw);
+}
+
+TEST_F(MachineDescTest, ToStringIncludesName) {
+  EXPECT_NE(Desc().ToString().find("x3-2"), std::string::npos);
+}
+
+TEST(MachineDescFourSocket, GeneratesForX2_4) {
+  const sim::Machine machine{sim::MakeX2_4()};
+  const MachineDescription desc = GenerateMachineDescription(machine);
+  EXPECT_GT(desc.link_bw, 0.0);
+  EXPECT_GT(desc.dram_bw, 0.0);
+  EXPECT_EQ(desc.topo.num_sockets, 4);
+}
+
+}  // namespace
+}  // namespace pandia

@@ -1,0 +1,153 @@
+// Parameterized properties that must hold for every workload in the
+// evaluation suite: simulator invariants (conservation, determinism,
+// monotonicity of contention), predictor sanity, and agreement between the
+// predictor's demand routing and the simulator's observed traffic.
+#include <gtest/gtest.h>
+
+#include "src/counters/counters.h"
+#include "src/eval/pipeline.h"
+#include "src/workloads/workloads.h"
+
+namespace pandia {
+namespace {
+
+std::vector<std::string> AllWorkloadNames() {
+  std::vector<std::string> names;
+  for (const sim::WorkloadSpec& spec : workloads::EvaluationSuite()) {
+    names.push_back(spec.name);
+  }
+  return names;
+}
+
+const eval::Pipeline& X3() {
+  static const eval::Pipeline pipeline("x3-2");
+  return pipeline;
+}
+
+class SuiteWorkload : public ::testing::TestWithParam<std::string> {
+ protected:
+  sim::WorkloadSpec Spec() const { return workloads::ByName(GetParam()); }
+};
+
+TEST_P(SuiteWorkload, WorkIsConservedAtSeveralPlacements) {
+  const sim::WorkloadSpec spec = Spec();
+  const MachineTopology& topo = X3().machine().topology();
+  for (int n : {1, 5, 16}) {
+    const sim::RunResult result =
+        X3().machine().RunOne(spec, Placement::OnePerCore(topo, n));
+    double total = 0.0;
+    for (const sim::ThreadResult& thread : result.jobs[0].threads) {
+      total += thread.work_done;
+    }
+    EXPECT_NEAR(total, spec.total_work, spec.total_work * 1e-6)
+        << spec.name << " n=" << n;
+  }
+}
+
+TEST_P(SuiteWorkload, SimulationIsDeterministic) {
+  const sim::WorkloadSpec spec = Spec();
+  const Placement placement = Placement::TwoPerCore(X3().machine().topology(), 10);
+  const double a = X3().machine().RunOne(spec, placement).jobs[0].completion_time;
+  const double b = X3().machine().RunOne(spec, placement).jobs[0].completion_time;
+  EXPECT_DOUBLE_EQ(a, b) << spec.name;
+}
+
+TEST_P(SuiteWorkload, MoreThreadsOnOneSocketNeverCatastrophicallyWorse) {
+  // Within a socket, going from 2 to 8 one-per-core threads must not slow
+  // the workload down by more than the noise band: contention can flatten
+  // scaling but not reverse it by much for suite workloads.
+  const sim::WorkloadSpec spec = Spec();
+  const MachineTopology& topo = X3().machine().topology();
+  const double t2 = X3().machine().RunOne(spec, Placement::OnePerCore(topo, 2))
+                        .jobs[0].completion_time;
+  const double t8 = X3().machine().RunOne(spec, Placement::OnePerCore(topo, 8))
+                        .jobs[0].completion_time;
+  EXPECT_LT(t8, t2 * 1.05) << spec.name;
+}
+
+TEST_P(SuiteWorkload, ProfileParametersAreInRange) {
+  const WorkloadDescription desc = X3().Profile(Spec());
+  EXPECT_GT(desc.t1, 0.0);
+  EXPECT_GE(desc.parallel_fraction, 0.0);
+  EXPECT_LE(desc.parallel_fraction, 1.0);
+  EXPECT_GE(desc.inter_socket_overhead, 0.0);
+  EXPECT_LT(desc.inter_socket_overhead, 1.0) << GetParam();
+  EXPECT_GE(desc.load_balance, 0.0);
+  EXPECT_LE(desc.load_balance, 1.0);
+  EXPECT_GE(desc.burstiness, 0.0);
+  EXPECT_LT(desc.burstiness, 3.0) << GetParam();
+  EXPECT_GE(desc.profile_threads, 2);
+  EXPECT_EQ(desc.profile_threads % 2, 0);
+}
+
+TEST_P(SuiteWorkload, ProfiledParallelFractionTracksGroundTruth) {
+  const sim::WorkloadSpec spec = Spec();
+  const WorkloadDescription desc = X3().Profile(spec);
+  // The measured p absorbs mild contention, so only require closeness.
+  EXPECT_NEAR(desc.parallel_fraction, spec.parallel_fraction, 0.05) << spec.name;
+}
+
+TEST_P(SuiteWorkload, PredictionsConvergeAndStayBounded) {
+  const sim::WorkloadSpec spec = Spec();
+  const WorkloadDescription desc = X3().Profile(spec);
+  const Predictor predictor = X3().MakePredictor(desc);
+  const MachineTopology& topo = X3().machine().topology();
+  for (const Placement& placement :
+       {Placement::OnePerCore(topo, 3), Placement::TwoPerCore(topo, 20),
+        Placement::TwoPerCore(topo, topo.NumHwThreads())}) {
+    const Prediction p = predictor.Predict(placement);
+    EXPECT_TRUE(p.converged) << spec.name << " " << placement.ToString();
+    EXPECT_GT(p.speedup, 0.0);
+    EXPECT_LE(p.speedup, p.amdahl_speedup * (1.0 + 1e-9));
+    EXPECT_LT(p.iterations, 200) << spec.name;
+  }
+}
+
+TEST_P(SuiteWorkload, PredictedTimeWithinFactorTwoOfMeasured) {
+  // Coarse end-to-end accuracy gate for every workload at three placements.
+  const sim::WorkloadSpec spec = Spec();
+  const WorkloadDescription desc = X3().Profile(spec);
+  const Predictor predictor = X3().MakePredictor(desc);
+  const MachineTopology& topo = X3().machine().topology();
+  for (int n : {4, 16}) {
+    const Placement placement = Placement::OnePerCore(topo, n);
+    const double measured =
+        X3().machine().RunOne(spec, placement).jobs[0].completion_time;
+    const double predicted = predictor.Predict(placement).time;
+    EXPECT_LT(predicted, measured * 2.0) << spec.name << " n=" << n;
+    EXPECT_GT(predicted, measured * 0.5) << spec.name << " n=" << n;
+  }
+}
+
+TEST_P(SuiteWorkload, RoutingAgreesWithSimulatedTraffic) {
+  // The predictor's DRAM-per-node split (policy-aware routing) must match
+  // the traffic the machine actually produces for a cross-socket placement.
+  const sim::WorkloadSpec spec = Spec();
+  const WorkloadDescription desc = X3().Profile(spec);
+  const Predictor predictor = X3().MakePredictor(desc);
+  const MachineTopology& topo = X3().machine().topology();
+  std::vector<SocketLoad> loads{{4, 0}, {4, 0}};
+  const Placement placement = Placement::FromSocketLoads(topo, loads);
+  const Prediction prediction = predictor.Predict(placement);
+  const sim::RunResult run = X3().machine().RunOne(spec, placement);
+  const CounterView view(X3().machine(), run, 0);
+  const ResourceIndex index(topo);
+  const double predicted_link = prediction.resource_load[index.Link(0, 1)];
+  const double observed_link = view.InterconnectBytes() / view.CompletionTime();
+  if (spec.memory_policy == MemoryPolicy::kLocal && spec.comm_bytes_per_work == 0.0) {
+    EXPECT_DOUBLE_EQ(predicted_link, 0.0) << spec.name;
+    EXPECT_DOUBLE_EQ(observed_link, 0.0) << spec.name;
+  } else if (spec.memory_policy != MemoryPolicy::kLocal) {
+    EXPECT_GT(predicted_link, 0.0) << spec.name;
+    EXPECT_GT(observed_link, 0.0) << spec.name;
+    // Same order of magnitude (the model scales demand by utilization).
+    EXPECT_LT(predicted_link, observed_link * 3.0) << spec.name;
+    EXPECT_GT(predicted_link, observed_link / 3.0) << spec.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, SuiteWorkload,
+                         ::testing::ValuesIn(AllWorkloadNames()));
+
+}  // namespace
+}  // namespace pandia

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/topology/memory_policy.h"
+#include "src/topology/resource_index.h"
+#include "src/topology/topology.h"
+
+namespace pandia {
+namespace {
+
+MachineTopology TwoByFour() {
+  return MachineTopology{.name = "t2x4",
+                         .num_sockets = 2,
+                         .cores_per_socket = 4,
+                         .threads_per_core = 2,
+                         .l1_size = 0.032,
+                         .l2_size = 0.25,
+                         .l3_size = 8.0};
+}
+
+MachineTopology FourByTen() {
+  return MachineTopology{.name = "t4x10",
+                         .num_sockets = 4,
+                         .cores_per_socket = 10,
+                         .threads_per_core = 2,
+                         .l1_size = 0.032,
+                         .l2_size = 0.25,
+                         .l3_size = 24.0};
+}
+
+TEST(Topology, Counts) {
+  const MachineTopology topo = TwoByFour();
+  EXPECT_EQ(topo.NumCores(), 8);
+  EXPECT_EQ(topo.NumHwThreads(), 16);
+  EXPECT_EQ(topo.NumInterconnectLinks(), 1);
+  EXPECT_EQ(FourByTen().NumInterconnectLinks(), 6);
+}
+
+TEST(Topology, SocketOfCore) {
+  const MachineTopology topo = TwoByFour();
+  EXPECT_EQ(topo.SocketOfCore(0), 0);
+  EXPECT_EQ(topo.SocketOfCore(3), 0);
+  EXPECT_EQ(topo.SocketOfCore(4), 1);
+  EXPECT_EQ(topo.FirstCoreOfSocket(1), 4);
+}
+
+TEST(Topology, LinkIndexSymmetricAndDense) {
+  const MachineTopology topo = FourByTen();
+  std::set<int> seen;
+  for (int a = 0; a < topo.num_sockets; ++a) {
+    for (int b = a + 1; b < topo.num_sockets; ++b) {
+      const int index = topo.LinkIndex(a, b);
+      EXPECT_EQ(index, topo.LinkIndex(b, a));
+      EXPECT_GE(index, 0);
+      EXPECT_LT(index, topo.NumInterconnectLinks());
+      seen.insert(index);
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), topo.NumInterconnectLinks());
+}
+
+TEST(TopologyDeath, LinkIndexRejectsSelfLink) {
+  const MachineTopology topo = TwoByFour();
+  EXPECT_DEATH(topo.LinkIndex(0, 0), "PANDIA_CHECK");
+}
+
+// --- ResourceIndex ---
+
+TEST(ResourceIndex, CountMatchesLayout) {
+  const MachineTopology topo = TwoByFour();
+  const ResourceIndex index(topo);
+  // 4 per-core classes + l3agg/dram per socket + 1 link.
+  EXPECT_EQ(index.Count(), 4 * 8 + 2 * 2 + 1);
+}
+
+TEST(ResourceIndex, AllIndicesDistinct) {
+  const MachineTopology topo = FourByTen();
+  const ResourceIndex index(topo);
+  std::set<int> seen;
+  for (int c = 0; c < topo.NumCores(); ++c) {
+    seen.insert(index.Core(c));
+    seen.insert(index.L1(c));
+    seen.insert(index.L2(c));
+    seen.insert(index.L3Port(c));
+  }
+  for (int s = 0; s < topo.num_sockets; ++s) {
+    seen.insert(index.L3Agg(s));
+    seen.insert(index.Dram(s));
+  }
+  for (int a = 0; a < topo.num_sockets; ++a) {
+    for (int b = a + 1; b < topo.num_sockets; ++b) {
+      seen.insert(index.Link(a, b));
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), index.Count());
+}
+
+TEST(ResourceIndex, KindsRoundTrip) {
+  const MachineTopology topo = TwoByFour();
+  const ResourceIndex index(topo);
+  EXPECT_EQ(index.KindOf(index.Core(3)), ResourceKind::kCore);
+  EXPECT_EQ(index.KindOf(index.L1(0)), ResourceKind::kL1);
+  EXPECT_EQ(index.KindOf(index.L2(7)), ResourceKind::kL2);
+  EXPECT_EQ(index.KindOf(index.L3Port(5)), ResourceKind::kL3Port);
+  EXPECT_EQ(index.KindOf(index.L3Agg(1)), ResourceKind::kL3Agg);
+  EXPECT_EQ(index.KindOf(index.Dram(0)), ResourceKind::kDram);
+  EXPECT_EQ(index.KindOf(index.Link(0, 1)), ResourceKind::kLink);
+}
+
+TEST(ResourceIndex, NamesAreDescriptive) {
+  const MachineTopology topo = FourByTen();
+  const ResourceIndex index(topo);
+  EXPECT_EQ(index.Name(index.Core(0)), "core0");
+  EXPECT_EQ(index.Name(index.Dram(2)), "dram2");
+  EXPECT_EQ(index.Name(index.Link(1, 3)), "link1-3");
+}
+
+// --- MemoryPolicy ---
+
+TEST(MemoryPolicy, LocalPutsEverythingOnOwnSocket) {
+  const std::vector<double> w =
+      MemoryNodeWeights(MemoryPolicy::kLocal, 4, {true, true, false, false}, 1, 0);
+  EXPECT_DOUBLE_EQ(w[1], 1.0);
+  EXPECT_DOUBLE_EQ(w[0] + w[2] + w[3], 0.0);
+}
+
+TEST(MemoryPolicy, InterleaveAllIsUniform) {
+  const std::vector<double> w =
+      MemoryNodeWeights(MemoryPolicy::kInterleaveAll, 4, {true, false, false, false}, 0, 0);
+  for (double x : w) {
+    EXPECT_DOUBLE_EQ(x, 0.25);
+  }
+}
+
+TEST(MemoryPolicy, InterleaveActiveUsesOnlyActiveSockets) {
+  const std::vector<double> w = MemoryNodeWeights(MemoryPolicy::kInterleaveActive, 4,
+                                                  {true, false, true, false}, 0, 0);
+  EXPECT_DOUBLE_EQ(w[0], 0.5);
+  EXPECT_DOUBLE_EQ(w[2], 0.5);
+  EXPECT_DOUBLE_EQ(w[1], 0.0);
+  EXPECT_DOUBLE_EQ(w[3], 0.0);
+}
+
+TEST(MemoryPolicy, HomeSocketIgnoresThreadLocation) {
+  const std::vector<double> w =
+      MemoryNodeWeights(MemoryPolicy::kHomeSocket, 2, {false, true}, 1, 0);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.0);
+}
+
+TEST(MemoryPolicy, WeightsAlwaysSumToOne) {
+  for (MemoryPolicy policy :
+       {MemoryPolicy::kLocal, MemoryPolicy::kInterleaveAll,
+        MemoryPolicy::kInterleaveActive, MemoryPolicy::kHomeSocket}) {
+    const std::vector<double> w =
+        MemoryNodeWeights(policy, 3, {true, true, false}, 1, 0);
+    double sum = 0.0;
+    for (double x : w) {
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12) << MemoryPolicyName(policy);
+  }
+}
+
+TEST(MemoryPolicy, NamesAreStable) {
+  EXPECT_EQ(MemoryPolicyName(MemoryPolicy::kLocal), "local");
+  EXPECT_EQ(MemoryPolicyName(MemoryPolicy::kInterleaveAll), "interleave-all");
+}
+
+}  // namespace
+}  // namespace pandia

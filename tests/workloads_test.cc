@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/sim/machine.h"
+#include "src/sim/machine_spec.h"
+#include "src/workloads/workloads.h"
+
+namespace pandia {
+namespace {
+
+TEST(Workloads, SuiteHasTwentyTwoWorkloads) {
+  EXPECT_EQ(workloads::EvaluationSuite().size(), 22u);
+}
+
+TEST(Workloads, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const sim::WorkloadSpec& spec : workloads::EvaluationSuite()) {
+    EXPECT_TRUE(names.insert(spec.name).second) << spec.name;
+  }
+}
+
+TEST(Workloads, DevelopmentSetIsSubsetOfSuite) {
+  std::set<std::string> names;
+  for (const sim::WorkloadSpec& spec : workloads::EvaluationSuite()) {
+    names.insert(spec.name);
+  }
+  const std::vector<std::string> dev = workloads::DevelopmentSet();
+  EXPECT_EQ(dev.size(), 4u);
+  for (const std::string& name : dev) {
+    EXPECT_TRUE(names.contains(name)) << name;
+  }
+}
+
+TEST(Workloads, ByNameRoundTrips) {
+  for (const sim::WorkloadSpec& spec : workloads::EvaluationSuite()) {
+    EXPECT_EQ(workloads::ByName(spec.name).name, spec.name);
+  }
+  EXPECT_EQ(workloads::ByName("NPO-1T").max_active_threads, 1);
+  EXPECT_GT(workloads::ByName("Equake").work_growth, 0.0);
+}
+
+TEST(WorkloadsDeath, ByNameRejectsUnknown) {
+  EXPECT_DEATH(workloads::ByName("doom"), "unknown workload");
+}
+
+TEST(Workloads, ParametersAreWithinModelAssumptions) {
+  for (const sim::WorkloadSpec& spec : workloads::EvaluationSuite()) {
+    EXPECT_GT(spec.total_work, 0.0) << spec.name;
+    EXPECT_GE(spec.parallel_fraction, 0.9) << spec.name;  // parallel workloads
+    EXPECT_LE(spec.parallel_fraction, 1.0) << spec.name;
+    EXPECT_GT(spec.duty_cycle, 0.0) << spec.name;
+    EXPECT_LE(spec.duty_cycle, 1.0) << spec.name;
+    EXPECT_GT(spec.single_thread_ipc, 0.0) << spec.name;
+    EXPECT_LE(spec.single_thread_ipc, 1.0) << spec.name;
+    EXPECT_EQ(spec.work_growth, 0.0) << spec.name;  // constant total work
+    EXPECT_EQ(spec.max_active_threads, 0) << spec.name;
+    if (spec.balance == sim::BalanceMode::kDynamic) {
+      EXPECT_GT(spec.chunk_fraction, 0.0) << spec.name;
+    }
+  }
+}
+
+TEST(Workloads, SuiteSpansTheDemandSpace) {
+  // The suite must include compute-bound, bandwidth-bound,
+  // communication-heavy, bursty, and cache-hungry members.
+  bool compute = false, bandwidth = false, comm = false, bursty = false,
+       cache_hungry = false, dynamic = false, static_ = false;
+  for (const sim::WorkloadSpec& spec : workloads::EvaluationSuite()) {
+    compute |= spec.dram_bpw <= 0.1;
+    bandwidth |= spec.dram_bpw >= 0.75;
+    comm |= spec.comm_intensity >= 0.0008;
+    bursty |= spec.duty_cycle <= 0.6;
+    cache_hungry |= spec.working_set >= 3.0;
+    dynamic |= spec.balance == sim::BalanceMode::kDynamic;
+    static_ |= spec.balance == sim::BalanceMode::kStatic;
+  }
+  EXPECT_TRUE(compute);
+  EXPECT_TRUE(bandwidth);
+  EXPECT_TRUE(comm);
+  EXPECT_TRUE(bursty);
+  EXPECT_TRUE(cache_hungry);
+  EXPECT_TRUE(dynamic);
+  EXPECT_TRUE(static_);
+}
+
+TEST(Workloads, EveryWorkloadRunsOnEveryMachine) {
+  for (const char* name : {"x5-2", "x4-2", "x3-2", "x2-4"}) {
+    const sim::Machine machine{sim::MachineByName(name)};
+    for (const sim::WorkloadSpec& spec : workloads::EvaluationSuite()) {
+      const sim::RunResult result =
+          machine.RunOne(spec, Placement::OnePerCore(machine.topology(), 2));
+      EXPECT_GT(result.wall_time, 0.0) << name << "/" << spec.name;
+    }
+  }
+}
+
+TEST(Workloads, SortJoinPrefersOneThreadPerCore) {
+  // §6.1: Sort-Join peaks well below the full SMT thread count. Its ground
+  // truth must make two-per-core placements unattractive.
+  const sim::Machine machine{sim::MachineByName("x5-2")};
+  const sim::WorkloadSpec spec = workloads::ByName("Sort-Join");
+  const MachineTopology& topo = machine.topology();
+  std::vector<SocketLoad> one_per_core{{18, 0}, {18, 0}};
+  std::vector<SocketLoad> two_per_core{{0, 18}, {0, 18}};
+  const double t36 =
+      machine.RunOne(spec, Placement::FromSocketLoads(topo, one_per_core))
+          .jobs[0].completion_time;
+  const double t72 =
+      machine.RunOne(spec, Placement::FromSocketLoads(topo, two_per_core))
+          .jobs[0].completion_time;
+  EXPECT_LT(t36, t72);
+}
+
+TEST(Workloads, EquakeGetsWorseWithManyThreadsOnX5) {
+  const sim::Machine machine{sim::MachineByName("x5-2")};
+  const sim::WorkloadSpec spec = workloads::Equake();
+  const MachineTopology& topo = machine.topology();
+  const double t8 = machine.RunOne(spec, Placement::OnePerCore(topo, 8))
+                        .jobs[0].completion_time;
+  std::vector<SocketLoad> full{{0, 18}, {0, 18}};
+  const double t72 = machine.RunOne(spec, Placement::FromSocketLoads(topo, full))
+                         .jobs[0].completion_time;
+  // The reduction step's extra work erodes scaling at high thread counts.
+  EXPECT_GT(t72, t8 * 0.5);
+}
+
+TEST(Workloads, Npo1tDoesNotScale) {
+  const sim::Machine machine{sim::MachineByName("x3-2")};
+  const sim::WorkloadSpec spec = workloads::NpoSingleThreaded();
+  const MachineTopology& topo = machine.topology();
+  const double t1 = machine.RunOne(spec, Placement::OnePerCore(topo, 1))
+                        .jobs[0].completion_time;
+  const double t8 = machine.RunOne(spec, Placement::OnePerCore(topo, 8))
+                        .jobs[0].completion_time;
+  EXPECT_GT(t8, t1 * 0.8);  // no speedup from extra threads
+}
+
+}  // namespace
+}  // namespace pandia

@@ -1,0 +1,43 @@
+// pandia-machine: generate a machine description (paper §3).
+//
+//   pandia_machine <machine> [output-file]
+//
+// <machine> is one of the simulated machines (x5-2, x4-2, x3-2, x2-4); on
+// real hardware this step would run the stress applications under perf.
+// Without an output file the description is printed to stdout.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/machine_desc/generator.h"
+#include "src/serialize/serialize.h"
+#include "src/sim/machine.h"
+#include "src/sim/machine_spec.h"
+
+int main(int argc, char** argv) {
+  using namespace pandia;
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr, "usage: %s <x5-2|x4-2|x3-2|x2-4> [output-file]\n", argv[0]);
+    return 2;
+  }
+  const std::vector<std::string> known = sim::KnownMachineNames();
+  if (std::find(known.begin(), known.end(), argv[1]) == known.end()) {
+    std::fprintf(stderr, "error: unknown machine '%s' (known: x5-2, x4-2, x3-2, x2-4)\n",
+                 argv[1]);
+    return 2;
+  }
+  const sim::Machine machine{sim::MachineByName(argv[1])};
+  const MachineDescription desc = GenerateMachineDescription(machine);
+  const std::string text = MachineDescriptionToText(desc);
+  if (argc == 3) {
+    if (!WriteTextFile(argv[2], text)) {
+      std::fprintf(stderr, "error: cannot write %s\n", argv[2]);
+      return 1;
+    }
+    std::printf("wrote %s (%s)\n", argv[2], desc.ToString().c_str());
+  } else {
+    std::fputs(text.c_str(), stdout);
+  }
+  return 0;
+}

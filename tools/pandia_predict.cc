@@ -1,0 +1,82 @@
+// pandia-predict: predict placements from stored descriptions (paper §5).
+//
+//   pandia_predict <machine-desc-file> <workload-desc-file> [placement ...]
+//
+// Placements use the textual grammar of ParsePlacement ("s0:8x1+2x2,s1:4x1",
+// "12", "24x2"). Without placements, the tool searches the canonical
+// placement space and reports the best placement, the cheapest placement
+// within 95% of it, and a Figure-7-style explanation of the winner.
+#include <cstdio>
+#include <string>
+
+#include "src/predictor/optimizer.h"
+#include "src/predictor/predictor.h"
+#include "src/predictor/report.h"
+#include "src/serialize/serialize.h"
+#include "src/topology/placement_parse.h"
+
+int main(int argc, char** argv) {
+  using namespace pandia;
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <machine-desc-file> <workload-desc-file> [placement ...]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::optional<std::string> machine_text = ReadTextFile(argv[1]);
+  if (!machine_text.has_value()) {
+    std::fprintf(stderr, "error: cannot read %s\n", argv[1]);
+    return 1;
+  }
+  std::string error;
+  const std::optional<MachineDescription> machine =
+      MachineDescriptionFromText(*machine_text, &error);
+  if (!machine.has_value()) {
+    std::fprintf(stderr, "error: %s: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+  const std::optional<std::string> workload_text = ReadTextFile(argv[2]);
+  if (!workload_text.has_value()) {
+    std::fprintf(stderr, "error: cannot read %s\n", argv[2]);
+    return 1;
+  }
+  const std::optional<WorkloadDescription> workload =
+      WorkloadDescriptionFromText(*workload_text, &error);
+  if (!workload.has_value()) {
+    std::fprintf(stderr, "error: %s: %s\n", argv[2], error.c_str());
+    return 1;
+  }
+  if (workload->machine != machine->topo.name) {
+    std::fprintf(stderr,
+                 "note: workload was profiled on '%s', predicting on '%s' "
+                 "(portability mode, expect larger errors; paper §6.1)\n",
+                 workload->machine.c_str(), machine->topo.name.c_str());
+  }
+
+  const Predictor predictor(*machine, *workload);
+  if (argc > 3) {
+    for (int i = 3; i < argc; ++i) {
+      const std::optional<Placement> placement =
+          ParsePlacement(machine->topo, argv[i], &error);
+      if (!placement.has_value()) {
+        std::fprintf(stderr, "error: placement '%s': %s\n", argv[i], error.c_str());
+        return 1;
+      }
+      const Prediction prediction = predictor.Predict(*placement);
+      std::fputs(ExplainPrediction(*machine, *placement, prediction).c_str(), stdout);
+    }
+    return 0;
+  }
+
+  const RankedPlacement best = FindBestPlacement(predictor);
+  std::printf("best predicted placement:\n");
+  std::fputs(ExplainPrediction(*machine, best.placement, best.prediction).c_str(),
+             stdout);
+  const std::optional<RankedPlacement> cheap = FindCheapestPlacement(predictor, 0.95);
+  if (cheap.has_value() && !(cheap->placement == best.placement)) {
+    std::printf("\ncheapest placement within 95%% of the best:\n");
+    std::fputs(ExplainPrediction(*machine, cheap->placement, cheap->prediction).c_str(),
+               stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// pandia-profile: run the six profiling runs for a workload (paper §4) and
+// emit its workload description.
+//
+//   pandia_profile <machine> <workload> [output-file]
+//
+// <workload> is one of the evaluation-suite names (plus NPO-1T / Equake);
+// on real hardware this step would pin and time the actual binary.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "src/eval/pipeline.h"
+#include "src/sim/machine_spec.h"
+#include "src/serialize/serialize.h"
+#include "src/workload_desc/assumptions.h"
+#include "src/workloads/workloads.h"
+
+int main(int argc, char** argv) {
+  using namespace pandia;
+  if (argc < 3 || argc > 4) {
+    std::fprintf(stderr, "usage: %s <machine> <workload> [output-file]\n", argv[0]);
+    return 2;
+  }
+  const std::vector<std::string> known = sim::KnownMachineNames();
+  if (std::find(known.begin(), known.end(), argv[1]) == known.end()) {
+    std::fprintf(stderr, "error: unknown machine '%s' (known: x5-2, x4-2, x3-2, x2-4)\n",
+                 argv[1]);
+    return 2;
+  }
+  if (!workloads::Exists(argv[2])) {
+    std::fprintf(stderr,
+                 "error: unknown workload '%s' (the 22 evaluation workloads plus "
+                 "NPO-1T, Equake, BT-small)\n",
+                 argv[2]);
+    return 2;
+  }
+  const eval::Pipeline pipeline(argv[1]);
+  const sim::WorkloadSpec workload = workloads::ByName(argv[2]);
+  // Two extra validation runs: refuse silently-wrong descriptions for
+  // workloads like equake or BT-small that break the model's assumptions.
+  const AssumptionReport assumptions =
+      ValidateAssumptions(pipeline.machine(), pipeline.description(), workload);
+  for (const std::string& warning : assumptions.warnings) {
+    std::fprintf(stderr, "warning: %s\n", warning.c_str());
+  }
+  const WorkloadDescription desc = pipeline.Profile(workload);
+  const std::string text = WorkloadDescriptionToText(desc);
+  if (argc == 4) {
+    if (!WriteTextFile(argv[3], text)) {
+      std::fprintf(stderr, "error: cannot write %s\n", argv[3]);
+      return 1;
+    }
+    std::printf("wrote %s (p=%.4f o_s=%.4f l=%.2f b=%.3f, %d profile threads)\n",
+                argv[3], desc.parallel_fraction, desc.inter_socket_overhead,
+                desc.load_balance, desc.burstiness, desc.profile_threads);
+  } else {
+    std::fputs(text.c_str(), stdout);
+  }
+  return 0;
+}

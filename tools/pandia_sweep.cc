@@ -1,0 +1,65 @@
+// pandia-sweep: measure and predict a workload over the canonical placement
+// space and emit a plottable CSV series (the raw data behind Figures 1/10).
+//
+//   pandia_sweep <machine> <workload> [sample-count]
+//
+// Output columns: placement index (paper order), placement, threads,
+// measured time, predicted time, normalized measured/predicted performance.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/eval/experiment.h"
+#include "src/eval/pipeline.h"
+#include "src/sim/machine_spec.h"
+#include "src/workloads/workloads.h"
+
+int main(int argc, char** argv) {
+  using namespace pandia;
+  if (argc < 3 || argc > 4) {
+    std::fprintf(stderr, "usage: %s <machine> <workload> [sample-count]\n", argv[0]);
+    return 2;
+  }
+  const std::vector<std::string> known = sim::KnownMachineNames();
+  if (std::find(known.begin(), known.end(), argv[1]) == known.end()) {
+    std::fprintf(stderr, "error: unknown machine '%s' (known: x5-2, x4-2, x3-2, x2-4)\n",
+                 argv[1]);
+    return 2;
+  }
+  if (!workloads::Exists(argv[2])) {
+    std::fprintf(stderr,
+                 "error: unknown workload '%s' (the 22 evaluation workloads plus "
+                 "NPO-1T, Equake, BT-small)\n",
+                 argv[2]);
+    return 2;
+  }
+  const eval::Pipeline pipeline(argv[1]);
+  const sim::WorkloadSpec workload = workloads::ByName(argv[2]);
+  const WorkloadDescription desc = pipeline.Profile(workload);
+  const Predictor predictor = pipeline.MakePredictor(desc);
+  eval::SweepOptions options;
+  if (argc == 4) {
+    options.sample_count = static_cast<size_t>(std::atoi(argv[3]));
+    options.exhaustive_limit = options.sample_count;
+  }
+  const eval::SweepResult result =
+      eval::RunSweep(pipeline.machine(), predictor, workload, options);
+
+  std::printf("# %s on %s: %zu placements, error mean %.2f%% median %.2f%%, "
+              "offset %.2f%%/%.2f%%, best-placement gap %.2f%%\n",
+              result.workload.c_str(), result.machine.c_str(),
+              result.placements.size(), result.error_mean, result.error_median,
+              result.offset_error_mean, result.offset_error_median,
+              result.best_placement_gap_pct);
+  std::printf("index,placement,threads,measured_time,predicted_time,"
+              "measured_norm,predicted_norm\n");
+  for (size_t i = 0; i < result.placements.size(); ++i) {
+    const eval::PlacementResult& pr = result.placements[i];
+    std::printf("%zu,\"%s\",%d,%.6g,%.6g,%.4f,%.4f\n", i,
+                pr.placement.ToString().c_str(), pr.placement.TotalThreads(),
+                pr.measured_time, pr.predicted_time, pr.measured_norm,
+                pr.predicted_norm);
+  }
+  return 0;
+}
