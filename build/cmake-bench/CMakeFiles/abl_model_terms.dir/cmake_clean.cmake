@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_model_terms"
+  "../bench/abl_model_terms.pdb"
+  "CMakeFiles/abl_model_terms.dir/abl_model_terms.cc.o"
+  "CMakeFiles/abl_model_terms.dir/abl_model_terms.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_model_terms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

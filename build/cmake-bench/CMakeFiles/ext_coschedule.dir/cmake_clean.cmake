@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_coschedule"
+  "../bench/ext_coschedule.pdb"
+  "CMakeFiles/ext_coschedule.dir/ext_coschedule.cc.o"
+  "CMakeFiles/ext_coschedule.dir/ext_coschedule.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_coschedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_rack"
+  "../bench/ext_rack.pdb"
+  "CMakeFiles/ext_rack.dir/ext_rack.cc.o"
+  "CMakeFiles/ext_rack.dir/ext_rack.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_rack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

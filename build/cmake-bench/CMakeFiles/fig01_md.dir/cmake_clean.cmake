@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_md"
+  "../bench/fig01_md.pdb"
+  "CMakeFiles/fig01_md.dir/fig01_md.cc.o"
+  "CMakeFiles/fig01_md.dir/fig01_md.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

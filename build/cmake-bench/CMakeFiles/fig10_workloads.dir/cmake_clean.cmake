@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_workloads"
+  "../bench/fig10_workloads.pdb"
+  "CMakeFiles/fig10_workloads.dir/fig10_workloads.cc.o"
+  "CMakeFiles/fig10_workloads.dir/fig10_workloads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

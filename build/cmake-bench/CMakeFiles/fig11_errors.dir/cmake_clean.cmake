@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_errors"
+  "../bench/fig11_errors.pdb"
+  "CMakeFiles/fig11_errors.dir/fig11_errors.cc.o"
+  "CMakeFiles/fig11_errors.dir/fig11_errors.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_portability"
+  "../bench/fig11_portability.pdb"
+  "CMakeFiles/fig11_portability.dir/fig11_portability.cc.o"
+  "CMakeFiles/fig11_portability.dir/fig11_portability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_foursocket"
+  "../bench/fig12_foursocket.pdb"
+  "CMakeFiles/fig12_foursocket.dir/fig12_foursocket.cc.o"
+  "CMakeFiles/fig12_foursocket.dir/fig12_foursocket.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_foursocket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

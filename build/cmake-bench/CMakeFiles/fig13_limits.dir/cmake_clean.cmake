@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_limits"
+  "../bench/fig13_limits.pdb"
+  "CMakeFiles/fig13_limits.dir/fig13_limits.cc.o"
+  "CMakeFiles/fig13_limits.dir/fig13_limits.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_turbo"
+  "../bench/fig14_turbo.pdb"
+  "CMakeFiles/fig14_turbo.dir/fig14_turbo.cc.o"
+  "CMakeFiles/fig14_turbo.dir/fig14_turbo.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_turbo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

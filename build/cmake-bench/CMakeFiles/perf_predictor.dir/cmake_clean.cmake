@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_predictor"
+  "../bench/perf_predictor.pdb"
+  "CMakeFiles/perf_predictor.dir/perf_predictor.cc.o"
+  "CMakeFiles/perf_predictor.dir/perf_predictor.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_baselines"
+  "../bench/tab_baselines.pdb"
+  "CMakeFiles/tab_baselines.dir/tab_baselines.cc.o"
+  "CMakeFiles/tab_baselines.dir/tab_baselines.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

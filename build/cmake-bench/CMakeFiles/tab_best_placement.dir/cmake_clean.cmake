@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_best_placement"
+  "../bench/tab_best_placement.pdb"
+  "CMakeFiles/tab_best_placement.dir/tab_best_placement.cc.o"
+  "CMakeFiles/tab_best_placement.dir/tab_best_placement.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_best_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

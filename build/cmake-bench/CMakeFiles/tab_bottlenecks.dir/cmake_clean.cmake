@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_bottlenecks"
+  "../bench/tab_bottlenecks.pdb"
+  "CMakeFiles/tab_bottlenecks.dir/tab_bottlenecks.cc.o"
+  "CMakeFiles/tab_bottlenecks.dir/tab_bottlenecks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_bottlenecks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_sweep"
+  "../bench/tab_sweep.pdb"
+  "CMakeFiles/tab_sweep.dir/tab_sweep.cc.o"
+  "CMakeFiles/tab_sweep.dir/tab_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

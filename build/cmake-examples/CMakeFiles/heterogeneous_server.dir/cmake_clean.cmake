@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/heterogeneous_server"
+  "../examples/heterogeneous_server.pdb"
+  "CMakeFiles/heterogeneous_server.dir/heterogeneous_server.cpp.o"
+  "CMakeFiles/heterogeneous_server.dir/heterogeneous_server.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

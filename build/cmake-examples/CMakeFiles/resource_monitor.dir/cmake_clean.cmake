@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/resource_monitor"
+  "../examples/resource_monitor.pdb"
+  "CMakeFiles/resource_monitor.dir/resource_monitor.cpp.o"
+  "CMakeFiles/resource_monitor.dir/resource_monitor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/runtime_tuner"
+  "../examples/runtime_tuner.pdb"
+  "CMakeFiles/runtime_tuner.dir/runtime_tuner.cpp.o"
+  "CMakeFiles/runtime_tuner.dir/runtime_tuner.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

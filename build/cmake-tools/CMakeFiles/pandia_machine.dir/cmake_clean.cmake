@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/pandia_machine"
+  "../tools/pandia_machine.pdb"
+  "CMakeFiles/pandia_machine.dir/pandia_machine.cc.o"
+  "CMakeFiles/pandia_machine.dir/pandia_machine.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandia_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

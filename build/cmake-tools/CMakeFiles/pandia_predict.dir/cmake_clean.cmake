@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/pandia_predict"
+  "../tools/pandia_predict.pdb"
+  "CMakeFiles/pandia_predict.dir/pandia_predict.cc.o"
+  "CMakeFiles/pandia_predict.dir/pandia_predict.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandia_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

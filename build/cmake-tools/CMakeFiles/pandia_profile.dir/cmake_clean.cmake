@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/pandia_profile"
+  "../tools/pandia_profile.pdb"
+  "CMakeFiles/pandia_profile.dir/pandia_profile.cc.o"
+  "CMakeFiles/pandia_profile.dir/pandia_profile.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandia_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/pandia_sweep.cc" "cmake-tools/CMakeFiles/pandia_sweep.dir/pandia_sweep.cc.o" "gcc" "cmake-tools/CMakeFiles/pandia_sweep.dir/pandia_sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/pandia_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pandia_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload_desc/CMakeFiles/pandia_workload_desc.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictor/CMakeFiles/pandia_predictor.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine_desc/CMakeFiles/pandia_machine_desc.dir/DependInfo.cmake"
+  "/root/repo/build/src/counters/CMakeFiles/pandia_counters.dir/DependInfo.cmake"
+  "/root/repo/build/src/stress/CMakeFiles/pandia_stress.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pandia_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/pandia_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pandia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/pandia_sweep"
+  "../tools/pandia_sweep.pdb"
+  "CMakeFiles/pandia_sweep.dir/pandia_sweep.cc.o"
+  "CMakeFiles/pandia_sweep.dir/pandia_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandia_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandia_counters.dir/counters.cc.o"
+  "CMakeFiles/pandia_counters.dir/counters.cc.o.d"
+  "libpandia_counters.a"
+  "libpandia_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandia_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

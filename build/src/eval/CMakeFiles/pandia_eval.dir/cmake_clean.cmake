@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandia_eval.dir/experiment.cc.o"
+  "CMakeFiles/pandia_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/pandia_eval.dir/pipeline.cc.o"
+  "CMakeFiles/pandia_eval.dir/pipeline.cc.o.d"
+  "CMakeFiles/pandia_eval.dir/regression_baseline.cc.o"
+  "CMakeFiles/pandia_eval.dir/regression_baseline.cc.o.d"
+  "libpandia_eval.a"
+  "libpandia_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandia_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandia_machine_desc.dir/generator.cc.o"
+  "CMakeFiles/pandia_machine_desc.dir/generator.cc.o.d"
+  "CMakeFiles/pandia_machine_desc.dir/machine_description.cc.o"
+  "CMakeFiles/pandia_machine_desc.dir/machine_description.cc.o.d"
+  "libpandia_machine_desc.a"
+  "libpandia_machine_desc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandia_machine_desc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

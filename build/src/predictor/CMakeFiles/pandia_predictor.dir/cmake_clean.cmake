@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandia_predictor.dir/co_schedule.cc.o"
+  "CMakeFiles/pandia_predictor.dir/co_schedule.cc.o.d"
+  "CMakeFiles/pandia_predictor.dir/grouped.cc.o"
+  "CMakeFiles/pandia_predictor.dir/grouped.cc.o.d"
+  "CMakeFiles/pandia_predictor.dir/optimizer.cc.o"
+  "CMakeFiles/pandia_predictor.dir/optimizer.cc.o.d"
+  "CMakeFiles/pandia_predictor.dir/predictor.cc.o"
+  "CMakeFiles/pandia_predictor.dir/predictor.cc.o.d"
+  "CMakeFiles/pandia_predictor.dir/report.cc.o"
+  "CMakeFiles/pandia_predictor.dir/report.cc.o.d"
+  "libpandia_predictor.a"
+  "libpandia_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandia_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandia_rack.dir/rack.cc.o"
+  "CMakeFiles/pandia_rack.dir/rack.cc.o.d"
+  "libpandia_rack.a"
+  "libpandia_rack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandia_rack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandia_serialize.dir/serialize.cc.o"
+  "CMakeFiles/pandia_serialize.dir/serialize.cc.o.d"
+  "libpandia_serialize.a"
+  "libpandia_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandia_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

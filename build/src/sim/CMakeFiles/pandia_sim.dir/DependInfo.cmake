@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/fair_share.cc" "src/sim/CMakeFiles/pandia_sim.dir/fair_share.cc.o" "gcc" "src/sim/CMakeFiles/pandia_sim.dir/fair_share.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/pandia_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/pandia_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/machine_spec.cc" "src/sim/CMakeFiles/pandia_sim.dir/machine_spec.cc.o" "gcc" "src/sim/CMakeFiles/pandia_sim.dir/machine_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/pandia_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pandia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

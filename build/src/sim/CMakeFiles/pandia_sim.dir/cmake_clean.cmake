@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandia_sim.dir/fair_share.cc.o"
+  "CMakeFiles/pandia_sim.dir/fair_share.cc.o.d"
+  "CMakeFiles/pandia_sim.dir/machine.cc.o"
+  "CMakeFiles/pandia_sim.dir/machine.cc.o.d"
+  "CMakeFiles/pandia_sim.dir/machine_spec.cc.o"
+  "CMakeFiles/pandia_sim.dir/machine_spec.cc.o.d"
+  "libpandia_sim.a"
+  "libpandia_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandia_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandia_stress.dir/stress.cc.o"
+  "CMakeFiles/pandia_stress.dir/stress.cc.o.d"
+  "libpandia_stress.a"
+  "libpandia_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandia_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

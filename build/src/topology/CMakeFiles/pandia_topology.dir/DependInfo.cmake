@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/enumerate.cc" "src/topology/CMakeFiles/pandia_topology.dir/enumerate.cc.o" "gcc" "src/topology/CMakeFiles/pandia_topology.dir/enumerate.cc.o.d"
+  "/root/repo/src/topology/memory_policy.cc" "src/topology/CMakeFiles/pandia_topology.dir/memory_policy.cc.o" "gcc" "src/topology/CMakeFiles/pandia_topology.dir/memory_policy.cc.o.d"
+  "/root/repo/src/topology/placement.cc" "src/topology/CMakeFiles/pandia_topology.dir/placement.cc.o" "gcc" "src/topology/CMakeFiles/pandia_topology.dir/placement.cc.o.d"
+  "/root/repo/src/topology/placement_parse.cc" "src/topology/CMakeFiles/pandia_topology.dir/placement_parse.cc.o" "gcc" "src/topology/CMakeFiles/pandia_topology.dir/placement_parse.cc.o.d"
+  "/root/repo/src/topology/resource_index.cc" "src/topology/CMakeFiles/pandia_topology.dir/resource_index.cc.o" "gcc" "src/topology/CMakeFiles/pandia_topology.dir/resource_index.cc.o.d"
+  "/root/repo/src/topology/topology.cc" "src/topology/CMakeFiles/pandia_topology.dir/topology.cc.o" "gcc" "src/topology/CMakeFiles/pandia_topology.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pandia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

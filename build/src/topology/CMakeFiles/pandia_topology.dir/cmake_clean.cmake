@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandia_topology.dir/enumerate.cc.o"
+  "CMakeFiles/pandia_topology.dir/enumerate.cc.o.d"
+  "CMakeFiles/pandia_topology.dir/memory_policy.cc.o"
+  "CMakeFiles/pandia_topology.dir/memory_policy.cc.o.d"
+  "CMakeFiles/pandia_topology.dir/placement.cc.o"
+  "CMakeFiles/pandia_topology.dir/placement.cc.o.d"
+  "CMakeFiles/pandia_topology.dir/placement_parse.cc.o"
+  "CMakeFiles/pandia_topology.dir/placement_parse.cc.o.d"
+  "CMakeFiles/pandia_topology.dir/resource_index.cc.o"
+  "CMakeFiles/pandia_topology.dir/resource_index.cc.o.d"
+  "CMakeFiles/pandia_topology.dir/topology.cc.o"
+  "CMakeFiles/pandia_topology.dir/topology.cc.o.d"
+  "libpandia_topology.a"
+  "libpandia_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandia_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandia_util.dir/rng.cc.o"
+  "CMakeFiles/pandia_util.dir/rng.cc.o.d"
+  "CMakeFiles/pandia_util.dir/stats.cc.o"
+  "CMakeFiles/pandia_util.dir/stats.cc.o.d"
+  "CMakeFiles/pandia_util.dir/strings.cc.o"
+  "CMakeFiles/pandia_util.dir/strings.cc.o.d"
+  "CMakeFiles/pandia_util.dir/table.cc.o"
+  "CMakeFiles/pandia_util.dir/table.cc.o.d"
+  "libpandia_util.a"
+  "libpandia_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandia_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandia_workload_desc.dir/assumptions.cc.o"
+  "CMakeFiles/pandia_workload_desc.dir/assumptions.cc.o.d"
+  "CMakeFiles/pandia_workload_desc.dir/online_profiler.cc.o"
+  "CMakeFiles/pandia_workload_desc.dir/online_profiler.cc.o.d"
+  "CMakeFiles/pandia_workload_desc.dir/profiler.cc.o"
+  "CMakeFiles/pandia_workload_desc.dir/profiler.cc.o.d"
+  "libpandia_workload_desc.a"
+  "libpandia_workload_desc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandia_workload_desc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pandia_workload_desc.
+# This may be replaced when dependencies are built.

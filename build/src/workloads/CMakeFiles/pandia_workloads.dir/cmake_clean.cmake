@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandia_workloads.dir/workloads.cc.o"
+  "CMakeFiles/pandia_workloads.dir/workloads.cc.o.d"
+  "libpandia_workloads.a"
+  "libpandia_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandia_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

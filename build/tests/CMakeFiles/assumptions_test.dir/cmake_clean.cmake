@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assumptions_test.dir/assumptions_test.cc.o"
+  "CMakeFiles/assumptions_test.dir/assumptions_test.cc.o.d"
+  "assumptions_test"
+  "assumptions_test.pdb"
+  "assumptions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assumptions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/co_schedule_test.dir/co_schedule_test.cc.o"
+  "CMakeFiles/co_schedule_test.dir/co_schedule_test.cc.o.d"
+  "co_schedule_test"
+  "co_schedule_test.pdb"
+  "co_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/co_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fair_share_test.dir/fair_share_test.cc.o"
+  "CMakeFiles/fair_share_test.dir/fair_share_test.cc.o.d"
+  "fair_share_test"
+  "fair_share_test.pdb"
+  "fair_share_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fair_share_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

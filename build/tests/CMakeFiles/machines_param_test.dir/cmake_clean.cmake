@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machines_param_test.dir/machines_param_test.cc.o"
+  "CMakeFiles/machines_param_test.dir/machines_param_test.cc.o.d"
+  "machines_param_test"
+  "machines_param_test.pdb"
+  "machines_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machines_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

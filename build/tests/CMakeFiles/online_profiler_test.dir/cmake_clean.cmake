@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_profiler_test.dir/online_profiler_test.cc.o"
+  "CMakeFiles/online_profiler_test.dir/online_profiler_test.cc.o.d"
+  "online_profiler_test"
+  "online_profiler_test.pdb"
+  "online_profiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_profiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

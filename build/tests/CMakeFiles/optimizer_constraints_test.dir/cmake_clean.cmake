@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_constraints_test.dir/optimizer_constraints_test.cc.o"
+  "CMakeFiles/optimizer_constraints_test.dir/optimizer_constraints_test.cc.o.d"
+  "optimizer_constraints_test"
+  "optimizer_constraints_test.pdb"
+  "optimizer_constraints_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_constraints_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

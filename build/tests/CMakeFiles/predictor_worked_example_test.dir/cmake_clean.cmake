@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_worked_example_test.dir/predictor_worked_example_test.cc.o"
+  "CMakeFiles/predictor_worked_example_test.dir/predictor_worked_example_test.cc.o.d"
+  "predictor_worked_example_test"
+  "predictor_worked_example_test.pdb"
+  "predictor_worked_example_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_worked_example_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

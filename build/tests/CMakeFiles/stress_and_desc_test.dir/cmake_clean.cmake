@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress_and_desc_test.dir/stress_and_desc_test.cc.o"
+  "CMakeFiles/stress_and_desc_test.dir/stress_and_desc_test.cc.o.d"
+  "stress_and_desc_test"
+  "stress_and_desc_test.pdb"
+  "stress_and_desc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_and_desc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_properties_test.dir/suite_properties_test.cc.o"
+  "CMakeFiles/suite_properties_test.dir/suite_properties_test.cc.o.d"
+  "suite_properties_test"
+  "suite_properties_test.pdb"
+  "suite_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

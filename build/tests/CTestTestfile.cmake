@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/placement_test[1]_include.cmake")
+include("/root/repo/build/tests/fair_share_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_and_desc_test[1]_include.cmake")
+include("/root/repo/build/tests/predictor_worked_example_test[1]_include.cmake")
+include("/root/repo/build/tests/predictor_test[1]_include.cmake")
+include("/root/repo/build/tests/profiler_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/suite_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/co_schedule_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/limits_test[1]_include.cmake")
+include("/root/repo/build/tests/assumptions_test[1]_include.cmake")
+include("/root/repo/build/tests/rack_test[1]_include.cmake")
+include("/root/repo/build/tests/predictor_metamorphic_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_constraints_test[1]_include.cmake")
+include("/root/repo/build/tests/online_profiler_test[1]_include.cmake")
+include("/root/repo/build/tests/regression_baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/grouped_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/machines_param_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_edge_test[1]_include.cmake")
