@@ -3,9 +3,18 @@
 // placement" vs 153 machine-days of exhaustive testing on the X5-2; here we
 // time single predictions, full placement-space optimization, profiling,
 // and simulator runs.
+//
+// `perf_predictor --convergence-dump` skips the benchmarks and instead
+// prints the solver's per-iteration convergence trace (src/obs) for a set of
+// representative placements — the tool to reach for when a prediction
+// oscillates or crawls toward the 1000-iteration ceiling.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+
 #include "src/eval/pipeline.h"
+#include "src/obs/prediction_trace.h"
 #include "src/predictor/optimizer.h"
 #include "src/topology/enumerate.h"
 #include "src/workloads/workloads.h"
@@ -83,6 +92,47 @@ void BM_EnumerateCanonicalPlacements(benchmark::State& state) {
 }
 BENCHMARK(BM_EnumerateCanonicalPlacements);
 
+// Per-iteration convergence dump: slowdown spread, worst delta, modal
+// bottleneck, and dampening state for each solver iteration.
+int ConvergenceDump() {
+  const MachineTopology& topo = X5Pipeline().machine().topology();
+  const struct {
+    const char* workload;
+    Placement placement;
+  } cases[] = {
+      {"MD", Placement::OnePerCore(topo, topo.NumCores())},
+      {"MD", Placement::TwoPerCore(topo, topo.NumHwThreads())},
+      {"CG", Placement::TwoPerCore(topo, topo.NumHwThreads())},
+      {"FT", Placement::OnePerCore(topo, topo.NumCores() / 2)},
+  };
+  for (const auto& c : cases) {
+    obs::PredictionTrace trace;
+    PredictionOptions options;
+    options.trace = &trace;
+    const Predictor predictor = X5Pipeline().MakePredictor(
+        X5Pipeline().Profile(workloads::ByName(c.workload)), options);
+    const Prediction prediction = predictor.Predict(c.placement);
+    std::printf("%s on x5-2, placement %s: speedup %.2f\n", c.workload,
+                c.placement.ToString().c_str(), prediction.speedup);
+    std::fputs(trace.Summary().c_str(), stdout);
+    std::printf("\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--convergence-dump") == 0) {
+      return ConvergenceDump();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/topology/enumerate.h"
 #include "src/util/check.h"
 #include "src/util/stats.h"
@@ -46,16 +48,26 @@ std::vector<Placement> SweepPlacements(const MachineTopology& topo,
 
 SweepResult RunSweep(const sim::Machine& machine, const Predictor& predictor,
                      const sim::WorkloadSpec& workload, const SweepOptions& options) {
+  const obs::TraceSpan span("eval.sweep");
   SweepResult result;
   result.workload = workload.name;
   result.machine = machine.topology().name;
   const std::vector<Placement> placements =
       SweepPlacements(machine.topology(), options);
   result.placements.reserve(placements.size());
+  static obs::Counter& sweep_placements =
+      obs::MetricsRegistry::Global().counter("eval.sweep_placements");
   for (const Placement& placement : placements) {
     PlacementResult pr{placement};
-    pr.measured_time = machine.RunOne(workload, placement).jobs[0].completion_time;
-    pr.predicted_time = predictor.Predict(placement).time;
+    {
+      const obs::TraceSpan measure_span("sweep.measure");
+      pr.measured_time = machine.RunOne(workload, placement).jobs[0].completion_time;
+    }
+    {
+      const obs::TraceSpan predict_span("sweep.predict");
+      pr.predicted_time = predictor.Predict(placement).time;
+    }
+    sweep_placements.Increment();
     result.placements.push_back(std::move(pr));
   }
   ComputeMetrics(result);

@@ -1,16 +1,30 @@
 #include "src/eval/pipeline.h"
 
 #include "src/machine_desc/generator.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/workload_desc/profiler.h"
 
 namespace pandia {
 namespace eval {
+namespace {
+
+MachineDescription GenerateDescriptionTraced(const sim::Machine& machine) {
+  const obs::TraceSpan span("pipeline.machine_desc");
+  return GenerateMachineDescription(machine);
+}
+
+}  // namespace
 
 Pipeline::Pipeline(const std::string& machine_name)
     : machine_(sim::MachineByName(machine_name)),
-      description_(GenerateMachineDescription(machine_)) {}
+      description_(GenerateDescriptionTraced(machine_)) {}
 
 WorkloadDescription Pipeline::Profile(const sim::WorkloadSpec& workload) const {
+  const obs::TraceSpan span("pipeline.profile");
+  static obs::Counter& profiles =
+      obs::MetricsRegistry::Global().counter("pipeline.profiles");
+  profiles.Increment();
   const WorkloadProfiler profiler(machine_, description_);
   return profiler.Profile(workload);
 }

@@ -1,0 +1,25 @@
+// Minimal dependency-free JSON syntax checker.
+//
+// Used by tools/pandia_trace_check and the obs tests to validate that the
+// tracer's Chrome trace_event output is well-formed JSON. This is a strict
+// recursive-descent validator (RFC 8259 grammar: objects, arrays, strings
+// with escapes, numbers, true/false/null), not a parser — it builds no DOM
+// and allocates nothing beyond the call stack.
+#ifndef PANDIA_SRC_OBS_JSON_LINT_H_
+#define PANDIA_SRC_OBS_JSON_LINT_H_
+
+#include <string>
+#include <string_view>
+
+namespace pandia {
+namespace obs {
+
+// Returns true when `text` is exactly one valid JSON value (plus optional
+// surrounding whitespace). On failure, fills `*error` (if non-null) with a
+// byte offset and reason.
+bool LintJson(std::string_view text, std::string* error = nullptr);
+
+}  // namespace obs
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_OBS_JSON_LINT_H_

@@ -1,0 +1,159 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/strings.h"
+
+namespace pandia {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  PANDIA_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bucket bound");
+  PANDIA_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                       std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                           bounds_.end(),
+                   "histogram bounds must be strictly increasing");
+}
+
+void Histogram::Observe(double v) {
+  // Values land in the first bucket whose upper bound admits them (v <=
+  // bound), Prometheus-style; anything above the last bound goes to +inf.
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> counts(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void Histogram::Reset() {
+  for (std::atomic<uint64_t>& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry{Kind::kCounter, std::make_unique<Counter>(), nullptr, nullptr};
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  PANDIA_CHECK_MSG(it->second.kind == Kind::kCounter,
+                   "metric registered as a different kind");
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry{Kind::kGauge, nullptr, std::make_unique<Gauge>(), nullptr};
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  PANDIA_CHECK_MSG(it->second.kind == Kind::kGauge,
+                   "metric registered as a different kind");
+  return *it->second.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry{Kind::kHistogram, nullptr, nullptr,
+                std::make_unique<Histogram>(std::move(bounds))};
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  PANDIA_CHECK_MSG(it->second.kind == Kind::kHistogram,
+                   "metric registered as a different kind");
+  return *it->second.histogram;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        snapshot.counters.push_back({name, entry.counter->value()});
+        break;
+      case Kind::kGauge:
+        snapshot.gauges.push_back({name, entry.gauge->value()});
+        break;
+      case Kind::kHistogram:
+        snapshot.histograms.push_back({name, entry.histogram->bounds(),
+                                       entry.histogram->bucket_counts(),
+                                       entry.histogram->count(),
+                                       entry.histogram->sum()});
+        break;
+    }
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        entry.counter->Reset();
+        break;
+      case Kind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case Kind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+Table RenderTable(const MetricsSnapshot& snapshot) {
+  Table table({"metric", "type", "value"});
+  for (const MetricsSnapshot::CounterValue& c : snapshot.counters) {
+    table.AddRow({c.name, "counter", StrFormat("%llu",
+                                               static_cast<unsigned long long>(c.value))});
+  }
+  for (const MetricsSnapshot::GaugeValue& g : snapshot.gauges) {
+    table.AddRow({g.name, "gauge", StrFormat("%.6g", g.value)});
+  }
+  for (const MetricsSnapshot::HistogramValue& h : snapshot.histograms) {
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      const std::string label =
+          i < h.bounds.size() ? StrFormat("%s{le=%.6g}", h.name.c_str(), h.bounds[i])
+                              : StrFormat("%s{le=+inf}", h.name.c_str());
+      table.AddRow({label, "histogram",
+                    StrFormat("%llu", static_cast<unsigned long long>(h.buckets[i]))});
+    }
+    table.AddRow({h.name + ".count", "histogram",
+                  StrFormat("%llu", static_cast<unsigned long long>(h.count))});
+    table.AddRow({h.name + ".sum", "histogram", StrFormat("%.6g", h.sum)});
+    table.AddRow({h.name + ".mean", "histogram",
+                  StrFormat("%.6g", h.count > 0 ? h.sum / static_cast<double>(h.count)
+                                                : 0.0)});
+  }
+  return table;
+}
+
+}  // namespace obs
+}  // namespace pandia

@@ -1,0 +1,142 @@
+// Thread-safe metrics registry for the Pandia pipeline.
+//
+// Instruments (counters, gauges, fixed-bucket histograms) are registered by
+// name; registration takes a mutex once, but the hot paths — Counter::Add,
+// Gauge::Set, Histogram::Observe — are single relaxed atomic operations and
+// safe from any thread. Instrument references stay valid for the life of the
+// registry (Reset zeroes values without invalidating references), so call
+// sites typically cache them in a function-local static:
+//
+//   static obs::Counter& predictions =
+//       obs::MetricsRegistry::Global().counter("predictor.predictions");
+//   predictions.Increment();
+//
+// Snapshot() copies every instrument into plain values; RenderTable() turns
+// a snapshot into a util/table Table (one row per counter/gauge, one row per
+// histogram bucket plus count/sum/mean) for text or CSV output.
+#ifndef PANDIA_SRC_OBS_METRICS_H_
+#define PANDIA_SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/table.h"
+
+namespace pandia {
+namespace obs {
+
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Histogram over fixed upper-bound buckets. `bounds` must be strictly
+// increasing; an implicit +inf bucket catches everything above the last
+// bound. Observe() is one atomic add on the bucket counter plus atomic
+// accumulation of count and sum (sum via a compare-exchange loop, the only
+// portable atomic double addition).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  // bucket_counts() has bounds().size() + 1 entries; the last is the +inf
+  // overflow bucket.
+  std::vector<uint64_t> bucket_counts() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// A point-in-time copy of every instrument, in name order.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<uint64_t> buckets;  // bounds.size() + 1 entries
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Process-wide registry used by the pipeline instrumentation.
+  static MetricsRegistry& Global();
+
+  // Returns the instrument registered under `name`, creating it on first
+  // use. Re-registering a histogram ignores the new bounds. Registering the
+  // same name as two different instrument kinds aborts.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  MetricsSnapshot Snapshot() const;
+  // Zeroes every instrument; references stay valid.
+  void Reset();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+// One row per counter ("counter"), gauge ("gauge"), and histogram line
+// ("histogram", rows name{le=BOUND} plus name.count / name.sum / name.mean).
+// Columns: metric, type, value.
+Table RenderTable(const MetricsSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_OBS_METRICS_H_

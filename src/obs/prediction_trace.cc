@@ -1,0 +1,58 @@
+#include "src/obs/prediction_trace.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/util/strings.h"
+
+namespace pandia {
+namespace obs {
+
+void PredictionTrace::Clear() {
+  iterations.clear();
+  converged = false;
+  final_delta = 0.0;
+}
+
+std::string PredictionTrace::Summary() const {
+  std::string out = StrFormat("%zu iterations, %s, final delta %.3g\n",
+                              iterations.size(),
+                              converged ? "converged" : "NOT converged", final_delta);
+  out += StrFormat("  %-5s %-10s %-8s %-8s %-8s %-10s %s\n", "iter", "max_delta",
+                   "s_min", "s_mean", "s_max", "bottleneck", "dampened");
+  for (const PredictionIterationTrace& iter : iterations) {
+    double s_min = 0.0;
+    double s_max = 0.0;
+    double s_mean = 0.0;
+    if (!iter.thread_slowdowns.empty()) {
+      s_min = *std::min_element(iter.thread_slowdowns.begin(),
+                                iter.thread_slowdowns.end());
+      s_max = *std::max_element(iter.thread_slowdowns.begin(),
+                                iter.thread_slowdowns.end());
+      for (double s : iter.thread_slowdowns) {
+        s_mean += s;
+      }
+      s_mean /= static_cast<double>(iter.thread_slowdowns.size());
+    }
+    // Modal bottleneck: the ResourceIndex binding the most threads.
+    std::map<int, int> bottleneck_counts;
+    for (int b : iter.thread_bottlenecks) {
+      ++bottleneck_counts[b];
+    }
+    int modal = -1;
+    int modal_count = 0;
+    for (const auto& [resource, count] : bottleneck_counts) {
+      if (count > modal_count) {
+        modal = resource;
+        modal_count = count;
+      }
+    }
+    out += StrFormat("  %-5d %-10.3g %-8.3f %-8.3f %-8.3f %-10d %s\n", iter.iteration,
+                     iter.max_delta, s_min, s_mean, s_max, modal,
+                     iter.dampened ? "yes" : "no");
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace pandia

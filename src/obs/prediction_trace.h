@@ -1,0 +1,48 @@
+// Convergence introspection for the iterative predictor (§5.4).
+//
+// The fixed-point solver in predictor/co_schedule.cc is opaque from the
+// outside: Prediction reports only the iteration count and a converged bit.
+// Attaching a PredictionTrace via PredictionOptions::trace records the full
+// per-iteration state — every thread's overall slowdown and bottleneck
+// resource, the worst relative change against the previous iteration, and
+// whether the dampening function was engaged for the next update — so
+// oscillation, slow convergence, and dampening behaviour become visible.
+//
+// The trace is cleared at the start of every Predict call that carries it;
+// for co-scheduled predictions the thread vectors cover all jobs' threads in
+// request order (the same order the engine iterates).
+#ifndef PANDIA_SRC_OBS_PREDICTION_TRACE_H_
+#define PANDIA_SRC_OBS_PREDICTION_TRACE_H_
+
+#include <string>
+#include <vector>
+
+namespace pandia {
+namespace obs {
+
+struct PredictionIterationTrace {
+  int iteration = 0;      // 1-based, matches Prediction::iterations
+  double max_delta = 0.0; // worst relative slowdown change vs previous iteration
+  bool converged = false; // this iteration met the convergence threshold
+  bool dampened = false;  // the utilization update after this iteration was dampened
+  std::vector<double> thread_slowdowns;  // per-thread overall slowdown
+  std::vector<int> thread_bottlenecks;   // per-thread binding ResourceIndex (-1: none)
+};
+
+struct PredictionTrace {
+  std::vector<PredictionIterationTrace> iterations;
+  bool converged = false;
+  double final_delta = 0.0;  // max_delta of the last iteration
+
+  void Clear();
+
+  // One line per iteration: iteration, max delta, slowdown spread
+  // (min/mean/max), modal bottleneck index, dampening flag. Suitable for the
+  // bench convergence-dump mode and for debugging oscillating workloads.
+  std::string Summary() const;
+};
+
+}  // namespace obs
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_OBS_PREDICTION_TRACE_H_

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.h"
+#include "src/obs/prediction_trace.h"
+#include "src/obs/trace.h"
 #include "src/topology/memory_policy.h"
 #include "src/util/check.h"
 
@@ -37,6 +40,12 @@ CoSchedulePredictor::CoSchedulePredictor(MachineDescription machine,
 CoSchedulePrediction CoSchedulePredictor::Predict(
     std::span<const CoScheduleRequest> requests) const {
   PANDIA_CHECK(!requests.empty());
+  const obs::TraceSpan predict_span("predict",
+                                    static_cast<int64_t>(requests.size()));
+  obs::PredictionTrace* trace = options_.trace;
+  if (trace != nullptr) {
+    trace->Clear();
+  }
   const MachineTopology& topo = machine_.topo;
 
   // --- Assemble jobs and threads ---
@@ -140,9 +149,11 @@ CoSchedulePrediction CoSchedulePredictor::Predict(
   double slowdown_ceiling = 0.0;
   int iterations = 0;
   bool converged = false;
+  double final_delta = 0.0;
   const int max_iterations = options_.iterate ? options_.max_iterations : 1;
 
   for (int iter = 0; iter < max_iterations; ++iter) {
+    const obs::TraceSpan iteration_span("predict.iteration", iter + 1);
     ++iterations;
     const std::vector<double> prev = s_overall;
 
@@ -223,25 +234,64 @@ CoSchedulePrediction CoSchedulePredictor::Predict(
       }
     }
 
-    if (iter > 0) {
-      double worst_delta = 0.0;
-      for (int t = 0; t < n_total; ++t) {
-        worst_delta =
-            std::max(worst_delta, std::fabs(s_overall[t] - prev[t]) / s_overall[t]);
-      }
-      if (worst_delta < options_.convergence_eps) {
-        converged = true;
-        break;
-      }
+    // For the first iteration `prev` is the all-ones initial state, so the
+    // delta is "distance moved this iteration" throughout; convergence is
+    // still only declared from the second iteration on.
+    double worst_delta = 0.0;
+    for (int t = 0; t < n_total; ++t) {
+      worst_delta =
+          std::max(worst_delta, std::fabs(s_overall[t] - prev[t]) / s_overall[t]);
+    }
+    final_delta = worst_delta;
+    if (iter > 0 && worst_delta < options_.convergence_eps) {
+      converged = true;
+    }
+    const bool dampened = !converged && iter + 1 >= options_.dampen_after;
+    if (trace != nullptr) {
+      obs::PredictionIterationTrace iteration_trace;
+      iteration_trace.iteration = iterations;
+      iteration_trace.max_delta = worst_delta;
+      iteration_trace.converged = converged;
+      iteration_trace.dampened = dampened;
+      iteration_trace.thread_slowdowns = s_overall;
+      iteration_trace.thread_bottlenecks = bottleneck;
+      trace->iterations.push_back(std::move(iteration_trace));
+    }
+    if (converged) {
+      break;
     }
 
     for (int t = 0; t < n_total; ++t) {
       double next = jobs[threads[t].job].f_initial * (s_resource[t] / s_overall[t]);
-      if (iter + 1 >= options_.dampen_after) {
+      if (dampened) {
         next = 0.5 * (next + f_start[t]);
       }
       f_start[t] = next;
     }
+  }
+
+  if (trace != nullptr) {
+    trace->converged = converged || !options_.iterate;
+    trace->final_delta = final_delta;
+  }
+  {
+    static obs::Counter& predictions =
+        obs::MetricsRegistry::Global().counter("predictor.predictions");
+    static obs::Counter& total_iterations =
+        obs::MetricsRegistry::Global().counter("predictor.iterations");
+    static obs::Counter& converged_count =
+        obs::MetricsRegistry::Global().counter("predictor.converged");
+    static obs::Counter& non_converged_count =
+        obs::MetricsRegistry::Global().counter("predictor.non_converged");
+    static obs::Histogram& iterations_histogram =
+        obs::MetricsRegistry::Global().histogram(
+            "predictor.iterations_per_predict",
+            {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0});
+    predictions.Increment();
+    total_iterations.Increment(static_cast<uint64_t>(iterations));
+    ((converged || !options_.iterate) ? converged_count : non_converged_count)
+        .Increment();
+    iterations_histogram.Observe(static_cast<double>(iterations));
   }
 
   // --- Final per-job predictions (§5.5) ---
@@ -268,6 +318,7 @@ CoSchedulePrediction CoSchedulePredictor::Predict(
     prediction.time = job.workload->t1 / prediction.speedup;
     prediction.iterations = iterations;
     prediction.converged = converged || !options_.iterate;
+    prediction.final_delta = final_delta;
     prediction.resource_load = load;
     result.jobs.push_back(std::move(prediction));
   }

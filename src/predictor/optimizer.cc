@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/topology/enumerate.h"
 #include "src/util/check.h"
 
@@ -10,19 +12,49 @@ namespace {
 
 std::vector<Placement> CandidatePlacements(const MachineTopology& topo,
                                            const OptimizerOptions& options) {
+  const obs::TraceSpan span("optimizer.candidates");
+  // Reproducibility metrics: with these plus the constraint, a sweep's exact
+  // candidate set can be reconstructed from logs alone.
+  static obs::Gauge& space_size =
+      obs::MetricsRegistry::Global().gauge("optimizer.space_size");
+  static obs::Gauge& sampled =
+      obs::MetricsRegistry::Global().gauge("optimizer.sampled");
+  static obs::Gauge& sample_seed =
+      obs::MetricsRegistry::Global().gauge("optimizer.sample_seed");
+  static obs::Gauge& sample_count =
+      obs::MetricsRegistry::Global().gauge("optimizer.sample_count");
+  static obs::Counter& exhaustive_runs =
+      obs::MetricsRegistry::Global().counter("optimizer.exhaustive_runs");
+  static obs::Counter& sampled_runs =
+      obs::MetricsRegistry::Global().counter("optimizer.sampled_runs");
+
+  const uint64_t space = CountCanonicalPlacements(topo);
+  space_size.Set(static_cast<double>(space));
   std::vector<Placement> candidates;
-  if (CountCanonicalPlacements(topo) <= options.exhaustive_limit) {
+  if (space <= options.exhaustive_limit) {
+    sampled.Set(0.0);
+    exhaustive_runs.Increment();
     candidates = EnumerateCanonicalPlacements(topo);
     if (options.constraint) {
       std::erase_if(candidates,
                     [&](const Placement& p) { return !options.constraint(p); });
     }
   } else {
+    sampled.Set(1.0);
+    sample_seed.Set(static_cast<double>(options.sample_seed));
+    sample_count.Set(static_cast<double>(options.sample_count));
+    sampled_runs.Increment();
     candidates = SampleCanonicalPlacements(topo, options.sample_count,
                                            options.sample_seed, options.constraint);
   }
   PANDIA_CHECK_MSG(!candidates.empty(), "no placements satisfy the constraint");
   return candidates;
+}
+
+obs::Counter& PlacementsEvaluatedCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().counter("optimizer.placements_evaluated");
+  return counter;
 }
 
 }  // namespace
@@ -62,8 +94,10 @@ RankedPlacement FindBestPlacement(const Predictor& predictor,
 std::vector<RankedPlacement> RankPlacements(const Predictor& predictor, size_t top_k,
                                             const OptimizerOptions& options) {
   PANDIA_CHECK(top_k > 0);
+  const obs::TraceSpan span("optimizer.rank");
   const std::vector<Placement> candidates =
       CandidatePlacements(predictor.machine().topo, options);
+  PlacementsEvaluatedCounter().Increment(candidates.size());
   std::vector<RankedPlacement> ranked;
   ranked.reserve(candidates.size());
   for (const Placement& placement : candidates) {
@@ -83,8 +117,10 @@ std::optional<RankedPlacement> FindCheapestPlacement(const Predictor& predictor,
                                                      double target_fraction,
                                                      const OptimizerOptions& options) {
   PANDIA_CHECK(target_fraction > 0.0 && target_fraction <= 1.0);
+  const obs::TraceSpan span("optimizer.cheapest");
   const std::vector<Placement> candidates =
       CandidatePlacements(predictor.machine().topo, options);
+  PlacementsEvaluatedCounter().Increment(candidates.size());
   double best_speedup = 0.0;
   std::vector<RankedPlacement> all;
   all.reserve(candidates.size());

@@ -29,6 +29,10 @@
 
 namespace pandia {
 
+namespace obs {
+struct PredictionTrace;
+}  // namespace obs
+
 struct PredictionOptions {
   int max_iterations = 1000;
   double convergence_eps = 1e-6;
@@ -41,6 +45,12 @@ struct PredictionOptions {
   bool model_communication = true;
   bool model_load_balance = true;
   bool iterate = true;  // false: stop after the first iteration
+
+  // Optional convergence introspection (src/obs/prediction_trace.h): when
+  // non-null, every Predict call clears the trace and records per-iteration
+  // solver state. The pointee must outlive the Predict call; predictions
+  // sharing one options struct overwrite each other's traces.
+  obs::PredictionTrace* trace = nullptr;
 };
 
 struct ThreadPrediction {
@@ -59,6 +69,10 @@ struct Prediction {
   double time = 0.0;      // predicted execution time (t1 / speedup)
   int iterations = 0;
   bool converged = false;
+  // Worst relative slowdown change in the final iteration: distinguishes
+  // "converged at eps" from "hit max_iterations while barely moving" from
+  // "stopped while still oscillating".
+  double final_delta = 0.0;
   std::vector<ThreadPrediction> threads;
   // Modeled load on every resource (ResourceIndex order) at the final
   // utilizations — Pandia's resource-consumption prediction (§1, §6.3).

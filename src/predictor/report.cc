@@ -42,9 +42,11 @@ std::string ExplainPrediction(const MachineDescription& machine,
 
   std::string out = StrFormat("prediction for %s\n", placement.ToString().c_str());
   out += StrFormat(
-      "  Amdahl speedup %.2f, predicted speedup %.2f (time %.2f), %d iterations%s\n",
+      "  Amdahl speedup %.2f, predicted speedup %.2f (time %.2f), %d iterations "
+      "(final delta %.2g)%s\n",
       prediction.amdahl_speedup, prediction.speedup, prediction.time,
-      prediction.iterations, prediction.converged ? "" : " (NOT converged)");
+      prediction.iterations, prediction.final_delta,
+      prediction.converged ? "" : " (NOT converged)");
   out += StrFormat("  %-8s %-7s %-10s %-7s %-9s %-9s %-6s %s\n", "threads", "socket",
                    "resource", "+comm", "+balance", "overall", "util", "bottleneck");
   for (const Row& row : rows) {

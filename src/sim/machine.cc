@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/fair_share.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
@@ -608,6 +610,11 @@ RunResult Engine::Execute() {
 Machine::Machine(MachineSpec spec) : spec_(std::move(spec)), index_(spec_.topo) {}
 
 RunResult Machine::Run(std::span<const JobRequest> jobs) const {
+  const obs::TraceSpan span("sim.run", static_cast<int64_t>(jobs.size()));
+  static obs::Counter& runs = obs::MetricsRegistry::Global().counter("sim.runs");
+  static obs::Counter& jobs_run = obs::MetricsRegistry::Global().counter("sim.jobs");
+  runs.Increment();
+  jobs_run.Increment(jobs.size());
   Engine engine(spec_, index_, jobs);
   return engine.Execute();
 }

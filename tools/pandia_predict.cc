@@ -1,51 +1,131 @@
 // pandia-predict: predict placements from stored descriptions (paper §5).
 //
-//   pandia_predict <machine-desc-file> <workload-desc-file> [placement ...]
+//   pandia_predict [flags] <machine> <workload> [placement ...]
 //
-// Placements use the textual grammar of ParsePlacement ("s0:8x1+2x2,s1:4x1",
-// "12", "24x2"). Without placements, the tool searches the canonical
-// placement space and reports the best placement, the cheapest placement
-// within 95% of it, and a Figure-7-style explanation of the winner.
+// <machine> is either a stored machine-description file or the name of a
+// simulated machine ("x5-2", "x4-2", "x3-2", "x2-4" — the description is
+// then generated from stress runs). <workload> is either a stored workload
+// description or an evaluation-suite workload name (profiled on the spot;
+// requires a simulated machine). Placements use the textual grammar of
+// ParsePlacement ("s0:8x1+2x2,s1:4x1", "12", "24x2"). Without placements,
+// the tool searches the canonical placement space and reports the best
+// placement, the cheapest placement within 95% of it, and a Figure-7-style
+// explanation of the winner.
+//
+// Observability flags (src/obs):
+//   --trace-out=FILE  write a Chrome trace_event JSON file (open via
+//                     chrome://tracing or https://ui.perfetto.dev)
+//   --metrics         print the metrics table and per-span wall-time summary
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "src/eval/pipeline.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/predictor/optimizer.h"
 #include "src/predictor/predictor.h"
 #include "src/predictor/report.h"
 #include "src/serialize/serialize.h"
+#include "src/sim/machine_spec.h"
 #include "src/topology/placement_parse.h"
+#include "src/workloads/workloads.h"
+
+namespace {
+
+using namespace pandia;
+
+bool IsKnownMachine(const std::string& name) {
+  const std::vector<std::string> known = sim::KnownMachineNames();
+  return std::find(known.begin(), known.end(), name) != known.end();
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--trace-out=FILE] [--metrics] "
+               "<machine-desc-file|machine-name> "
+               "<workload-desc-file|workload-name> [placement ...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace pandia;
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: %s <machine-desc-file> <workload-desc-file> [placement ...]\n",
-                 argv[0]);
-    return 2;
+  std::string trace_out;
+  bool metrics = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+      return Usage(argv[0]);
+    } else {
+      positional.push_back(argv[i]);
+    }
   }
-  const std::optional<std::string> machine_text = ReadTextFile(argv[1]);
-  if (!machine_text.has_value()) {
-    std::fprintf(stderr, "error: cannot read %s\n", argv[1]);
-    return 1;
+  if (positional.size() < 2) {
+    return Usage(argv[0]);
   }
+  // Spans are recorded only while the tracer is enabled; both flags need
+  // them (--metrics prints the per-span wall-time summary).
+  if (!trace_out.empty() || metrics) {
+    obs::Tracer::Global().SetEnabled(true);
+  }
+
   std::string error;
-  const std::optional<MachineDescription> machine =
-      MachineDescriptionFromText(*machine_text, &error);
-  if (!machine.has_value()) {
-    std::fprintf(stderr, "error: %s: %s\n", argv[1], error.c_str());
+  std::optional<eval::Pipeline> pipeline;
+  std::optional<MachineDescription> machine;
+  if (const std::optional<std::string> text = ReadTextFile(positional[0])) {
+    machine = MachineDescriptionFromText(*text, &error);
+    if (!machine.has_value()) {
+      std::fprintf(stderr, "error: %s: %s\n", positional[0].c_str(), error.c_str());
+      return 1;
+    }
+  } else if (IsKnownMachine(positional[0])) {
+    pipeline.emplace(positional[0]);
+    machine = pipeline->description();
+  } else {
+    std::fprintf(stderr,
+                 "error: '%s' is neither a readable machine description nor a "
+                 "known machine (x5-2, x4-2, x3-2, x2-4)\n",
+                 positional[0].c_str());
     return 1;
   }
-  const std::optional<std::string> workload_text = ReadTextFile(argv[2]);
-  if (!workload_text.has_value()) {
-    std::fprintf(stderr, "error: cannot read %s\n", argv[2]);
+
+  std::optional<WorkloadDescription> workload;
+  if (const std::optional<std::string> text = ReadTextFile(positional[1])) {
+    workload = WorkloadDescriptionFromText(*text, &error);
+    if (!workload.has_value()) {
+      std::fprintf(stderr, "error: %s: %s\n", positional[1].c_str(), error.c_str());
+      return 1;
+    }
+  } else if (workloads::Exists(positional[1])) {
+    if (!pipeline.has_value()) {
+      if (!IsKnownMachine(machine->topo.name)) {
+        std::fprintf(stderr,
+                     "error: profiling workload '%s' needs a simulated machine, "
+                     "but '%s' is not one\n",
+                     positional[1].c_str(), machine->topo.name.c_str());
+        return 1;
+      }
+      pipeline.emplace(machine->topo.name);
+    }
+    workload = pipeline->Profile(workloads::ByName(positional[1]));
+  } else {
+    std::fprintf(stderr,
+                 "error: '%s' is neither a readable workload description nor a "
+                 "known workload name\n",
+                 positional[1].c_str());
     return 1;
   }
-  const std::optional<WorkloadDescription> workload =
-      WorkloadDescriptionFromText(*workload_text, &error);
-  if (!workload.has_value()) {
-    std::fprintf(stderr, "error: %s: %s\n", argv[2], error.c_str());
-    return 1;
-  }
+
   if (workload->machine != machine->topo.name) {
     std::fprintf(stderr,
                  "note: workload was profiled on '%s', predicting on '%s' "
@@ -54,29 +134,45 @@ int main(int argc, char** argv) {
   }
 
   const Predictor predictor(*machine, *workload);
-  if (argc > 3) {
-    for (int i = 3; i < argc; ++i) {
+  if (positional.size() > 2) {
+    for (size_t i = 2; i < positional.size(); ++i) {
       const std::optional<Placement> placement =
-          ParsePlacement(machine->topo, argv[i], &error);
+          ParsePlacement(machine->topo, positional[i], &error);
       if (!placement.has_value()) {
-        std::fprintf(stderr, "error: placement '%s': %s\n", argv[i], error.c_str());
+        std::fprintf(stderr, "error: placement '%s': %s\n", positional[i].c_str(),
+                     error.c_str());
         return 1;
       }
       const Prediction prediction = predictor.Predict(*placement);
       std::fputs(ExplainPrediction(*machine, *placement, prediction).c_str(), stdout);
     }
-    return 0;
+  } else {
+    const RankedPlacement best = FindBestPlacement(predictor);
+    std::printf("best predicted placement:\n");
+    std::fputs(ExplainPrediction(*machine, best.placement, best.prediction).c_str(),
+               stdout);
+    const std::optional<RankedPlacement> cheap = FindCheapestPlacement(predictor, 0.95);
+    if (cheap.has_value() && !(cheap->placement == best.placement)) {
+      std::printf("\ncheapest placement within 95%% of the best:\n");
+      std::fputs(
+          ExplainPrediction(*machine, cheap->placement, cheap->prediction).c_str(),
+          stdout);
+    }
   }
 
-  const RankedPlacement best = FindBestPlacement(predictor);
-  std::printf("best predicted placement:\n");
-  std::fputs(ExplainPrediction(*machine, best.placement, best.prediction).c_str(),
-             stdout);
-  const std::optional<RankedPlacement> cheap = FindCheapestPlacement(predictor, 0.95);
-  if (cheap.has_value() && !(cheap->placement == best.placement)) {
-    std::printf("\ncheapest placement within 95%% of the best:\n");
-    std::fputs(ExplainPrediction(*machine, cheap->placement, cheap->prediction).c_str(),
-               stdout);
+  if (!trace_out.empty()) {
+    if (!WriteTextFile(trace_out, obs::Tracer::Global().ChromeTraceJson())) {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote trace to %s (open via chrome://tracing)\n",
+                 trace_out.c_str());
+  }
+  if (metrics) {
+    std::printf("\nmetrics:\n");
+    obs::RenderTable(obs::MetricsRegistry::Global().Snapshot()).Print(stdout);
+    std::printf("\nspan summary:\n");
+    obs::Tracer::Global().SummaryTable().Print(stdout);
   }
   return 0;
 }

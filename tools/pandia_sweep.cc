@@ -1,46 +1,75 @@
 // pandia-sweep: measure and predict a workload over the canonical placement
 // space and emit a plottable CSV series (the raw data behind Figures 1/10).
 //
-//   pandia_sweep <machine> <workload> [sample-count]
+//   pandia_sweep [flags] <machine> <workload> [sample-count]
 //
 // Output columns: placement index (paper order), placement, threads,
 // measured time, predicted time, normalized measured/predicted performance.
+//
+// Observability flags (src/obs):
+//   --trace-out=FILE  write a Chrome trace_event JSON file of the sweep
+//                     (per-placement measure/predict spans)
+//   --metrics         print the metrics table and per-span wall-time summary
+//                     to stderr (stdout stays parseable CSV)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/eval/experiment.h"
 #include "src/eval/pipeline.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/serialize/serialize.h"
 #include "src/sim/machine_spec.h"
 #include "src/workloads/workloads.h"
 
 int main(int argc, char** argv) {
   using namespace pandia;
-  if (argc < 3 || argc > 4) {
-    std::fprintf(stderr, "usage: %s <machine> <workload> [sample-count]\n", argv[0]);
+  std::string trace_out;
+  bool metrics = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() < 2 || positional.size() > 3) {
+    std::fprintf(stderr,
+                 "usage: %s [--trace-out=FILE] [--metrics] <machine> <workload> "
+                 "[sample-count]\n",
+                 argv[0]);
     return 2;
   }
   const std::vector<std::string> known = sim::KnownMachineNames();
-  if (std::find(known.begin(), known.end(), argv[1]) == known.end()) {
+  if (std::find(known.begin(), known.end(), positional[0]) == known.end()) {
     std::fprintf(stderr, "error: unknown machine '%s' (known: x5-2, x4-2, x3-2, x2-4)\n",
-                 argv[1]);
+                 positional[0].c_str());
     return 2;
   }
-  if (!workloads::Exists(argv[2])) {
+  if (!workloads::Exists(positional[1])) {
     std::fprintf(stderr,
                  "error: unknown workload '%s' (the 22 evaluation workloads plus "
                  "NPO-1T, Equake, BT-small)\n",
-                 argv[2]);
+                 positional[1].c_str());
     return 2;
   }
-  const eval::Pipeline pipeline(argv[1]);
-  const sim::WorkloadSpec workload = workloads::ByName(argv[2]);
+  if (!trace_out.empty() || metrics) {
+    obs::Tracer::Global().SetEnabled(true);
+  }
+  const eval::Pipeline pipeline(positional[0]);
+  const sim::WorkloadSpec workload = workloads::ByName(positional[1]);
   const WorkloadDescription desc = pipeline.Profile(workload);
   const Predictor predictor = pipeline.MakePredictor(desc);
   eval::SweepOptions options;
-  if (argc == 4) {
-    options.sample_count = static_cast<size_t>(std::atoi(argv[3]));
+  if (positional.size() == 3) {
+    options.sample_count = static_cast<size_t>(std::atoi(positional[2].c_str()));
     options.exhaustive_limit = options.sample_count;
   }
   const eval::SweepResult result =
@@ -60,6 +89,21 @@ int main(int argc, char** argv) {
                 pr.placement.ToString().c_str(), pr.placement.TotalThreads(),
                 pr.measured_time, pr.predicted_time, pr.measured_norm,
                 pr.predicted_norm);
+  }
+
+  if (!trace_out.empty()) {
+    if (!WriteTextFile(trace_out, obs::Tracer::Global().ChromeTraceJson())) {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote trace to %s (open via chrome://tracing)\n",
+                 trace_out.c_str());
+  }
+  if (metrics) {
+    std::fprintf(stderr, "\nmetrics:\n");
+    obs::RenderTable(obs::MetricsRegistry::Global().Snapshot()).Print(stderr);
+    std::fprintf(stderr, "\nspan summary:\n");
+    obs::Tracer::Global().SummaryTable().Print(stderr);
   }
   return 0;
 }

@@ -1,0 +1,52 @@
+// pandia-trace-check: validate an emitted Chrome trace_event JSON file.
+//
+//   pandia_trace_check <trace.json> [required-span-name ...]
+//
+// Exits 0 when the file is well-formed JSON, has a "traceEvents" array with
+// at least one complete ("ph":"X") event, and contains every
+// required-span-name among the event names. Used by the ctest smoke test to
+// gate the tools' --trace-out output, and handy as a standalone sanity check
+// before shipping a trace to chrome://tracing.
+#include <cstdio>
+#include <string>
+
+#include "src/obs/json_lint.h"
+#include "src/serialize/serialize.h"
+#include "src/util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace pandia;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <trace.json> [required-span-name ...]\n", argv[0]);
+    return 2;
+  }
+  const std::optional<std::string> text = ReadTextFile(argv[1]);
+  if (!text.has_value()) {
+    std::fprintf(stderr, "error: cannot read %s\n", argv[1]);
+    return 1;
+  }
+  std::string error;
+  if (!obs::LintJson(*text, &error)) {
+    std::fprintf(stderr, "error: %s is not valid JSON: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+  if (text->find("\"traceEvents\"") == std::string::npos) {
+    std::fprintf(stderr, "error: %s has no \"traceEvents\" array\n", argv[1]);
+    return 1;
+  }
+  if (text->find("\"ph\":\"X\"") == std::string::npos) {
+    std::fprintf(stderr, "error: %s contains no complete (\"ph\":\"X\") events\n",
+                 argv[1]);
+    return 1;
+  }
+  for (int i = 2; i < argc; ++i) {
+    const std::string needle = StrFormat("\"name\":\"%s\"", argv[i]);
+    if (text->find(needle) == std::string::npos) {
+      std::fprintf(stderr, "error: %s contains no span named '%s'\n", argv[1],
+                   argv[i]);
+      return 1;
+    }
+  }
+  std::printf("%s: ok (%zu bytes)\n", argv[1], text->size());
+  return 0;
+}

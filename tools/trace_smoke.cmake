@@ -1,0 +1,32 @@
+# Smoke test driven by ctest (see tools/CMakeLists.txt): run pandia_predict
+# on the simulated x3-2 machine with tracing and metrics enabled, then
+# validate the emitted Chrome trace JSON with pandia_trace_check, requiring
+# the nested predict/optimizer spans the acceptance criteria name.
+#
+# Variables (passed via -D): PREDICT, CHECK, OUT.
+
+execute_process(
+  COMMAND ${PREDICT} --trace-out=${OUT} --metrics x3-2 MD
+  RESULT_VARIABLE predict_result
+  OUTPUT_VARIABLE predict_output
+  ERROR_VARIABLE predict_stderr
+)
+if(NOT predict_result EQUAL 0)
+  message(FATAL_ERROR "pandia_predict failed (${predict_result}):\n${predict_output}\n${predict_stderr}")
+endif()
+if(NOT predict_output MATCHES "predictor\\.iterations")
+  message(FATAL_ERROR "pandia_predict --metrics did not print predictor.iterations:\n${predict_output}")
+endif()
+if(NOT predict_output MATCHES "optimizer\\.placements_evaluated")
+  message(FATAL_ERROR "pandia_predict --metrics did not print optimizer.placements_evaluated:\n${predict_output}")
+endif()
+
+execute_process(
+  COMMAND ${CHECK} ${OUT} predict predict.iteration optimizer.rank pipeline.profile
+  RESULT_VARIABLE check_result
+  OUTPUT_VARIABLE check_output
+  ERROR_VARIABLE check_stderr
+)
+if(NOT check_result EQUAL 0)
+  message(FATAL_ERROR "pandia_trace_check failed (${check_result}):\n${check_output}\n${check_stderr}")
+endif()
