@@ -8,15 +8,28 @@
 // prints the solver's per-iteration convergence trace (src/obs) for a set of
 // representative placements — the tool to reach for when a prediction
 // oscillates or crawls toward the 1000-iteration ceiling.
+//
+// `perf_predictor --parallel [--jobs=N]` skips the benchmarks and measures
+// the parallel placement search: it ranks a fixed sampled candidate set
+// serially, then with N workers (default: all hardware threads), verifies
+// the rankings are identical, and reports predictions/sec for both plus a
+// cache-warm pass. Exits non-zero if the parallel ranking ever diverges
+// from the serial one.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "src/eval/pipeline.h"
+#include "src/obs/metrics.h"
 #include "src/obs/prediction_trace.h"
 #include "src/predictor/optimizer.h"
+#include "src/predictor/prediction_cache.h"
 #include "src/topology/enumerate.h"
+#include "src/util/parallel.h"
 #include "src/workloads/workloads.h"
 
 namespace {
@@ -92,6 +105,82 @@ void BM_EnumerateCanonicalPlacements(benchmark::State& state) {
 }
 BENCHMARK(BM_EnumerateCanonicalPlacements);
 
+// --parallel: serial vs parallel RankPlacements throughput on a fixed
+// sampled candidate set, with a ranking-equality check and a cache-warm
+// pass. The candidate sample is seeded, so every run ranks the same set.
+int ParallelComparison(int jobs) {
+  using Clock = std::chrono::steady_clock;
+  const size_t kTopK = 1u << 20;  // keep the full ranking for comparison
+  OptimizerOptions options;
+  options.exhaustive_limit = 1;  // force sampling
+  options.sample_count = 2000;
+  options.sample_seed = 1;
+
+  auto rank = [&](int run_jobs, bool use_cache, double* seconds) {
+    OptimizerOptions run = options;
+    run.jobs = run_jobs;
+    run.use_cache = use_cache;
+    const Clock::time_point start = Clock::now();
+    std::vector<RankedPlacement> ranked = RankPlacements(MdPredictor(), kTopK, run);
+    *seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    return ranked;
+  };
+
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+    jobs = jobs > 0 ? jobs : 1;
+  }
+  PredictionCache::Global().Clear();
+  double serial_s = 0.0, parallel_s = 0.0, cached_s = 0.0;
+  const std::vector<RankedPlacement> serial = rank(1, false, &serial_s);
+  const std::vector<RankedPlacement> parallel = rank(jobs, false, &parallel_s);
+
+  if (serial.size() != parallel.size()) {
+    std::fprintf(stderr, "FAIL: serial ranked %zu placements, parallel %zu\n",
+                 serial.size(), parallel.size());
+    return 1;
+  }
+  for (size_t i = 0; i < serial.size(); ++i) {
+    if (!(serial[i].placement == parallel[i].placement) ||
+        serial[i].prediction.speedup != parallel[i].prediction.speedup) {
+      std::fprintf(stderr, "FAIL: rankings diverge at position %zu (%s vs %s)\n",
+                   i, serial[i].placement.ToString().c_str(),
+                   parallel[i].placement.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Cache-warm pass: populate the global cache once, then rank again — all
+  // hits, so this bounds the search's best case for repeated queries.
+  rank(jobs, true, &cached_s);
+  const std::vector<RankedPlacement> cached = rank(jobs, true, &cached_s);
+  if (cached.size() != serial.size()) {
+    std::fprintf(stderr, "FAIL: cached ranking has %zu placements, serial %zu\n",
+                 cached.size(), serial.size());
+    return 1;
+  }
+
+  const double n = static_cast<double>(serial.size());
+  std::printf("parallel placement search, %zu candidates (MD on x5-2):\n",
+              serial.size());
+  std::printf("  serial  (jobs=1):   %8.0f predictions/sec  (%.3fs)\n",
+              n / serial_s, serial_s);
+  std::printf("  parallel (jobs=%d): %8.0f predictions/sec  (%.3fs)  speedup %.2fx\n",
+              jobs, n / parallel_s, parallel_s, serial_s / parallel_s);
+  std::printf("  cache-warm (jobs=%d): %6.0f predictions/sec  (%.3fs)  speedup %.2fx\n",
+              jobs, n / cached_s, cached_s, serial_s / cached_s);
+  std::printf("  rankings identical: yes\n");
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  for (const auto& counter : snapshot.counters) {
+    if (counter.name.rfind("prediction_cache.", 0) == 0 ||
+        counter.name.rfind("parallel.", 0) == 0) {
+      std::printf("  %s = %llu\n", counter.name.c_str(),
+                  static_cast<unsigned long long>(counter.value));
+    }
+  }
+  return 0;
+}
+
 // Per-iteration convergence dump: slowdown spread, worst delta, modal
 // bottleneck, and dampening state for each solver iteration.
 int ConvergenceDump() {
@@ -123,10 +212,20 @@ int ConvergenceDump() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool parallel = false;
+  int jobs = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--convergence-dump") == 0) {
       return ConvergenceDump();
     }
+    if (std::strcmp(argv[i], "--parallel") == 0) {
+      parallel = true;
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = std::atoi(argv[i] + 7);
+    }
+  }
+  if (parallel) {
+    return ParallelComparison(jobs);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {

@@ -19,8 +19,13 @@ int main() {
     int below_max_threads = 0;
     int full_machine_competitive = 0;
     Table table({"workload", "gap%", "best placement (measured)", "threads"});
-    for (const sim::WorkloadSpec& workload : workloads::EvaluationSuite()) {
-      const WorkloadDescription desc = pipeline.Profile(workload);
+    const std::vector<sim::WorkloadSpec> suite = workloads::EvaluationSuite();
+    // Profile the whole suite up front (fans out under PANDIA_JOBS); the
+    // table loop below then consumes the descriptions in paper order.
+    const std::vector<WorkloadDescription> descs = pipeline.ProfileAll(suite);
+    for (size_t w = 0; w < suite.size(); ++w) {
+      const sim::WorkloadSpec& workload = suite[w];
+      const WorkloadDescription& desc = descs[w];
       const Predictor predictor = pipeline.MakePredictor(desc);
       const eval::SweepResult result =
           eval::RunSweep(pipeline.machine(), predictor, workload, options);

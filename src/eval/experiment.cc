@@ -4,9 +4,12 @@
 #include <cmath>
 
 #include "src/obs/metrics.h"
+#include "src/obs/parallel_metrics.h"
 #include "src/obs/trace.h"
+#include "src/predictor/prediction_cache.h"
 #include "src/topology/enumerate.h"
 #include "src/util/check.h"
+#include "src/util/parallel.h"
 #include "src/util/stats.h"
 
 namespace pandia {
@@ -54,22 +57,32 @@ SweepResult RunSweep(const sim::Machine& machine, const Predictor& predictor,
   result.machine = machine.topology().name;
   const std::vector<Placement> placements =
       SweepPlacements(machine.topology(), options);
-  result.placements.reserve(placements.size());
   static obs::Counter& sweep_placements =
       obs::MetricsRegistry::Global().counter("eval.sweep_placements");
+  obs::InstallParallelMetrics();
+  PredictionCache* cache = options.use_cache ? &PredictionCache::Global() : nullptr;
+  // Each placement's measure+predict pair runs independently; slot i of the
+  // result vector belongs to placement i, so the sweep series is identical
+  // to a serial run at any job count.
+  std::vector<PlacementResult> results;
+  results.reserve(placements.size());
   for (const Placement& placement : placements) {
-    PlacementResult pr{placement};
+    results.push_back(PlacementResult{placement});
+  }
+  util::ParallelFor(placements.size(), options.jobs, [&](size_t i) {
+    PlacementResult& pr = results[i];
     {
       const obs::TraceSpan measure_span("sweep.measure");
-      pr.measured_time = machine.RunOne(workload, placement).jobs[0].completion_time;
+      pr.measured_time =
+          machine.RunOne(workload, pr.placement).jobs[0].completion_time;
     }
     {
       const obs::TraceSpan predict_span("sweep.predict");
-      pr.predicted_time = predictor.Predict(placement).time;
+      pr.predicted_time = PredictCached(predictor, pr.placement, cache).time;
     }
     sweep_placements.Increment();
-    result.placements.push_back(std::move(pr));
-  }
+  });
+  result.placements = std::move(results);
   ComputeMetrics(result);
   return result;
 }

@@ -31,6 +31,13 @@ struct SweepOptions {
   // Optional placement-class filter (Figure 12's 2-socket / 20-core / whole
   // machine classes).
   std::function<bool(const Placement&)> filter;
+  // Per-placement measure+predict fan out over this many worker threads
+  // (0 defers to PANDIA_JOBS; unset means serial). The placement list,
+  // result order, and every metric are byte-identical to a serial sweep.
+  int jobs = 0;
+  // Memoize predictions in PredictionCache::Global() so repeated sweeps of
+  // the same (machine, workload) pair skip redundant solves.
+  bool use_cache = true;
 };
 
 struct PlacementResult {

@@ -2,7 +2,9 @@
 
 #include "src/machine_desc/generator.h"
 #include "src/obs/metrics.h"
+#include "src/obs/parallel_metrics.h"
 #include "src/obs/trace.h"
+#include "src/util/parallel.h"
 #include "src/workload_desc/profiler.h"
 
 namespace pandia {
@@ -27,6 +29,16 @@ WorkloadDescription Pipeline::Profile(const sim::WorkloadSpec& workload) const {
   profiles.Increment();
   const WorkloadProfiler profiler(machine_, description_);
   return profiler.Profile(workload);
+}
+
+std::vector<WorkloadDescription> Pipeline::ProfileAll(
+    const std::vector<sim::WorkloadSpec>& workloads, int jobs) const {
+  const obs::TraceSpan span("pipeline.profile_all");
+  obs::InstallParallelMetrics();
+  std::vector<WorkloadDescription> descriptions(workloads.size());
+  util::ParallelFor(workloads.size(), jobs,
+                    [&](size_t i) { descriptions[i] = Profile(workloads[i]); });
+  return descriptions;
 }
 
 Predictor Pipeline::MakePredictor(const WorkloadDescription& description,

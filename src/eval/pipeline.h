@@ -5,6 +5,7 @@
 #define PANDIA_SRC_EVAL_PIPELINE_H_
 
 #include <string>
+#include <vector>
 
 #include "src/machine_desc/machine_description.h"
 #include "src/predictor/predictor.h"
@@ -25,6 +26,13 @@ class Pipeline {
 
   // Runs the six profiling runs for `workload` (§4).
   WorkloadDescription Profile(const sim::WorkloadSpec& workload) const;
+
+  // Profiles every workload, fanning the independent profiling pipelines
+  // out over `jobs` worker threads (0 defers to PANDIA_JOBS). Results are
+  // returned in input order and are identical to serial Profile calls —
+  // this is how the table/figure benches amortize the 22-workload suite.
+  std::vector<WorkloadDescription> ProfileAll(
+      const std::vector<sim::WorkloadSpec>& workloads, int jobs = 0) const;
 
   // Predictor for a workload description (typically from Profile(); for the
   // portability studies, from another machine's pipeline).

@@ -1,0 +1,65 @@
+#include "src/obs/parallel_metrics.h"
+
+#include <mutex>
+
+#include "src/obs/metrics.h"
+#include "src/util/parallel.h"
+
+namespace pandia {
+namespace obs {
+namespace {
+
+class RegistryObserver : public util::ParallelObserver {
+ public:
+  RegistryObserver()
+      : tasks_submitted_(MetricsRegistry::Global().counter("parallel.tasks_submitted")),
+        tasks_completed_(MetricsRegistry::Global().counter("parallel.tasks_completed")),
+        queue_high_water_(MetricsRegistry::Global().gauge("parallel.queue_high_water")),
+        fanouts_(MetricsRegistry::Global().counter("parallel.fanouts")),
+        serial_runs_(MetricsRegistry::Global().counter("parallel.serial_runs")),
+        items_(MetricsRegistry::Global().counter("parallel.items")),
+        chunks_(MetricsRegistry::Global().counter("parallel.chunks")) {}
+
+  void OnTaskSubmitted(size_t queue_depth) override {
+    tasks_submitted_.Increment();
+    // Racy max is fine for a high-water gauge: a lost update can only
+    // under-report by one transient depth reading.
+    if (static_cast<double>(queue_depth) > queue_high_water_.value()) {
+      queue_high_water_.Set(static_cast<double>(queue_depth));
+    }
+  }
+
+  void OnTaskCompleted() override { tasks_completed_.Increment(); }
+
+  void OnParallelFor(size_t n, int chunks) override {
+    items_.Increment(n);
+    if (chunks <= 1) {
+      serial_runs_.Increment();
+    } else {
+      fanouts_.Increment();
+      chunks_.Increment(static_cast<uint64_t>(chunks));
+    }
+  }
+
+ private:
+  Counter& tasks_submitted_;
+  Counter& tasks_completed_;
+  Gauge& queue_high_water_;
+  Counter& fanouts_;
+  Counter& serial_runs_;
+  Counter& items_;
+  Counter& chunks_;
+};
+
+}  // namespace
+
+void InstallParallelMetrics() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    static RegistryObserver* observer = new RegistryObserver;
+    util::SetParallelObserver(observer);
+  });
+}
+
+}  // namespace obs
+}  // namespace pandia

@@ -1,0 +1,27 @@
+// Bridges src/util/parallel activity into the metrics registry.
+//
+// util::ThreadPool cannot link the registry directly (obs depends on util),
+// so it exposes an observer hook; InstallParallelMetrics() plugs a registry-
+// backed observer into it. Instruments:
+//
+//   parallel.tasks_submitted   counter — tasks enqueued on any pool
+//   parallel.tasks_completed   counter — tasks a worker finished
+//   parallel.queue_high_water  gauge   — deepest queue seen since install
+//   parallel.fanouts           counter — ParallelFor calls that fanned out
+//   parallel.serial_runs       counter — ParallelFor calls that ran serially
+//   parallel.items             counter — total items across all calls
+//   parallel.chunks            counter — total chunks across fanned-out calls
+#ifndef PANDIA_SRC_OBS_PARALLEL_METRICS_H_
+#define PANDIA_SRC_OBS_PARALLEL_METRICS_H_
+
+namespace pandia {
+namespace obs {
+
+// Installs the registry-backed observer. Idempotent and thread-safe; every
+// parallel entry point (optimizer, eval sweeps, tools) calls it lazily.
+void InstallParallelMetrics();
+
+}  // namespace obs
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_OBS_PARALLEL_METRICS_H_

@@ -3,9 +3,12 @@
 #include <algorithm>
 
 #include "src/obs/metrics.h"
+#include "src/obs/parallel_metrics.h"
 #include "src/obs/trace.h"
+#include "src/predictor/prediction_cache.h"
 #include "src/topology/enumerate.h"
 #include "src/util/check.h"
+#include "src/util/parallel.h"
 
 namespace pandia {
 namespace {
@@ -57,6 +60,23 @@ obs::Counter& PlacementsEvaluatedCounter() {
   return counter;
 }
 
+// Predicts every candidate, fanning out across options.jobs workers. Each
+// prediction lands in the slot matching its candidate index, so the result
+// vector is identical to a serial loop regardless of job count.
+std::vector<Prediction> PredictCandidates(const Predictor& predictor,
+                                          const std::vector<Placement>& candidates,
+                                          const OptimizerOptions& options) {
+  obs::InstallParallelMetrics();
+  PlacementsEvaluatedCounter().Increment(candidates.size());
+  PredictionCache* cache =
+      options.use_cache ? &PredictionCache::Global() : nullptr;
+  std::vector<Prediction> predictions(candidates.size());
+  util::ParallelFor(candidates.size(), options.jobs, [&](size_t i) {
+    predictions[i] = PredictCached(predictor, candidates[i], cache);
+  });
+  return predictions;
+}
+
 }  // namespace
 
 std::function<bool(const Placement&)> NoSmtConstraint() {
@@ -95,18 +115,23 @@ std::vector<RankedPlacement> RankPlacements(const Predictor& predictor, size_t t
                                             const OptimizerOptions& options) {
   PANDIA_CHECK(top_k > 0);
   const obs::TraceSpan span("optimizer.rank");
-  const std::vector<Placement> candidates =
+  std::vector<Placement> candidates =
       CandidatePlacements(predictor.machine().topo, options);
-  PlacementsEvaluatedCounter().Increment(candidates.size());
+  std::vector<Prediction> predictions =
+      PredictCandidates(predictor, candidates, options);
   std::vector<RankedPlacement> ranked;
   ranked.reserve(candidates.size());
-  for (const Placement& placement : candidates) {
-    ranked.push_back(RankedPlacement{placement, predictor.Predict(placement)});
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    ranked.push_back(
+        RankedPlacement{std::move(candidates[i]), std::move(predictions[i])});
   }
-  std::sort(ranked.begin(), ranked.end(),
-            [](const RankedPlacement& a, const RankedPlacement& b) {
-              return a.prediction.speedup > b.prediction.speedup;
-            });
+  // Stable sort with candidates in their deterministic enumeration/sample
+  // order: speedup ties resolve to the earlier candidate, so the ranking is
+  // reproducible across runs and identical at every job count.
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedPlacement& a, const RankedPlacement& b) {
+                     return a.prediction.speedup > b.prediction.speedup;
+                   });
   if (ranked.size() > top_k) {
     ranked.erase(ranked.begin() + static_cast<ptrdiff_t>(top_k), ranked.end());
   }
@@ -118,14 +143,16 @@ std::optional<RankedPlacement> FindCheapestPlacement(const Predictor& predictor,
                                                      const OptimizerOptions& options) {
   PANDIA_CHECK(target_fraction > 0.0 && target_fraction <= 1.0);
   const obs::TraceSpan span("optimizer.cheapest");
-  const std::vector<Placement> candidates =
+  std::vector<Placement> candidates =
       CandidatePlacements(predictor.machine().topo, options);
-  PlacementsEvaluatedCounter().Increment(candidates.size());
+  std::vector<Prediction> predictions =
+      PredictCandidates(predictor, candidates, options);
   double best_speedup = 0.0;
   std::vector<RankedPlacement> all;
   all.reserve(candidates.size());
-  for (const Placement& placement : candidates) {
-    all.push_back(RankedPlacement{placement, predictor.Predict(placement)});
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    all.push_back(
+        RankedPlacement{std::move(candidates[i]), std::move(predictions[i])});
     best_speedup = std::max(best_speedup, all.back().prediction.speedup);
   }
   const double target = best_speedup * target_fraction;

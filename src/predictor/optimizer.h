@@ -29,6 +29,14 @@ struct OptimizerOptions {
   // Optional admission constraint on candidate placements (e.g. "no SMT",
   // "at most one socket" when other tenants own the rest of the machine).
   std::function<bool(const Placement&)> constraint;
+  // Candidate predictions fan out over this many worker threads (0 defers
+  // to the PANDIA_JOBS environment variable; unset means serial). Chunking
+  // is static and results are written by candidate index, so rankings are
+  // byte-identical to a serial run at any job count.
+  int jobs = 0;
+  // Memoize predictions in PredictionCache::Global(). Automatically
+  // bypassed when the predictor carries a convergence-trace hook.
+  bool use_cache = true;
 };
 
 // Common constraints for the optimizer (and for eval sweeps).

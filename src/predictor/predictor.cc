@@ -1,6 +1,7 @@
 #include "src/predictor/predictor.h"
 
 #include "src/predictor/co_schedule.h"
+#include "src/predictor/prediction_cache.h"
 #include "src/util/check.h"
 
 namespace pandia {
@@ -9,7 +10,8 @@ Predictor::Predictor(MachineDescription machine, WorkloadDescription workload,
                      PredictionOptions options)
     : machine_(std::move(machine)),
       workload_(std::move(workload)),
-      options_(options) {
+      options_(options),
+      context_fingerprint_(ContextFingerprint(machine_, workload_, options_)) {
   PANDIA_CHECK(workload_.t1 > 0.0);
   PANDIA_CHECK(workload_.parallel_fraction >= 0.0 && workload_.parallel_fraction <= 1.0);
   PANDIA_CHECK(workload_.load_balance >= 0.0 && workload_.load_balance <= 1.0);

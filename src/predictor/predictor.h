@@ -21,6 +21,7 @@
 #ifndef PANDIA_SRC_PREDICTOR_PREDICTOR_H_
 #define PANDIA_SRC_PREDICTOR_PREDICTOR_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/machine_desc/machine_description.h"
@@ -91,11 +92,19 @@ class Predictor {
 
   const MachineDescription& machine() const { return machine_; }
   const WorkloadDescription& workload() const { return workload_; }
+  const PredictionOptions& options() const { return options_; }
+
+  // Fingerprint of (machine, workload, options) — everything that
+  // determines a Prediction besides the placement. Computed once at
+  // construction; the prediction cache (src/predictor/prediction_cache.h)
+  // combines it with a placement fingerprint to form its key.
+  uint64_t context_fingerprint() const { return context_fingerprint_; }
 
  private:
   MachineDescription machine_;
   WorkloadDescription workload_;
   PredictionOptions options_;
+  uint64_t context_fingerprint_ = 0;
 };
 
 }  // namespace pandia

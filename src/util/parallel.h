@@ -1,0 +1,106 @@
+// Deterministic fork/join parallelism for the placement-search hot path.
+//
+// The optimizer and the eval sweeps evaluate thousands of independent
+// candidate placements; this header provides the fan-out machinery they
+// share. Two rules keep parallel runs byte-identical to serial runs:
+//
+//   1. work is split into contiguous index chunks up front (no work
+//      stealing, no dynamic scheduling), and
+//   2. every result is written to a caller-owned slot addressed by the item
+//      index, so result order never depends on thread timing.
+//
+// ThreadPool is a plain fixed-size worker pool: Submit enqueues a task,
+// the destructor drains the queue and joins. ParallelFor splits [0, n)
+// into at most `jobs` chunks, runs one chunk on the calling thread and the
+// rest on the shared pool, and rethrows the first (lowest-index) exception
+// a chunk produced. With jobs <= 1, n <= 1, or when called from inside a
+// pool worker (nested parallelism), it degrades to a plain serial loop.
+//
+// Job-count resolution: an explicit `jobs` value wins; 0 defers to the
+// PANDIA_JOBS environment variable; unset/invalid PANDIA_JOBS means serial.
+// Parallelism is therefore strictly opt-in — existing callers keep their
+// exact behaviour.
+#ifndef PANDIA_SRC_UTIL_PARALLEL_H_
+#define PANDIA_SRC_UTIL_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pandia {
+namespace util {
+
+// Hook for pool/queue instrumentation. util sits below src/obs in the
+// dependency order, so the metrics bridge (src/obs/parallel_metrics.h)
+// installs an observer here instead of util linking the registry directly.
+// Callbacks may arrive concurrently from any thread and must be cheap.
+struct ParallelObserver {
+  virtual ~ParallelObserver() = default;
+  // A task was enqueued; `queue_depth` is the queue length just after.
+  virtual void OnTaskSubmitted(size_t queue_depth) = 0;
+  // A worker finished running a task.
+  virtual void OnTaskCompleted() = 0;
+  // A ParallelFor call fanned `n` items out over `chunks` chunks
+  // (chunks == 1 means it ran serially).
+  virtual void OnParallelFor(size_t n, int chunks) = 0;
+};
+
+// Installs the process-wide observer (nullptr uninstalls). The pointee must
+// outlive every subsequent pool/ParallelFor call.
+void SetParallelObserver(ParallelObserver* observer);
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+  // Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Tasks must not throw (exceptions would escape a worker
+  // thread and terminate); ParallelFor wraps user functions so their
+  // exceptions are captured and rethrown on the caller instead.
+  void Submit(std::function<void()> task);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // True when the calling thread is one of this pool's workers.
+  bool OnWorkerThread() const;
+
+  // Process-wide pool shared by every ParallelFor call, created on first
+  // use and sized to the hardware concurrency. Chunk counts — not the pool
+  // size — bound how many workers a given call occupies.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Effective job count for a request: `jobs` > 0 is used as-is; `jobs` == 0
+// falls back to PANDIA_JOBS (values < 1 or non-numeric mean 1); negative
+// values mean 1. The result is clamped to [1, 256].
+int ResolveJobs(int jobs);
+
+// Runs fn(i) for every i in [0, n), fanning out across `jobs` (resolved via
+// ResolveJobs) contiguous chunks. Results must be written by index into
+// caller-owned storage; chunking is static, so a serial and a parallel run
+// perform exactly the same fn calls. If any fn throws, the exception from
+// the lowest-index chunk is rethrown after all chunks finish.
+void ParallelFor(size_t n, int jobs, const std::function<void(size_t)>& fn);
+
+}  // namespace util
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_UTIL_PARALLEL_H_

@@ -1,0 +1,209 @@
+// src/util/parallel: pool lifecycle, ParallelFor coverage/determinism, and
+// exception propagation — the guarantees the placement search leans on.
+#include "src/util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace pandia {
+namespace util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // destructor drains and joins
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
+  // More tasks than workers, each slow enough that most are still queued
+  // when the destructor runs: every one must still execute.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&ran] {
+        volatile double sink = 0.0;
+        for (int j = 0; j < 10000; ++j) {
+          sink = sink + static_cast<double>(j);
+        }
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, ClampsThreadCountToAtLeastOne) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.num_threads(), 1);
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, OnWorkerThreadDistinguishesPools) {
+  ThreadPool pool(1);
+  EXPECT_FALSE(pool.OnWorkerThread());
+  std::atomic<bool> seen_inside{false};
+  std::atomic<bool> done{false};
+  pool.Submit([&] {
+    seen_inside.store(pool.OnWorkerThread());
+    done.store(true);
+  });
+  while (!done.load()) {
+  }
+  EXPECT_TRUE(seen_inside.load());
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (int jobs : {1, 2, 3, 8}) {
+    std::vector<std::atomic<int>> visits(257);
+    ParallelFor(visits.size(), jobs,
+                [&](size_t i) { visits[i].fetch_add(1, std::memory_order_relaxed); });
+    for (size_t i = 0; i < visits.size(); ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i << " jobs " << jobs;
+    }
+  }
+}
+
+TEST(ParallelFor, ResultsMatchSerialForEveryJobCount) {
+  // Results written by index must be identical to the serial loop — the
+  // determinism contract the optimizer's byte-identical-ranking guarantee
+  // is built on.
+  const size_t n = 1000;
+  std::vector<double> serial(n);
+  for (size_t i = 0; i < n; ++i) {
+    serial[i] = static_cast<double>(i * i) / 3.0;
+  }
+  for (int jobs : {2, 4, 7}) {
+    std::vector<double> parallel(n);
+    ParallelFor(n, jobs,
+                [&](size_t i) { parallel[i] = static_cast<double>(i * i) / 3.0; });
+    EXPECT_EQ(parallel, serial) << "jobs " << jobs;
+  }
+}
+
+TEST(ParallelFor, HandlesEmptyAndSingleItemRanges) {
+  int calls = 0;
+  ParallelFor(0, 8, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(1, 8, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      ParallelFor(100, 4,
+                  [](size_t i) {
+                    if (i == 57) {
+                      throw std::runtime_error("boom at 57");
+                    }
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, LowestChunkExceptionWinsDeterministically) {
+  // Two chunks throw; the rethrown exception must always come from the
+  // lower-index chunk regardless of which worker finishes first.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    try {
+      ParallelFor(100, 4, [](size_t i) {
+        if (i == 10 || i == 90) {
+          throw std::runtime_error("boom at " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom at 10");
+    }
+  }
+}
+
+TEST(ParallelFor, ExceptionStillRunsRemainingChunks) {
+  // A throwing chunk must not abandon the others: all work outside the
+  // throwing chunk completes before the rethrow.
+  std::vector<std::atomic<int>> visits(64);
+  try {
+    ParallelFor(visits.size(), 4, [&](size_t i) {
+      if (i == 0) {
+        throw std::runtime_error("first chunk dies");
+      }
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error&) {
+  }
+  // Chunk 0 covers [0, 16) with 4 chunks of 64; indexes outside it ran.
+  for (size_t i = 16; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, NestedCallsSerializeInsteadOfDeadlocking) {
+  std::atomic<int> inner_total{0};
+  ParallelFor(8, 4, [&](size_t) {
+    // From a worker thread this must degrade to a serial loop.
+    ParallelFor(8, 4, [&](size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 64);
+}
+
+TEST(ResolveJobs, ExplicitValueWins) {
+  EXPECT_EQ(ResolveJobs(3), 3);
+  EXPECT_EQ(ResolveJobs(-5), 1);
+}
+
+TEST(ResolveJobs, ZeroDefersToEnvironment) {
+  ASSERT_EQ(setenv("PANDIA_JOBS", "5", /*overwrite=*/1), 0);
+  EXPECT_EQ(ResolveJobs(0), 5);
+  ASSERT_EQ(setenv("PANDIA_JOBS", "garbage", 1), 0);
+  EXPECT_EQ(ResolveJobs(0), 1);
+  ASSERT_EQ(unsetenv("PANDIA_JOBS"), 0);
+  EXPECT_EQ(ResolveJobs(0), 1);
+}
+
+TEST(ParallelObserverHook, ReceivesFanoutAndTaskCallbacks) {
+  struct CountingObserver : ParallelObserver {
+    std::atomic<uint64_t> submitted{0};
+    std::atomic<uint64_t> completed{0};
+    std::atomic<uint64_t> items{0};
+    void OnTaskSubmitted(size_t) override { submitted.fetch_add(1); }
+    void OnTaskCompleted() override { completed.fetch_add(1); }
+    void OnParallelFor(size_t n, int) override { items.fetch_add(n); }
+  };
+  CountingObserver observer;
+  SetParallelObserver(&observer);
+  ParallelFor(100, 4, [](size_t) {});
+  // OnTaskCompleted fires after the task's completion handshake, so the
+  // last callback can still be in flight when ParallelFor returns; wait for
+  // it before uninstalling the stack-local observer.
+  while (observer.completed.load() < observer.submitted.load()) {
+  }
+  SetParallelObserver(nullptr);
+  EXPECT_EQ(observer.items.load(), 100u);
+  EXPECT_GT(observer.submitted.load(), 0u);
+  // >= rather than ==: a completion callback from an earlier test's task
+  // may straggle in while this observer is installed.
+  EXPECT_GE(observer.completed.load(), observer.submitted.load());
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace pandia

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for CI.
+
+Compares a freshly produced google-benchmark JSON file against a committed
+baseline and fails (exit 1) when any benchmark's throughput — predictions per
+second, i.e. the inverse of per-iteration real time — regresses by more than
+the allowed percentage. Benchmarks present in only one of the two files are
+reported but never fail the gate, so adding or removing a benchmark does not
+require touching the baseline in the same commit.
+
+Usage:
+  check_bench_regression.py CURRENT.json BASELINE.json [--max-regression-pct N]
+  check_bench_regression.py CURRENT.json BASELINE.json --update
+
+--update rewrites BASELINE.json from CURRENT.json (stripping run-specific
+context like date and host) instead of checking; use it to refresh the
+committed baseline after an intentional perf change.
+
+The threshold can also come from the PANDIA_BENCH_THRESHOLD environment
+variable; the command-line flag wins. When benchmarks were run with
+repetitions + aggregates, only the "median" aggregate rows are compared,
+which makes the gate robust to one noisy repetition on a shared CI runner.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_rows(path):
+    """Returns {benchmark name: throughput in items/sec} from a google-benchmark
+    JSON file. Prefers median aggregates when present, and items_per_second
+    over the inverse of real_time when the benchmark reports it."""
+    with open(path) as f:
+        doc = json.load(f)
+    benchmarks = doc.get("benchmarks", [])
+    aggregates = [b for b in benchmarks if b.get("run_type") == "aggregate"]
+    if aggregates:
+        benchmarks = [b for b in aggregates if b.get("aggregate_name") == "median"]
+    rows = {}
+    for b in benchmarks:
+        name = b.get("run_name") or b["name"]
+        if "items_per_second" in b:
+            rows[name] = float(b["items_per_second"])
+            continue
+        real_time = float(b["real_time"])
+        # Normalize the time unit to seconds, then invert.
+        scale = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}[b.get("time_unit", "ns")]
+        seconds = real_time * scale
+        if seconds <= 0:
+            continue
+        rows[name] = 1.0 / seconds
+    return doc, rows
+
+
+def update_baseline(current_path, baseline_path):
+    with open(current_path) as f:
+        doc = json.load(f)
+    # Drop run-specific context so baseline diffs only show perf changes.
+    context = doc.get("context", {})
+    doc["context"] = {
+        k: context[k]
+        for k in ("num_cpus", "library_build_type")
+        if k in context
+    }
+    with open(baseline_path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"baseline updated: {baseline_path}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="benchmark JSON from this run")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--max-regression-pct",
+        type=float,
+        default=float(os.environ.get("PANDIA_BENCH_THRESHOLD", "20")),
+        help="maximum allowed throughput drop, in percent (default 20, "
+        "or PANDIA_BENCH_THRESHOLD)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the current results instead of checking",
+    )
+    args = parser.parse_args()
+
+    if args.update:
+        update_baseline(args.current, args.baseline)
+        return 0
+
+    _, current = load_rows(args.current)
+    _, baseline = load_rows(args.baseline)
+
+    if not baseline:
+        print(f"error: no benchmarks in baseline {args.baseline}", file=sys.stderr)
+        return 1
+
+    threshold = args.max_regression_pct
+    failures = []
+    print(f"{'benchmark':<44} {'baseline/s':>14} {'current/s':>14} {'delta':>8}")
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"{name:<44} {baseline[name]:>14.1f} {'missing':>14} {'--':>8}")
+            continue
+        delta_pct = (current[name] / baseline[name] - 1.0) * 100.0
+        marker = ""
+        if delta_pct < -threshold:
+            failures.append((name, delta_pct))
+            marker = "  <-- REGRESSION"
+        print(
+            f"{name:<44} {baseline[name]:>14.1f} {current[name]:>14.1f} "
+            f"{delta_pct:>+7.1f}%{marker}"
+        )
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:<44} {'(new)':>14} {current[name]:>14.1f} {'--':>8}")
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
+            f"{threshold:.0f}% vs {args.baseline}:",
+            file=sys.stderr,
+        )
+        for name, delta_pct in failures:
+            print(f"  {name}: {delta_pct:+.1f}%", file=sys.stderr)
+        print(
+            "If the regression is intended, refresh the baseline with:\n"
+            f"  python3 tools/check_bench_regression.py {args.current} "
+            f"{args.baseline} --update",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: no benchmark regressed more than {threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,12 @@
 // placement, the cheapest placement within 95% of it, and a Figure-7-style
 // explanation of the winner.
 //
+// Flags:
+//   --jobs=N          fan the placement-space search out over N worker
+//                     threads (default: the PANDIA_JOBS environment
+//                     variable, else serial); the chosen placements are
+//                     byte-identical at every job count
+//
 // Observability flags (src/obs):
 //   --trace-out=FILE  write a Chrome trace_event JSON file (open via
 //                     chrome://tracing or https://ui.perfetto.dev)
@@ -45,7 +51,7 @@ bool IsKnownMachine(const std::string& name) {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--trace-out=FILE] [--metrics] "
+               "usage: %s [--jobs=N] [--trace-out=FILE] [--metrics] "
                "<machine-desc-file|machine-name> "
                "<workload-desc-file|workload-name> [placement ...]\n",
                argv0);
@@ -57,12 +63,20 @@ int Usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string trace_out;
   bool metrics = false;
+  int jobs = 0;  // 0: defer to PANDIA_JOBS
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       trace_out = argv[i] + 12;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = std::atoi(argv[i] + 7);
+      if (jobs < 1) {
+        std::fprintf(stderr, "error: --jobs needs a positive integer, got '%s'\n",
+                     argv[i] + 7);
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
       return Usage(argv[0]);
@@ -147,11 +161,14 @@ int main(int argc, char** argv) {
       std::fputs(ExplainPrediction(*machine, *placement, prediction).c_str(), stdout);
     }
   } else {
-    const RankedPlacement best = FindBestPlacement(predictor);
+    OptimizerOptions optimizer_options;
+    optimizer_options.jobs = jobs;
+    const RankedPlacement best = FindBestPlacement(predictor, optimizer_options);
     std::printf("best predicted placement:\n");
     std::fputs(ExplainPrediction(*machine, best.placement, best.prediction).c_str(),
                stdout);
-    const std::optional<RankedPlacement> cheap = FindCheapestPlacement(predictor, 0.95);
+    const std::optional<RankedPlacement> cheap =
+        FindCheapestPlacement(predictor, 0.95, optimizer_options);
     if (cheap.has_value() && !(cheap->placement == best.placement)) {
       std::printf("\ncheapest placement within 95%% of the best:\n");
       std::fputs(

@@ -6,6 +6,12 @@
 // Output columns: placement index (paper order), placement, threads,
 // measured time, predicted time, normalized measured/predicted performance.
 //
+// Flags:
+//   --jobs=N          fan per-placement measure/predict work out over N
+//                     worker threads (default: the PANDIA_JOBS environment
+//                     variable, else serial). Output is byte-identical at
+//                     every job count.
+//
 // Observability flags (src/obs):
 //   --trace-out=FILE  write a Chrome trace_event JSON file of the sweep
 //                     (per-placement measure/predict spans)
@@ -30,20 +36,28 @@ int main(int argc, char** argv) {
   using namespace pandia;
   std::string trace_out;
   bool metrics = false;
+  int jobs = 0;  // 0: defer to PANDIA_JOBS
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       trace_out = argv[i] + 12;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = std::atoi(argv[i] + 7);
+      if (jobs < 1) {
+        std::fprintf(stderr, "error: --jobs needs a positive integer, got '%s'\n",
+                     argv[i] + 7);
+        return 2;
+      }
     } else {
       positional.push_back(argv[i]);
     }
   }
   if (positional.size() < 2 || positional.size() > 3) {
     std::fprintf(stderr,
-                 "usage: %s [--trace-out=FILE] [--metrics] <machine> <workload> "
-                 "[sample-count]\n",
+                 "usage: %s [--jobs=N] [--trace-out=FILE] [--metrics] <machine> "
+                 "<workload> [sample-count]\n",
                  argv[0]);
     return 2;
   }
@@ -68,6 +82,7 @@ int main(int argc, char** argv) {
   const WorkloadDescription desc = pipeline.Profile(workload);
   const Predictor predictor = pipeline.MakePredictor(desc);
   eval::SweepOptions options;
+  options.jobs = jobs;
   if (positional.size() == 3) {
     options.sample_count = static_cast<size_t>(std::atoi(positional[2].c_str()));
     options.exhaustive_limit = options.sample_count;
