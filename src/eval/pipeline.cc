@@ -31,6 +31,16 @@ WorkloadDescription Pipeline::Profile(const sim::WorkloadSpec& workload) const {
   return profiler.Profile(workload);
 }
 
+StatusOr<WorkloadDescription> Pipeline::ProfileRobust(
+    const sim::WorkloadSpec& workload, const ProfileOptions& options) const {
+  const obs::TraceSpan span("pipeline.profile");
+  static obs::Counter& profiles =
+      obs::MetricsRegistry::Global().counter("pipeline.profiles");
+  profiles.Increment();
+  const WorkloadProfiler profiler(machine_, description_);
+  return profiler.ProfileRobust(workload, options);
+}
+
 std::vector<WorkloadDescription> Pipeline::ProfileAll(
     const std::vector<sim::WorkloadSpec>& workloads, int jobs) const {
   const obs::TraceSpan span("pipeline.profile_all");

@@ -9,8 +9,11 @@
 
 #include "src/machine_desc/machine_description.h"
 #include "src/predictor/predictor.h"
+#include "src/sim/fault_plan.h"
 #include "src/sim/machine.h"
+#include "src/util/status.h"
 #include "src/workload_desc/description.h"
+#include "src/workload_desc/profiler.h"
 
 namespace pandia {
 namespace eval {
@@ -24,8 +27,19 @@ class Pipeline {
   const sim::Machine& machine() const { return machine_; }
   const MachineDescription& description() const { return description_; }
 
+  // Injects measurement faults into every subsequent profiling run (the
+  // machine description was generated before faults were armed, matching a
+  // one-time calibration on a healthy machine). Call before Profile*.
+  void SetFaultPlan(const sim::FaultPlan& plan) { machine_.set_fault_plan(plan); }
+
   // Runs the six profiling runs for `workload` (§4).
   WorkloadDescription Profile(const sim::WorkloadSpec& workload) const;
+
+  // Multi-trial robust profiling (see WorkloadProfiler::ProfileRobust);
+  // reports failure as a Status instead of aborting, which makes it the
+  // right entry point when a fault plan is armed.
+  StatusOr<WorkloadDescription> ProfileRobust(const sim::WorkloadSpec& workload,
+                                              const ProfileOptions& options) const;
 
   // Profiles every workload, fanning the independent profiling pipelines
   // out over `jobs` worker threads (0 defers to PANDIA_JOBS). Results are

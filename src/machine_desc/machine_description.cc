@@ -1,5 +1,7 @@
 #include "src/machine_desc/machine_description.h"
 
+#include <cmath>
+
 #include "src/util/check.h"
 #include "src/util/strings.h"
 
@@ -26,6 +28,46 @@ std::vector<double> MachineDescription::Capacities(
     }
   }
   return caps;
+}
+
+Status MachineDescription::Validate() const {
+  // Hard cap on topology dimensions: large enough for any machine the paper
+  // era or this simulator models, small enough that a corrupt value cannot
+  // drive allocation sizes through the roof.
+  constexpr int kMaxDim = 1024;
+  const auto check_dim = [](const char* field, int value) -> Status {
+    if (value <= 0 || value > kMaxDim) {
+      return Status::InvalidArgument(
+          StrFormat("machine description field '%s' must be in [1, %d], got %d",
+                    field, kMaxDim, value));
+    }
+    return Status::Ok();
+  };
+  PANDIA_RETURN_IF_ERROR(check_dim("sockets", topo.num_sockets));
+  PANDIA_RETURN_IF_ERROR(check_dim("cores_per_socket", topo.cores_per_socket));
+  PANDIA_RETURN_IF_ERROR(check_dim("threads_per_core", topo.threads_per_core));
+  const auto check_positive = [](const char* field, double value) -> Status {
+    if (!std::isfinite(value) || value <= 0.0) {
+      return Status::InvalidArgument(StrFormat(
+          "machine description field '%s' must be finite and positive, got %g",
+          field, value));
+    }
+    return Status::Ok();
+  };
+  PANDIA_RETURN_IF_ERROR(check_positive("l1_size", topo.l1_size));
+  PANDIA_RETURN_IF_ERROR(check_positive("l2_size", topo.l2_size));
+  PANDIA_RETURN_IF_ERROR(check_positive("l3_size", topo.l3_size));
+  PANDIA_RETURN_IF_ERROR(check_positive("core_ops", core_ops));
+  PANDIA_RETURN_IF_ERROR(check_positive("smt_combined_ops", smt_combined_ops));
+  PANDIA_RETURN_IF_ERROR(check_positive("l1_bw", l1_bw));
+  PANDIA_RETURN_IF_ERROR(check_positive("l2_bw", l2_bw));
+  PANDIA_RETURN_IF_ERROR(check_positive("l3_port_bw", l3_port_bw));
+  PANDIA_RETURN_IF_ERROR(check_positive("l3_agg_bw", l3_agg_bw));
+  PANDIA_RETURN_IF_ERROR(check_positive("dram_bw", dram_bw));
+  if (topo.num_sockets > 1) {
+    PANDIA_RETURN_IF_ERROR(check_positive("link_bw", link_bw));
+  }
+  return Status::Ok();
 }
 
 std::string MachineDescription::ToString() const {

@@ -14,6 +14,7 @@
 
 #include "src/topology/resource_index.h"
 #include "src/topology/topology.h"
+#include "src/util/status.h"
 
 namespace pandia {
 
@@ -33,6 +34,13 @@ struct MachineDescription {
   // the given per-core thread counts (cores running two threads use the
   // measured SMT-combined rate).
   std::vector<double> Capacities(const std::vector<uint8_t>& threads_per_core) const;
+
+  // Plausibility check for descriptions arriving from outside the process
+  // (stored files, user edits): topology dimensions positive, every
+  // capacity and cache size finite and positive. The message names the
+  // offending field. A description from GenerateMachineDescription always
+  // validates.
+  Status Validate() const;
 
   std::string ToString() const;
 };

@@ -13,8 +13,8 @@
 namespace pandia {
 namespace {
 
-std::vector<Placement> CandidatePlacements(const MachineTopology& topo,
-                                           const OptimizerOptions& options) {
+StatusOr<std::vector<Placement>> CandidatePlacements(const MachineTopology& topo,
+                                                     const OptimizerOptions& options) {
   const obs::TraceSpan span("optimizer.candidates");
   // Reproducibility metrics: with these plus the constraint, a sweep's exact
   // candidate set can be reconstructed from logs alone.
@@ -50,7 +50,9 @@ std::vector<Placement> CandidatePlacements(const MachineTopology& topo,
     candidates = SampleCanonicalPlacements(topo, options.sample_count,
                                            options.sample_seed, options.constraint);
   }
-  PANDIA_CHECK_MSG(!candidates.empty(), "no placements satisfy the constraint");
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no placements satisfy the constraint");
+  }
   return candidates;
 }
 
@@ -74,6 +76,20 @@ std::vector<Prediction> PredictCandidates(const Predictor& predictor,
   util::ParallelFor(candidates.size(), options.jobs, [&](size_t i) {
     predictions[i] = PredictCached(predictor, candidates[i], cache);
   });
+  // Divergent solves keep their slot (the ranking stays deterministic and
+  // complete) but are surfaced: counted here, flagged in reports, and never
+  // memoized (see PredictCached).
+  uint64_t non_converged = 0;
+  for (const Prediction& prediction : predictions) {
+    if (!prediction.converged) {
+      ++non_converged;
+    }
+  }
+  if (non_converged > 0) {
+    static obs::Counter& counter =
+        obs::MetricsRegistry::Global().counter("optimizer.non_converged_ranked");
+    counter.Increment(non_converged);
+  }
   return predictions;
 }
 
@@ -113,10 +129,31 @@ RankedPlacement FindBestPlacement(const Predictor& predictor,
 
 std::vector<RankedPlacement> RankPlacements(const Predictor& predictor, size_t top_k,
                                             const OptimizerOptions& options) {
-  PANDIA_CHECK(top_k > 0);
+  StatusOr<std::vector<RankedPlacement>> ranked =
+      TryRankPlacements(predictor, top_k, options);
+  PANDIA_CHECK_MSG(ranked.ok(), ranked.status().message().c_str());
+  return std::move(*ranked);
+}
+
+StatusOr<RankedPlacement> TryFindBestPlacement(const Predictor& predictor,
+                                               const OptimizerOptions& options) {
+  StatusOr<std::vector<RankedPlacement>> ranked =
+      TryRankPlacements(predictor, 1, options);
+  PANDIA_RETURN_IF_ERROR(ranked.status());
+  PANDIA_CHECK(!ranked->empty());
+  return std::move(ranked->front());
+}
+
+StatusOr<std::vector<RankedPlacement>> TryRankPlacements(
+    const Predictor& predictor, size_t top_k, const OptimizerOptions& options) {
+  if (top_k == 0) {
+    return Status::InvalidArgument("top_k must be positive");
+  }
   const obs::TraceSpan span("optimizer.rank");
-  std::vector<Placement> candidates =
+  StatusOr<std::vector<Placement>> candidates_or =
       CandidatePlacements(predictor.machine().topo, options);
+  PANDIA_RETURN_IF_ERROR(candidates_or.status());
+  std::vector<Placement>& candidates = *candidates_or;
   std::vector<Prediction> predictions =
       PredictCandidates(predictor, candidates, options);
   std::vector<RankedPlacement> ranked;
@@ -143,8 +180,10 @@ std::optional<RankedPlacement> FindCheapestPlacement(const Predictor& predictor,
                                                      const OptimizerOptions& options) {
   PANDIA_CHECK(target_fraction > 0.0 && target_fraction <= 1.0);
   const obs::TraceSpan span("optimizer.cheapest");
-  std::vector<Placement> candidates =
+  StatusOr<std::vector<Placement>> candidates_or =
       CandidatePlacements(predictor.machine().topo, options);
+  PANDIA_CHECK_MSG(candidates_or.ok(), candidates_or.status().message().c_str());
+  std::vector<Placement>& candidates = *candidates_or;
   std::vector<Prediction> predictions =
       PredictCandidates(predictor, candidates, options);
   double best_speedup = 0.0;

@@ -12,6 +12,7 @@
 
 #include "src/predictor/predictor.h"
 #include "src/topology/placement.h"
+#include "src/util/status.h"
 
 namespace pandia {
 
@@ -19,6 +20,11 @@ struct RankedPlacement {
   Placement placement;
   Prediction prediction;
 };
+
+// Non-converged entries in a ranking (prediction.converged == false after
+// the adaptive-damping retry) keep their rank but are counted in the
+// optimizer.non_converged_ranked metric, and reports flag them — callers
+// relying on exact ordering near ties should treat them as approximate.
 
 struct OptimizerOptions {
   // When the canonical placement space is larger than this, placements are
@@ -53,6 +59,13 @@ RankedPlacement FindBestPlacement(const Predictor& predictor,
 // most `top_k`).
 std::vector<RankedPlacement> RankPlacements(const Predictor& predictor, size_t top_k,
                                             const OptimizerOptions& options = {});
+
+// Status-returning variants for user-assembled constraints: an admission
+// constraint that rejects every placement is reported instead of aborting.
+StatusOr<std::vector<RankedPlacement>> TryRankPlacements(
+    const Predictor& predictor, size_t top_k, const OptimizerOptions& options = {});
+StatusOr<RankedPlacement> TryFindBestPlacement(const Predictor& predictor,
+                                               const OptimizerOptions& options = {});
 
 // Smallest placement (fewest hardware threads, then fewest active sockets)
 // whose predicted speedup is at least `target_fraction` of the best

@@ -111,6 +111,7 @@ uint64_t ContextFingerprint(const MachineDescription& machine,
   HashInt(h, options.model_communication ? 1 : 0);
   HashInt(h, options.model_load_balance ? 1 : 0);
   HashInt(h, options.iterate ? 1 : 0);
+  HashInt(h, options.retry_on_divergence ? 1 : 0);
   return h;
 }
 
@@ -218,7 +219,16 @@ Prediction PredictCached(const Predictor& predictor, const Placement& placement,
     return *std::move(hit);
   }
   Prediction prediction = predictor.Predict(placement);
-  cache->Insert(key, prediction);
+  // A prediction that never settled (even after the adaptive-damping retry)
+  // is a property of this solve, not of the (context, placement) key; caching
+  // it would hand the divergent numbers to every future caller silently.
+  if (prediction.converged) {
+    cache->Insert(key, prediction);
+  } else {
+    static obs::Counter& rejected = obs::MetricsRegistry::Global().counter(
+        "prediction_cache.non_converged_rejected");
+    rejected.Increment();
+  }
   return prediction;
 }
 

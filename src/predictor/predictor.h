@@ -26,6 +26,7 @@
 
 #include "src/machine_desc/machine_description.h"
 #include "src/topology/placement.h"
+#include "src/util/status.h"
 #include "src/workload_desc/description.h"
 
 namespace pandia {
@@ -47,12 +48,24 @@ struct PredictionOptions {
   bool model_load_balance = true;
   bool iterate = true;  // false: stop after the first iteration
 
+  // When a prediction hits max_iterations while still moving by more than
+  // kDivergenceDelta, retry once with dampening from the first iteration
+  // (adaptive damping). Retries only make sense for runs that are allowed
+  // to converge (iterate, convergence_eps > 0, dampen_after > 1); outcomes
+  // are counted in the predictor.divergence_* metrics.
+  bool retry_on_divergence = true;
+
   // Optional convergence introspection (src/obs/prediction_trace.h): when
   // non-null, every Predict call clears the trace and records per-iteration
   // solver state. The pointee must outlive the Predict call; predictions
   // sharing one options struct overwrite each other's traces.
   obs::PredictionTrace* trace = nullptr;
 };
+
+// A final_delta above this after max_iterations marks a divergent (not just
+// slowly converging) prediction: it triggers the adaptive-damping retry and
+// flags the result in reports and ranking metrics.
+inline constexpr double kDivergenceDelta = 0.01;
 
 struct ThreadPrediction {
   ThreadLocation location;
@@ -83,12 +96,26 @@ struct Prediction {
 class Predictor {
  public:
   // The descriptions are copied; `options` tunes iteration and ablations.
+  // The constructor PANDIA_CHECKs the workload's model invariants, so it is
+  // for descriptions produced in-process; descriptions arriving from files
+  // or users go through Create, which validates and returns a Status.
   Predictor(MachineDescription machine, WorkloadDescription workload,
             PredictionOptions options = {});
+
+  // Validating factory for externally supplied descriptions: both
+  // descriptions' Validate() plus option sanity, with errors naming the
+  // offending field instead of aborting.
+  static StatusOr<Predictor> Create(MachineDescription machine,
+                                    WorkloadDescription workload,
+                                    PredictionOptions options = {});
 
   // Predicts performance for `placement`, which must match the machine
   // description's topology shape.
   Prediction Predict(const Placement& placement) const;
+
+  // Predict with the placement validated first (shape and thread count);
+  // for placements assembled from user input.
+  StatusOr<Prediction> TryPredict(const Placement& placement) const;
 
   const MachineDescription& machine() const { return machine_; }
   const WorkloadDescription& workload() const { return workload_; }

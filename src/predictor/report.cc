@@ -47,6 +47,12 @@ std::string ExplainPrediction(const MachineDescription& machine,
       prediction.amdahl_speedup, prediction.speedup, prediction.time,
       prediction.iterations, prediction.final_delta,
       prediction.converged ? "" : " (NOT converged)");
+  if (!prediction.converged) {
+    out += StrFormat(
+        "  WARNING: the solver was still moving %.2g per iteration when it "
+        "stopped; treat speedup and time as approximate\n",
+        prediction.final_delta);
+  }
   out += StrFormat("  %-8s %-7s %-10s %-7s %-9s %-9s %-6s %s\n", "threads", "socket",
                    "resource", "+comm", "+balance", "overall", "util", "bottleneck");
   for (const Row& row : rows) {

@@ -1,6 +1,8 @@
 #include "src/serialize/serialize.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <map>
 
 #include "src/util/strings.h"
@@ -12,11 +14,12 @@ constexpr const char* kMachineMagic = "pandia-machine-description v1";
 constexpr const char* kWorkloadMagic = "pandia-workload-description v1";
 
 // Minimal key=value document: first line is the magic, then one `key = value`
-// per line; '#' starts a comment; blank lines are ignored.
+// per line; '#' starts a comment; blank lines are ignored. Duplicate keys are
+// rejected — a hand-edited file where the same key appears twice almost
+// certainly does not mean what its author intended.
 class Document {
  public:
-  static std::optional<Document> Parse(const std::string& text, const char* magic,
-                                       std::string* error) {
+  static StatusOr<Document> Parse(const std::string& text, const char* magic) {
     Document doc;
     bool saw_magic = false;
     for (std::string line : StrSplit(text, '\n')) {
@@ -33,16 +36,15 @@ class Document {
       line = line.substr(begin, end - begin + 1);
       if (!saw_magic) {
         if (line != magic) {
-          Fail(error, StrFormat("expected magic '%s', got '%s'", magic, line.c_str()));
-          return std::nullopt;
+          return Status::InvalidArgument(
+              StrFormat("expected magic '%s', got '%s'", magic, line.c_str()));
         }
         saw_magic = true;
         continue;
       }
       const size_t eq = line.find('=');
       if (eq == std::string::npos) {
-        Fail(error, StrFormat("malformed line '%s'", line.c_str()));
-        return std::nullopt;
+        return Status::InvalidArgument(StrFormat("malformed line '%s'", line.c_str()));
       }
       std::string key = line.substr(0, eq);
       std::string value = line.substr(eq + 1);
@@ -51,65 +53,58 @@ class Document {
       const size_t value_begin = value.find_first_not_of(" \t");
       value = value_begin == std::string::npos ? "" : value.substr(value_begin);
       if (key.empty()) {
-        Fail(error, StrFormat("empty key in '%s'", line.c_str()));
-        return std::nullopt;
+        return Status::InvalidArgument(StrFormat("empty key in '%s'", line.c_str()));
       }
-      doc.values_[key] = value;
+      if (!doc.values_.emplace(key, value).second) {
+        return Status::InvalidArgument(StrFormat("duplicate key '%s'", key.c_str()));
+      }
     }
     if (!saw_magic) {
-      Fail(error, StrFormat("missing magic line '%s'", magic));
-      return std::nullopt;
+      return Status::DataLoss(
+          StrFormat("missing magic line '%s' (empty or truncated input?)", magic));
     }
     return doc;
   }
 
-  std::optional<std::string> GetString(const char* key, std::string* error) const {
+  StatusOr<std::string> GetString(const char* key) const {
     const auto it = values_.find(key);
     if (it == values_.end()) {
-      Fail(error, StrFormat("missing key '%s'", key));
-      return std::nullopt;
+      return Status::DataLoss(StrFormat("missing key '%s'", key));
     }
     return it->second;
   }
 
-  std::optional<double> GetDouble(const char* key, std::string* error) const {
-    const std::optional<std::string> raw = GetString(key, error);
-    if (!raw.has_value()) {
-      return std::nullopt;
+  StatusOr<double> GetDouble(const char* key) const {
+    StatusOr<std::string> raw = GetString(key);
+    if (!raw.ok()) {
+      return raw.status();
     }
     char* end = nullptr;
     const double value = std::strtod(raw->c_str(), &end);
     if (end == raw->c_str() || *end != '\0') {
-      Fail(error, StrFormat("key '%s' has non-numeric value '%s'", key, raw->c_str()));
-      return std::nullopt;
+      return Status::InvalidArgument(
+          StrFormat("key '%s' has non-numeric value '%s'", key, raw->c_str()));
     }
     return value;
   }
 
-  std::optional<int> GetInt(const char* key, std::string* error) const {
-    const std::optional<double> value = GetDouble(key, error);
-    if (!value.has_value()) {
-      return std::nullopt;
+  StatusOr<int> GetInt(const char* key) const {
+    StatusOr<double> value = GetDouble(key);
+    if (!value.ok()) {
+      return value.status();
     }
     const int i = static_cast<int>(*value);
     if (static_cast<double>(i) != *value) {
-      Fail(error, StrFormat("key '%s' is not an integer", key));
-      return std::nullopt;
+      return Status::InvalidArgument(StrFormat("key '%s' is not an integer", key));
     }
     return i;
   }
 
  private:
-  static void Fail(std::string* error, std::string message) {
-    if (error != nullptr) {
-      *error = std::move(message);
-    }
-  }
-
   std::map<std::string, std::string> values_;
 };
 
-std::optional<MemoryPolicy> PolicyFromName(const std::string& name) {
+StatusOr<MemoryPolicy> PolicyFromName(const std::string& name) {
   for (MemoryPolicy policy :
        {MemoryPolicy::kLocal, MemoryPolicy::kInterleaveAll,
         MemoryPolicy::kInterleaveActive, MemoryPolicy::kHomeSocket}) {
@@ -117,7 +112,7 @@ std::optional<MemoryPolicy> PolicyFromName(const std::string& name) {
       return policy;
     }
   }
-  return std::nullopt;
+  return Status::InvalidArgument(StrFormat("unknown memory policy '%s'", name.c_str()));
 }
 
 }  // namespace
@@ -143,32 +138,35 @@ std::string MachineDescriptionToText(const MachineDescription& desc) {
   return out;
 }
 
-std::optional<MachineDescription> MachineDescriptionFromText(const std::string& text,
-                                                             std::string* error) {
-  const std::optional<Document> doc = Document::Parse(text, kMachineMagic, error);
-  if (!doc.has_value()) {
-    return std::nullopt;
+StatusOr<MachineDescription> MachineDescriptionFromText(const std::string& text) {
+  StatusOr<Document> doc = Document::Parse(text, kMachineMagic);
+  if (!doc.ok()) {
+    return doc.status();
   }
   MachineDescription desc;
-  const std::optional<std::string> name = doc->GetString("machine", error);
-  const std::optional<int> sockets = doc->GetInt("sockets", error);
-  const std::optional<int> cores = doc->GetInt("cores_per_socket", error);
-  const std::optional<int> smt = doc->GetInt("threads_per_core", error);
-  const std::optional<double> l1_size = doc->GetDouble("l1_size", error);
-  const std::optional<double> l2_size = doc->GetDouble("l2_size", error);
-  const std::optional<double> l3_size = doc->GetDouble("l3_size", error);
-  const std::optional<double> core_ops = doc->GetDouble("core_ops", error);
-  const std::optional<double> smt_ops = doc->GetDouble("smt_combined_ops", error);
-  const std::optional<double> l1_bw = doc->GetDouble("l1_bw", error);
-  const std::optional<double> l2_bw = doc->GetDouble("l2_bw", error);
-  const std::optional<double> l3_port = doc->GetDouble("l3_port_bw", error);
-  const std::optional<double> l3_agg = doc->GetDouble("l3_agg_bw", error);
-  const std::optional<double> dram = doc->GetDouble("dram_bw", error);
-  const std::optional<double> link = doc->GetDouble("link_bw", error);
-  if (!name || !sockets || !cores || !smt || !l1_size || !l2_size || !l3_size ||
-      !core_ops || !smt_ops || !l1_bw || !l2_bw || !l3_port || !l3_agg || !dram ||
-      !link) {
-    return std::nullopt;
+  const StatusOr<std::string> name = doc->GetString("machine");
+  const StatusOr<int> sockets = doc->GetInt("sockets");
+  const StatusOr<int> cores = doc->GetInt("cores_per_socket");
+  const StatusOr<int> smt = doc->GetInt("threads_per_core");
+  const StatusOr<double> l1_size = doc->GetDouble("l1_size");
+  const StatusOr<double> l2_size = doc->GetDouble("l2_size");
+  const StatusOr<double> l3_size = doc->GetDouble("l3_size");
+  const StatusOr<double> core_ops = doc->GetDouble("core_ops");
+  const StatusOr<double> smt_ops = doc->GetDouble("smt_combined_ops");
+  const StatusOr<double> l1_bw = doc->GetDouble("l1_bw");
+  const StatusOr<double> l2_bw = doc->GetDouble("l2_bw");
+  const StatusOr<double> l3_port = doc->GetDouble("l3_port_bw");
+  const StatusOr<double> l3_agg = doc->GetDouble("l3_agg_bw");
+  const StatusOr<double> dram = doc->GetDouble("dram_bw");
+  const StatusOr<double> link = doc->GetDouble("link_bw");
+  for (const Status* status :
+       {&name.status(), &sockets.status(), &cores.status(), &smt.status(),
+        &l1_size.status(), &l2_size.status(), &l3_size.status(), &core_ops.status(),
+        &smt_ops.status(), &l1_bw.status(), &l2_bw.status(), &l3_port.status(),
+        &l3_agg.status(), &dram.status(), &link.status()}) {
+    if (!status->ok()) {
+      return *status;
+    }
   }
   desc.topo = MachineTopology{.name = *name,
                               .num_sockets = *sockets,
@@ -177,13 +175,6 @@ std::optional<MachineDescription> MachineDescriptionFromText(const std::string& 
                               .l1_size = *l1_size,
                               .l2_size = *l2_size,
                               .l3_size = *l3_size};
-  if (desc.topo.num_sockets <= 0 || desc.topo.cores_per_socket <= 0 ||
-      desc.topo.threads_per_core <= 0) {
-    if (error != nullptr) {
-      *error = "non-positive topology dimensions";
-    }
-    return std::nullopt;
-  }
   desc.core_ops = *core_ops;
   desc.smt_combined_ops = *smt_ops;
   desc.l1_bw = *l1_bw;
@@ -192,6 +183,7 @@ std::optional<MachineDescription> MachineDescriptionFromText(const std::string& 
   desc.l3_agg_bw = *l3_agg;
   desc.dram_bw = *dram;
   desc.link_bw = *link;
+  PANDIA_RETURN_IF_ERROR(desc.Validate());
   return desc;
 }
 
@@ -223,44 +215,45 @@ std::string WorkloadDescriptionToText(const WorkloadDescription& desc) {
   return out;
 }
 
-std::optional<WorkloadDescription> WorkloadDescriptionFromText(const std::string& text,
-                                                               std::string* error) {
-  const std::optional<Document> doc = Document::Parse(text, kWorkloadMagic, error);
-  if (!doc.has_value()) {
-    return std::nullopt;
+StatusOr<WorkloadDescription> WorkloadDescriptionFromText(const std::string& text) {
+  StatusOr<Document> doc = Document::Parse(text, kWorkloadMagic);
+  if (!doc.ok()) {
+    return doc.status();
   }
   WorkloadDescription desc;
-  const std::optional<std::string> workload = doc->GetString("workload", error);
-  const std::optional<std::string> machine = doc->GetString("machine", error);
-  const std::optional<double> t1 = doc->GetDouble("t1", error);
-  const std::optional<double> instr = doc->GetDouble("instr_rate", error);
-  const std::optional<double> l1 = doc->GetDouble("l1_bw", error);
-  const std::optional<double> l2 = doc->GetDouble("l2_bw", error);
-  const std::optional<double> l3 = doc->GetDouble("l3_bw", error);
-  const std::optional<double> dram_local = doc->GetDouble("dram_local_bw", error);
-  const std::optional<double> dram_remote = doc->GetDouble("dram_remote_bw", error);
-  const std::optional<double> p = doc->GetDouble("parallel_fraction", error);
-  const std::optional<double> os = doc->GetDouble("inter_socket_overhead", error);
-  const std::optional<double> l = doc->GetDouble("load_balance", error);
-  const std::optional<double> b = doc->GetDouble("burstiness", error);
-  const std::optional<std::string> policy_name = doc->GetString("memory_policy", error);
-  const std::optional<int> profile_threads = doc->GetInt("profile_threads", error);
-  const std::optional<double> r2 = doc->GetDouble("r2", error);
-  const std::optional<double> r3 = doc->GetDouble("r3", error);
-  const std::optional<double> r4 = doc->GetDouble("r4", error);
-  const std::optional<double> r5 = doc->GetDouble("r5", error);
-  const std::optional<double> r6 = doc->GetDouble("r6", error);
-  if (!workload || !machine || !t1 || !instr || !l1 || !l2 || !l3 || !dram_local ||
-      !dram_remote || !p || !os || !l || !b || !policy_name || !profile_threads ||
-      !r2 || !r3 || !r4 || !r5 || !r6) {
-    return std::nullopt;
-  }
-  const std::optional<MemoryPolicy> policy = PolicyFromName(*policy_name);
-  if (!policy.has_value()) {
-    if (error != nullptr) {
-      *error = StrFormat("unknown memory policy '%s'", policy_name->c_str());
+  const StatusOr<std::string> workload = doc->GetString("workload");
+  const StatusOr<std::string> machine = doc->GetString("machine");
+  const StatusOr<double> t1 = doc->GetDouble("t1");
+  const StatusOr<double> instr = doc->GetDouble("instr_rate");
+  const StatusOr<double> l1 = doc->GetDouble("l1_bw");
+  const StatusOr<double> l2 = doc->GetDouble("l2_bw");
+  const StatusOr<double> l3 = doc->GetDouble("l3_bw");
+  const StatusOr<double> dram_local = doc->GetDouble("dram_local_bw");
+  const StatusOr<double> dram_remote = doc->GetDouble("dram_remote_bw");
+  const StatusOr<double> p = doc->GetDouble("parallel_fraction");
+  const StatusOr<double> os = doc->GetDouble("inter_socket_overhead");
+  const StatusOr<double> l = doc->GetDouble("load_balance");
+  const StatusOr<double> b = doc->GetDouble("burstiness");
+  const StatusOr<std::string> policy_name = doc->GetString("memory_policy");
+  const StatusOr<int> profile_threads = doc->GetInt("profile_threads");
+  const StatusOr<double> r2 = doc->GetDouble("r2");
+  const StatusOr<double> r3 = doc->GetDouble("r3");
+  const StatusOr<double> r4 = doc->GetDouble("r4");
+  const StatusOr<double> r5 = doc->GetDouble("r5");
+  const StatusOr<double> r6 = doc->GetDouble("r6");
+  for (const Status* status :
+       {&workload.status(), &machine.status(), &t1.status(), &instr.status(),
+        &l1.status(), &l2.status(), &l3.status(), &dram_local.status(),
+        &dram_remote.status(), &p.status(), &os.status(), &l.status(), &b.status(),
+        &policy_name.status(), &profile_threads.status(), &r2.status(), &r3.status(),
+        &r4.status(), &r5.status(), &r6.status()}) {
+    if (!status->ok()) {
+      return *status;
     }
-    return std::nullopt;
+  }
+  StatusOr<MemoryPolicy> policy = PolicyFromName(*policy_name);
+  if (!policy.ok()) {
+    return policy.status();
   }
   desc.workload = *workload;
   desc.machine = *machine;
@@ -277,23 +270,30 @@ std::optional<WorkloadDescription> WorkloadDescriptionFromText(const std::string
   desc.r4 = *r4;
   desc.r5 = *r5;
   desc.r6 = *r6;
+  PANDIA_RETURN_IF_ERROR(desc.Validate());
   return desc;
 }
 
-bool WriteTextFile(const std::string& path, const std::string& content) {
+Status WriteTextFile(const std::string& path, const std::string& content) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
-    return false;
+    return Status::NotFound(
+        StrFormat("cannot open '%s' for writing: %s", path.c_str(),
+                  std::strerror(errno)));
   }
   const size_t written = std::fwrite(content.data(), 1, content.size(), file);
-  const bool ok = std::fclose(file) == 0 && written == content.size();
-  return ok;
+  const bool closed = std::fclose(file) == 0;
+  if (!closed || written != content.size()) {
+    return Status::DataLoss(StrFormat("short write to '%s'", path.c_str()));
+  }
+  return Status::Ok();
 }
 
-std::optional<std::string> ReadTextFile(const std::string& path) {
+StatusOr<std::string> ReadTextFile(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "r");
   if (file == nullptr) {
-    return std::nullopt;
+    return Status::NotFound(StrFormat("cannot open '%s' for reading: %s",
+                                      path.c_str(), std::strerror(errno)));
   }
   std::string content;
   char buffer[4096];
@@ -304,7 +304,7 @@ std::optional<std::string> ReadTextFile(const std::string& path) {
   const bool ok = std::ferror(file) == 0;
   std::fclose(file);
   if (!ok) {
-    return std::nullopt;
+    return Status::DataLoss(StrFormat("read error on '%s'", path.c_str()));
   }
   return content;
 }

@@ -5,29 +5,32 @@
 // stored and shipped (the portability study of §6.1 moves workload
 // descriptions between machines). The format is a line-based `key = value`
 // text with '#' comments, stable across versions via a leading magic line.
+//
+// Parsing is strict and never aborts: malformed input (wrong magic, missing
+// or duplicate keys, non-numeric values) and implausible field values
+// (NaN/Inf capacities, out-of-range model parameters — enforced via the
+// descriptions' Validate() methods) surface as a Status naming the
+// offending key.
 #ifndef PANDIA_SRC_SERIALIZE_SERIALIZE_H_
 #define PANDIA_SRC_SERIALIZE_SERIALIZE_H_
 
-#include <optional>
 #include <string>
 
 #include "src/machine_desc/machine_description.h"
+#include "src/util/status.h"
 #include "src/workload_desc/description.h"
 
 namespace pandia {
 
 std::string MachineDescriptionToText(const MachineDescription& desc);
-std::optional<MachineDescription> MachineDescriptionFromText(const std::string& text,
-                                                             std::string* error = nullptr);
+StatusOr<MachineDescription> MachineDescriptionFromText(const std::string& text);
 
 std::string WorkloadDescriptionToText(const WorkloadDescription& desc);
-std::optional<WorkloadDescription> WorkloadDescriptionFromText(
-    const std::string& text, std::string* error = nullptr);
+StatusOr<WorkloadDescription> WorkloadDescriptionFromText(const std::string& text);
 
-// Whole-file convenience wrappers. Write returns false on I/O failure; Read
-// returns nullopt on I/O or parse failure.
-bool WriteTextFile(const std::string& path, const std::string& content);
-std::optional<std::string> ReadTextFile(const std::string& path);
+// Whole-file convenience wrappers; errors carry the path.
+Status WriteTextFile(const std::string& path, const std::string& content);
+StatusOr<std::string> ReadTextFile(const std::string& path);
 
 }  // namespace pandia
 

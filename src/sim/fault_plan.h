@@ -1,0 +1,64 @@
+// Seeded, deterministic fault injection for simulated runs.
+//
+// Real measurement pipelines are noisy: run times jitter with interrupts and
+// frequency transitions, individual performance counters drop samples or
+// return garbage, and whole benchmark runs crash or get evicted. A FaultPlan
+// makes the simulator reproduce those failure modes on demand so the robust
+// profiling layer (src/workload_desc) can be tested against them.
+//
+// Every perturbation is a pure function of (plan seed, caller nonce, run
+// configuration), so a faulted run is exactly reproducible and independent
+// of the order runs execute in. All faults are off by default: a
+// default-constructed plan leaves Machine::Run byte-identical to a build
+// without this header.
+#ifndef PANDIA_SRC_SIM_FAULT_PLAN_H_
+#define PANDIA_SRC_SIM_FAULT_PLAN_H_
+
+#include <cstdint>
+
+namespace pandia {
+namespace sim {
+
+struct FaultPlan {
+  bool enabled = false;
+  uint64_t seed = 1;
+
+  // Extra multiplicative jitter on the measured wall time, applied on top of
+  // the machine's intrinsic deterministic jitter: time scales by
+  // 1 + U where U is triangular in [-time_jitter, +time_jitter].
+  double time_jitter = 0.0;
+
+  // Probability that each individual resource-consumption counter value is
+  // dropped (reads zero, as a perf counter that lost its slot does).
+  double counter_dropout = 0.0;
+
+  // Probability that each counter value is corrupted instead: scaled by a
+  // factor in [0.25, 1.75] (sampling error, multiplexing misattribution).
+  double counter_corrupt = 0.0;
+
+  // Probability that the whole run fails (crashed or evicted benchmark).
+  // Failed runs return RunResult::failed == true; consumers must retry.
+  double run_failure = 0.0;
+
+  // The documented default fault model used by tests and the CI smoke run:
+  // 3% time jitter, 5% counter dropout, 1-in-20 run failure.
+  static FaultPlan Defaults(uint64_t seed) {
+    FaultPlan plan;
+    plan.enabled = true;
+    plan.seed = seed;
+    plan.time_jitter = 0.03;
+    plan.counter_dropout = 0.05;
+    plan.run_failure = 0.05;
+    return plan;
+  }
+
+  bool active() const {
+    return enabled && (time_jitter > 0.0 || counter_dropout > 0.0 ||
+                       counter_corrupt > 0.0 || run_failure > 0.0);
+  }
+};
+
+}  // namespace sim
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_SIM_FAULT_PLAN_H_

@@ -605,18 +605,91 @@ RunResult Engine::Execute() {
   return result;
 }
 
+// Deterministic run key shared by the intrinsic measurement jitter and the
+// fault plan: a pure function of the run configuration plus the caller's
+// nonce, so faults are reproducible and order-independent.
+uint64_t RunKey(uint64_t seed, const MachineSpec& spec,
+                std::span<const JobRequest> jobs, uint64_t nonce) {
+  uint64_t key = HashCombine(seed, nonce);
+  key = HashCombine(key, std::hash<std::string>{}(spec.topo.name));
+  for (const JobRequest& job : jobs) {
+    key = HashCombine(key, std::hash<std::string>{}(job.spec->name));
+    for (uint8_t count : job.placement.PerCore()) {
+      key = HashCombine(key, count);
+    }
+  }
+  return key;
+}
+
+// Applies the fault plan to a completed run. Draw order is fixed (failure,
+// time, then counters job-major) so each knob perturbs independently of the
+// others' settings only through the shared stream position.
+void ApplyFaults(const FaultPlan& plan, const MachineSpec& spec,
+                 std::span<const JobRequest> jobs, uint64_t nonce,
+                 RunResult& result) {
+  static obs::Counter& failed_runs =
+      obs::MetricsRegistry::Global().counter("sim.fault.failed_runs");
+  static obs::Counter& jittered_runs =
+      obs::MetricsRegistry::Global().counter("sim.fault.jittered_runs");
+  static obs::Counter& dropped_counters =
+      obs::MetricsRegistry::Global().counter("sim.fault.dropped_counters");
+  static obs::Counter& corrupted_counters =
+      obs::MetricsRegistry::Global().counter("sim.fault.corrupted_counters");
+
+  Rng rng(RunKey(plan.seed, spec, jobs, nonce));
+  if (plan.run_failure > 0.0 && rng.NextDouble() < plan.run_failure) {
+    result.failed = true;
+    result.failure_reason = "injected run failure (crashed/evicted benchmark)";
+    failed_runs.Increment();
+    return;
+  }
+  if (plan.time_jitter > 0.0) {
+    const double scale = 1.0 + rng.NextJitter(plan.time_jitter);
+    result.wall_time *= scale;
+    for (JobResult& job : result.jobs) {
+      job.completion_time *= scale;
+      for (ThreadResult& thread : job.threads) {
+        thread.busy_time *= scale;
+      }
+    }
+    jittered_runs.Increment();
+  }
+  if (plan.counter_dropout > 0.0 || plan.counter_corrupt > 0.0) {
+    for (JobResult& job : result.jobs) {
+      for (double& value : job.resource_consumption) {
+        const double draw = rng.NextDouble();
+        if (draw < plan.counter_dropout) {
+          if (value != 0.0) {
+            dropped_counters.Increment();
+          }
+          value = 0.0;
+        } else if (draw < plan.counter_dropout + plan.counter_corrupt) {
+          if (value != 0.0) {
+            corrupted_counters.Increment();
+          }
+          value *= 1.0 + rng.NextJitter(0.75);
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 Machine::Machine(MachineSpec spec) : spec_(std::move(spec)), index_(spec_.topo) {}
 
-RunResult Machine::Run(std::span<const JobRequest> jobs) const {
+RunResult Machine::Run(std::span<const JobRequest> jobs, uint64_t fault_nonce) const {
   const obs::TraceSpan span("sim.run", static_cast<int64_t>(jobs.size()));
   static obs::Counter& runs = obs::MetricsRegistry::Global().counter("sim.runs");
   static obs::Counter& jobs_run = obs::MetricsRegistry::Global().counter("sim.jobs");
   runs.Increment();
   jobs_run.Increment(jobs.size());
   Engine engine(spec_, index_, jobs);
-  return engine.Execute();
+  RunResult result = engine.Execute();
+  if (fault_plan_.active()) {
+    ApplyFaults(fault_plan_, spec_, jobs, fault_nonce, result);
+  }
+  return result;
 }
 
 RunResult Machine::RunOne(const WorkloadSpec& workload, const Placement& placement) const {

@@ -19,8 +19,10 @@
 #define PANDIA_SRC_SIM_MACHINE_H_
 
 #include <span>
+#include <string>
 #include <vector>
 
+#include "src/sim/fault_plan.h"
 #include "src/sim/machine_spec.h"
 #include "src/topology/resource_index.h"
 #include "src/sim/workload_spec.h"
@@ -59,6 +61,11 @@ struct RunResult {
   // Frequency multiplier each socket ran at (fixed per run: placed threads
   // keep their cores awake, so the turbo bin is a function of placement).
   std::vector<double> socket_frequency;
+  // Fault injection (src/sim/fault_plan.h): true when the run was made to
+  // fail (crashed/evicted benchmark). A failed run's times and counters are
+  // meaningless; robust consumers retry with a fresh nonce.
+  bool failed = false;
+  std::string failure_reason;
 };
 
 class Machine {
@@ -73,15 +80,24 @@ class Machine {
   const MachineSpec& spec() const { return spec_; }
 
   // Executes the given jobs. Exactly one job must be foreground; every
-  // placement must belong to this machine's topology.
-  RunResult Run(std::span<const JobRequest> jobs) const;
+  // placement must belong to this machine's topology. `fault_nonce`
+  // distinguishes otherwise-identical runs (profiling trials, retry
+  // attempts) under an active fault plan; with faults off it is ignored, so
+  // existing callers are byte-identical to the pre-fault-injection build.
+  RunResult Run(std::span<const JobRequest> jobs, uint64_t fault_nonce = 0) const;
 
   // Convenience wrapper for a solo foreground run.
   RunResult RunOne(const WorkloadSpec& spec, const Placement& placement) const;
 
+  // Fault injection. The plan applies to every subsequent Run; configure it
+  // before sharing the machine across threads (Run only reads it).
+  void set_fault_plan(const FaultPlan& plan) { fault_plan_ = plan; }
+  const FaultPlan& fault_plan() const { return fault_plan_; }
+
  private:
   MachineSpec spec_;
   ResourceIndex index_;
+  FaultPlan fault_plan_;
 };
 
 }  // namespace sim

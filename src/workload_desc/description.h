@@ -8,11 +8,58 @@
 #ifndef PANDIA_SRC_WORKLOAD_DESC_DESCRIPTION_H_
 #define PANDIA_SRC_WORKLOAD_DESC_DESCRIPTION_H_
 
+#include <array>
+#include <cmath>
 #include <string>
+#include <vector>
 
 #include "src/topology/memory_policy.h"
+#include "src/util/status.h"
+#include "src/util/strings.h"
 
 namespace pandia {
+
+// Quality report for one of the six profiling runs (src/workload_desc/
+// profiler.h) under multi-trial robust profiling.
+struct ProfileRunQuality {
+  int trials = 0;             // successful trials aggregated
+  int retries = 0;            // extra attempts consumed by injected/real run failures
+  int outliers_rejected = 0;  // trials discarded by the MAD outlier filter
+  double rel_spread = 0.0;    // MAD of trial times relative to their median
+};
+
+// Per-description profiling quality: how trustworthy each measured run and
+// each derived parameter is. Attached to WorkloadDescription by the
+// profiler; intentionally NOT serialized (it describes one profiling
+// session, not the workload), so stored descriptions are byte-identical to
+// single-trial output.
+struct ProfileQuality {
+  std::array<ProfileRunQuality, 6> runs;  // §4 runs 1..6 at index run-1
+  int counters_imputed = 0;  // dropped counter readings replaced from other trials
+  // Human-readable records of every clamp, imputation, and unidentifiable
+  // parameter encountered while deriving the description.
+  std::vector<std::string> diagnostics;
+
+  int total_retries() const {
+    int total = 0;
+    for (const ProfileRunQuality& run : runs) {
+      total += run.retries;
+    }
+    return total;
+  }
+  // True when any measurement was repaired or any derived parameter clamped.
+  bool degraded() const {
+    if (counters_imputed > 0 || !diagnostics.empty()) {
+      return true;
+    }
+    for (const ProfileRunQuality& run : runs) {
+      if (run.retries > 0 || run.outliers_rejected > 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
 
 // Step 1: single-thread resource demand rates (measured over t1).
 struct ResourceDemandVector {
@@ -44,6 +91,54 @@ struct WorkloadDescription {
   // count of run 2 and the raw relative times of the six runs.
   int profile_threads = 0;
   double r2 = 0.0, r3 = 0.0, r4 = 0.0, r5 = 0.0, r6 = 0.0;
+
+  // Robust-profiling session report (not serialized; see ProfileQuality).
+  ProfileQuality quality;
+
+  // Plausibility check for descriptions arriving from outside the process
+  // (stored files, user edits, foreign machines): t1 finite and positive,
+  // demand rates finite and non-negative, derived parameters in their model
+  // ranges. The message names the offending field. A description from
+  // WorkloadProfiler::Profile always validates.
+  Status Validate() const {
+    if (!std::isfinite(t1) || t1 <= 0.0) {
+      return Status::InvalidArgument(StrFormat(
+          "workload description field 't1' must be finite and positive, got %g", t1));
+    }
+    const struct {
+      const char* name;
+      double value;
+    } rates[] = {{"instr_rate", demands.instr_rate}, {"l1_bw", demands.l1_bw},
+                 {"l2_bw", demands.l2_bw},           {"l3_bw", demands.l3_bw},
+                 {"dram_local_bw", demands.dram_local_bw},
+                 {"dram_remote_bw", demands.dram_remote_bw},
+                 {"inter_socket_overhead", inter_socket_overhead},
+                 {"burstiness", burstiness}};
+    for (const auto& rate : rates) {
+      if (!std::isfinite(rate.value) || rate.value < 0.0) {
+        return Status::InvalidArgument(StrFormat(
+            "workload description field '%s' must be finite and non-negative, got %g",
+            rate.name, rate.value));
+      }
+    }
+    if (!(parallel_fraction >= 0.0 && parallel_fraction <= 1.0)) {
+      return Status::InvalidArgument(StrFormat(
+          "workload description field 'parallel_fraction' must be in [0, 1], got %g",
+          parallel_fraction));
+    }
+    if (!(load_balance >= 0.0 && load_balance <= 1.0)) {
+      return Status::InvalidArgument(StrFormat(
+          "workload description field 'load_balance' must be in [0, 1], got %g",
+          load_balance));
+    }
+    if (profile_threads < 0) {
+      return Status::InvalidArgument(
+          StrFormat("workload description field 'profile_threads' must be "
+                    "non-negative, got %d",
+                    profile_threads));
+    }
+    return Status::Ok();
+  }
 };
 
 }  // namespace pandia

@@ -18,6 +18,16 @@
 // k_x that the partial Pandia model already predicts, so each step measures
 // only its own new effect (§4.1).
 //
+// Robust profiling: real measurements are noisy, so each of the six runs
+// can be repeated `ProfileOptions::trials` times. Failed runs (crashed or
+// evicted benchmarks, injected via sim::FaultPlan) are retried with a
+// bounded attempt budget under deterministic reseeding; trial times pass a
+// MAD outlier filter and aggregate by median; counter readings dropped in
+// some trials are imputed from the surviving ones. Every repair and every
+// clamped derived parameter is recorded in the description's ProfileQuality
+// report. With one trial and no faults the output is byte-identical to the
+// single-observation profiler.
+//
 // The profiler sees the workload as an opaque handle: it reads only run
 // times and the counter facade, plus the memory policy (run configuration).
 #ifndef PANDIA_SRC_WORKLOAD_DESC_PROFILER_H_
@@ -25,15 +35,33 @@
 
 #include "src/machine_desc/machine_description.h"
 #include "src/sim/machine.h"
+#include "src/util/status.h"
 #include "src/workload_desc/description.h"
 
 namespace pandia {
+
+struct ProfileOptions {
+  // Trials per profiling run; the aggregate is the median of surviving
+  // trials. 1 reproduces the historical single-observation behaviour.
+  int trials = 1;
+  // Attempt budget per trial: a failed run is retried with a fresh
+  // deterministic nonce up to this many times before the trial is dropped.
+  int max_attempts = 5;
+};
 
 class WorkloadProfiler {
  public:
   WorkloadProfiler(const sim::Machine& machine, MachineDescription description);
 
+  // Single-observation profiling (trials = 1). The clean path cannot fail;
+  // under an active fault plan prefer ProfileRobust, which reports errors
+  // instead of aborting.
   WorkloadDescription Profile(const sim::WorkloadSpec& workload) const;
+
+  // Multi-trial robust profiling. Fails (without aborting) when a profiling
+  // run lost every trial to run failures or produced no usable time.
+  StatusOr<WorkloadDescription> ProfileRobust(const sim::WorkloadSpec& workload,
+                                              const ProfileOptions& options) const;
 
   // The run-2 thread count chosen for a workload with the given measured
   // demand vector: the largest even number of single-socket one-per-core
@@ -41,11 +69,19 @@ class WorkloadProfiler {
   int ChooseProfileThreads(const WorkloadDescription& partial) const;
 
  private:
-  // Executes the workload (plus optional co-runner) with idle cores filled;
-  // returns the foreground completion time.
-  double TimedRun(const sim::WorkloadSpec& workload, const Placement& placement,
-                  const sim::WorkloadSpec* corunner,
-                  const Placement* corunner_placement) const;
+  struct TimedSample;
+
+  // Executes the workload (plus optional co-runner) with idle cores filled,
+  // `options.trials` times with retry-on-failure; aggregates foreground
+  // completion time (and, when `want_counters`, per-resource consumption
+  // rates) and records quality into `quality.runs[run_index - 1]`.
+  StatusOr<TimedSample> RobustTimedRun(int run_index, const sim::WorkloadSpec& workload,
+                                       const Placement& placement,
+                                       const sim::WorkloadSpec* corunner,
+                                       const Placement* corunner_placement,
+                                       bool want_counters,
+                                       const ProfileOptions& options,
+                                       ProfileQuality& quality) const;
 
   const sim::Machine* machine_;
   MachineDescription description_;

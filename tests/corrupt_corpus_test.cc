@@ -1,0 +1,94 @@
+// Malformed-input corpus: every .txt file under tests/data/corrupt is a
+// deliberately broken description. Feeding one to either parser must yield a
+// clean non-OK Status with an actionable message — never an abort or a crash.
+// The suite runs under ASan/TSan/UBSan in CI, so memory errors on the error
+// paths are caught here too.
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/serialize/serialize.h"
+
+#ifndef PANDIA_TEST_DATA_DIR
+#error "PANDIA_TEST_DATA_DIR must be defined by the build"
+#endif
+
+namespace pandia {
+namespace {
+
+std::vector<std::filesystem::path> CorpusFiles() {
+  const std::filesystem::path dir =
+      std::filesystem::path(PANDIA_TEST_DATA_DIR) / "corrupt";
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".txt") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(CorruptCorpus, DirectoryIsPopulated) {
+  // Guard against a build that points PANDIA_TEST_DATA_DIR somewhere stale:
+  // an empty corpus would make the sweep below pass vacuously.
+  EXPECT_GE(CorpusFiles().size(), 10u);
+}
+
+TEST(CorruptCorpus, EveryFileYieldsCleanErrorFromBothParsers) {
+  for (const std::filesystem::path& path : CorpusFiles()) {
+    SCOPED_TRACE(path.filename().string());
+    const StatusOr<std::string> text = ReadTextFile(path.string());
+    ASSERT_TRUE(text.ok()) << text.status().ToString();
+
+    const StatusOr<MachineDescription> machine = MachineDescriptionFromText(*text);
+    EXPECT_FALSE(machine.ok());
+    EXPECT_FALSE(machine.status().message().empty());
+
+    const StatusOr<WorkloadDescription> workload =
+        WorkloadDescriptionFromText(*text);
+    EXPECT_FALSE(workload.ok());
+    EXPECT_FALSE(workload.status().message().empty());
+  }
+}
+
+// The corpus defects are distinguishable: spot-check that representative
+// files produce the right code and name the offending key, so a user can fix
+// the file from the message alone.
+TEST(CorruptCorpus, MessagesNameTheDefect) {
+  const std::filesystem::path dir =
+      std::filesystem::path(PANDIA_TEST_DATA_DIR) / "corrupt";
+  struct Case {
+    const char* file;
+    bool machine_parser;
+    StatusCode code;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {"empty.txt", true, StatusCode::kDataLoss, "magic"},
+      {"machine_non_numeric.txt", true, StatusCode::kInvalidArgument, "core_ops"},
+      {"machine_nan_capacity.txt", true, StatusCode::kInvalidArgument, "dram_bw"},
+      {"machine_huge_topology.txt", true, StatusCode::kInvalidArgument, "sockets"},
+      {"workload_duplicate_key.txt", false, StatusCode::kInvalidArgument, "t1"},
+      {"workload_bad_policy.txt", false, StatusCode::kInvalidArgument, "quantum"},
+      {"workload_out_of_range.txt", false, StatusCode::kInvalidArgument,
+       "parallel_fraction"},
+      {"workload_missing_key.txt", false, StatusCode::kDataLoss, "burstiness"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.file);
+    const StatusOr<std::string> text = ReadTextFile((dir / c.file).string());
+    ASSERT_TRUE(text.ok()) << text.status().ToString();
+    const Status status = c.machine_parser
+                              ? MachineDescriptionFromText(*text).status()
+                              : WorkloadDescriptionFromText(*text).status();
+    EXPECT_EQ(status.code(), c.code) << status.ToString();
+    EXPECT_NE(status.message().find(c.needle), std::string::npos)
+        << status.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace pandia

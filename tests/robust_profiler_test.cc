@@ -1,0 +1,310 @@
+// Noise-resilience tests for the robust profiler (ISSUE: robustness PR).
+//
+// The acceptance property: under the documented fault mix (3% time jitter,
+// 5% counter dropout, 1-in-20 run failure), five-trial profiling reproduces
+// every model parameter within 10% of the noise-free description, while
+// single-trial profiling demonstrably does not. Faults are seeded and
+// deterministic, so these tests are exact repeats — no flakiness budget.
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/machine_desc/generator.h"
+#include "src/sim/fault_plan.h"
+#include "src/sim/machine.h"
+#include "src/sim/machine_spec.h"
+#include "src/workload_desc/profiler.h"
+#include "src/workloads/workloads.h"
+
+namespace pandia {
+namespace {
+
+// Seed for the single-trial miss demonstration, found by scanning: with one
+// trial this seed's fault draws push at least one parameter past the 10%
+// bound. Deterministic, so the demonstration is an exact repeat.
+constexpr uint64_t kSingleTrialMissSeed = 6;
+
+// Noise-free machine: all measurement noise comes from the fault plan, so
+// the noise-free baseline is exact and tolerances are attributable.
+sim::Machine QuietMachine() {
+  sim::MachineSpec spec = sim::MakeX3_2();
+  spec.noise_magnitude = 0.0;
+  return sim::Machine{spec};
+}
+
+const MachineDescription& QuietDesc() {
+  static const MachineDescription desc = GenerateMachineDescription(QuietMachine());
+  return desc;
+}
+
+// A workload exercising every counter and all four derived parameters.
+sim::WorkloadSpec RichSpec() {
+  sim::WorkloadSpec spec;
+  spec.name = "robust-probe";
+  spec.total_work = 500.0;
+  spec.parallel_fraction = 0.97;
+  spec.balance = sim::BalanceMode::kStatic;
+  spec.single_thread_ipc = 0.8;
+  spec.ops_per_work = 1.0;
+  spec.l1_bpw = 8.0;
+  spec.l2_bpw = 2.0;
+  spec.l3_bpw = 0.5;
+  spec.dram_bpw = 0.1;
+  spec.memory_policy = MemoryPolicy::kLocal;
+  return spec;
+}
+
+// Every scalar the profiler derives, labelled for failure messages.
+std::vector<std::pair<std::string, double>> Parameters(const WorkloadDescription& d) {
+  return {{"t1", d.t1},
+          {"instr_rate", d.demands.instr_rate},
+          {"l1_bw", d.demands.l1_bw},
+          {"l2_bw", d.demands.l2_bw},
+          {"l3_bw", d.demands.l3_bw},
+          {"dram_local_bw", d.demands.dram_local_bw},
+          {"dram_remote_bw", d.demands.dram_remote_bw},
+          {"parallel_fraction", d.parallel_fraction},
+          {"inter_socket_overhead", d.inter_socket_overhead},
+          {"load_balance", d.load_balance},
+          {"burstiness", d.burstiness}};
+}
+
+// Relative error with a small absolute floor so parameters that are
+// legitimately ~0 (remote bandwidth on a local-policy workload) don't turn
+// a tiny absolute wobble into a huge relative one.
+double RelativeError(double baseline, double value) {
+  return std::fabs(value - baseline) / std::max(std::fabs(baseline), 0.05);
+}
+
+WorkloadDescription NoiseFreeBaseline() {
+  // The profiler keeps a pointer to the machine: it must outlive the call.
+  const sim::Machine machine = QuietMachine();
+  const WorkloadProfiler profiler(machine, QuietDesc());
+  return profiler.Profile(RichSpec());
+}
+
+StatusOr<WorkloadDescription> ProfileFaulted(uint64_t fault_seed, int trials) {
+  sim::Machine machine = QuietMachine();
+  machine.set_fault_plan(sim::FaultPlan::Defaults(fault_seed));
+  const WorkloadProfiler profiler(machine, QuietDesc());
+  ProfileOptions options;
+  options.trials = trials;
+  return profiler.ProfileRobust(RichSpec(), options);
+}
+
+TEST(RobustProfiler, FiveTrialsWithinTenPercentUnderFaults) {
+  const WorkloadDescription baseline = NoiseFreeBaseline();
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    SCOPED_TRACE("fault seed " + std::to_string(seed));
+    const StatusOr<WorkloadDescription> robust = ProfileFaulted(seed, /*trials=*/5);
+    ASSERT_TRUE(robust.ok()) << robust.status().ToString();
+    const auto base = Parameters(baseline);
+    const auto got = Parameters(*robust);
+    for (size_t i = 0; i < base.size(); ++i) {
+      EXPECT_LE(RelativeError(base[i].second, got[i].second), 0.10)
+          << base[i].first << ": baseline " << base[i].second << " vs "
+          << got[i].second;
+    }
+  }
+}
+
+TEST(RobustProfiler, FiveTrialsWithinTenPercentOnStockWorkload) {
+  // The acceptance property on a stock evaluation workload and the stock
+  // (intrinsically noisy) x3-2: five-trial profiling under the default fault
+  // mix stays within 10% of the fault-free description on every parameter.
+  const sim::Machine clean{sim::MakeX3_2()};
+  const MachineDescription desc = GenerateMachineDescription(clean);
+  const sim::WorkloadSpec workload = workloads::ByName("MD");
+  const WorkloadProfiler baseline_profiler(clean, desc);
+  const WorkloadDescription baseline = baseline_profiler.Profile(workload);
+
+  sim::Machine faulted{sim::MakeX3_2()};
+  faulted.set_fault_plan(sim::FaultPlan::Defaults(1));
+  const WorkloadProfiler profiler(faulted, desc);
+  ProfileOptions options;
+  options.trials = 5;
+  const StatusOr<WorkloadDescription> robust = profiler.ProfileRobust(workload, options);
+  ASSERT_TRUE(robust.ok()) << robust.status().ToString();
+  const auto base = Parameters(baseline);
+  const auto got = Parameters(*robust);
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_LE(RelativeError(base[i].second, got[i].second), 0.10)
+        << base[i].first << ": baseline " << base[i].second << " vs "
+        << got[i].second;
+  }
+}
+
+TEST(RobustProfiler, SingleTrialMissesUnderFaults) {
+  // With one trial there is no aggregation: a single 3% jitter draw lands
+  // directly in t1, and a single dropped counter zeroes a demand entirely.
+  // At least one parameter must exceed the 10% bound for this seed (found
+  // by scanning; deterministic thereafter).
+  const WorkloadDescription baseline = NoiseFreeBaseline();
+  const StatusOr<WorkloadDescription> single =
+      ProfileFaulted(kSingleTrialMissSeed, /*trials=*/1);
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+  const auto base = Parameters(baseline);
+  const auto got = Parameters(*single);
+  double worst = 0.0;
+  for (size_t i = 0; i < base.size(); ++i) {
+    worst = std::max(worst, RelativeError(base[i].second, got[i].second));
+  }
+  EXPECT_GT(worst, 0.10);
+}
+
+TEST(RobustProfiler, RepeatedFaultedProfileIsDeterministic) {
+  const StatusOr<WorkloadDescription> a = ProfileFaulted(7, /*trials=*/3);
+  const StatusOr<WorkloadDescription> b = ProfileFaulted(7, /*trials=*/3);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const auto pa = Parameters(*a);
+  const auto pb = Parameters(*b);
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].second, pb[i].second) << pa[i].first;
+  }
+  EXPECT_EQ(a->quality.total_retries(), b->quality.total_retries());
+  EXPECT_EQ(a->quality.counters_imputed, b->quality.counters_imputed);
+}
+
+TEST(RobustProfiler, SingleTrialNoFaultsMatchesProfileExactly) {
+  // The historic single-observation path must be byte-identical when no
+  // fault plan is armed and trials = 1.
+  const sim::Machine machine = QuietMachine();
+  const WorkloadProfiler profiler(machine, QuietDesc());
+  const WorkloadDescription direct = profiler.Profile(RichSpec());
+  const StatusOr<WorkloadDescription> robust =
+      profiler.ProfileRobust(RichSpec(), ProfileOptions{});
+  ASSERT_TRUE(robust.ok());
+  const auto pd = Parameters(direct);
+  const auto pr = Parameters(*robust);
+  for (size_t i = 0; i < pd.size(); ++i) {
+    EXPECT_EQ(pd[i].second, pr[i].second) << pd[i].first;
+  }
+  EXPECT_FALSE(robust->quality.degraded());
+  EXPECT_EQ(robust->quality.total_retries(), 0);
+}
+
+TEST(RobustProfiler, RunFailuresAreRetriedAndCounted) {
+  sim::Machine machine = QuietMachine();
+  sim::FaultPlan plan;
+  plan.enabled = true;
+  plan.run_failure = 0.5;  // no jitter/dropout: surviving runs are exact
+  plan.seed = 11;
+  machine.set_fault_plan(plan);
+  const WorkloadProfiler profiler(machine, QuietDesc());
+  ProfileOptions options;
+  options.trials = 3;
+  options.max_attempts = 20;
+  const StatusOr<WorkloadDescription> robust =
+      profiler.ProfileRobust(RichSpec(), options);
+  ASSERT_TRUE(robust.ok()) << robust.status().ToString();
+  EXPECT_GT(robust->quality.total_retries(), 0);
+  // Run failures perturb nothing once retried: parameters are exact.
+  const WorkloadDescription baseline = NoiseFreeBaseline();
+  const auto base = Parameters(baseline);
+  const auto got = Parameters(*robust);
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(base[i].second, got[i].second) << base[i].first;
+  }
+}
+
+TEST(RobustProfiler, CounterDropoutIsImputedAndRecorded) {
+  sim::Machine machine = QuietMachine();
+  sim::FaultPlan plan;
+  plan.enabled = true;
+  plan.counter_dropout = 0.4;  // aggressive: some run-1 counter will drop
+  plan.seed = 5;
+  machine.set_fault_plan(plan);
+  const WorkloadProfiler profiler(machine, QuietDesc());
+  ProfileOptions options;
+  options.trials = 7;
+  const StatusOr<WorkloadDescription> robust =
+      profiler.ProfileRobust(RichSpec(), options);
+  ASSERT_TRUE(robust.ok()) << robust.status().ToString();
+  EXPECT_GT(robust->quality.counters_imputed, 0);
+  EXPECT_FALSE(robust->quality.diagnostics.empty());
+  EXPECT_TRUE(robust->quality.degraded());
+  // Imputation from surviving trials recovers the exact (noise-free) rates.
+  const WorkloadDescription baseline = NoiseFreeBaseline();
+  EXPECT_EQ(robust->demands.instr_rate, baseline.demands.instr_rate);
+  EXPECT_EQ(robust->demands.l1_bw, baseline.demands.l1_bw);
+}
+
+TEST(RobustProfiler, AllTrialsFailedReturnsUnavailable) {
+  sim::Machine machine = QuietMachine();
+  sim::FaultPlan plan;
+  plan.enabled = true;
+  plan.run_failure = 1.0;
+  machine.set_fault_plan(plan);
+  const WorkloadProfiler profiler(machine, QuietDesc());
+  ProfileOptions options;
+  options.trials = 2;
+  options.max_attempts = 3;
+  const StatusOr<WorkloadDescription> robust =
+      profiler.ProfileRobust(RichSpec(), options);
+  ASSERT_FALSE(robust.ok());
+  EXPECT_EQ(robust.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(robust.status().message().find("trials failed"), std::string::npos);
+}
+
+TEST(RobustProfiler, RejectsBadOptions) {
+  const sim::Machine machine = QuietMachine();
+  const WorkloadProfiler profiler(machine, QuietDesc());
+  ProfileOptions zero_trials;
+  zero_trials.trials = 0;
+  EXPECT_EQ(profiler.ProfileRobust(RichSpec(), zero_trials).status().code(),
+            StatusCode::kInvalidArgument);
+  ProfileOptions zero_attempts;
+  zero_attempts.max_attempts = 0;
+  EXPECT_EQ(profiler.ProfileRobust(RichSpec(), zero_attempts).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RobustProfiler, NoSmtMachineIsFailedPrecondition) {
+  MachineDescription desc = QuietDesc();
+  desc.topo.threads_per_core = 1;
+  const sim::Machine machine = QuietMachine();
+  const WorkloadProfiler profiler(machine, desc);
+  const StatusOr<WorkloadDescription> robust =
+      profiler.ProfileRobust(RichSpec(), ProfileOptions{});
+  ASSERT_FALSE(robust.ok());
+  EXPECT_EQ(robust.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(robust.status().message().find("threads_per_core"), std::string::npos);
+}
+
+// Fault draws are a pure function of (seed, nonce, run config): the same
+// nonce reproduces the same result, and nonce 0 with an inactive plan is
+// byte-identical to a plan-free machine.
+TEST(RobustProfiler, FaultDrawsAreDeterministicPerNonce) {
+  const sim::WorkloadSpec spec = RichSpec();
+  sim::Machine faulted = QuietMachine();
+  faulted.set_fault_plan(sim::FaultPlan::Defaults(9));
+
+  std::vector<sim::JobRequest> jobs;
+  jobs.push_back(sim::JobRequest{
+      .spec = &spec,
+      .placement = Placement::OnePerCore(QuietDesc().topo, 4)});
+
+  const sim::RunResult a = faulted.Run(jobs, /*fault_nonce=*/42);
+  const sim::RunResult b = faulted.Run(jobs, /*fault_nonce=*/42);
+  EXPECT_EQ(a.failed, b.failed);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].completion_time, b.jobs[i].completion_time);
+  }
+
+  sim::Machine clean = QuietMachine();
+  const sim::RunResult c = clean.Run(jobs);
+  sim::Machine inactive = QuietMachine();
+  inactive.set_fault_plan(sim::FaultPlan{});  // default: every fault off
+  const sim::RunResult d = inactive.Run(jobs);
+  EXPECT_FALSE(c.failed);
+  EXPECT_FALSE(d.failed);
+  EXPECT_EQ(c.jobs[0].completion_time, d.jobs[0].completion_time);
+}
+
+}  // namespace
+}  // namespace pandia

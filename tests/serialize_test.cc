@@ -42,10 +42,8 @@ WorkloadDescription SomeWorkload() {
 TEST(SerializeMachine, RoundTripsAllFields) {
   const MachineDescription original = SomeMachine();
   const std::string text = MachineDescriptionToText(original);
-  std::string error;
-  const std::optional<MachineDescription> parsed =
-      MachineDescriptionFromText(text, &error);
-  ASSERT_TRUE(parsed.has_value()) << error;
+  const StatusOr<MachineDescription> parsed = MachineDescriptionFromText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_EQ(parsed->topo.name, original.topo.name);
   EXPECT_EQ(parsed->topo.num_sockets, original.topo.num_sockets);
   EXPECT_EQ(parsed->topo.cores_per_socket, original.topo.cores_per_socket);
@@ -62,9 +60,11 @@ TEST(SerializeMachine, RoundTripsAllFields) {
 }
 
 TEST(SerializeMachine, RejectsWrongMagic) {
-  std::string error;
-  EXPECT_FALSE(MachineDescriptionFromText("bogus v9\ncore_ops = 1\n", &error));
-  EXPECT_NE(error.find("magic"), std::string::npos);
+  const StatusOr<MachineDescription> parsed =
+      MachineDescriptionFromText("bogus v9\ncore_ops = 1\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("magic"), std::string::npos);
 }
 
 TEST(SerializeMachine, RejectsMissingKey) {
@@ -76,9 +76,9 @@ TEST(SerializeMachine, RejectsMissingKey) {
       mutated += line + "\n";
     }
   }
-  std::string error;
-  EXPECT_FALSE(MachineDescriptionFromText(mutated, &error).has_value());
-  EXPECT_NE(error.find("dram_bw"), std::string::npos);
+  const StatusOr<MachineDescription> parsed = MachineDescriptionFromText(mutated);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("dram_bw"), std::string::npos);
 }
 
 TEST(SerializeMachine, RejectsNonNumericValue) {
@@ -91,14 +91,35 @@ TEST(SerializeMachine, RejectsNonNumericValue) {
   (void)line_end;
   text.erase(pos + std::string("core_ops = fast").size(),
              value_end - (pos + std::string("core_ops = fast").size()));
-  std::string error;
-  EXPECT_FALSE(MachineDescriptionFromText(text, &error).has_value());
+  const StatusOr<MachineDescription> parsed = MachineDescriptionFromText(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("core_ops"), std::string::npos);
+}
+
+TEST(SerializeMachine, RejectsDuplicateKey) {
+  std::string text = MachineDescriptionToText(SomeMachine());
+  text += "core_ops = 2\n";
+  const StatusOr<MachineDescription> parsed = MachineDescriptionFromText(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("duplicate"), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("core_ops"), std::string::npos);
+}
+
+TEST(SerializeMachine, RejectsImplausibleValueViaValidate) {
+  std::string text = MachineDescriptionToText(SomeMachine());
+  const size_t pos = text.find("dram_bw = ");
+  const size_t end = text.find('\n', pos);
+  text.replace(pos, end - pos, "dram_bw = -3");
+  const StatusOr<MachineDescription> parsed = MachineDescriptionFromText(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("dram_bw"), std::string::npos);
 }
 
 TEST(SerializeMachine, ToleratesCommentsAndBlankLines) {
   std::string text = MachineDescriptionToText(SomeMachine());
   text += "\n# trailing comment\n\n";
-  EXPECT_TRUE(MachineDescriptionFromText(text).has_value());
+  EXPECT_TRUE(MachineDescriptionFromText(text).ok());
 }
 
 // --- workload description round trip ---
@@ -106,10 +127,8 @@ TEST(SerializeMachine, ToleratesCommentsAndBlankLines) {
 TEST(SerializeWorkload, RoundTripsAllFields) {
   const WorkloadDescription original = SomeWorkload();
   const std::string text = WorkloadDescriptionToText(original);
-  std::string error;
-  const std::optional<WorkloadDescription> parsed =
-      WorkloadDescriptionFromText(text, &error);
-  ASSERT_TRUE(parsed.has_value()) << error;
+  const StatusOr<WorkloadDescription> parsed = WorkloadDescriptionFromText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_EQ(parsed->workload, original.workload);
   EXPECT_EQ(parsed->machine, original.machine);
   EXPECT_DOUBLE_EQ(parsed->t1, original.t1);
@@ -129,14 +148,35 @@ TEST(SerializeWorkload, RejectsUnknownPolicy) {
   const size_t pos = text.find("memory_policy = ");
   const size_t end = text.find('\n', pos);
   text.replace(pos, end - pos, "memory_policy = quantum");
-  std::string error;
-  EXPECT_FALSE(WorkloadDescriptionFromText(text, &error).has_value());
-  EXPECT_NE(error.find("quantum"), std::string::npos);
+  const StatusOr<WorkloadDescription> parsed = WorkloadDescriptionFromText(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("quantum"), std::string::npos);
 }
 
 TEST(SerializeWorkload, RejectsMachineMagic) {
   EXPECT_FALSE(
-      WorkloadDescriptionFromText(MachineDescriptionToText(SomeMachine())).has_value());
+      WorkloadDescriptionFromText(MachineDescriptionToText(SomeMachine())).ok());
+}
+
+TEST(SerializeWorkload, RejectsOutOfRangeParallelFraction) {
+  std::string text = WorkloadDescriptionToText(SomeWorkload());
+  const size_t pos = text.find("parallel_fraction = ");
+  const size_t end = text.find('\n', pos);
+  text.replace(pos, end - pos, "parallel_fraction = 1.75");
+  const StatusOr<WorkloadDescription> parsed = WorkloadDescriptionFromText(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("parallel_fraction"), std::string::npos);
+}
+
+TEST(SerializeWorkload, RejectsNaNField) {
+  std::string text = WorkloadDescriptionToText(SomeWorkload());
+  const size_t pos = text.find("t1 = ");
+  const size_t end = text.find('\n', pos);
+  text.replace(pos, end - pos, "t1 = nan");
+  const StatusOr<WorkloadDescription> parsed = WorkloadDescriptionFromText(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("t1"), std::string::npos);
 }
 
 // --- file round trip ---
@@ -144,15 +184,25 @@ TEST(SerializeWorkload, RejectsMachineMagic) {
 TEST(SerializeFiles, WriteAndReadBack) {
   const std::string path = ::testing::TempDir() + "/pandia_serialize_test.txt";
   const std::string content = MachineDescriptionToText(SomeMachine());
-  ASSERT_TRUE(WriteTextFile(path, content));
-  const std::optional<std::string> read = ReadTextFile(path);
-  ASSERT_TRUE(read.has_value());
+  ASSERT_TRUE(WriteTextFile(path, content).ok());
+  const StatusOr<std::string> read = ReadTextFile(path);
+  ASSERT_TRUE(read.ok());
   EXPECT_EQ(*read, content);
   std::remove(path.c_str());
 }
 
 TEST(SerializeFiles, ReadMissingFileFails) {
-  EXPECT_FALSE(ReadTextFile("/nonexistent/pandia/file").has_value());
+  const StatusOr<std::string> read = ReadTextFile("/nonexistent/pandia/file");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(read.status().message().find("/nonexistent/pandia/file"),
+            std::string::npos);
+}
+
+TEST(SerializeFiles, WriteToUnwritablePathFails) {
+  const Status written = WriteTextFile("/nonexistent/pandia/file", "x");
+  ASSERT_FALSE(written.ok());
+  EXPECT_NE(written.message().find("/nonexistent/pandia/file"), std::string::npos);
 }
 
 // --- placement parsing ---

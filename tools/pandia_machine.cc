@@ -14,6 +14,7 @@
 #include "src/serialize/serialize.h"
 #include "src/sim/machine.h"
 #include "src/sim/machine_spec.h"
+#include "tools/tool_common.h"
 
 int main(int argc, char** argv) {
   using namespace pandia;
@@ -31,9 +32,9 @@ int main(int argc, char** argv) {
   const MachineDescription desc = GenerateMachineDescription(machine);
   const std::string text = MachineDescriptionToText(desc);
   if (argc == 3) {
-    if (!WriteTextFile(argv[2], text)) {
-      std::fprintf(stderr, "error: cannot write %s\n", argv[2]);
-      return 1;
+    const Status written = WriteTextFile(argv[2], text);
+    if (!written.ok()) {
+      return tools::FailWith(written);
     }
     std::printf("wrote %s (%s)\n", argv[2], desc.ToString().c_str());
   } else {

@@ -12,11 +12,19 @@
 // placement, the cheapest placement within 95% of it, and a Figure-7-style
 // explanation of the winner.
 //
+// All inputs are validated: malformed description files, implausible field
+// values, and bad placements produce a structured error naming the problem
+// (never an abort).
+//
 // Flags:
 //   --jobs=N          fan the placement-space search out over N worker
 //                     threads (default: the PANDIA_JOBS environment
 //                     variable, else serial); the chosen placements are
 //                     byte-identical at every job count
+//
+// Robustness flags (apply when the workload is profiled on the spot; see
+// tools/tool_common.h):
+//   --trials=N, --fault-seed=S, --fault-jitter/dropout/corrupt/fail=P
 //
 // Observability flags (src/obs):
 //   --trace-out=FILE  write a Chrome trace_event JSON file (open via
@@ -39,6 +47,7 @@
 #include "src/sim/machine_spec.h"
 #include "src/topology/placement_parse.h"
 #include "src/workloads/workloads.h"
+#include "tools/tool_common.h"
 
 namespace {
 
@@ -51,7 +60,8 @@ bool IsKnownMachine(const std::string& name) {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--jobs=N] [--trace-out=FILE] [--metrics] "
+               "usage: %s [--jobs=N] [--trials=N] [--fault-seed=S] "
+               "[--trace-out=FILE] [--metrics] "
                "<machine-desc-file|machine-name> "
                "<workload-desc-file|workload-name> [placement ...]\n",
                argv0);
@@ -64,8 +74,16 @@ int main(int argc, char** argv) {
   std::string trace_out;
   bool metrics = false;
   int jobs = 0;  // 0: defer to PANDIA_JOBS
+  tools::RobustnessFlags robustness;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
+    const tools::FlagParse parsed = robustness.Match(argv[i]);
+    if (parsed == tools::FlagParse::kError) {
+      return 2;
+    }
+    if (parsed == tools::FlagParse::kOk) {
+      continue;
+    }
     if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       trace_out = argv[i] + 12;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
@@ -92,34 +110,34 @@ int main(int argc, char** argv) {
   if (!trace_out.empty() || metrics) {
     obs::Tracer::Global().SetEnabled(true);
   }
+  const sim::FaultPlan fault_plan = robustness.MakeFaultPlan();
 
-  std::string error;
   std::optional<eval::Pipeline> pipeline;
   std::optional<MachineDescription> machine;
-  if (const std::optional<std::string> text = ReadTextFile(positional[0])) {
-    machine = MachineDescriptionFromText(*text, &error);
-    if (!machine.has_value()) {
-      std::fprintf(stderr, "error: %s: %s\n", positional[0].c_str(), error.c_str());
-      return 1;
+  if (const StatusOr<std::string> text = ReadTextFile(positional[0]); text.ok()) {
+    StatusOr<MachineDescription> parsed = MachineDescriptionFromText(*text);
+    if (!parsed.ok()) {
+      return tools::FailWith(parsed.status(), positional[0]);
     }
+    machine = std::move(*parsed);
   } else if (IsKnownMachine(positional[0])) {
     pipeline.emplace(positional[0]);
     machine = pipeline->description();
   } else {
     std::fprintf(stderr,
-                 "error: '%s' is neither a readable machine description nor a "
+                 "error: '%s' is neither a readable machine description (%s) nor a "
                  "known machine (x5-2, x4-2, x3-2, x2-4)\n",
-                 positional[0].c_str());
+                 positional[0].c_str(), text.status().ToString().c_str());
     return 1;
   }
 
   std::optional<WorkloadDescription> workload;
-  if (const std::optional<std::string> text = ReadTextFile(positional[1])) {
-    workload = WorkloadDescriptionFromText(*text, &error);
-    if (!workload.has_value()) {
-      std::fprintf(stderr, "error: %s: %s\n", positional[1].c_str(), error.c_str());
-      return 1;
+  if (const StatusOr<std::string> text = ReadTextFile(positional[1]); text.ok()) {
+    StatusOr<WorkloadDescription> parsed = WorkloadDescriptionFromText(*text);
+    if (!parsed.ok()) {
+      return tools::FailWith(parsed.status(), positional[1]);
     }
+    workload = std::move(*parsed);
   } else if (workloads::Exists(positional[1])) {
     if (!pipeline.has_value()) {
       if (!IsKnownMachine(machine->topo.name)) {
@@ -131,12 +149,26 @@ int main(int argc, char** argv) {
       }
       pipeline.emplace(machine->topo.name);
     }
-    workload = pipeline->Profile(workloads::ByName(positional[1]));
+    if (fault_plan.active()) {
+      pipeline->SetFaultPlan(fault_plan);
+    }
+    ProfileOptions profile_options;
+    profile_options.trials = robustness.trials;
+    StatusOr<WorkloadDescription> profiled =
+        pipeline->ProfileRobust(workloads::ByName(positional[1]), profile_options);
+    if (!profiled.ok()) {
+      return tools::FailWith(profiled.status(),
+                             "profiling '" + positional[1] + "' failed");
+    }
+    if (robustness.trials > 1 || fault_plan.active()) {
+      tools::PrintProfileQuality(profiled->quality);
+    }
+    workload = std::move(*profiled);
   } else {
     std::fprintf(stderr,
-                 "error: '%s' is neither a readable workload description nor a "
+                 "error: '%s' is neither a readable workload description (%s) nor a "
                  "known workload name\n",
-                 positional[1].c_str());
+                 positional[1].c_str(), text.status().ToString().c_str());
     return 1;
   }
 
@@ -147,9 +179,13 @@ int main(int argc, char** argv) {
                  workload->machine.c_str(), machine->topo.name.c_str());
   }
 
-  const Predictor predictor(*machine, *workload);
+  const StatusOr<Predictor> predictor = Predictor::Create(*machine, *workload);
+  if (!predictor.ok()) {
+    return tools::FailWith(predictor.status());
+  }
   if (positional.size() > 2) {
     for (size_t i = 2; i < positional.size(); ++i) {
+      std::string error;
       const std::optional<Placement> placement =
           ParsePlacement(machine->topo, positional[i], &error);
       if (!placement.has_value()) {
@@ -157,19 +193,28 @@ int main(int argc, char** argv) {
                      error.c_str());
         return 1;
       }
-      const Prediction prediction = predictor.Predict(*placement);
-      std::fputs(ExplainPrediction(*machine, *placement, prediction).c_str(), stdout);
+      const StatusOr<Prediction> prediction = predictor->TryPredict(*placement);
+      if (!prediction.ok()) {
+        return tools::FailWith(prediction.status(),
+                               "placement '" + positional[i] + "'");
+      }
+      std::fputs(ExplainPrediction(*machine, *placement, *prediction).c_str(),
+                 stdout);
     }
   } else {
     OptimizerOptions optimizer_options;
     optimizer_options.jobs = jobs;
-    const RankedPlacement best = FindBestPlacement(predictor, optimizer_options);
+    const StatusOr<RankedPlacement> best =
+        TryFindBestPlacement(*predictor, optimizer_options);
+    if (!best.ok()) {
+      return tools::FailWith(best.status());
+    }
     std::printf("best predicted placement:\n");
-    std::fputs(ExplainPrediction(*machine, best.placement, best.prediction).c_str(),
+    std::fputs(ExplainPrediction(*machine, best->placement, best->prediction).c_str(),
                stdout);
     const std::optional<RankedPlacement> cheap =
-        FindCheapestPlacement(predictor, 0.95, optimizer_options);
-    if (cheap.has_value() && !(cheap->placement == best.placement)) {
+        FindCheapestPlacement(*predictor, 0.95, optimizer_options);
+    if (cheap.has_value() && !(cheap->placement == best->placement)) {
       std::printf("\ncheapest placement within 95%% of the best:\n");
       std::fputs(
           ExplainPrediction(*machine, cheap->placement, cheap->prediction).c_str(),
@@ -178,9 +223,10 @@ int main(int argc, char** argv) {
   }
 
   if (!trace_out.empty()) {
-    if (!WriteTextFile(trace_out, obs::Tracer::Global().ChromeTraceJson())) {
-      std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
-      return 1;
+    const Status written =
+        WriteTextFile(trace_out, obs::Tracer::Global().ChromeTraceJson());
+    if (!written.ok()) {
+      return tools::FailWith(written);
     }
     std::fprintf(stderr, "wrote trace to %s (open via chrome://tracing)\n",
                  trace_out.c_str());

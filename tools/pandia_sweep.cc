@@ -12,6 +12,10 @@
 //                     variable, else serial). Output is byte-identical at
 //                     every job count.
 //
+// Robustness flags (see tools/tool_common.h): --trials=N and --fault-* make
+// the profiling phase noisy-but-robust; the sweep's measurement runs stay
+// fault-free so predicted-vs-measured errors reflect description quality.
+//
 // Observability flags (src/obs):
 //   --trace-out=FILE  write a Chrome trace_event JSON file of the sweep
 //                     (per-placement measure/predict spans)
@@ -31,14 +35,23 @@
 #include "src/serialize/serialize.h"
 #include "src/sim/machine_spec.h"
 #include "src/workloads/workloads.h"
+#include "tools/tool_common.h"
 
 int main(int argc, char** argv) {
   using namespace pandia;
   std::string trace_out;
   bool metrics = false;
   int jobs = 0;  // 0: defer to PANDIA_JOBS
+  tools::RobustnessFlags robustness;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
+    const tools::FlagParse parsed = robustness.Match(argv[i]);
+    if (parsed == tools::FlagParse::kError) {
+      return 2;
+    }
+    if (parsed == tools::FlagParse::kOk) {
+      continue;
+    }
     if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       trace_out = argv[i] + 12;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
@@ -50,13 +63,17 @@ int main(int argc, char** argv) {
                      argv[i] + 7);
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+      return 2;
     } else {
       positional.push_back(argv[i]);
     }
   }
   if (positional.size() < 2 || positional.size() > 3) {
     std::fprintf(stderr,
-                 "usage: %s [--jobs=N] [--trace-out=FILE] [--metrics] <machine> "
+                 "usage: %s [--jobs=N] [--trials=N] [--fault-seed=S] "
+                 "[--trace-out=FILE] [--metrics] <machine> "
                  "<workload> [sample-count]\n",
                  argv[0]);
     return 2;
@@ -77,9 +94,26 @@ int main(int argc, char** argv) {
   if (!trace_out.empty() || metrics) {
     obs::Tracer::Global().SetEnabled(true);
   }
-  const eval::Pipeline pipeline(positional[0]);
+  eval::Pipeline pipeline(positional[0]);
   const sim::WorkloadSpec workload = workloads::ByName(positional[1]);
-  const WorkloadDescription desc = pipeline.Profile(workload);
+  const sim::FaultPlan fault_plan = robustness.MakeFaultPlan();
+  if (fault_plan.active()) {
+    pipeline.SetFaultPlan(fault_plan);
+  }
+  ProfileOptions profile_options;
+  profile_options.trials = robustness.trials;
+  const StatusOr<WorkloadDescription> desc_or =
+      pipeline.ProfileRobust(workload, profile_options);
+  if (!desc_or.ok()) {
+    return tools::FailWith(desc_or.status(),
+                           "profiling '" + positional[1] + "' failed");
+  }
+  if (robustness.trials > 1 || fault_plan.active()) {
+    tools::PrintProfileQuality(desc_or->quality);
+  }
+  const WorkloadDescription& desc = *desc_or;
+  // Measurement runs below compare against fault-free ground truth.
+  pipeline.SetFaultPlan(sim::FaultPlan{});
   const Predictor predictor = pipeline.MakePredictor(desc);
   eval::SweepOptions options;
   options.jobs = jobs;
@@ -107,9 +141,10 @@ int main(int argc, char** argv) {
   }
 
   if (!trace_out.empty()) {
-    if (!WriteTextFile(trace_out, obs::Tracer::Global().ChromeTraceJson())) {
-      std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
-      return 1;
+    const Status written =
+        WriteTextFile(trace_out, obs::Tracer::Global().ChromeTraceJson());
+    if (!written.ok()) {
+      return tools::FailWith(written);
     }
     std::fprintf(stderr, "wrote trace to %s (open via chrome://tracing)\n",
                  trace_out.c_str());

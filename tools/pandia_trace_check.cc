@@ -20,9 +20,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "usage: %s <trace.json> [required-span-name ...]\n", argv[0]);
     return 2;
   }
-  const std::optional<std::string> text = ReadTextFile(argv[1]);
-  if (!text.has_value()) {
-    std::fprintf(stderr, "error: cannot read %s\n", argv[1]);
+  const StatusOr<std::string> text = ReadTextFile(argv[1]);
+  if (!text.ok()) {
+    std::fprintf(stderr, "error: %s\n", text.status().ToString().c_str());
     return 1;
   }
   std::string error;

@@ -1,0 +1,155 @@
+// Shared helpers for the pandia_* CLI front-ends: robustness flag parsing
+// (--trials, --fault-*) and uniform Status error reporting. Tools never
+// abort on bad input; every failure path prints a structured error naming
+// the offending flag, field, or file and exits non-zero.
+#ifndef PANDIA_TOOLS_TOOL_COMMON_H_
+#define PANDIA_TOOLS_TOOL_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "src/sim/fault_plan.h"
+#include "src/util/status.h"
+#include "src/workload_desc/description.h"
+
+namespace pandia {
+namespace tools {
+
+enum class FlagParse { kNoMatch, kOk, kError };
+
+// Robustness flags shared by the measuring tools:
+//   --trials=N         profiling trials per run (default 1; median aggregate)
+//   --fault-seed=S     arm the default fault plan (3% time jitter, 5% counter
+//                      dropout, 1-in-20 run failure) with seed S
+//   --fault-jitter=X   override the time-jitter magnitude (in [0, 0.9])
+//   --fault-dropout=P  override the counter-dropout probability
+//   --fault-corrupt=P  override the counter-corruption probability
+//   --fault-fail=P     override the run-failure probability (in [0, 0.9])
+// Any --fault-* flag arms fault injection; knob overrides given without
+// --fault-seed start from an otherwise-quiet plan with seed 1.
+struct RobustnessFlags {
+  int trials = 1;
+  std::optional<uint64_t> fault_seed;
+  std::optional<double> jitter;
+  std::optional<double> dropout;
+  std::optional<double> corrupt;
+  std::optional<double> fail;
+
+  // Tries to consume one argv entry; prints to stderr on kError.
+  FlagParse Match(const char* arg) {
+    const auto value_of = [arg](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return std::strncmp(arg, prefix, n) == 0 ? arg + n : nullptr;
+    };
+    if (const char* v = value_of("--trials=")) {
+      char* end = nullptr;
+      const long parsed = std::strtol(v, &end, 10);
+      if (*v == '\0' || *end != '\0' || parsed < 1 || parsed > 1000) {
+        std::fprintf(stderr, "error: --trials needs an integer in [1, 1000], got '%s'\n", v);
+        return FlagParse::kError;
+      }
+      trials = static_cast<int>(parsed);
+      return FlagParse::kOk;
+    }
+    if (const char* v = value_of("--fault-seed=")) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(v, &end, 10);
+      if (*v == '\0' || *end != '\0') {
+        std::fprintf(stderr, "error: --fault-seed needs an unsigned integer, got '%s'\n", v);
+        return FlagParse::kError;
+      }
+      fault_seed = static_cast<uint64_t>(parsed);
+      return FlagParse::kOk;
+    }
+    const auto parse_rate = [](const char* flag, const char* v, double max_value,
+                               std::optional<double>& out) {
+      char* end = nullptr;
+      const double parsed = std::strtod(v, &end);
+      if (*v == '\0' || *end != '\0' || !(parsed >= 0.0 && parsed <= max_value)) {
+        std::fprintf(stderr, "error: %s needs a number in [0, %g], got '%s'\n", flag,
+                     max_value, v);
+        return FlagParse::kError;
+      }
+      out = parsed;
+      return FlagParse::kOk;
+    };
+    if (const char* v = value_of("--fault-jitter=")) {
+      return parse_rate("--fault-jitter", v, 0.9, jitter);
+    }
+    if (const char* v = value_of("--fault-dropout=")) {
+      return parse_rate("--fault-dropout", v, 1.0, dropout);
+    }
+    if (const char* v = value_of("--fault-corrupt=")) {
+      return parse_rate("--fault-corrupt", v, 1.0, corrupt);
+    }
+    if (const char* v = value_of("--fault-fail=")) {
+      return parse_rate("--fault-fail", v, 0.9, fail);
+    }
+    return FlagParse::kNoMatch;
+  }
+
+  bool any_fault_flag() const {
+    return fault_seed.has_value() || jitter.has_value() || dropout.has_value() ||
+           corrupt.has_value() || fail.has_value();
+  }
+
+  sim::FaultPlan MakeFaultPlan() const {
+    sim::FaultPlan plan;
+    if (fault_seed.has_value()) {
+      plan = sim::FaultPlan::Defaults(*fault_seed);
+    } else if (any_fault_flag()) {
+      plan.enabled = true;
+    }
+    if (jitter.has_value()) {
+      plan.time_jitter = *jitter;
+    }
+    if (dropout.has_value()) {
+      plan.counter_dropout = *dropout;
+    }
+    if (corrupt.has_value()) {
+      plan.counter_corrupt = *corrupt;
+    }
+    if (fail.has_value()) {
+      plan.run_failure = *fail;
+    }
+    return plan;
+  }
+};
+
+// Prints "error: [context: ]CODE: message" and returns the tool exit code.
+inline int FailWith(const Status& status, const std::string& context = "") {
+  if (context.empty()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  } else {
+    std::fprintf(stderr, "error: %s: %s\n", context.c_str(),
+                 status.ToString().c_str());
+  }
+  return 1;
+}
+
+// One-paragraph stderr summary of a robust-profiling session (trials used,
+// repairs made, diagnostics). Quiet for a pristine single-trial profile.
+inline void PrintProfileQuality(const ProfileQuality& quality) {
+  int trials = 0;
+  int outliers = 0;
+  for (const ProfileRunQuality& run : quality.runs) {
+    trials = run.trials > trials ? run.trials : trials;
+    outliers += run.outliers_rejected;
+  }
+  std::fprintf(stderr,
+               "profile quality: %d trial(s) per run, %d retried run(s), %d "
+               "outlier(s) rejected, %d counter(s) imputed%s\n",
+               trials, quality.total_retries(), outliers, quality.counters_imputed,
+               quality.degraded() ? "" : " (clean)");
+  for (const std::string& diagnostic : quality.diagnostics) {
+    std::fprintf(stderr, "profile note: %s\n", diagnostic.c_str());
+  }
+}
+
+}  // namespace tools
+}  // namespace pandia
+
+#endif  // PANDIA_TOOLS_TOOL_COMMON_H_
