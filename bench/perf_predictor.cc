@@ -118,8 +118,8 @@ int ParallelComparison(int jobs) {
 
   auto rank = [&](int run_jobs, bool use_cache, double* seconds) {
     OptimizerOptions run = options;
-    run.jobs = run_jobs;
-    run.use_cache = use_cache;
+    run.common.jobs = run_jobs;
+    run.common.use_cache = use_cache;
     const Clock::time_point start = Clock::now();
     std::vector<RankedPlacement> ranked = RankPlacements(MdPredictor(), kTopK, run);
     *seconds = std::chrono::duration<double>(Clock::now() - start).count();
@@ -197,7 +197,7 @@ int ConvergenceDump() {
   for (const auto& c : cases) {
     obs::PredictionTrace trace;
     PredictionOptions options;
-    options.trace = &trace;
+    options.common.trace = &trace;
     const Predictor predictor = X5Pipeline().MakePredictor(
         X5Pipeline().Profile(workloads::ByName(c.workload)), options);
     const Prediction prediction = predictor.Predict(c.placement);

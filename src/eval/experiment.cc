@@ -60,7 +60,8 @@ SweepResult RunSweep(const sim::Machine& machine, const Predictor& predictor,
   static obs::Counter& sweep_placements =
       obs::MetricsRegistry::Global().counter("eval.sweep_placements");
   obs::InstallParallelMetrics();
-  PredictionCache* cache = options.use_cache ? &PredictionCache::Global() : nullptr;
+  PredictionCache* cache =
+      options.common.use_cache ? &PredictionCache::Global() : nullptr;
   // Each placement's measure+predict pair runs independently; slot i of the
   // result vector belongs to placement i, so the sweep series is identical
   // to a serial run at any job count.
@@ -69,7 +70,7 @@ SweepResult RunSweep(const sim::Machine& machine, const Predictor& predictor,
   for (const Placement& placement : placements) {
     results.push_back(PlacementResult{placement});
   }
-  util::ParallelFor(placements.size(), options.jobs, [&](size_t i) {
+  util::ParallelFor(placements.size(), options.common.jobs, [&](size_t i) {
     PlacementResult& pr = results[i];
     {
       const obs::TraceSpan measure_span("sweep.measure");

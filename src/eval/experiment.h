@@ -17,12 +17,21 @@
 #include "src/predictor/predictor.h"
 #include "src/sim/machine.h"
 #include "src/topology/placement.h"
+#include "src/util/common_options.h"
 #include "src/workload_desc/description.h"
 
 namespace pandia {
 namespace eval {
 
 struct SweepOptions {
+  // Shared fan-out/cache knobs (src/util/common_options.h): per-placement
+  // measure+predict pairs fan out over common.jobs worker threads (the
+  // placement list, result order, and every metric are byte-identical to a
+  // serial sweep), and common.use_cache memoizes predictions in
+  // PredictionCache::Global() so repeated sweeps of the same
+  // (machine, workload) pair skip redundant solves.
+  CommonOptions common;
+
   // Enumerate exhaustively when the canonical space is at most this large;
   // otherwise draw `sample_count` distinct placements.
   uint64_t exhaustive_limit = 2000;
@@ -31,13 +40,6 @@ struct SweepOptions {
   // Optional placement-class filter (Figure 12's 2-socket / 20-core / whole
   // machine classes).
   std::function<bool(const Placement&)> filter;
-  // Per-placement measure+predict fan out over this many worker threads
-  // (0 defers to PANDIA_JOBS; unset means serial). The placement list,
-  // result order, and every metric are byte-identical to a serial sweep.
-  int jobs = 0;
-  // Memoize predictions in PredictionCache::Global() so repeated sweeps of
-  // the same (machine, workload) pair skip redundant solves.
-  bool use_cache = true;
 };
 
 struct PlacementResult {

@@ -42,7 +42,7 @@ CoSchedulePrediction CoSchedulePredictor::Predict(
   PANDIA_CHECK(!requests.empty());
   const obs::TraceSpan predict_span("predict",
                                     static_cast<int64_t>(requests.size()));
-  obs::PredictionTrace* trace = options_.trace;
+  obs::PredictionTrace* trace = options_.common.trace;
   if (trace != nullptr) {
     trace->Clear();
   }

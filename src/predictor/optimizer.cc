@@ -62,7 +62,7 @@ obs::Counter& PlacementsEvaluatedCounter() {
   return counter;
 }
 
-// Predicts every candidate, fanning out across options.jobs workers. Each
+// Predicts every candidate, fanning out across options.common.jobs workers. Each
 // prediction lands in the slot matching its candidate index, so the result
 // vector is identical to a serial loop regardless of job count.
 std::vector<Prediction> PredictCandidates(const Predictor& predictor,
@@ -71,9 +71,9 @@ std::vector<Prediction> PredictCandidates(const Predictor& predictor,
   obs::InstallParallelMetrics();
   PlacementsEvaluatedCounter().Increment(candidates.size());
   PredictionCache* cache =
-      options.use_cache ? &PredictionCache::Global() : nullptr;
+      options.common.use_cache ? &PredictionCache::Global() : nullptr;
   std::vector<Prediction> predictions(candidates.size());
-  util::ParallelFor(candidates.size(), options.jobs, [&](size_t i) {
+  util::ParallelFor(candidates.size(), options.common.jobs, [&](size_t i) {
     predictions[i] = PredictCached(predictor, candidates[i], cache);
   });
   // Divergent solves keep their slot (the ranking stays deterministic and
@@ -175,14 +175,17 @@ StatusOr<std::vector<RankedPlacement>> TryRankPlacements(
   return ranked;
 }
 
-std::optional<RankedPlacement> FindCheapestPlacement(const Predictor& predictor,
-                                                     double target_fraction,
-                                                     const OptimizerOptions& options) {
-  PANDIA_CHECK(target_fraction > 0.0 && target_fraction <= 1.0);
+StatusOr<RankedPlacement> TryFindCheapestPlacement(const Predictor& predictor,
+                                                   double target_fraction,
+                                                   const OptimizerOptions& options) {
+  if (!(target_fraction > 0.0 && target_fraction <= 1.0)) {
+    return Status::InvalidArgument(
+        "target_fraction must be in (0, 1]");
+  }
   const obs::TraceSpan span("optimizer.cheapest");
   StatusOr<std::vector<Placement>> candidates_or =
       CandidatePlacements(predictor.machine().topo, options);
-  PANDIA_CHECK_MSG(candidates_or.ok(), candidates_or.status().message().c_str());
+  PANDIA_RETURN_IF_ERROR(candidates_or.status());
   std::vector<Placement>& candidates = *candidates_or;
   std::vector<Prediction> predictions =
       PredictCandidates(predictor, candidates, options);
@@ -213,7 +216,19 @@ std::optional<RankedPlacement> FindCheapestPlacement(const Predictor& predictor,
       cheapest = std::move(candidate);
     }
   }
-  return cheapest;
+  // The best candidate always meets its own target, so a non-empty
+  // candidate set guarantees a result.
+  PANDIA_CHECK(cheapest.has_value());
+  return *std::move(cheapest);
+}
+
+std::optional<RankedPlacement> FindCheapestPlacement(const Predictor& predictor,
+                                                     double target_fraction,
+                                                     const OptimizerOptions& options) {
+  StatusOr<RankedPlacement> cheapest =
+      TryFindCheapestPlacement(predictor, target_fraction, options);
+  PANDIA_CHECK_MSG(cheapest.ok(), cheapest.status().message().c_str());
+  return *std::move(cheapest);
 }
 
 }  // namespace pandia

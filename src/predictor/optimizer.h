@@ -12,6 +12,7 @@
 
 #include "src/predictor/predictor.h"
 #include "src/topology/placement.h"
+#include "src/util/common_options.h"
 #include "src/util/status.h"
 
 namespace pandia {
@@ -27,6 +28,14 @@ struct RankedPlacement {
 // relying on exact ordering near ties should treat them as approximate.
 
 struct OptimizerOptions {
+  // Shared fan-out/cache knobs (src/util/common_options.h): candidate
+  // predictions fan out over common.jobs worker threads (chunking is
+  // static and results are written by candidate index, so rankings are
+  // byte-identical to a serial run at any job count), and common.use_cache
+  // memoizes predictions in PredictionCache::Global() (automatically
+  // bypassed when the predictor carries a convergence-trace hook).
+  CommonOptions common;
+
   // When the canonical placement space is larger than this, placements are
   // sampled instead of enumerated.
   uint64_t exhaustive_limit = 25000;
@@ -35,14 +44,6 @@ struct OptimizerOptions {
   // Optional admission constraint on candidate placements (e.g. "no SMT",
   // "at most one socket" when other tenants own the rest of the machine).
   std::function<bool(const Placement&)> constraint;
-  // Candidate predictions fan out over this many worker threads (0 defers
-  // to the PANDIA_JOBS environment variable; unset means serial). Chunking
-  // is static and results are written by candidate index, so rankings are
-  // byte-identical to a serial run at any job count.
-  int jobs = 0;
-  // Memoize predictions in PredictionCache::Global(). Automatically
-  // bypassed when the predictor carries a convergence-trace hook.
-  bool use_cache = true;
 };
 
 // Common constraints for the optimizer (and for eval sweeps).
@@ -71,6 +72,13 @@ StatusOr<RankedPlacement> TryFindBestPlacement(const Predictor& predictor,
 // whose predicted speedup is at least `target_fraction` of the best
 // predicted speedup. Identifies over-provisioning: when scaling is poor, a
 // few cores deliver almost all of the achievable performance.
+//
+// TryFindCheapestPlacement is the primary surface (out-of-range
+// target_fraction and constraint-rejecting-everything report as Status);
+// FindCheapestPlacement is a thin aborting wrapper kept for bench code.
+StatusOr<RankedPlacement> TryFindCheapestPlacement(
+    const Predictor& predictor, double target_fraction,
+    const OptimizerOptions& options = {});
 std::optional<RankedPlacement> FindCheapestPlacement(
     const Predictor& predictor, double target_fraction,
     const OptimizerOptions& options = {});

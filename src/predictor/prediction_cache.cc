@@ -56,12 +56,21 @@ obs::Gauge& SizeGauge() {
       obs::MetricsRegistry::Global().gauge("prediction_cache.size");
   return gauge;
 }
+obs::Counter& GenerationInvalidationsCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().counter(
+      "prediction_cache.generation_invalidations");
+  return counter;
+}
+obs::Gauge& GenerationGauge() {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::Global().gauge("prediction_cache.generation");
+  return gauge;
+}
 
 }  // namespace
 
-uint64_t ContextFingerprint(const MachineDescription& machine,
-                            const WorkloadDescription& workload,
-                            const PredictionOptions& options) {
+uint64_t MachineOptionsFingerprint(const MachineDescription& machine,
+                                   const PredictionOptions& options) {
   uint64_t h = kFnvOffset;
   // Machine: topology shape plus every measured capacity.
   HashString(h, machine.topo.name);
@@ -79,8 +88,23 @@ uint64_t ContextFingerprint(const MachineDescription& machine,
   HashDouble(h, machine.l3_agg_bw);
   HashDouble(h, machine.dram_bw);
   HashDouble(h, machine.link_bw);
-  // Workload: every model input (§4's five properties + demand vector +
-  // memory policy). Bookkeeping fields (profile_threads, r2..r6) feed no
+  // Options that shape the solve (CommonOptions records/parallelizes, it
+  // does not change values).
+  HashInt(h, options.max_iterations);
+  HashDouble(h, options.convergence_eps);
+  HashInt(h, options.dampen_after);
+  HashInt(h, options.model_burstiness ? 1 : 0);
+  HashInt(h, options.model_communication ? 1 : 0);
+  HashInt(h, options.model_load_balance ? 1 : 0);
+  HashInt(h, options.iterate ? 1 : 0);
+  HashInt(h, options.retry_on_divergence ? 1 : 0);
+  return h;
+}
+
+uint64_t WorkloadFingerprint(const WorkloadDescription& workload) {
+  uint64_t h = kFnvOffset;
+  // Every model input (§4's five properties + demand vector + memory
+  // policy). Bookkeeping fields (profile_threads, r2..r6) feed no
   // prediction, but they are cheap and keeping them makes the fingerprint
   // a plain "all fields" rule.
   HashString(h, workload.workload);
@@ -103,16 +127,19 @@ uint64_t ContextFingerprint(const MachineDescription& machine,
   HashDouble(h, workload.r4);
   HashDouble(h, workload.r5);
   HashDouble(h, workload.r6);
-  // Options that shape the solve (the trace pointer records, not shapes).
-  HashInt(h, options.max_iterations);
-  HashDouble(h, options.convergence_eps);
-  HashInt(h, options.dampen_after);
-  HashInt(h, options.model_burstiness ? 1 : 0);
-  HashInt(h, options.model_communication ? 1 : 0);
-  HashInt(h, options.model_load_balance ? 1 : 0);
-  HashInt(h, options.iterate ? 1 : 0);
-  HashInt(h, options.retry_on_divergence ? 1 : 0);
   return h;
+}
+
+uint64_t CombineFingerprints(uint64_t a, uint64_t b) {
+  HashU64(a, b);
+  return a;
+}
+
+uint64_t ContextFingerprint(const MachineDescription& machine,
+                            const WorkloadDescription& workload,
+                            const PredictionOptions& options) {
+  return CombineFingerprints(MachineOptionsFingerprint(machine, options),
+                             WorkloadFingerprint(workload));
 }
 
 uint64_t PlacementFingerprint(const Placement& placement) {
@@ -142,21 +169,29 @@ PredictionCache::Shard& PredictionCache::ShardFor(const PredictionCacheKey& key)
   return shards_[KeyHash{}(key) % kShards];
 }
 
-const PredictionCache::Shard& PredictionCache::ShardFor(
-    const PredictionCacheKey& key) const {
-  return shards_[KeyHash{}(key) % kShards];
-}
-
-std::optional<Prediction> PredictionCache::Lookup(
-    const PredictionCacheKey& key) const {
-  const Shard& shard = ShardFor(key);
+std::optional<Prediction> PredictionCache::Lookup(const PredictionCacheKey& key) {
+  const uint64_t current = generation_.load(std::memory_order_acquire);
+  bool stale = false;
   {
+    Shard& shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.entries.find(key);
     if (it != shard.entries.end()) {
-      HitsCounter().Increment();
-      return it->second;
+      if (it->second.generation == current) {
+        HitsCounter().Increment();
+        return it->second.prediction;
+      }
+      // Inserted before the last BumpGeneration: the value may describe a
+      // co-scheduling context that no longer exists. Reclaim it here; its
+      // FIFO slot stays behind and erases nothing when it is evicted.
+      shard.entries.erase(it);
+      stale = true;
     }
+  }
+  if (stale) {
+    GenerationInvalidationsCounter().Increment();
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    SizeGauge().Set(static_cast<double>(size()));
   }
   MissesCounter().Increment();
   return std::nullopt;
@@ -171,15 +206,15 @@ void PredictionCache::Insert(const PredictionCacheKey& key,
     std::lock_guard<std::mutex> lock(shard.mu);
     // First writer wins; racing inserts of the same key computed the same
     // value, so dropping the duplicate is free.
-    auto [it, fresh] = shard.entries.emplace(key, prediction);
+    auto [it, fresh] = shard.entries.emplace(
+        key, Entry{prediction, generation_.load(std::memory_order_acquire)});
     (void)it;
     inserted = fresh;
     if (fresh) {
       shard.fifo.push_back(key);
       while (shard.fifo.size() > per_shard_capacity_) {
-        shard.entries.erase(shard.fifo.front());
+        evicted += shard.entries.erase(shard.fifo.front());
         shard.fifo.pop_front();
-        ++evicted;
       }
     }
   }
@@ -192,6 +227,15 @@ void PredictionCache::Insert(const PredictionCacheKey& key,
     size_.fetch_sub(evicted, std::memory_order_relaxed);
   }
   SizeGauge().Set(static_cast<double>(size()));
+}
+
+void PredictionCache::BumpGeneration() {
+  const uint64_t next = generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  GenerationGauge().Set(static_cast<double>(next));
+}
+
+uint64_t PredictionCache::generation() const {
+  return generation_.load(std::memory_order_acquire);
 }
 
 size_t PredictionCache::size() const {
@@ -210,7 +254,7 @@ void PredictionCache::Clear() {
 
 Prediction PredictCached(const Predictor& predictor, const Placement& placement,
                          PredictionCache* cache) {
-  if (cache == nullptr || predictor.options().trace != nullptr) {
+  if (cache == nullptr || predictor.options().common.trace != nullptr) {
     return predictor.Predict(placement);
   }
   const PredictionCacheKey key{predictor.context_fingerprint(),

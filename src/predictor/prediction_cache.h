@@ -18,9 +18,19 @@
 // which copy wins is unobservable). When a shard exceeds its capacity the
 // oldest entry in that shard is evicted.
 //
+// Invalidation: long-running holders of mutable co-scheduling state (the
+// placement service) key joint predictions by fingerprints of the full
+// resident set, but a caller that keys by a job's own context alone would
+// read stale values once a neighbour departs. Every entry is therefore
+// tagged with the cache generation current at insert time; BumpGeneration()
+// logically invalidates everything inserted before it (stale entries are
+// dropped lazily on lookup), giving mutation events a hard invalidation
+// hook regardless of how callers fingerprint their contexts.
+//
 // Observability (src/obs registry):
 //   prediction_cache.hits / .misses / .insertions / .evictions  counters
-//   prediction_cache.size                                       gauge
+//   prediction_cache.generation_invalidations                   counter
+//   prediction_cache.size / .generation                         gauges
 #ifndef PANDIA_SRC_PREDICTOR_PREDICTION_CACHE_H_
 #define PANDIA_SRC_PREDICTOR_PREDICTION_CACHE_H_
 
@@ -45,11 +55,23 @@ struct PredictionCacheKey {
 };
 
 // Fingerprint of the (machine, workload, options) triple that determines a
-// Prediction, bit-exact over every model input. The trace pointer is
-// excluded: it records the solve but does not change it.
+// Prediction, bit-exact over every model input. The CommonOptions member is
+// excluded: jobs/cache/trace shape how the solve is run and recorded, not
+// its value.
 uint64_t ContextFingerprint(const MachineDescription& machine,
                             const WorkloadDescription& workload,
                             const PredictionOptions& options);
+
+// Building blocks for co-scheduled contexts: a joint prediction is
+// determined by the machine, the solver options, and every resident
+// (workload, placement) pair, so online schedulers fold these into one
+// context fingerprint (see rack::Rack) instead of hashing only the job
+// whose prediction they want.
+uint64_t MachineOptionsFingerprint(const MachineDescription& machine,
+                                   const PredictionOptions& options);
+uint64_t WorkloadFingerprint(const WorkloadDescription& workload);
+// Order-sensitive fold of two fingerprints (FNV over the second value).
+uint64_t CombineFingerprints(uint64_t a, uint64_t b);
 
 // Fingerprint of a placement's per-core thread counts (placements are
 // canonical, so equal placements hash equal).
@@ -66,9 +88,18 @@ class PredictionCache {
   // Process-wide cache used by the optimizer and the eval sweeps.
   static PredictionCache& Global();
 
-  std::optional<Prediction> Lookup(const PredictionCacheKey& key) const;
+  // Lookup drops (and counts) entries inserted before the current
+  // generation instead of returning them.
+  std::optional<Prediction> Lookup(const PredictionCacheKey& key);
   void Insert(const PredictionCacheKey& key, const Prediction& prediction);
 
+  // Invalidation hook for online state mutations (job departures, rack
+  // reconfiguration): logically drops every current entry. O(1); stale
+  // entries are reclaimed lazily on lookup or eviction.
+  void BumpGeneration();
+  uint64_t generation() const;
+
+  // Entry count including not-yet-reclaimed stale entries.
   size_t size() const;
   void Clear();
 
@@ -77,18 +108,22 @@ class PredictionCache {
   struct KeyHash {
     size_t operator()(const PredictionCacheKey& key) const;
   };
+  struct Entry {
+    Prediction prediction;
+    uint64_t generation = 0;
+  };
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<PredictionCacheKey, Prediction, KeyHash> entries;
+    std::unordered_map<PredictionCacheKey, Entry, KeyHash> entries;
     std::deque<PredictionCacheKey> fifo;  // insertion order, for eviction
   };
 
   Shard& ShardFor(const PredictionCacheKey& key);
-  const Shard& ShardFor(const PredictionCacheKey& key) const;
 
   size_t per_shard_capacity_;
   Shard shards_[kShards];
   std::atomic<size_t> size_{0};
+  std::atomic<uint64_t> generation_{0};
 };
 
 // Predict with memoization: returns the cached Prediction for (predictor

@@ -26,16 +26,18 @@
 
 #include "src/machine_desc/machine_description.h"
 #include "src/topology/placement.h"
+#include "src/util/common_options.h"
 #include "src/util/status.h"
 #include "src/workload_desc/description.h"
 
 namespace pandia {
 
-namespace obs {
-struct PredictionTrace;
-}  // namespace obs
-
 struct PredictionOptions {
+  // Shared fan-out/cache/trace knobs (src/util/common_options.h). The
+  // trace hook lives here: when common.trace is non-null, every Predict
+  // call clears the trace and records per-iteration solver state.
+  CommonOptions common;
+
   int max_iterations = 1000;
   double convergence_eps = 1e-6;
   // §5.4: a dampening function engages after 100 iterations to prevent
@@ -54,12 +56,6 @@ struct PredictionOptions {
   // to converge (iterate, convergence_eps > 0, dampen_after > 1); outcomes
   // are counted in the predictor.divergence_* metrics.
   bool retry_on_divergence = true;
-
-  // Optional convergence introspection (src/obs/prediction_trace.h): when
-  // non-null, every Predict call clears the trace and records per-iteration
-  // solver state. The pointee must outlive the Predict call; predictions
-  // sharing one options struct overwrite each other's traces.
-  obs::PredictionTrace* trace = nullptr;
 };
 
 // A final_delta above this after max_iterations marks a divergent (not just

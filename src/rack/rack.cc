@@ -4,7 +4,10 @@
 #include <numeric>
 #include <set>
 
+#include "src/obs/metrics.h"
 #include "src/util/check.h"
+#include "src/util/parallel.h"
+#include "src/util/strings.h"
 
 namespace pandia {
 namespace rack {
@@ -77,6 +80,21 @@ int FreeOnSocket(const MachineTopology& topo, int socket,
   return total;
 }
 
+obs::Counter& AdmissionsCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().counter("rack.admissions");
+  return counter;
+}
+obs::Counter& DeparturesCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().counter("rack.departures");
+  return counter;
+}
+obs::Counter& MovesCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().counter("rack.moves");
+  return counter;
+}
+
 }  // namespace
 
 std::string PolicyName(Policy policy) {
@@ -89,6 +107,21 @@ std::string PolicyName(Policy policy) {
       return "least-interference";
   }
   return "unknown";
+}
+
+StatusOr<Policy> PolicyFromName(const std::string& name) {
+  if (name == "first-fit") {
+    return Policy::kFirstFit;
+  }
+  if (name == "best-speedup") {
+    return Policy::kBestSpeedup;
+  }
+  if (name == "least-interference") {
+    return Policy::kLeastInterference;
+  }
+  return Status::InvalidArgument(StrFormat(
+      "unknown policy '%s' (want first-fit, best-speedup, or least-interference)",
+      name.c_str()));
 }
 
 std::optional<Placement> PlaceLoadsOnFreeCores(const MachineTopology& topo,
@@ -137,31 +170,57 @@ std::optional<Placement> PlaceLoadsOnFreeCores(const MachineTopology& topo,
   return Placement(topo, std::move(per_core));
 }
 
-RackScheduler::RackScheduler(std::vector<RackMachine> machines,
-                             PredictionOptions options)
+Rack::Rack(std::vector<RackMachine> machines, PredictionOptions options)
     : machines_(std::move(machines)), options_(options) {
   PANDIA_CHECK(!machines_.empty());
   residents_.resize(machines_.size());
+  // A convergence-trace hook disables memoization for the same reason
+  // PredictCached does: a hit would silently skip recording.
+  if (options_.common.use_cache && options_.common.trace == nullptr) {
+    cache_ = &PredictionCache::Global();
+  }
+  machine_context_.reserve(machines_.size());
+  for (const RackMachine& machine : machines_) {
+    machine_context_.push_back(MachineOptionsFingerprint(machine.description, options_));
+  }
 }
 
-const std::vector<RackScheduler::Resident>& RackScheduler::ResidentsOf(
-    int machine_index) const {
+const std::vector<RackJob>& Rack::JobsOn(int machine_index) const {
   PANDIA_CHECK(machine_index >= 0 &&
                static_cast<size_t>(machine_index) < residents_.size());
   return residents_[machine_index];
 }
 
-void RackScheduler::Reset() {
-  for (auto& residents : residents_) {
-    residents.clear();
+bool Rack::Has(const std::string& job) const { return MachineOf(job).ok(); }
+
+StatusOr<int> Rack::MachineOf(const std::string& job) const {
+  for (size_t m = 0; m < residents_.size(); ++m) {
+    for (const RackJob& resident : residents_[m]) {
+      if (resident.name == job) {
+        return static_cast<int>(m);
+      }
+    }
   }
+  return Status::NotFound(StrFormat("no job named '%s' is resident", job.c_str()));
 }
 
-std::vector<uint8_t> RackScheduler::FreeThreads(int machine_index) const {
+int Rack::JobCount() const {
+  size_t total = 0;
+  for (const auto& residents : residents_) {
+    total += residents.size();
+  }
+  return static_cast<int>(total);
+}
+
+std::vector<uint8_t> Rack::FreeThreads(int machine_index,
+                                       const std::string* exclude_job) const {
   const MachineTopology& topo = machines_[machine_index].description.topo;
   std::vector<uint8_t> free(static_cast<size_t>(topo.NumCores()),
                             static_cast<uint8_t>(topo.threads_per_core));
-  for (const Resident& resident : residents_[machine_index]) {
+  for (const RackJob& resident : residents_[machine_index]) {
+    if (exclude_job != nullptr && resident.name == *exclude_job) {
+      continue;
+    }
     for (int c = 0; c < topo.NumCores(); ++c) {
       const int used = resident.placement.ThreadsOnCore(c);
       PANDIA_CHECK(free[c] >= used);
@@ -171,8 +230,76 @@ std::vector<uint8_t> RackScheduler::FreeThreads(int machine_index) const {
   return free;
 }
 
-std::optional<RackScheduler::Candidate> RackScheduler::BestCandidateOn(
-    int machine_index, const JobRequest& job, Policy policy) const {
+int Rack::FreeThreadCount(int machine_index) const {
+  const std::vector<uint8_t> free = FreeThreads(machine_index);
+  return std::accumulate(free.begin(), free.end(), 0);
+}
+
+std::vector<Prediction> Rack::PredictResidents(
+    int machine_index, std::span<const RackJob* const> jobs) const {
+  std::vector<Prediction> predictions;
+  if (jobs.empty()) {
+    return predictions;
+  }
+  // Joint context: machine + options + every resident (workload, placement)
+  // pair, in order. Slot i of the joint solve is keyed by {context, i}: any
+  // membership, ordering, or placement change produces a different context,
+  // so entries cannot go stale by construction.
+  uint64_t context = 0;
+  if (cache_ != nullptr) {
+    context = machine_context_[machine_index];
+    for (const RackJob* job : jobs) {
+      context = CombineFingerprints(context, job->workload_fingerprint);
+      context = CombineFingerprints(context, PlacementFingerprint(job->placement));
+    }
+    predictions.reserve(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      std::optional<Prediction> hit =
+          cache_->Lookup(PredictionCacheKey{context, static_cast<uint64_t>(i)});
+      if (!hit.has_value()) {
+        predictions.clear();
+        break;
+      }
+      predictions.push_back(*std::move(hit));
+    }
+    if (predictions.size() == jobs.size()) {
+      return predictions;
+    }
+  }
+  std::vector<CoScheduleRequest> requests;
+  requests.reserve(jobs.size());
+  for (const RackJob* job : jobs) {
+    requests.push_back(CoScheduleRequest{&job->description, job->placement});
+  }
+  const CoSchedulePredictor engine(machines_[machine_index].description, options_);
+  predictions = engine.Predict(requests).jobs;
+  if (cache_ != nullptr) {
+    for (size_t i = 0; i < predictions.size(); ++i) {
+      if (predictions[i].converged) {
+        cache_->Insert(PredictionCacheKey{context, static_cast<uint64_t>(i)},
+                       predictions[i]);
+      }
+    }
+  }
+  return predictions;
+}
+
+std::vector<Prediction> Rack::PredictMachine(int machine_index) const {
+  PANDIA_CHECK(machine_index >= 0 &&
+               static_cast<size_t>(machine_index) < residents_.size());
+  std::vector<const RackJob*> jobs;
+  jobs.reserve(residents_[machine_index].size());
+  for (const RackJob& resident : residents_[machine_index]) {
+    jobs.push_back(&resident);
+  }
+  return PredictResidents(machine_index, jobs);
+}
+
+std::optional<Rack::Candidate> Rack::BestCandidateOn(
+    int machine_index, const JobRequest& job, Policy policy,
+    const std::string* exclude_job) const {
+  PANDIA_CHECK(machine_index >= 0 &&
+               static_cast<size_t>(machine_index) < residents_.size());
   const RackMachine& machine = machines_[machine_index];
   const MachineTopology& topo = machine.description.topo;
   const auto desc_it = job.descriptions.find(topo.name);
@@ -180,7 +307,16 @@ std::optional<RackScheduler::Candidate> RackScheduler::BestCandidateOn(
     return std::nullopt;  // no description for this machine type
   }
   const WorkloadDescription& workload = desc_it->second;
-  const std::vector<uint8_t> free = FreeThreads(machine_index);
+  const std::vector<uint8_t> free = FreeThreads(machine_index, exclude_job);
+
+  std::vector<const RackJob*> others;
+  others.reserve(residents_[machine_index].size());
+  for (const RackJob& resident : residents_[machine_index]) {
+    if (exclude_job != nullptr && resident.name == *exclude_job) {
+      continue;
+    }
+    others.push_back(&resident);
+  }
 
   // Candidate generation (heuristic, bounded): for every feasible thread
   // count up to the request, split the threads over the k most-free sockets
@@ -202,18 +338,11 @@ std::optional<RackScheduler::Candidate> RackScheduler::BestCandidateOn(
 
   // Aggregate speedup of the machine's residents before the new job, so
   // the interference objective scores the *change* caused by admitting it
-  // (a plain after-sum would reward already-busy machines).
+  // (a plain after-sum would reward already-busy machines). Memoized: this
+  // is the per-machine baseline that admissions re-read between mutations.
   double before_total = 0.0;
-  if (!residents_[machine_index].empty()) {
-    std::vector<CoScheduleRequest> requests;
-    requests.reserve(residents_[machine_index].size());
-    for (const Resident& resident : residents_[machine_index]) {
-      requests.push_back(CoScheduleRequest{&resident.description, resident.placement});
-    }
-    const CoSchedulePredictor engine(machine.description, options_);
-    for (const Prediction& prediction : engine.Predict(requests).jobs) {
-      before_total += prediction.speedup;
-    }
+  for (const Prediction& prediction : PredictResidents(machine_index, others)) {
+    before_total += prediction.speedup;
   }
 
   std::set<std::vector<uint8_t>> seen;
@@ -239,12 +368,14 @@ std::optional<RackScheduler::Candidate> RackScheduler::BestCandidateOn(
         }
         const Placement placement(topo, per_core);
 
-        // Joint prediction with the machine's residents.
+        // Joint prediction with the machine's residents. Not memoized: each
+        // candidate is a novel transient context, and inserting thousands of
+        // them would only churn the cache.
         std::vector<CoScheduleRequest> requests;
-        requests.reserve(residents_[machine_index].size() + 1);
-        for (const Resident& resident : residents_[machine_index]) {
+        requests.reserve(others.size() + 1);
+        for (const RackJob* resident : others) {
           requests.push_back(
-              CoScheduleRequest{&resident.description, resident.placement});
+              CoScheduleRequest{&resident->description, resident->placement});
         }
         requests.push_back(CoScheduleRequest{&workload, placement});
         const CoSchedulePredictor engine(machine.description, options_);
@@ -272,48 +403,217 @@ std::optional<RackScheduler::Candidate> RackScheduler::BestCandidateOn(
   return best;
 }
 
+StatusOr<Assignment> Rack::Admit(const JobRequest& job, Policy policy) {
+  if (job.name.empty()) {
+    return Status::InvalidArgument("job name must be non-empty");
+  }
+  if (job.requested_threads <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("job '%s' requests %d threads; want a positive count",
+                  job.name.c_str(), job.requested_threads));
+  }
+  if (Has(job.name)) {
+    return Status::FailedPrecondition(
+        StrFormat("a job named '%s' is already resident", job.name.c_str()));
+  }
+  bool any_type_match = false;
+  for (const RackMachine& machine : machines_) {
+    const auto it = job.descriptions.find(machine.description.topo.name);
+    if (it == job.descriptions.end()) {
+      continue;
+    }
+    any_type_match = true;
+    if (Status status = it->second.Validate(); !status.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("job '%s', machine type '%s': %s", job.name.c_str(),
+                    machine.description.topo.name.c_str(), status.message().c_str()));
+    }
+  }
+  if (!any_type_match) {
+    return Status::NotFound(
+        StrFormat("job '%s' has no description for any machine type in the rack",
+                  job.name.c_str()));
+  }
+
+  // Probe every machine concurrently; the probes only read rack state and
+  // memoize through the (thread-safe) prediction cache. First-fit also
+  // probes all machines — the result (lowest feasible index) is identical
+  // to a serial scan, and the fan-out keeps admission latency flat.
+  std::vector<std::optional<Candidate>> candidates(machines_.size());
+  util::ParallelFor(machines_.size(), options_.common.jobs, [&](size_t m) {
+    candidates[m] = BestCandidateOn(static_cast<int>(m), job, policy);
+  });
+
+  std::optional<Candidate> chosen;
+  int chosen_machine = -1;
+  for (size_t m = 0; m < machines_.size(); ++m) {
+    if (!candidates[m].has_value()) {
+      continue;
+    }
+    if (policy == Policy::kFirstFit) {
+      chosen = std::move(candidates[m]);
+      chosen_machine = static_cast<int>(m);
+      break;
+    }
+    const bool better = [&] {
+      if (!chosen.has_value()) {
+        return true;
+      }
+      if (policy == Policy::kLeastInterference) {
+        return candidates[m]->total_speedup > chosen->total_speedup;
+      }
+      return candidates[m]->job_speedup > chosen->job_speedup;
+    }();
+    if (better) {
+      chosen = std::move(candidates[m]);
+      chosen_machine = static_cast<int>(m);
+    }
+  }
+  if (!chosen.has_value()) {
+    return Status::FailedPrecondition(
+        StrFormat("no machine can place job '%s' (requested %d threads)",
+                  job.name.c_str(), job.requested_threads));
+  }
+
+  const MachineTopology& topo = machines_[chosen_machine].description.topo;
+  const WorkloadDescription& description = job.descriptions.at(topo.name);
+  residents_[chosen_machine].push_back(RackJob{job.name, description,
+                                               chosen->placement,
+                                               WorkloadFingerprint(description)});
+  AdmissionsCounter().Increment();
+
+  Assignment assignment;
+  assignment.job = job.name;
+  assignment.machine_index = chosen_machine;
+  assignment.placement = chosen->placement;
+  assignment.predicted_speedup = chosen->job_speedup;
+  return assignment;
+}
+
+Status Rack::ValidatePlacementFits(int machine_index, const Placement& placement,
+                                   const std::vector<uint8_t>& free) const {
+  const MachineTopology& topo = machines_[machine_index].description.topo;
+  const std::vector<uint8_t>& per_core = placement.PerCore();
+  if (static_cast<int>(per_core.size()) != topo.NumCores()) {
+    return Status::InvalidArgument(
+        StrFormat("placement covers %zu cores but machine '%s' has %d",
+                  per_core.size(), machines_[machine_index].name.c_str(),
+                  topo.NumCores()));
+  }
+  if (placement.TotalThreads() == 0) {
+    return Status::InvalidArgument("placement has no threads");
+  }
+  for (size_t c = 0; c < per_core.size(); ++c) {
+    if (per_core[c] > free[c]) {
+      return Status::FailedPrecondition(StrFormat(
+          "placement needs %d threads on core %zu of machine '%s' but only %d free",
+          static_cast<int>(per_core[c]), c, machines_[machine_index].name.c_str(),
+          static_cast<int>(free[c])));
+    }
+  }
+  return Status::Ok();
+}
+
+Status Rack::AdmitAt(const std::string& name, int machine_index,
+                     const WorkloadDescription& description,
+                     const Placement& placement) {
+  if (name.empty()) {
+    return Status::InvalidArgument("job name must be non-empty");
+  }
+  if (machine_index < 0 || static_cast<size_t>(machine_index) >= machines_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("machine index %d out of range [0, %zu)", machine_index,
+                  machines_.size()));
+  }
+  if (Has(name)) {
+    return Status::FailedPrecondition(
+        StrFormat("a job named '%s' is already resident", name.c_str()));
+  }
+  PANDIA_RETURN_IF_ERROR(description.Validate());
+  PANDIA_RETURN_IF_ERROR(
+      ValidatePlacementFits(machine_index, placement, FreeThreads(machine_index)));
+  residents_[machine_index].push_back(
+      RackJob{name, description, placement, WorkloadFingerprint(description)});
+  AdmissionsCounter().Increment();
+  return Status::Ok();
+}
+
+StatusOr<int> Rack::Depart(const std::string& job) {
+  StatusOr<int> found = MachineOf(job);
+  if (!found.ok()) {
+    return found.status();
+  }
+  const int machine_index = *found;
+  auto& residents = residents_[machine_index];
+  std::erase_if(residents, [&](const RackJob& r) { return r.name == job; });
+  DeparturesCounter().Increment();
+  // Hard invalidation: joint fingerprints already exclude the departed job
+  // from future contexts, but bumping the generation also drops any entry
+  // other callers keyed more loosely against the old co-location.
+  if (cache_ != nullptr) {
+    cache_->BumpGeneration();
+  }
+  return machine_index;
+}
+
+Status Rack::Move(const std::string& job, int machine_index,
+                  const Placement& placement) {
+  StatusOr<int> found = MachineOf(job);
+  if (!found.ok()) {
+    return found.status();
+  }
+  const int from = *found;
+  if (machine_index < 0 || static_cast<size_t>(machine_index) >= machines_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("machine index %d out of range [0, %zu)", machine_index,
+                  machines_.size()));
+  }
+  // Validate against free threads with the job itself excluded, so a move
+  // within one machine can reuse its own slots.
+  const std::string* exclude = from == machine_index ? &job : nullptr;
+  PANDIA_RETURN_IF_ERROR(ValidatePlacementFits(
+      machine_index, placement, FreeThreads(machine_index, exclude)));
+
+  auto& source = residents_[from];
+  const auto it = std::find_if(source.begin(), source.end(),
+                               [&](const RackJob& r) { return r.name == job; });
+  RackJob moved = std::move(*it);
+  source.erase(it);
+  moved.placement = placement;
+  residents_[machine_index].push_back(std::move(moved));
+  MovesCounter().Increment();
+  return Status::Ok();
+}
+
+void Rack::Reset() {
+  for (auto& residents : residents_) {
+    residents.clear();
+  }
+}
+
+RackScheduler::RackScheduler(std::vector<RackMachine> machines,
+                             PredictionOptions options)
+    : rack_(std::move(machines), options) {}
+
 std::vector<Assignment> RackScheduler::Schedule(std::span<const JobRequest> jobs,
                                                 Policy policy) {
   std::vector<Assignment> assignments;
   assignments.reserve(jobs.size());
   for (const JobRequest& job : jobs) {
-    PANDIA_CHECK(job.requested_threads > 0);
+    // Batch streams may repeat names (several instances of one workload);
+    // resident names must be unique, so uniquify internally.
+    JobRequest request = job;
+    int suffix = 2;
+    while (rack_.Has(request.name)) {
+      request.name = StrFormat("%s#%d", job.name.c_str(), suffix++);
+    }
+    StatusOr<Assignment> admitted = rack_.Admit(request, policy);
     Assignment assignment;
     assignment.job = job.name;
-    std::optional<Candidate> chosen;
-    int chosen_machine = -1;
-    for (size_t m = 0; m < machines_.size(); ++m) {
-      const std::optional<Candidate> candidate =
-          BestCandidateOn(static_cast<int>(m), job, policy);
-      if (!candidate.has_value()) {
-        continue;
-      }
-      if (policy == Policy::kFirstFit) {
-        chosen = candidate;
-        chosen_machine = static_cast<int>(m);
-        break;
-      }
-      const bool better = [&] {
-        if (!chosen.has_value()) {
-          return true;
-        }
-        if (policy == Policy::kLeastInterference) {
-          return candidate->total_speedup > chosen->total_speedup;
-        }
-        return candidate->job_speedup > chosen->job_speedup;
-      }();
-      if (better) {
-        chosen = candidate;
-        chosen_machine = static_cast<int>(m);
-      }
-    }
-    if (chosen.has_value()) {
-      assignment.machine_index = chosen_machine;
-      assignment.placement = chosen->placement;
-      assignment.predicted_speedup = chosen->job_speedup;
-      const MachineTopology& topo = machines_[chosen_machine].description.topo;
-      residents_[chosen_machine].push_back(
-          Resident{job.descriptions.at(topo.name), *assignment.placement});
+    if (admitted.ok()) {
+      assignment.machine_index = admitted->machine_index;
+      assignment.placement = admitted->placement;
+      assignment.predicted_speedup = admitted->predicted_speedup;
     }
     assignments.push_back(std::move(assignment));
   }

@@ -8,9 +8,19 @@
 // assigns each job to one machine and one placement on that machine's free
 // hardware threads, using the co-scheduling predictor to account for the
 // jobs already running there.
+//
+// Two layers:
+//
+//   * `Rack` is the mutable online state: machines plus the named jobs
+//     resident on them, with Admit / Depart / Move mutations that never
+//     abort on bad input (StatusOr surface). This is what the long-running
+//     placement service (src/serve) holds and journals.
+//   * `RackScheduler` is the batch wrapper the offline experiments use:
+//     Schedule() admits a whole job stream in order.
 #ifndef PANDIA_SRC_RACK_RACK_H_
 #define PANDIA_SRC_RACK_RACK_H_
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <span>
@@ -19,7 +29,9 @@
 
 #include "src/machine_desc/machine_description.h"
 #include "src/predictor/co_schedule.h"
+#include "src/predictor/prediction_cache.h"
 #include "src/topology/placement.h"
+#include "src/util/status.h"
 #include "src/workload_desc/description.h"
 
 namespace pandia {
@@ -40,6 +52,17 @@ struct JobRequest {
   int requested_threads = 0;
 };
 
+// A named job resident on one rack machine. Descriptions are stored by
+// value, so residents outlive the requests that admitted them.
+struct RackJob {
+  std::string name;
+  WorkloadDescription description;  // for the host machine's type
+  Placement placement;
+  // WorkloadFingerprint(description), computed once at admission; folded
+  // into the host machine's joint-prediction cache key.
+  uint64_t workload_fingerprint = 0;
+};
+
 struct Assignment {
   std::string job;
   int machine_index = -1;  // -1: the job could not be placed
@@ -57,6 +80,7 @@ enum class Policy {
 };
 
 std::string PolicyName(Policy policy);
+StatusOr<Policy> PolicyFromName(const std::string& name);
 
 // Builds a placement with the given per-socket loads using only free
 // hardware threads (free[c] in [0, threads_per_core]). Doubles take cores
@@ -66,42 +90,123 @@ std::optional<Placement> PlaceLoadsOnFreeCores(const MachineTopology& topo,
                                                std::span<const SocketLoad> loads,
                                                const std::vector<uint8_t>& free);
 
-class RackScheduler {
+// Mutable rack state with online admission. All mutations validate their
+// inputs and report recoverable failures as Status — a malformed request
+// must never take down a daemon holding live placement state.
+class Rack {
  public:
-  explicit RackScheduler(std::vector<RackMachine> machines,
-                         PredictionOptions options = {});
-
-  // Assigns jobs online, in order. Jobs that fit nowhere get
-  // machine_index = -1.
-  std::vector<Assignment> Schedule(std::span<const JobRequest> jobs, Policy policy);
+  // `options.common.jobs` fans the per-machine admission probes out over
+  // worker threads; `options.common.use_cache` memoizes per-machine joint
+  // predictions in PredictionCache::Global() under full resident-set
+  // fingerprints (see PredictMachine).
+  explicit Rack(std::vector<RackMachine> machines, PredictionOptions options = {});
 
   const std::vector<RackMachine>& machines() const { return machines_; }
+  const PredictionOptions& options() const { return options_; }
 
-  // Jobs currently assigned to a machine (for inspection and validation).
-  // Descriptions are stored by value, so assignments outlive the requests.
-  struct Resident {
-    WorkloadDescription description;
-    Placement placement;
-  };
-  const std::vector<Resident>& ResidentsOf(int machine_index) const;
+  // Jobs resident on one machine, in admission order (the order the joint
+  // predictor sees them in — journal replay reproduces it exactly).
+  const std::vector<RackJob>& JobsOn(int machine_index) const;
+  bool Has(const std::string& job) const;
+  // Machine index hosting `job`, or NotFound.
+  StatusOr<int> MachineOf(const std::string& job) const;
+  int JobCount() const;
 
-  // Clears all assignments.
-  void Reset();
+  // Free hardware threads per core of one machine (threads_per_core minus
+  // resident occupancy). `exclude_job`, when non-null, treats that resident
+  // job's threads as free (re-placement what-ifs).
+  std::vector<uint8_t> FreeThreads(int machine_index,
+                                   const std::string* exclude_job = nullptr) const;
+  int FreeThreadCount(int machine_index) const;
 
- private:
   struct Candidate {
     Placement placement;
     double job_speedup = 0.0;
     double total_speedup = 0.0;  // net change in the machine's aggregate speedup
   };
 
+  // Best placement for `job` on one machine against the current residents
+  // (nullopt when the job has no description for the machine's type or
+  // nothing fits). `exclude_job` evaluates the machine as if that resident
+  // had already left — the re-placement path of departures and rebalancing.
   std::optional<Candidate> BestCandidateOn(int machine_index, const JobRequest& job,
-                                           Policy policy) const;
-  std::vector<uint8_t> FreeThreads(int machine_index) const;
+                                           Policy policy,
+                                           const std::string* exclude_job = nullptr) const;
+
+  // Online admission: probes every machine (fanning out over
+  // options().common.jobs workers), applies the best candidate under
+  // `policy`, and returns the resulting assignment. Errors: invalid
+  // request, duplicate job name, no description for any machine type in
+  // the rack, or no machine with a feasible placement.
+  StatusOr<Assignment> Admit(const JobRequest& job, Policy policy);
+
+  // Applies a recorded admission decision without searching (journal
+  // replay): validates the description and that `placement` fits the
+  // machine's free threads, then places the job.
+  Status AdmitAt(const std::string& name, int machine_index,
+                 const WorkloadDescription& description, const Placement& placement);
+
+  // Removes a job and returns the machine index it was resident on.
+  StatusOr<int> Depart(const std::string& job);
+
+  // Re-places a resident job at `placement` on `machine_index` (same or
+  // different machine), keeping its description. The moved job goes to the
+  // end of the destination machine's resident order, exactly as a
+  // depart-and-readmit would — journal replay reproduces the order.
+  Status Move(const std::string& job, int machine_index, const Placement& placement);
+
+  // Joint prediction of one machine's residents, in resident order (empty
+  // machine: empty vector). Results are memoized under a fingerprint of
+  // the full resident set — machine, options, and every (workload,
+  // placement) pair — so a stale hit cannot survive any membership or
+  // placement change; PredictionCache::BumpGeneration() additionally
+  // hard-invalidates after departures.
+  std::vector<Prediction> PredictMachine(int machine_index) const;
+
+  // Clears all residents.
+  void Reset();
+
+ private:
+  std::optional<Candidate> BestCandidateAgainst(int machine_index,
+                                                const JobRequest& job, Policy policy,
+                                                const std::vector<uint8_t>& free) const;
+  std::vector<Prediction> PredictResidents(int machine_index,
+                                           std::span<const RackJob* const> jobs) const;
+  Status ValidatePlacementFits(int machine_index, const Placement& placement,
+                               const std::vector<uint8_t>& free) const;
 
   std::vector<RackMachine> machines_;
   PredictionOptions options_;
-  std::vector<std::vector<Resident>> residents_;
+  PredictionCache* cache_ = nullptr;  // null when options_.common.use_cache is off
+  std::vector<uint64_t> machine_context_;  // MachineOptionsFingerprint per machine
+  std::vector<std::vector<RackJob>> residents_;
+};
+
+// Batch scheduling over a Rack: admits a job stream in order. Kept for the
+// offline experiments (bench/ext_rack) and as the simplest entry point.
+class RackScheduler {
+ public:
+  explicit RackScheduler(std::vector<RackMachine> machines,
+                         PredictionOptions options = {});
+
+  // Assigns jobs online, in order. Jobs that fit nowhere get
+  // machine_index = -1. Duplicate request names are uniquified internally
+  // (the returned Assignment keeps the request's name).
+  std::vector<Assignment> Schedule(std::span<const JobRequest> jobs, Policy policy);
+
+  const std::vector<RackMachine>& machines() const { return rack_.machines(); }
+  const std::vector<RackJob>& ResidentsOf(int machine_index) const {
+    return rack_.JobsOn(machine_index);
+  }
+
+  Rack& rack() { return rack_; }
+  const Rack& rack() const { return rack_; }
+
+  // Clears all assignments.
+  void Reset() { rack_.Reset(); }
+
+ private:
+  Rack rack_;
 };
 
 }  // namespace rack

@@ -1,0 +1,598 @@
+#include "src/serve/service.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/serialize/serialize.h"
+#include "src/topology/resource_index.h"
+#include "src/util/strings.h"
+
+namespace pandia {
+namespace serve {
+namespace {
+
+constexpr const char kJournalMagic[] = "pandia-journal v1";
+
+StatusOr<int> ParseInt(const std::string& value, const char* what) {
+  char* end = nullptr;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  if (value.empty() || *end != '\0' || parsed < -1000000000L || parsed > 1000000000L) {
+    return Status::InvalidArgument(
+        StrFormat("parameter '%s' must be an integer, got '%s'", what,
+                  value.c_str()));
+  }
+  return static_cast<int>(parsed);
+}
+
+// The resource the job is predicted to be limited by: the bottleneck of its
+// most-slowed thread ("none" for an uncontended or thread-less prediction).
+std::string BottleneckName(const MachineTopology& topo,
+                           const Prediction& prediction) {
+  int bottleneck = -1;
+  double worst = -1.0;
+  for (const ThreadPrediction& thread : prediction.threads) {
+    if (thread.overall_slowdown > worst) {
+      worst = thread.overall_slowdown;
+      bottleneck = thread.bottleneck;
+    }
+  }
+  if (bottleneck < 0) {
+    return "none";
+  }
+  return ResourceIndex(topo).Name(bottleneck);
+}
+
+}  // namespace
+
+StatusOr<PlacementService> PlacementService::Create(
+    std::vector<rack::RackMachine> machines, ServiceOptions options) {
+  if (machines.empty()) {
+    return Status::InvalidArgument("a placement service needs at least one machine");
+  }
+  PlacementService service(std::move(machines), std::move(options));
+  const std::string& path = service.options_.journal_path;
+  if (!path.empty()) {
+    if (std::FILE* existing = std::fopen(path.c_str(), "rb")) {
+      std::fclose(existing);
+      StatusOr<std::string> text = ReadTextFile(path);
+      if (!text.ok()) {
+        return text.status();
+      }
+      PANDIA_RETURN_IF_ERROR(service.ReplayJournal(*text));
+      service.journal_ = std::fopen(path.c_str(), "ab");
+    } else {
+      service.journal_ = std::fopen(path.c_str(), "wb");
+      if (service.journal_ != nullptr) {
+        std::fprintf(service.journal_, "%s\n", kJournalMagic);
+        std::fflush(service.journal_);
+      }
+    }
+    if (service.journal_ == nullptr) {
+      return Status::Unavailable(
+          StrFormat("cannot open journal '%s' for appending", path.c_str()));
+    }
+  }
+  return service;
+}
+
+PlacementService::PlacementService(std::vector<rack::RackMachine> machines,
+                                   ServiceOptions options)
+    : options_(std::move(options)), rack_(std::move(machines), options_.prediction) {}
+
+PlacementService::PlacementService(PlacementService&& other) noexcept
+    : options_(std::move(other.options_)),
+      rack_(std::move(other.rack_)),
+      journal_(std::exchange(other.journal_, nullptr)),
+      shutdown_(other.shutdown_) {}
+
+PlacementService& PlacementService::operator=(PlacementService&& other) noexcept {
+  if (this != &other) {
+    if (journal_ != nullptr) {
+      std::fclose(journal_);
+    }
+    options_ = std::move(other.options_);
+    rack_ = std::move(other.rack_);
+    journal_ = std::exchange(other.journal_, nullptr);
+    shutdown_ = other.shutdown_;
+  }
+  return *this;
+}
+
+PlacementService::~PlacementService() {
+  if (journal_ != nullptr) {
+    std::fclose(journal_);
+  }
+}
+
+std::string PlacementService::HandleLine(const std::string& line) {
+  StatusOr<wire::Request> request = wire::ParseRequest(line);
+  if (!request.ok()) {
+    return wire::FormatResponse(wire::Response::Failure(request.status()));
+  }
+  return wire::FormatResponse(Handle(*request));
+}
+
+wire::Response PlacementService::Handle(const wire::Request& request) {
+  if (request.verb == "ADMIT") {
+    return HandleAdmit(request);
+  }
+  if (request.verb == "DEPART") {
+    return HandleDepart(request);
+  }
+  if (request.verb == "REBALANCE") {
+    return HandleRebalance(request);
+  }
+  if (request.verb == "STATUS") {
+    return HandleStatus();
+  }
+  if (request.verb == "METRICS") {
+    return HandleMetrics();
+  }
+  if (request.verb == "SHUTDOWN") {
+    shutdown_ = true;
+    return wire::Response::Success("SHUTDOWN");
+  }
+  return wire::Response::Failure(Status::InvalidArgument(
+      StrFormat("unknown verb '%s' (want ADMIT, DEPART, REBALANCE, STATUS, "
+                "METRICS, or SHUTDOWN)",
+                request.verb.c_str())));
+}
+
+wire::Response PlacementService::HandleAdmit(const wire::Request& request) {
+  rack::JobRequest job;
+  rack::Policy policy = options_.default_policy;
+  for (const auto& [key, value] : request.params) {
+    if (key == "name") {
+      job.name = value;
+    } else if (key == "threads") {
+      StatusOr<int> threads = ParseInt(value, "threads");
+      if (!threads.ok()) {
+        return wire::Response::Failure(threads.status());
+      }
+      job.requested_threads = *threads;
+    } else if (key == "policy") {
+      StatusOr<rack::Policy> parsed = rack::PolicyFromName(value);
+      if (!parsed.ok()) {
+        return wire::Response::Failure(parsed.status());
+      }
+      policy = *parsed;
+    } else if (key.rfind("desc.", 0) == 0) {
+      const std::string type = key.substr(5);
+      if (type.empty()) {
+        return wire::Response::Failure(
+            Status::InvalidArgument("description key 'desc.' names no machine type"));
+      }
+      StatusOr<WorkloadDescription> description = WorkloadDescriptionFromText(value);
+      if (!description.ok()) {
+        return wire::Response::Failure(Status::InvalidArgument(
+            StrFormat("desc.%s: %s", type.c_str(),
+                      description.status().message().c_str())));
+      }
+      job.descriptions.emplace(type, *std::move(description));
+    } else {
+      return wire::Response::Failure(Status::InvalidArgument(
+          StrFormat("ADMIT does not take parameter '%s'", key.c_str())));
+    }
+  }
+  if (job.descriptions.empty()) {
+    return wire::Response::Failure(Status::InvalidArgument(
+        "ADMIT needs at least one desc.<machine-type> parameter"));
+  }
+
+  StatusOr<rack::Assignment> admitted = rack_.Admit(job, policy);
+  if (!admitted.ok()) {
+    return wire::Response::Failure(admitted.status());
+  }
+  const int machine_index = admitted->machine_index;
+  const rack::RackMachine& machine = rack_.machines()[machine_index];
+
+  wire::Request record;
+  record.verb = "ADMITTED";
+  record.params.emplace_back("name", job.name);
+  record.params.emplace_back("machine", StrFormat("%d", machine_index));
+  record.params.emplace_back("placement", wire::PlacementToCsv(*admitted->placement));
+  record.params.emplace_back(
+      "desc", WorkloadDescriptionToText(
+                  job.descriptions.at(machine.description.topo.name)));
+  if (Status journaled = AppendJournal(record); !journaled.ok()) {
+    return wire::Response::Failure(journaled);
+  }
+
+  wire::Response response = wire::Response::Success("ADMIT");
+  response.payload.push_back(StrFormat("machine = %d", machine_index));
+  response.payload.push_back(
+      StrFormat("machine-name = %s", wire::EscapeValue(machine.name).c_str()));
+  response.payload.push_back(StrFormat(
+      "placement = %s", wire::PlacementToCsv(*admitted->placement).c_str()));
+  response.payload.push_back(
+      StrFormat("threads = %d", admitted->placement->TotalThreads()));
+  response.payload.push_back(
+      StrFormat("speedup = %.6f", admitted->predicted_speedup));
+  return response;
+}
+
+Status PlacementService::ReplaceDegraded(int machine_index,
+                                         std::vector<std::string>& payload) {
+  // Snapshot names first: moves re-order the resident vector.
+  std::vector<std::string> names;
+  for (const rack::RackJob& job : rack_.JobsOn(machine_index)) {
+    names.push_back(job.name);
+  }
+  const std::string type =
+      rack_.machines()[machine_index].description.topo.name;
+  for (const std::string& name : names) {
+    const auto& residents = rack_.JobsOn(machine_index);
+    const auto it = std::find_if(residents.begin(), residents.end(),
+                                 [&](const rack::RackJob& r) { return r.name == name; });
+    if (it == residents.end()) {
+      continue;
+    }
+    const size_t index = static_cast<size_t>(it - residents.begin());
+    const std::vector<Prediction> current = rack_.PredictMachine(machine_index);
+    const double current_speedup = current[index].speedup;
+
+    rack::JobRequest probe;
+    probe.name = name;
+    probe.descriptions.emplace(type, it->description);
+    probe.requested_threads = it->placement.TotalThreads();
+    const std::optional<rack::Rack::Candidate> candidate = rack_.BestCandidateOn(
+        machine_index, probe, rack::Policy::kBestSpeedup, &name);
+    if (!candidate.has_value() ||
+        candidate->job_speedup <= current_speedup * (1.0 + options_.replace_margin)) {
+      continue;
+    }
+    PANDIA_RETURN_IF_ERROR(rack_.Move(name, machine_index, candidate->placement));
+    wire::Request record;
+    record.verb = "MOVED";
+    record.params.emplace_back("name", name);
+    record.params.emplace_back("machine", StrFormat("%d", machine_index));
+    record.params.emplace_back("placement",
+                               wire::PlacementToCsv(candidate->placement));
+    PANDIA_RETURN_IF_ERROR(AppendJournal(record));
+    payload.push_back(StrFormat("moved = %s machine=%d placement=%s speedup=%.6f",
+                                wire::EscapeValue(name).c_str(), machine_index,
+                                wire::PlacementToCsv(candidate->placement).c_str(),
+                                candidate->job_speedup));
+  }
+  return Status::Ok();
+}
+
+wire::Response PlacementService::HandleDepart(const wire::Request& request) {
+  const std::string* name = request.Find("name");
+  if (name == nullptr) {
+    return wire::Response::Failure(
+        Status::InvalidArgument("DEPART needs a name=<job> parameter"));
+  }
+  for (const auto& [key, value] : request.params) {
+    if (key != "name") {
+      return wire::Response::Failure(Status::InvalidArgument(
+          StrFormat("DEPART does not take parameter '%s'", key.c_str())));
+    }
+  }
+  StatusOr<int> departed = rack_.Depart(*name);
+  if (!departed.ok()) {
+    return wire::Response::Failure(departed.status());
+  }
+  wire::Request record;
+  record.verb = "DEPARTED";
+  record.params.emplace_back("name", *name);
+  if (Status journaled = AppendJournal(record); !journaled.ok()) {
+    return wire::Response::Failure(journaled);
+  }
+
+  wire::Response response = wire::Response::Success("DEPART");
+  response.payload.push_back(StrFormat("machine = %d", *departed));
+  // Freed threads are an opportunity: re-place neighbours the departed job
+  // was degrading.
+  if (Status replaced = ReplaceDegraded(*departed, response.payload);
+      !replaced.ok()) {
+    return wire::Response::Failure(replaced);
+  }
+  return response;
+}
+
+wire::Response PlacementService::HandleRebalance(const wire::Request& request) {
+  int max_migrations = options_.default_max_migrations;
+  for (const auto& [key, value] : request.params) {
+    if (key == "max-migrations") {
+      StatusOr<int> parsed = ParseInt(value, "max-migrations");
+      if (!parsed.ok()) {
+        return wire::Response::Failure(parsed.status());
+      }
+      if (*parsed < 0) {
+        return wire::Response::Failure(Status::InvalidArgument(
+            "parameter 'max-migrations' must be non-negative"));
+      }
+      max_migrations = *parsed;
+    } else {
+      return wire::Response::Failure(Status::InvalidArgument(
+          StrFormat("REBALANCE does not take parameter '%s'", key.c_str())));
+    }
+  }
+
+  wire::Response response = wire::Response::Success("REBALANCE");
+  int migrations = 0;
+  // Each round re-places the currently worst-predicted job if some machine
+  // of its type offers a margin-beating improvement. Stops at the migration
+  // budget or at a fixed point (no candidate improves).
+  while (migrations < max_migrations) {
+    struct Entry {
+      std::string name;
+      int machine = -1;
+      double speedup = 0.0;
+    };
+    std::vector<Entry> jobs;
+    for (size_t m = 0; m < rack_.machines().size(); ++m) {
+      const std::vector<Prediction> predictions =
+          rack_.PredictMachine(static_cast<int>(m));
+      const auto& residents = rack_.JobsOn(static_cast<int>(m));
+      for (size_t i = 0; i < residents.size(); ++i) {
+        jobs.push_back(
+            Entry{residents[i].name, static_cast<int>(m), predictions[i].speedup});
+      }
+    }
+    // Worst predicted speedup first; names break ties deterministically.
+    std::sort(jobs.begin(), jobs.end(), [](const Entry& a, const Entry& b) {
+      return a.speedup != b.speedup ? a.speedup < b.speedup : a.name < b.name;
+    });
+
+    bool moved = false;
+    for (const Entry& entry : jobs) {
+      const auto& residents = rack_.JobsOn(entry.machine);
+      const auto it =
+          std::find_if(residents.begin(), residents.end(),
+                       [&](const rack::RackJob& r) { return r.name == entry.name; });
+      const std::string type =
+          rack_.machines()[entry.machine].description.topo.name;
+      rack::JobRequest probe;
+      probe.name = entry.name;
+      probe.descriptions.emplace(type, it->description);
+      probe.requested_threads = it->placement.TotalThreads();
+
+      // Candidate machines: same type only (the stored description is
+      // machine-specific, §4), own machine included via self-exclusion.
+      std::optional<rack::Rack::Candidate> best;
+      int best_machine = -1;
+      for (size_t m = 0; m < rack_.machines().size(); ++m) {
+        if (rack_.machines()[m].description.topo.name != type) {
+          continue;
+        }
+        const std::string* exclude =
+            static_cast<int>(m) == entry.machine ? &entry.name : nullptr;
+        std::optional<rack::Rack::Candidate> candidate = rack_.BestCandidateOn(
+            static_cast<int>(m), probe, rack::Policy::kBestSpeedup, exclude);
+        if (!candidate.has_value()) {
+          continue;
+        }
+        if (!best.has_value() || candidate->job_speedup > best->job_speedup) {
+          best = std::move(candidate);
+          best_machine = static_cast<int>(m);
+        }
+      }
+      if (!best.has_value() ||
+          best->job_speedup <= entry.speedup * (1.0 + options_.replace_margin)) {
+        continue;
+      }
+      if (Status status = rack_.Move(entry.name, best_machine, best->placement);
+          !status.ok()) {
+        return wire::Response::Failure(status);
+      }
+      wire::Request record;
+      record.verb = "MOVED";
+      record.params.emplace_back("name", entry.name);
+      record.params.emplace_back("machine", StrFormat("%d", best_machine));
+      record.params.emplace_back("placement", wire::PlacementToCsv(best->placement));
+      if (Status journaled = AppendJournal(record); !journaled.ok()) {
+        return wire::Response::Failure(journaled);
+      }
+      response.payload.push_back(
+          StrFormat("moved = %s machine=%d placement=%s speedup=%.6f",
+                    wire::EscapeValue(entry.name).c_str(), best_machine,
+                    wire::PlacementToCsv(best->placement).c_str(),
+                    best->job_speedup));
+      ++migrations;
+      moved = true;
+      break;  // re-rank after every migration
+    }
+    if (!moved) {
+      break;
+    }
+  }
+  response.payload.insert(response.payload.begin(),
+                          StrFormat("migrations = %d", migrations));
+  return response;
+}
+
+wire::Response PlacementService::HandleStatus() const {
+  wire::Response response = wire::Response::Success("STATUS");
+  response.payload.push_back(StrFormat("version = %d", wire::kProtocolVersion));
+  response.payload.push_back(
+      StrFormat("policy = %s", rack::PolicyName(options_.default_policy).c_str()));
+  response.payload.push_back(
+      StrFormat("machines = %zu", rack_.machines().size()));
+  response.payload.push_back(StrFormat("jobs = %d", rack_.JobCount()));
+
+  struct JobRow {
+    std::string name;
+    std::string line;
+  };
+  std::vector<JobRow> rows;
+  for (size_t m = 0; m < rack_.machines().size(); ++m) {
+    const rack::RackMachine& machine = rack_.machines()[m];
+    const auto& residents = rack_.JobsOn(static_cast<int>(m));
+    response.payload.push_back(StrFormat(
+        "machine = %zu name=%s type=%s free=%d jobs=%zu", m,
+        wire::EscapeValue(machine.name).c_str(),
+        wire::EscapeValue(machine.description.topo.name).c_str(),
+        rack_.FreeThreadCount(static_cast<int>(m)), residents.size()));
+    const std::vector<Prediction> predictions =
+        rack_.PredictMachine(static_cast<int>(m));
+    for (size_t i = 0; i < residents.size(); ++i) {
+      const rack::RackJob& job = residents[i];
+      const Prediction& prediction = predictions[i];
+      rows.push_back(JobRow{
+          job.name,
+          StrFormat("job = %s machine=%zu threads=%d speedup=%.6f slowdown=%.6f "
+                    "bottleneck=%s placement=%s",
+                    wire::EscapeValue(job.name).c_str(), m,
+                    job.placement.TotalThreads(), prediction.speedup,
+                    prediction.speedup > 0.0 ? 1.0 / prediction.speedup : 0.0,
+                    BottleneckName(machine.description.topo, prediction).c_str(),
+                    wire::PlacementToCsv(job.placement).c_str())});
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const JobRow& a, const JobRow& b) { return a.name < b.name; });
+  for (JobRow& row : rows) {
+    response.payload.push_back(std::move(row.line));
+  }
+  return response;
+}
+
+wire::Response PlacementService::HandleMetrics() const {
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  wire::Response response = wire::Response::Success("METRICS");
+  for (const auto& counter : snapshot.counters) {
+    response.payload.push_back(
+        StrFormat("counter %s = %llu", counter.name.c_str(),
+                  static_cast<unsigned long long>(counter.value)));
+  }
+  for (const auto& gauge : snapshot.gauges) {
+    response.payload.push_back(
+        StrFormat("gauge %s = %.6f", gauge.name.c_str(), gauge.value));
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    response.payload.push_back(StrFormat(
+        "histogram %s count=%llu sum=%.6f", histogram.name.c_str(),
+        static_cast<unsigned long long>(histogram.count), histogram.sum));
+  }
+  return response;
+}
+
+Status PlacementService::ReplayJournal(const std::string& text) {
+  size_t pos = 0;
+  size_t line_number = 0;
+  bool saw_magic = false;
+  while (pos <= text.size()) {
+    const size_t newline = text.find('\n', pos);
+    const std::string line =
+        text.substr(pos, newline == std::string::npos ? newline : newline - pos);
+    pos = newline == std::string::npos ? text.size() + 1 : newline + 1;
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    if (!saw_magic) {
+      if (line != kJournalMagic) {
+        return Status::DataLoss(StrFormat(
+            "journal '%s' does not start with '%s'",
+            options_.journal_path.c_str(), kJournalMagic));
+      }
+      saw_magic = true;
+      continue;
+    }
+    StatusOr<wire::Request> record = wire::ParseRequest(line);
+    if (!record.ok()) {
+      return Status::DataLoss(StrFormat("journal line %zu: %s", line_number,
+                                        record.status().message().c_str()));
+    }
+    const auto param = [&](const char* key) -> StatusOr<std::string> {
+      const std::string* value = record->Find(key);
+      if (value == nullptr) {
+        return Status::DataLoss(StrFormat("journal line %zu: %s record misses '%s'",
+                                          line_number, record->verb.c_str(), key));
+      }
+      return *value;
+    };
+    const auto machine_and_placement =
+        [&]() -> StatusOr<std::pair<int, Placement>> {
+      StatusOr<std::string> machine_text = param("machine");
+      if (!machine_text.ok()) {
+        return machine_text.status();
+      }
+      StatusOr<int> machine = ParseInt(*machine_text, "machine");
+      if (!machine.ok() || *machine < 0 ||
+          static_cast<size_t>(*machine) >= rack_.machines().size()) {
+        return Status::DataLoss(
+            StrFormat("journal line %zu: bad machine index", line_number));
+      }
+      StatusOr<std::string> csv = param("placement");
+      if (!csv.ok()) {
+        return csv.status();
+      }
+      StatusOr<Placement> placement = wire::PlacementFromCsv(
+          rack_.machines()[*machine].description.topo, *csv);
+      if (!placement.ok()) {
+        return Status::DataLoss(StrFormat("journal line %zu: %s", line_number,
+                                          placement.status().message().c_str()));
+      }
+      return std::make_pair(*machine, *std::move(placement));
+    };
+
+    Status applied = Status::Ok();
+    if (record->verb == "ADMITTED") {
+      StatusOr<std::string> name = param("name");
+      StatusOr<std::string> desc_text = param("desc");
+      if (!name.ok() || !desc_text.ok()) {
+        return !name.ok() ? name.status() : desc_text.status();
+      }
+      StatusOr<std::pair<int, Placement>> target = machine_and_placement();
+      if (!target.ok()) {
+        return target.status();
+      }
+      StatusOr<WorkloadDescription> description =
+          WorkloadDescriptionFromText(*desc_text);
+      if (!description.ok()) {
+        return Status::DataLoss(StrFormat("journal line %zu: %s", line_number,
+                                          description.status().message().c_str()));
+      }
+      applied = rack_.AdmitAt(*name, target->first, *description, target->second);
+    } else if (record->verb == "DEPARTED") {
+      StatusOr<std::string> name = param("name");
+      if (!name.ok()) {
+        return name.status();
+      }
+      applied = rack_.Depart(*name).ok()
+                    ? Status::Ok()
+                    : Status::DataLoss(StrFormat(
+                          "journal line %zu: departed job '%s' is not resident",
+                          line_number, name->c_str()));
+    } else if (record->verb == "MOVED") {
+      StatusOr<std::string> name = param("name");
+      if (!name.ok()) {
+        return name.status();
+      }
+      StatusOr<std::pair<int, Placement>> target = machine_and_placement();
+      if (!target.ok()) {
+        return target.status();
+      }
+      applied = rack_.Move(*name, target->first, target->second);
+    } else {
+      return Status::DataLoss(StrFormat("journal line %zu: unknown record '%s'",
+                                        line_number, record->verb.c_str()));
+    }
+    if (!applied.ok()) {
+      return Status::DataLoss(StrFormat("journal line %zu: %s", line_number,
+                                        applied.message().c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+Status PlacementService::AppendJournal(const wire::Request& record) {
+  if (journal_ == nullptr) {
+    return Status::Ok();
+  }
+  const std::string line = wire::FormatRequest(record);
+  if (std::fprintf(journal_, "%s\n", line.c_str()) < 0 ||
+      std::fflush(journal_) != 0) {
+    return Status::Unavailable(StrFormat("cannot append to journal '%s'",
+                                         options_.journal_path.c_str()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace serve
+}  // namespace pandia

@@ -1,0 +1,108 @@
+// The placement service — Pandia as a long-running daemon.
+//
+// PlacementService holds a rack::Rack as mutable online state and processes
+// the wire-v1 request protocol (src/serialize/wire.h):
+//
+//   ADMIT      place a new job co-scheduled against the running jobs
+//   DEPART     free a job; opportunistically re-place degraded neighbours
+//   REBALANCE  bounded-migration global re-placement
+//   STATUS     deterministic state dump (per-job predicted speedup/slowdown,
+//              bottleneck resource, placements)
+//   METRICS    obs registry dump
+//   SHUTDOWN   acknowledge and stop the serving loop
+//
+// Every mutation is journaled (append-only, wire request framing) so a
+// restarted daemon replays its exact state: admissions embed the workload
+// description text, so the journal is self-contained and replay needs no
+// other files. Requests never abort the process — malformed input and
+// infeasible placements surface as structured `err` replies.
+//
+// The service itself is transport-agnostic: HandleLine() maps one request
+// line to one response block. src/serve/socket.h supplies the stdin/stdout
+// and Unix-domain-socket event loop the daemon binary runs.
+#ifndef PANDIA_SRC_SERVE_SERVICE_H_
+#define PANDIA_SRC_SERVE_SERVICE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/rack/rack.h"
+#include "src/serialize/wire.h"
+#include "src/util/status.h"
+
+namespace pandia {
+namespace serve {
+
+struct ServiceOptions {
+  // Policy used by ADMIT requests that do not name one, and by the
+  // rebalancer's candidate search.
+  rack::Policy default_policy = rack::Policy::kBestSpeedup;
+  // Solver options for the rack; prediction.common.jobs fans admission
+  // probes out over worker threads, prediction.common.use_cache memoizes
+  // per-machine joint predictions across requests.
+  PredictionOptions prediction;
+  // Append-only mutation journal; empty disables journaling. When the file
+  // already exists it is replayed before serving (restart recovery).
+  std::string journal_path;
+  // DEPART re-places a remaining neighbour when its best re-placement on
+  // its machine improves its predicted speedup by more than this relative
+  // margin; REBALANCE uses the same margin for cross-machine moves.
+  double replace_margin = 0.02;
+  // REBALANCE migration budget when the request does not set one.
+  int default_max_migrations = 4;
+};
+
+class PlacementService {
+ public:
+  // Builds the service; replays options.journal_path if the file exists,
+  // then reopens it for appending. Fails (instead of aborting) on an
+  // unreadable or corrupt journal.
+  static StatusOr<PlacementService> Create(std::vector<rack::RackMachine> machines,
+                                           ServiceOptions options);
+
+  PlacementService(PlacementService&& other) noexcept;
+  PlacementService& operator=(PlacementService&& other) noexcept;
+  PlacementService(const PlacementService&) = delete;
+  PlacementService& operator=(const PlacementService&) = delete;
+  ~PlacementService();
+
+  // Processes one request line end to end: parse, dispatch, journal any
+  // mutation, serialize. The returned text is the complete response block
+  // (newline-terminated lines ending with ".\n"). Never aborts.
+  std::string HandleLine(const std::string& line);
+
+  // Structured form of HandleLine for in-process callers.
+  wire::Response Handle(const wire::Request& request);
+
+  // True once a SHUTDOWN request was acknowledged; serving loops exit.
+  bool shutdown_requested() const { return shutdown_; }
+
+  const rack::Rack& rack() const { return rack_; }
+
+ private:
+  PlacementService(std::vector<rack::RackMachine> machines, ServiceOptions options);
+
+  wire::Response HandleAdmit(const wire::Request& request);
+  wire::Response HandleDepart(const wire::Request& request);
+  wire::Response HandleRebalance(const wire::Request& request);
+  wire::Response HandleStatus() const;
+  wire::Response HandleMetrics() const;
+
+  // Re-places machine residents whose best re-placement beats the margin;
+  // appends one journal record and one `moved =` payload line per move.
+  Status ReplaceDegraded(int machine_index, std::vector<std::string>& payload);
+
+  Status ReplayJournal(const std::string& text);
+  Status AppendJournal(const wire::Request& record);
+
+  ServiceOptions options_;
+  rack::Rack rack_;
+  std::FILE* journal_ = nullptr;  // null: journaling disabled
+  bool shutdown_ = false;
+};
+
+}  // namespace serve
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_SERVE_SERVICE_H_

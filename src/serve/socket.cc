@@ -1,0 +1,273 @@
+#include "src/serve/socket.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "src/util/strings.h"
+
+namespace pandia {
+namespace serve {
+namespace {
+
+Status ErrnoStatus(const char* what, const std::string& detail) {
+  return Status::Unavailable(
+      StrFormat("%s (%s): %s", what, detail.c_str(), std::strerror(errno)));
+}
+
+// Writes all of `data` to `fd`, retrying on short writes and EINTR.
+Status WriteAll(int fd, const std::string& data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoStatus("write to client failed", StrFormat("fd %d", fd));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+StatusOr<sockaddr_un> SocketAddress(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument(
+        StrFormat("socket path '%s' must be 1..%zu bytes", path.c_str(),
+                  sizeof(addr.sun_path) - 1));
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+// Per-connection (or stdin) line assembly: consumes complete lines from the
+// buffer, feeding each to the service; returns the concatenated responses.
+std::string DrainLines(PlacementService& service, std::string& buffer) {
+  std::string responses;
+  size_t start = 0;
+  while (true) {
+    const size_t newline = buffer.find('\n', start);
+    if (newline == std::string::npos) {
+      break;
+    }
+    std::string line = buffer.substr(start, newline - start);
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    start = newline + 1;
+    if (line.empty()) {
+      continue;  // blank lines are keep-alive no-ops
+    }
+    responses += service.HandleLine(line);
+    if (service.shutdown_requested()) {
+      break;
+    }
+  }
+  buffer.erase(0, start);
+  return responses;
+}
+
+}  // namespace
+
+StatusOr<SocketServer> SocketServer::Listen(const std::string& path) {
+  StatusOr<sockaddr_un> addr = SocketAddress(path);
+  if (!addr.ok()) {
+    return addr.status();
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return ErrnoStatus("cannot create socket", path);
+  }
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&*addr), sizeof(*addr)) != 0) {
+    const Status status = ErrnoStatus("cannot bind socket", path);
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 16) != 0) {
+    const Status status = ErrnoStatus("cannot listen on socket", path);
+    ::close(fd);
+    ::unlink(path.c_str());
+    return status;
+  }
+  return SocketServer(fd, path);
+}
+
+SocketServer::SocketServer(SocketServer&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+  other.path_.clear();
+}
+
+SocketServer& SocketServer::operator=(SocketServer&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      ::unlink(path_.c_str());
+    }
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+SocketServer::~SocketServer() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    ::unlink(path_.c_str());
+  }
+}
+
+Status RunEventLoop(PlacementService& service, int stdin_fd,
+                    std::FILE* stdout_stream, SocketServer* server) {
+  std::string stdin_buffer;
+  std::map<int, std::string> clients;  // client fd -> partial line buffer
+  bool stdin_open = stdin_fd >= 0;
+  const auto close_clients = [&clients] {
+    for (const auto& [fd, buffer] : clients) {
+      ::close(fd);
+    }
+    clients.clear();
+  };
+
+  while (!service.shutdown_requested()) {
+    // Without stdin, a rack with no listener could never terminate; the
+    // loop still exits on SHUTDOWN, which is the supported path.
+    if (!stdin_open && server == nullptr) {
+      break;
+    }
+    std::vector<pollfd> fds;
+    if (stdin_open) {
+      fds.push_back(pollfd{stdin_fd, POLLIN, 0});
+    }
+    if (server != nullptr) {
+      fds.push_back(pollfd{server->listen_fd(), POLLIN, 0});
+    }
+    for (const auto& [fd, buffer] : clients) {
+      fds.push_back(pollfd{fd, POLLIN, 0});
+    }
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      close_clients();
+      return ErrnoStatus("poll failed", "event loop");
+    }
+
+    for (const pollfd& entry : fds) {
+      if (entry.revents == 0 || service.shutdown_requested()) {
+        continue;
+      }
+      if (stdin_open && entry.fd == stdin_fd) {
+        char chunk[4096];
+        const ssize_t n = ::read(stdin_fd, chunk, sizeof(chunk));
+        if (n < 0 && errno == EINTR) {
+          continue;
+        }
+        if (n > 0) {
+          stdin_buffer.append(chunk, static_cast<size_t>(n));
+        }
+        std::string responses = DrainLines(service, stdin_buffer);
+        if (n <= 0) {  // EOF: a trailing unterminated line still counts
+          if (!stdin_buffer.empty()) {
+            responses += service.HandleLine(stdin_buffer);
+            stdin_buffer.clear();
+          }
+          stdin_open = false;
+        }
+        if (!responses.empty()) {
+          std::fputs(responses.c_str(), stdout_stream);
+          std::fflush(stdout_stream);
+        }
+        // Stdin EOF ends a stdin-only loop (the top-of-loop check fires);
+        // with a socket server the daemon merely detaches stdin and keeps
+        // serving clients until SHUTDOWN.
+      } else if (server != nullptr && entry.fd == server->listen_fd()) {
+        const int client = ::accept(server->listen_fd(), nullptr, nullptr);
+        if (client >= 0) {
+          clients.emplace(client, std::string());
+        }
+      } else {
+        const auto it = clients.find(entry.fd);
+        if (it == clients.end()) {
+          continue;
+        }
+        char chunk[4096];
+        const ssize_t n = ::read(entry.fd, chunk, sizeof(chunk));
+        if (n < 0 && errno == EINTR) {
+          continue;
+        }
+        if (n > 0) {
+          it->second.append(chunk, static_cast<size_t>(n));
+        }
+        std::string responses = DrainLines(service, it->second);
+        if (n <= 0 && !it->second.empty()) {
+          responses += service.HandleLine(it->second);
+          it->second.clear();
+        }
+        if (!responses.empty()) {
+          // A client that hung up mid-response is its own problem; the
+          // daemon keeps serving everyone else.
+          (void)WriteAll(entry.fd, responses);
+        }
+        if (n <= 0) {
+          ::close(entry.fd);
+          clients.erase(it);
+        }
+      }
+    }
+  }
+  close_clients();
+  return Status::Ok();
+}
+
+StatusOr<std::string> SocketExchange(const std::string& path,
+                                     const std::string& request_text) {
+  StatusOr<sockaddr_un> addr = SocketAddress(path);
+  if (!addr.ok()) {
+    return addr.status();
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return ErrnoStatus("cannot create socket", path);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&*addr), sizeof(*addr)) != 0) {
+    const Status status = ErrnoStatus("cannot connect", path);
+    ::close(fd);
+    return status;
+  }
+  if (Status written = WriteAll(fd, request_text); !written.ok()) {
+    ::close(fd);
+    return written;
+  }
+  ::shutdown(fd, SHUT_WR);  // half-close: tell the daemon we are done asking
+  std::string response;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      break;
+    }
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+}  // namespace serve
+}  // namespace pandia

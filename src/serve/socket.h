@@ -1,0 +1,61 @@
+// Transports for the placement service: a Unix-domain socket listener, the
+// poll()-based event loop the daemon runs, and the client-side exchange
+// helper the pandia_serve_client tool and the tests use.
+//
+// The event loop multiplexes line-delimited requests from an optional stdin
+// file descriptor (answers go to a stdio stream) and from any number of
+// socket clients (each answered on its own connection). Requests are
+// processed strictly serially in arrival order, so daemon state stays
+// deterministic regardless of transport.
+#ifndef PANDIA_SRC_SERVE_SOCKET_H_
+#define PANDIA_SRC_SERVE_SOCKET_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/serve/service.h"
+#include "src/util/status.h"
+
+namespace pandia {
+namespace serve {
+
+// A listening Unix-domain socket. The path is unlinked on destruction (and
+// any stale socket file is unlinked before binding).
+class SocketServer {
+ public:
+  static StatusOr<SocketServer> Listen(const std::string& path);
+
+  SocketServer(SocketServer&& other) noexcept;
+  SocketServer& operator=(SocketServer&& other) noexcept;
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+  ~SocketServer();
+
+  int listen_fd() const { return fd_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  SocketServer(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+// Runs the serving loop until a SHUTDOWN request is acknowledged or a
+// transport error occurs. `server` may be null (stdin/stdout only — then
+// stdin EOF also ends the loop); `stdin_fd` may be -1 (socket only). With
+// both transports, stdin EOF merely detaches stdin: the daemon keeps
+// serving socket clients, so it can be backgrounded with stdin closed.
+Status RunEventLoop(PlacementService& service, int stdin_fd,
+                    std::FILE* stdout_stream, SocketServer* server);
+
+// Client side: connects to `path`, sends `request_text` (one or more
+// newline-terminated request lines), half-closes, and returns everything
+// the daemon wrote back (a sequence of response blocks).
+StatusOr<std::string> SocketExchange(const std::string& path,
+                                     const std::string& request_text);
+
+}  // namespace serve
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_SERVE_SOCKET_H_

@@ -35,12 +35,18 @@
 
 #include "src/machine_desc/machine_description.h"
 #include "src/sim/machine.h"
+#include "src/util/common_options.h"
 #include "src/util/status.h"
 #include "src/workload_desc/description.h"
 
 namespace pandia {
 
 struct ProfileOptions {
+  // Shared fan-out knobs (src/util/common_options.h): common.jobs drives
+  // multi-workload profiling fan-out (eval::Pipeline::ProfileAll); the six
+  // runs of a single workload are sequential by construction (§4).
+  CommonOptions common;
+
   // Trials per profiling run; the aggregate is the median of surviving
   // trials. 1 reproduces the historical single-observation behaviour.
   int trials = 1;

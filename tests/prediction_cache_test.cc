@@ -115,6 +115,49 @@ TEST(PredictionCache, EvictsOldestWhenOverCapacity) {
   EXPECT_GT(CounterValue("prediction_cache.evictions") - evictions0, 0u);
 }
 
+// Regression test for the invalidation hook the placement service relies
+// on: insert → hit, BumpGeneration → logical miss (counted), re-insert
+// under the new generation → hit again.
+TEST(PredictionCache, BumpGenerationInvalidatesEarlierInserts) {
+  PredictionCache cache(1024);
+  const PredictionCacheKey key{7, 9};
+  Prediction prediction;
+  prediction.speedup = 1.25;
+  cache.Insert(key, prediction);
+  ASSERT_TRUE(cache.Lookup(key).has_value());
+
+  const uint64_t generation0 = cache.generation();
+  const uint64_t invalidations0 =
+      CounterValue("prediction_cache.generation_invalidations");
+  cache.BumpGeneration();
+  EXPECT_EQ(cache.generation(), generation0 + 1);
+  EXPECT_FALSE(cache.Lookup(key).has_value());
+  EXPECT_EQ(CounterValue("prediction_cache.generation_invalidations") -
+                invalidations0,
+            1u);
+  // The stale entry was reclaimed on lookup, not merely hidden.
+  EXPECT_EQ(cache.size(), 0u);
+
+  prediction.speedup = 1.5;
+  cache.Insert(key, prediction);
+  const std::optional<Prediction> fresh = cache.Lookup(key);
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(fresh->speedup, 1.5);
+}
+
+TEST(PredictionCache, BumpGenerationInvalidatesEveryShard) {
+  PredictionCache cache(1024);
+  for (uint64_t i = 0; i < 64; ++i) {
+    cache.Insert(PredictionCacheKey{i, i * 131}, Prediction{});
+  }
+  EXPECT_EQ(cache.size(), 64u);
+  cache.BumpGeneration();
+  for (uint64_t i = 0; i < 64; ++i) {
+    EXPECT_FALSE(cache.Lookup(PredictionCacheKey{i, i * 131}).has_value()) << i;
+  }
+  EXPECT_EQ(cache.size(), 0u);
+}
+
 TEST(PredictionCache, ClearEmptiesEveryShard) {
   PredictionCache cache(1024);
   for (uint64_t i = 0; i < 64; ++i) {
@@ -147,7 +190,7 @@ TEST(PredictCached, BypassesCacheWhenTracing) {
   PredictionCache cache(1024);
   obs::PredictionTrace trace;
   PredictionOptions options;
-  options.trace = &trace;
+  options.common.trace = &trace;
   const Predictor traced = X3Pipeline().MakePredictor(
       X3Pipeline().Profile(workloads::ByName("MD")), options);
   const MachineTopology& topo = X3Pipeline().machine().topology();
@@ -162,8 +205,8 @@ TEST(PredictCached, BypassesCacheWhenTracing) {
 // stock simulated machine, with and without the memoization cache.
 TEST(ParallelSearch, SerialAndParallelRankingsAreIdentical) {
   OptimizerOptions serial_options;
-  serial_options.jobs = 1;
-  serial_options.use_cache = false;
+  serial_options.common.jobs = 1;
+  serial_options.common.use_cache = false;
   const std::vector<RankedPlacement> serial =
       RankPlacements(MdPredictor(), 1u << 20, serial_options);
   ASSERT_GT(serial.size(), 100u);
@@ -174,8 +217,8 @@ TEST(ParallelSearch, SerialAndParallelRankingsAreIdentical) {
         PredictionCache::Global().Clear();
       }
       OptimizerOptions options;
-      options.jobs = jobs;
-      options.use_cache = use_cache;
+      options.common.jobs = jobs;
+      options.common.use_cache = use_cache;
       const std::vector<RankedPlacement> parallel =
           RankPlacements(MdPredictor(), 1u << 20, options);
       ASSERT_EQ(parallel.size(), serial.size())
@@ -192,14 +235,14 @@ TEST(ParallelSearch, SerialAndParallelRankingsAreIdentical) {
 
 TEST(ParallelSearch, FindBestAndCheapestAgreeAcrossJobCounts) {
   OptimizerOptions serial_options;
-  serial_options.jobs = 1;
+  serial_options.common.jobs = 1;
   const RankedPlacement serial_best = FindBestPlacement(MdPredictor(), serial_options);
   const std::optional<RankedPlacement> serial_cheap =
       FindCheapestPlacement(MdPredictor(), 0.95, serial_options);
   ASSERT_TRUE(serial_cheap.has_value());
 
   OptimizerOptions parallel_options;
-  parallel_options.jobs = 4;
+  parallel_options.common.jobs = 4;
   const RankedPlacement parallel_best =
       FindBestPlacement(MdPredictor(), parallel_options);
   const std::optional<RankedPlacement> parallel_cheap =

@@ -181,6 +181,100 @@ TEST(RackScheduler, LeastInterferenceBeatsFirstFitOnAggregateSpeedup) {
             aggregate(Policy::kFirstFit) * 0.99);
 }
 
+// --- Rack online mutations (the placement service's state machine) ---
+
+TEST(Rack, AdmitDepartReadmitSequence) {
+  Rack rack(TwoNodeRack());
+  const StatusOr<Assignment> first = rack.Admit(MakeJob("EP", 8), Policy::kFirstFit);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->machine_index, 0);
+  EXPECT_TRUE(rack.Has("EP"));
+  EXPECT_EQ(rack.JobCount(), 1);
+
+  const StatusOr<Assignment> duplicate =
+      rack.Admit(MakeJob("EP", 4), Policy::kFirstFit);
+  EXPECT_EQ(duplicate.status().code(), StatusCode::kFailedPrecondition);
+
+  const StatusOr<int> departed = rack.Depart("EP");
+  ASSERT_TRUE(departed.ok());
+  EXPECT_EQ(*departed, 0);
+  EXPECT_FALSE(rack.Has("EP"));
+  EXPECT_EQ(rack.JobCount(), 0);
+  EXPECT_EQ(rack.Depart("EP").status().code(), StatusCode::kNotFound);
+
+  // Re-admission of the freed name lands exactly where the first one did.
+  const StatusOr<Assignment> second =
+      rack.Admit(MakeJob("EP", 8), Policy::kFirstFit);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->machine_index, first->machine_index);
+  ASSERT_TRUE(second->placement.has_value());
+  EXPECT_TRUE(*second->placement == *first->placement);
+}
+
+TEST(Rack, RejectsJobWithNoDescriptionForAnyMachineType) {
+  Rack rack(TwoNodeRack());  // both machines are x3-2
+  JobRequest job;
+  job.name = "x5-only";
+  job.requested_threads = 4;
+  job.descriptions.emplace("x5-2", X5().Profile(workloads::ByName("CG")));
+  const StatusOr<Assignment> refused = rack.Admit(job, Policy::kFirstFit);
+  EXPECT_EQ(refused.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(rack.JobCount(), 0);
+}
+
+TEST(Rack, RejectsAdmissionWhenRackHasZeroFreeThreads) {
+  std::vector<RackMachine> machines{{"node0", X3().description()}};
+  Rack rack(std::move(machines));
+  const MachineTopology& topo = X3().machine().topology();
+  // Fill every hardware thread with one recorded admission.
+  const std::vector<uint8_t> all_free(static_cast<size_t>(topo.NumCores()), 2);
+  const std::vector<SocketLoad> full_loads(
+      static_cast<size_t>(topo.num_sockets), SocketLoad{0, topo.cores_per_socket});
+  const std::optional<Placement> full =
+      PlaceLoadsOnFreeCores(topo, full_loads, all_free);
+  ASSERT_TRUE(full.has_value());
+  ASSERT_EQ(full->TotalThreads(), topo.NumHwThreads());
+  const JobRequest filler = MakeJob("EP", full->TotalThreads());
+  ASSERT_TRUE(
+      rack.AdmitAt("filler", 0, filler.descriptions.at("x3-2"), *full).ok());
+  EXPECT_EQ(rack.FreeThreadCount(0), 0);
+
+  const StatusOr<Assignment> refused =
+      rack.Admit(MakeJob("MD", 1), Policy::kBestSpeedup);
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(rack.JobCount(), 1);  // the filler is untouched
+}
+
+TEST(Rack, MoveRelocatesAcrossMachinesLikeDepartAndReadmit) {
+  Rack rack(TwoNodeRack());
+  ASSERT_TRUE(rack.Admit(MakeJob("EP", 4), Policy::kFirstFit).ok());
+  const MachineTopology& topo = X3().machine().topology();
+  const std::vector<SocketLoad> loads{{4, 0}, {0, 0}};
+  const std::optional<Placement> placement =
+      PlaceLoadsOnFreeCores(topo, loads, rack.FreeThreads(1));
+  ASSERT_TRUE(placement.has_value());
+  ASSERT_TRUE(rack.Move("EP", 1, *placement).ok());
+  const StatusOr<int> where = rack.MachineOf("EP");
+  ASSERT_TRUE(where.ok());
+  EXPECT_EQ(*where, 1);
+  EXPECT_TRUE(rack.JobsOn(0).empty());
+  ASSERT_EQ(rack.JobsOn(1).size(), 1u);
+  EXPECT_TRUE(rack.JobsOn(1)[0].placement == *placement);
+}
+
+TEST(Rack, PredictMachineMatchesResidentOrder) {
+  Rack rack(TwoNodeRack());
+  ASSERT_TRUE(rack.Admit(MakeJob("EP", 4), Policy::kFirstFit).ok());
+  ASSERT_TRUE(rack.Admit(MakeJob("MD", 4), Policy::kFirstFit).ok());
+  ASSERT_EQ(rack.JobsOn(0).size(), 2u);
+  const std::vector<Prediction> predictions = rack.PredictMachine(0);
+  ASSERT_EQ(predictions.size(), 2u);
+  for (const Prediction& prediction : predictions) {
+    EXPECT_GT(prediction.speedup, 0.0);
+  }
+  EXPECT_TRUE(rack.PredictMachine(1).empty());
+}
+
 TEST(RackScheduler, ResetClearsResidents) {
   RackScheduler scheduler(TwoNodeRack());
   scheduler.Schedule(std::vector<JobRequest>{MakeJob("EP", 8)}, Policy::kFirstFit);

@@ -1,0 +1,298 @@
+// src/serve: the placement service — request lifecycle, structured error
+// replies (no request may abort the daemon), the Unix-socket transport, and
+// the acceptance-criterion soak: 200+ admit/depart/rebalance events on a
+// simulated 4-machine rack with a kill-and-replay restart whose STATUS
+// matches the pre-kill STATUS byte for byte.
+#include "src/serve/service.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/eval/pipeline.h"
+#include "src/serialize/serialize.h"
+#include "src/serve/socket.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+#include "src/workloads/workloads.h"
+
+namespace pandia {
+namespace serve {
+namespace {
+
+const eval::Pipeline& X3() {
+  static const eval::Pipeline* pipeline = new eval::Pipeline("x3-2");
+  return *pipeline;
+}
+
+const std::string& DescriptionText(const std::string& workload) {
+  static std::map<std::string, std::string>* cache =
+      new std::map<std::string, std::string>();
+  auto it = cache->find(workload);
+  if (it == cache->end()) {
+    it = cache
+             ->emplace(workload, WorkloadDescriptionToText(
+                                     X3().Profile(workloads::ByName(workload))))
+             .first;
+  }
+  return it->second;
+}
+
+std::vector<rack::RackMachine> FourNodeRack() {
+  std::vector<rack::RackMachine> machines;
+  for (int i = 0; i < 4; ++i) {
+    machines.push_back({StrFormat("node%d", i), X3().description()});
+  }
+  return machines;
+}
+
+std::string AdmitLine(const std::string& name, const std::string& workload,
+                      int threads) {
+  wire::Request request;
+  request.verb = "ADMIT";
+  request.params.emplace_back("name", name);
+  request.params.emplace_back("threads", StrFormat("%d", threads));
+  request.params.emplace_back("desc.x3-2", DescriptionText(workload));
+  return wire::FormatRequest(request);
+}
+
+PlacementService MustCreate(std::vector<rack::RackMachine> machines,
+                            ServiceOptions options) {
+  StatusOr<PlacementService> service =
+      PlacementService::Create(std::move(machines), std::move(options));
+  EXPECT_TRUE(service.ok()) << service.status().ToString();
+  return std::move(*service);
+}
+
+bool IsOkBlock(const std::string& block) { return block.rfind("ok ", 0) == 0; }
+bool IsErrBlock(const std::string& block) { return block.rfind("err ", 0) == 0; }
+
+TEST(PlacementService, AdmitStatusDepartLifecycle) {
+  PlacementService service = MustCreate(FourNodeRack(), ServiceOptions{});
+
+  const std::string admitted = service.HandleLine(AdmitLine("web", "EP", 4));
+  ASSERT_TRUE(IsOkBlock(admitted)) << admitted;
+  EXPECT_NE(admitted.find("machine = "), std::string::npos);
+  EXPECT_NE(admitted.find("threads = "), std::string::npos);
+  EXPECT_NE(admitted.find("speedup = "), std::string::npos);
+
+  const std::string status = service.HandleLine("STATUS");
+  ASSERT_TRUE(IsOkBlock(status)) << status;
+  EXPECT_NE(status.find("version = 1"), std::string::npos);
+  EXPECT_NE(status.find("jobs = 1"), std::string::npos);
+  EXPECT_NE(status.find("job = web"), std::string::npos);
+  EXPECT_NE(status.find("bottleneck="), std::string::npos);
+
+  const std::string departed = service.HandleLine("DEPART name=web");
+  ASSERT_TRUE(IsOkBlock(departed)) << departed;
+  const std::string after = service.HandleLine("STATUS");
+  EXPECT_NE(after.find("jobs = 0"), std::string::npos);
+
+  const std::string metrics = service.HandleLine("METRICS");
+  ASSERT_TRUE(IsOkBlock(metrics)) << metrics;
+  EXPECT_NE(metrics.find("counter rack.admissions"), std::string::npos);
+}
+
+TEST(PlacementService, MalformedRequestsGetStructuredErrors) {
+  PlacementService service = MustCreate(FourNodeRack(), ServiceOptions{});
+  const std::vector<std::string> bad = {
+      "",                                  // empty line
+      "lowercase verb",                    // bad verb charset
+      "FROBNICATE everything",             // unknown verb / bad param
+      "ADMIT",                             // no description
+      "ADMIT name=x threads=zero desc.x3-2=junk",  // bad int, bad desc
+      "ADMIT name=x threads=4 bogus=1",    // unknown parameter
+      "DEPART",                            // missing name
+      "DEPART name=ghost",                 // not resident
+      "REBALANCE max-migrations=-1",       // negative budget
+      "REBALANCE budget=3",                // unknown parameter
+  };
+  for (const std::string& line : bad) {
+    const std::string response = service.HandleLine(line);
+    EXPECT_TRUE(IsErrBlock(response)) << "'" << line << "' -> " << response;
+    EXPECT_EQ(response.substr(response.size() - 2), ".\n") << response;
+  }
+  EXPECT_FALSE(service.shutdown_requested());
+  EXPECT_EQ(service.rack().JobCount(), 0);
+}
+
+TEST(PlacementService, AdmitRefusedWhenNothingFits) {
+  // One machine, fill it, then ask for more than remains.
+  std::vector<rack::RackMachine> machines{{"node0", X3().description()}};
+  PlacementService service = MustCreate(std::move(machines), ServiceOptions{});
+  ASSERT_TRUE(IsOkBlock(service.HandleLine(AdmitLine("big", "EP", 32))));
+  const std::string refused = service.HandleLine(AdmitLine("late", "MD", 32));
+  EXPECT_TRUE(IsErrBlock(refused)) << refused;
+  EXPECT_NE(refused.find("failed-precondition"), std::string::npos) << refused;
+}
+
+TEST(PlacementService, DepartReplacesDegradedNeighbours) {
+  // Two bandwidth hogs squeezed onto one node; when one leaves, the
+  // survivor should be re-placed onto the freed threads (journaled MOVED).
+  std::vector<rack::RackMachine> machines{{"node0", X3().description()}};
+  ServiceOptions options;
+  const std::string journal =
+      ::testing::TempDir() + "/pandia_serve_replace_journal.wire";
+  std::remove(journal.c_str());
+  options.journal_path = journal;
+  PlacementService service = MustCreate(std::move(machines), options);
+  ASSERT_TRUE(IsOkBlock(service.HandleLine(AdmitLine("hog-a", "Swim", 16))));
+  ASSERT_TRUE(IsOkBlock(service.HandleLine(AdmitLine("hog-b", "Swim", 16))));
+  const std::string departed = service.HandleLine("DEPART name=hog-a");
+  ASSERT_TRUE(IsOkBlock(departed)) << departed;
+  if (departed.find("moved = hog-b") != std::string::npos) {
+    const StatusOr<std::string> text = ReadTextFile(journal);
+    ASSERT_TRUE(text.ok());
+    EXPECT_NE(text->find("MOVED name=hog-b"), std::string::npos) << *text;
+  }
+}
+
+TEST(SocketTransport, ServesClientsAndShutsDown) {
+  PlacementService service = MustCreate(FourNodeRack(), ServiceOptions{});
+  const std::string path = ::testing::TempDir() + "/pandia_serve_test.sock";
+  StatusOr<SocketServer> server = SocketServer::Listen(path);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  std::thread loop([&service, &server] {
+    const Status served = RunEventLoop(service, /*stdin_fd=*/-1, stdout, &*server);
+    EXPECT_TRUE(served.ok()) << served.ToString();
+  });
+
+  const StatusOr<std::string> first =
+      SocketExchange(path, AdmitLine("sock-job", "MD", 4) + "\nSTATUS\n");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(IsOkBlock(*first)) << *first;
+  EXPECT_NE(first->find("job = sock-job"), std::string::npos) << *first;
+
+  const StatusOr<std::string> second = SocketExchange(path, "SHUTDOWN\n");
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_NE(second->find("ok SHUTDOWN"), std::string::npos) << *second;
+  loop.join();
+  EXPECT_TRUE(service.shutdown_requested());
+}
+
+TEST(SocketTransport, SurvivesStdinEofWhileSocketConfigured) {
+  // A backgrounded daemon has its stdin closed immediately; with a socket
+  // configured that must detach stdin, not end the loop.
+  PlacementService service = MustCreate(FourNodeRack(), ServiceOptions{});
+  const std::string path = ::testing::TempDir() + "/pandia_serve_eof.sock";
+  StatusOr<SocketServer> server = SocketServer::Listen(path);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  int stdin_pipe[2];
+  ASSERT_EQ(pipe(stdin_pipe), 0);
+  close(stdin_pipe[1]);  // immediate EOF, like `daemon < /dev/null &`
+
+  std::thread loop([&service, &server, &stdin_pipe] {
+    const Status served =
+        RunEventLoop(service, stdin_pipe[0], stdout, &*server);
+    EXPECT_TRUE(served.ok()) << served.ToString();
+  });
+
+  const StatusOr<std::string> status = SocketExchange(path, "STATUS\n");
+  ASSERT_TRUE(status.ok()) << status.status().ToString();
+  EXPECT_NE(status->find("ok STATUS"), std::string::npos) << *status;
+
+  const StatusOr<std::string> bye = SocketExchange(path, "SHUTDOWN\n");
+  ASSERT_TRUE(bye.ok()) << bye.status().ToString();
+  loop.join();
+  close(stdin_pipe[0]);
+  EXPECT_TRUE(service.shutdown_requested());
+}
+
+// The acceptance-criterion soak. Every response must be a framed ok/err
+// block (nothing may abort), and a daemon rebuilt from the journal after a
+// "kill" must answer STATUS with the exact pre-kill bytes.
+TEST(ServeSoak, TwoHundredEventsThenKillAndReplay) {
+  const std::string journal = ::testing::TempDir() + "/pandia_soak_journal.wire";
+  std::remove(journal.c_str());
+  ServiceOptions options;
+  options.journal_path = journal;
+
+  std::optional<PlacementService> service(MustCreate(FourNodeRack(), options));
+  const std::vector<std::string> suite = {"EP", "MD", "CG"};
+  Rng rng(42);
+  std::vector<std::string> live;
+  int events = 0;
+  int admits = 0;
+  int departs = 0;
+  int rebalances = 0;
+  int next_id = 0;
+  while (events < 220) {
+    ++events;
+    const uint64_t roll = rng.NextU64() % 10;
+    std::string response;
+    if (roll < 5) {
+      const std::string name = StrFormat("job%d", next_id++);
+      const std::string& workload = suite[rng.NextU64() % suite.size()];
+      const int threads = 1 + static_cast<int>(rng.NextU64() % 4);
+      response = service->HandleLine(AdmitLine(name, workload, threads));
+      ++admits;
+      if (IsOkBlock(response)) {
+        live.push_back(name);
+      }
+    } else if (roll < 8) {
+      // Departures sometimes target a job that never existed — that must be
+      // a clean not-found error, not a crash.
+      std::string name = "ghost";
+      if (!live.empty() && roll != 7) {
+        const size_t victim = rng.NextU64() % live.size();
+        name = live[victim];
+        live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+      }
+      response = service->HandleLine("DEPART name=" + name);
+      ++departs;
+    } else {
+      response = service->HandleLine("REBALANCE max-migrations=1");
+      ++rebalances;
+    }
+    ASSERT_TRUE(IsOkBlock(response) || IsErrBlock(response))
+        << "event " << events << ": " << response;
+    ASSERT_GE(response.size(), 2u);
+    ASSERT_EQ(response.substr(response.size() - 2), ".\n") << response;
+    if (events % 13 == 0) {
+      const std::string garbage = service->HandleLine("GARBAGE ???");
+      ASSERT_TRUE(IsErrBlock(garbage)) << garbage;
+    }
+  }
+  EXPECT_GE(admits + departs + rebalances, 200);
+  EXPECT_GT(admits, 0);
+  EXPECT_GT(departs, 0);
+  EXPECT_GT(rebalances, 0);
+  EXPECT_EQ(service->rack().JobCount(), static_cast<int>(live.size()));
+
+  const std::string status_before = service->HandleLine("STATUS");
+  ASSERT_TRUE(IsOkBlock(status_before));
+  service.reset();  // the "kill": no graceful teardown of rack state
+
+  std::optional<PlacementService> replayed(MustCreate(FourNodeRack(), options));
+  EXPECT_EQ(replayed->rack().JobCount(), static_cast<int>(live.size()));
+  const std::string status_after = replayed->HandleLine("STATUS");
+  EXPECT_EQ(status_after, status_before);
+
+  // The revived daemon keeps serving: admissions still work and journal.
+  const std::string more = replayed->HandleLine(AdmitLine("revived", "EP", 2));
+  EXPECT_TRUE(IsOkBlock(more) || IsErrBlock(more)) << more;
+}
+
+TEST(PlacementService, RejectsCorruptJournal) {
+  const std::string journal = ::testing::TempDir() + "/pandia_corrupt_journal.wire";
+  ASSERT_TRUE(WriteTextFile(journal, "not a journal\n").ok());
+  ServiceOptions options;
+  options.journal_path = journal;
+  StatusOr<PlacementService> service =
+      PlacementService::Create(FourNodeRack(), options);
+  EXPECT_FALSE(service.ok());
+  EXPECT_EQ(service.status().code(), StatusCode::kDataLoss);
+  std::remove(journal.c_str());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace pandia

@@ -1,0 +1,150 @@
+// src/serialize/wire: escape round-trips, strict request parsing, response
+// framing, and the placement CSV form — the grammar every byte of the
+// placement service's transports and journal flows through.
+#include "src/serialize/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/machine_spec.h"
+
+namespace pandia {
+namespace wire {
+namespace {
+
+TEST(Escape, RoundTripsEveryEscapedByte) {
+  const std::string raw = "a b\tc\nd\re\\f  g\n\n";
+  const std::string escaped = EscapeValue(raw);
+  EXPECT_EQ(escaped.find(' '), std::string::npos);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  EXPECT_EQ(escaped.find('\t'), std::string::npos);
+  const StatusOr<std::string> back = UnescapeValue(escaped);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, raw);
+}
+
+TEST(Escape, EmptyAndPlainValuesPassThrough) {
+  EXPECT_EQ(EscapeValue(""), "");
+  EXPECT_EQ(EscapeValue("plain-text_0.9"), "plain-text_0.9");
+  const StatusOr<std::string> back = UnescapeValue("plain-text_0.9");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "plain-text_0.9");
+}
+
+TEST(Escape, RejectsDanglingAndUnknownEscapes) {
+  EXPECT_FALSE(UnescapeValue("trailing\\").ok());
+  EXPECT_FALSE(UnescapeValue("bad\\q").ok());
+}
+
+TEST(RequestGrammar, FormatParseRoundTrip) {
+  Request request;
+  request.verb = "ADMIT";
+  request.params = {{"name", "web frontend"},
+                    {"threads", "8"},
+                    {"desc.x3-2", "line1\nline2 with spaces\n"}};
+  const std::string line = FormatRequest(request);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+
+  const StatusOr<Request> parsed = ParseRequest(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->verb, "ADMIT");
+  ASSERT_EQ(parsed->params.size(), 3u);
+  EXPECT_EQ(parsed->params[0].first, "name");
+  EXPECT_EQ(parsed->params[0].second, "web frontend");
+  ASSERT_NE(parsed->Find("desc.x3-2"), nullptr);
+  EXPECT_EQ(*parsed->Find("desc.x3-2"), "line1\nline2 with spaces\n");
+  EXPECT_EQ(parsed->Find("absent"), nullptr);
+}
+
+TEST(RequestGrammar, ParsesBareVerbAndEmptyValues) {
+  const StatusOr<Request> bare = ParseRequest("STATUS");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->verb, "STATUS");
+  EXPECT_TRUE(bare->params.empty());
+
+  const StatusOr<Request> empty_value = ParseRequest("ADMIT name=");
+  ASSERT_TRUE(empty_value.ok());
+  ASSERT_NE(empty_value->Find("name"), nullptr);
+  EXPECT_EQ(*empty_value->Find("name"), "");
+}
+
+TEST(RequestGrammar, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseRequest("").ok());
+  EXPECT_FALSE(ParseRequest("lowercase").ok());              // bad verb charset
+  EXPECT_FALSE(ParseRequest("STATUS junk").ok());            // param without '='
+  EXPECT_FALSE(ParseRequest("STATUS KEY=v").ok());           // bad key charset
+  EXPECT_FALSE(ParseRequest("STATUS =v").ok());              // empty key
+  EXPECT_FALSE(ParseRequest("ADMIT a=1 a=2").ok());          // duplicate key
+  EXPECT_FALSE(ParseRequest("ADMIT a=bad\\q").ok());         // bad escape
+  EXPECT_FALSE(ParseRequest("ADMIT  a=1").ok());             // empty token
+}
+
+TEST(ResponseFraming, SuccessBlockRoundTrips) {
+  Response response = Response::Success("STATUS");
+  response.payload = {"jobs = 2", "machine = 0 free=12"};
+  const std::string block = FormatResponse(response);
+  EXPECT_EQ(block, "ok STATUS\njobs = 2\nmachine = 0 free=12\n.\n");
+
+  std::vector<std::string> lines{"ok STATUS", "jobs = 2", "machine = 0 free=12",
+                                 "."};
+  const StatusOr<Response> parsed = ParseResponse(lines);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->ok);
+  EXPECT_EQ(parsed->verb, "STATUS");
+  EXPECT_EQ(parsed->payload, response.payload);
+}
+
+TEST(ResponseFraming, ErrorBlockCarriesCodeAndMessage) {
+  const std::string block = FormatResponse(
+      Response::Failure(Status::NotFound("job 'web' not resident")));
+  EXPECT_EQ(block.rfind("err not-found ", 0), 0u) << block;
+
+  std::vector<std::string> lines{"err not-found job\\s'web'\\snot\\sresident",
+                                 "."};
+  const StatusOr<Response> parsed = ParseResponse(lines);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_FALSE(parsed->ok);
+  EXPECT_EQ(parsed->code, StatusCode::kNotFound);
+  EXPECT_EQ(parsed->error, "job 'web' not resident");
+}
+
+TEST(ResponseFraming, RejectsUnterminatedAndUnknownBlocks) {
+  EXPECT_FALSE(ParseResponse({}).ok());
+  EXPECT_FALSE(ParseResponse({"ok STATUS"}).ok());        // missing "."
+  EXPECT_FALSE(ParseResponse({"maybe STATUS", "."}).ok());
+  EXPECT_FALSE(ParseResponse({"err bogus-code msg", "."}).ok());
+}
+
+TEST(WireCodes, RoundTripEveryErrorCode) {
+  for (const StatusCode code :
+       {StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kFailedPrecondition, StatusCode::kDataLoss,
+        StatusCode::kUnavailable, StatusCode::kInternal}) {
+    const StatusOr<StatusCode> back = WireCodeFromName(WireCodeName(code));
+    ASSERT_TRUE(back.ok()) << WireCodeName(code);
+    EXPECT_EQ(*back, code);
+  }
+  EXPECT_FALSE(WireCodeFromName("no-such-code").ok());
+}
+
+TEST(PlacementCsv, RoundTripsAndValidates) {
+  const MachineTopology topo = sim::MachineByName("x3-2").topo;
+  Placement placement = Placement::OnePerCore(topo, 4);
+  const std::string csv = PlacementToCsv(placement);
+  const StatusOr<Placement> back = PlacementFromCsv(topo, csv);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(*back == placement);
+
+  EXPECT_FALSE(PlacementFromCsv(topo, "").ok());
+  EXPECT_FALSE(PlacementFromCsv(topo, "1,2").ok());  // wrong core count
+  EXPECT_FALSE(PlacementFromCsv(topo, csv + ",0").ok());
+  std::string overloaded = csv;
+  overloaded[0] = '9';  // > threads_per_core
+  EXPECT_FALSE(PlacementFromCsv(topo, overloaded).ok());
+}
+
+}  // namespace
+}  // namespace wire
+}  // namespace pandia

@@ -10,10 +10,7 @@
 #include <string>
 #include <vector>
 
-#include "src/machine_desc/generator.h"
-#include "src/serialize/serialize.h"
-#include "src/sim/machine.h"
-#include "src/sim/machine_spec.h"
+#include "src/pandia.h"
 #include "tools/tool_common.h"
 
 int main(int argc, char** argv) {

@@ -37,16 +37,7 @@
 #include <string>
 #include <vector>
 
-#include "src/eval/pipeline.h"
-#include "src/obs/metrics.h"
-#include "src/obs/trace.h"
-#include "src/predictor/optimizer.h"
-#include "src/predictor/predictor.h"
-#include "src/predictor/report.h"
-#include "src/serialize/serialize.h"
-#include "src/sim/machine_spec.h"
-#include "src/topology/placement_parse.h"
-#include "src/workloads/workloads.h"
+#include "src/pandia.h"
 #include "tools/tool_common.h"
 
 namespace {
@@ -71,45 +62,30 @@ int Usage(const char* argv0) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string trace_out;
-  bool metrics = false;
-  int jobs = 0;  // 0: defer to PANDIA_JOBS
+  tools::CommonFlags common;
   tools::RobustnessFlags robustness;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
-    const tools::FlagParse parsed = robustness.Match(argv[i]);
+    tools::FlagParse parsed = common.Match(argv[i]);
+    if (parsed == tools::FlagParse::kNoMatch) {
+      parsed = robustness.Match(argv[i]);
+    }
     if (parsed == tools::FlagParse::kError) {
       return 2;
     }
     if (parsed == tools::FlagParse::kOk) {
       continue;
     }
-    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
-      trace_out = argv[i] + 12;
-    } else if (std::strcmp(argv[i], "--metrics") == 0) {
-      metrics = true;
-    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
-      jobs = std::atoi(argv[i] + 7);
-      if (jobs < 1) {
-        std::fprintf(stderr, "error: --jobs needs a positive integer, got '%s'\n",
-                     argv[i] + 7);
-        return 2;
-      }
-    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
       return Usage(argv[0]);
-    } else {
-      positional.push_back(argv[i]);
     }
+    positional.push_back(argv[i]);
   }
   if (positional.size() < 2) {
     return Usage(argv[0]);
   }
-  // Spans are recorded only while the tracer is enabled; both flags need
-  // them (--metrics prints the per-span wall-time summary).
-  if (!trace_out.empty() || metrics) {
-    obs::Tracer::Global().SetEnabled(true);
-  }
+  common.ActivateTracing();
   const sim::FaultPlan fault_plan = robustness.MakeFaultPlan();
 
   std::optional<eval::Pipeline> pipeline;
@@ -203,7 +179,7 @@ int main(int argc, char** argv) {
     }
   } else {
     OptimizerOptions optimizer_options;
-    optimizer_options.jobs = jobs;
+    common.Apply(optimizer_options.common);
     const StatusOr<RankedPlacement> best =
         TryFindBestPlacement(*predictor, optimizer_options);
     if (!best.ok()) {
@@ -212,9 +188,12 @@ int main(int argc, char** argv) {
     std::printf("best predicted placement:\n");
     std::fputs(ExplainPrediction(*machine, best->placement, best->prediction).c_str(),
                stdout);
-    const std::optional<RankedPlacement> cheap =
-        FindCheapestPlacement(*predictor, 0.95, optimizer_options);
-    if (cheap.has_value() && !(cheap->placement == best->placement)) {
+    const StatusOr<RankedPlacement> cheap =
+        TryFindCheapestPlacement(*predictor, 0.95, optimizer_options);
+    if (!cheap.ok()) {
+      return tools::FailWith(cheap.status());
+    }
+    if (!(cheap->placement == best->placement)) {
       std::printf("\ncheapest placement within 95%% of the best:\n");
       std::fputs(
           ExplainPrediction(*machine, cheap->placement, cheap->prediction).c_str(),
@@ -222,20 +201,5 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!trace_out.empty()) {
-    const Status written =
-        WriteTextFile(trace_out, obs::Tracer::Global().ChromeTraceJson());
-    if (!written.ok()) {
-      return tools::FailWith(written);
-    }
-    std::fprintf(stderr, "wrote trace to %s (open via chrome://tracing)\n",
-                 trace_out.c_str());
-  }
-  if (metrics) {
-    std::printf("\nmetrics:\n");
-    obs::RenderTable(obs::MetricsRegistry::Global().Snapshot()).Print(stdout);
-    std::printf("\nspan summary:\n");
-    obs::Tracer::Global().SummaryTable().Print(stdout);
-  }
-  return 0;
+  return common.Finish(stdout);
 }

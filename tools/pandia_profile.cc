@@ -17,11 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "src/eval/pipeline.h"
-#include "src/serialize/serialize.h"
-#include "src/sim/machine_spec.h"
-#include "src/workload_desc/assumptions.h"
-#include "src/workloads/workloads.h"
+#include "src/pandia.h"
 #include "tools/tool_common.h"
 
 int main(int argc, char** argv) {

@@ -1,0 +1,156 @@
+// pandia-serve: the long-running placement service daemon (paper §8 — rack
+// scheduling as an online service).
+//
+//   pandia_serve --machine NAME=SPEC [--machine NAME=SPEC ...] [flags]
+//
+// Each --machine adds one rack machine: NAME is the instance name ("node0")
+// and SPEC is either a stored machine-description file or the name of a
+// simulated machine (x5-2, x4-2, x3-2, x2-4 — the description is then
+// generated from stress runs). Machines of different types can share one
+// rack; jobs are placed only on types they carry a description for.
+//
+// Requests arrive as wire-v1 lines (src/serialize/wire.h) on stdin and/or
+// on a Unix-domain socket; every request gets a structured response block
+// and no request ever aborts the daemon. The daemon exits on stdin EOF or
+// an acknowledged SHUTDOWN request.
+//
+// Flags:
+//   --machine NAME=SPEC  add a rack machine (repeatable, at least one)
+//   --policy=P           default admission policy: first-fit, best-speedup
+//                        (default), least-interference
+//   --journal=FILE       append-only mutation journal; replayed on startup
+//                        when the file exists (restart recovery)
+//   --socket=PATH        also listen on a Unix-domain socket at PATH
+//   --jobs=N, --trace-out=FILE, --metrics  (tools/tool_common.h; the
+//                        observability tables go to stderr — stdout carries
+//                        response blocks)
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/pandia.h"
+#include "tools/tool_common.h"
+
+namespace {
+
+using namespace pandia;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --machine NAME=SPEC [--machine NAME=SPEC ...] "
+               "[--policy=P] [--journal=FILE] [--socket=PATH] [--jobs=N] "
+               "[--trace-out=FILE] [--metrics]\n"
+               "  SPEC: a machine-description file or a simulated machine "
+               "(x5-2, x4-2, x3-2, x2-4)\n",
+               argv0);
+  return 2;
+}
+
+// NAME=SPEC -> RackMachine, loading or generating the description.
+StatusOr<rack::RackMachine> LoadMachine(const std::string& spec) {
+  const size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+    return Status::InvalidArgument(
+        StrFormat("--machine needs NAME=SPEC, got '%s'", spec.c_str()));
+  }
+  rack::RackMachine machine;
+  machine.name = spec.substr(0, eq);
+  const std::string source = spec.substr(eq + 1);
+  if (const StatusOr<std::string> text = ReadTextFile(source); text.ok()) {
+    StatusOr<MachineDescription> parsed = MachineDescriptionFromText(*text);
+    if (!parsed.ok()) {
+      return Status(parsed.status().code(),
+                    source + ": " + std::string(parsed.status().message()));
+    }
+    machine.description = std::move(*parsed);
+    return machine;
+  }
+  const std::vector<std::string> known = sim::KnownMachineNames();
+  if (std::find(known.begin(), known.end(), source) == known.end()) {
+    return Status::InvalidArgument(StrFormat(
+        "'%s' is neither a readable machine description nor a known machine "
+        "(x5-2, x4-2, x3-2, x2-4)",
+        source.c_str()));
+  }
+  machine.description =
+      GenerateMachineDescription(sim::Machine{sim::MachineByName(source)});
+  return machine;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::CommonFlags common;
+  std::vector<rack::RackMachine> machines;
+  serve::ServiceOptions options;
+  std::string socket_path;
+  for (int i = 1; i < argc; ++i) {
+    const tools::FlagParse parsed = common.Match(argv[i]);
+    if (parsed == tools::FlagParse::kError) {
+      return 2;
+    }
+    if (parsed == tools::FlagParse::kOk) {
+      continue;
+    }
+    if (std::strcmp(argv[i], "--machine") == 0 && i + 1 < argc) {
+      StatusOr<rack::RackMachine> machine = LoadMachine(argv[++i]);
+      if (!machine.ok()) {
+        return tools::FailWith(machine.status());
+      }
+      machines.push_back(std::move(*machine));
+    } else if (std::strncmp(argv[i], "--machine=", 10) == 0) {
+      StatusOr<rack::RackMachine> machine = LoadMachine(argv[i] + 10);
+      if (!machine.ok()) {
+        return tools::FailWith(machine.status());
+      }
+      machines.push_back(std::move(*machine));
+    } else if (std::strncmp(argv[i], "--policy=", 9) == 0) {
+      const StatusOr<rack::Policy> policy = rack::PolicyFromName(argv[i] + 9);
+      if (!policy.ok()) {
+        return tools::FailWith(policy.status());
+      }
+      options.default_policy = *policy;
+    } else if (std::strncmp(argv[i], "--journal=", 10) == 0) {
+      options.journal_path = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--socket=", 9) == 0) {
+      socket_path = argv[i] + 9;
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", argv[i]);
+      return Usage(argv[0]);
+    }
+  }
+  if (machines.empty()) {
+    std::fprintf(stderr, "error: at least one --machine is required\n");
+    return Usage(argv[0]);
+  }
+  common.ActivateTracing();
+  common.Apply(options.prediction.common);
+
+  StatusOr<serve::PlacementService> service =
+      serve::PlacementService::Create(std::move(machines), std::move(options));
+  if (!service.ok()) {
+    return tools::FailWith(service.status());
+  }
+  std::fprintf(stderr, "pandia_serve: %zu machine(s), %d job(s) replayed%s%s\n",
+               service->rack().machines().size(), service->rack().JobCount(),
+               socket_path.empty() ? "" : ", listening on ",
+               socket_path.c_str());
+
+  Status served = Status::Ok();
+  if (socket_path.empty()) {
+    served = serve::RunEventLoop(*service, /*stdin_fd=*/0, stdout, nullptr);
+  } else {
+    StatusOr<serve::SocketServer> server = serve::SocketServer::Listen(socket_path);
+    if (!server.ok()) {
+      return tools::FailWith(server.status());
+    }
+    served = serve::RunEventLoop(*service, /*stdin_fd=*/0, stdout, &*server);
+  }
+  if (!served.ok()) {
+    return tools::FailWith(served);
+  }
+  return common.Finish(stderr);
+}

@@ -1,0 +1,70 @@
+// pandia-serve-client: one-shot client for a running pandia_serve daemon.
+//
+//   pandia_serve_client --socket=PATH [request ...]
+//
+// Each positional argument is one wire-v1 request line sent verbatim
+// (quote it: 'ADMIT name=web threads=4 ...'). Without positional arguments
+// the request lines are read from stdin until EOF. All responses are
+// printed to stdout exactly as the daemon framed them; the exit code is 0
+// only when every response block reports ok.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/pandia.h"
+#include "tools/tool_common.h"
+
+int main(int argc, char** argv) {
+  using namespace pandia;
+  std::string socket_path;
+  std::vector<std::string> requests;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--socket=", 9) == 0) {
+      socket_path = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+      return 2;
+    } else {
+      requests.push_back(argv[i]);
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "usage: %s --socket=PATH [request ...]\n", argv[0]);
+    return 2;
+  }
+  std::string request_text;
+  if (requests.empty()) {
+    char chunk[4096];
+    size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), stdin)) > 0) {
+      request_text.append(chunk, n);
+    }
+    if (!request_text.empty() && request_text.back() != '\n') {
+      request_text += '\n';
+    }
+  } else {
+    for (const std::string& request : requests) {
+      request_text += request;
+      request_text += '\n';
+    }
+  }
+  if (request_text.empty()) {
+    std::fprintf(stderr, "error: no requests to send\n");
+    return 2;
+  }
+  const StatusOr<std::string> response =
+      serve::SocketExchange(socket_path, request_text);
+  if (!response.ok()) {
+    return tools::FailWith(response.status(), socket_path);
+  }
+  std::fputs(response->c_str(), stdout);
+  // Any failed request fails the invocation (response blocks open with
+  // either "ok VERB" or "err CODE message").
+  for (const std::string& line : StrSplit(*response, '\n')) {
+    if (line.rfind("err ", 0) == 0) {
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -28,47 +28,30 @@
 #include <string>
 #include <vector>
 
-#include "src/eval/experiment.h"
-#include "src/eval/pipeline.h"
-#include "src/obs/metrics.h"
-#include "src/obs/trace.h"
-#include "src/serialize/serialize.h"
-#include "src/sim/machine_spec.h"
-#include "src/workloads/workloads.h"
+#include "src/pandia.h"
 #include "tools/tool_common.h"
 
 int main(int argc, char** argv) {
   using namespace pandia;
-  std::string trace_out;
-  bool metrics = false;
-  int jobs = 0;  // 0: defer to PANDIA_JOBS
+  tools::CommonFlags common;
   tools::RobustnessFlags robustness;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
-    const tools::FlagParse parsed = robustness.Match(argv[i]);
+    tools::FlagParse parsed = common.Match(argv[i]);
+    if (parsed == tools::FlagParse::kNoMatch) {
+      parsed = robustness.Match(argv[i]);
+    }
     if (parsed == tools::FlagParse::kError) {
       return 2;
     }
     if (parsed == tools::FlagParse::kOk) {
       continue;
     }
-    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
-      trace_out = argv[i] + 12;
-    } else if (std::strcmp(argv[i], "--metrics") == 0) {
-      metrics = true;
-    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
-      jobs = std::atoi(argv[i] + 7);
-      if (jobs < 1) {
-        std::fprintf(stderr, "error: --jobs needs a positive integer, got '%s'\n",
-                     argv[i] + 7);
-        return 2;
-      }
-    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
       return 2;
-    } else {
-      positional.push_back(argv[i]);
     }
+    positional.push_back(argv[i]);
   }
   if (positional.size() < 2 || positional.size() > 3) {
     std::fprintf(stderr,
@@ -91,9 +74,7 @@ int main(int argc, char** argv) {
                  positional[1].c_str());
     return 2;
   }
-  if (!trace_out.empty() || metrics) {
-    obs::Tracer::Global().SetEnabled(true);
-  }
+  common.ActivateTracing();
   eval::Pipeline pipeline(positional[0]);
   const sim::WorkloadSpec workload = workloads::ByName(positional[1]);
   const sim::FaultPlan fault_plan = robustness.MakeFaultPlan();
@@ -116,7 +97,7 @@ int main(int argc, char** argv) {
   pipeline.SetFaultPlan(sim::FaultPlan{});
   const Predictor predictor = pipeline.MakePredictor(desc);
   eval::SweepOptions options;
-  options.jobs = jobs;
+  common.Apply(options.common);
   if (positional.size() == 3) {
     options.sample_count = static_cast<size_t>(std::atoi(positional[2].c_str()));
     options.exhaustive_limit = options.sample_count;
@@ -140,20 +121,6 @@ int main(int argc, char** argv) {
                 pr.predicted_norm);
   }
 
-  if (!trace_out.empty()) {
-    const Status written =
-        WriteTextFile(trace_out, obs::Tracer::Global().ChromeTraceJson());
-    if (!written.ok()) {
-      return tools::FailWith(written);
-    }
-    std::fprintf(stderr, "wrote trace to %s (open via chrome://tracing)\n",
-                 trace_out.c_str());
-  }
-  if (metrics) {
-    std::fprintf(stderr, "\nmetrics:\n");
-    obs::RenderTable(obs::MetricsRegistry::Global().Snapshot()).Print(stderr);
-    std::fprintf(stderr, "\nspan summary:\n");
-    obs::Tracer::Global().SummaryTable().Print(stderr);
-  }
-  return 0;
+  // stdout stays parseable CSV; the observability tables go to stderr.
+  return common.Finish(stderr);
 }

@@ -10,9 +10,7 @@
 #include <cstdio>
 #include <string>
 
-#include "src/obs/json_lint.h"
-#include "src/serialize/serialize.h"
-#include "src/util/strings.h"
+#include "src/pandia.h"
 
 int main(int argc, char** argv) {
   using namespace pandia;

@@ -1,0 +1,58 @@
+# Smoke test driven by ctest (see tools/CMakeLists.txt): run the
+# pandia_serve daemon on a two-machine simulated rack, feed it a request
+# script over stdin (valid STATUS/METRICS, a malformed verb, a DEPART for a
+# job that does not exist, then SHUTDOWN), and assert the daemon answers
+# every request with a structured response block and exits cleanly — bad
+# requests must never take the process down. A second run against the same
+# journal verifies restart replay keeps STATUS identical.
+#
+# ADMIT needs workload-description text embedded in the request, which a
+# cmake script cannot synthesize; the admission and kill-and-replay soak
+# paths are exercised by tests/serve_test.cc.
+#
+# Variables (passed via -D): SERVE, WORK.
+
+file(MAKE_DIRECTORY ${WORK})
+file(REMOVE ${WORK}/journal.wire)
+set(requests "STATUS\nMETRICS\nFROBNICATE everything\nDEPART name=ghost\nnot a request line\nSTATUS\nSHUTDOWN\n")
+file(WRITE ${WORK}/requests.txt "${requests}")
+
+execute_process(
+  COMMAND ${SERVE} --machine node0=x3-2 --machine node1=x3-2
+          --journal=${WORK}/journal.wire
+  INPUT_FILE ${WORK}/requests.txt
+  RESULT_VARIABLE serve_result
+  OUTPUT_VARIABLE serve_output
+  ERROR_VARIABLE serve_stderr
+)
+if(NOT serve_result EQUAL 0)
+  message(FATAL_ERROR "pandia_serve failed (${serve_result}):\n${serve_output}\n${serve_stderr}")
+endif()
+foreach(needle "ok STATUS" "ok METRICS" "ok SHUTDOWN" "machines = 2")
+  if(NOT serve_output MATCHES "${needle}")
+    message(FATAL_ERROR "pandia_serve output is missing '${needle}':\n${serve_output}")
+  endif()
+endforeach()
+if(NOT serve_output MATCHES "err invalid-argument")
+  message(FATAL_ERROR "malformed requests did not produce err invalid-argument:\n${serve_output}")
+endif()
+if(NOT serve_output MATCHES "err not-found")
+  message(FATAL_ERROR "DEPART of an unknown job did not produce err not-found:\n${serve_output}")
+endif()
+
+# Restart against the same (empty-mutation) journal: STATUS must be stable.
+file(WRITE ${WORK}/status_only.txt "STATUS\nSHUTDOWN\n")
+execute_process(
+  COMMAND ${SERVE} --machine node0=x3-2 --machine node1=x3-2
+          --journal=${WORK}/journal.wire
+  INPUT_FILE ${WORK}/status_only.txt
+  RESULT_VARIABLE replay_result
+  OUTPUT_VARIABLE replay_output
+  ERROR_VARIABLE replay_stderr
+)
+if(NOT replay_result EQUAL 0)
+  message(FATAL_ERROR "pandia_serve restart failed (${replay_result}):\n${replay_output}\n${replay_stderr}")
+endif()
+if(NOT replay_output MATCHES "machines = 2")
+  message(FATAL_ERROR "restarted daemon STATUS is missing the rack:\n${replay_output}")
+endif()

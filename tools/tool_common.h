@@ -1,7 +1,11 @@
-// Shared helpers for the pandia_* CLI front-ends: robustness flag parsing
-// (--trials, --fault-*) and uniform Status error reporting. Tools never
-// abort on bad input; every failure path prints a structured error naming
-// the offending flag, field, or file and exits non-zero.
+// Shared helpers for the pandia_* CLI front-ends: common flag parsing
+// (--jobs, --trace-out, --metrics, --trials, --fault-*) and uniform Status
+// error reporting. Tools never abort on bad input; every failure path
+// prints a structured error naming the offending flag, field, or file and
+// exits non-zero.
+//
+// Tools include only this header and the umbrella src/pandia.h — never
+// internal src/ headers directly.
 #ifndef PANDIA_TOOLS_TOOL_COMMON_H_
 #define PANDIA_TOOLS_TOOL_COMMON_H_
 
@@ -11,14 +15,81 @@
 #include <optional>
 #include <string>
 
-#include "src/sim/fault_plan.h"
-#include "src/util/status.h"
-#include "src/workload_desc/description.h"
+#include "src/pandia.h"
 
 namespace pandia {
 namespace tools {
 
 enum class FlagParse { kNoMatch, kOk, kError };
+
+// The shared fan-out/observability flags, threaded through CommonOptions so
+// every tool parses and applies them the same way:
+//   --jobs=N          fan parallelizable phases out over N worker threads
+//                     (default: the PANDIA_JOBS environment variable, else
+//                     serial); results are byte-identical at any job count
+//   --trace-out=FILE  write a Chrome trace_event JSON file (open via
+//                     chrome://tracing or https://ui.perfetto.dev)
+//   --metrics         print the metrics table and per-span wall-time summary
+struct CommonFlags {
+  int jobs = 0;  // 0: defer to PANDIA_JOBS
+  std::string trace_out;
+  bool metrics = false;
+
+  // Tries to consume one argv entry; prints to stderr on kError.
+  FlagParse Match(const char* arg) {
+    if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      trace_out = arg + 12;
+      return FlagParse::kOk;
+    }
+    if (std::strcmp(arg, "--metrics") == 0) {
+      metrics = true;
+      return FlagParse::kOk;
+    }
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      jobs = std::atoi(arg + 7);
+      if (jobs < 1) {
+        std::fprintf(stderr, "error: --jobs needs a positive integer, got '%s'\n",
+                     arg + 7);
+        return FlagParse::kError;
+      }
+      return FlagParse::kOk;
+    }
+    return FlagParse::kNoMatch;
+  }
+
+  // Call once after flag parsing: spans are recorded only while the tracer
+  // is enabled (--metrics needs them for the per-span summary too).
+  void ActivateTracing() const {
+    if (!trace_out.empty() || metrics) {
+      obs::Tracer::Global().SetEnabled(true);
+    }
+  }
+
+  // Copies the flags into any options struct carrying a CommonOptions.
+  void Apply(CommonOptions& common) const { common.jobs = jobs; }
+
+  // Emits the requested artifacts: the trace file, and the metrics/span
+  // tables on `out`. Returns a non-zero exit code on write failure.
+  int Finish(std::FILE* out = stdout) const {
+    if (!trace_out.empty()) {
+      const Status written =
+          WriteTextFile(trace_out, obs::Tracer::Global().ChromeTraceJson());
+      if (!written.ok()) {
+        std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote trace to %s (open via chrome://tracing)\n",
+                   trace_out.c_str());
+    }
+    if (metrics) {
+      std::fprintf(out, "\nmetrics:\n");
+      obs::RenderTable(obs::MetricsRegistry::Global().Snapshot()).Print(out);
+      std::fprintf(out, "\nspan summary:\n");
+      obs::Tracer::Global().SummaryTable().Print(out);
+    }
+    return 0;
+  }
+};
 
 // Robustness flags shared by the measuring tools:
 //   --trials=N         profiling trials per run (default 1; median aggregate)
