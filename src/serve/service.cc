@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <optional>
 #include <utility>
 
 #include "src/obs/metrics.h"
@@ -60,8 +61,16 @@ StatusOr<PlacementService> PlacementService::Create(
       if (!text.ok()) {
         return text.status();
       }
-      PANDIA_RETURN_IF_ERROR(service.ReplayJournal(*text));
+      bool saw_magic = false;
+      PANDIA_RETURN_IF_ERROR(service.ReplayJournal(*text, &saw_magic));
       service.journal_ = std::fopen(path.c_str(), "ab");
+      if (service.journal_ != nullptr && !saw_magic) {
+        // A journal with no records at all (0 bytes, e.g. a crash between
+        // creating the file and writing its header) is a fresh journal;
+        // give it the header so the next restart can replay it.
+        std::fprintf(service.journal_, "%s\n", kJournalMagic);
+        std::fflush(service.journal_);
+      }
     } else {
       service.journal_ = std::fopen(path.c_str(), "wb");
       if (service.journal_ != nullptr) {
@@ -197,6 +206,9 @@ wire::Response PlacementService::HandleAdmit(const wire::Request& request) {
       "desc", WorkloadDescriptionToText(
                   job.descriptions.at(machine.description.topo.name)));
   if (Status journaled = AppendJournal(record); !journaled.ok()) {
+    // Unwind the admission: live state must never hold a mutation the
+    // journal (and the client, who sees err) does not.
+    (void)rack_.Depart(job.name);
     return wire::Response::Failure(journaled);
   }
 
@@ -243,6 +255,7 @@ Status PlacementService::ReplaceDegraded(int machine_index,
         candidate->job_speedup <= current_speedup * (1.0 + options_.replace_margin)) {
       continue;
     }
+    const Placement previous = it->placement;
     PANDIA_RETURN_IF_ERROR(rack_.Move(name, machine_index, candidate->placement));
     wire::Request record;
     record.verb = "MOVED";
@@ -250,7 +263,11 @@ Status PlacementService::ReplaceDegraded(int machine_index,
     record.params.emplace_back("machine", StrFormat("%d", machine_index));
     record.params.emplace_back("placement",
                                wire::PlacementToCsv(candidate->placement));
-    PANDIA_RETURN_IF_ERROR(AppendJournal(record));
+    if (Status journaled = AppendJournal(record); !journaled.ok()) {
+      // Unrecorded moves must not survive in live state.
+      (void)rack_.Move(name, machine_index, previous);
+      return journaled;
+    }
     payload.push_back(StrFormat("moved = %s machine=%d placement=%s speedup=%.6f",
                                 wire::EscapeValue(name).c_str(), machine_index,
                                 wire::PlacementToCsv(candidate->placement).c_str(),
@@ -271,6 +288,19 @@ wire::Response PlacementService::HandleDepart(const wire::Request& request) {
           StrFormat("DEPART does not take parameter '%s'", key.c_str())));
     }
   }
+  // Snapshot the resident before removing it so a failed journal append can
+  // restore it (re-admitted at the end of the resident order; membership,
+  // not order, is what must stay consistent with the journal).
+  std::optional<rack::RackJob> snapshot;
+  const StatusOr<int> host = rack_.MachineOf(*name);
+  if (host.ok()) {
+    const auto& residents = rack_.JobsOn(*host);
+    const auto it = std::find_if(residents.begin(), residents.end(),
+                                 [&](const rack::RackJob& r) { return r.name == *name; });
+    if (it != residents.end()) {
+      snapshot = *it;
+    }
+  }
   StatusOr<int> departed = rack_.Depart(*name);
   if (!departed.ok()) {
     return wire::Response::Failure(departed.status());
@@ -279,6 +309,10 @@ wire::Response PlacementService::HandleDepart(const wire::Request& request) {
   record.verb = "DEPARTED";
   record.params.emplace_back("name", *name);
   if (Status journaled = AppendJournal(record); !journaled.ok()) {
+    if (snapshot.has_value()) {
+      (void)rack_.AdmitAt(snapshot->name, *host, snapshot->description,
+                          snapshot->placement);
+    }
     return wire::Response::Failure(journaled);
   }
 
@@ -375,6 +409,7 @@ wire::Response PlacementService::HandleRebalance(const wire::Request& request) {
           best->job_speedup <= entry.speedup * (1.0 + options_.replace_margin)) {
         continue;
       }
+      const Placement previous = it->placement;
       if (Status status = rack_.Move(entry.name, best_machine, best->placement);
           !status.ok()) {
         return wire::Response::Failure(status);
@@ -385,6 +420,8 @@ wire::Response PlacementService::HandleRebalance(const wire::Request& request) {
       record.params.emplace_back("machine", StrFormat("%d", best_machine));
       record.params.emplace_back("placement", wire::PlacementToCsv(best->placement));
       if (Status journaled = AppendJournal(record); !journaled.ok()) {
+        // Unrecorded moves must not survive in live state.
+        (void)rack_.Move(entry.name, entry.machine, previous);
         return wire::Response::Failure(journaled);
       }
       response.payload.push_back(
@@ -471,7 +508,7 @@ wire::Response PlacementService::HandleMetrics() const {
   return response;
 }
 
-Status PlacementService::ReplayJournal(const std::string& text) {
+Status PlacementService::ReplayJournal(const std::string& text, bool* saw_magic_out) {
   size_t pos = 0;
   size_t line_number = 0;
   bool saw_magic = false;
@@ -578,6 +615,7 @@ Status PlacementService::ReplayJournal(const std::string& text) {
                                         applied.message().c_str()));
     }
   }
+  *saw_magic_out = saw_magic;
   return Status::Ok();
 }
 

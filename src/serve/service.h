@@ -93,7 +93,10 @@ class PlacementService {
   // appends one journal record and one `moved =` payload line per move.
   Status ReplaceDegraded(int machine_index, std::vector<std::string>& payload);
 
-  Status ReplayJournal(const std::string& text);
+  // Replays journal text into the rack. `saw_magic_out` reports whether the
+  // header line was present; a record-less headerless file (0 bytes) is a
+  // fresh journal, not corruption, and Create() then writes the header.
+  Status ReplayJournal(const std::string& text, bool* saw_magic_out);
   Status AppendJournal(const wire::Request& record);
 
   ServiceOptions options_;

@@ -2,11 +2,13 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 #include <map>
 #include <vector>
@@ -22,11 +24,14 @@ Status ErrnoStatus(const char* what, const std::string& detail) {
       StrFormat("%s (%s): %s", what, detail.c_str(), std::strerror(errno)));
 }
 
-// Writes all of `data` to `fd`, retrying on short writes and EINTR.
+// Writes all of `data` to the socket `fd`, retrying on short writes and
+// EINTR. MSG_NOSIGNAL: a peer that hung up must yield EPIPE, not a SIGPIPE
+// that kills the whole daemon.
 Status WriteAll(int fd, const std::string& data) {
   size_t written = 0;
   while (written < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    const ssize_t n =
+        ::send(fd, data.data() + written, data.size() - written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) {
         continue;
@@ -88,7 +93,35 @@ StatusOr<SocketServer> SocketServer::Listen(const std::string& path) {
   if (fd < 0) {
     return ErrnoStatus("cannot create socket", path);
   }
-  ::unlink(path.c_str());  // stale socket from a previous run
+  struct stat st;
+  if (::lstat(path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      ::close(fd);
+      return Status::FailedPrecondition(StrFormat(
+          "socket path '%s' exists and is not a socket; refusing to delete it",
+          path.c_str()));
+    }
+    // Probe the existing endpoint: a live daemon accepts the connection, a
+    // socket left behind by a crashed run refuses it. Only the stale case
+    // may be unlinked — clobbering a live daemon's endpoint would silently
+    // cut it off from every future client.
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe < 0) {
+      ::close(fd);
+      return ErrnoStatus("cannot create probe socket", path);
+    }
+    const bool accepted =
+        ::connect(probe, reinterpret_cast<const sockaddr*>(&*addr),
+                  sizeof(*addr)) == 0;
+    const int probe_errno = errno;
+    ::close(probe);
+    if (accepted || (probe_errno != ECONNREFUSED && probe_errno != ENOENT)) {
+      ::close(fd);
+      return Status::FailedPrecondition(StrFormat(
+          "socket '%s' already has a live listener", path.c_str()));
+    }
+    ::unlink(path.c_str());  // stale socket from a crashed run
+  }
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&*addr), sizeof(*addr)) != 0) {
     const Status status = ErrnoStatus("cannot bind socket", path);
     ::close(fd);
@@ -132,6 +165,9 @@ SocketServer::~SocketServer() {
 
 Status RunEventLoop(PlacementService& service, int stdin_fd,
                     std::FILE* stdout_stream, SocketServer* server) {
+  // stdout_stream may be a pipe whose reader is gone; without this a single
+  // fputs would SIGPIPE the process instead of failing the one write.
+  std::signal(SIGPIPE, SIG_IGN);
   std::string stdin_buffer;
   std::map<int, std::string> clients;  // client fd -> partial line buffer
   bool stdin_open = stdin_fd >= 0;

@@ -6,9 +6,12 @@
 #include "src/serve/service.h"
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <optional>
 #include <string>
@@ -279,6 +282,108 @@ TEST(ServeSoak, TwoHundredEventsThenKillAndReplay) {
   // The revived daemon keeps serving: admissions still work and journal.
   const std::string more = replayed->HandleLine(AdmitLine("revived", "EP", 2));
   EXPECT_TRUE(IsOkBlock(more) || IsErrBlock(more)) << more;
+}
+
+TEST(PlacementService, EmptyJournalFileIsAFreshJournal) {
+  // A 0-byte journal (touch, or a crash between fopen and the header write)
+  // must replay as empty AND still get the header, so records appended
+  // afterwards survive the next restart.
+  const std::string journal = ::testing::TempDir() + "/pandia_empty_journal.wire";
+  ASSERT_TRUE(WriteTextFile(journal, "").ok());
+  ServiceOptions options;
+  options.journal_path = journal;
+  {
+    StatusOr<PlacementService> service =
+        PlacementService::Create(FourNodeRack(), options);
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    EXPECT_EQ(service->rack().JobCount(), 0);
+    ASSERT_TRUE(IsOkBlock(service->HandleLine(AdmitLine("survivor", "EP", 2))));
+  }
+  StatusOr<PlacementService> replayed =
+      PlacementService::Create(FourNodeRack(), options);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_EQ(replayed->rack().JobCount(), 1);
+  EXPECT_TRUE(replayed->rack().Has("survivor"));
+  std::remove(journal.c_str());
+}
+
+TEST(SocketTransport, RefusesToClobberALiveListener) {
+  const std::string path = ::testing::TempDir() + "/pandia_clobber.sock";
+  std::remove(path.c_str());
+  {
+    StatusOr<SocketServer> first = SocketServer::Listen(path);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    StatusOr<SocketServer> second = SocketServer::Listen(path);
+    EXPECT_FALSE(second.ok());
+    EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+  }
+  // The first server's teardown removed the path; a fresh Listen works.
+  StatusOr<SocketServer> again = SocketServer::Listen(path);
+  EXPECT_TRUE(again.ok()) << again.status().ToString();
+}
+
+TEST(SocketTransport, RefusesToDeleteANonSocketPath) {
+  const std::string path = ::testing::TempDir() + "/pandia_not_a_socket";
+  ASSERT_TRUE(WriteTextFile(path, "precious data\n").ok());
+  StatusOr<SocketServer> server = SocketServer::Listen(path);
+  EXPECT_FALSE(server.ok());
+  EXPECT_EQ(server.status().code(), StatusCode::kFailedPrecondition);
+  const StatusOr<std::string> kept = ReadTextFile(path);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(*kept, "precious data\n");
+  std::remove(path.c_str());
+}
+
+TEST(SocketTransport, ReplacesAStaleSocketFile) {
+  // A bound-then-closed socket leaves its file behind with nobody
+  // listening, exactly what a crashed daemon leaves; Listen reclaims it.
+  const std::string path = ::testing::TempDir() + "/pandia_stale.sock";
+  std::remove(path.c_str());
+  const int stale = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(stale, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ASSERT_EQ(::bind(stale, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+  ::close(stale);
+
+  StatusOr<SocketServer> server = SocketServer::Listen(path);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+}
+
+TEST(SocketTransport, SurvivesClientsThatHangUpBeforeTheResponse) {
+  // Clients that connect, ask, and vanish before reading must cost the
+  // daemon one failed write, not a SIGPIPE death.
+  PlacementService service = MustCreate(FourNodeRack(), ServiceOptions{});
+  const std::string path = ::testing::TempDir() + "/pandia_hangup.sock";
+  std::remove(path.c_str());
+  StatusOr<SocketServer> server = SocketServer::Listen(path);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  std::thread loop([&service, &server] {
+    const Status served = RunEventLoop(service, /*stdin_fd=*/-1, stdout, &*server);
+    EXPECT_TRUE(served.ok()) << served.ToString();
+  });
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  for (int round = 0; round < 8; ++round) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+    const char request[] = "STATUS\nSTATUS\nSTATUS\n";
+    (void)::send(fd, request, sizeof(request) - 1, MSG_NOSIGNAL);
+    ::close(fd);  // gone before the daemon can possibly have answered
+  }
+
+  // The daemon is still alive and serving.
+  const StatusOr<std::string> status = SocketExchange(path, "STATUS\n");
+  ASSERT_TRUE(status.ok()) << status.status().ToString();
+  EXPECT_NE(status->find("ok STATUS"), std::string::npos) << *status;
+  const StatusOr<std::string> bye = SocketExchange(path, "SHUTDOWN\n");
+  ASSERT_TRUE(bye.ok()) << bye.status().ToString();
+  loop.join();
 }
 
 TEST(PlacementService, RejectsCorruptJournal) {

@@ -25,6 +25,7 @@
 //                        observability tables go to stderr — stdout carries
 //                        response blocks)
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -83,6 +84,9 @@ StatusOr<rack::RackMachine> LoadMachine(const std::string& spec) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A client (or the shell pipeline reading stdout) that vanishes must cost
+  // one failed write, never the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
   tools::CommonFlags common;
   std::vector<rack::RackMachine> machines;
   serve::ServiceOptions options;

@@ -59,12 +59,29 @@ int main(int argc, char** argv) {
     return tools::FailWith(response.status(), socket_path);
   }
   std::fputs(response->c_str(), stdout);
-  // Any failed request fails the invocation (response blocks open with
-  // either "ok VERB" or "err CODE message").
+  // Any failed request fails the invocation. Responses are blocks
+  // terminated by a lone "." line; only each block's status line decides —
+  // payload rows are free-form and may themselves start with "err ".
+  int exit_code = 0;
+  std::vector<std::string> block;
   for (const std::string& line : StrSplit(*response, '\n')) {
-    if (line.rfind("err ", 0) == 0) {
-      return 1;
+    block.push_back(line);
+    if (line != ".") {
+      continue;
+    }
+    const StatusOr<wire::Response> parsed = wire::ParseResponse(block);
+    if (!parsed.ok() || !parsed->ok) {
+      exit_code = 1;
+    }
+    block.clear();
+  }
+  for (const std::string& line : block) {
+    if (!line.empty()) {
+      // Trailing lines with no terminator: the stream was cut mid-block.
+      std::fprintf(stderr, "error: truncated response block\n");
+      exit_code = 1;
+      break;
     }
   }
-  return 0;
+  return exit_code;
 }
