@@ -1,0 +1,474 @@
+#include "src/lint/lint.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pandia {
+namespace lint {
+namespace {
+
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+// The separation pass. Produces two buffers the same length as `content`:
+// `code` holds the program text with comments and string/char literals
+// blanked to spaces, `comments` holds the comment text with everything else
+// blanked. Newlines survive in both so byte offsets map to the same line
+// numbers everywhere. This is what keeps the linter from flagging its own
+// rule names in doc comments or the forbidden tokens inside test-fixture
+// string literals.
+struct SeparatedSource {
+  std::string code;
+  std::string comments;
+};
+
+// True when the '"' at `pos` opens a raw string literal: it is directly
+// preceded by an encoding prefix ending in R (R", u8R", uR", UR", LR") that
+// is itself not the tail of a longer identifier.
+bool IsRawStringQuote(std::string_view content, size_t pos) {
+  if (pos == 0 || content[pos - 1] != 'R') return false;
+  size_t start = pos - 1;  // first char of the prefix
+  if (start >= 2 && content[start - 2] == 'u' && content[start - 1] == '8') {
+    start -= 2;
+  } else if (start >= 1 && (content[start - 1] == 'u' || content[start - 1] == 'U' ||
+                            content[start - 1] == 'L')) {
+    start -= 1;
+  }
+  return start == 0 || !IsIdentChar(content[start - 1]);
+}
+
+SeparatedSource Separate(std::string_view content) {
+  SeparatedSource out;
+  out.code.assign(content.size(), ' ');
+  out.comments.assign(content.size(), ' ');
+  for (size_t i = 0; i < content.size(); ++i) {
+    if (content[i] == '\n') {
+      out.code[i] = '\n';
+      out.comments[i] = '\n';
+    }
+  }
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  size_t i = 0;
+  while (i < content.size()) {
+    char c = content[i];
+    switch (state) {
+      case State::kCode: {
+        if (c == '/' && i + 1 < content.size() && content[i + 1] == '/') {
+          state = State::kLineComment;
+          i += 2;
+          break;
+        }
+        if (c == '/' && i + 1 < content.size() && content[i + 1] == '*') {
+          state = State::kBlockComment;
+          i += 2;
+          break;
+        }
+        if (c == '"' && IsRawStringQuote(content, i)) {
+          // R"delim( ... )delim" — no escapes inside; skip to the matching
+          // close sequence (or end of file for an unterminated literal).
+          size_t open = content.find('(', i + 1);
+          if (open == std::string_view::npos) {
+            i = content.size();
+            break;
+          }
+          std::string closer = ")";
+          closer.append(content.substr(i + 1, open - i - 1));
+          closer.push_back('"');
+          size_t close = content.find(closer, open + 1);
+          i = close == std::string_view::npos ? content.size()
+                                              : close + closer.size();
+          break;
+        }
+        if (c == '"') {
+          state = State::kString;
+          ++i;
+          break;
+        }
+        // A ' is a char literal only when it does not follow an identifier
+        // character (digit separators like 1'000'000 stay code).
+        if (c == '\'' && (i == 0 || !IsIdentChar(content[i - 1]))) {
+          state = State::kChar;
+          ++i;
+          break;
+        }
+        if (c != '\n') out.code[i] = c;
+        ++i;
+        break;
+      }
+      case State::kLineComment: {
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out.comments[i] = c;
+        }
+        ++i;
+        break;
+      }
+      case State::kBlockComment: {
+        if (c == '*' && i + 1 < content.size() && content[i + 1] == '/') {
+          state = State::kCode;
+          i += 2;
+          break;
+        }
+        if (c != '\n') out.comments[i] = c;
+        ++i;
+        break;
+      }
+      case State::kString:
+      case State::kChar: {
+        if (c == '\\' && i + 1 < content.size()) {
+          i += 2;
+          break;
+        }
+        if ((state == State::kString && c == '"') ||
+            (state == State::kChar && c == '\'')) {
+          state = State::kCode;
+        }
+        ++i;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> SplitLines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+// Position of the next whole-identifier occurrence of `token` in `line` at
+// or after `from`, or npos. Both neighbors must be non-identifier characters
+// so "rand" does not match inside "srand" or "operand".
+size_t FindToken(std::string_view line, std::string_view token, size_t from) {
+  for (size_t pos = line.find(token, from); pos != std::string_view::npos;
+       pos = line.find(token, pos + 1)) {
+    bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    size_t end = pos + token.size();
+    bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) return pos;
+  }
+  return std::string_view::npos;
+}
+
+bool HasToken(std::string_view line, std::string_view token) {
+  return FindToken(line, token, 0) != std::string_view::npos;
+}
+
+// True when a whole-identifier occurrence of `name` is followed (after
+// optional spaces) by '(' — a call like abort(), exit(0), srand(seed).
+bool HasCall(std::string_view line, std::string_view name) {
+  for (size_t pos = FindToken(line, name, 0); pos != std::string_view::npos;
+       pos = FindToken(line, name, pos + 1)) {
+    size_t after = pos + name.size();
+    while (after < line.size() && (line[after] == ' ' || line[after] == '\t')) {
+      ++after;
+    }
+    if (after < line.size() && line[after] == '(') return true;
+  }
+  return false;
+}
+
+// True for time(nullptr) / time(NULL) — the classic unseeded-clock seed.
+bool HasTimeNullCall(std::string_view line) {
+  for (size_t pos = FindToken(line, "time", 0); pos != std::string_view::npos;
+       pos = FindToken(line, "time", pos + 1)) {
+    size_t after = pos + 4;
+    auto skip_ws = [&] {
+      while (after < line.size() && (line[after] == ' ' || line[after] == '\t')) {
+        ++after;
+      }
+    };
+    skip_ws();
+    if (after >= line.size() || line[after] != '(') continue;
+    ++after;
+    skip_ws();
+    std::string_view rest = line.substr(after);
+    std::string_view arg;
+    if (StartsWith(rest, "nullptr")) {
+      arg = "nullptr";
+    } else if (StartsWith(rest, "NULL")) {
+      arg = "NULL";
+    } else {
+      continue;
+    }
+    after += arg.size();
+    skip_ws();
+    if (after < line.size() && line[after] == ')') return true;
+  }
+  return false;
+}
+
+// Per-line suppression directives gathered from comment text:
+//   // pandia-lint: allow(rule)            one rule
+//   // pandia-lint: allow(rule-a, rule-b)  several
+std::map<int, std::set<std::string>> CollectAllows(
+    const std::vector<std::string_view>& comment_lines) {
+  std::map<int, std::set<std::string>> allows;
+  constexpr std::string_view kDirective = "pandia-lint:";
+  for (size_t li = 0; li < comment_lines.size(); ++li) {
+    std::string_view line = comment_lines[li];
+    for (size_t pos = line.find(kDirective); pos != std::string_view::npos;
+         pos = line.find(kDirective, pos + 1)) {
+      size_t p = pos + kDirective.size();
+      while (p < line.size() && line[p] == ' ') ++p;
+      constexpr std::string_view kAllow = "allow(";
+      if (!StartsWith(line.substr(p), kAllow)) continue;
+      p += kAllow.size();
+      size_t close = line.find(')', p);
+      if (close == std::string_view::npos) continue;
+      std::string_view args = line.substr(p, close - p);
+      size_t start = 0;
+      while (start <= args.size()) {
+        size_t comma = args.find(',', start);
+        std::string_view name = comma == std::string_view::npos
+                                    ? args.substr(start)
+                                    : args.substr(start, comma - start);
+        while (!name.empty() && name.front() == ' ') name.remove_prefix(1);
+        while (!name.empty() && name.back() == ' ') name.remove_suffix(1);
+        if (!name.empty()) {
+          allows[static_cast<int>(li) + 1].emplace(name);
+        }
+        if (comma == std::string_view::npos) break;
+        start = comma + 1;
+      }
+    }
+  }
+  return allows;
+}
+
+struct Sink {
+  std::string_view path;
+  const std::map<int, std::set<std::string>>* allows;
+  std::vector<Finding>* findings;
+
+  void Report(int line, std::string_view rule, std::string message) const {
+    auto it = allows->find(line);
+    if (it != allows->end() && it->second.count(std::string(rule)) > 0) return;
+    findings->push_back(Finding{std::string(path), line, std::string(rule),
+                                std::move(message)});
+  }
+};
+
+// naked-mutex — raw standard-library locking primitives anywhere but the one
+// wrapper header that owns them.
+void CheckNakedMutex(const Sink& sink,
+                     const std::vector<std::string_view>& code_lines) {
+  if (EndsWith(sink.path, "util/mutex.h")) return;
+  static constexpr std::string_view kTypes[] = {
+      "mutex",          "timed_mutex", "recursive_mutex", "shared_mutex",
+      "lock_guard",     "unique_lock", "scoped_lock",     "condition_variable",
+      "condition_variable_any",
+  };
+  static constexpr std::string_view kIncludes[] = {
+      "<mutex>", "<condition_variable>", "<shared_mutex>"};
+  for (size_t li = 0; li < code_lines.size(); ++li) {
+    std::string_view line = code_lines[li];
+    const int lineno = static_cast<int>(li) + 1;
+    for (std::string_view type : kTypes) {
+      // Only the std:: spellings are banned; pandia::util::Mutex is the
+      // replacement and unrelated identifiers may reuse these words.
+      size_t pos = line.find("std::");
+      bool hit = false;
+      for (; pos != std::string_view::npos && !hit;
+           pos = line.find("std::", pos + 1)) {
+        std::string_view after = line.substr(pos + 5);
+        if (StartsWith(after, type) &&
+            (after.size() == type.size() || !IsIdentChar(after[type.size()]))) {
+          hit = true;
+        }
+      }
+      if (hit) {
+        sink.Report(lineno, "naked-mutex",
+                    "std::" + std::string(type) +
+                        " outside src/util/mutex.h; use the annotated "
+                        "pandia::util::Mutex/MutexLock/CondVar so thread-safety "
+                        "analysis sees the acquisition");
+      }
+    }
+    for (std::string_view inc : kIncludes) {
+      if (line.find(inc) != std::string_view::npos) {
+        sink.Report(lineno, "naked-mutex",
+                    "#include " + std::string(inc) +
+                        " outside src/util/mutex.h; include "
+                        "\"src/util/mutex.h\" instead");
+      }
+    }
+  }
+}
+
+// no-abort — library code reports Status; it does not kill the process or
+// throw past the API boundary.
+void CheckNoAbort(const Sink& sink,
+                  const std::vector<std::string_view>& code_lines) {
+  if (!StartsWith(sink.path, "src/")) return;
+  for (size_t li = 0; li < code_lines.size(); ++li) {
+    std::string_view line = code_lines[li];
+    const int lineno = static_cast<int>(li) + 1;
+    if (HasCall(line, "abort")) {
+      sink.Report(lineno, "no-abort",
+                  "abort() in library code; return a pandia::Status "
+                  "(or use PANDIA_CHECK for contract violations)");
+    }
+    if (HasCall(line, "exit")) {
+      sink.Report(lineno, "no-abort",
+                  "exit() in library code; only tool main()s may choose the "
+                  "process exit code");
+    }
+    if (HasToken(line, "throw")) {
+      sink.Report(lineno, "no-abort",
+                  "throw in library code; the Pandia libraries are "
+                  "exception-free and propagate errors via Status");
+    }
+  }
+}
+
+// unseeded-rand — all randomness flows through the seeded src/util/rng so
+// runs are reproducible.
+void CheckUnseededRand(const Sink& sink,
+                       const std::vector<std::string_view>& code_lines) {
+  if (sink.path.find("src/util/rng") != std::string_view::npos) return;
+  for (size_t li = 0; li < code_lines.size(); ++li) {
+    std::string_view line = code_lines[li];
+    const int lineno = static_cast<int>(li) + 1;
+    if (HasCall(line, "rand") || HasCall(line, "srand")) {
+      sink.Report(lineno, "unseeded-rand",
+                  "rand()/srand(); use the seeded pandia::Rng "
+                  "(src/util/rng.h) so runs are reproducible");
+    }
+    if (HasToken(line, "random_device")) {
+      sink.Report(lineno, "unseeded-rand",
+                  "std::random_device is non-deterministic; seed a "
+                  "pandia::Rng explicitly");
+    }
+    if (HasTimeNullCall(line)) {
+      sink.Report(lineno, "unseeded-rand",
+                  "time(nullptr) seeding breaks reproducibility; thread an "
+                  "explicit seed through options");
+    }
+  }
+}
+
+// unordered-wire — serialization and service output iterate ordered
+// containers only, so wire bytes and STATUS text never depend on hash order.
+void CheckUnorderedWire(const Sink& sink,
+                        const std::vector<std::string_view>& code_lines) {
+  if (!StartsWith(sink.path, "src/serialize/") &&
+      !StartsWith(sink.path, "src/serve/")) {
+    return;
+  }
+  static constexpr std::string_view kContainers[] = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  for (size_t li = 0; li < code_lines.size(); ++li) {
+    std::string_view line = code_lines[li];
+    const int lineno = static_cast<int>(li) + 1;
+    for (std::string_view container : kContainers) {
+      if (HasToken(line, container)) {
+        sink.Report(lineno, "unordered-wire",
+                    std::string(container) +
+                        " in a serialization/wire path; iteration order feeds "
+                        "output bytes — use std::map/std::set or sort first");
+      }
+    }
+  }
+}
+
+// todo-owner — every TODO(owner) must actually name the owner.
+void CheckTodoOwner(const Sink& sink,
+                    const std::vector<std::string_view>& comment_lines) {
+  for (size_t li = 0; li < comment_lines.size(); ++li) {
+    std::string_view line = comment_lines[li];
+    const int lineno = static_cast<int>(li) + 1;
+    for (size_t pos = FindToken(line, "TODO", 0); pos != std::string_view::npos;
+         pos = FindToken(line, "TODO", pos + 1)) {
+      size_t after = pos + 4;
+      bool owned = false;
+      if (after < line.size() && line[after] == '(') {
+        size_t close = line.find(')', after + 1);
+        owned = close != std::string_view::npos && close > after + 1;
+      }
+      if (!owned) {
+        sink.Report(lineno, "todo-owner",
+                    "TODO without an owner; write TODO(name): ...");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo>* rules = new std::vector<RuleInfo>{
+      {"naked-mutex",
+       "std::mutex/lock_guard/condition_variable et al. only in "
+       "src/util/mutex.h; use pandia::util::Mutex elsewhere"},
+      {"no-abort",
+       "no abort()/exit()/throw in src/ library code; errors are Status"},
+      {"unseeded-rand",
+       "no rand()/srand()/std::random_device/time(nullptr) outside "
+       "src/util/rng; randomness is seeded"},
+      {"unordered-wire",
+       "no unordered containers in src/serialize/ or src/serve/; wire and "
+       "STATUS output must not depend on hash order"},
+      {"todo-owner", "TODO comments must name an owner: TODO(name): ..."},
+  };
+  return *rules;
+}
+
+std::vector<Finding> LintFile(std::string_view path, std::string_view content) {
+  SeparatedSource source = Separate(content);
+  std::vector<std::string_view> code_lines = SplitLines(source.code);
+  std::vector<std::string_view> comment_lines = SplitLines(source.comments);
+  std::map<int, std::set<std::string>> allows = CollectAllows(comment_lines);
+
+  std::vector<Finding> findings;
+  Sink sink{path, &allows, &findings};
+  CheckNakedMutex(sink, code_lines);
+  CheckNoAbort(sink, code_lines);
+  CheckUnseededRand(sink, code_lines);
+  CheckUnorderedWire(sink, code_lines);
+  CheckTodoOwner(sink, comment_lines);
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return findings;
+}
+
+std::string FormatFinding(const Finding& finding) {
+  return finding.path + ":" + std::to_string(finding.line) + ": " +
+         finding.rule + ": " + finding.message;
+}
+
+}  // namespace lint
+}  // namespace pandia

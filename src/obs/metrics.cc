@@ -52,7 +52,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     Entry entry{Kind::kCounter, std::make_unique<Counter>(), nullptr, nullptr};
@@ -64,7 +64,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     Entry entry{Kind::kGauge, nullptr, std::make_unique<Gauge>(), nullptr};
@@ -77,7 +77,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     Entry entry{Kind::kHistogram, nullptr, nullptr,
@@ -90,7 +90,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   MetricsSnapshot snapshot;
   for (const auto& [name, entry] : entries_) {
     switch (entry.kind) {
@@ -112,7 +112,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto& [name, entry] : entries_) {
     switch (entry.kind) {
       case Kind::kCounter:

@@ -21,12 +21,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "src/util/mutex.h"
 #include "src/util/table.h"
+#include "src/util/thread_annotations.h"
 
 namespace pandia {
 namespace obs {
@@ -110,14 +111,17 @@ class MetricsRegistry {
 
   // Returns the instrument registered under `name`, creating it on first
   // use. Re-registering a histogram ignores the new bounds. Registering the
-  // same name as two different instrument kinds aborts.
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
-  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+  // same name as two different instrument kinds aborts. The returned
+  // reference outlives the registration lock — instruments are heap-owned
+  // and never destroyed before the registry.
+  Counter& counter(std::string_view name) PANDIA_EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name) PANDIA_EXCLUDES(mu_);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds)
+      PANDIA_EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const PANDIA_EXCLUDES(mu_);
   // Zeroes every instrument; references stay valid.
-  void Reset();
+  void Reset() PANDIA_EXCLUDES(mu_);
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
@@ -127,8 +131,8 @@ class MetricsRegistry {
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
   };
-  mutable std::mutex mu_;
-  std::map<std::string, Entry, std::less<>> entries_;
+  mutable util::Mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_ PANDIA_GUARDED_BY(mu_);
 };
 
 // One row per counter ("counter"), gauge ("gauge"), and histogram line

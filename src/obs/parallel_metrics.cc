@@ -1,7 +1,5 @@
 #include "src/obs/parallel_metrics.h"
 
-#include <mutex>
-
 #include "src/obs/metrics.h"
 #include "src/util/parallel.h"
 
@@ -54,11 +52,14 @@ class RegistryObserver : public util::ParallelObserver {
 }  // namespace
 
 void InstallParallelMetrics() {
-  static std::once_flag once;
-  std::call_once(once, [] {
+  // Magic-static initialization gives the once-only guarantee without
+  // std::call_once (and its <mutex> include, which pandia_lint reserves for
+  // src/util/mutex.h).
+  [[maybe_unused]] static const bool installed = [] {
     static RegistryObserver* observer = new RegistryObserver;
     util::SetParallelObserver(observer);
-  });
+    return true;
+  }();
 }
 
 }  // namespace obs

@@ -77,7 +77,7 @@ Tracer::ThreadBuffer& Tracer::LocalBuffer() {
   auto owned = std::make_unique<ThreadBuffer>();
   ThreadBuffer* buffer = owned.get();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     buffer->tid = static_cast<uint32_t>(buffers_.size() + 1);
     buffers_.push_back(std::move(owned));
   }
@@ -86,18 +86,18 @@ Tracer::ThreadBuffer& Tracer::LocalBuffer() {
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    util::MutexLock buffer_lock(buffer->mu);
     buffer->events.clear();
   }
 }
 
 std::vector<TraceEvent> Tracer::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<TraceEvent> events;
   for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    util::MutexLock buffer_lock(buffer->mu);
     events.insert(events.end(), buffer->events.begin(), buffer->events.end());
   }
   return events;
@@ -180,7 +180,7 @@ TraceSpan::~TraceSpan() {
   event.depth = depth_;
   event.tid = buffer_->tid;
   event.arg = arg_;
-  std::lock_guard<std::mutex> lock(buffer_->mu);
+  util::MutexLock lock(buffer_->mu);
   buffer_->events.push_back(std::move(event));
 }
 

@@ -20,12 +20,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "src/util/mutex.h"
 #include "src/util/table.h"
+#include "src/util/thread_annotations.h"
 
 namespace pandia {
 namespace obs {
@@ -56,10 +57,10 @@ class Tracer {
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   // Drops all recorded events (buffers stay registered).
-  void Clear();
+  void Clear() PANDIA_EXCLUDES(mu_);
 
   // All events recorded so far, in per-thread order.
-  std::vector<TraceEvent> Events() const;
+  std::vector<TraceEvent> Events() const PANDIA_EXCLUDES(mu_);
 
   // Chrome trace_event JSON ({"traceEvents":[...]}, "X" complete events,
   // microsecond timestamps).
@@ -70,21 +71,23 @@ class Tracer {
 
   // --- used by TraceSpan ---
   struct ThreadBuffer {
-    std::mutex mu;               // serializes Append vs export
-    std::vector<TraceEvent> events;
-    int open_depth = 0;          // touched only by the owning thread
-    uint32_t tid = 0;
+    util::Mutex mu;  // serializes Append vs export
+    std::vector<TraceEvent> events PANDIA_GUARDED_BY(mu);
+    int open_depth = 0;  // touched only by the owning thread
+    uint32_t tid = 0;    // written once at registration, then read-only
   };
   // This thread's buffer, registered with the tracer on first use.
-  ThreadBuffer& LocalBuffer();
+  ThreadBuffer& LocalBuffer() PANDIA_EXCLUDES(mu_);
   int64_t NowNs() const;
 
  private:
   std::atomic<bool> enabled_{false};
   uint64_t id_ = 0;  // process-unique, assigned at construction
   int64_t epoch_ns_ = 0;
-  mutable std::mutex mu_;  // guards buffers_ registration and iteration
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  // Guards buffers_ registration and iteration; individual events are
+  // guarded per buffer, so recording threads never contend on the tracer.
+  mutable util::Mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ PANDIA_GUARDED_BY(mu_);
 };
 
 class TraceSpan {

@@ -7,7 +7,9 @@
 //
 // Layers, bottom to top:
 //
-//   util       Status/StatusOr error propagation, CommonOptions, strings
+//   util       Status/StatusOr error propagation, CommonOptions, strings,
+//              annotated Mutex/CondVar + thread-safety annotations
+//   lint       the pandia_lint repo-invariant checker's rule engine
 //   obs        metrics registry, tracing, convergence introspection
 //   topology   machine topologies, placements, placement parsing
 //   sim        the simulated machines the evaluation harness runs on
@@ -23,11 +25,15 @@
 
 #include "src/util/check.h"
 #include "src/util/common_options.h"
+#include "src/util/mutex.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 #include "src/util/status.h"
 #include "src/util/strings.h"
 #include "src/util/table.h"
+#include "src/util/thread_annotations.h"
+
+#include "src/lint/lint.h"
 
 #include "src/obs/json_lint.h"
 #include "src/obs/metrics.h"

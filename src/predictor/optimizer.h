@@ -63,10 +63,10 @@ std::vector<RankedPlacement> RankPlacements(const Predictor& predictor, size_t t
 
 // Status-returning variants for user-assembled constraints: an admission
 // constraint that rejects every placement is reported instead of aborting.
-StatusOr<std::vector<RankedPlacement>> TryRankPlacements(
+[[nodiscard]] StatusOr<std::vector<RankedPlacement>> TryRankPlacements(
     const Predictor& predictor, size_t top_k, const OptimizerOptions& options = {});
-StatusOr<RankedPlacement> TryFindBestPlacement(const Predictor& predictor,
-                                               const OptimizerOptions& options = {});
+[[nodiscard]] StatusOr<RankedPlacement> TryFindBestPlacement(
+    const Predictor& predictor, const OptimizerOptions& options = {});
 
 // Smallest placement (fewest hardware threads, then fewest active sockets)
 // whose predicted speedup is at least `target_fraction` of the best
@@ -76,7 +76,7 @@ StatusOr<RankedPlacement> TryFindBestPlacement(const Predictor& predictor,
 // TryFindCheapestPlacement is the primary surface (out-of-range
 // target_fraction and constraint-rejecting-everything report as Status);
 // FindCheapestPlacement is a thin aborting wrapper kept for bench code.
-StatusOr<RankedPlacement> TryFindCheapestPlacement(
+[[nodiscard]] StatusOr<RankedPlacement> TryFindCheapestPlacement(
     const Predictor& predictor, double target_fraction,
     const OptimizerOptions& options = {});
 std::optional<RankedPlacement> FindCheapestPlacement(

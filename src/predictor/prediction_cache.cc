@@ -174,7 +174,7 @@ std::optional<Prediction> PredictionCache::Lookup(const PredictionCacheKey& key)
   bool stale = false;
   {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     auto it = shard.entries.find(key);
     if (it != shard.entries.end()) {
       if (it->second.generation == current) {
@@ -203,7 +203,7 @@ void PredictionCache::Insert(const PredictionCacheKey& key,
   bool inserted = false;
   {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     // First writer wins; racing inserts of the same key computed the same
     // value, so dropping the duplicate is free.
     auto [it, fresh] = shard.entries.emplace(
@@ -244,7 +244,7 @@ size_t PredictionCache::size() const {
 
 void PredictionCache::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     size_.fetch_sub(shard.entries.size(), std::memory_order_relaxed);
     shard.entries.clear();
     shard.fifo.clear();

@@ -37,12 +37,13 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
 #include "src/predictor/predictor.h"
 #include "src/topology/placement.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace pandia {
 
@@ -113,9 +114,11 @@ class PredictionCache {
     uint64_t generation = 0;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<PredictionCacheKey, Entry, KeyHash> entries;
-    std::deque<PredictionCacheKey> fifo;  // insertion order, for eviction
+    mutable util::Mutex mu;
+    std::unordered_map<PredictionCacheKey, Entry, KeyHash> entries
+        PANDIA_GUARDED_BY(mu);
+    // Insertion order, for eviction.
+    std::deque<PredictionCacheKey> fifo PANDIA_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const PredictionCacheKey& key);

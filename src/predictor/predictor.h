@@ -111,7 +111,7 @@ class Predictor {
 
   // Predict with the placement validated first (shape and thread count);
   // for placements assembled from user input.
-  StatusOr<Prediction> TryPredict(const Placement& placement) const;
+  [[nodiscard]] StatusOr<Prediction> TryPredict(const Placement& placement) const;
 
   const MachineDescription& machine() const { return machine_; }
   const WorkloadDescription& workload() const { return workload_; }

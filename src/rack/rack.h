@@ -93,6 +93,14 @@ std::optional<Placement> PlaceLoadsOnFreeCores(const MachineTopology& topo,
 // Mutable rack state with online admission. All mutations validate their
 // inputs and report recoverable failures as Status — a malformed request
 // must never take down a daemon holding live placement state.
+//
+// Thread safety: externally synchronized. A single mutation (Admit) fans
+// read-only probes out over ParallelFor worker threads internally, so an
+// internal per-object lock would be held across its own workers; instead
+// the owner serializes mutations and guards the object (the placement
+// service holds its Rack as PANDIA_GUARDED_BY(mu_)). Concurrent const
+// access without a mutation in flight is safe — shared caches the const
+// paths touch (PredictionCache, metrics) lock internally.
 class Rack {
  public:
   // `options.common.jobs` fans the per-machine admission probes out over
@@ -109,7 +117,7 @@ class Rack {
   const std::vector<RackJob>& JobsOn(int machine_index) const;
   bool Has(const std::string& job) const;
   // Machine index hosting `job`, or NotFound.
-  StatusOr<int> MachineOf(const std::string& job) const;
+  [[nodiscard]] StatusOr<int> MachineOf(const std::string& job) const;
   int JobCount() const;
 
   // Free hardware threads per core of one machine (threads_per_core minus
@@ -138,22 +146,24 @@ class Rack {
   // `policy`, and returns the resulting assignment. Errors: invalid
   // request, duplicate job name, no description for any machine type in
   // the rack, or no machine with a feasible placement.
-  StatusOr<Assignment> Admit(const JobRequest& job, Policy policy);
+  [[nodiscard]] StatusOr<Assignment> Admit(const JobRequest& job, Policy policy);
 
   // Applies a recorded admission decision without searching (journal
   // replay): validates the description and that `placement` fits the
   // machine's free threads, then places the job.
-  Status AdmitAt(const std::string& name, int machine_index,
-                 const WorkloadDescription& description, const Placement& placement);
+  [[nodiscard]] Status AdmitAt(const std::string& name, int machine_index,
+                               const WorkloadDescription& description,
+                               const Placement& placement);
 
   // Removes a job and returns the machine index it was resident on.
-  StatusOr<int> Depart(const std::string& job);
+  [[nodiscard]] StatusOr<int> Depart(const std::string& job);
 
   // Re-places a resident job at `placement` on `machine_index` (same or
   // different machine), keeping its description. The moved job goes to the
   // end of the destination machine's resident order, exactly as a
   // depart-and-readmit would — journal replay reproduces the order.
-  Status Move(const std::string& job, int machine_index, const Placement& placement);
+  [[nodiscard]] Status Move(const std::string& job, int machine_index,
+                            const Placement& placement);
 
   // Joint prediction of one machine's residents, in resident order (empty
   // machine: empty vector). Results are memoized under a fingerprint of

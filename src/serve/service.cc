@@ -55,6 +55,9 @@ StatusOr<PlacementService> PlacementService::Create(
   PlacementService service(std::move(machines), std::move(options));
   const std::string& path = service.options_.journal_path;
   if (!path.empty()) {
+    // The service is not shared yet, but replay and journal reopening touch
+    // guarded state, so take the (uncontended) lock for the analysis.
+    util::MutexLock lock(service.mu_);
     if (std::FILE* existing = std::fopen(path.c_str(), "rb")) {
       std::fclose(existing);
       StatusOr<std::string> text = ReadTextFile(path);
@@ -124,6 +127,16 @@ std::string PlacementService::HandleLine(const std::string& line) {
 }
 
 wire::Response PlacementService::Handle(const wire::Request& request) {
+  util::MutexLock lock(mu_);
+  return Dispatch(request);
+}
+
+bool PlacementService::shutdown_requested() const {
+  util::MutexLock lock(mu_);
+  return shutdown_;
+}
+
+wire::Response PlacementService::Dispatch(const wire::Request& request) {
   if (request.verb == "ADMIT") {
     return HandleAdmit(request);
   }

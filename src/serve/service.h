@@ -20,6 +20,14 @@
 // The service itself is transport-agnostic: HandleLine() maps one request
 // line to one response block. src/serve/socket.h supplies the stdin/stdout
 // and Unix-domain-socket event loop the daemon binary runs.
+//
+// Thread safety: the service owns a mutex serializing every request against
+// its mutable state (the rack, the journal stream, the shutdown flag), so
+// Handle/HandleLine may be called concurrently from any number of transport
+// threads. The contract is annotated for Clang thread-safety analysis; the
+// rack::Rack itself is externally synchronized (it fans read-only probes
+// out over worker threads inside one mutation, so an internal lock would be
+// the wrong shape) and PANDIA_GUARDED_BY ties it to the service mutex.
 #ifndef PANDIA_SRC_SERVE_SERVICE_H_
 #define PANDIA_SRC_SERVE_SERVICE_H_
 
@@ -29,7 +37,9 @@
 
 #include "src/rack/rack.h"
 #include "src/serialize/wire.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace pandia {
 namespace serve {
@@ -61,48 +71,67 @@ class PlacementService {
   static StatusOr<PlacementService> Create(std::vector<rack::RackMachine> machines,
                                            ServiceOptions options);
 
-  PlacementService(PlacementService&& other) noexcept;
-  PlacementService& operator=(PlacementService&& other) noexcept;
+  // Moves take the dying object's guarded state without locking: both
+  // objects must be externally quiescent during a move (standard move
+  // contract), which the analysis cannot express.
+  PlacementService(PlacementService&& other) noexcept
+      PANDIA_NO_THREAD_SAFETY_ANALYSIS;
+  PlacementService& operator=(PlacementService&& other) noexcept
+      PANDIA_NO_THREAD_SAFETY_ANALYSIS;
   PlacementService(const PlacementService&) = delete;
   PlacementService& operator=(const PlacementService&) = delete;
-  ~PlacementService();
+  ~PlacementService() PANDIA_NO_THREAD_SAFETY_ANALYSIS;
 
   // Processes one request line end to end: parse, dispatch, journal any
   // mutation, serialize. The returned text is the complete response block
-  // (newline-terminated lines ending with ".\n"). Never aborts.
-  std::string HandleLine(const std::string& line);
+  // (newline-terminated lines ending with ".\n"). Never aborts. Safe to
+  // call concurrently; requests are serialized on the service mutex.
+  [[nodiscard]] std::string HandleLine(const std::string& line)
+      PANDIA_EXCLUDES(mu_);
 
   // Structured form of HandleLine for in-process callers.
-  wire::Response Handle(const wire::Request& request);
+  [[nodiscard]] wire::Response Handle(const wire::Request& request)
+      PANDIA_EXCLUDES(mu_);
 
   // True once a SHUTDOWN request was acknowledged; serving loops exit.
-  bool shutdown_requested() const { return shutdown_; }
+  bool shutdown_requested() const PANDIA_EXCLUDES(mu_);
 
-  const rack::Rack& rack() const { return rack_; }
+  // Quiescent inspection only (tests, post-loop reporting): the caller must
+  // guarantee no concurrent Handle/HandleLine while the reference is used,
+  // which is why this opts out of the thread-safety analysis.
+  const rack::Rack& rack() const PANDIA_NO_THREAD_SAFETY_ANALYSIS {
+    return rack_;
+  }
 
  private:
   PlacementService(std::vector<rack::RackMachine> machines, ServiceOptions options);
 
-  wire::Response HandleAdmit(const wire::Request& request);
-  wire::Response HandleDepart(const wire::Request& request);
-  wire::Response HandleRebalance(const wire::Request& request);
-  wire::Response HandleStatus() const;
-  wire::Response HandleMetrics() const;
+  wire::Response Dispatch(const wire::Request& request) PANDIA_REQUIRES(mu_);
+  wire::Response HandleAdmit(const wire::Request& request) PANDIA_REQUIRES(mu_);
+  wire::Response HandleDepart(const wire::Request& request) PANDIA_REQUIRES(mu_);
+  wire::Response HandleRebalance(const wire::Request& request)
+      PANDIA_REQUIRES(mu_);
+  wire::Response HandleStatus() const PANDIA_REQUIRES(mu_);
+  wire::Response HandleMetrics() const PANDIA_REQUIRES(mu_);
 
   // Re-places machine residents whose best re-placement beats the margin;
   // appends one journal record and one `moved =` payload line per move.
-  Status ReplaceDegraded(int machine_index, std::vector<std::string>& payload);
+  Status ReplaceDegraded(int machine_index, std::vector<std::string>& payload)
+      PANDIA_REQUIRES(mu_);
 
   // Replays journal text into the rack. `saw_magic_out` reports whether the
   // header line was present; a record-less headerless file (0 bytes) is a
   // fresh journal, not corruption, and Create() then writes the header.
-  Status ReplayJournal(const std::string& text, bool* saw_magic_out);
-  Status AppendJournal(const wire::Request& record);
+  Status ReplayJournal(const std::string& text, bool* saw_magic_out)
+      PANDIA_REQUIRES(mu_);
+  Status AppendJournal(const wire::Request& record) PANDIA_REQUIRES(mu_);
 
-  ServiceOptions options_;
-  rack::Rack rack_;
-  std::FILE* journal_ = nullptr;  // null: journaling disabled
-  bool shutdown_ = false;
+  ServiceOptions options_;  // immutable after construction
+  // Serializes every request against the mutable daemon state below.
+  mutable util::Mutex mu_;
+  rack::Rack rack_ PANDIA_GUARDED_BY(mu_);
+  std::FILE* journal_ PANDIA_GUARDED_BY(mu_) = nullptr;  // null: disabled
+  bool shutdown_ PANDIA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace serve

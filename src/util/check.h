@@ -16,7 +16,7 @@ namespace internal {
                                      const char* msg) {
   std::fprintf(stderr, "PANDIA_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
                msg[0] != '\0' ? " — " : "", msg);
-  std::abort();
+  std::abort();  // pandia-lint: allow(no-abort) the one sanctioned abort
 }
 
 }  // namespace internal

@@ -1,0 +1,100 @@
+// Annotated synchronization primitives — the only place in the codebase
+// allowed to touch std::mutex / std::condition_variable directly (enforced
+// by the `naked-mutex` pandia_lint rule).
+//
+// Mutex is a plain exclusive lock carrying the Clang thread-safety
+// `capability` attribute, so `-Wthread-safety` (PANDIA_THREAD_SAFETY=ON)
+// can prove statically that every PANDIA_GUARDED_BY field is only touched
+// with its lock held. MutexLock is the RAII acquisition; CondVar is a
+// condition variable that waits on a Mutex the caller already holds:
+//
+//   util::Mutex mu_;
+//   int pending_ PANDIA_GUARDED_BY(mu_) = 0;
+//   util::CondVar cv_;
+//
+//   void Produce() {
+//     util::MutexLock lock(mu_);
+//     ++pending_;
+//     cv_.NotifyOne();
+//   }
+//   void Consume() {
+//     util::MutexLock lock(mu_);
+//     while (pending_ == 0) {   // explicit loop: the analysis can follow it
+//       cv_.Wait(mu_);
+//     }
+//     --pending_;
+//   }
+//
+// CondVar deliberately has no predicate overload: a predicate lambda is a
+// separate function to the analysis and reads of guarded state inside it
+// would be flagged (or worse, silently unchecked). Spell the wait loop out.
+#ifndef PANDIA_SRC_UTIL_MUTEX_H_
+#define PANDIA_SRC_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/util/thread_annotations.h"
+
+namespace pandia {
+namespace util {
+
+class CondVar;
+
+class PANDIA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() PANDIA_ACQUIRE() { mu_.lock(); }
+  void Unlock() PANDIA_RELEASE() { mu_.unlock(); }
+  bool TryLock() PANDIA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock: held for the lifetime of the object.
+class PANDIA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PANDIA_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() PANDIA_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable over Mutex. Wait() atomically releases the (held)
+// mutex, blocks, and re-acquires it before returning; as with every
+// condition variable, wake-ups may be spurious, so callers re-check their
+// predicate in a loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) PANDIA_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    // The unique_lock re-acquired mu on wake; hand ownership back to the
+    // caller's scope (typically a MutexLock) instead of unlocking here.
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace util
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_UTIL_MUTEX_H_

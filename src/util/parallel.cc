@@ -36,10 +36,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -48,14 +48,14 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   size_t depth = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
     depth = queue_.size();
   }
   if (ParallelObserver* observer = Observer()) {
     observer->OnTaskSubmitted(depth);
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 bool ThreadPool::OnWorkerThread() const { return g_worker_pool == this; }
@@ -65,8 +65,12 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Explicit wait loop (not a predicate lambda) so the thread-safety
+      // analysis can see the guarded reads happen under mu_.
+      while (!stop_ && queue_.empty()) {
+        cv_.Wait(mu_);
+      }
       if (queue_.empty()) {
         return;  // stop_ set and nothing left to drain
       }
@@ -131,27 +135,29 @@ void ParallelFor(size_t n, int jobs, const std::function<void(size_t)>& fn) {
     }
   };
 
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  Mutex done_mu;
+  CondVar done_cv;
   size_t outstanding = chunks - 1;  // guarded by done_mu
   ThreadPool& pool = ThreadPool::Shared();
   for (size_t c = 1; c < chunks; ++c) {
     pool.Submit([&, c] {
       run_chunk(c);
       {
-        std::lock_guard<std::mutex> lock(done_mu);
+        MutexLock lock(done_mu);
         --outstanding;
         // Notify while holding the lock: the waiter can only re-check the
         // predicate (and then destroy these stack-local sync objects) after
-        // we release it, so notify_one never touches a dead cv.
-        done_cv.notify_one();
+        // we release it, so NotifyOne never touches a dead cv.
+        done_cv.NotifyOne();
       }
     });
   }
   run_chunk(0);
   {
-    std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait(lock, [&] { return outstanding == 0; });
+    MutexLock lock(done_mu);
+    while (outstanding != 0) {
+      done_cv.Wait(done_mu);
+    }
   }
   // Deterministic propagation: the lowest-index chunk's exception wins,
   // independent of which worker finished first.

@@ -23,13 +23,14 @@
 #ifndef PANDIA_SRC_UTIL_PARALLEL_H_
 #define PANDIA_SRC_UTIL_PARALLEL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace pandia {
 namespace util {
@@ -66,7 +67,7 @@ class ThreadPool {
   // Enqueues a task. Tasks must not throw (exceptions would escape a worker
   // thread and terminate); ParallelFor wraps user functions so their
   // exceptions are captured and rethrown on the caller instead.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) PANDIA_EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
@@ -79,12 +80,12 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() PANDIA_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ PANDIA_GUARDED_BY(mu_);
+  bool stop_ PANDIA_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,83 @@
+// Clang Thread Safety Analysis annotations (abseil-style, PANDIA_ prefix).
+//
+// These macros attach compile-time concurrency contracts to fields, methods,
+// and lock types: which mutex guards a field (PANDIA_GUARDED_BY), which lock
+// a method needs held on entry (PANDIA_REQUIRES), which locks it must NOT
+// hold (PANDIA_EXCLUDES), and which functions acquire/release a capability
+// (PANDIA_ACQUIRE / PANDIA_RELEASE). Clang checks the contracts statically
+// with -Wthread-safety (the PANDIA_THREAD_SAFETY CMake option turns the
+// warnings into errors); every other compiler sees empty macros, so the
+// annotations are free documentation off Clang.
+//
+// The annotated lock vocabulary lives in src/util/mutex.h (pandia::util::
+// Mutex / MutexLock / CondVar); library code must use those wrappers rather
+// than naked std::mutex so the analysis can see every acquisition (enforced
+// by the `naked-mutex` pandia_lint rule).
+#ifndef PANDIA_SRC_UTIL_THREAD_ANNOTATIONS_H_
+#define PANDIA_SRC_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define PANDIA_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define PANDIA_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+// Marks a class as a lockable capability ("mutex" names it in diagnostics).
+#define PANDIA_CAPABILITY(x) PANDIA_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+// Marks an RAII class whose constructor acquires and destructor releases a
+// capability (MutexLock).
+#define PANDIA_SCOPED_CAPABILITY \
+  PANDIA_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// Field `x` may only be read or written while holding the named mutex.
+#define PANDIA_GUARDED_BY(x) PANDIA_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+// Pointer field whose *pointee* is guarded by the named mutex.
+#define PANDIA_PT_GUARDED_BY(x) \
+  PANDIA_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+// The calling thread must hold the named capabilities (exclusively /
+// shared) before calling the annotated function.
+#define PANDIA_REQUIRES(...) \
+  PANDIA_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define PANDIA_REQUIRES_SHARED(...) \
+  PANDIA_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+// The annotated function acquires / releases the named capabilities.
+#define PANDIA_ACQUIRE(...) \
+  PANDIA_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define PANDIA_ACQUIRE_SHARED(...) \
+  PANDIA_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+#define PANDIA_RELEASE(...) \
+  PANDIA_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define PANDIA_RELEASE_SHARED(...) \
+  PANDIA_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+// The annotated function acquires the capability when it returns the given
+// boolean value (Mutex::TryLock).
+#define PANDIA_TRY_ACQUIRE(...) \
+  PANDIA_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+// The calling thread must NOT hold the named capabilities (deadlock guard
+// for public entry points of self-locking classes).
+#define PANDIA_EXCLUDES(...) \
+  PANDIA_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// Asserts (without acquiring) that the capability is held — for runtime
+// checks the analysis cannot see.
+#define PANDIA_ASSERT_CAPABILITY(x) \
+  PANDIA_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+// The annotated function returns a reference to the named mutex.
+#define PANDIA_RETURN_CAPABILITY(x) \
+  PANDIA_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+// Opts a function out of the analysis entirely. Reserved for code whose
+// safety argument the analysis cannot express (move constructors that take
+// ownership of a dying object's guarded state, quiescent-only accessors);
+// every use must carry a comment saying why it is safe.
+#define PANDIA_NO_THREAD_SAFETY_ANALYSIS \
+  PANDIA_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // PANDIA_SRC_UTIL_THREAD_ANNOTATIONS_H_

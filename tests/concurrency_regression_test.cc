@@ -1,0 +1,214 @@
+// Cross-subsystem concurrency regression: drives every lock the thread-
+// safety annotations now guard (src/util/mutex.h) from many threads at
+// once — the ThreadPool queue, the metrics registry, the sharded prediction
+// cache, and the placement service behind concurrent socket clients. The
+// assertions are deliberately coarse (counts, invariants, clean shutdown);
+// the real check is running this binary under TSan, which the
+// PANDIA_SANITIZE=thread CI job does:
+//
+//   cmake -B build-tsan -S . -DPANDIA_SANITIZE=thread
+//   ctest --test-dir build-tsan -R Concurrency
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/eval/pipeline.h"
+#include "src/obs/metrics.h"
+#include "src/predictor/prediction_cache.h"
+#include "src/serialize/serialize.h"
+#include "src/serve/service.h"
+#include "src/serve/socket.h"
+#include "src/util/parallel.h"
+#include "src/util/strings.h"
+#include "src/workloads/workloads.h"
+
+namespace pandia {
+namespace {
+
+TEST(ConcurrencyRegression, ThreadPoolSubmitAndParallelForFromManyThreads) {
+  std::atomic<int> ran{0};
+  constexpr int kSubmitters = 4;
+  constexpr int kTasksEach = 64;
+
+  {
+    util::ThreadPool pool(4);
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&pool, &ran] {
+        for (int i = 0; i < kTasksEach; ++i) {
+          pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+        }
+      });
+    }
+    for (std::thread& thread : submitters) thread.join();
+
+    // ParallelFor on the shared pool while this pool drains its own queue.
+    constexpr size_t kItems = 512;
+    std::vector<int> slots(kItems, 0);
+    util::ParallelFor(kItems, /*jobs=*/4,
+                      [&slots](size_t i) { slots[i] = static_cast<int>(i); });
+    for (size_t i = 0; i < kItems; ++i) {
+      EXPECT_EQ(slots[i], static_cast<int>(i));
+    }
+    // The pool destructor drains the queue before joining, so every
+    // submitted task has run once the scope closes.
+  }
+  EXPECT_EQ(ran.load(), kSubmitters * kTasksEach);
+
+  {
+    util::ThreadPool drain(2);
+    for (int i = 0; i < 100; ++i) {
+      drain.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(ran.load(), kSubmitters * kTasksEach + 100);
+}
+
+TEST(ConcurrencyRegression, MetricsRegistryConcurrentRegisterAndSnapshot) {
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 200;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        // Same-name registration from every thread: first one wins, all get
+        // the same instrument.
+        registry.counter("concurrency.shared").Increment();
+        registry.counter(StrFormat("concurrency.per_thread.%d", t)).Increment();
+        registry.gauge("concurrency.gauge").Set(static_cast<double>(i));
+        if (i % 16 == 0) {
+          (void)registry.Snapshot();  // reader racing the writers
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  uint64_t shared = 0;
+  int per_thread_counters = 0;
+  for (const auto& counter : snapshot.counters) {
+    if (counter.name == "concurrency.shared") shared = counter.value;
+    if (counter.name.rfind("concurrency.per_thread.", 0) == 0) {
+      ++per_thread_counters;
+      EXPECT_EQ(counter.value, static_cast<uint64_t>(kIterations));
+    }
+  }
+  EXPECT_EQ(shared, static_cast<uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(per_thread_counters, kThreads);
+}
+
+TEST(ConcurrencyRegression, PredictionCacheConcurrentInsertLookupInvalidate) {
+  PredictionCache cache(/*max_entries=*/256);
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 64;
+  constexpr int kRounds = 50;
+  std::atomic<uint64_t> hits{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &hits, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (int k = 0; k < kKeys; ++k) {
+          const PredictionCacheKey key{static_cast<uint64_t>(k),
+                                       static_cast<uint64_t>(k * 31 + 7)};
+          if (std::optional<Prediction> found = cache.Lookup(key)) {
+            hits.fetch_add(1, std::memory_order_relaxed);
+            // Everyone inserts the same value per key, so a hit is exact.
+            EXPECT_DOUBLE_EQ(found->speedup, static_cast<double>(k));
+          } else {
+            Prediction prediction;
+            prediction.speedup = static_cast<double>(k);
+            cache.Insert(key, prediction);
+          }
+        }
+        // One thread periodically invalidates everything mid-flight.
+        if (t == 0 && round % 10 == 9) cache.BumpGeneration();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_GT(hits.load(), 0u);
+  EXPECT_GE(cache.generation(), static_cast<uint64_t>(kRounds) / 10);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ConcurrencyRegression, ServiceSurvivesConcurrentSocketClients) {
+  const eval::Pipeline pipeline("x3-2");
+  std::vector<rack::RackMachine> machines;
+  for (int i = 0; i < 4; ++i) {
+    machines.push_back({StrFormat("node%d", i), pipeline.description()});
+  }
+  StatusOr<serve::PlacementService> service =
+      serve::PlacementService::Create(std::move(machines),
+                                      serve::ServiceOptions{});
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  const std::string path =
+      ::testing::TempDir() + "/pandia_concurrency_test.sock";
+  StatusOr<serve::SocketServer> server = serve::SocketServer::Listen(path);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  std::thread loop([&service, &server] {
+    const Status served =
+        serve::RunEventLoop(*service, /*stdin_fd=*/-1, stdout, &*server);
+    EXPECT_TRUE(served.ok()) << served.ToString();
+  });
+
+  const std::string desc =
+      WorkloadDescriptionToText(pipeline.Profile(workloads::ByName("EP")));
+  constexpr int kClients = 6;
+  constexpr int kRequestsEach = 8;
+  std::atomic<int> ok_blocks{0};
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&path, &desc, &ok_blocks, c] {
+      for (int i = 0; i < kRequestsEach; ++i) {
+        std::string request;
+        if (i == 0) {
+          wire::Request admit;
+          admit.verb = "ADMIT";
+          admit.params.emplace_back("name", StrFormat("job-%d", c));
+          admit.params.emplace_back("threads", "2");
+          admit.params.emplace_back("desc.x3-2", desc);
+          request = wire::FormatRequest(admit) + "\n";
+        } else if (i + 1 == kRequestsEach) {
+          request = StrFormat("DEPART name=job-%d\n", c);
+        } else {
+          request = (i % 2 == 0) ? "STATUS\n" : "METRICS\n";
+        }
+        const StatusOr<std::string> reply = serve::SocketExchange(path, request);
+        ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+        if (reply->rfind("ok ", 0) == 0) {
+          ok_blocks.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+
+  // Every request got an ok reply: the admits found capacity, the departs
+  // found their jobs, and STATUS/METRICS never raced the mutations.
+  EXPECT_EQ(ok_blocks.load(), kClients * kRequestsEach);
+
+  const StatusOr<std::string> status = serve::SocketExchange(path, "STATUS\n");
+  ASSERT_TRUE(status.ok()) << status.status().ToString();
+  EXPECT_NE(status->find("jobs = 0"), std::string::npos) << *status;
+
+  const StatusOr<std::string> bye = serve::SocketExchange(path, "SHUTDOWN\n");
+  ASSERT_TRUE(bye.ok()) << bye.status().ToString();
+  loop.join();
+  EXPECT_TRUE(service->shutdown_requested());
+}
+
+}  // namespace
+}  // namespace pandia

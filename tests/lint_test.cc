@@ -1,0 +1,306 @@
+// src/lint: the pandia_lint rule engine — every rule fires on a minimal
+// fixture with the right file:line, every rule is suppressible with
+// `pandia-lint: allow(<rule>)`, path scoping and exemptions hold, and the
+// code/comment/string separation keeps rules from firing on prose or on
+// fixture strings (this file itself is linted by the pandia_lint ctest, so
+// every forbidden token below lives inside a string literal).
+#include "src/lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace pandia {
+namespace lint {
+namespace {
+
+std::vector<std::string> RuleNames(const std::vector<Finding>& findings) {
+  std::vector<std::string> names;
+  for (const Finding& finding : findings) names.push_back(finding.rule);
+  return names;
+}
+
+TEST(LintRules, RegistryListsEveryRule) {
+  const std::vector<RuleInfo>& rules = Rules();
+  ASSERT_EQ(rules.size(), 5u);
+  EXPECT_EQ(rules[0].name, "naked-mutex");
+  EXPECT_EQ(rules[1].name, "no-abort");
+  EXPECT_EQ(rules[2].name, "unseeded-rand");
+  EXPECT_EQ(rules[3].name, "unordered-wire");
+  EXPECT_EQ(rules[4].name, "todo-owner");
+  for (const RuleInfo& rule : rules) EXPECT_FALSE(rule.summary.empty());
+}
+
+TEST(LintFormat, PathLineRuleMessage) {
+  const Finding finding{"src/a.cc", 7, "no-abort", "boom"};
+  EXPECT_EQ(FormatFinding(finding), "src/a.cc:7: no-abort: boom");
+}
+
+// --- naked-mutex ---------------------------------------------------------
+
+TEST(NakedMutex, FiresOnStdMutexWithExactLine) {
+  const std::vector<Finding> findings = LintFile(
+      "src/foo/foo.cc", "#include \"src/foo/foo.h\"\n\nstd::mutex mu_;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "src/foo/foo.cc");
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_EQ(findings[0].rule, "naked-mutex");
+}
+
+TEST(NakedMutex, FiresOnIncludeAndOnEveryLockType) {
+  const std::vector<Finding> findings =
+      LintFile("src/foo/foo.cc",
+               "#include <mutex>\n"
+               "std::lock_guard<std::mutex> l(mu);\n"
+               "std::condition_variable cv;\n");
+  // Line 1: the include. Line 2: lock_guard and mutex. Line 3: the condvar.
+  ASSERT_EQ(findings.size(), 4u);
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[1].line, 2);
+  EXPECT_EQ(findings[2].line, 2);
+  EXPECT_EQ(findings[3].line, 3);
+  for (const Finding& finding : findings) {
+    EXPECT_EQ(finding.rule, "naked-mutex");
+  }
+}
+
+TEST(NakedMutex, MutexHeaderItselfIsExempt) {
+  EXPECT_TRUE(LintFile("src/util/mutex.h",
+                       "#include <mutex>\nstd::mutex mu_;\n")
+                  .empty());
+}
+
+TEST(NakedMutex, OnlyStdSpellingsCount) {
+  // The wrapper's own types reuse the words; only std:: qualification fires.
+  EXPECT_TRUE(LintFile("src/foo/foo.cc",
+                       "util::Mutex mu_;\nutil::MutexLock lock(mu_);\n")
+                  .empty());
+}
+
+TEST(NakedMutex, CommentsAndStringsDoNotFire) {
+  EXPECT_TRUE(LintFile("src/foo/foo.cc",
+                       "// prefer util::Mutex over std::mutex\n"
+                       "const char* kDoc = \"std::mutex is banned\";\n"
+                       "/* std::lock_guard, std::condition_variable */\n")
+                  .empty());
+}
+
+TEST(NakedMutex, RawStringsDoNotFire) {
+  EXPECT_TRUE(LintFile("src/foo/foo.cc",
+                       "const char* kFixture = R\"(std::mutex mu;)\";\n")
+                  .empty());
+}
+
+// --- no-abort ------------------------------------------------------------
+
+TEST(NoAbort, FiresOnAbortExitAndThrowInLibraryCode) {
+  const std::vector<Finding> findings =
+      LintFile("src/foo/foo.cc",
+               "void f() { std::abort(); }\n"
+               "void g() { exit(1); }\n"
+               "void h() { throw 42; }\n");
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[1].line, 2);
+  EXPECT_EQ(findings[2].line, 3);
+  for (const Finding& finding : findings) {
+    EXPECT_EQ(finding.rule, "no-abort");
+  }
+}
+
+TEST(NoAbort, ScopedToSrcOnly) {
+  const std::string body = "int main() { exit(1); }\n";
+  EXPECT_TRUE(LintFile("tools/pandia_foo.cc", body).empty());
+  EXPECT_TRUE(LintFile("tests/foo_test.cc", body).empty());
+  EXPECT_EQ(LintFile("src/foo/foo.cc", body).size(), 1u);
+}
+
+TEST(NoAbort, IdentifierBoundariesHold) {
+  EXPECT_TRUE(LintFile("src/foo/foo.cc",
+                       "void do_exit(int);\n"
+                       "bool aborted(const Run& run);\n"
+                       "int quick_exit_count = 0;\n")
+                  .empty());
+}
+
+// --- unseeded-rand -------------------------------------------------------
+
+TEST(UnseededRand, FiresOnEveryNondeterminismSource) {
+  const std::vector<Finding> findings =
+      LintFile("src/foo/foo.cc",
+               "int a = rand();\n"
+               "srand(42);\n"
+               "std::random_device rd;\n"
+               "unsigned seed = time(nullptr);\n"
+               "unsigned old_seed = time(NULL);\n");
+  ASSERT_EQ(RuleNames(findings),
+            (std::vector<std::string>{"unseeded-rand", "unseeded-rand",
+                                      "unseeded-rand", "unseeded-rand",
+                                      "unseeded-rand"}));
+  for (size_t i = 0; i < findings.size(); ++i) {
+    EXPECT_EQ(findings[i].line, static_cast<int>(i) + 1);
+  }
+}
+
+TEST(UnseededRand, RngImplementationIsExempt) {
+  EXPECT_TRUE(
+      LintFile("src/util/rng.cc", "std::random_device entropy;\n").empty());
+  EXPECT_TRUE(LintFile("src/util/rng.h", "int x = rand();\n").empty());
+}
+
+TEST(UnseededRand, BoundariesAndNonNullTimeAreFine) {
+  EXPECT_TRUE(LintFile("src/foo/foo.cc",
+                       "int operand(int);\n"
+                       "double strand(double);\n"
+                       "std::time_t t = time(&out);\n")
+                  .empty());
+}
+
+// --- unordered-wire ------------------------------------------------------
+
+TEST(UnorderedWire, FiresOnlyInSerializationPaths) {
+  const std::string body = "std::unordered_map<int, int> by_id;\n";
+  const std::vector<Finding> serialize =
+      LintFile("src/serialize/serialize.cc", body);
+  ASSERT_EQ(serialize.size(), 1u);
+  EXPECT_EQ(serialize[0].rule, "unordered-wire");
+  EXPECT_EQ(serialize[0].line, 1);
+  EXPECT_EQ(LintFile("src/serve/service.cc", body).size(), 1u);
+  // The prediction cache legitimately hashes; it is not a wire path.
+  EXPECT_TRUE(LintFile("src/predictor/prediction_cache.h", body).empty());
+  EXPECT_TRUE(LintFile("tests/foo_test.cc", body).empty());
+}
+
+TEST(UnorderedWire, CatchesSetsAndIncludes) {
+  const std::vector<Finding> findings =
+      LintFile("src/serve/service.cc",
+               "#include <unordered_set>\n"
+               "std::unordered_set<std::string> names;\n");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[1].line, 2);
+}
+
+// --- todo-owner ----------------------------------------------------------
+
+TEST(TodoOwner, FiresOnOwnerlessTodo) {
+  const std::vector<Finding> findings =
+      LintFile("src/foo/foo.cc",
+               "int x = 0;\n"
+               "// TODO: tighten this bound\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "todo-owner");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(TodoOwner, OwnedTodoAndEmptyOwnerAndCodeIdentifiers) {
+  EXPECT_TRUE(
+      LintFile("src/foo/foo.cc", "// TODO(ana): tighten this bound\n").empty());
+  // An empty owner is no owner.
+  EXPECT_EQ(LintFile("src/foo/foo.cc", "// TODO(): tighten\n").size(), 1u);
+  // The rule reads comments, not code or strings.
+  EXPECT_TRUE(LintFile("src/foo/foo.cc",
+                       "int TODO = 1;\nconst char* s = \"TODO: x\";\n")
+                  .empty());
+}
+
+TEST(TodoOwner, AppliesToTestsAndToolsToo) {
+  EXPECT_EQ(LintFile("tests/foo_test.cc", "// TODO update\n").size(), 1u);
+  EXPECT_EQ(LintFile("tools/pandia_foo.cc", "// TODO update\n").size(), 1u);
+}
+
+// --- allow() suppression -------------------------------------------------
+
+TEST(Allow, SuppressesTheNamedRuleOnItsLine) {
+  EXPECT_TRUE(LintFile("src/foo/foo.cc",
+                       "std::mutex raw_;  "
+                       "// pandia-lint: allow(naked-mutex) libfoo interop\n")
+                  .empty());
+}
+
+TEST(Allow, DoesNotSuppressOtherRulesOrOtherLines) {
+  // Allowing one rule leaves a second violation on the same line standing.
+  const std::vector<Finding> same_line =
+      LintFile("src/foo/foo.cc",
+               "std::mutex raw_; abort();  "
+               "// pandia-lint: allow(naked-mutex)\n");
+  ASSERT_EQ(same_line.size(), 1u);
+  EXPECT_EQ(same_line[0].rule, "no-abort");
+
+  // A directive on the previous line suppresses nothing.
+  const std::vector<Finding> prev_line =
+      LintFile("src/foo/foo.cc",
+               "// pandia-lint: allow(naked-mutex)\n"
+               "std::mutex raw_;\n");
+  ASSERT_EQ(prev_line.size(), 1u);
+  EXPECT_EQ(prev_line[0].line, 2);
+}
+
+TEST(Allow, AcceptsACommaSeparatedRuleList) {
+  EXPECT_TRUE(LintFile("src/foo/foo.cc",
+                       "std::mutex raw_; abort();  "
+                       "// pandia-lint: allow(naked-mutex, no-abort)\n")
+                  .empty());
+}
+
+TEST(Allow, EveryRegisteredRuleIsSuppressible) {
+  struct Fixture {
+    std::string path;
+    std::string line;
+  };
+  const std::vector<Fixture> fixtures = {
+      {"src/foo/foo.cc",
+       "std::mutex raw_;  // pandia-lint: allow(naked-mutex)\n"},
+      {"src/foo/foo.cc", "abort();  // pandia-lint: allow(no-abort)\n"},
+      {"src/foo/foo.cc", "int a = rand();  // pandia-lint: allow(unseeded-rand)\n"},
+      {"src/serve/x.cc",
+       "std::unordered_map<int, int> m;  // pandia-lint: allow(unordered-wire)\n"},
+      {"src/foo/foo.cc", "// TODO revisit  pandia-lint: allow(todo-owner)\n"},
+  };
+  for (const Fixture& fixture : fixtures) {
+    EXPECT_TRUE(LintFile(fixture.path, fixture.line).empty())
+        << fixture.path << ": " << fixture.line;
+  }
+}
+
+// --- lexer behaviour -----------------------------------------------------
+
+TEST(Lexer, BlockCommentsKeepLineNumbersStraight) {
+  const std::vector<Finding> findings =
+      LintFile("src/foo/foo.cc",
+               "/* a std::mutex mention\n"
+               "   spanning lines */ std::mutex mu_;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(Lexer, DigitSeparatorsAreNotCharLiterals) {
+  // A bad char-literal lexer would treat 1'000'000 as opening a literal and
+  // swallow the violation that follows.
+  const std::vector<Finding> findings = LintFile(
+      "src/foo/foo.cc", "int big = 1'000'000; std::mutex mu_;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "naked-mutex");
+}
+
+TEST(Lexer, EscapedQuotesStayInsideStrings) {
+  EXPECT_TRUE(LintFile("src/foo/foo.cc",
+                       "const char* s = \"quoted \\\" std::mutex\";\n")
+                  .empty());
+}
+
+TEST(Lexer, FindingsComeBackInLineOrder) {
+  const std::vector<Finding> findings =
+      LintFile("src/foo/foo.cc",
+               "// TODO sort me\n"
+               "std::mutex mu_;\n"
+               "abort();\n");
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_LT(findings[0].line, findings[1].line);
+  EXPECT_LT(findings[1].line, findings[2].line);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace pandia
