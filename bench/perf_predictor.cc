@@ -15,6 +15,10 @@
 // the rankings are identical, and reports predictions/sec for both plus a
 // cache-warm pass. Exits non-zero if the parallel ranking ever diverges
 // from the serial one.
+//
+// `perf_predictor --telemetry-overhead` measures the cost of a suppressed
+// obs::EventLog call (the disabled fast path is documented as one relaxed
+// atomic load) and exits non-zero if it exceeds a generous noise budget.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -24,6 +28,7 @@
 #include <thread>
 
 #include "src/eval/pipeline.h"
+#include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/prediction_trace.h"
 #include "src/predictor/optimizer.h"
@@ -209,6 +214,56 @@ int ConvergenceDump() {
   return 0;
 }
 
+// --telemetry-overhead: the structured event log promises that an event
+// below the minimum level costs one relaxed atomic load — cheap enough to
+// leave call sites in hot paths unconditionally. Measure a tight loop with
+// and without a suppressed Log() call and fail if the per-call overhead
+// exceeds a generous noise budget.
+int TelemetryOverhead() {
+  using Clock = std::chrono::steady_clock;
+  obs::EventLog log;
+  log.SetMinLevel(obs::LogLevel::kError);  // Info events take the fast path
+  constexpr int kIterations = 2000000;
+  constexpr double kBudgetNsPerOp = 100.0;
+
+  // Warm-up plus baseline: the loop body alone.
+  uint64_t sink = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    benchmark::DoNotOptimize(sink += static_cast<uint64_t>(i));
+  }
+  const Clock::time_point t0 = Clock::now();
+  for (int i = 0; i < kIterations; ++i) {
+    benchmark::DoNotOptimize(sink += static_cast<uint64_t>(i));
+  }
+  const Clock::time_point t1 = Clock::now();
+  for (int i = 0; i < kIterations; ++i) {
+    benchmark::DoNotOptimize(sink += static_cast<uint64_t>(i));
+    log.Log(obs::LogLevel::kInfo, "bench.telemetry", "suppressed");
+  }
+  const Clock::time_point t2 = Clock::now();
+
+  const double baseline_ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() / kIterations;
+  const double disabled_ns =
+      std::chrono::duration<double, std::nano>(t2 - t1).count() / kIterations;
+  const double overhead_ns =
+      disabled_ns > baseline_ns ? disabled_ns - baseline_ns : 0.0;
+  std::printf("disabled-telemetry overhead (%d iterations):\n", kIterations);
+  std::printf("  loop baseline:       %7.2f ns/op\n", baseline_ns);
+  std::printf("  with suppressed Log: %7.2f ns/op\n", disabled_ns);
+  std::printf("  overhead:            %7.2f ns/op  (budget %.0f)\n",
+              overhead_ns, kBudgetNsPerOp);
+  if (overhead_ns > kBudgetNsPerOp) {
+    std::fprintf(stderr,
+                 "FAIL: suppressed event log call costs %.2f ns/op, over the "
+                 "%.0f ns budget — the disabled path is no longer one "
+                 "relaxed load\n",
+                 overhead_ns, kBudgetNsPerOp);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -217,6 +272,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--convergence-dump") == 0) {
       return ConvergenceDump();
+    }
+    if (std::strcmp(argv[i], "--telemetry-overhead") == 0) {
+      return TelemetryOverhead();
     }
     if (std::strcmp(argv[i], "--parallel") == 0) {
       parallel = true;

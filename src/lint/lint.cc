@@ -402,6 +402,93 @@ void CheckUnorderedWire(const Sink& sink,
   }
 }
 
+// subsystem.dotted_lowercase: two or more dot-separated segments, each
+// [a-z][a-z0-9_]*.
+bool IsValidMetricName(std::string_view name) {
+  int segments = 0;
+  size_t start = 0;
+  while (start <= name.size()) {
+    const size_t dot = name.find('.', start);
+    const std::string_view segment = dot == std::string_view::npos
+                                         ? name.substr(start)
+                                         : name.substr(start, dot - start);
+    if (segment.empty() || segment.front() < 'a' || segment.front() > 'z') {
+      return false;
+    }
+    for (char c : segment) {
+      if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_')) {
+        return false;
+      }
+    }
+    ++segments;
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  return segments >= 2;
+}
+
+// metric-name — instrument names registered at counter( / gauge( /
+// histogram( call sites follow the subsystem.dotted_lowercase convention.
+// The code buffer has literals blanked, so the call structure is located in
+// `code_lines` and the name itself read back from the raw source at the
+// same byte offsets. Only complete single-literal arguments are checked:
+// concatenations and variables (dynamic names) are out of this rule's
+// reach, as are literals wrapped onto the next line.
+void CheckMetricName(const Sink& sink,
+                     const std::vector<std::string_view>& code_lines,
+                     const std::vector<std::string_view>& raw_lines) {
+  static constexpr std::string_view kCalls[] = {"counter", "gauge", "histogram"};
+  for (size_t li = 0; li < code_lines.size() && li < raw_lines.size(); ++li) {
+    std::string_view code = code_lines[li];
+    std::string_view raw = raw_lines[li];
+    const int lineno = static_cast<int>(li) + 1;
+    for (std::string_view call : kCalls) {
+      for (size_t pos = FindToken(code, call, 0); pos != std::string_view::npos;
+           pos = FindToken(code, call, pos + 1)) {
+        size_t after = pos + call.size();
+        while (after < code.size() && (code[after] == ' ' || code[after] == '\t')) {
+          ++after;
+        }
+        if (after >= code.size() || code[after] != '(') continue;
+        ++after;
+        while (after < raw.size() && (raw[after] == ' ' || raw[after] == '\t')) {
+          ++after;
+        }
+        if (after >= raw.size() || raw[after] != '"') continue;
+        size_t end = after + 1;
+        std::string name;
+        bool terminated = false;
+        while (end < raw.size()) {
+          if (raw[end] == '"') {
+            terminated = true;
+            break;
+          }
+          if (raw[end] == '\\' && end + 1 < raw.size()) {
+            ++end;  // escaped char: keep scanning; the name is judged as-is
+          }
+          name += raw[end];
+          ++end;
+        }
+        if (!terminated) continue;
+        size_t next = end + 1;
+        while (next < raw.size() && (raw[next] == ' ' || raw[next] == '\t')) {
+          ++next;
+        }
+        // The literal must be the whole argument; "a" + suffix is dynamic.
+        if (next >= raw.size() || (raw[next] != ',' && raw[next] != ')')) {
+          continue;
+        }
+        if (!IsValidMetricName(name)) {
+          sink.Report(lineno, "metric-name",
+                      "instrument name '" + name +
+                          "' is not subsystem.dotted_lowercase (two or more "
+                          "dot-separated [a-z][a-z0-9_]* segments)");
+        }
+      }
+    }
+  }
+}
+
 // todo-owner — every TODO(owner) must actually name the owner.
 void CheckTodoOwner(const Sink& sink,
                     const std::vector<std::string_view>& comment_lines) {
@@ -440,6 +527,9 @@ const std::vector<RuleInfo>& Rules() {
        "no unordered containers in src/serialize/ or src/serve/; wire and "
        "STATUS output must not depend on hash order"},
       {"todo-owner", "TODO comments must name an owner: TODO(name): ..."},
+      {"metric-name",
+       "instrument names at counter(/gauge(/histogram( call sites follow "
+       "subsystem.dotted_lowercase"},
   };
   return *rules;
 }
@@ -448,6 +538,7 @@ std::vector<Finding> LintFile(std::string_view path, std::string_view content) {
   SeparatedSource source = Separate(content);
   std::vector<std::string_view> code_lines = SplitLines(source.code);
   std::vector<std::string_view> comment_lines = SplitLines(source.comments);
+  std::vector<std::string_view> raw_lines = SplitLines(content);
   std::map<int, std::set<std::string>> allows = CollectAllows(comment_lines);
 
   std::vector<Finding> findings;
@@ -457,6 +548,7 @@ std::vector<Finding> LintFile(std::string_view path, std::string_view content) {
   CheckUnseededRand(sink, code_lines);
   CheckUnorderedWire(sink, code_lines);
   CheckTodoOwner(sink, comment_lines);
+  CheckMetricName(sink, code_lines, raw_lines);
 
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) {

@@ -38,6 +38,63 @@ std::vector<uint64_t> Histogram::bucket_counts() const {
   return counts;
 }
 
+double Histogram::Percentile(double q) const {
+  return HistogramPercentile(bounds_, bucket_counts(), q);
+}
+
+double HistogramPercentile(const std::vector<double>& bounds,
+                           const std::vector<uint64_t>& buckets, double q) {
+  PANDIA_CHECK_MSG(buckets.size() == bounds.size() + 1,
+                   "bucket counts must cover every bound plus +inf");
+  q = std::max(0.0, std::min(1.0, q));
+  uint64_t total = 0;
+  for (const uint64_t b : buckets) {
+    total += b;
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  // Rank of the target observation, 1-based; q=0 asks for the first.
+  const double rank = std::max(1.0, q * static_cast<double>(total));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) {
+      continue;
+    }
+    const uint64_t below = cumulative;
+    cumulative += buckets[i];
+    if (rank > static_cast<double>(cumulative)) {
+      continue;
+    }
+    if (i == bounds.size()) {
+      // Overflow bucket: no upper edge to interpolate toward.
+      return bounds.back();
+    }
+    const double upper = bounds[i];
+    double lower = i == 0 ? 0.0 : bounds[i - 1];
+    if (lower >= upper) {
+      lower = upper;  // first bound <= 0: the bucket has no usable width
+    }
+    const double fraction =
+        (rank - static_cast<double>(below)) / static_cast<double>(buckets[i]);
+    return lower + (upper - lower) * fraction;
+  }
+  return bounds.back();
+}
+
+std::vector<double> ExponentialBounds(double start, double factor, int count) {
+  PANDIA_CHECK_MSG(start > 0.0 && factor > 1.0 && count >= 1,
+                   "ExponentialBounds needs start > 0, factor > 1, count >= 1");
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
 void Histogram::Reset() {
   for (std::atomic<uint64_t>& bucket : buckets_) {
     bucket.store(0, std::memory_order_relaxed);

@@ -69,6 +69,8 @@ class Histogram {
   std::vector<uint64_t> bucket_counts() const;
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
+  // Estimated q-quantile (q in [0, 1]); see HistogramPercentile.
+  double Percentile(double q) const;
   void Reset();
 
  private:
@@ -77,6 +79,25 @@ class Histogram {
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
 };
+
+// Estimated q-quantile of a bucketed distribution: finds the bucket holding
+// the q-th observation and linearly interpolates within it (Prometheus
+// histogram_quantile semantics). `buckets` has bounds.size() + 1 entries,
+// the last being the +inf overflow bucket. The first bucket interpolates
+// from 0 (or from its own bound when that is <= 0, since latencies have no
+// negative mass); a quantile landing in the overflow bucket clamps to the
+// last finite bound — the histogram cannot resolve beyond it. q is clamped
+// to [0, 1]; an empty histogram reports 0. Also the math behind
+// Histogram::Percentile, exposed standalone so snapshot consumers (METRICS
+// clients like pandia_top) can compute quantiles from exported buckets.
+double HistogramPercentile(const std::vector<double>& bounds,
+                           const std::vector<uint64_t>& buckets, double q);
+
+// `count` strictly increasing bucket bounds starting at `start` and growing
+// by `factor` per bucket (start > 0, factor > 1, count >= 1) — the standard
+// shape for latency histograms, where resolution should follow magnitude:
+// ExponentialBounds(100, 2, 10) = {100, 200, 400, ..., 51200}.
+std::vector<double> ExponentialBounds(double start, double factor, int count);
 
 // A point-in-time copy of every instrument, in name order.
 struct MetricsSnapshot {

@@ -35,7 +35,9 @@
 
 #include "src/lint/lint.h"
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/json_lint.h"
+#include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 

@@ -174,6 +174,7 @@ Rack::Rack(std::vector<RackMachine> machines, PredictionOptions options)
     : machines_(std::move(machines)), options_(options) {
   PANDIA_CHECK(!machines_.empty());
   residents_.resize(machines_.size());
+  machine_events_.resize(machines_.size(), 0);
   // A convergence-trace hook disables memoization for the same reason
   // PredictCached does: a hit would silently skip recording.
   if (options_.common.use_cache && options_.common.trace == nullptr) {
@@ -477,9 +478,12 @@ StatusOr<Assignment> Rack::Admit(const JobRequest& job, Policy policy) {
 
   const MachineTopology& topo = machines_[chosen_machine].description.topo;
   const WorkloadDescription& description = job.descriptions.at(topo.name);
-  residents_[chosen_machine].push_back(RackJob{job.name, description,
-                                               chosen->placement,
-                                               WorkloadFingerprint(description)});
+  RackJob resident{job.name, description, chosen->placement,
+                   WorkloadFingerprint(description)};
+  resident.speedup_at_admit = chosen->job_speedup;
+  resident.admit_seq = ++mutation_seq_;
+  resident.machine_events_at_placement = ++machine_events_[chosen_machine];
+  residents_[chosen_machine].push_back(std::move(resident));
   AdmissionsCounter().Increment();
 
   Assignment assignment;
@@ -532,8 +536,16 @@ Status Rack::AdmitAt(const std::string& name, int machine_index,
   PANDIA_RETURN_IF_ERROR(description.Validate());
   PANDIA_RETURN_IF_ERROR(
       ValidatePlacementFits(machine_index, placement, FreeThreads(machine_index)));
-  residents_[machine_index].push_back(
-      RackJob{name, description, placement, WorkloadFingerprint(description)});
+  RackJob resident{name, description, placement, WorkloadFingerprint(description)};
+  resident.admit_seq = ++mutation_seq_;
+  resident.machine_events_at_placement = ++machine_events_[machine_index];
+  residents_[machine_index].push_back(std::move(resident));
+  // Replay runs the same joint solve Admit scored the chosen candidate
+  // with (residents in order, this job last), so the admit-time baseline
+  // survives a restart byte-for-byte.
+  const std::vector<Prediction> joint = PredictMachine(machine_index);
+  residents_[machine_index].back().speedup_at_admit =
+      joint.empty() ? 0.0 : joint.back().speedup;
   AdmissionsCounter().Increment();
   return Status::Ok();
 }
@@ -546,6 +558,8 @@ StatusOr<int> Rack::Depart(const std::string& job) {
   const int machine_index = *found;
   auto& residents = residents_[machine_index];
   std::erase_if(residents, [&](const RackJob& r) { return r.name == job; });
+  ++mutation_seq_;
+  ++machine_events_[machine_index];
   DeparturesCounter().Increment();
   // Hard invalidation: joint fingerprints already exclude the departed job
   // from future contexts, but bumping the generation also drops any entry
@@ -580,15 +594,55 @@ Status Rack::Move(const std::string& job, int machine_index,
   RackJob moved = std::move(*it);
   source.erase(it);
   moved.placement = placement;
+  ++mutation_seq_;
+  ++machine_events_[from];
+  if (machine_index != from) {
+    ++machine_events_[machine_index];
+  }
+  ++moved.moves;
+  // Re-baseline the co-runner delta: the job starts observing its new
+  // machine from this moment.
+  moved.machine_events_at_placement = machine_events_[machine_index];
   residents_[machine_index].push_back(std::move(moved));
   MovesCounter().Increment();
   return Status::Ok();
+}
+
+Rack::TelemetrySnapshot Rack::Telemetry() const {
+  TelemetrySnapshot snapshot;
+  snapshot.mutation_seq = mutation_seq_;
+  for (size_t m = 0; m < residents_.size(); ++m) {
+    if (residents_[m].empty()) {
+      continue;
+    }
+    const std::vector<Prediction> joint = PredictMachine(static_cast<int>(m));
+    for (size_t i = 0; i < residents_[m].size(); ++i) {
+      const RackJob& resident = residents_[m][i];
+      JobTelemetry job;
+      job.name = resident.name;
+      job.machine_index = static_cast<int>(m);
+      job.machine = machines_[m].name;
+      job.threads = resident.placement.TotalThreads();
+      job.speedup_at_admit = resident.speedup_at_admit;
+      job.slowdown_at_admit = resident.speedup_at_admit > 0.0
+                                  ? 1.0 / resident.speedup_at_admit
+                                  : 0.0;
+      job.current_speedup = i < joint.size() ? joint[i].speedup : 0.0;
+      job.admit_seq = resident.admit_seq;
+      job.moves = resident.moves;
+      job.co_events = machine_events_[m] - resident.machine_events_at_placement;
+      snapshot.jobs.push_back(std::move(job));
+    }
+  }
+  return snapshot;
 }
 
 void Rack::Reset() {
   for (auto& residents : residents_) {
     residents.clear();
   }
+  mutation_seq_ = 0;
+  std::fill(machine_events_.begin(), machine_events_.end(), 0);
 }
 
 RackScheduler::RackScheduler(std::vector<RackMachine> machines,

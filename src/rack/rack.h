@@ -61,6 +61,19 @@ struct RackJob {
   // WorkloadFingerprint(description), computed once at admission; folded
   // into the host machine's joint-prediction cache key.
   uint64_t workload_fingerprint = 0;
+
+  // Telemetry resident with the job (see Rack::Telemetry). The predicted
+  // speedup under the co-location that existed when the job was placed —
+  // the baseline every later degradation measurement compares against.
+  double speedup_at_admit = 0.0;
+  // Rack mutation sequence number assigned to the admission.
+  uint64_t admit_seq = 0;
+  // Times the job has been re-placed (Move) since admission.
+  int moves = 0;
+  // Host machine's mutation-counter value when the job landed there (at
+  // admission, or re-baselined at each move) — the subtrahend for the
+  // co-runner event delta.
+  uint64_t machine_events_at_placement = 0;
 };
 
 struct Assignment {
@@ -173,6 +186,38 @@ class Rack {
   // hard-invalidates after departures.
   std::vector<Prediction> PredictMachine(int machine_index) const;
 
+  // Per-job telemetry snapshot: the admission-time baseline, the current
+  // joint prediction, and the activity deltas the PANDA-style antagonist
+  // analysis needs (how much has happened around this job since it was
+  // placed). Jobs appear machine by machine, in resident order.
+  struct JobTelemetry {
+    std::string name;
+    int machine_index = -1;
+    std::string machine;  // instance name
+    int threads = 0;
+    // Predicted speedup / slowdown under the co-location at admission
+    // (slowdown = 1/speedup, the paper's preferred orientation).
+    double speedup_at_admit = 0.0;
+    double slowdown_at_admit = 0.0;
+    // Joint prediction under the co-location right now; the ratio against
+    // the admit baseline is the job's predicted degradation.
+    double current_speedup = 0.0;
+    uint64_t admit_seq = 0;  // rack mutation seq of the admission
+    int moves = 0;           // re-placements since admission
+    // Rack mutations touching the job's host machine since the job landed
+    // there (co-runner admits/departs/moves; the job's own landing is
+    // excluded). Non-zero deltas mark jobs whose environment changed after
+    // placement — the candidates for degradation checks.
+    uint64_t co_events = 0;
+  };
+  struct TelemetrySnapshot {
+    uint64_t mutation_seq = 0;  // total rack mutations so far
+    std::vector<JobTelemetry> jobs;
+  };
+  // Computes the current joint prediction per machine, so cost is one
+  // (memoized) joint solve per occupied machine.
+  TelemetrySnapshot Telemetry() const;
+
   // Clears all residents.
   void Reset();
 
@@ -190,6 +235,10 @@ class Rack {
   PredictionCache* cache_ = nullptr;  // null when options_.common.use_cache is off
   std::vector<uint64_t> machine_context_;  // MachineOptionsFingerprint per machine
   std::vector<std::vector<RackJob>> residents_;
+  // Telemetry bookkeeping: every successful Admit/AdmitAt/Depart/Move bumps
+  // mutation_seq_ and the touched machines' machine_events_ entries.
+  uint64_t mutation_seq_ = 0;
+  std::vector<uint64_t> machine_events_;
 };
 
 // Batch scheduling over a Rack: admits a job stream in order. Kept for the

@@ -7,9 +7,13 @@
 // Request (one line):
 //
 //   request = VERB *( " " key "=" value )
-//   VERB    = 1*( "A".."Z" | "-" )                e.g. ADMIT, DEPART, STATUS
+//   VERB    = 1*( "A".."Z" | "-" )
 //   key     = 1*( "a".."z" | "0".."9" | "." | "_" | "-" )
 //   value   = escaped string (see EscapeValue); may be empty
+//
+// The grammar is verb-agnostic; the service (src/serve) defines the v1 verb
+// set: ADMIT, DEPART, REBALANCE, STATUS, METRICS, TELEMETRY, RECORDER, and
+// SHUTDOWN. Unknown verbs parse fine and earn a structured err response.
 //
 // Values are escaped so arbitrary text — including the multi-line workload
 // description documents carried by ADMIT — fits in one space-separated

@@ -1,10 +1,13 @@
 #include "src/serve/service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <map>
 #include <optional>
 #include <utility>
 
+#include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/serialize/serialize.h"
 #include "src/topology/resource_index.h"
@@ -15,6 +18,76 @@ namespace serve {
 namespace {
 
 constexpr const char kJournalMagic[] = "pandia-journal v1";
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Per-verb request instruments. One static table keyed by verb keeps metric
+// cardinality bounded: every verb the service speaks gets its own counters
+// and latency histogram, and anything else (unknown verbs, garbage) shares
+// the "other" slot.
+struct VerbInstruments {
+  obs::Counter* requests;
+  obs::Counter* errors;
+  obs::Histogram* latency_us;
+};
+
+const VerbInstruments& InstrumentsFor(const std::string& verb) {
+  static const std::map<std::string, VerbInstruments>* table = [] {
+    auto* map = new std::map<std::string, VerbInstruments>;
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    for (const auto& [verb_key, stem] :
+         std::initializer_list<std::pair<const char*, const char*>>{
+             {"ADMIT", "admit"},
+             {"DEPART", "depart"},
+             {"REBALANCE", "rebalance"},
+             {"STATUS", "status"},
+             {"METRICS", "metrics"},
+             {"TELEMETRY", "telemetry"},
+             {"RECORDER", "recorder"},
+             {"SHUTDOWN", "shutdown"},
+             {"", "other"}}) {
+      const std::string prefix = std::string("serve.") + stem;
+      map->emplace(verb_key,
+                   VerbInstruments{
+                       &registry.counter(prefix + ".requests"),
+                       &registry.counter(prefix + ".errors"),
+                       &registry.histogram(prefix + ".latency_us",
+                                           obs::ExponentialBounds(1, 2, 20))});
+    }
+    return map;
+  }();
+  const auto it = table->find(verb);
+  return it != table->end() ? it->second : table->at("");
+}
+
+obs::Histogram& JournalAppendLatency() {
+  static obs::Histogram& histogram = obs::MetricsRegistry::Global().histogram(
+      "serve.journal.append_latency_us", obs::ExponentialBounds(1, 2, 20));
+  return histogram;
+}
+obs::Counter& JournalBytes() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().counter("serve.journal.bytes");
+  return counter;
+}
+obs::Counter& ParseErrors() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().counter("serve.parse_errors");
+  return counter;
+}
+obs::Gauge& JobsGauge() {
+  static obs::Gauge& gauge = obs::MetricsRegistry::Global().gauge("serve.jobs");
+  return gauge;
+}
+obs::Gauge& FreeThreadsGauge() {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::Global().gauge("serve.free_threads");
+  return gauge;
+}
 
 StatusOr<int> ParseInt(const std::string& value, const char* what) {
   char* end = nullptr;
@@ -91,13 +164,16 @@ StatusOr<PlacementService> PlacementService::Create(
 
 PlacementService::PlacementService(std::vector<rack::RackMachine> machines,
                                    ServiceOptions options)
-    : options_(std::move(options)), rack_(std::move(machines), options_.prediction) {}
+    : options_(std::move(options)),
+      rack_(std::move(machines), options_.prediction),
+      recorder_(std::make_unique<obs::FlightRecorder>(256)) {}
 
 PlacementService::PlacementService(PlacementService&& other) noexcept
     : options_(std::move(other.options_)),
       rack_(std::move(other.rack_)),
       journal_(std::exchange(other.journal_, nullptr)),
-      shutdown_(other.shutdown_) {}
+      shutdown_(other.shutdown_),
+      recorder_(std::move(other.recorder_)) {}
 
 PlacementService& PlacementService::operator=(PlacementService&& other) noexcept {
   if (this != &other) {
@@ -108,6 +184,7 @@ PlacementService& PlacementService::operator=(PlacementService&& other) noexcept
     rack_ = std::move(other.rack_);
     journal_ = std::exchange(other.journal_, nullptr);
     shutdown_ = other.shutdown_;
+    recorder_ = std::move(other.recorder_);
   }
   return *this;
 }
@@ -121,14 +198,49 @@ PlacementService::~PlacementService() {
 std::string PlacementService::HandleLine(const std::string& line) {
   StatusOr<wire::Request> request = wire::ParseRequest(line);
   if (!request.ok()) {
+    ParseErrors().Increment();
+    obs::EventLog::Global().Log(
+        obs::LogLevel::kWarn, "serve.parse", "unparseable request line",
+        {{"error", request.status().message()}});
+    recorder_->Record("request", "PARSE", /*ok=*/false);
     return wire::FormatResponse(wire::Response::Failure(request.status()));
   }
   return wire::FormatResponse(Handle(*request));
 }
 
 wire::Response PlacementService::Handle(const wire::Request& request) {
-  util::MutexLock lock(mu_);
-  return Dispatch(request);
+  const int64_t start_ns = NowNs();
+  wire::Response response;
+  {
+    util::MutexLock lock(mu_);
+    response = Dispatch(request);
+    JobsGauge().Set(rack_.JobCount());
+    int free = 0;
+    for (size_t m = 0; m < rack_.machines().size(); ++m) {
+      free += rack_.FreeThreadCount(static_cast<int>(m));
+    }
+    FreeThreadsGauge().Set(free);
+  }
+  const double latency_us =
+      static_cast<double>(NowNs() - start_ns) / 1000.0;
+  const VerbInstruments& instruments = InstrumentsFor(request.verb);
+  instruments.requests->Increment();
+  instruments.latency_us->Observe(latency_us);
+  std::string detail = request.verb;
+  if (const std::string* name = request.Find("name")) {
+    detail += " name=" + wire::EscapeValue(*name);
+  }
+  if (!response.ok) {
+    instruments.errors->Increment();
+    obs::EventLog::Global().Log(
+        obs::LogLevel::kWarn, "serve.request", "request failed",
+        {{"verb", request.verb},
+         {"code", wire::WireCodeName(response.code)},
+         {"error", response.error}});
+    detail += " " + wire::WireCodeName(response.code);
+  }
+  recorder_->Record("request", detail, response.ok);
+  return response;
 }
 
 bool PlacementService::shutdown_requested() const {
@@ -150,7 +262,18 @@ wire::Response PlacementService::Dispatch(const wire::Request& request) {
     return HandleStatus();
   }
   if (request.verb == "METRICS") {
-    return HandleMetrics();
+    return HandleMetrics(request);
+  }
+  if (request.verb == "TELEMETRY") {
+    if (!request.params.empty()) {
+      return wire::Response::Failure(Status::InvalidArgument(
+          StrFormat("TELEMETRY does not take parameter '%s'",
+                    request.params.front().first.c_str())));
+    }
+    return HandleTelemetry();
+  }
+  if (request.verb == "RECORDER") {
+    return HandleRecorder(request);
   }
   if (request.verb == "SHUTDOWN") {
     shutdown_ = true;
@@ -158,7 +281,7 @@ wire::Response PlacementService::Dispatch(const wire::Request& request) {
   }
   return wire::Response::Failure(Status::InvalidArgument(
       StrFormat("unknown verb '%s' (want ADMIT, DEPART, REBALANCE, STATUS, "
-                "METRICS, or SHUTDOWN)",
+                "METRICS, TELEMETRY, RECORDER, or SHUTDOWN)",
                 request.verb.c_str())));
 }
 
@@ -222,6 +345,11 @@ wire::Response PlacementService::HandleAdmit(const wire::Request& request) {
     // Unwind the admission: live state must never hold a mutation the
     // journal (and the client, who sees err) does not.
     (void)rack_.Depart(job.name);
+    obs::EventLog::Global().Log(obs::LogLevel::kWarn, "serve.rollback",
+                                "rolled back admission after journal failure",
+                                {{"name", job.name}});
+    recorder_->Record("rollback", "ADMIT name=" + wire::EscapeValue(job.name),
+                      /*ok=*/false);
     return wire::Response::Failure(journaled);
   }
 
@@ -279,6 +407,11 @@ Status PlacementService::ReplaceDegraded(int machine_index,
     if (Status journaled = AppendJournal(record); !journaled.ok()) {
       // Unrecorded moves must not survive in live state.
       (void)rack_.Move(name, machine_index, previous);
+      obs::EventLog::Global().Log(obs::LogLevel::kWarn, "serve.rollback",
+                                  "rolled back re-placement after journal failure",
+                                  {{"name", name}});
+      recorder_->Record("rollback", "MOVE name=" + wire::EscapeValue(name),
+                        /*ok=*/false);
       return journaled;
     }
     payload.push_back(StrFormat("moved = %s machine=%d placement=%s speedup=%.6f",
@@ -326,6 +459,11 @@ wire::Response PlacementService::HandleDepart(const wire::Request& request) {
       (void)rack_.AdmitAt(snapshot->name, *host, snapshot->description,
                           snapshot->placement);
     }
+    obs::EventLog::Global().Log(obs::LogLevel::kWarn, "serve.rollback",
+                                "rolled back departure after journal failure",
+                                {{"name", *name}});
+    recorder_->Record("rollback", "DEPART name=" + wire::EscapeValue(*name),
+                      /*ok=*/false);
     return wire::Response::Failure(journaled);
   }
 
@@ -435,6 +573,13 @@ wire::Response PlacementService::HandleRebalance(const wire::Request& request) {
       if (Status journaled = AppendJournal(record); !journaled.ok()) {
         // Unrecorded moves must not survive in live state.
         (void)rack_.Move(entry.name, entry.machine, previous);
+        obs::EventLog::Global().Log(
+            obs::LogLevel::kWarn, "serve.rollback",
+            "rolled back rebalance move after journal failure",
+            {{"name", entry.name}});
+        recorder_->Record("rollback",
+                          "MOVE name=" + wire::EscapeValue(entry.name),
+                          /*ok=*/false);
         return wire::Response::Failure(journaled);
       }
       response.payload.push_back(
@@ -501,9 +646,54 @@ wire::Response PlacementService::HandleStatus() const {
   return response;
 }
 
-wire::Response PlacementService::HandleMetrics() const {
+wire::Response PlacementService::HandleMetrics(const wire::Request& request) const {
+  bool expo = false;
+  for (const auto& [key, value] : request.params) {
+    if (key != "format") {
+      return wire::Response::Failure(Status::InvalidArgument(
+          StrFormat("METRICS does not take parameter '%s'", key.c_str())));
+    }
+    if (value == "expo") {
+      expo = true;
+    } else if (value != "table") {
+      return wire::Response::Failure(Status::InvalidArgument(StrFormat(
+          "unknown METRICS format '%s' (want table or expo)", value.c_str())));
+    }
+  }
   const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
   wire::Response response = wire::Response::Success("METRICS");
+  if (expo) {
+    // Line-oriented exposition format (grammar in DESIGN.md): one
+    // "<metric> <value>" sample per line, histogram buckets as
+    // name{le=BOUND} with cumulative counts, plus name.count / name.sum.
+    for (const auto& counter : snapshot.counters) {
+      response.payload.push_back(
+          StrFormat("%s %llu", counter.name.c_str(),
+                    static_cast<unsigned long long>(counter.value)));
+    }
+    for (const auto& gauge : snapshot.gauges) {
+      response.payload.push_back(
+          StrFormat("%s %.6f", gauge.name.c_str(), gauge.value));
+    }
+    for (const auto& histogram : snapshot.histograms) {
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < histogram.buckets.size(); ++i) {
+        cumulative += histogram.buckets[i];
+        const std::string le =
+            i < histogram.bounds.size() ? StrFormat("%.6g", histogram.bounds[i])
+                                        : std::string("+inf");
+        response.payload.push_back(
+            StrFormat("%s{le=%s} %llu", histogram.name.c_str(), le.c_str(),
+                      static_cast<unsigned long long>(cumulative)));
+      }
+      response.payload.push_back(
+          StrFormat("%s.count %llu", histogram.name.c_str(),
+                    static_cast<unsigned long long>(histogram.count)));
+      response.payload.push_back(
+          StrFormat("%s.sum %.6f", histogram.name.c_str(), histogram.sum));
+    }
+    return response;
+  }
   for (const auto& counter : snapshot.counters) {
     response.payload.push_back(
         StrFormat("counter %s = %llu", counter.name.c_str(),
@@ -517,6 +707,64 @@ wire::Response PlacementService::HandleMetrics() const {
     response.payload.push_back(StrFormat(
         "histogram %s count=%llu sum=%.6f", histogram.name.c_str(),
         static_cast<unsigned long long>(histogram.count), histogram.sum));
+  }
+  return response;
+}
+
+wire::Response PlacementService::HandleTelemetry() const {
+  const rack::Rack::TelemetrySnapshot telemetry = rack_.Telemetry();
+  wire::Response response = wire::Response::Success("TELEMETRY");
+  response.payload.push_back(StrFormat(
+      "mutation-seq = %llu",
+      static_cast<unsigned long long>(telemetry.mutation_seq)));
+  response.payload.push_back(
+      StrFormat("jobs = %zu", telemetry.jobs.size()));
+  // Sorted by name, like STATUS: deterministic output for tests and diffs.
+  std::vector<const rack::Rack::JobTelemetry*> jobs;
+  jobs.reserve(telemetry.jobs.size());
+  for (const rack::Rack::JobTelemetry& job : telemetry.jobs) {
+    jobs.push_back(&job);
+  }
+  std::sort(jobs.begin(), jobs.end(),
+            [](const rack::Rack::JobTelemetry* a,
+               const rack::Rack::JobTelemetry* b) { return a->name < b->name; });
+  for (const rack::Rack::JobTelemetry* job : jobs) {
+    // Degradation: how much worse the job is predicted to run now than
+    // under the co-location it was admitted into (1.0 = unchanged).
+    const double degradation = job->current_speedup > 0.0
+                                   ? job->speedup_at_admit / job->current_speedup
+                                   : 0.0;
+    response.payload.push_back(StrFormat(
+        "job = %s machine=%d machine-name=%s threads=%d "
+        "speedup-at-admit=%.6f slowdown-at-admit=%.6f current-speedup=%.6f "
+        "degradation=%.6f admit-seq=%llu moves=%d co-events=%llu",
+        wire::EscapeValue(job->name).c_str(), job->machine_index,
+        wire::EscapeValue(job->machine).c_str(), job->threads,
+        job->speedup_at_admit, job->slowdown_at_admit, job->current_speedup,
+        degradation, static_cast<unsigned long long>(job->admit_seq),
+        job->moves, static_cast<unsigned long long>(job->co_events)));
+  }
+  return response;
+}
+
+wire::Response PlacementService::HandleRecorder(const wire::Request& request) const {
+  if (!request.params.empty()) {
+    return wire::Response::Failure(Status::InvalidArgument(
+        StrFormat("RECORDER does not take parameter '%s'",
+                  request.params.front().first.c_str())));
+  }
+  const std::vector<obs::FlightEvent> events = recorder_->Dump();
+  wire::Response response = wire::Response::Success("RECORDER");
+  response.payload.push_back(
+      StrFormat("capacity = %zu", recorder_->capacity()));
+  response.payload.push_back(StrFormat(
+      "recorded = %llu", static_cast<unsigned long long>(recorder_->recorded())));
+  response.payload.push_back(StrFormat(
+      "dropped = %llu", static_cast<unsigned long long>(recorder_->dropped())));
+  const int64_t origin = events.empty() ? 0 : events.front().timestamp_ns;
+  for (const obs::FlightEvent& event : events) {
+    response.payload.push_back(
+        "event = " + obs::FormatFlightEvent(event, origin));
   }
   return response;
 }
@@ -633,15 +881,31 @@ Status PlacementService::ReplayJournal(const std::string& text, bool* saw_magic_
 }
 
 Status PlacementService::AppendJournal(const wire::Request& record) {
+  std::string detail = record.verb;
+  if (const std::string* name = record.Find("name")) {
+    detail += " name=" + wire::EscapeValue(*name);
+  }
   if (journal_ == nullptr) {
+    // No journal file, but the mutation still happened: the flight recorder
+    // keeps the mutation sequence observable for journal-less services.
+    recorder_->Record("journal", detail);
     return Status::Ok();
   }
   const std::string line = wire::FormatRequest(record);
+  const int64_t start_ns = NowNs();
   if (std::fprintf(journal_, "%s\n", line.c_str()) < 0 ||
       std::fflush(journal_) != 0) {
+    obs::EventLog::Global().Log(
+        obs::LogLevel::kError, "serve.journal", "journal append failed",
+        {{"path", options_.journal_path}, {"record", record.verb}});
+    recorder_->Record("journal", detail, /*ok=*/false);
     return Status::Unavailable(StrFormat("cannot append to journal '%s'",
                                          options_.journal_path.c_str()));
   }
+  JournalAppendLatency().Observe(static_cast<double>(NowNs() - start_ns) /
+                                 1000.0);
+  JournalBytes().Increment(line.size() + 1);
+  recorder_->Record("journal", detail);
   return Status::Ok();
 }
 

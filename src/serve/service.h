@@ -8,8 +8,18 @@
 //   REBALANCE  bounded-migration global re-placement
 //   STATUS     deterministic state dump (per-job predicted speedup/slowdown,
 //              bottleneck resource, placements)
-//   METRICS    obs registry dump
+//   METRICS    obs registry dump (format=expo selects the line-oriented
+//              machine-readable exposition format)
+//   TELEMETRY  per-job rack telemetry: predicted slowdown at admit, current
+//              prediction, re-placements, co-runner event deltas
+//   RECORDER   flight-recorder dump: the most recent requests and journal
+//              appends with timestamps and outcomes
 //   SHUTDOWN   acknowledge and stop the serving loop
+//
+// Telemetry: every request is counted and timed (serve.<verb>.latency_us
+// histograms), journal appends are timed and sized, error and rollback
+// paths log through obs::EventLog, and a per-service obs::FlightRecorder
+// retains the recent request/journal history for the RECORDER verb.
 //
 // Every mutation is journaled (append-only, wire request framing) so a
 // restarted daemon replays its exact state: admissions embed the workload
@@ -32,9 +42,11 @@
 #define PANDIA_SRC_SERVE_SERVICE_H_
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/obs/flight_recorder.h"
 #include "src/rack/rack.h"
 #include "src/serialize/wire.h"
 #include "src/util/mutex.h"
@@ -103,6 +115,10 @@ class PlacementService {
     return rack_;
   }
 
+  // The service's flight recorder (internally synchronized; RECORDER serves
+  // from it, tests inspect it directly).
+  const obs::FlightRecorder& recorder() const { return *recorder_; }
+
  private:
   PlacementService(std::vector<rack::RackMachine> machines, ServiceOptions options);
 
@@ -112,7 +128,11 @@ class PlacementService {
   wire::Response HandleRebalance(const wire::Request& request)
       PANDIA_REQUIRES(mu_);
   wire::Response HandleStatus() const PANDIA_REQUIRES(mu_);
-  wire::Response HandleMetrics() const PANDIA_REQUIRES(mu_);
+  wire::Response HandleMetrics(const wire::Request& request) const
+      PANDIA_REQUIRES(mu_);
+  wire::Response HandleTelemetry() const PANDIA_REQUIRES(mu_);
+  wire::Response HandleRecorder(const wire::Request& request) const
+      PANDIA_REQUIRES(mu_);
 
   // Re-places machine residents whose best re-placement beats the margin;
   // appends one journal record and one `moved =` payload line per move.
@@ -132,6 +152,8 @@ class PlacementService {
   rack::Rack rack_ PANDIA_GUARDED_BY(mu_);
   std::FILE* journal_ PANDIA_GUARDED_BY(mu_) = nullptr;  // null: disabled
   bool shutdown_ PANDIA_GUARDED_BY(mu_) = false;
+  // Internally synchronized; heap-owned so the service stays movable.
+  std::unique_ptr<obs::FlightRecorder> recorder_;
 };
 
 }  // namespace serve

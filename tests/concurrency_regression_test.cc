@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "src/eval/pipeline.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/predictor/prediction_cache.h"
 #include "src/serialize/serialize.h"
@@ -102,6 +104,72 @@ TEST(ConcurrencyRegression, MetricsRegistryConcurrentRegisterAndSnapshot) {
   }
   EXPECT_EQ(shared, static_cast<uint64_t>(kThreads) * kIterations);
   EXPECT_EQ(per_thread_counters, kThreads);
+}
+
+TEST(ConcurrencyRegression, FlightRecorderConcurrentWritersAndDumpers) {
+  obs::FlightRecorder recorder(64);
+  constexpr int kThreads = 8;
+  constexpr int kEvents = 500;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kEvents; ++i) {
+        recorder.Record("request",
+                        StrFormat("thread=%d i=%d", t, i), i % 7 != 0);
+        if (i % 32 == 0) {
+          // Dumpers racing the writers: every dump must be internally
+          // ordered even while slots are being overwritten.
+          const std::vector<obs::FlightEvent> events = recorder.Dump();
+          for (size_t k = 1; k < events.size(); ++k) {
+            EXPECT_GT(events[k].seq, events[k - 1].seq);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(recorder.recorded(), static_cast<uint64_t>(kThreads) * kEvents);
+  EXPECT_EQ(recorder.dropped(),
+            static_cast<uint64_t>(kThreads) * kEvents - recorder.capacity());
+  const std::vector<obs::FlightEvent> events = recorder.Dump();
+  EXPECT_EQ(events.size(), recorder.capacity());
+  for (size_t k = 1; k < events.size(); ++k) {
+    EXPECT_EQ(events[k].seq, events[k - 1].seq + 1);
+  }
+}
+
+TEST(ConcurrencyRegression, EventLogConcurrentSitesAndLevelChanges) {
+  obs::EventLog log;
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  log.SetStream(sink);
+  log.SetRateLimit(4, int64_t{1} << 60);
+  constexpr int kThreads = 8;
+  constexpr int kEvents = 200;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      const std::string site = StrFormat("stress.site_%d", t % 3);
+      for (int i = 0; i < kEvents; ++i) {
+        log.Log(obs::LogLevel::kWarn, site, "stress", {{"i", i}});
+        if (i % 64 == 0) {
+          // Writers racing a level flip: the fast path is a relaxed load.
+          log.SetMinLevel(i % 128 == 0 ? obs::LogLevel::kInfo
+                                       : obs::LogLevel::kWarn);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // 3 sites x 4 events pass the limiter; the rest are suppressed.
+  EXPECT_EQ(log.suppressed(),
+            static_cast<uint64_t>(kThreads) * kEvents - 3 * 4);
+  log.SetStream(nullptr);
+  std::fclose(sink);
 }
 
 TEST(ConcurrencyRegression, PredictionCacheConcurrentInsertLookupInvalidate) {

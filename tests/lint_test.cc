@@ -23,12 +23,13 @@ std::vector<std::string> RuleNames(const std::vector<Finding>& findings) {
 
 TEST(LintRules, RegistryListsEveryRule) {
   const std::vector<RuleInfo>& rules = Rules();
-  ASSERT_EQ(rules.size(), 5u);
+  ASSERT_EQ(rules.size(), 6u);
   EXPECT_EQ(rules[0].name, "naked-mutex");
   EXPECT_EQ(rules[1].name, "no-abort");
   EXPECT_EQ(rules[2].name, "unseeded-rand");
   EXPECT_EQ(rules[3].name, "unordered-wire");
   EXPECT_EQ(rules[4].name, "todo-owner");
+  EXPECT_EQ(rules[5].name, "metric-name");
   for (const RuleInfo& rule : rules) EXPECT_FALSE(rule.summary.empty());
 }
 
@@ -212,6 +213,57 @@ TEST(TodoOwner, AppliesToTestsAndToolsToo) {
 
 // --- allow() suppression -------------------------------------------------
 
+// --- metric-name ---------------------------------------------------------
+
+TEST(MetricName, AcceptsDottedLowercaseNames) {
+  EXPECT_TRUE(LintFile("src/foo/foo.cc",
+                       "registry.counter(\"serve.admit.requests\");\n"
+                       "registry.gauge(\"serve.jobs\");\n"
+                       "registry.histogram(\"serve.latency_us\", bounds);\n")
+                  .empty());
+}
+
+TEST(MetricName, RejectsUndottedUppercaseAndMalformedSegments) {
+  const std::vector<Finding> findings =
+      LintFile("src/foo/foo.cc",
+               "registry.counter(\"requests\");\n"     // no dot
+               "registry.gauge(\"Serve.jobs\");\n"     // uppercase
+               "registry.counter(\"serve..x\");\n"     // empty segment
+               "registry.histogram(\"serve.9ths\", bounds);\n");  // digit lead
+  ASSERT_EQ(findings.size(), 4u);
+  for (size_t i = 0; i < findings.size(); ++i) {
+    EXPECT_EQ(findings[i].rule, "metric-name");
+    EXPECT_EQ(findings[i].line, static_cast<int>(i) + 1);
+  }
+}
+
+TEST(MetricName, SkipsComputedAndConcatenatedNames) {
+  // Only a complete single-literal first argument is checkable; computed
+  // names are the caller's responsibility.
+  EXPECT_TRUE(LintFile("src/foo/foo.cc",
+                       "registry.counter(prefix + \".requests\");\n"
+                       "registry.counter(MakeName());\n"
+                       "registry.counter(\"serve.\" + verb);\n")
+                  .empty());
+}
+
+TEST(MetricName, IgnoresNonInstrumentIdentifiers) {
+  // Other functions that happen to contain the words, and member accesses
+  // without a call, must not fire.
+  EXPECT_TRUE(LintFile("src/foo/foo.cc",
+                       "int counter = 3;\n"
+                       "program_counter(\"NotAMetric\");\n"
+                       "recount.histogram_bins = 4;\n")
+                  .empty());
+}
+
+TEST(MetricName, AppliesToTestsAndToolsToo) {
+  const std::vector<Finding> findings = LintFile(
+      "tools/pandia_top.cc", "registry.counter(\"BadName\");\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "metric-name");
+}
+
 TEST(Allow, SuppressesTheNamedRuleOnItsLine) {
   EXPECT_TRUE(LintFile("src/foo/foo.cc",
                        "std::mutex raw_;  "
@@ -257,6 +309,8 @@ TEST(Allow, EveryRegisteredRuleIsSuppressible) {
       {"src/serve/x.cc",
        "std::unordered_map<int, int> m;  // pandia-lint: allow(unordered-wire)\n"},
       {"src/foo/foo.cc", "// TODO revisit  pandia-lint: allow(todo-owner)\n"},
+      {"src/foo/foo.cc",
+       "registry.counter(\"Bad\");  // pandia-lint: allow(metric-name)\n"},
   };
   for (const Fixture& fixture : fixtures) {
     EXPECT_TRUE(LintFile(fixture.path, fixture.line).empty())

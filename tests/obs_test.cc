@@ -4,11 +4,15 @@
 // trace hook.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "src/machine_desc/generator.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/json_lint.h"
+#include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/prediction_trace.h"
 #include "src/obs/trace.h"
@@ -30,7 +34,7 @@ TEST(ObsMetrics, CountersFromManyThreadsAreExact) {
     threads.emplace_back([&registry, i] {
       // Every thread hammers a shared counter and its own private one;
       // registration itself races too (all threads resolve "shared").
-      obs::Counter& shared = registry.counter("shared");
+      obs::Counter& shared = registry.counter("shared");  // pandia-lint: allow(metric-name)
       obs::Counter& own =
           registry.counter("own." + std::to_string(i));
       for (int k = 0; k < kIncrements; ++k) {
@@ -42,7 +46,7 @@ TEST(ObsMetrics, CountersFromManyThreadsAreExact) {
   for (std::thread& t : threads) {
     t.join();
   }
-  EXPECT_EQ(registry.counter("shared").value(),
+  EXPECT_EQ(registry.counter("shared").value(),  // pandia-lint: allow(metric-name)
             static_cast<uint64_t>(kThreads) * kIncrements);
   for (int i = 0; i < kThreads; ++i) {
     EXPECT_EQ(registry.counter("own." + std::to_string(i)).value(),
@@ -52,7 +56,8 @@ TEST(ObsMetrics, CountersFromManyThreadsAreExact) {
 
 TEST(ObsMetrics, HistogramConcurrentObserveKeepsTotalCount) {
   obs::MetricsRegistry registry;
-  obs::Histogram& histogram = registry.histogram("h", {1.0, 10.0, 100.0});
+  obs::Histogram& histogram =
+      registry.histogram("h", {1.0, 10.0, 100.0});  // pandia-lint: allow(metric-name)
   constexpr int kThreads = 8;
   constexpr int kObservations = 5000;
   std::vector<std::thread> threads;
@@ -76,7 +81,8 @@ TEST(ObsMetrics, HistogramConcurrentObserveKeepsTotalCount) {
 
 TEST(ObsMetrics, HistogramBucketEdges) {
   obs::MetricsRegistry registry;
-  obs::Histogram& histogram = registry.histogram("edges", {1.0, 2.0, 5.0});
+  obs::Histogram& histogram =
+      registry.histogram("edges", {1.0, 2.0, 5.0});  // pandia-lint: allow(metric-name)
   // Upper bounds are inclusive (Prometheus "le" semantics).
   histogram.Observe(0.5);   // -> le=1
   histogram.Observe(1.0);   // -> le=1 (on the edge)
@@ -97,9 +103,9 @@ TEST(ObsMetrics, HistogramBucketEdges) {
 
 TEST(ObsMetrics, SnapshotResetAndRender) {
   obs::MetricsRegistry registry;
-  registry.counter("c").Increment(3);
-  registry.gauge("g").Set(2.5);
-  registry.histogram("h", {1.0}).Observe(0.5);
+  registry.counter("c").Increment(3);           // pandia-lint: allow(metric-name)
+  registry.gauge("g").Set(2.5);                 // pandia-lint: allow(metric-name)
+  registry.histogram("h", {1.0}).Observe(0.5);  // pandia-lint: allow(metric-name)
   obs::MetricsSnapshot snapshot = registry.Snapshot();
   ASSERT_EQ(snapshot.counters.size(), 1u);
   EXPECT_EQ(snapshot.counters[0].name, "c");
@@ -113,12 +119,222 @@ TEST(ObsMetrics, SnapshotResetAndRender) {
   EXPECT_EQ(obs::RenderTable(snapshot).num_rows(), 1u + 1u + 2u + 3u);
 
   // Reset zeroes values but keeps instrument identity.
-  obs::Counter& c = registry.counter("c");
+  obs::Counter& c = registry.counter("c");  // pandia-lint: allow(metric-name)
   registry.Reset();
   EXPECT_EQ(c.value(), 0u);
-  EXPECT_EQ(&c, &registry.counter("c"));
-  EXPECT_DOUBLE_EQ(registry.gauge("g").value(), 0.0);
-  EXPECT_EQ(registry.histogram("h", {1.0}).count(), 0u);
+  EXPECT_EQ(&c, &registry.counter("c"));  // pandia-lint: allow(metric-name)
+  EXPECT_DOUBLE_EQ(registry.gauge("g").value(), 0.0);       // pandia-lint: allow(metric-name)
+  EXPECT_EQ(registry.histogram("h", {1.0}).count(), 0u);  // pandia-lint: allow(metric-name)
+}
+
+// --- Histogram percentiles ---
+
+TEST(ObsPercentile, EmptyHistogramYieldsZero) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& histogram = registry.histogram("lat.us", {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(histogram.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(1.0), 0.0);
+}
+
+TEST(ObsPercentile, SingleBucketInterpolatesFromZero) {
+  // One observation in the first bucket: any quantile asks for rank 1,
+  // which interpolates across the full [0, 10] bucket width.
+  const std::vector<double> bounds = {10.0};
+  const std::vector<uint64_t> buckets = {1, 0};
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(bounds, buckets, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(bounds, buckets, 0.5), 10.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(bounds, buckets, 1.0), 10.0);
+}
+
+TEST(ObsPercentile, LinearInterpolationWithinBucket) {
+  // 10 observations <= 10, 10 more in (10, 20].
+  const std::vector<double> bounds = {10.0, 20.0};
+  const std::vector<uint64_t> buckets = {10, 10, 0};
+  // Rank 10 is the last observation of the first bucket: its upper edge.
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(bounds, buckets, 0.5), 10.0);
+  // Rank 15 sits halfway through the second bucket.
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(bounds, buckets, 0.75), 15.0);
+  // Rank 1 sits a tenth of the way through the first bucket.
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(bounds, buckets, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(bounds, buckets, 1.0), 20.0);
+}
+
+TEST(ObsPercentile, OverflowBucketReturnsLastFiniteBound) {
+  // The +inf bucket has no upper edge to interpolate toward; the best
+  // defensible answer is the largest finite bound.
+  const std::vector<double> bounds = {10.0, 20.0};
+  const std::vector<uint64_t> buckets = {0, 0, 5};
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(bounds, buckets, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(bounds, buckets, 0.99), 20.0);
+}
+
+TEST(ObsPercentile, QuantileIsClampedToUnitInterval) {
+  const std::vector<double> bounds = {10.0, 20.0};
+  const std::vector<uint64_t> buckets = {10, 10, 0};
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(bounds, buckets, -3.0),
+                   obs::HistogramPercentile(bounds, buckets, 0.0));
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(bounds, buckets, 7.0),
+                   obs::HistogramPercentile(bounds, buckets, 1.0));
+}
+
+TEST(ObsPercentile, MemberPercentileMatchesObservations) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& histogram =
+      registry.histogram("lat.us", obs::ExponentialBounds(1.0, 2.0, 10));
+  for (int i = 0; i < 100; ++i) {
+    histogram.Observe(static_cast<double>(i % 50));
+  }
+  const double p50 = histogram.Percentile(0.5);
+  const double p99 = histogram.Percentile(0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_GE(p99, p50);
+  EXPECT_LE(p99, 512.0);  // largest bound of ExponentialBounds(1, 2, 10)
+}
+
+TEST(ObsPercentile, ExponentialBoundsAreGeometric) {
+  const std::vector<double> bounds = obs::ExponentialBounds(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 2.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 4.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+}
+
+// --- EventLog ---
+
+TEST(ObsLog, FormatLogLineEscapesFieldValues) {
+  const std::string line = obs::FormatLogLine(
+      obs::LogLevel::kWarn, "serve.journal", "append failed",
+      {{"path", "/tmp/a b"}, {"errno", 28}});
+  EXPECT_EQ(line, "W serve.journal append failed path=/tmp/a\\sb errno=28");
+}
+
+TEST(ObsLog, LevelTagsAndThreshold) {
+  EXPECT_EQ(obs::LogLevelTag(obs::LogLevel::kDebug), 'D');
+  EXPECT_EQ(obs::LogLevelTag(obs::LogLevel::kInfo), 'I');
+  EXPECT_EQ(obs::LogLevelTag(obs::LogLevel::kWarn), 'W');
+  EXPECT_EQ(obs::LogLevelTag(obs::LogLevel::kError), 'E');
+
+  obs::EventLog log;
+  EXPECT_FALSE(log.Enabled(obs::LogLevel::kDebug));  // default min: Info
+  EXPECT_TRUE(log.Enabled(obs::LogLevel::kInfo));
+  log.SetMinLevel(obs::LogLevel::kError);
+  EXPECT_FALSE(log.Enabled(obs::LogLevel::kWarn));
+  EXPECT_TRUE(log.Enabled(obs::LogLevel::kError));
+  log.SetMinLevel(obs::LogLevel::kDebug);
+  EXPECT_TRUE(log.Enabled(obs::LogLevel::kDebug));
+}
+
+// Reads everything written to `file` so far.
+std::string DrainFile(std::FILE* file) {
+  std::fflush(file);
+  const long size = std::ftell(file);
+  std::rewind(file);
+  std::string content(static_cast<size_t>(size), '\0');
+  const size_t read = std::fread(content.data(), 1, content.size(), file);
+  content.resize(read);
+  return content;
+}
+
+TEST(ObsLog, PerSiteRateLimitSuppressesFloods) {
+  obs::EventLog log;
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  log.SetStream(sink);
+  // A window far longer than the test: the burst is all that gets through.
+  log.SetRateLimit(3, int64_t{1} << 60);
+  for (int i = 0; i < 10; ++i) {
+    log.Log(obs::LogLevel::kWarn, "hot.site", "boom", {{"i", i}});
+  }
+  // A different site has its own budget.
+  log.Log(obs::LogLevel::kWarn, "calm.site", "fine");
+  EXPECT_EQ(log.suppressed(), 7u);
+  const std::string content = DrainFile(sink);
+  size_t events = 0;
+  for (size_t at = content.find("hot.site"); at != std::string::npos;
+       at = content.find("hot.site", at + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, 3u);
+  EXPECT_NE(content.find("calm.site"), std::string::npos);
+  log.SetStream(nullptr);
+  std::fclose(sink);
+}
+
+TEST(ObsLog, DisabledLevelsWriteNothing) {
+  obs::EventLog log;
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  log.SetStream(sink);
+  log.Log(obs::LogLevel::kDebug, "quiet.site", "below threshold");
+  EXPECT_TRUE(DrainFile(sink).empty());
+  log.SetStream(nullptr);
+  std::fclose(sink);
+}
+
+// --- FlightRecorder ---
+
+TEST(ObsFlightRecorder, AssignsSequentialSeqAndDumpsOldestFirst) {
+  obs::FlightRecorder recorder(4);
+  recorder.Record("request", "ADMIT name=a");
+  recorder.Record("journal", "ADMITTED name=a");
+  recorder.Record("request", "DEPART name=ghost", /*ok=*/false);
+  EXPECT_EQ(recorder.recorded(), 3u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  const std::vector<obs::FlightEvent> events = recorder.Dump();
+  ASSERT_EQ(events.size(), 3u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i + 1);
+    if (i > 0) {
+      EXPECT_GE(events[i].timestamp_ns, events[i - 1].timestamp_ns);
+    }
+  }
+  EXPECT_EQ(events[0].kind, "request");
+  EXPECT_EQ(events[1].kind, "journal");
+  EXPECT_TRUE(events[1].ok);
+  EXPECT_FALSE(events[2].ok);
+}
+
+TEST(ObsFlightRecorder, WrapsAndCountsDropped) {
+  obs::FlightRecorder recorder(4);
+  for (int i = 0; i < 6; ++i) {
+    recorder.Record("request", "r" + std::to_string(i));
+  }
+  EXPECT_EQ(recorder.recorded(), 6u);
+  EXPECT_EQ(recorder.dropped(), 2u);
+  const std::vector<obs::FlightEvent> events = recorder.Dump();
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i + 3);  // seqs 1 and 2 were overwritten
+    EXPECT_EQ(events[i].detail, "r" + std::to_string(i + 2));
+  }
+}
+
+TEST(ObsFlightRecorder, ClearForgetsEverything) {
+  obs::FlightRecorder recorder(2);
+  recorder.Record("request", "x");
+  recorder.Clear();
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_TRUE(recorder.Dump().empty());
+  recorder.Record("request", "y");
+  ASSERT_EQ(recorder.Dump().size(), 1u);
+  EXPECT_EQ(recorder.Dump()[0].seq, 1u);
+}
+
+TEST(ObsFlightRecorder, FormatRendersRelativeTimestampAndOutcome) {
+  obs::FlightEvent event;
+  event.seq = 2;
+  event.timestamp_ns = 1500000000;
+  event.kind = "journal";
+  event.detail = "ADMITTED name=a";
+  event.ok = false;
+  EXPECT_EQ(obs::FormatFlightEvent(event, 0),
+            "seq=2 t=1.500000 journal ADMITTED name=a err");
+  event.ok = true;
+  EXPECT_EQ(obs::FormatFlightEvent(event, 500000000),
+            "seq=2 t=1.000000 journal ADMITTED name=a ok");
 }
 
 // --- Tracer ---

@@ -262,6 +262,95 @@ TEST(Rack, MoveRelocatesAcrossMachinesLikeDepartAndReadmit) {
   EXPECT_TRUE(rack.JobsOn(1)[0].placement == *placement);
 }
 
+TEST(Rack, TelemetryTracksAdmitSeqMovesAndCoEvents) {
+  Rack rack(TwoNodeRack());
+  ASSERT_TRUE(rack.Admit(MakeJob("EP", 4), Policy::kFirstFit).ok());
+  {
+    const Rack::TelemetrySnapshot snapshot = rack.Telemetry();
+    EXPECT_EQ(snapshot.mutation_seq, 1u);
+    ASSERT_EQ(snapshot.jobs.size(), 1u);
+    const Rack::JobTelemetry& job = snapshot.jobs[0];
+    EXPECT_EQ(job.name, "EP");
+    EXPECT_EQ(job.machine_index, 0);
+    EXPECT_EQ(job.threads, 4);
+    EXPECT_EQ(job.admit_seq, 1u);
+    EXPECT_EQ(job.moves, 0);
+    EXPECT_EQ(job.co_events, 0u);
+    EXPECT_GT(job.speedup_at_admit, 0.0);
+    EXPECT_NEAR(job.slowdown_at_admit, 1.0 / job.speedup_at_admit, 1e-9);
+    EXPECT_GT(job.current_speedup, 0.0);
+  }
+
+  // A second admission on the same machine is one co-event for EP.
+  ASSERT_TRUE(rack.Admit(MakeJob("MD", 4), Policy::kFirstFit).ok());
+  {
+    const Rack::TelemetrySnapshot snapshot = rack.Telemetry();
+    EXPECT_EQ(snapshot.mutation_seq, 2u);
+    ASSERT_EQ(snapshot.jobs.size(), 2u);
+    for (const Rack::JobTelemetry& job : snapshot.jobs) {
+      EXPECT_EQ(job.co_events, job.name == "EP" ? 1u : 0u) << job.name;
+    }
+  }
+
+  // Moving MD away churns machine 0 again and re-baselines MD on machine 1.
+  const MachineTopology& topo = X3().machine().topology();
+  const std::vector<SocketLoad> loads{{4, 0}, {0, 0}};
+  const std::optional<Placement> placement =
+      PlaceLoadsOnFreeCores(topo, loads, rack.FreeThreads(1));
+  ASSERT_TRUE(placement.has_value());
+  ASSERT_TRUE(rack.Move("MD", 1, *placement).ok());
+  const Rack::TelemetrySnapshot snapshot = rack.Telemetry();
+  EXPECT_EQ(snapshot.mutation_seq, 3u);
+  for (const Rack::JobTelemetry& job : snapshot.jobs) {
+    if (job.name == "MD") {
+      EXPECT_EQ(job.machine_index, 1);
+      EXPECT_EQ(job.moves, 1);
+      EXPECT_EQ(job.co_events, 0u);  // re-baselined at the move
+      EXPECT_EQ(job.admit_seq, 2u);  // admit_seq is the admission, not the move
+    } else {
+      EXPECT_EQ(job.moves, 0);
+      EXPECT_EQ(job.co_events, 2u);  // MD's admission and its departure-by-move
+    }
+  }
+}
+
+TEST(Rack, TelemetryAdmitPredictionIsReplayStable) {
+  // AdmitAt (journal replay) must reconstruct the same speedup-at-admit the
+  // policy scored during the original Admit, so telemetry survives restarts.
+  Rack original(TwoNodeRack());
+  const JobRequest job = MakeJob("EP", 4);
+  const StatusOr<Assignment> admitted = original.Admit(job, Policy::kBestSpeedup);
+  ASSERT_TRUE(admitted.ok());
+  ASSERT_TRUE(admitted->placement.has_value());
+
+  Rack replayed(TwoNodeRack());
+  ASSERT_TRUE(replayed
+                  .AdmitAt("EP", admitted->machine_index,
+                           job.descriptions.at("x3-2"), *admitted->placement)
+                  .ok());
+  const Rack::TelemetrySnapshot before = original.Telemetry();
+  const Rack::TelemetrySnapshot after = replayed.Telemetry();
+  ASSERT_EQ(before.jobs.size(), 1u);
+  ASSERT_EQ(after.jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(after.jobs[0].speedup_at_admit,
+                   before.jobs[0].speedup_at_admit);
+  EXPECT_GT(after.jobs[0].speedup_at_admit, 0.0);
+}
+
+TEST(Rack, ResetClearsTelemetry) {
+  Rack rack(TwoNodeRack());
+  ASSERT_TRUE(rack.Admit(MakeJob("EP", 4), Policy::kFirstFit).ok());
+  rack.Reset();
+  const Rack::TelemetrySnapshot snapshot = rack.Telemetry();
+  EXPECT_EQ(snapshot.mutation_seq, 0u);
+  EXPECT_TRUE(snapshot.jobs.empty());
+  // Post-reset admissions restart the sequence from 1.
+  ASSERT_TRUE(rack.Admit(MakeJob("MD", 2), Policy::kFirstFit).ok());
+  EXPECT_EQ(rack.Telemetry().mutation_seq, 1u);
+  ASSERT_EQ(rack.Telemetry().jobs.size(), 1u);
+  EXPECT_EQ(rack.Telemetry().jobs[0].admit_seq, 1u);
+}
+
 TEST(Rack, PredictMachineMatchesResidentOrder) {
   Rack rack(TwoNodeRack());
   ASSERT_TRUE(rack.Admit(MakeJob("EP", 4), Policy::kFirstFit).ok());

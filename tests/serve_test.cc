@@ -386,6 +386,137 @@ TEST(SocketTransport, SurvivesClientsThatHangUpBeforeTheResponse) {
   loop.join();
 }
 
+// --- serving telemetry (TELEMETRY / RECORDER / METRICS format=expo) ------
+
+TEST(PlacementService, TelemetryListsResidentJobsWithAdmitPrediction) {
+  PlacementService service = MustCreate(FourNodeRack(), ServiceOptions{});
+  ASSERT_TRUE(IsOkBlock(service.HandleLine(AdmitLine("web", "EP", 4))));
+  ASSERT_TRUE(IsOkBlock(service.HandleLine(AdmitLine("db", "MD", 2))));
+
+  const std::string telemetry = service.HandleLine("TELEMETRY");
+  ASSERT_TRUE(IsOkBlock(telemetry)) << telemetry;
+  EXPECT_NE(telemetry.find("jobs = 2"), std::string::npos);
+  EXPECT_NE(telemetry.find("job = db "), std::string::npos);
+  EXPECT_NE(telemetry.find("job = web "), std::string::npos);
+  EXPECT_NE(telemetry.find("speedup-at-admit="), std::string::npos);
+  EXPECT_NE(telemetry.find("slowdown-at-admit="), std::string::npos);
+  EXPECT_NE(telemetry.find("current-speedup="), std::string::npos);
+  EXPECT_NE(telemetry.find("degradation="), std::string::npos);
+  // The prediction at admit is a real number, not the 0.0 fallback.
+  EXPECT_EQ(telemetry.find("speedup-at-admit=0.000000"), std::string::npos);
+
+  // TELEMETRY is read-only and takes no parameters.
+  EXPECT_TRUE(IsErrBlock(service.HandleLine("TELEMETRY verbose=1")));
+
+  ASSERT_TRUE(IsOkBlock(service.HandleLine("DEPART name=web")));
+  const std::string after = service.HandleLine("TELEMETRY");
+  EXPECT_NE(after.find("jobs = 1"), std::string::npos);
+  EXPECT_EQ(after.find("job = web "), std::string::npos);
+}
+
+TEST(PlacementService, TelemetrySurvivesKillAndReplay) {
+  const std::string journal =
+      ::testing::TempDir() + "/pandia_telemetry_journal.wire";
+  std::remove(journal.c_str());
+  ServiceOptions options;
+  options.journal_path = journal;
+
+  std::optional<PlacementService> service(MustCreate(FourNodeRack(), options));
+  ASSERT_TRUE(IsOkBlock(service->HandleLine(AdmitLine("web", "EP", 4))));
+  ASSERT_TRUE(IsOkBlock(service->HandleLine(AdmitLine("db", "MD", 2))));
+  ASSERT_TRUE(IsOkBlock(service->HandleLine(AdmitLine("cache", "CG", 2))));
+  (void)service->HandleLine("REBALANCE max-migrations=2");
+  ASSERT_TRUE(IsOkBlock(service->HandleLine("DEPART name=db")));
+  const std::string before = service->HandleLine("TELEMETRY");
+  ASSERT_TRUE(IsOkBlock(before)) << before;
+  service.reset();  // the "kill"
+
+  std::optional<PlacementService> replayed(MustCreate(FourNodeRack(), options));
+  const std::string after = replayed->HandleLine("TELEMETRY");
+  // Replay reconstructs the full telemetry state — admit-time predictions,
+  // sequence numbers, and co-event counters — byte for byte.
+  EXPECT_EQ(after, before);
+  std::remove(journal.c_str());
+}
+
+TEST(PlacementService, MetricsExpoFormat) {
+  PlacementService service = MustCreate(FourNodeRack(), ServiceOptions{});
+  ASSERT_TRUE(IsOkBlock(service.HandleLine(AdmitLine("web", "EP", 4))));
+
+  const std::string expo = service.HandleLine("METRICS format=expo");
+  ASSERT_TRUE(IsOkBlock(expo)) << expo;
+  // Bare `name value` samples (the registry is process-global, so only
+  // presence is asserted, not exact counts) and histogram rows with
+  // cumulative le-buckets plus count and sum.
+  EXPECT_NE(expo.find("serve.admit.requests "), std::string::npos);
+  EXPECT_NE(expo.find("serve.admit.latency_us{le="), std::string::npos);
+  EXPECT_NE(expo.find("serve.admit.latency_us{le=+inf}"), std::string::npos);
+  EXPECT_NE(expo.find("serve.admit.latency_us.count "), std::string::npos);
+  EXPECT_NE(expo.find("serve.admit.latency_us.sum "), std::string::npos);
+  EXPECT_NE(expo.find("serve.jobs "), std::string::npos);
+  // The default table rendering is unchanged, and bad formats are errors.
+  const std::string table = service.HandleLine("METRICS");
+  ASSERT_TRUE(IsOkBlock(table)) << table;
+  EXPECT_NE(table.find("counter rack.admissions"), std::string::npos);
+  EXPECT_TRUE(IsErrBlock(service.HandleLine("METRICS format=xml")));
+  EXPECT_TRUE(IsErrBlock(service.HandleLine("METRICS verbose=1")));
+}
+
+// Pulls the "<VERB> name=<x>" journal-event sequence out of a RECORDER dump.
+std::vector<std::string> RecorderJournalEvents(const std::string& dump) {
+  std::vector<std::string> events;
+  for (size_t at = dump.find(" journal "); at != std::string::npos;
+       at = dump.find(" journal ", at + 1)) {
+    const size_t start = at + std::strlen(" journal ");
+    const size_t end = dump.find(" ok\n", start);
+    if (end != std::string::npos) {
+      events.push_back(dump.substr(start, end - start));
+    }
+  }
+  return events;
+}
+
+TEST(PlacementService, RecorderDumpMatchesJournal) {
+  const std::string journal =
+      ::testing::TempDir() + "/pandia_recorder_journal.wire";
+  std::remove(journal.c_str());
+  ServiceOptions options;
+  options.journal_path = journal;
+  PlacementService service = MustCreate(FourNodeRack(), options);
+  ASSERT_TRUE(IsOkBlock(service.HandleLine(AdmitLine("web", "EP", 4))));
+  ASSERT_TRUE(IsOkBlock(service.HandleLine(AdmitLine("db", "MD", 2))));
+  ASSERT_TRUE(IsOkBlock(service.HandleLine("DEPART name=web")));
+
+  const std::string dump = service.HandleLine("RECORDER");
+  ASSERT_TRUE(IsOkBlock(dump)) << dump;
+  EXPECT_NE(dump.find("capacity = 256"), std::string::npos);
+  EXPECT_NE(dump.find("recorded = "), std::string::npos);
+  EXPECT_NE(dump.find("dropped = 0"), std::string::npos);
+  EXPECT_TRUE(IsErrBlock(service.HandleLine("RECORDER clear=1")));
+
+  // The flight recorder's journal events mirror the journal file: same
+  // records, same order.
+  const std::vector<std::string> recorded = RecorderJournalEvents(dump);
+  ASSERT_EQ(recorded.size(), 3u) << dump;
+  EXPECT_EQ(recorded[0], "ADMITTED name=web");
+  EXPECT_EQ(recorded[1], "ADMITTED name=db");
+  EXPECT_EQ(recorded[2], "DEPARTED name=web");
+  const StatusOr<std::string> journal_text = ReadTextFile(journal);
+  ASSERT_TRUE(journal_text.ok());
+  size_t cursor = 0;
+  for (const std::string& event : recorded) {
+    const size_t at = journal_text->find(event, cursor);
+    ASSERT_NE(at, std::string::npos)
+        << "journal is missing '" << event << "' after offset " << cursor;
+    cursor = at + event.size();
+  }
+
+  // A request-class event exists for every verb handled so far.
+  EXPECT_NE(dump.find("request ADMIT name=web"), std::string::npos);
+  EXPECT_NE(dump.find("request DEPART name=web"), std::string::npos);
+  std::remove(journal.c_str());
+}
+
 TEST(PlacementService, RejectsCorruptJournal) {
   const std::string journal = ::testing::TempDir() + "/pandia_corrupt_journal.wire";
   ASSERT_TRUE(WriteTextFile(journal, "not a journal\n").ok());

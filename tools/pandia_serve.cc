@@ -43,7 +43,7 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --machine NAME=SPEC [--machine NAME=SPEC ...] "
                "[--policy=P] [--journal=FILE] [--socket=PATH] [--jobs=N] "
-               "[--trace-out=FILE] [--metrics]\n"
+               "[--trace-out=FILE] [--metrics] [--metrics-out=FILE]\n"
                "  SPEC: a machine-description file or a simulated machine "
                "(x5-2, x4-2, x3-2, x2-4)\n",
                argv0);

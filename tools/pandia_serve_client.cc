@@ -1,12 +1,17 @@
 // pandia-serve-client: one-shot client for a running pandia_serve daemon.
 //
-//   pandia_serve_client --socket=PATH [request ...]
+//   pandia_serve_client --socket=PATH [--admit=NAME:THREADS:TYPE:FILE ...]
+//                       [request ...]
 //
 // Each positional argument is one wire-v1 request line sent verbatim
-// (quote it: 'ADMIT name=web threads=4 ...'). Without positional arguments
-// the request lines are read from stdin until EOF. All responses are
-// printed to stdout exactly as the daemon framed them; the exit code is 0
-// only when every response block reports ok.
+// (quote it: 'ADMIT name=web threads=4 ...'). --admit builds an ADMIT
+// request from a stored workload-description file (as written by
+// pandia_profile), escaping the document for the wire — the shell-friendly
+// way to admit a job, since description text cannot be quoted by hand.
+// Without positional arguments or --admit the request lines are read from
+// stdin until EOF. All responses are printed to stdout exactly as the
+// daemon framed them; the exit code is 0 only when every response block
+// reports ok.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -15,6 +20,43 @@
 #include "src/pandia.h"
 #include "tools/tool_common.h"
 
+namespace {
+
+// NAME:THREADS:TYPE:FILE -> "ADMIT name=... threads=... desc.TYPE=<doc>".
+pandia::StatusOr<std::string> BuildAdmit(const std::string& spec) {
+  using pandia::Status;
+  std::vector<std::string> parts;
+  size_t start = 0;
+  // FILE may itself contain ':' (rare, but legal in paths): split on the
+  // first three separators only.
+  for (int i = 0; i < 3; ++i) {
+    const size_t colon = spec.find(':', start);
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument(
+          "--admit needs NAME:THREADS:TYPE:FILE, got '" + spec + "'");
+    }
+    parts.push_back(spec.substr(start, colon - start));
+    start = colon + 1;
+  }
+  parts.push_back(spec.substr(start));
+  for (const std::string& part : parts) {
+    if (part.empty()) {
+      return Status::InvalidArgument(
+          "--admit needs NAME:THREADS:TYPE:FILE, got '" + spec + "'");
+    }
+  }
+  const pandia::StatusOr<std::string> text = pandia::ReadTextFile(parts[3]);
+  if (!text.ok()) {
+    return text.status();
+  }
+  return pandia::StrFormat("ADMIT name=%s threads=%s desc.%s=%s",
+                           pandia::wire::EscapeValue(parts[0]).c_str(),
+                           parts[1].c_str(), parts[2].c_str(),
+                           pandia::wire::EscapeValue(*text).c_str());
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace pandia;
   std::string socket_path;
@@ -22,6 +64,12 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--socket=", 9) == 0) {
       socket_path = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--admit=", 8) == 0) {
+      StatusOr<std::string> request = BuildAdmit(argv[i] + 8);
+      if (!request.ok()) {
+        return tools::FailWith(request.status());
+      }
+      requests.push_back(*std::move(request));
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
       return 2;

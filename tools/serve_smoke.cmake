@@ -1,7 +1,8 @@
 # Smoke test driven by ctest (see tools/CMakeLists.txt): run the
 # pandia_serve daemon on a two-machine simulated rack, feed it a request
-# script over stdin (valid STATUS/METRICS, a malformed verb, a DEPART for a
-# job that does not exist, then SHUTDOWN), and assert the daemon answers
+# script over stdin (valid STATUS/METRICS plus the telemetry verbs —
+# METRICS format=expo, TELEMETRY, RECORDER — a malformed verb, a DEPART for
+# a job that does not exist, then SHUTDOWN), and assert the daemon answers
 # every request with a structured response block and exits cleanly — bad
 # requests must never take the process down. A second run against the same
 # journal verifies restart replay keeps STATUS identical.
@@ -14,7 +15,7 @@
 
 file(MAKE_DIRECTORY ${WORK})
 file(REMOVE ${WORK}/journal.wire)
-set(requests "STATUS\nMETRICS\nFROBNICATE everything\nDEPART name=ghost\nnot a request line\nSTATUS\nSHUTDOWN\n")
+set(requests "STATUS\nMETRICS\nMETRICS format=expo\nTELEMETRY\nRECORDER\nFROBNICATE everything\nDEPART name=ghost\nnot a request line\nSTATUS\nSHUTDOWN\n")
 file(WRITE ${WORK}/requests.txt "${requests}")
 
 execute_process(
@@ -28,11 +29,30 @@ execute_process(
 if(NOT serve_result EQUAL 0)
   message(FATAL_ERROR "pandia_serve failed (${serve_result}):\n${serve_output}\n${serve_stderr}")
 endif()
-foreach(needle "ok STATUS" "ok METRICS" "ok SHUTDOWN" "machines = 2")
+foreach(needle "ok STATUS" "ok METRICS" "ok TELEMETRY" "ok RECORDER"
+        "machines = 2" "ok SHUTDOWN")
   if(NOT serve_output MATCHES "${needle}")
     message(FATAL_ERROR "pandia_serve output is missing '${needle}':\n${serve_output}")
   endif()
 endforeach()
+# The expo exposition: bare `name value` samples and `{le=...}` histogram
+# rows for the per-verb instruments (STATUS ran before the expo dump).
+if(NOT serve_output MATCHES "serve\\.status\\.requests 1")
+  message(FATAL_ERROR "expo format is missing 'serve.status.requests 1':\n${serve_output}")
+endif()
+if(NOT serve_output MATCHES "serve\\.status\\.latency_us{le=")
+  message(FATAL_ERROR "expo format is missing histogram rows for serve.status.latency_us:\n${serve_output}")
+endif()
+# An empty rack's TELEMETRY and the RECORDER preamble.
+if(NOT serve_output MATCHES "mutation-seq = 0")
+  message(FATAL_ERROR "TELEMETRY is missing 'mutation-seq = 0':\n${serve_output}")
+endif()
+if(NOT serve_output MATCHES "capacity = 256")
+  message(FATAL_ERROR "RECORDER is missing 'capacity = 256':\n${serve_output}")
+endif()
+if(NOT serve_output MATCHES "event = seq=1 ")
+  message(FATAL_ERROR "RECORDER dump is missing the first request event:\n${serve_output}")
+endif()
 if(NOT serve_output MATCHES "err invalid-argument")
   message(FATAL_ERROR "malformed requests did not produce err invalid-argument:\n${serve_output}")
 endif()

@@ -30,15 +30,26 @@ enum class FlagParse { kNoMatch, kOk, kError };
 //   --trace-out=FILE  write a Chrome trace_event JSON file (open via
 //                     chrome://tracing or https://ui.perfetto.dev)
 //   --metrics         print the metrics table and per-span wall-time summary
+//   --metrics-out=FILE  dump the final metrics snapshot as CSV on clean
+//                     shutdown (machine-readable companion to --metrics)
 struct CommonFlags {
   int jobs = 0;  // 0: defer to PANDIA_JOBS
   std::string trace_out;
+  std::string metrics_out;
   bool metrics = false;
 
   // Tries to consume one argv entry; prints to stderr on kError.
   FlagParse Match(const char* arg) {
     if (std::strncmp(arg, "--trace-out=", 12) == 0) {
       trace_out = arg + 12;
+      return FlagParse::kOk;
+    }
+    if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      metrics_out = arg + 14;
+      if (metrics_out.empty()) {
+        std::fprintf(stderr, "error: --metrics-out needs a file path\n");
+        return FlagParse::kError;
+      }
       return FlagParse::kOk;
     }
     if (std::strcmp(arg, "--metrics") == 0) {
@@ -80,6 +91,20 @@ struct CommonFlags {
       }
       std::fprintf(stderr, "wrote trace to %s (open via chrome://tracing)\n",
                    trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+      std::FILE* file = std::fopen(metrics_out.c_str(), "w");
+      if (file == nullptr) {
+        std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                     metrics_out.c_str());
+        return 1;
+      }
+      obs::RenderTable(obs::MetricsRegistry::Global().Snapshot()).PrintCsv(file);
+      if (std::fclose(file) != 0) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", metrics_out.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote metrics CSV to %s\n", metrics_out.c_str());
     }
     if (metrics) {
       std::fprintf(out, "\nmetrics:\n");
