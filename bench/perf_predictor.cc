@@ -25,7 +25,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <thread>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
 
 #include "src/eval/pipeline.h"
 #include "src/obs/log.h"
@@ -109,6 +114,55 @@ void BM_EnumerateCanonicalPlacements(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EnumerateCanonicalPlacements);
+
+// Sibling-ranking benchmarks: score every canonical 18-thread placement on
+// the x5-2, the shape of one optimizer ranking run. The warm variant chains
+// a SolverWarmStart seed through the (same-thread-count) siblings — the
+// incremental re-prediction path — while the cold variant solves each from
+// the Amdahl initial state. One benchmark iteration = one full pass.
+const std::vector<Placement>& SiblingPlacements() {
+  static const std::vector<Placement> siblings = [] {
+    const MachineTopology& topo = X5Pipeline().machine().topology();
+    std::vector<Placement> all = EnumerateCanonicalPlacements(topo);
+    std::erase_if(all, [&](const Placement& p) {
+      return p.TotalThreads() != topo.cores_per_socket;
+    });
+    return all;
+  }();
+  return siblings;
+}
+
+void BM_PredictSiblingsCold(benchmark::State& state) {
+  const std::vector<Placement>& siblings = SiblingPlacements();
+  for (auto _ : state) {
+    for (const Placement& placement : siblings) {
+      benchmark::DoNotOptimize(MdPredictor().Predict(placement));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(siblings.size()));
+}
+BENCHMARK(BM_PredictSiblingsCold);
+
+void BM_PredictSiblingsWarm(benchmark::State& state) {
+  static const Predictor warm_predictor = [] {
+    PredictionOptions options;
+    options.warm_start = true;
+    return X5Pipeline().MakePredictor(MdPredictor().workload(), options);
+  }();
+  const std::vector<Placement>& siblings = SiblingPlacements();
+  SolverWarmStart warm;
+  for (auto _ : state) {
+    for (const Placement& placement : siblings) {
+      benchmark::DoNotOptimize(warm_predictor.PredictWarm(placement, &warm));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(siblings.size()));
+  state.counters["seeded"] =
+      static_cast<double>(warm.seeded) / static_cast<double>(warm.seeded + warm.cold);
+}
+BENCHMARK(BM_PredictSiblingsWarm);
 
 // --parallel: serial vs parallel RankPlacements throughput on a fixed
 // sampled candidate set, with a ranking-equality check and a cache-warm
@@ -264,7 +318,37 @@ int TelemetryOverhead() {
   return 0;
 }
 
+// Pins the benchmark thread to one CPU so timings do not absorb migrations
+// and the recorded context names the core the numbers came from. Returns
+// the pinned CPU, or -1 when pinning is unsupported or fails (non-Linux,
+// restricted affinity mask).
+int PinBenchThread() {
+#ifdef __linux__
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0) {
+    return -1;
+  }
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (!CPU_ISSET(cpu, &allowed)) {
+      continue;
+    }
+    cpu_set_t pin;
+    CPU_ZERO(&pin);
+    CPU_SET(cpu, &pin);
+    if (sched_setaffinity(0, sizeof(pin), &pin) == 0) {
+      return cpu;
+    }
+  }
+#endif
+  return -1;
+}
+
 }  // namespace
+
+#ifndef PANDIA_BUILD_TYPE
+#define PANDIA_BUILD_TYPE "unknown"
+#endif
 
 int main(int argc, char** argv) {
   bool parallel = false;
@@ -285,6 +369,18 @@ int main(int argc, char** argv) {
   if (parallel) {
     return ParallelComparison(jobs);
   }
+  // google-benchmark's own num_cpus comes from its CPU-info probe, which
+  // reads 1 inside minimal containers; record the real hardware thread
+  // count, the pinned CPU, and this binary's build type so baseline JSONs
+  // are comparable (the regression checker keys on these).
+  const int pinned_cpu = PinBenchThread();
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  benchmark::AddCustomContext("pandia_hardware_threads",
+                              std::to_string(hw_threads > 0 ? hw_threads : 1));
+  benchmark::AddCustomContext(
+      "pandia_pinned_cpu",
+      pinned_cpu >= 0 ? std::to_string(pinned_cpu) : "unpinned");
+  benchmark::AddCustomContext("pandia_build_type", PANDIA_BUILD_TYPE);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;

@@ -1,7 +1,54 @@
+// Structure-of-arrays implementation of the iterative joint model (§5).
+//
+// The solver is the hottest code in the system — every optimizer ranking
+// and every rack admission calls it thousands of times — so it is written
+// against flat, contiguous arrays in a reusable SolverScratch arena (see
+// solver_scratch.h) rather than per-call std::vectors, and a solve of an
+// already-seen shape allocates nothing. Results are byte-identical to the
+// retained reference implementation (src/predictor/reference_solver.cc);
+// the equivalence property test (tests/solver_equivalence_test.cc) pins
+// this down across all four paper machines and an edge-case corpus.
+//
+// The demand layout exploits the model's structure: a thread's demand list
+// is a fixed-width per-core part (core issue, L1, L2, L3 port — rates
+// shared by the whole job) followed by a per-(job, socket) tail (L3
+// aggregate, DRAM, interconnect — identical for all of the job's threads
+// on that socket). Assembly therefore does per-thread work proportional to
+// 4, not to the full demand list, and the bottleneck scan reuses one
+// (max, argmax) per tail for every thread sharing it — exact, because the
+// reference's scan is a strict-> first-wins argmax and the tail entries
+// come last in its demand order.
+//
+// Further recompute-avoidance, all bit-exact against the reference:
+//   * contention factors load/caps are divided out inline and only when
+//     load > caps — a factor <= 1.0 can never win a scan whose running
+//     worst starts at 1.0;
+//   * thread-utilization factors are computed once during result assembly
+//     (and inline where the communication step reads them) — every
+//     in-loop recompute the reference performs is either overwritten
+//     unread or reproduces the same bits;
+//   * the communication step is skipped for single-socket jobs (all its
+//     terms are exactly +0.0) and the §5.4 clamp pass is skipped when no
+//     slowdown falls outside [1, ceiling] (every clamp is the identity);
+//   * capacities are memoized on their exact inputs (topology dims +
+//     capacity scalars + SMT mask), the per-solve sizing pass is skipped
+//     when the problem shape matches the previous solve, and only the
+//     previous solve's touched load entries are re-zeroed.
+//
+// The per-thread loops run job-major (hoisting each job's rates, masks and
+// model constants out of the inner loop) over __restrict-qualified raw
+// pointers — the scratch buffers never alias, but without the qualifier
+// every store to a double array forces the compiler to reload every other
+// double array.
 #include "src/predictor/co_schedule.h"
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 #include "src/obs/metrics.h"
 #include "src/obs/prediction_trace.h"
@@ -12,24 +59,67 @@
 namespace pandia {
 namespace {
 
-// Per-thread static state assembled from the requests.
-struct ModelThread {
-  int job = 0;
-  ThreadLocation location;
-  std::vector<std::pair<int, double>> demand;  // (resource, rate per utilization)
-  int remote_peers = 0;                        // same-job peers on other sockets
+SolverScratch& ThreadLocalScratch() {
+  static thread_local SolverScratch scratch;
+  return scratch;
+}
+
+// One static init-guard for the whole counter set instead of one per
+// counter — registry lookups happen once, per-call cost is the increments.
+struct SolverMetrics {
+  obs::Counter& predictions;
+  obs::Counter& total_iterations;
+  obs::Counter& converged;
+  obs::Counter& non_converged;
+  obs::Counter& warm_seeded;
+  obs::Histogram& iterations_histogram;
+
+  static SolverMetrics& Get() {
+    static SolverMetrics metrics{
+        obs::MetricsRegistry::Global().counter("predictor.predictions"),
+        obs::MetricsRegistry::Global().counter("predictor.iterations"),
+        obs::MetricsRegistry::Global().counter("predictor.converged"),
+        obs::MetricsRegistry::Global().counter("predictor.non_converged"),
+        obs::MetricsRegistry::Global().counter("predictor.warm_starts"),
+        obs::MetricsRegistry::Global().histogram(
+            "predictor.iterations_per_predict",
+            {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0})};
+    return metrics;
+  }
 };
 
-struct ModelJob {
-  const WorkloadDescription* workload = nullptr;
-  int first_thread = 0;
-  int num_threads = 0;
-  double amdahl = 1.0;
-  double f_initial = 1.0;
-  double os = 0.0;
-  double l = 1.0;
-  double b = 0.0;
-};
+// Largest relative move max_t |s[t] - p[t]| / s[t]; p == nullptr means the
+// all-ones initial state of the first iteration. Each element's subtract,
+// |.| (sign-bit clear), and divide are the same IEEE operations as the
+// scalar loop's std::fabs(s - p) / s, and reordering the max reduction
+// cannot change its value: the merge is pure selection, and the NaN-skip
+// semantics match (std::max(worst, q) keeps worst when q is NaN; so does
+// _mm_max_pd(q, acc), which returns acc when the comparison is unordered).
+inline double MaxRelativeDelta(const double* __restrict s,
+                               const double* __restrict p, int n) {
+  double worst = 0.0;
+  int t = 0;
+#if defined(__SSE2__)
+  __m128d acc = _mm_setzero_pd();
+  const __m128d abs_mask =
+      _mm_castsi128_pd(_mm_set1_epi64x(0x7fffffffffffffffLL));
+  const __m128d ones = _mm_set1_pd(1.0);
+  for (; t + 2 <= n; t += 2) {
+    const __m128d sv = _mm_loadu_pd(s + t);
+    const __m128d pv = p != nullptr ? _mm_loadu_pd(p + t) : ones;
+    const __m128d q = _mm_div_pd(_mm_and_pd(_mm_sub_pd(sv, pv), abs_mask), sv);
+    acc = _mm_max_pd(q, acc);
+  }
+  alignas(16) double lanes[2];
+  _mm_store_pd(lanes, acc);
+  worst = std::max(lanes[1], std::max(worst, lanes[0]));
+#endif
+  for (; t < n; ++t) {
+    const double pv = p != nullptr ? p[t] : 1.0;
+    worst = std::max(worst, std::fabs(s[t] - pv) / s[t]);
+  }
+  return worst;
+}
 
 }  // namespace
 
@@ -39,213 +129,660 @@ CoSchedulePredictor::CoSchedulePredictor(MachineDescription machine,
 
 CoSchedulePrediction CoSchedulePredictor::Predict(
     std::span<const CoScheduleRequest> requests) const {
+  return PredictWithScratch(requests, ThreadLocalScratch(), nullptr);
+}
+
+CoSchedulePrediction CoSchedulePredictor::Predict(
+    std::span<const CoScheduleRequest> requests, SolverWarmStart* warm) const {
+  return PredictWithScratch(requests, ThreadLocalScratch(), warm);
+}
+
+Prediction CoSchedulePredictor::PredictOne(const WorkloadDescription& workload,
+                                           const Placement& placement,
+                                           SolverWarmStart* warm) const {
+  SolverScratch& s = ThreadLocalScratch();
+  const SolverJobRef job{&workload, &placement};
+  const SolveOutcome outcome = Solve(std::span<const SolverJobRef>(&job, 1), s, warm);
+  Prediction prediction;
+  AssembleJob(0, s, outcome, workload.t1, &prediction);
+  prediction.resource_load.assign(s.load.begin(), s.load.end());
+  return prediction;
+}
+
+CoSchedulePrediction CoSchedulePredictor::PredictWithScratch(
+    std::span<const CoScheduleRequest> requests, SolverScratch& s,
+    SolverWarmStart* warm) const {
   PANDIA_CHECK(!requests.empty());
-  const obs::TraceSpan predict_span("predict",
-                                    static_cast<int64_t>(requests.size()));
+  const size_t num_jobs = requests.size();
+  s.Size(s.job_refs, num_jobs);
+  for (size_t r = 0; r < num_jobs; ++r) {
+    s.job_refs[r] = SolverJobRef{requests[r].workload, &requests[r].placement};
+  }
+  const SolveOutcome outcome =
+      Solve(std::span<const SolverJobRef>(s.job_refs.data(), num_jobs), s, warm);
+
+  CoSchedulePrediction result;
+  result.resource_load.assign(s.load.begin(), s.load.end());
+  result.jobs.resize(num_jobs);
+  for (size_t j = 0; j < num_jobs; ++j) {
+    AssembleJob(j, s, outcome, requests[j].workload->t1, &result.jobs[j]);
+    result.jobs[j].resource_load = result.resource_load;
+  }
+  return result;
+}
+
+CoSchedulePredictor::SolveOutcome CoSchedulePredictor::Solve(
+    std::span<const SolverJobRef> jobs, SolverScratch& s,
+    SolverWarmStart* warm) const {
+  PANDIA_CHECK(!jobs.empty());
+  const obs::TraceSpan predict_span("predict", static_cast<int64_t>(jobs.size()));
   obs::PredictionTrace* trace = options_.common.trace;
   if (trace != nullptr) {
     trace->Clear();
   }
   const MachineTopology& topo = machine_.topo;
+  const int num_cores = topo.NumCores();
+  const int num_sockets = topo.num_sockets;
+  const int cores_per_socket = topo.cores_per_socket;
+  const size_t num_jobs = jobs.size();
+  const size_t num_resources = static_cast<size_t>(index_.Count());
 
-  // --- Assemble jobs and threads ---
-  std::vector<ModelJob> jobs;
-  std::vector<ModelThread> threads;
-  std::vector<uint8_t> combined_per_core(static_cast<size_t>(topo.NumCores()), 0);
-  for (const CoScheduleRequest& request : requests) {
-    PANDIA_CHECK(request.workload != nullptr);
-    PANDIA_CHECK(request.workload->t1 > 0.0);
-    const MachineTopology& placement_topo = request.placement.topology();
+  // --- Assemble jobs and threads into the scratch arena's SoA layout ---
+  int n_total = 0;
+  for (const SolverJobRef& job : jobs) {
+    PANDIA_CHECK(job.workload != nullptr);
+    PANDIA_CHECK(job.workload->t1 > 0.0);
+    const MachineTopology& placement_topo = job.placement->topology();
     PANDIA_CHECK_MSG(placement_topo.num_sockets == topo.num_sockets &&
                          placement_topo.cores_per_socket == topo.cores_per_socket &&
                          placement_topo.threads_per_core == topo.threads_per_core,
                      "placement topology does not match machine description");
-    for (int c = 0; c < topo.NumCores(); ++c) {
-      combined_per_core[c] =
-          static_cast<uint8_t>(combined_per_core[c] + request.placement.ThreadsOnCore(c));
+    n_total += job.placement->TotalThreads();
+  }
+
+  // Sizing pass — skipped entirely when the problem shape matches the
+  // previous solve (the steady state for rankings and benchmarks).
+  const size_t n = static_cast<size_t>(n_total);
+  const size_t num_tails = num_jobs * static_cast<size_t>(num_sockets);
+  const size_t max_tail = 1 + 2 * static_cast<size_t>(num_sockets);
+  if (s.shape_jobs != static_cast<int64_t>(num_jobs) ||
+      s.shape_threads != n_total || s.shape_cores != num_cores ||
+      s.shape_sockets != num_sockets ||
+      s.shape_resources != static_cast<int64_t>(num_resources)) {
+    s.Size(s.combined_per_core, static_cast<size_t>(num_cores));
+
+    s.Size(s.job_first_thread, num_jobs);
+    s.Size(s.job_num_threads, num_jobs);
+    s.Size(s.job_amdahl, num_jobs);
+    s.Size(s.job_f_initial, num_jobs);
+    s.Size(s.job_os, num_jobs);
+    s.Size(s.job_l, num_jobs);
+    s.Size(s.job_b, num_jobs);
+    s.Size(s.job_single_socket, num_jobs);
+    s.Size(s.job_core_rates, 4 * num_jobs);
+    s.Size(s.job_core_mask, 4 * num_jobs);
+
+    s.Size(s.thread_socket, n);
+    s.Size(s.thread_core, n);
+    s.Size(s.thread_slot, n);
+    s.Size(s.remote_peers, n);
+    s.Size(s.f_start, n);
+    s.Size(s.s_overall, n);
+    s.Size(s.s_prev, n);
+    s.Size(s.s_resource, n);
+    s.Size(s.comm_penalty, n);
+    s.Size(s.balance_penalty, n);
+    s.Size(s.bottleneck, n);
+
+    s.Size(s.active_sockets, static_cast<size_t>(num_sockets));
+    s.Size(s.job_socket_threads, static_cast<size_t>(num_sockets));
+    s.Size(s.socket_work, static_cast<size_t>(num_sockets));
+    s.Size(s.memory_weights, static_cast<size_t>(num_sockets));
+
+    s.Size(s.tail_offset, num_tails + 1);
+    s.Size(s.tail_res, num_tails * max_tail);
+    s.Size(s.tail_rate, num_tails * max_tail);
+    s.Size(s.tail_max, num_tails);
+    s.Size(s.tail_arg, num_tails);
+
+    s.Size(s.load, num_resources);
+    s.Size(s.core_load, 4 * static_cast<size_t>(num_cores));
+    s.Size(s.resource_seen, num_resources);
+    s.Size(s.resource_touched, num_tails * max_tail);
+    // Each occupied (job, core) pair has at least one thread, so n bounds
+    // the touched-core list.
+    s.Size(s.touched_cores, n);
+
+    s.shape_jobs = static_cast<int64_t>(num_jobs);
+    s.shape_threads = n_total;
+    s.shape_cores = num_cores;
+    s.shape_sockets = num_sockets;
+    s.shape_resources = static_cast<int64_t>(num_resources);
+
+    // The previous touched lists may index differently-sized load arrays;
+    // re-establish the "zero outside the touched set" invariant wholesale.
+    s.num_touched = 0;
+    s.num_touched_cores = 0;
+    std::fill(s.load.begin(), s.load.end(), 0.0);
+    std::fill(s.core_load.begin(), s.core_load.end(), 0.0);
+  } else {
+    // Invariant: load[] and core_load[] are all-zero outside the previous
+    // solve's touched set. Zero those stale entries instead of the whole
+    // resource vector; this solve's touched entries are zeroed at the top
+    // of each iteration (and, for `load`'s core planes, written once at
+    // the final export).
+    double* const load = s.load.data();
+    for (int32_t i = 0; i < s.num_touched; ++i) {
+      load[s.resource_touched[i]] = 0.0;
+    }
+    double* const core_load = s.core_load.data();
+    for (int32_t i = 0; i < s.num_touched_cores; ++i) {
+      const int32_t core = s.touched_cores[i];
+      core_load[4 * core] = 0.0;
+      core_load[4 * core + 1] = 0.0;
+      core_load[4 * core + 2] = 0.0;
+      core_load[4 * core + 3] = 0.0;
+      load[core] = 0.0;
+      load[num_cores + core] = 0.0;
+      load[2 * num_cores + core] = 0.0;
+      load[3 * num_cores + core] = 0.0;
     }
   }
-  for (const CoScheduleRequest& request : requests) {
-    const WorkloadDescription& workload = *request.workload;
-    ModelJob job;
-    job.workload = &workload;
-    job.first_thread = static_cast<int>(threads.size());
-    job.num_threads = request.placement.TotalThreads();
+
+  if (num_jobs == 1) {
+    const std::vector<uint8_t>& per_core = jobs[0].placement->PerCore();
+    std::copy(per_core.begin(), per_core.end(), s.combined_per_core.begin());
+  } else {
+    std::fill(s.combined_per_core.begin(), s.combined_per_core.end(),
+              static_cast<uint8_t>(0));
+    for (const SolverJobRef& job : jobs) {
+      const std::vector<uint8_t>& per_core = job.placement->PerCore();
+      for (int c = 0; c < num_cores; ++c) {
+        s.combined_per_core[c] =
+            static_cast<uint8_t>(s.combined_per_core[c] + per_core[c]);
+      }
+    }
+  }
+
+  // Distinct touched resources, marked by epoch so no per-solve clear is
+  // needed; the marking is fused into the thread expansion below.
+  if (++s.seen_epoch == 0) {
+    std::fill(s.resource_seen.begin(), s.resource_seen.end(), 0u);
+    s.seen_epoch = 1;
+  }
+  const uint32_t epoch = s.seen_epoch;
+  int32_t num_touched = 0;
+  int32_t num_touched_cores = 0;
+
+  int t_index = 0;
+  int32_t tail_index = 0;
+  for (size_t r = 0; r < num_jobs; ++r) {
+    const WorkloadDescription& workload = *jobs[r].workload;
+    const Placement& placement = *jobs[r].placement;
+    const std::vector<uint8_t>& per_core = placement.PerCore();
+    const int num_threads = placement.TotalThreads();
+    s.job_first_thread[r] = t_index;
+    s.job_num_threads[r] = num_threads;
     const double p = workload.parallel_fraction;
     PANDIA_CHECK(p >= 0.0 && p <= 1.0);
-    job.amdahl = 1.0 / ((1.0 - p) + p / job.num_threads);
-    job.f_initial = job.amdahl / job.num_threads;
-    job.os = options_.model_communication ? workload.inter_socket_overhead : 0.0;
-    job.l = options_.model_load_balance ? workload.load_balance : 1.0;
-    PANDIA_CHECK(job.l >= 0.0 && job.l <= 1.0);
-    job.b = options_.model_burstiness ? workload.burstiness : 0.0;
+    s.job_amdahl[r] = 1.0 / ((1.0 - p) + p / num_threads);
+    s.job_f_initial[r] = s.job_amdahl[r] / num_threads;
+    s.job_os[r] = options_.model_communication ? workload.inter_socket_overhead : 0.0;
+    s.job_l[r] = options_.model_load_balance ? workload.load_balance : 1.0;
+    PANDIA_CHECK(s.job_l[r] >= 0.0 && s.job_l[r] <= 1.0);
+    s.job_b[r] = options_.model_burstiness ? workload.burstiness : 0.0;
 
-    const std::vector<ThreadLocation> locations = request.placement.ThreadLocations();
-    std::vector<bool> active_sockets(static_cast<size_t>(topo.num_sockets), false);
-    for (const ThreadLocation& loc : locations) {
-      active_sockets[loc.socket] = true;
-    }
-    const int home_socket = locations.front().socket;
+    // Non-positive rates are zeroed, not just masked: the unconditional
+    // core adds in step 1 rely on a zero rate contributing exactly +0.0
+    // (the reference skips non-positive entries outright).
     const ResourceDemandVector& d = workload.demands;
-    for (const ThreadLocation& loc : locations) {
-      ModelThread thread;
-      thread.job = static_cast<int>(jobs.size());
-      thread.location = loc;
-      if (d.instr_rate > 0.0) {
-        thread.demand.emplace_back(index_.Core(loc.core), d.instr_rate);
+    double* const rates = &s.job_core_rates[4 * r];
+    uint8_t* const mask = &s.job_core_mask[4 * r];
+    const double raw_rates[4] = {d.instr_rate, d.l1_bw, d.l2_bw, d.l3_bw};
+    for (int k = 0; k < 4; ++k) {
+      const bool positive = raw_rates[k] > 0.0;
+      rates[k] = positive ? raw_rates[k] : 0.0;
+      mask[k] = positive ? 1 : 0;
+    }
+
+    // Deterministic thread expansion (cores in index order, SMT slots in
+    // order) — mirrors Placement::ThreadLocations without allocating.
+    // Socket-major iteration keeps the same global core order while
+    // avoiding a core->socket integer division per core.
+    std::fill(s.active_sockets.begin(), s.active_sockets.end(),
+              static_cast<uint8_t>(0));
+    std::fill(s.job_socket_threads.begin(), s.job_socket_threads.end(), 0);
+    int home_socket = -1;
+    int sockets_used = 0;
+    int remaining = num_threads;
+    for (int socket = 0; socket < num_sockets && remaining > 0; ++socket) {
+      const int core_base = socket * cores_per_socket;
+      for (int local = 0; local < cores_per_socket && remaining > 0; ++local) {
+        const int core = core_base + local;
+        const int count = per_core[core];
+        if (count == 0) {
+          continue;
+        }
+        remaining -= count;
+        if (home_socket < 0) {
+          home_socket = socket;  // first thread's socket
+        }
+        if (s.active_sockets[socket] == 0) {
+          s.active_sockets[socket] = 1;
+          ++sockets_used;
+        }
+        s.job_socket_threads[socket] += count;
+        s.touched_cores[num_touched_cores++] = core;
+        for (int slot = 0; slot < count; ++slot) {
+          s.thread_socket[t_index] = socket;
+          s.thread_core[t_index] = core;
+          s.thread_slot[t_index] = slot;
+          ++t_index;
+        }
       }
-      if (d.l1_bw > 0.0) {
-        thread.demand.emplace_back(index_.L1(loc.core), d.l1_bw);
-      }
-      if (d.l2_bw > 0.0) {
-        thread.demand.emplace_back(index_.L2(loc.core), d.l2_bw);
+    }
+    s.job_single_socket[r] = sockets_used <= 1 ? 1 : 0;
+
+    // Per-(job, socket) demand tails, entries in the reference's demand
+    // order (L3Agg, then DRAM/link per memory node). Zero-rate entries are
+    // excluded, exactly as the reference excludes them — a zero-rate entry
+    // must not join the bottleneck scan, since another job can oversubscribe
+    // the same resource.
+    const double dram_total = d.dram_total_bw();
+    for (int socket = 0; socket < num_sockets; ++socket) {
+      s.tail_offset[r * num_sockets + socket] = tail_index;
+      if (s.active_sockets[socket] == 0) {
+        continue;
       }
       if (d.l3_bw > 0.0) {
-        thread.demand.emplace_back(index_.L3Port(loc.core), d.l3_bw);
-        thread.demand.emplace_back(index_.L3Agg(loc.socket), d.l3_bw);
+        s.tail_res[tail_index] = index_.L3Agg(socket);
+        s.tail_rate[tail_index++] = d.l3_bw;
       }
-      const double dram_total = d.dram_total_bw();
       if (dram_total > 0.0) {
-        const std::vector<double> weights =
-            MemoryNodeWeights(workload.memory_policy, topo.num_sockets, active_sockets,
-                              loc.socket, home_socket);
-        for (int m = 0; m < topo.num_sockets; ++m) {
-          if (weights[m] <= 0.0) {
+        MemoryNodeWeightsInto(workload.memory_policy, num_sockets, s.active_sockets,
+                              socket, home_socket,
+                              std::span<double>(s.memory_weights.data(), num_sockets));
+        for (int m = 0; m < num_sockets; ++m) {
+          if (s.memory_weights[m] <= 0.0) {
             continue;
           }
-          thread.demand.emplace_back(index_.Dram(m), dram_total * weights[m]);
-          if (m != loc.socket) {
-            thread.demand.emplace_back(index_.Link(loc.socket, m),
-                                       dram_total * weights[m]);
+          s.tail_res[tail_index] = index_.Dram(m);
+          s.tail_rate[tail_index++] = dram_total * s.memory_weights[m];
+          if (m != socket) {
+            s.tail_res[tail_index] = index_.Link(socket, m);
+            s.tail_rate[tail_index++] = dram_total * s.memory_weights[m];
           }
         }
       }
-      for (const ThreadLocation& peer : locations) {
-        if (&peer != &loc && peer.socket != loc.socket) {
-          ++thread.remote_peers;
-        }
-      }
-      threads.push_back(std::move(thread));
     }
-    jobs.push_back(job);
+
+    // Same-job peers on other sockets — only the communication step reads
+    // these, and it only runs for multi-socket jobs with os > 0.
+    if (s.job_os[r] > 0.0 && s.job_single_socket[r] == 0) {
+      for (int t = s.job_first_thread[r]; t < t_index; ++t) {
+        s.remote_peers[t] =
+            static_cast<int32_t>(num_threads - s.job_socket_threads[s.thread_socket[t]]);
+      }
+    }
   }
-  const int n_total = static_cast<int>(threads.size());
-  const std::vector<double> caps = machine_.Capacities(combined_per_core);
+  PANDIA_CHECK(t_index == n_total);
+  s.tail_offset[num_tails] = tail_index;
+  for (int32_t d = 0; d < tail_index; ++d) {
+    const int32_t res = s.tail_res[d];
+    if (s.resource_seen[res] != epoch) {
+      s.resource_seen[res] = epoch;
+      s.resource_touched[num_touched++] = res;
+    }
+  }
+  s.num_touched = num_touched;
+  s.num_touched_cores = num_touched_cores;
+
+  // Capacities: a pure function of the topology dims, the eight capacity
+  // scalars, and the per-core SMT mask — skip the rebuild when none changed.
+  const double caps_scalars[8] = {machine_.core_ops,   machine_.smt_combined_ops,
+                                  machine_.l1_bw,      machine_.l2_bw,
+                                  machine_.l3_port_bw, machine_.l3_agg_bw,
+                                  machine_.dram_bw,    machine_.link_bw};
+  const bool caps_valid =
+      s.caps.size() == num_resources &&
+      s.caps_key_dims[0] == topo.num_sockets &&
+      s.caps_key_dims[1] == topo.cores_per_socket &&
+      s.caps_key_dims[2] == topo.threads_per_core &&
+      std::equal(caps_scalars, caps_scalars + 8, s.caps_key_scalars) &&
+      s.caps_key_mask.size() == s.combined_per_core.size() &&
+      std::equal(s.combined_per_core.begin(), s.combined_per_core.end(),
+                 s.caps_key_mask.begin());
+  if (!caps_valid) {
+    s.Size(s.caps, num_resources);
+    machine_.CapacitiesInto(s.combined_per_core, index_, s.caps);
+    // Core-major mirror of the four per-core capacity planes, matching
+    // core_load's layout.
+    s.Size(s.caps4, 4 * static_cast<size_t>(num_cores));
+    for (int core = 0; core < num_cores; ++core) {
+      for (int k = 0; k < 4; ++k) {
+        s.caps4[4 * core + k] = s.caps[k * num_cores + core];
+      }
+    }
+    s.caps_key_dims[0] = topo.num_sockets;
+    s.caps_key_dims[1] = topo.cores_per_socket;
+    s.caps_key_dims[2] = topo.threads_per_core;
+    std::copy(caps_scalars, caps_scalars + 8, s.caps_key_scalars);
+    s.Size(s.caps_key_mask, s.combined_per_core.size());
+    std::copy(s.combined_per_core.begin(), s.combined_per_core.end(),
+              s.caps_key_mask.begin());
+  }
 
   // --- Iterative joint model (§5, generalized over jobs) ---
-  std::vector<double> f_start(n_total);
-  std::vector<double> s_overall(n_total, 1.0);
-  std::vector<double> s_resource(n_total, 1.0);
-  std::vector<double> comm_penalty(n_total, 0.0);
-  std::vector<double> balance_penalty(n_total, 0.0);
-  std::vector<double> utilization(n_total);
-  std::vector<int> bottleneck(n_total, -1);
-  std::vector<double> load(static_cast<size_t>(index_.Count()), 0.0);
-  for (int t = 0; t < n_total; ++t) {
-    f_start[t] = jobs[threads[t].job].f_initial;
-    utilization[t] = f_start[t];
+  // s_overall needs no initialization: step 1 overwrites every entry, and
+  // the first iteration's delta is computed against the literal 1.0 initial
+  // state instead of a materialized all-ones buffer.
+  bool any_comm = false;
+  for (size_t j = 0; j < num_jobs; ++j) {
+    any_comm |= s.job_os[j] > 0.0 && s.job_single_socket[j] == 0;
+  }
+  if (!any_comm) {
+    // Step 2 never runs; the per-thread comm penalties the assembly reads
+    // are all zero (the reference writes the same zeros every iteration).
+    // The flag makes the fill once-per-arena: vector resizing preserves
+    // zero contents (shrink keeps the prefix, growth value-initializes), so
+    // a true flag stays valid across shape changes.
+    if (!s.comm_penalty_zeroed) {
+      std::fill(s.comm_penalty.begin(), s.comm_penalty.end(), 0.0);
+      s.comm_penalty_zeroed = true;
+    }
+  } else {
+    s.comm_penalty_zeroed = false;
+  }
+
+  // Warm start (opt-in, see SolverWarmStart). The first iteration always
+  // runs from the Amdahl initial state so the slowdown ceiling (§5.4) is
+  // exactly the cold solve's — seeding the ceiling-setting iteration from a
+  // neighbour was observed to clamp against a wrong ceiling and oscillate.
+  // The seed is injected as the *input* of the second iteration instead
+  // (see the bottom of the loop), jumping the trajectory next to the
+  // neighbouring fixed point once the ceiling is established. A seed that
+  // is bitwise the Amdahl initial state (an uncontended neighbour hands
+  // exactly that back) carries no information and counts as a cold start,
+  // which keeps uncontended chains on the reference trajectory.
+  for (size_t j = 0; j < num_jobs; ++j) {
+    const double f_initial = s.job_f_initial[j];
+    const int first = s.job_first_thread[j];
+    const int last = first + s.job_num_threads[j];
+    for (int t = first; t < last; ++t) {
+      s.f_start[t] = f_initial;
+    }
+  }
+  const bool seed =
+      options_.warm_start && warm != nullptr && warm->f_start.size() == n &&
+      !std::equal(warm->f_start.begin(), warm->f_start.end(), s.f_start.begin());
+  if (options_.warm_start && warm != nullptr) {
+    ++(seed ? warm->seeded : warm->cold);
+  }
+  if (seed) {
+    SolverMetrics::Get().warm_seeded.Increment();
   }
 
   double slowdown_ceiling = 0.0;
   int iterations = 0;
   bool converged = false;
+  bool prev_below_eps = false;
   double final_delta = 0.0;
   const int max_iterations = options_.iterate ? options_.max_iterations : 1;
+
+  // Raw __restrict views of the scratch buffers. None of them overlap; the
+  // qualifier lets the compiler keep values live across stores to the
+  // double arrays instead of reloading after every write.
+  double* __restrict const load = s.load.data();
+  double* __restrict const core_load = s.core_load.data();
+  const double* __restrict const caps = s.caps.data();
+  const double* __restrict const caps4 = s.caps4.data();
+  const int32_t* __restrict const touched = s.resource_touched.data();
+  const int32_t* __restrict const tcores = s.touched_cores.data();
+  const int32_t* __restrict const t_off = s.tail_offset.data();
+  const int32_t* __restrict const t_res = s.tail_res.data();
+  const double* __restrict const t_rate = s.tail_rate.data();
+  const int32_t* __restrict const thread_socket = s.thread_socket.data();
+  const int32_t* __restrict const thread_core = s.thread_core.data();
+  double* __restrict const f_start = s.f_start.data();
+  double* __restrict const s_resource = s.s_resource.data();
+  double* __restrict const balance_penalty = s.balance_penalty.data();
+  int* __restrict const bottleneck = s.bottleneck.data();
+  double* __restrict const tail_max = s.tail_max.data();
+  int32_t* __restrict const tail_arg = s.tail_arg.data();
+  const uint8_t* __restrict const combined = s.combined_per_core.data();
 
   for (int iter = 0; iter < max_iterations; ++iter) {
     const obs::TraceSpan iteration_span("predict.iteration", iter + 1);
     ++iterations;
-    const std::vector<double> prev = s_overall;
+    // Double-buffer: last iteration's s_overall becomes `prev` by swapping
+    // buffers (step 1 below overwrites every s_overall entry).
+    s.s_overall.swap(s.s_prev);
+    const double* __restrict const prev = s.s_prev.data();
+    double* __restrict const s_overall = s.s_overall.data();
 
     // Step 1: resource contention, including cross-job load (§5.1).
-    std::fill(load.begin(), load.end(), 0.0);
-    for (int t = 0; t < n_total; ++t) {
-      for (const auto& [resource, amount] : threads[t].demand) {
-        load[resource] += amount * f_start[t];
-      }
+    // Accumulation runs per thread in the reference's demand order; adding
+    // a zero-rate core term contributes exactly +0.0 and is a bitwise
+    // no-op, so the four core adds run unconditionally. The per-core planes
+    // accumulate into the contiguous core-major mirror; the tails
+    // accumulate into the resource vector directly.
+    for (int32_t i = 0; i < num_touched; ++i) {
+      load[touched[i]] = 0.0;
     }
-    for (int t = 0; t < n_total; ++t) {
-      const ModelJob& job = jobs[threads[t].job];
-      double worst = 1.0;
-      int worst_resource = -1;
-      for (const auto& [resource, amount] : threads[t].demand) {
-        const double factor = load[resource] / caps[resource];
-        if (factor > worst) {
-          worst = factor;
-          worst_resource = resource;
+    for (int32_t i = 0; i < num_touched_cores; ++i) {
+      double* const cl = &core_load[4 * tcores[i]];
+      cl[0] = 0.0;
+      cl[1] = 0.0;
+      cl[2] = 0.0;
+      cl[3] = 0.0;
+    }
+    for (size_t j = 0; j < num_jobs; ++j) {
+      const double* const rates = &s.job_core_rates[4 * j];
+      const double r0 = rates[0], r1 = rates[1], r2 = rates[2], r3 = rates[3];
+      const size_t tail_base = j * static_cast<size_t>(num_sockets);
+      const int first = s.job_first_thread[j];
+      const int last = first + s.job_num_threads[j];
+      for (int t = first; t < last; ++t) {
+        const double f = f_start[t];
+        double* const cl = &core_load[4 * thread_core[t]];
+        cl[0] += r0 * f;
+        cl[1] += r1 * f;
+        cl[2] += r2 * f;
+        cl[3] += r3 * f;
+        const size_t js = tail_base + thread_socket[t];
+        for (int32_t d = t_off[js]; d < t_off[js + 1]; ++d) {
+          load[t_res[d]] += t_rate[d] * f;
         }
       }
-      if (combined_per_core[threads[t].location.core] > 1 && job.b > 0.0) {
-        worst *= 1.0 + job.b * f_start[t];
+    }
+    // One (max, first-argmax) per tail, shared by every thread of that
+    // (job, socket), with the contention divide load/caps done inline and
+    // only for oversubscribed entries: fl(load/caps) <= 1.0 otherwise,
+    // which can never beat a merged scan whose running worst starts at
+    // 1.0. Exact: tail entries come last in the reference's per-thread
+    // demand order, and its scan is strict-> first-wins — the first tail
+    // entry attaining the tail max is the only one that can update the
+    // merged result.
+    for (size_t js = 0; js < num_tails; ++js) {
+      double mt = 0.0;
+      int32_t arg = -1;
+      for (int32_t d = t_off[js]; d < t_off[js + 1]; ++d) {
+        const int32_t res = t_res[d];
+        const double ld = load[res];
+        const double cp = caps[res];
+        if (ld > cp) {
+          const double fr = ld / cp;
+          if (fr > mt) {
+            mt = fr;
+            arg = res;
+          }
+        }
       }
-      s_resource[t] = worst;
-      bottleneck[t] = worst_resource;
-      s_overall[t] = worst;
-      utilization[t] = job.f_initial / s_overall[t];
+      tail_max[js] = mt;
+      tail_arg[js] = arg;
+    }
+    for (size_t j = 0; j < num_jobs; ++j) {
+      const uint8_t* const mask = &s.job_core_mask[4 * j];
+      const bool m0 = mask[0] != 0, m1 = mask[1] != 0, m2 = mask[2] != 0,
+                 m3 = mask[3] != 0;
+      const double b = s.job_b[j];
+      const size_t tail_base = j * static_cast<size_t>(num_sockets);
+      const int first = s.job_first_thread[j];
+      const int last = first + s.job_num_threads[j];
+      for (int t = first; t < last; ++t) {
+        const int core = thread_core[t];
+        const double* const cl = &core_load[4 * core];
+        const double* const c4 = &caps4[4 * core];
+        double worst = 1.0;
+        int worst_resource = -1;
+        // Contiguous any-oversubscribed check first; the full masked scan
+        // (reference plane order, strict-> first-wins) only runs when some
+        // plane is over capacity — in the common uncontended case this is
+        // four compares on one cache line.
+        if (cl[0] > c4[0] || cl[1] > c4[1] || cl[2] > c4[2] || cl[3] > c4[3]) {
+          if (m0 && cl[0] > c4[0]) {
+            const double fr = cl[0] / c4[0];
+            if (fr > worst) {
+              worst = fr;
+              worst_resource = core;
+            }
+          }
+          if (m1 && cl[1] > c4[1]) {
+            const double fr = cl[1] / c4[1];
+            if (fr > worst) {
+              worst = fr;
+              worst_resource = num_cores + core;
+            }
+          }
+          if (m2 && cl[2] > c4[2]) {
+            const double fr = cl[2] / c4[2];
+            if (fr > worst) {
+              worst = fr;
+              worst_resource = 2 * num_cores + core;
+            }
+          }
+          if (m3 && cl[3] > c4[3]) {
+            const double fr = cl[3] / c4[3];
+            if (fr > worst) {
+              worst = fr;
+              worst_resource = 3 * num_cores + core;
+            }
+          }
+        }
+        const size_t js = tail_base + thread_socket[t];
+        if (tail_max[js] > worst) {
+          worst = tail_max[js];
+          worst_resource = tail_arg[js];
+        }
+        if (combined[core] > 1 && b > 0.0) {
+          worst *= 1.0 + b * f_start[t];
+        }
+        s_resource[t] = worst;
+        bottleneck[t] = worst_resource;
+        s_overall[t] = worst;
+      }
     }
 
-    // Step 2: off-socket communication, within each job (§5.2).
-    std::fill(comm_penalty.begin(), comm_penalty.end(), 0.0);
-    for (const ModelJob& job : jobs) {
-      if (job.os <= 0.0) {
-        continue;
-      }
-      double total_work = 0.0;
-      std::vector<double> socket_work(static_cast<size_t>(topo.num_sockets), 0.0);
-      for (int t = job.first_thread; t < job.first_thread + job.num_threads; ++t) {
-        total_work += 1.0 / s_overall[t];
-        socket_work[threads[t].location.socket] += 1.0 / s_overall[t];
-      }
-      for (int t = job.first_thread; t < job.first_thread + job.num_threads; ++t) {
-        const double lockstep = job.os * threads[t].remote_peers;
-        const double remote_work =
-            total_work - socket_work[threads[t].location.socket];
-        const double independent =
-            job.num_threads * job.os * (remote_work / total_work);
-        const double comm = job.l * independent + (1.0 - job.l) * lockstep;
-        comm_penalty[t] = comm * utilization[t];
-        s_overall[t] += comm_penalty[t];
-        utilization[t] = job.f_initial / s_overall[t];
+    // Step 2: off-socket communication, within each job (§5.2). Single-
+    // socket jobs are skipped: every term is exactly +0.0 (no remote peers,
+    // remote_work cancels bitwise), so the reference's pass is the identity.
+    if (any_comm) {
+      std::fill(s.comm_penalty.begin(), s.comm_penalty.end(), 0.0);
+      for (size_t j = 0; j < num_jobs; ++j) {
+        if (s.job_os[j] <= 0.0 || s.job_single_socket[j] != 0) {
+          continue;
+        }
+        const int first = s.job_first_thread[j];
+        const int last = first + s.job_num_threads[j];
+        const double os = s.job_os[j];
+        const double l = s.job_l[j];
+        const double f_initial = s.job_f_initial[j];
+        double total_work = 0.0;
+        std::fill(s.socket_work.begin(), s.socket_work.end(), 0.0);
+        for (int t = first; t < last; ++t) {
+          const double inv = 1.0 / s_overall[t];
+          total_work += inv;
+          s.socket_work[thread_socket[t]] += inv;
+        }
+        // The communication term is constant per (job, socket): the remote
+        // peer count and the remote-work fraction depend only on the
+        // thread's socket. Threads are socket-sorted within a job (see the
+        // expansion above), so a one-entry cache recomputes it at most
+        // num_sockets times — from the same operands in the same order as
+        // the per-thread reference expression, hence the same bits.
+        int cur_socket = -1;
+        double comm = 0.0;
+        for (int t = first; t < last; ++t) {
+          const int socket = thread_socket[t];
+          if (socket != cur_socket) {
+            cur_socket = socket;
+            const double lockstep = os * s.remote_peers[t];
+            const double remote_work = total_work - s.socket_work[socket];
+            const double independent =
+                s.job_num_threads[j] * os * (remote_work / total_work);
+            comm = l * independent + (1.0 - l) * lockstep;
+          }
+          // The reference reads the step-1 utilization here; computing it in
+          // place from the same operands yields the same bits.
+          const double penalty = comm * (f_initial / s_overall[t]);
+          s.comm_penalty[t] = penalty;
+          s_overall[t] += penalty;
+        }
       }
     }
 
-    // Step 3: load balancing, within each job (§5.3).
-    std::fill(balance_penalty.begin(), balance_penalty.end(), 0.0);
-    for (const ModelJob& job : jobs) {
+    // Step 3: load balancing, within each job (§5.3). The global extrema of
+    // the written slowdowns decide below whether the §5.4 clamp pass can do
+    // anything.
+    double global_max = 0.0;
+    double global_min = std::numeric_limits<double>::infinity();
+    for (size_t j = 0; j < num_jobs; ++j) {
+      const double l = s.job_l[j];
+      const int first = s.job_first_thread[j];
+      const int last = first + s.job_num_threads[j];
       double s_max = 0.0;
-      for (int t = job.first_thread; t < job.first_thread + job.num_threads; ++t) {
+      for (int t = first; t < last; ++t) {
         s_max = std::max(s_max, s_overall[t]);
       }
-      for (int t = job.first_thread; t < job.first_thread + job.num_threads; ++t) {
-        const double pulled = job.l * s_overall[t] + (1.0 - job.l) * s_max;
+      const double pull = (1.0 - l) * s_max;
+      for (int t = first; t < last; ++t) {
+        const double pulled = l * s_overall[t] + pull;
         balance_penalty[t] = pulled - s_overall[t];
         s_overall[t] = pulled;
-        utilization[t] = job.f_initial / s_overall[t];
+        global_max = std::max(global_max, pulled);
+        global_min = std::min(global_min, pulled);
       }
     }
 
-    // §5.4: bounded by the first iteration's maximal slowdown.
+    // §5.4: bounded by the first iteration's maximal slowdown. The pass
+    // only runs when some slowdown actually falls outside [1, ceiling];
+    // otherwise every clamp is the identity and skipping it is exact.
     if (iter == 0) {
-      slowdown_ceiling = *std::max_element(s_overall.begin(), s_overall.end());
-    } else {
+      slowdown_ceiling = global_max;
+    } else if (global_max > slowdown_ceiling || global_min < 1.0) {
       for (int t = 0; t < n_total; ++t) {
         s_overall[t] = std::clamp(s_overall[t], 1.0, slowdown_ceiling);
-        utilization[t] = jobs[threads[t].job].f_initial / s_overall[t];
       }
     }
 
-    // For the first iteration `prev` is the all-ones initial state, so the
-    // delta is "distance moved this iteration" throughout; convergence is
-    // still only declared from the second iteration on.
-    double worst_delta = 0.0;
-    for (int t = 0; t < n_total; ++t) {
-      worst_delta =
-          std::max(worst_delta, std::fabs(s_overall[t] - prev[t]) / s_overall[t]);
-    }
+    // For the first iteration the previous state is the implicit all-ones
+    // initial state (s_prev holds stale data then — it is never read), so
+    // the delta is "distance moved this iteration" throughout; convergence
+    // is still only declared from the second iteration on.
+    const double worst_delta =
+        MaxRelativeDelta(s_overall, iter == 0 ? nullptr : prev, n_total);
     final_delta = worst_delta;
-    if (iter > 0 && worst_delta < options_.convergence_eps) {
+    // Seeded solves must confirm convergence across two consecutive
+    // iterations: a seed that coincides with the Amdahl initial state (a
+    // chain that passed through an uncontended sibling hands exactly that
+    // back) makes the second iteration reproduce the first within eps
+    // while parked at a non-fixed point, and one more genuine map step
+    // always exposes that. Cold solves keep the reference criterion.
+    const bool below_eps = iter > 0 && worst_delta < options_.convergence_eps;
+    if (below_eps && (!seed || prev_below_eps)) {
       converged = true;
     }
+    prev_below_eps = below_eps;
     const bool dampened = !converged && iter + 1 >= options_.dampen_after;
     if (trace != nullptr) {
       obs::PredictionIterationTrace iteration_trace;
@@ -253,21 +790,54 @@ CoSchedulePrediction CoSchedulePredictor::Predict(
       iteration_trace.max_delta = worst_delta;
       iteration_trace.converged = converged;
       iteration_trace.dampened = dampened;
-      iteration_trace.thread_slowdowns = s_overall;
-      iteration_trace.thread_bottlenecks = bottleneck;
+      iteration_trace.thread_slowdowns.assign(s.s_overall.begin(), s.s_overall.end());
+      iteration_trace.thread_bottlenecks.assign(s.bottleneck.begin(),
+                                                s.bottleneck.end());
       trace->iterations.push_back(std::move(iteration_trace));
     }
     if (converged) {
       break;
     }
 
-    for (int t = 0; t < n_total; ++t) {
-      double next = jobs[threads[t].job].f_initial * (s_resource[t] / s_overall[t]);
-      if (dampened) {
-        next = 0.5 * (next + f_start[t]);
+    // Elementwise with the uniform dampening branch hoisted, so both loop
+    // versions auto-vectorize.
+    for (size_t j = 0; j < num_jobs; ++j) {
+      const double f_initial = s.job_f_initial[j];
+      const int first = s.job_first_thread[j];
+      const int last = first + s.job_num_threads[j];
+      if (!dampened) {
+        for (int t = first; t < last; ++t) {
+          f_start[t] = f_initial * (s_resource[t] / s_overall[t]);
+        }
+      } else {
+        for (int t = first; t < last; ++t) {
+          f_start[t] =
+              0.5 * (f_initial * (s_resource[t] / s_overall[t]) + f_start[t]);
+        }
       }
-      f_start[t] = next;
     }
+    if (seed && iter == 0) {
+      std::copy(warm->f_start.begin(), warm->f_start.end(), f_start);
+    }
+  }
+
+  // Scatter the core-major planes back into the ResourceIndex-ordered
+  // resource vector (tail entries accumulated there directly), so `load`
+  // exports the full combined resource loads. Duplicate cores (jobs sharing
+  // a core) rewrite the same combined values — harmless.
+  for (int32_t i = 0; i < num_touched_cores; ++i) {
+    const int32_t core = tcores[i];
+    const double* const cl = &core_load[4 * core];
+    load[core] = cl[0];
+    load[num_cores + core] = cl[1];
+    load[2 * num_cores + core] = cl[2];
+    load[3 * num_cores + core] = cl[3];
+  }
+
+  // Hand the final iteration-input state to the caller's warm-start seed so
+  // an adjacent solve can continue from here.
+  if (options_.warm_start && warm != nullptr) {
+    warm->f_start.assign(s.f_start.begin(), s.f_start.end());
   }
 
   if (trace != nullptr) {
@@ -275,54 +845,55 @@ CoSchedulePrediction CoSchedulePredictor::Predict(
     trace->final_delta = final_delta;
   }
   {
-    static obs::Counter& predictions =
-        obs::MetricsRegistry::Global().counter("predictor.predictions");
-    static obs::Counter& total_iterations =
-        obs::MetricsRegistry::Global().counter("predictor.iterations");
-    static obs::Counter& converged_count =
-        obs::MetricsRegistry::Global().counter("predictor.converged");
-    static obs::Counter& non_converged_count =
-        obs::MetricsRegistry::Global().counter("predictor.non_converged");
-    static obs::Histogram& iterations_histogram =
-        obs::MetricsRegistry::Global().histogram(
-            "predictor.iterations_per_predict",
-            {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0});
-    predictions.Increment();
-    total_iterations.Increment(static_cast<uint64_t>(iterations));
-    ((converged || !options_.iterate) ? converged_count : non_converged_count)
+    SolverMetrics& metrics = SolverMetrics::Get();
+    metrics.predictions.Increment();
+    metrics.total_iterations.Increment(static_cast<uint64_t>(iterations));
+    ((converged || !options_.iterate) ? metrics.converged : metrics.non_converged)
         .Increment();
-    iterations_histogram.Observe(static_cast<double>(iterations));
+    metrics.iterations_histogram.Observe(static_cast<double>(iterations));
   }
 
-  // --- Final per-job predictions (§5.5) ---
-  CoSchedulePrediction result;
-  result.resource_load = load;
-  result.jobs.reserve(jobs.size());
-  for (const ModelJob& job : jobs) {
-    Prediction prediction;
-    prediction.amdahl_speedup = job.amdahl;
-    double harmonic = 0.0;
-    for (int t = job.first_thread; t < job.first_thread + job.num_threads; ++t) {
-      harmonic += 1.0 / s_overall[t];
-      ThreadPrediction tp;
-      tp.location = threads[t].location;
-      tp.resource_slowdown = s_resource[t];
-      tp.comm_penalty = comm_penalty[t];
-      tp.balance_penalty = balance_penalty[t];
-      tp.overall_slowdown = s_overall[t];
-      tp.utilization = utilization[t];
-      tp.bottleneck = bottleneck[t];
-      prediction.threads.push_back(tp);
-    }
-    prediction.speedup = job.amdahl * harmonic / job.num_threads;
-    prediction.time = job.workload->t1 / prediction.speedup;
-    prediction.iterations = iterations;
-    prediction.converged = converged || !options_.iterate;
-    prediction.final_delta = final_delta;
-    prediction.resource_load = load;
-    result.jobs.push_back(std::move(prediction));
+  SolveOutcome outcome;
+  outcome.iterations = iterations;
+  outcome.converged = converged || !options_.iterate;
+  outcome.final_delta = final_delta;
+  return outcome;
+}
+
+// --- Final per-job predictions (§5.5) ---
+void CoSchedulePredictor::AssembleJob(size_t j, const SolverScratch& s,
+                                      const SolveOutcome& outcome, double t1,
+                                      Prediction* out) const {
+  out->amdahl_speedup = s.job_amdahl[j];
+  const int first = s.job_first_thread[j];
+  const int num_threads = s.job_num_threads[j];
+  const int last = first + num_threads;
+  // The final thread-utilization factor f_initial / s_overall is computed
+  // here rather than in the solver loop: the reference recomputes it after
+  // every step, but every intermediate write is either consumed in step 2
+  // (recomputed inline there from the same operands) or overwritten, and
+  // s_overall does not change after the reference's last write on any exit
+  // path.
+  const double f_initial = s.job_f_initial[j];
+  double harmonic = 0.0;
+  out->threads.resize(static_cast<size_t>(num_threads));
+  for (int t = first; t < last; ++t) {
+    harmonic += 1.0 / s.s_overall[t];
+    ThreadPrediction& tp = out->threads[static_cast<size_t>(t - first)];
+    tp.location =
+        ThreadLocation{s.thread_socket[t], s.thread_core[t], s.thread_slot[t]};
+    tp.resource_slowdown = s.s_resource[t];
+    tp.comm_penalty = s.comm_penalty[t];
+    tp.balance_penalty = s.balance_penalty[t];
+    tp.overall_slowdown = s.s_overall[t];
+    tp.utilization = f_initial / s.s_overall[t];
+    tp.bottleneck = s.bottleneck[t];
   }
-  return result;
+  out->speedup = s.job_amdahl[j] * harmonic / num_threads;
+  out->time = t1 / out->speedup;
+  out->iterations = outcome.iterations;
+  out->converged = outcome.converged;
+  out->final_delta = outcome.final_delta;
 }
 
 }  // namespace pandia

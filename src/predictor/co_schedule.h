@@ -19,6 +19,7 @@
 
 #include "src/machine_desc/machine_description.h"
 #include "src/predictor/predictor.h"
+#include "src/predictor/solver_scratch.h"
 #include "src/topology/placement.h"
 #include "src/workload_desc/description.h"
 
@@ -45,11 +46,57 @@ class CoSchedulePredictor {
 
   // Jointly predicts the given jobs. All placements must match the machine
   // description's topology shape; cores may be shared between jobs.
+  //
+  // Uses a thread-local SolverScratch arena: after the first call of a
+  // given problem shape on a thread, the solver performs no heap
+  // allocations (the returned CoSchedulePrediction still owns its vectors).
   CoSchedulePrediction Predict(std::span<const CoScheduleRequest> requests) const;
 
+  // Warm-started variant: when options().warm_start is set and the seed's
+  // thread count matches, the fixed-point iteration starts from `warm`'s
+  // converged state instead of the Amdahl initial state; the converged
+  // state of this solve is written back to `warm` either way. With the
+  // option off or `warm` null this is exactly Predict() — byte-identical
+  // to the reference solver. See SolverWarmStart for invalidation rules.
+  CoSchedulePrediction Predict(std::span<const CoScheduleRequest> requests,
+                               SolverWarmStart* warm) const;
+
+  // Caller-passed-arena variant for callers that manage scratch lifetime
+  // themselves (tests, long-lived services). `scratch` must not be used
+  // concurrently.
+  CoSchedulePrediction PredictWithScratch(std::span<const CoScheduleRequest> requests,
+                                          SolverScratch& scratch,
+                                          SolverWarmStart* warm) const;
+
+  // Single-job fast path: byte-identical to Predict() on a one-element
+  // request span, but reads the placement by reference and assembles the
+  // Prediction directly, skipping the CoSchedulePrediction wrapper and its
+  // duplicate resource_load vector. This is the path Predictor::Predict
+  // rides.
+  Prediction PredictOne(const WorkloadDescription& workload, const Placement& placement,
+                        SolverWarmStart* warm = nullptr) const;
+
   const MachineDescription& machine() const { return machine_; }
+  const PredictionOptions& options() const { return options_; }
 
  private:
+  struct SolveOutcome {
+    int iterations = 0;
+    bool converged = false;
+    double final_delta = 0.0;
+  };
+
+  // Runs assembly plus the iterative model, leaving the converged per-thread
+  // state (s_overall, s_resource, penalties, bottleneck) and the final
+  // resource loads in `s`.
+  SolveOutcome Solve(std::span<const SolverJobRef> jobs, SolverScratch& s,
+                     SolverWarmStart* warm) const;
+
+  // Builds job j's Prediction from the solved scratch state. Does not fill
+  // Prediction::resource_load; callers assign it from s.load.
+  void AssembleJob(size_t j, const SolverScratch& s, const SolveOutcome& outcome,
+                   double t1, Prediction* out) const;
+
   MachineDescription machine_;
   PredictionOptions options_;
   ResourceIndex index_;

@@ -15,7 +15,8 @@ Predictor::Predictor(MachineDescription machine, WorkloadDescription workload,
     : machine_(std::move(machine)),
       workload_(std::move(workload)),
       options_(options),
-      context_fingerprint_(ContextFingerprint(machine_, workload_, options_)) {
+      context_fingerprint_(ContextFingerprint(machine_, workload_, options_)),
+      engine_(std::make_shared<CoSchedulePredictor>(machine_, options_)) {
   PANDIA_CHECK(workload_.t1 > 0.0);
   PANDIA_CHECK(workload_.parallel_fraction >= 0.0 && workload_.parallel_fraction <= 1.0);
   PANDIA_CHECK(workload_.load_balance >= 0.0 && workload_.load_balance <= 1.0);
@@ -45,13 +46,16 @@ StatusOr<Predictor> Predictor::Create(MachineDescription machine,
 }
 
 Prediction Predictor::Predict(const Placement& placement) const {
+  return PredictWarm(placement, nullptr);
+}
+
+Prediction Predictor::PredictWarm(const Placement& placement,
+                                  SolverWarmStart* warm) const {
   // The single-workload model (§5) is the one-job case of the co-scheduling
-  // engine; see co_schedule.cc for the iterative model itself.
-  const CoSchedulePredictor engine(machine_, options_);
-  const CoScheduleRequest request{&workload_, placement};
-  CoSchedulePrediction joint =
-      engine.Predict(std::span<const CoScheduleRequest>(&request, 1));
-  Prediction prediction = std::move(joint.jobs.front());
+  // engine; see co_schedule.cc for the iterative model itself. The one-job
+  // fast path skips the CoSchedulePrediction wrapper and the Placement copy
+  // a CoScheduleRequest would cost.
+  Prediction prediction = engine_->PredictOne(workload_, placement, warm);
 
   // Adaptive damping: a run that hit max_iterations while still moving by a
   // lot is oscillating, not slowly converging. Retry once with dampening
@@ -72,15 +76,20 @@ Prediction Predictor::Predict(const Placement& placement) const {
     retries.Increment();
     PredictionOptions damped = options_;
     damped.dampen_after = 1;
+    // The retry always cold-starts: a warm seed that led the solve into
+    // oscillation is no basis for the stabilized re-solve.
+    damped.warm_start = false;
     const CoSchedulePredictor damped_engine(machine_, damped);
-    CoSchedulePrediction retry =
-        damped_engine.Predict(std::span<const CoScheduleRequest>(&request, 1));
-    Prediction& retried = retry.jobs.front();
+    Prediction retried = damped_engine.PredictOne(workload_, placement);
     if (retried.converged || retried.final_delta < prediction.final_delta) {
       (retried.converged ? recovered : unrecovered).Increment();
       prediction = std::move(retried);
     } else {
       unrecovered.Increment();
+    }
+    // A seed that fed an oscillating solve is invalid for neighbours too.
+    if (warm != nullptr) {
+      warm->f_start.clear();
     }
   }
   return prediction;

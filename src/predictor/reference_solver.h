@@ -1,0 +1,29 @@
+// Retained reference implementation of the co-scheduling solver.
+//
+// This is the array-of-structs solver the SoA hot path in co_schedule.cc
+// replaced, kept verbatim (minus metrics emission) as the equivalence
+// oracle: the production solver must produce byte-identical predictions —
+// slowdowns, bottlenecks, final_delta, and per-iteration trace contents —
+// in exact mode (PredictionOptions::warm_start off). It allocates freely
+// and is linked only by tests and benchmarks; nothing on a serving path
+// should call it.
+#ifndef PANDIA_SRC_PREDICTOR_REFERENCE_SOLVER_H_
+#define PANDIA_SRC_PREDICTOR_REFERENCE_SOLVER_H_
+
+#include <span>
+
+#include "src/machine_desc/machine_description.h"
+#include "src/predictor/co_schedule.h"
+
+namespace pandia {
+
+// One joint solve with the reference algorithm. Mirrors
+// CoSchedulePredictor::Predict's contract (including trace recording via
+// options.common.trace) but never reads or writes warm-start seeds.
+CoSchedulePrediction ReferenceCoSchedulePredict(
+    const MachineDescription& machine, const PredictionOptions& options,
+    std::span<const CoScheduleRequest> requests);
+
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_PREDICTOR_REFERENCE_SOLVER_H_

@@ -181,8 +181,10 @@ Rack::Rack(std::vector<RackMachine> machines, PredictionOptions options)
     cache_ = &PredictionCache::Global();
   }
   machine_context_.reserve(machines_.size());
+  engines_.reserve(machines_.size());
   for (const RackMachine& machine : machines_) {
     machine_context_.push_back(MachineOptionsFingerprint(machine.description, options_));
+    engines_.emplace_back(machine.description, options_);
   }
 }
 
@@ -272,8 +274,7 @@ std::vector<Prediction> Rack::PredictResidents(
   for (const RackJob* job : jobs) {
     requests.push_back(CoScheduleRequest{&job->description, job->placement});
   }
-  const CoSchedulePredictor engine(machines_[machine_index].description, options_);
-  predictions = engine.Predict(requests).jobs;
+  predictions = engines_[machine_index].Predict(requests).jobs;
   if (cache_ != nullptr) {
     for (size_t i = 0; i < predictions.size(); ++i) {
       if (predictions[i].converged) {
@@ -348,6 +349,15 @@ std::optional<Rack::Candidate> Rack::BestCandidateOn(
 
   std::set<std::vector<uint8_t>> seen;
   std::optional<Candidate> best;
+  const CoSchedulePredictor& engine = engines_[machine_index];
+  // Candidate joint solves chain a warm-start seed when the option is on:
+  // consecutive candidates differ in one placement, so the previous
+  // converged state is an excellent starting point. The seed is local to
+  // this probe (Admit probes machines concurrently; each worker owns its
+  // machine's seed) and self-invalidates whenever the joint thread count
+  // changes.
+  SolverWarmStart warm;
+  SolverWarmStart* const warm_ptr = options_.warm_start ? &warm : nullptr;
   for (int total = 1; total <= want; ++total) {
     for (int k = 1; k <= topo.num_sockets; ++k) {
       for (const bool spread : {true, false}) {
@@ -379,8 +389,7 @@ std::optional<Rack::Candidate> Rack::BestCandidateOn(
               CoScheduleRequest{&resident->description, resident->placement});
         }
         requests.push_back(CoScheduleRequest{&workload, placement});
-        const CoSchedulePredictor engine(machine.description, options_);
-        const CoSchedulePrediction joint = engine.Predict(requests);
+        const CoSchedulePrediction joint = engine.Predict(requests, warm_ptr);
         Candidate candidate{placement, joint.jobs.back().speedup, 0.0};
         for (const Prediction& prediction : joint.jobs) {
           candidate.total_speedup += prediction.speedup;

@@ -234,6 +234,11 @@ class Rack {
   PredictionOptions options_;
   PredictionCache* cache_ = nullptr;  // null when options_.common.use_cache is off
   std::vector<uint64_t> machine_context_;  // MachineOptionsFingerprint per machine
+  // One persistent solver engine per machine. Building an engine copies the
+  // machine description and derives its ResourceIndex; hoisting that out of
+  // the per-candidate loop keeps Admit's fan-out allocation-free in the
+  // solver (each probe worker reuses its thread-local scratch arena).
+  std::vector<CoSchedulePredictor> engines_;
   std::vector<std::vector<RackJob>> residents_;
   // Telemetry bookkeeping: every successful Admit/AdmitAt/Depart/Move bumps
   // mutation_seq_ and the touched machines' machine_events_ entries.

@@ -23,11 +23,27 @@ std::string MemoryPolicyName(MemoryPolicy policy) {
 std::vector<double> MemoryNodeWeights(MemoryPolicy policy, int num_sockets,
                                       const std::vector<bool>& active_sockets,
                                       int thread_socket, int home_socket) {
+  PANDIA_CHECK(static_cast<int>(active_sockets.size()) == num_sockets);
+  std::vector<uint8_t> active(active_sockets.size(), 0);
+  for (size_t s = 0; s < active_sockets.size(); ++s) {
+    active[s] = active_sockets[s] ? 1 : 0;
+  }
+  std::vector<double> weights(static_cast<size_t>(num_sockets), 0.0);
+  MemoryNodeWeightsInto(policy, num_sockets, active, thread_socket, home_socket,
+                        weights);
+  return weights;
+}
+
+void MemoryNodeWeightsInto(MemoryPolicy policy, int num_sockets,
+                           std::span<const uint8_t> active_sockets,
+                           int thread_socket, int home_socket,
+                           std::span<double> weights) {
   PANDIA_CHECK(num_sockets > 0);
   PANDIA_CHECK(static_cast<int>(active_sockets.size()) == num_sockets);
+  PANDIA_CHECK(static_cast<int>(weights.size()) == num_sockets);
   PANDIA_CHECK(thread_socket >= 0 && thread_socket < num_sockets);
   PANDIA_CHECK(home_socket >= 0 && home_socket < num_sockets);
-  std::vector<double> weights(static_cast<size_t>(num_sockets), 0.0);
+  std::fill(weights.begin(), weights.end(), 0.0);
   switch (policy) {
     case MemoryPolicy::kLocal:
       weights[thread_socket] = 1.0;
@@ -36,11 +52,13 @@ std::vector<double> MemoryNodeWeights(MemoryPolicy policy, int num_sockets,
       std::fill(weights.begin(), weights.end(), 1.0 / num_sockets);
       break;
     case MemoryPolicy::kInterleaveActive: {
-      const int active =
-          static_cast<int>(std::count(active_sockets.begin(), active_sockets.end(), true));
+      int active = 0;
+      for (int s = 0; s < num_sockets; ++s) {
+        active += active_sockets[s] != 0 ? 1 : 0;
+      }
       PANDIA_CHECK_MSG(active > 0, "job has no active sockets");
       for (int s = 0; s < num_sockets; ++s) {
-        if (active_sockets[s]) {
+        if (active_sockets[s] != 0) {
           weights[s] = 1.0 / active;
         }
       }
@@ -50,7 +68,6 @@ std::vector<double> MemoryNodeWeights(MemoryPolicy policy, int num_sockets,
       weights[home_socket] = 1.0;
       break;
   }
-  return weights;
 }
 
 }  // namespace pandia

@@ -7,6 +7,8 @@
 #ifndef PANDIA_SRC_TOPOLOGY_MEMORY_POLICY_H_
 #define PANDIA_SRC_TOPOLOGY_MEMORY_POLICY_H_
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -29,6 +31,15 @@ std::string MemoryPolicyName(MemoryPolicy policy);
 std::vector<double> MemoryNodeWeights(MemoryPolicy policy, int num_sockets,
                                       const std::vector<bool>& active_sockets,
                                       int thread_socket, int home_socket);
+
+// Allocation-free variant for the predictor's solver hot path: writes the
+// weights into `weights` (size num_sockets, zero-filled by the callee).
+// `active_sockets` entries are 0/1 flags. Produces bit-identical values to
+// MemoryNodeWeights for the same inputs.
+void MemoryNodeWeightsInto(MemoryPolicy policy, int num_sockets,
+                           std::span<const uint8_t> active_sockets,
+                           int thread_socket, int home_socket,
+                           std::span<double> weights);
 
 }  // namespace pandia
 

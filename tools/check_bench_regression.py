@@ -4,22 +4,38 @@
 Compares a freshly produced google-benchmark JSON file against a committed
 baseline and fails (exit 1) when any benchmark's throughput — predictions per
 second, i.e. the inverse of per-iteration real time — regresses by more than
-the allowed percentage. Benchmarks present in only one of the two files are
-reported but never fail the gate, so adding or removing a benchmark does not
-require touching the baseline in the same commit.
+the allowed percentage.
+
+Aggregation: when benchmarks were run with repetitions, only the "median"
+aggregate rows are compared; when the run produced raw repetition rows with
+no aggregates, the median of the repetitions is taken here. Medians (never
+means) keep the gate robust to one noisy repetition on a shared CI runner.
 
 Usage:
-  check_bench_regression.py CURRENT.json BASELINE.json [--max-regression-pct N]
+  check_bench_regression.py CURRENT.json BASELINE.json [--tolerance N]
+      [--require-speedup NAME:FACTOR]... [--json-out FILE] [--fail-on-missing]
   check_bench_regression.py CURRENT.json BASELINE.json --update
 
---update rewrites BASELINE.json from CURRENT.json (stripping run-specific
-context like date and host) instead of checking; use it to refresh the
-committed baseline after an intentional perf change.
+--tolerance N (alias --max-regression-pct) is the maximum allowed throughput
+drop in percent; it can also come from the PANDIA_BENCH_THRESHOLD environment
+variable (the command-line flag wins).
 
-The threshold can also come from the PANDIA_BENCH_THRESHOLD environment
-variable; the command-line flag wins. When benchmarks were run with
-repetitions + aggregates, only the "median" aggregate rows are compared,
-which makes the gate robust to one noisy repetition on a shared CI runner.
+--require-speedup NAME:FACTOR asserts that the current run's throughput for
+NAME is at least FACTOR times the baseline's — the gate for "this change must
+make benchmark X at least FACTOR x faster". Repeatable. NAME must exist in
+both files.
+
+--fail-on-missing makes benchmarks present in the baseline but absent from
+the current run an error instead of a note, so a benchmark family silently
+falling out of the bench binary cannot pass the gate.
+
+--json-out FILE writes a machine-readable report (per-benchmark baseline /
+current / delta plus the overall verdict) for CI artifact upload.
+
+--update rewrites BASELINE.json from CURRENT.json (stripping run-specific
+context like date and host, keeping build-type and CPU keys) instead of
+checking; use it to refresh the committed baseline after an intentional perf
+change.
 """
 
 import argparse
@@ -27,31 +43,55 @@ import json
 import os
 import sys
 
+# Context keys that survive --update: they describe how comparable a
+# baseline is (build type, CPU count, pinning), not when/where it ran.
+BASELINE_CONTEXT_KEYS = (
+    "num_cpus",
+    "library_build_type",
+    "pandia_build_type",
+    "pandia_hardware_threads",
+    "pandia_pinned_cpu",
+)
+
+
+def _median(values):
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _throughput(row):
+    """Items/sec for one benchmark row, preferring the reported
+    items_per_second over the inverse of real_time."""
+    if "items_per_second" in row:
+        return float(row["items_per_second"])
+    real_time = float(row["real_time"])
+    scale = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}[row.get("time_unit", "ns")]
+    seconds = real_time * scale
+    if seconds <= 0:
+        return None
+    return 1.0 / seconds
+
 
 def load_rows(path):
-    """Returns {benchmark name: throughput in items/sec} from a google-benchmark
-    JSON file. Prefers median aggregates when present, and items_per_second
-    over the inverse of real_time when the benchmark reports it."""
+    """Returns (doc, {benchmark name: median throughput in items/sec}) from a
+    google-benchmark JSON file."""
     with open(path) as f:
         doc = json.load(f)
     benchmarks = doc.get("benchmarks", [])
     aggregates = [b for b in benchmarks if b.get("run_type") == "aggregate"]
     if aggregates:
         benchmarks = [b for b in aggregates if b.get("aggregate_name") == "median"]
-    rows = {}
+    samples = {}
     for b in benchmarks:
         name = b.get("run_name") or b["name"]
-        if "items_per_second" in b:
-            rows[name] = float(b["items_per_second"])
-            continue
-        real_time = float(b["real_time"])
-        # Normalize the time unit to seconds, then invert.
-        scale = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}[b.get("time_unit", "ns")]
-        seconds = real_time * scale
-        if seconds <= 0:
-            continue
-        rows[name] = 1.0 / seconds
-    return doc, rows
+        value = _throughput(b)
+        if value is not None:
+            samples.setdefault(name, []).append(value)
+    return doc, {name: _median(values) for name, values in samples.items()}
 
 
 def update_baseline(current_path, baseline_path):
@@ -59,15 +99,28 @@ def update_baseline(current_path, baseline_path):
         doc = json.load(f)
     # Drop run-specific context so baseline diffs only show perf changes.
     context = doc.get("context", {})
-    doc["context"] = {
-        k: context[k]
-        for k in ("num_cpus", "library_build_type")
-        if k in context
-    }
+    doc["context"] = {k: context[k] for k in BASELINE_CONTEXT_KEYS if k in context}
     with open(baseline_path, "w") as f:
         json.dump(doc, f, indent=2)
         f.write("\n")
     print(f"baseline updated: {baseline_path}")
+
+
+def parse_require_speedup(spec):
+    name, sep, factor = spec.rpartition(":")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"--require-speedup wants NAME:FACTOR, got {spec!r}"
+        )
+    try:
+        value = float(factor)
+    except ValueError as err:
+        raise argparse.ArgumentTypeError(
+            f"--require-speedup factor must be a number, got {factor!r}"
+        ) from err
+    if value <= 0:
+        raise argparse.ArgumentTypeError("--require-speedup factor must be positive")
+    return name, value
 
 
 def main():
@@ -75,11 +128,33 @@ def main():
     parser.add_argument("current", help="benchmark JSON from this run")
     parser.add_argument("baseline", help="committed baseline JSON")
     parser.add_argument(
+        "--tolerance",
         "--max-regression-pct",
+        dest="tolerance",
         type=float,
         default=float(os.environ.get("PANDIA_BENCH_THRESHOLD", "20")),
         help="maximum allowed throughput drop, in percent (default 20, "
         "or PANDIA_BENCH_THRESHOLD)",
+    )
+    parser.add_argument(
+        "--require-speedup",
+        type=parse_require_speedup,
+        action="append",
+        default=[],
+        metavar="NAME:FACTOR",
+        help="require current throughput of NAME to be at least FACTOR x "
+        "the baseline's (repeatable)",
+    )
+    parser.add_argument(
+        "--fail-on-missing",
+        action="store_true",
+        help="benchmarks in the baseline but not in the current run fail "
+        "the gate instead of being noted",
+    )
+    parser.add_argument(
+        "--json-out",
+        metavar="FILE",
+        help="write a machine-readable comparison report to FILE",
     )
     parser.add_argument(
         "--update",
@@ -98,33 +173,85 @@ def main():
     if not baseline:
         print(f"error: no benchmarks in baseline {args.baseline}", file=sys.stderr)
         return 1
+    if not current:
+        print(f"error: no benchmarks in current {args.current}", file=sys.stderr)
+        return 1
 
-    threshold = args.max_regression_pct
-    failures = []
+    threshold = args.tolerance
+    regressions = []
+    missing = []
+    report = {
+        "tolerance_pct": threshold,
+        "benchmarks": [],
+        "missing": [],
+        "new": [],
+        "speedup_requirements": [],
+    }
     print(f"{'benchmark':<44} {'baseline/s':>14} {'current/s':>14} {'delta':>8}")
     for name in sorted(baseline):
         if name not in current:
+            missing.append(name)
+            report["missing"].append(name)
             print(f"{name:<44} {baseline[name]:>14.1f} {'missing':>14} {'--':>8}")
             continue
         delta_pct = (current[name] / baseline[name] - 1.0) * 100.0
-        marker = ""
-        if delta_pct < -threshold:
-            failures.append((name, delta_pct))
-            marker = "  <-- REGRESSION"
+        regressed = delta_pct < -threshold
+        if regressed:
+            regressions.append((name, delta_pct))
+        report["benchmarks"].append(
+            {
+                "name": name,
+                "baseline_items_per_second": baseline[name],
+                "current_items_per_second": current[name],
+                "delta_pct": delta_pct,
+                "regressed": regressed,
+            }
+        )
+        marker = "  <-- REGRESSION" if regressed else ""
         print(
             f"{name:<44} {baseline[name]:>14.1f} {current[name]:>14.1f} "
             f"{delta_pct:>+7.1f}%{marker}"
         )
     for name in sorted(set(current) - set(baseline)):
+        report["new"].append(name)
         print(f"{name:<44} {'(new)':>14} {current[name]:>14.1f} {'--':>8}")
 
-    if failures:
+    unmet = []
+    for name, factor in args.require_speedup:
+        if name not in baseline or name not in current:
+            unmet.append((name, factor, None))
+            report["speedup_requirements"].append(
+                {"name": name, "required_factor": factor, "actual_factor": None,
+                 "met": False}
+            )
+            continue
+        actual = current[name] / baseline[name]
+        met = actual >= factor
+        if not met:
+            unmet.append((name, factor, actual))
+        report["speedup_requirements"].append(
+            {"name": name, "required_factor": factor, "actual_factor": actual,
+             "met": met}
+        )
         print(
-            f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
+            f"require-speedup {name}: {actual:.2f}x "
+            f"(need >= {factor:.2f}x) {'ok' if met else 'UNMET'}"
+        )
+
+    failed = bool(regressions) or bool(unmet) or (args.fail_on_missing and missing)
+    report["ok"] = not failed
+    if args.json_out:
+        with open(args.json_out, "w") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
             f"{threshold:.0f}% vs {args.baseline}:",
             file=sys.stderr,
         )
-        for name, delta_pct in failures:
+        for name, delta_pct in regressions:
             print(f"  {name}: {delta_pct:+.1f}%", file=sys.stderr)
         print(
             "If the regression is intended, refresh the baseline with:\n"
@@ -132,6 +259,26 @@ def main():
             f"{args.baseline} --update",
             file=sys.stderr,
         )
+    if args.fail_on_missing and missing:
+        print(
+            f"\nFAIL: {len(missing)} baseline benchmark(s) missing from the "
+            f"current run: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+    for name, factor, actual in unmet:
+        if actual is None:
+            print(
+                f"\nFAIL: --require-speedup {name}:{factor} — benchmark not "
+                "present in both files",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"\nFAIL: {name} is {actual:.2f}x the baseline, required "
+                f">= {factor:.2f}x",
+                file=sys.stderr,
+            )
+    if failed:
         return 1
     print(f"\nOK: no benchmark regressed more than {threshold:.0f}%")
     return 0

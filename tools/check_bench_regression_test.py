@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""Unit tests for check_bench_regression.py (run via ctest as
+tools_bench_regression_test)."""
+
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "check_bench_regression.py")
+
+spec = importlib.util.spec_from_file_location("check_bench_regression", TOOL)
+cbr = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(cbr)
+
+
+def bench_doc(rows, context=None):
+    doc = {"context": context or {"num_cpus": 1, "date": "2026-08-08",
+                                  "host_name": "ci-runner",
+                                  "pandia_build_type": "Release"}}
+    doc["benchmarks"] = rows
+    return doc
+
+
+def raw_row(name, items_per_second, run_name=None):
+    return {
+        "name": name,
+        "run_name": run_name or name,
+        "run_type": "iteration",
+        "real_time": 1e9 / items_per_second,
+        "time_unit": "ns",
+        "items_per_second": items_per_second,
+    }
+
+
+def aggregate_row(name, aggregate, items_per_second):
+    return {
+        "name": f"{name}_{aggregate}",
+        "run_name": name,
+        "run_type": "aggregate",
+        "aggregate_name": aggregate,
+        "real_time": 1e9 / items_per_second,
+        "time_unit": "ns",
+        "items_per_second": items_per_second,
+    }
+
+
+class LoadRowsTest(unittest.TestCase):
+    def write(self, doc):
+        f = tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False, dir=self.tmp.name)
+        json.dump(doc, f)
+        f.close()
+        return f.name
+
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def test_prefers_median_aggregates(self):
+        path = self.write(bench_doc([
+            raw_row("BM_X", 50.0),
+            aggregate_row("BM_X", "mean", 90.0),
+            aggregate_row("BM_X", "median", 100.0),
+            aggregate_row("BM_X", "stddev", 5.0),
+        ]))
+        _, rows = cbr.load_rows(path)
+        self.assertEqual(rows, {"BM_X": 100.0})
+
+    def test_median_of_raw_repetitions(self):
+        # Five repetitions without aggregates: the median (300), not the
+        # first, last, or mean, must win.
+        path = self.write(bench_doc([
+            raw_row("BM_X/8", v, run_name="BM_X/8")
+            for v in (100.0, 200.0, 300.0, 400.0, 10000.0)
+        ]))
+        _, rows = cbr.load_rows(path)
+        self.assertEqual(rows, {"BM_X/8": 300.0})
+
+    def test_even_repetitions_average_middle_pair(self):
+        path = self.write(bench_doc(
+            [raw_row("BM_X", v) for v in (100.0, 200.0, 300.0, 400.0)]))
+        _, rows = cbr.load_rows(path)
+        self.assertEqual(rows, {"BM_X": 250.0})
+
+    def test_falls_back_to_inverse_real_time(self):
+        row = raw_row("BM_X", 1000.0)
+        del row["items_per_second"]
+        row["real_time"] = 1000.0  # 1000 ns -> 1e6 items/sec
+        path = self.write(bench_doc([row]))
+        _, rows = cbr.load_rows(path)
+        self.assertAlmostEqual(rows["BM_X"], 1e6)
+
+
+class MainTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    def run_tool(self, *argv):
+        return subprocess.run(
+            [sys.executable, TOOL, *argv],
+            capture_output=True, text=True,
+            env={**os.environ, "PANDIA_BENCH_THRESHOLD": "20"})
+
+    def test_pass_within_tolerance(self):
+        base = self.write("base.json", bench_doc([raw_row("BM_X", 100.0)]))
+        cur = self.write("cur.json", bench_doc([raw_row("BM_X", 90.0)]))
+        result = self.run_tool(cur, base)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_fail_beyond_tolerance(self):
+        base = self.write("base.json", bench_doc([raw_row("BM_X", 100.0)]))
+        cur = self.write("cur.json", bench_doc([raw_row("BM_X", 70.0)]))
+        result = self.run_tool(cur, base)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("REGRESSION", result.stdout)
+
+    def test_tolerance_flag_overrides_env(self):
+        base = self.write("base.json", bench_doc([raw_row("BM_X", 100.0)]))
+        cur = self.write("cur.json", bench_doc([raw_row("BM_X", 70.0)]))
+        result = self.run_tool(cur, base, "--tolerance", "40")
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_max_regression_pct_alias(self):
+        base = self.write("base.json", bench_doc([raw_row("BM_X", 100.0)]))
+        cur = self.write("cur.json", bench_doc([raw_row("BM_X", 70.0)]))
+        result = self.run_tool(cur, base, "--max-regression-pct", "40")
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_missing_family_notes_by_default(self):
+        base = self.write("base.json", bench_doc(
+            [raw_row("BM_X", 100.0), raw_row("BM_Gone", 100.0)]))
+        cur = self.write("cur.json", bench_doc([raw_row("BM_X", 100.0)]))
+        result = self.run_tool(cur, base)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("missing", result.stdout)
+
+    def test_missing_family_fails_with_flag(self):
+        base = self.write("base.json", bench_doc(
+            [raw_row("BM_X", 100.0), raw_row("BM_Gone", 100.0)]))
+        cur = self.write("cur.json", bench_doc([raw_row("BM_X", 100.0)]))
+        result = self.run_tool(cur, base, "--fail-on-missing")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("BM_Gone", result.stderr)
+
+    def test_empty_current_fails(self):
+        base = self.write("base.json", bench_doc([raw_row("BM_X", 100.0)]))
+        cur = self.write("cur.json", bench_doc([]))
+        result = self.run_tool(cur, base)
+        self.assertEqual(result.returncode, 1)
+
+    def test_require_speedup_met(self):
+        base = self.write("base.json", bench_doc([raw_row("BM_X", 100.0)]))
+        cur = self.write("cur.json", bench_doc([raw_row("BM_X", 600.0)]))
+        result = self.run_tool(cur, base, "--require-speedup", "BM_X:5")
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_require_speedup_unmet(self):
+        base = self.write("base.json", bench_doc([raw_row("BM_X", 100.0)]))
+        cur = self.write("cur.json", bench_doc([raw_row("BM_X", 300.0)]))
+        result = self.run_tool(cur, base, "--require-speedup", "BM_X:5")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("required >= 5.00x", result.stderr)
+
+    def test_require_speedup_missing_benchmark_fails(self):
+        base = self.write("base.json", bench_doc([raw_row("BM_X", 100.0)]))
+        cur = self.write("cur.json", bench_doc([raw_row("BM_X", 100.0)]))
+        result = self.run_tool(cur, base, "--require-speedup", "BM_Y:2")
+        self.assertEqual(result.returncode, 1)
+
+    def test_require_speedup_name_with_slash_args(self):
+        base = self.write("base.json", bench_doc(
+            [raw_row("BM_X/18", 100.0)]))
+        cur = self.write("cur.json", bench_doc([raw_row("BM_X/18", 600.0)]))
+        result = self.run_tool(cur, base, "--require-speedup", "BM_X/18:5")
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_json_out_report(self):
+        base = self.write("base.json", bench_doc(
+            [raw_row("BM_X", 100.0), raw_row("BM_Gone", 100.0)]))
+        cur = self.write("cur.json", bench_doc(
+            [raw_row("BM_X", 60.0), raw_row("BM_New", 1.0)]))
+        out = os.path.join(self.tmp.name, "report.json")
+        result = self.run_tool(cur, base, "--json-out", out)
+        self.assertEqual(result.returncode, 1)
+        with open(out) as f:
+            report = json.load(f)
+        self.assertFalse(report["ok"])
+        self.assertEqual(report["missing"], ["BM_Gone"])
+        self.assertEqual(report["new"], ["BM_New"])
+        (row,) = report["benchmarks"]
+        self.assertEqual(row["name"], "BM_X")
+        self.assertTrue(row["regressed"])
+        self.assertAlmostEqual(row["delta_pct"], -40.0)
+
+    def test_update_strips_run_specific_context(self):
+        cur = self.write("cur.json", bench_doc(
+            [raw_row("BM_X", 100.0)],
+            context={"date": "2026-08-08", "host_name": "dev-box",
+                     "num_cpus": 1, "pandia_build_type": "Release",
+                     "pandia_pinned_cpu": 0}))
+        baseline = os.path.join(self.tmp.name, "baseline.json")
+        result = self.run_tool(cur, baseline, "--update")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        with open(baseline) as f:
+            doc = json.load(f)
+        self.assertEqual(
+            doc["context"],
+            {"num_cpus": 1, "pandia_build_type": "Release",
+             "pandia_pinned_cpu": 0})
+        # The updated baseline must round-trip through a check cleanly.
+        result = self.run_tool(cur, baseline)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
