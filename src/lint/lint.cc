@@ -489,6 +489,36 @@ void CheckMetricName(const Sink& sink,
   }
 }
 
+// no-raw-journal-io — the Journal class (src/serve/journal.cc) owns every
+// byte of journal file I/O: checksummed framing, fsync policy, and atomic
+// compaction all live behind its API, so any direct stdio/fd call on a
+// journal file elsewhere in src/serve/ is a durability bug waiting to
+// happen (an unframed write corrupts the log; an unsynced one breaks the
+// recovery contract).
+void CheckNoRawJournalIo(const Sink& sink,
+                         const std::vector<std::string_view>& code_lines) {
+  if (!StartsWith(sink.path, "src/serve/")) return;
+  if (EndsWith(sink.path, "serve/journal.cc")) return;
+  static constexpr std::string_view kCalls[] = {
+      "fopen",  "freopen", "fwrite", "fprintf",   "fputs",     "fputc",
+      "fflush", "fclose",  "fread",  "fscanf",    "fsync",     "fdatasync",
+      "ftruncate", "truncate", "rename",
+  };
+  for (size_t li = 0; li < code_lines.size(); ++li) {
+    std::string_view line = code_lines[li];
+    const int lineno = static_cast<int>(li) + 1;
+    for (std::string_view call : kCalls) {
+      if (HasCall(line, call)) {
+        sink.Report(lineno, "no-raw-journal-io",
+                    std::string(call) +
+                        "() in src/serve/ outside journal.cc; all journal "
+                        "file I/O goes through serve::Journal (checksummed "
+                        "framing, fsync policy, atomic compaction)");
+      }
+    }
+  }
+}
+
 // todo-owner — every TODO(owner) must actually name the owner.
 void CheckTodoOwner(const Sink& sink,
                     const std::vector<std::string_view>& comment_lines) {
@@ -526,6 +556,10 @@ const std::vector<RuleInfo>& Rules() {
       {"unordered-wire",
        "no unordered containers in src/serialize/ or src/serve/; wire and "
        "STATUS output must not depend on hash order"},
+      {"no-raw-journal-io",
+       "no direct file I/O (fopen/fwrite/fflush/fsync/rename/...) in "
+       "src/serve/ outside journal.cc; the Journal class owns every journal "
+       "byte"},
       {"todo-owner", "TODO comments must name an owner: TODO(name): ..."},
       {"metric-name",
        "instrument names at counter(/gauge(/histogram( call sites follow "
@@ -547,6 +581,7 @@ std::vector<Finding> LintFile(std::string_view path, std::string_view content) {
   CheckNoAbort(sink, code_lines);
   CheckUnseededRand(sink, code_lines);
   CheckUnorderedWire(sink, code_lines);
+  CheckNoRawJournalIo(sink, code_lines);
   CheckTodoOwner(sink, comment_lines);
   CheckMetricName(sink, code_lines, raw_lines);
 

@@ -25,6 +25,7 @@
 
 #include "src/util/check.h"
 #include "src/util/common_options.h"
+#include "src/util/crc32c.h"
 #include "src/util/mutex.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
@@ -67,6 +68,7 @@
 
 #include "src/rack/rack.h"
 
+#include "src/serve/journal.h"
 #include "src/serve/service.h"
 #include "src/serve/socket.h"
 

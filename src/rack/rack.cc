@@ -654,6 +654,75 @@ void Rack::Reset() {
   std::fill(machine_events_.begin(), machine_events_.end(), 0);
 }
 
+Rack::SavedState Rack::SaveState() const {
+  SavedState state;
+  state.mutation_seq = mutation_seq_;
+  state.machine_events = machine_events_;
+  for (size_t m = 0; m < residents_.size(); ++m) {
+    for (const RackJob& resident : residents_[m]) {
+      state.jobs.push_back(SavedJob{static_cast<int>(m), resident});
+    }
+  }
+  return state;
+}
+
+Status Rack::RestoreState(const SavedState& state) {
+  if (state.machine_events.size() != machines_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("saved state has %zu machine-event counters for %zu machines",
+                  state.machine_events.size(), machines_.size()));
+  }
+  // Validate everything into a staging copy first: a bad snapshot must not
+  // leave the rack half-restored.
+  std::vector<std::vector<RackJob>> staged(machines_.size());
+  std::vector<std::vector<uint8_t>> free(machines_.size());
+  for (size_t m = 0; m < machines_.size(); ++m) {
+    const MachineTopology& topo = machines_[m].description.topo;
+    free[m].assign(static_cast<size_t>(topo.NumCores()),
+                   static_cast<uint8_t>(topo.threads_per_core));
+  }
+  for (const SavedJob& saved : state.jobs) {
+    if (saved.machine_index < 0 ||
+        static_cast<size_t>(saved.machine_index) >= machines_.size()) {
+      return Status::InvalidArgument(
+          StrFormat("saved job '%s' names machine %d of %zu",
+                    saved.job.name.c_str(), saved.machine_index,
+                    machines_.size()));
+    }
+    if (saved.job.name.empty()) {
+      return Status::InvalidArgument("saved job has an empty name");
+    }
+    for (const auto& residents : staged) {
+      for (const RackJob& other : residents) {
+        if (other.name == saved.job.name) {
+          return Status::InvalidArgument(StrFormat(
+              "saved state names job '%s' twice", saved.job.name.c_str()));
+        }
+      }
+    }
+    PANDIA_RETURN_IF_ERROR(saved.job.description.Validate());
+    const size_t m = static_cast<size_t>(saved.machine_index);
+    PANDIA_RETURN_IF_ERROR(
+        ValidatePlacementFits(saved.machine_index, saved.job.placement, free[m]));
+    const std::vector<uint8_t>& per_core = saved.job.placement.PerCore();
+    for (size_t c = 0; c < per_core.size(); ++c) {
+      free[m][c] = static_cast<uint8_t>(free[m][c] - per_core[c]);
+    }
+    RackJob job = saved.job;
+    job.workload_fingerprint = WorkloadFingerprint(job.description);
+    staged[m].push_back(std::move(job));
+  }
+  residents_ = std::move(staged);
+  mutation_seq_ = state.mutation_seq;
+  machine_events_ = state.machine_events;
+  // The whole resident set may have changed shape; drop loosely-keyed cache
+  // entries the same way Depart does.
+  if (cache_ != nullptr) {
+    cache_->BumpGeneration();
+  }
+  return Status::Ok();
+}
+
 RackScheduler::RackScheduler(std::vector<RackMachine> machines,
                              PredictionOptions options)
     : rack_(std::move(machines), options) {}

@@ -221,6 +221,33 @@ class Rack {
   // Clears all residents.
   void Reset();
 
+  // A full copy of the rack's mutable state: every resident (including its
+  // telemetry baseline fields) plus the mutation counters Telemetry()
+  // reports. Two uses: the placement service's journal snapshots (compaction
+  // serializes a SavedState, restart restores it) and transactional rollback
+  // (capture before a mutation, restore if the journal append fails, so
+  // TELEMETRY is byte-identical to never having tried).
+  struct SavedJob {
+    int machine_index = -1;
+    RackJob job;
+  };
+  struct SavedState {
+    uint64_t mutation_seq = 0;
+    // One entry per machine, same order as machines().
+    std::vector<uint64_t> machine_events;
+    // Machine-major, resident order preserved — RestoreState reproduces the
+    // exact joint-solve order, so predictions match the saved rack's.
+    std::vector<SavedJob> jobs;
+  };
+  SavedState SaveState() const;
+
+  // Replaces all resident state with `state`. Validates machine indices,
+  // descriptions, and placement fits before touching anything, so a failed
+  // restore leaves the rack unchanged. Does not bump mutation counters —
+  // restoring is bookkeeping, not a rack event. Workload fingerprints are
+  // recomputed from the descriptions.
+  [[nodiscard]] Status RestoreState(const SavedState& state);
+
  private:
   std::optional<Candidate> BestCandidateAgainst(int machine_index,
                                                 const JobRequest& job, Policy policy,

@@ -1,8 +1,10 @@
 // Wire schema for the placement service (src/serve) — version 1.
 //
 // The service speaks a line-delimited text protocol over stdin/stdout and
-// over a Unix-domain socket; the same framing is reused for the mutation
-// journal, so one grammar covers every byte the daemon reads or writes.
+// over a Unix-domain socket; the same request grammar is reused for the
+// mutation journal's record payloads (journal v2 wraps each request line in
+// a checksummed `seq crc len payload` frame — see src/serve/journal.h), so
+// one grammar covers every byte the daemon reads or writes.
 //
 // Request (one line):
 //
@@ -12,8 +14,10 @@
 //   value   = escaped string (see EscapeValue); may be empty
 //
 // The grammar is verb-agnostic; the service (src/serve) defines the v1 verb
-// set: ADMIT, DEPART, REBALANCE, STATUS, METRICS, TELEMETRY, RECORDER, and
-// SHUTDOWN. Unknown verbs parse fine and earn a structured err response.
+// set: ADMIT, DEPART, REBALANCE, COMPACT, STATUS, METRICS, TELEMETRY,
+// RECORDER, and SHUTDOWN (COMPACT is a post-v1 extension; the protocol
+// version only moves on incompatible changes). Unknown verbs parse fine and
+// earn a structured err response.
 //
 // Values are escaped so arbitrary text — including the multi-line workload
 // description documents carried by ADMIT — fits in one space-separated

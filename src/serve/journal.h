@@ -1,0 +1,180 @@
+// The placement service's durable mutation journal — version 2.
+//
+// A Journal owns every byte of file I/O for one journal path; the service
+// (src/serve/service.h) never touches the file directly (the pandia_lint
+// rule `no-raw-journal-io` enforces this). The file is line-oriented text:
+//
+//   journal  = magic LF *( record LF )
+//   magic    = "pandia-journal v2"
+//   record   = seq SP crc SP len SP payload
+//   seq      = 1*DIGIT          ; starts at 1, +1 per record, survives
+//                               ; compaction (the snapshot keeps counting)
+//   crc      = 8HEXDIG          ; CRC32C of the payload bytes (lowercase)
+//   len      = 1*DIGIT          ; payload length in bytes
+//   payload  = wire-v1 request line (src/serialize/wire.h)
+//
+// Payloads are wire request lines, whose escaping already bans raw
+// newlines, so the framing is text-safe: the journal remains a grep-able
+// log while every record is independently verifiable.
+//
+// Recovery distinguishes two failure shapes:
+//
+//   * A torn FINAL record (missing newline, short payload, CRC mismatch —
+//     the signature of a crash mid-append) is truncated away and replay
+//     continues; the caller is told via JournalRecovery so it can log the
+//     event. Under the kill -9 crash model every acknowledged append was
+//     fflush()ed first, so a torn tail can only be an unacknowledged
+//     mutation — dropping it is correct, not lossy.
+//   * Any defect BEFORE the final record is corruption: Open refuses with
+//     a DataLoss status naming the exact line, because silently skipping a
+//     mid-file record would replay a state the daemon never held.
+//
+// One exception: a torn SNAPSHOT record is refused even at the tail.
+// Snapshots are only written via fsync-then-rename compaction, so a torn
+// snapshot means the atomicity contract was violated and truncating would
+// silently drop the entire pre-compaction history.
+//
+// Sync policy: appends always fflush() (page-cache durability — survives
+// kill -9); fsync() cadence is configurable: `none` (rely on the kernel),
+// `interval` (every N records, the default: bounded loss on power failure
+// at a fraction of every-record's latency), `every-record` (fsync before
+// acknowledging each mutation).
+//
+// Compaction rewrites the journal as one SNAPSHOT record: write header +
+// snapshot to `<path>.tmp`, fflush+fsync, rename(2) over the journal, fsync
+// the directory. A crash at any point leaves either the complete old or the
+// complete new journal — never a hybrid — because rename is atomic and the
+// tmp is durable before the rename. Stale `<path>.tmp` files from crashed
+// compactions are removed on Open.
+//
+// v1 journals ("pandia-journal v1": raw request lines, no checksums) are
+// recovered read-only for backward compatibility; the owner compacts to v2
+// before the first new append (needs_upgrade()).
+//
+// Test hooks (never set in production): PANDIA_JOURNAL_CRASH_AT kills the
+// process at a scripted point mid-append or mid-compaction (see
+// journal.cc), and InjectAppendFailures makes the next N appends fail —
+// how the degraded-mode and soak tests exercise torn writes and disk
+// faults deterministically.
+#ifndef PANDIA_SRC_SERVE_JOURNAL_H_
+#define PANDIA_SRC_SERVE_JOURNAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/serialize/wire.h"
+#include "src/util/status.h"
+
+namespace pandia {
+namespace serve {
+
+enum class SyncPolicy {
+  kNone,         // fflush only; fsync left to the kernel
+  kInterval,     // fflush every record, fsync every sync_interval_records
+  kEveryRecord,  // fflush + fsync before acknowledging every record
+};
+
+std::string SyncPolicyName(SyncPolicy policy);
+StatusOr<SyncPolicy> SyncPolicyFromName(const std::string& name);
+
+struct JournalOptions {
+  SyncPolicy sync = SyncPolicy::kInterval;
+  // fsync cadence under SyncPolicy::kInterval (records per fsync).
+  int sync_interval_records = 32;
+  // Test-only: fail the next N appends without touching the file, as a
+  // persistently-failing disk would (see PlacementService degraded mode).
+  int fail_next_appends = 0;
+};
+
+// One recovered record with its 1-based line number in the file (line 1 is
+// the magic), so replay errors can name the exact line.
+struct JournalRecord {
+  wire::Request request;
+  size_t line = 0;
+};
+
+// What Open() found in an existing file.
+struct JournalRecovery {
+  int version = 2;  // header version (1: legacy raw-line journal)
+  std::vector<JournalRecord> records;
+  // A torn final record was truncated away (v2 only). The byte count is
+  // what was dropped; the caller should log the event.
+  bool truncated_torn_tail = false;
+  uint64_t truncated_bytes = 0;
+};
+
+// A durable record log. Not internally synchronized: the owner serializes
+// access (the service holds its Journal under the same mutex as the rack).
+class Journal {
+ public:
+  // Opens (creating if absent) and recovers the journal at `path`. Refuses
+  // mid-file corruption with DataLoss naming the line; truncates a torn
+  // final record and reports it in recovery().
+  static StatusOr<Journal> Open(std::string path, JournalOptions options);
+
+  Journal(Journal&& other) noexcept;
+  Journal& operator=(Journal&& other) noexcept;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+  ~Journal();
+
+  const std::string& path() const { return path_; }
+  const JournalRecovery& recovery() const { return recovery_; }
+  // True for a recovered v1 journal: call Compact() (rewriting the file as
+  // a v2 snapshot) before the first Append.
+  bool needs_upgrade() const { return version_ == 1; }
+  // Sequence number the next appended record will carry.
+  uint64_t next_seq() const { return next_seq_; }
+  // Records currently in the file (snapshot included, header excluded).
+  uint64_t record_count() const { return record_count_; }
+  // Records appended since the last snapshot (or since the journal began,
+  // if it has never been compacted) — the compaction-trigger denominator.
+  uint64_t records_since_snapshot() const { return records_since_snapshot_; }
+  uint64_t size_bytes() const { return size_bytes_; }
+
+  // Appends one record (fails on a v1 journal until it is upgraded). On
+  // success the record is at least page-cache durable (fflush), fsync'd per
+  // the sync policy. A failed append leaves the in-memory counters
+  // unchanged; the file may hold a torn record that the next recovery
+  // truncates.
+  [[nodiscard]] Status Append(const wire::Request& record);
+
+  // Atomically replaces the journal with header + `snapshot` (one record
+  // carrying the full state; the caller serializes it). The snapshot takes
+  // the next sequence number, so seq stays monotonic across compactions.
+  [[nodiscard]] Status Compact(const wire::Request& snapshot);
+
+  // Forces an fsync now (e.g. before a clean shutdown).
+  [[nodiscard]] Status Sync();
+
+  // Test-only: fail the next `n` appends (see JournalOptions).
+  void InjectAppendFailures(int n) { options_.fail_next_appends = n; }
+
+ private:
+  Journal(std::string path, JournalOptions options);
+
+  void Close();
+  Status FsyncNow();
+
+  std::string path_;
+  JournalOptions options_;
+  std::FILE* file_ = nullptr;
+  JournalRecovery recovery_;
+  int version_ = 2;
+  uint64_t next_seq_ = 1;
+  uint64_t record_count_ = 0;
+  uint64_t records_since_snapshot_ = 0;
+  uint64_t size_bytes_ = 0;
+  int records_since_sync_ = 0;
+  // PANDIA_JOURNAL_CRASH_AT state: appends (and compaction stages) left
+  // before the scripted _Exit. Negative: hook disarmed.
+  int crash_appends_left_ = -1;
+  std::string crash_stage_;
+};
+
+}  // namespace serve
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_SERVE_JOURNAL_H_

@@ -17,8 +17,6 @@ namespace pandia {
 namespace serve {
 namespace {
 
-constexpr const char kJournalMagic[] = "pandia-journal v1";
-
 int64_t NowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
@@ -44,6 +42,7 @@ const VerbInstruments& InstrumentsFor(const std::string& verb) {
              {"ADMIT", "admit"},
              {"DEPART", "depart"},
              {"REBALANCE", "rebalance"},
+             {"COMPACT", "compact"},
              {"STATUS", "status"},
              {"METRICS", "metrics"},
              {"TELEMETRY", "telemetry"},
@@ -64,15 +63,15 @@ const VerbInstruments& InstrumentsFor(const std::string& verb) {
   return it != table->end() ? it->second : table->at("");
 }
 
-obs::Histogram& JournalAppendLatency() {
-  static obs::Histogram& histogram = obs::MetricsRegistry::Global().histogram(
-      "serve.journal.append_latency_us", obs::ExponentialBounds(1, 2, 20));
-  return histogram;
+obs::Gauge& DegradedGauge() {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::Global().gauge("serve.degraded");
+  return gauge;
 }
-obs::Counter& JournalBytes() {
-  static obs::Counter& counter =
-      obs::MetricsRegistry::Global().counter("serve.journal.bytes");
-  return counter;
+obs::Gauge& LiveRatioGauge() {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::Global().gauge("serve.journal.live_ratio");
+  return gauge;
 }
 obs::Counter& ParseErrors() {
   static obs::Counter& counter =
@@ -98,6 +97,39 @@ StatusOr<int> ParseInt(const std::string& value, const char* what) {
                   value.c_str()));
   }
   return static_cast<int>(parsed);
+}
+
+StatusOr<uint64_t> ParseUint64(const std::string& value, const char* what) {
+  if (value.empty() || value.size() > 19) {
+    return Status::InvalidArgument(StrFormat(
+        "parameter '%s' must be a non-negative integer, got '%s'", what,
+        value.c_str()));
+  }
+  uint64_t parsed = 0;
+  for (const char c : value) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(StrFormat(
+          "parameter '%s' must be a non-negative integer, got '%s'", what,
+          value.c_str()));
+    }
+    parsed = parsed * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return parsed;
+}
+
+StatusOr<double> ParseDouble(const std::string& value, const char* what) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (value.empty() || *end != '\0') {
+    return Status::InvalidArgument(StrFormat(
+        "parameter '%s' must be a number, got '%s'", what, value.c_str()));
+  }
+  return parsed;
+}
+
+bool IsMutatingVerb(const std::string& verb) {
+  return verb == "ADMIT" || verb == "DEPART" || verb == "REBALANCE" ||
+         verb == "COMPACT";
 }
 
 // The resource the job is predicted to be limited by: the bottleneck of its
@@ -128,35 +160,42 @@ StatusOr<PlacementService> PlacementService::Create(
   PlacementService service(std::move(machines), std::move(options));
   const std::string& path = service.options_.journal_path;
   if (!path.empty()) {
-    // The service is not shared yet, but replay and journal reopening touch
-    // guarded state, so take the (uncontended) lock for the analysis.
+    // The service is not shared yet, but replay touches guarded state, so
+    // take the (uncontended) lock for the analysis.
     util::MutexLock lock(service.mu_);
-    if (std::FILE* existing = std::fopen(path.c_str(), "rb")) {
-      std::fclose(existing);
-      StatusOr<std::string> text = ReadTextFile(path);
-      if (!text.ok()) {
-        return text.status();
-      }
-      bool saw_magic = false;
-      PANDIA_RETURN_IF_ERROR(service.ReplayJournal(*text, &saw_magic));
-      service.journal_ = std::fopen(path.c_str(), "ab");
-      if (service.journal_ != nullptr && !saw_magic) {
-        // A journal with no records at all (0 bytes, e.g. a crash between
-        // creating the file and writing its header) is a fresh journal;
-        // give it the header so the next restart can replay it.
-        std::fprintf(service.journal_, "%s\n", kJournalMagic);
-        std::fflush(service.journal_);
-      }
-    } else {
-      service.journal_ = std::fopen(path.c_str(), "wb");
-      if (service.journal_ != nullptr) {
-        std::fprintf(service.journal_, "%s\n", kJournalMagic);
-        std::fflush(service.journal_);
-      }
+    StatusOr<Journal> journal = Journal::Open(path, service.options_.journal);
+    if (!journal.ok()) {
+      return journal.status();
     }
-    if (service.journal_ == nullptr) {
-      return Status::Unavailable(
-          StrFormat("cannot open journal '%s' for appending", path.c_str()));
+    service.journal_ = std::make_unique<Journal>(std::move(*journal));
+    const JournalRecovery& recovered = service.journal_->recovery();
+    size_t start = 0;
+    if (!recovered.records.empty() &&
+        recovered.records.front().request.verb == "SNAPSHOT") {
+      PANDIA_RETURN_IF_ERROR(service.RestoreSnapshot(
+          recovered.records.front().request, recovered.records.front().line));
+      start = 1;
+    }
+    for (size_t i = start; i < recovered.records.size(); ++i) {
+      const JournalRecord& record = recovered.records[i];
+      if (record.request.verb == "SNAPSHOT") {
+        return Status::DataLoss(StrFormat(
+            "journal line %zu: SNAPSHOT is only valid as the first record",
+            record.line));
+      }
+      if (record.request.verb == "NOTE") {
+        continue;  // degraded-mode probes carry no state
+      }
+      PANDIA_RETURN_IF_ERROR(service.ApplyRecord(record.request, record.line));
+    }
+    if (recovered.truncated_torn_tail) {
+      obs::EventLog::Global().Log(
+          obs::LogLevel::kWarn, "serve.journal",
+          "truncated torn journal tail (unacknowledged record from a crash "
+          "mid-append)",
+          {{"path", path},
+           {"bytes", StrFormat("%llu", static_cast<unsigned long long>(
+                                           recovered.truncated_bytes))}});
     }
   }
   return service;
@@ -171,29 +210,26 @@ PlacementService::PlacementService(std::vector<rack::RackMachine> machines,
 PlacementService::PlacementService(PlacementService&& other) noexcept
     : options_(std::move(other.options_)),
       rack_(std::move(other.rack_)),
-      journal_(std::exchange(other.journal_, nullptr)),
+      journal_(std::move(other.journal_)),
       shutdown_(other.shutdown_),
+      degraded_(other.degraded_),
+      journal_failures_(other.journal_failures_),
       recorder_(std::move(other.recorder_)) {}
 
 PlacementService& PlacementService::operator=(PlacementService&& other) noexcept {
   if (this != &other) {
-    if (journal_ != nullptr) {
-      std::fclose(journal_);
-    }
     options_ = std::move(other.options_);
     rack_ = std::move(other.rack_);
-    journal_ = std::exchange(other.journal_, nullptr);
+    journal_ = std::move(other.journal_);
     shutdown_ = other.shutdown_;
+    degraded_ = other.degraded_;
+    journal_failures_ = other.journal_failures_;
     recorder_ = std::move(other.recorder_);
   }
   return *this;
 }
 
-PlacementService::~PlacementService() {
-  if (journal_ != nullptr) {
-    std::fclose(journal_);
-  }
-}
+PlacementService::~PlacementService() = default;
 
 std::string PlacementService::HandleLine(const std::string& line) {
   StatusOr<wire::Request> request = wire::ParseRequest(line);
@@ -220,6 +256,9 @@ wire::Response PlacementService::Handle(const wire::Request& request) {
       free += rack_.FreeThreadCount(static_cast<int>(m));
     }
     FreeThreadsGauge().Set(free);
+    if (journal_ != nullptr) {
+      LiveRatioGauge().Set(LiveRatio());
+    }
   }
   const double latency_us =
       static_cast<double>(NowNs() - start_ns) / 1000.0;
@@ -248,7 +287,43 @@ bool PlacementService::shutdown_requested() const {
   return shutdown_;
 }
 
+bool PlacementService::degraded() const {
+  util::MutexLock lock(mu_);
+  return degraded_;
+}
+
 wire::Response PlacementService::Dispatch(const wire::Request& request) {
+  if (IsMutatingVerb(request.verb) && journal_ != nullptr) {
+    if (journal_->needs_upgrade()) {
+      // First mutation on a recovered v1 journal: rewrite it as a v2
+      // snapshot before any record needs appending.
+      if (Status upgraded = CompactJournal(); !upgraded.ok()) {
+        return wire::Response::Failure(upgraded);
+      }
+    } else if (degraded_ && !ProbeJournal()) {
+      return wire::Response::Failure(Status::Unavailable(StrFormat(
+          "journal '%s' is unavailable; serving read-only (STATUS, METRICS, "
+          "TELEMETRY, RECORDER)",
+          options_.journal_path.c_str())));
+    }
+  }
+  wire::Response response = DispatchVerb(request);
+  // Compaction opportunity: a mutation just landed and most of the journal
+  // suffix no longer describes a resident job. COMPACT itself and degraded
+  // mode are excluded (the former just compacted, the latter cannot write).
+  if (response.ok && IsMutatingVerb(request.verb) && request.verb != "COMPACT" &&
+      journal_ != nullptr && !degraded_ &&
+      journal_->records_since_snapshot() >= options_.compact_min_records &&
+      LiveRatio() < options_.compact_live_ratio) {
+    // The request already succeeded and its record is durable in the old
+    // journal; a failed compaction is logged (inside CompactJournal) but
+    // must not fail the request.
+    (void)CompactJournal();
+  }
+  return response;
+}
+
+wire::Response PlacementService::DispatchVerb(const wire::Request& request) {
   if (request.verb == "ADMIT") {
     return HandleAdmit(request);
   }
@@ -257,6 +332,9 @@ wire::Response PlacementService::Dispatch(const wire::Request& request) {
   }
   if (request.verb == "REBALANCE") {
     return HandleRebalance(request);
+  }
+  if (request.verb == "COMPACT") {
+    return HandleCompact(request);
   }
   if (request.verb == "STATUS") {
     return HandleStatus();
@@ -277,11 +355,16 @@ wire::Response PlacementService::Dispatch(const wire::Request& request) {
   }
   if (request.verb == "SHUTDOWN") {
     shutdown_ = true;
+    if (journal_ != nullptr && !degraded_) {
+      // Best-effort durability floor for a clean shutdown: whatever the
+      // sync policy deferred goes to disk now.
+      (void)journal_->Sync();
+    }
     return wire::Response::Success("SHUTDOWN");
   }
   return wire::Response::Failure(Status::InvalidArgument(
-      StrFormat("unknown verb '%s' (want ADMIT, DEPART, REBALANCE, STATUS, "
-                "METRICS, TELEMETRY, RECORDER, or SHUTDOWN)",
+      StrFormat("unknown verb '%s' (want ADMIT, DEPART, REBALANCE, COMPACT, "
+                "STATUS, METRICS, TELEMETRY, RECORDER, or SHUTDOWN)",
                 request.verb.c_str())));
 }
 
@@ -326,6 +409,10 @@ wire::Response PlacementService::HandleAdmit(const wire::Request& request) {
         "ADMIT needs at least one desc.<machine-type> parameter"));
   }
 
+  // Full-state capture for rollback: a failed journal append must leave the
+  // rack — including mutation counters and telemetry baselines — exactly as
+  // if the admission had never been tried.
+  const rack::Rack::SavedState saved = rack_.SaveState();
   StatusOr<rack::Assignment> admitted = rack_.Admit(job, policy);
   if (!admitted.ok()) {
     return wire::Response::Failure(admitted.status());
@@ -344,7 +431,7 @@ wire::Response PlacementService::HandleAdmit(const wire::Request& request) {
   if (Status journaled = AppendJournal(record); !journaled.ok()) {
     // Unwind the admission: live state must never hold a mutation the
     // journal (and the client, who sees err) does not.
-    (void)rack_.Depart(job.name);
+    (void)rack_.RestoreState(saved);
     obs::EventLog::Global().Log(obs::LogLevel::kWarn, "serve.rollback",
                                 "rolled back admission after journal failure",
                                 {{"name", job.name}});
@@ -396,7 +483,7 @@ Status PlacementService::ReplaceDegraded(int machine_index,
         candidate->job_speedup <= current_speedup * (1.0 + options_.replace_margin)) {
       continue;
     }
-    const Placement previous = it->placement;
+    const rack::Rack::SavedState saved = rack_.SaveState();
     PANDIA_RETURN_IF_ERROR(rack_.Move(name, machine_index, candidate->placement));
     wire::Request record;
     record.verb = "MOVED";
@@ -405,8 +492,9 @@ Status PlacementService::ReplaceDegraded(int machine_index,
     record.params.emplace_back("placement",
                                wire::PlacementToCsv(candidate->placement));
     if (Status journaled = AppendJournal(record); !journaled.ok()) {
-      // Unrecorded moves must not survive in live state.
-      (void)rack_.Move(name, machine_index, previous);
+      // Unrecorded moves must not survive in live state (counters and the
+      // job's move/telemetry baselines included).
+      (void)rack_.RestoreState(saved);
       obs::EventLog::Global().Log(obs::LogLevel::kWarn, "serve.rollback",
                                   "rolled back re-placement after journal failure",
                                   {{"name", name}});
@@ -434,19 +522,11 @@ wire::Response PlacementService::HandleDepart(const wire::Request& request) {
           StrFormat("DEPART does not take parameter '%s'", key.c_str())));
     }
   }
-  // Snapshot the resident before removing it so a failed journal append can
-  // restore it (re-admitted at the end of the resident order; membership,
-  // not order, is what must stay consistent with the journal).
-  std::optional<rack::RackJob> snapshot;
-  const StatusOr<int> host = rack_.MachineOf(*name);
-  if (host.ok()) {
-    const auto& residents = rack_.JobsOn(*host);
-    const auto it = std::find_if(residents.begin(), residents.end(),
-                                 [&](const rack::RackJob& r) { return r.name == *name; });
-    if (it != residents.end()) {
-      snapshot = *it;
-    }
-  }
+  // Full-state capture before removal: restoring (rather than re-admitting)
+  // on a failed journal append keeps the job's admit_seq / move count /
+  // co-event baseline and the rack's mutation counters, so TELEMETRY is
+  // byte-identical to never having tried the departure.
+  const rack::Rack::SavedState saved = rack_.SaveState();
   StatusOr<int> departed = rack_.Depart(*name);
   if (!departed.ok()) {
     return wire::Response::Failure(departed.status());
@@ -455,10 +535,7 @@ wire::Response PlacementService::HandleDepart(const wire::Request& request) {
   record.verb = "DEPARTED";
   record.params.emplace_back("name", *name);
   if (Status journaled = AppendJournal(record); !journaled.ok()) {
-    if (snapshot.has_value()) {
-      (void)rack_.AdmitAt(snapshot->name, *host, snapshot->description,
-                          snapshot->placement);
-    }
+    (void)rack_.RestoreState(saved);
     obs::EventLog::Global().Log(obs::LogLevel::kWarn, "serve.rollback",
                                 "rolled back departure after journal failure",
                                 {{"name", *name}});
@@ -560,7 +637,7 @@ wire::Response PlacementService::HandleRebalance(const wire::Request& request) {
           best->job_speedup <= entry.speedup * (1.0 + options_.replace_margin)) {
         continue;
       }
-      const Placement previous = it->placement;
+      const rack::Rack::SavedState saved = rack_.SaveState();
       if (Status status = rack_.Move(entry.name, best_machine, best->placement);
           !status.ok()) {
         return wire::Response::Failure(status);
@@ -571,8 +648,9 @@ wire::Response PlacementService::HandleRebalance(const wire::Request& request) {
       record.params.emplace_back("machine", StrFormat("%d", best_machine));
       record.params.emplace_back("placement", wire::PlacementToCsv(best->placement));
       if (Status journaled = AppendJournal(record); !journaled.ok()) {
-        // Unrecorded moves must not survive in live state.
-        (void)rack_.Move(entry.name, entry.machine, previous);
+        // Unrecorded moves must not survive in live state (counters and
+        // telemetry baselines included).
+        (void)rack_.RestoreState(saved);
         obs::EventLog::Global().Log(
             obs::LogLevel::kWarn, "serve.rollback",
             "rolled back rebalance move after journal failure",
@@ -769,115 +847,353 @@ wire::Response PlacementService::HandleRecorder(const wire::Request& request) co
   return response;
 }
 
-Status PlacementService::ReplayJournal(const std::string& text, bool* saw_magic_out) {
-  size_t pos = 0;
-  size_t line_number = 0;
-  bool saw_magic = false;
-  while (pos <= text.size()) {
-    const size_t newline = text.find('\n', pos);
-    const std::string line =
-        text.substr(pos, newline == std::string::npos ? newline : newline - pos);
-    pos = newline == std::string::npos ? text.size() + 1 : newline + 1;
-    ++line_number;
-    if (line.empty()) {
-      continue;
+Status PlacementService::ApplyRecord(const wire::Request& record, size_t line) {
+  const auto param = [&](const char* key) -> StatusOr<std::string> {
+    const std::string* value = record.Find(key);
+    if (value == nullptr) {
+      return Status::DataLoss(StrFormat("journal line %zu: %s record misses '%s'",
+                                        line, record.verb.c_str(), key));
     }
-    if (!saw_magic) {
-      if (line != kJournalMagic) {
-        return Status::DataLoss(StrFormat(
-            "journal '%s' does not start with '%s'",
-            options_.journal_path.c_str(), kJournalMagic));
-      }
-      saw_magic = true;
-      continue;
+    return *value;
+  };
+  const auto machine_and_placement =
+      [&]() -> StatusOr<std::pair<int, Placement>> {
+    StatusOr<std::string> machine_text = param("machine");
+    if (!machine_text.ok()) {
+      return machine_text.status();
     }
-    StatusOr<wire::Request> record = wire::ParseRequest(line);
-    if (!record.ok()) {
-      return Status::DataLoss(StrFormat("journal line %zu: %s", line_number,
-                                        record.status().message().c_str()));
+    StatusOr<int> machine = ParseInt(*machine_text, "machine");
+    if (!machine.ok() || *machine < 0 ||
+        static_cast<size_t>(*machine) >= rack_.machines().size()) {
+      return Status::DataLoss(
+          StrFormat("journal line %zu: bad machine index", line));
     }
-    const auto param = [&](const char* key) -> StatusOr<std::string> {
-      const std::string* value = record->Find(key);
-      if (value == nullptr) {
-        return Status::DataLoss(StrFormat("journal line %zu: %s record misses '%s'",
-                                          line_number, record->verb.c_str(), key));
-      }
-      return *value;
-    };
-    const auto machine_and_placement =
-        [&]() -> StatusOr<std::pair<int, Placement>> {
-      StatusOr<std::string> machine_text = param("machine");
-      if (!machine_text.ok()) {
-        return machine_text.status();
-      }
-      StatusOr<int> machine = ParseInt(*machine_text, "machine");
-      if (!machine.ok() || *machine < 0 ||
-          static_cast<size_t>(*machine) >= rack_.machines().size()) {
-        return Status::DataLoss(
-            StrFormat("journal line %zu: bad machine index", line_number));
-      }
-      StatusOr<std::string> csv = param("placement");
-      if (!csv.ok()) {
-        return csv.status();
-      }
-      StatusOr<Placement> placement = wire::PlacementFromCsv(
-          rack_.machines()[*machine].description.topo, *csv);
-      if (!placement.ok()) {
-        return Status::DataLoss(StrFormat("journal line %zu: %s", line_number,
-                                          placement.status().message().c_str()));
-      }
-      return std::make_pair(*machine, *std::move(placement));
-    };
+    StatusOr<std::string> csv = param("placement");
+    if (!csv.ok()) {
+      return csv.status();
+    }
+    StatusOr<Placement> placement = wire::PlacementFromCsv(
+        rack_.machines()[*machine].description.topo, *csv);
+    if (!placement.ok()) {
+      return Status::DataLoss(StrFormat("journal line %zu: %s", line,
+                                        placement.status().message().c_str()));
+    }
+    return std::make_pair(*machine, *std::move(placement));
+  };
 
-    Status applied = Status::Ok();
-    if (record->verb == "ADMITTED") {
-      StatusOr<std::string> name = param("name");
-      StatusOr<std::string> desc_text = param("desc");
-      if (!name.ok() || !desc_text.ok()) {
-        return !name.ok() ? name.status() : desc_text.status();
-      }
-      StatusOr<std::pair<int, Placement>> target = machine_and_placement();
-      if (!target.ok()) {
-        return target.status();
-      }
-      StatusOr<WorkloadDescription> description =
-          WorkloadDescriptionFromText(*desc_text);
-      if (!description.ok()) {
-        return Status::DataLoss(StrFormat("journal line %zu: %s", line_number,
-                                          description.status().message().c_str()));
-      }
-      applied = rack_.AdmitAt(*name, target->first, *description, target->second);
-    } else if (record->verb == "DEPARTED") {
-      StatusOr<std::string> name = param("name");
-      if (!name.ok()) {
-        return name.status();
-      }
-      applied = rack_.Depart(*name).ok()
-                    ? Status::Ok()
-                    : Status::DataLoss(StrFormat(
-                          "journal line %zu: departed job '%s' is not resident",
-                          line_number, name->c_str()));
-    } else if (record->verb == "MOVED") {
-      StatusOr<std::string> name = param("name");
-      if (!name.ok()) {
-        return name.status();
-      }
-      StatusOr<std::pair<int, Placement>> target = machine_and_placement();
-      if (!target.ok()) {
-        return target.status();
-      }
-      applied = rack_.Move(*name, target->first, target->second);
-    } else {
-      return Status::DataLoss(StrFormat("journal line %zu: unknown record '%s'",
-                                        line_number, record->verb.c_str()));
+  Status applied = Status::Ok();
+  if (record.verb == "ADMITTED") {
+    StatusOr<std::string> name = param("name");
+    StatusOr<std::string> desc_text = param("desc");
+    if (!name.ok() || !desc_text.ok()) {
+      return !name.ok() ? name.status() : desc_text.status();
     }
-    if (!applied.ok()) {
-      return Status::DataLoss(StrFormat("journal line %zu: %s", line_number,
-                                        applied.message().c_str()));
+    StatusOr<std::pair<int, Placement>> target = machine_and_placement();
+    if (!target.ok()) {
+      return target.status();
     }
+    StatusOr<WorkloadDescription> description =
+        WorkloadDescriptionFromText(*desc_text);
+    if (!description.ok()) {
+      return Status::DataLoss(StrFormat("journal line %zu: %s", line,
+                                        description.status().message().c_str()));
+    }
+    applied = rack_.AdmitAt(*name, target->first, *description, target->second);
+  } else if (record.verb == "DEPARTED") {
+    StatusOr<std::string> name = param("name");
+    if (!name.ok()) {
+      return name.status();
+    }
+    applied = rack_.Depart(*name).ok()
+                  ? Status::Ok()
+                  : Status::DataLoss(StrFormat(
+                        "journal line %zu: departed job '%s' is not resident",
+                        line, name->c_str()));
+  } else if (record.verb == "MOVED") {
+    StatusOr<std::string> name = param("name");
+    if (!name.ok()) {
+      return name.status();
+    }
+    StatusOr<std::pair<int, Placement>> target = machine_and_placement();
+    if (!target.ok()) {
+      return target.status();
+    }
+    applied = rack_.Move(*name, target->first, target->second);
+  } else {
+    return Status::DataLoss(StrFormat("journal line %zu: unknown record '%s'",
+                                      line, record.verb.c_str()));
   }
-  *saw_magic_out = saw_magic;
+  if (!applied.ok()) {
+    return Status::DataLoss(StrFormat("journal line %zu: %s", line,
+                                      applied.message().c_str()));
+  }
   return Status::Ok();
+}
+
+wire::Request PlacementService::BuildSnapshot() const {
+  const rack::Rack::SavedState state = rack_.SaveState();
+  wire::Request snapshot;
+  snapshot.verb = "SNAPSHOT";
+  snapshot.params.emplace_back(
+      "mutation-seq",
+      StrFormat("%llu", static_cast<unsigned long long>(state.mutation_seq)));
+  std::string events;
+  for (size_t m = 0; m < state.machine_events.size(); ++m) {
+    if (m > 0) {
+      events += ',';
+    }
+    events += StrFormat(
+        "%llu", static_cast<unsigned long long>(state.machine_events[m]));
+  }
+  snapshot.params.emplace_back("events", events);
+  snapshot.params.emplace_back("jobs", StrFormat("%zu", state.jobs.size()));
+  for (size_t i = 0; i < state.jobs.size(); ++i) {
+    const rack::Rack::SavedJob& saved = state.jobs[i];
+    wire::Request job;
+    job.verb = "JOB";
+    job.params.emplace_back("name", saved.job.name);
+    job.params.emplace_back("machine", StrFormat("%d", saved.machine_index));
+    job.params.emplace_back("placement",
+                            wire::PlacementToCsv(saved.job.placement));
+    // %.17g: doubles round-trip exactly, so speedup-at-admit (and with it
+    // TELEMETRY) is byte-identical across snapshot + restart.
+    job.params.emplace_back("speedup",
+                            StrFormat("%.17g", saved.job.speedup_at_admit));
+    job.params.emplace_back(
+        "admit-seq",
+        StrFormat("%llu", static_cast<unsigned long long>(saved.job.admit_seq)));
+    job.params.emplace_back("moves", StrFormat("%d", saved.job.moves));
+    job.params.emplace_back(
+        "events-at-placement",
+        StrFormat("%llu", static_cast<unsigned long long>(
+                              saved.job.machine_events_at_placement)));
+    job.params.emplace_back("desc",
+                            WorkloadDescriptionToText(saved.job.description));
+    // The formatted JOB line travels as one (re-escaped) value; nesting the
+    // escaping round-trips exactly.
+    snapshot.params.emplace_back(StrFormat("job.%zu", i),
+                                 wire::FormatRequest(job));
+  }
+  return snapshot;
+}
+
+Status PlacementService::RestoreSnapshot(const wire::Request& record,
+                                         size_t line) {
+  const auto data_loss = [&](const std::string& message) {
+    return Status::DataLoss(
+        StrFormat("journal line %zu: %s", line, message.c_str()));
+  };
+  const auto param = [&](const wire::Request& request,
+                         const char* key) -> StatusOr<std::string> {
+    const std::string* value = request.Find(key);
+    if (value == nullptr) {
+      return data_loss(StrFormat("%s record misses '%s'", request.verb.c_str(),
+                                 key));
+    }
+    return *value;
+  };
+
+  rack::Rack::SavedState state;
+  StatusOr<std::string> seq_text = param(record, "mutation-seq");
+  StatusOr<std::string> events_text = param(record, "events");
+  StatusOr<std::string> jobs_text = param(record, "jobs");
+  if (!seq_text.ok() || !events_text.ok() || !jobs_text.ok()) {
+    return !seq_text.ok() ? seq_text.status()
+                          : (!events_text.ok() ? events_text.status()
+                                               : jobs_text.status());
+  }
+  StatusOr<uint64_t> mutation_seq = ParseUint64(*seq_text, "mutation-seq");
+  StatusOr<uint64_t> job_count = ParseUint64(*jobs_text, "jobs");
+  if (!mutation_seq.ok() || !job_count.ok()) {
+    return data_loss("bad SNAPSHOT counters");
+  }
+  state.mutation_seq = *mutation_seq;
+  for (const std::string& entry : StrSplit(*events_text, ',')) {
+    StatusOr<uint64_t> value = ParseUint64(entry, "events");
+    if (!value.ok()) {
+      return data_loss("bad SNAPSHOT machine-event counter");
+    }
+    state.machine_events.push_back(*value);
+  }
+  for (uint64_t i = 0; i < *job_count; ++i) {
+    StatusOr<std::string> job_line =
+        param(record, StrFormat("job.%llu",
+                                static_cast<unsigned long long>(i))
+                          .c_str());
+    if (!job_line.ok()) {
+      return job_line.status();
+    }
+    StatusOr<wire::Request> job = wire::ParseRequest(*job_line);
+    if (!job.ok()) {
+      return data_loss(StrFormat("job.%llu: %s",
+                                 static_cast<unsigned long long>(i),
+                                 job.status().message().c_str()));
+    }
+    if (job->verb != "JOB") {
+      return data_loss(StrFormat("job.%llu is a '%s' record, not JOB",
+                                 static_cast<unsigned long long>(i),
+                                 job->verb.c_str()));
+    }
+    StatusOr<std::string> name = param(*job, "name");
+    StatusOr<std::string> machine_text = param(*job, "machine");
+    StatusOr<std::string> placement_csv = param(*job, "placement");
+    StatusOr<std::string> speedup_text = param(*job, "speedup");
+    StatusOr<std::string> admit_seq_text = param(*job, "admit-seq");
+    StatusOr<std::string> moves_text = param(*job, "moves");
+    StatusOr<std::string> events_at_text = param(*job, "events-at-placement");
+    StatusOr<std::string> desc_text = param(*job, "desc");
+    for (const StatusOr<std::string>* field :
+         {&name, &machine_text, &placement_csv, &speedup_text, &admit_seq_text,
+          &moves_text, &events_at_text, &desc_text}) {
+      if (!field->ok()) {
+        return field->status();
+      }
+    }
+    StatusOr<int> machine = ParseInt(*machine_text, "machine");
+    if (!machine.ok() || *machine < 0 ||
+        static_cast<size_t>(*machine) >= rack_.machines().size()) {
+      return data_loss(StrFormat("job '%s' names a bad machine index",
+                                 name->c_str()));
+    }
+    StatusOr<Placement> placement = wire::PlacementFromCsv(
+        rack_.machines()[*machine].description.topo, *placement_csv);
+    if (!placement.ok()) {
+      return data_loss(StrFormat("job '%s': %s", name->c_str(),
+                                 placement.status().message().c_str()));
+    }
+    StatusOr<WorkloadDescription> description =
+        WorkloadDescriptionFromText(*desc_text);
+    if (!description.ok()) {
+      return data_loss(StrFormat("job '%s': %s", name->c_str(),
+                                 description.status().message().c_str()));
+    }
+    StatusOr<double> speedup = ParseDouble(*speedup_text, "speedup");
+    StatusOr<uint64_t> admit_seq = ParseUint64(*admit_seq_text, "admit-seq");
+    StatusOr<int> moves = ParseInt(*moves_text, "moves");
+    StatusOr<uint64_t> events_at =
+        ParseUint64(*events_at_text, "events-at-placement");
+    if (!speedup.ok() || !admit_seq.ok() || !moves.ok() || !events_at.ok()) {
+      return data_loss(StrFormat("job '%s' has bad telemetry fields",
+                                 name->c_str()));
+    }
+    // workload_fingerprint is 0 here; RestoreState recomputes it from the
+    // description.
+    state.jobs.push_back(rack::Rack::SavedJob{
+        *machine,
+        rack::RackJob{*name, *std::move(description), *std::move(placement),
+                      /*workload_fingerprint=*/0, *speedup, *admit_seq, *moves,
+                      *events_at}});
+  }
+  if (Status restored = rack_.RestoreState(state); !restored.ok()) {
+    return data_loss(restored.message());
+  }
+  return Status::Ok();
+}
+
+double PlacementService::LiveRatio() const {
+  if (journal_ == nullptr || journal_->records_since_snapshot() == 0) {
+    return 1.0;
+  }
+  const double ratio =
+      static_cast<double>(rack_.JobCount()) /
+      static_cast<double>(journal_->records_since_snapshot());
+  return ratio > 1.0 ? 1.0 : ratio;
+}
+
+void PlacementService::NoteJournalFailure() {
+  ++journal_failures_;
+  if (!degraded_ && journal_failures_ >= options_.degraded_failure_threshold) {
+    degraded_ = true;
+    DegradedGauge().Set(1.0);
+    obs::EventLog::Global().Log(
+        obs::LogLevel::kError, "serve.degraded",
+        "entering read-only degraded mode after persistent journal failures",
+        {{"path", options_.journal_path},
+         {"failures", StrFormat("%d", journal_failures_)}});
+    recorder_->Record("degraded", "enter", /*ok=*/false);
+  }
+}
+
+void PlacementService::NoteJournalSuccess() {
+  journal_failures_ = 0;
+  if (degraded_) {
+    degraded_ = false;
+    DegradedGauge().Set(0.0);
+    obs::EventLog::Global().Log(
+        obs::LogLevel::kInfo, "serve.degraded",
+        "journal append succeeded; leaving read-only degraded mode",
+        {{"path", options_.journal_path}});
+    recorder_->Record("degraded", "exit");
+  }
+}
+
+bool PlacementService::ProbeJournal() {
+  wire::Request note;
+  note.verb = "NOTE";
+  note.params.emplace_back("kind", "probe");
+  return AppendJournal(note).ok();
+}
+
+Status PlacementService::CompactJournal() {
+  const uint64_t records_before = journal_->record_count();
+  const uint64_t bytes_before = journal_->size_bytes();
+  if (Status compacted = journal_->Compact(BuildSnapshot()); !compacted.ok()) {
+    obs::EventLog::Global().Log(
+        obs::LogLevel::kError, "serve.journal", "journal compaction failed",
+        {{"path", options_.journal_path}, {"error", compacted.message()}});
+    recorder_->Record("journal", "COMPACT", /*ok=*/false);
+    NoteJournalFailure();
+    return Status::Unavailable(
+        StrFormat("cannot compact journal '%s': %s",
+                  options_.journal_path.c_str(), compacted.message().c_str()));
+  }
+  NoteJournalSuccess();
+  obs::EventLog::Global().Log(
+      obs::LogLevel::kInfo, "serve.journal", "compacted journal",
+      {{"path", options_.journal_path},
+       {"records-before", StrFormat("%llu", static_cast<unsigned long long>(
+                                                records_before))},
+       {"bytes-before",
+        StrFormat("%llu", static_cast<unsigned long long>(bytes_before))},
+       {"bytes-after", StrFormat("%llu", static_cast<unsigned long long>(
+                                             journal_->size_bytes()))}});
+  recorder_->Record("journal", "COMPACT");
+  return Status::Ok();
+}
+
+wire::Response PlacementService::HandleCompact(const wire::Request& request) {
+  if (!request.params.empty()) {
+    return wire::Response::Failure(Status::InvalidArgument(
+        StrFormat("COMPACT does not take parameter '%s'",
+                  request.params.front().first.c_str())));
+  }
+  if (journal_ == nullptr) {
+    return wire::Response::Failure(Status::FailedPrecondition(
+        "COMPACT needs a journal (the service was started without one)"));
+  }
+  const uint64_t records_before = journal_->record_count();
+  const uint64_t bytes_before = journal_->size_bytes();
+  if (Status compacted = CompactJournal(); !compacted.ok()) {
+    return wire::Response::Failure(compacted);
+  }
+  wire::Response response = wire::Response::Success("COMPACT");
+  response.payload.push_back(StrFormat(
+      "records-before = %llu", static_cast<unsigned long long>(records_before)));
+  response.payload.push_back(
+      StrFormat("records-after = %llu",
+                static_cast<unsigned long long>(journal_->record_count())));
+  response.payload.push_back(StrFormat(
+      "bytes-before = %llu", static_cast<unsigned long long>(bytes_before)));
+  response.payload.push_back(
+      StrFormat("bytes-after = %llu",
+                static_cast<unsigned long long>(journal_->size_bytes())));
+  response.payload.push_back(StrFormat(
+      "reclaimed-bytes = %llu",
+      static_cast<unsigned long long>(
+          bytes_before > journal_->size_bytes()
+              ? bytes_before - journal_->size_bytes()
+              : 0)));
+  return response;
 }
 
 Status PlacementService::AppendJournal(const wire::Request& record) {
@@ -891,20 +1207,18 @@ Status PlacementService::AppendJournal(const wire::Request& record) {
     recorder_->Record("journal", detail);
     return Status::Ok();
   }
-  const std::string line = wire::FormatRequest(record);
-  const int64_t start_ns = NowNs();
-  if (std::fprintf(journal_, "%s\n", line.c_str()) < 0 ||
-      std::fflush(journal_) != 0) {
+  if (Status appended = journal_->Append(record); !appended.ok()) {
     obs::EventLog::Global().Log(
         obs::LogLevel::kError, "serve.journal", "journal append failed",
-        {{"path", options_.journal_path}, {"record", record.verb}});
+        {{"path", options_.journal_path},
+         {"record", record.verb},
+         {"error", appended.message()}});
     recorder_->Record("journal", detail, /*ok=*/false);
+    NoteJournalFailure();
     return Status::Unavailable(StrFormat("cannot append to journal '%s'",
                                          options_.journal_path.c_str()));
   }
-  JournalAppendLatency().Observe(static_cast<double>(NowNs() - start_ns) /
-                                 1000.0);
-  JournalBytes().Increment(line.size() + 1);
+  NoteJournalSuccess();
   recorder_->Record("journal", detail);
   return Status::Ok();
 }

@@ -6,6 +6,8 @@
 //   ADMIT      place a new job co-scheduled against the running jobs
 //   DEPART     free a job; opportunistically re-place degraded neighbours
 //   REBALANCE  bounded-migration global re-placement
+//   COMPACT    rewrite the journal as one SNAPSHOT record (also automatic
+//              when the live-record ratio drops; see ServiceOptions)
 //   STATUS     deterministic state dump (per-job predicted speedup/slowdown,
 //              bottleneck resource, placements)
 //   METRICS    obs registry dump (format=expo selects the line-oriented
@@ -21,11 +23,20 @@
 // paths log through obs::EventLog, and a per-service obs::FlightRecorder
 // retains the recent request/journal history for the RECORDER verb.
 //
-// Every mutation is journaled (append-only, wire request framing) so a
-// restarted daemon replays its exact state: admissions embed the workload
-// description text, so the journal is self-contained and replay needs no
-// other files. Requests never abort the process — malformed input and
-// infeasible placements surface as structured `err` replies.
+// Every mutation is journaled through the durable checksummed Journal
+// (src/serve/journal.h: per-record CRC32C framing, configurable fsync
+// policy, snapshot + compaction, torn-tail recovery) so a restarted daemon
+// replays its exact state: admissions embed the workload description text,
+// so the journal is self-contained and replay needs no other files.
+// Requests never abort the process — malformed input and infeasible
+// placements surface as structured `err` replies.
+//
+// When journal appends fail persistently (a full or faulted disk), the
+// service degrades to read-only instead of rolling back every mutation
+// forever: mutating verbs return `err unavailable` while STATUS / METRICS /
+// TELEMETRY / RECORDER keep serving, the `serve.degraded` gauge goes to 1,
+// and each rejected mutation first probes the journal with a NOTE record so
+// service recovers automatically the moment the disk does.
 //
 // The service itself is transport-agnostic: HandleLine() maps one request
 // line to one response block. src/serve/socket.h supplies the stdin/stdout
@@ -41,7 +52,6 @@
 #ifndef PANDIA_SRC_SERVE_SERVICE_H_
 #define PANDIA_SRC_SERVE_SERVICE_H_
 
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -49,6 +59,7 @@
 #include "src/obs/flight_recorder.h"
 #include "src/rack/rack.h"
 #include "src/serialize/wire.h"
+#include "src/serve/journal.h"
 #include "src/util/mutex.h"
 #include "src/util/status.h"
 #include "src/util/thread_annotations.h"
@@ -64,9 +75,24 @@ struct ServiceOptions {
   // probes out over worker threads, prediction.common.use_cache memoizes
   // per-machine joint predictions across requests.
   PredictionOptions prediction;
-  // Append-only mutation journal; empty disables journaling. When the file
-  // already exists it is replayed before serving (restart recovery).
+  // Durable mutation journal; empty disables journaling. When the file
+  // already exists it is recovered and replayed before serving (restart
+  // recovery); a v1 journal replays read-only and is rewritten as v2 on the
+  // first mutation.
   std::string journal_path;
+  // Journal durability knobs: sync policy, fsync cadence, and the test-only
+  // injected-failure count (see src/serve/journal.h).
+  JournalOptions journal;
+  // Consecutive journal-append failures before the service stops rolling
+  // back every mutation and enters read-only degraded mode.
+  int degraded_failure_threshold = 3;
+  // Automatic compaction fires once at least compact_min_records records
+  // accumulated since the last snapshot AND resident jobs per
+  // post-snapshot record (the live ratio) fell below compact_live_ratio —
+  // i.e. most of the journal suffix is departed/moved history that a
+  // snapshot would fold away.
+  uint64_t compact_min_records = 1024;
+  double compact_live_ratio = 0.5;
   // DEPART re-places a remaining neighbour when its best re-placement on
   // its machine improves its predicted speedup by more than this relative
   // margin; REBALANCE uses the same margin for cross-machine moves.
@@ -119,13 +145,29 @@ class PlacementService {
   // from it, tests inspect it directly).
   const obs::FlightRecorder& recorder() const { return *recorder_; }
 
+  // Quiescent inspection of the journal (tests; may be null when journaling
+  // is disabled). Same external-quiescence contract as rack().
+  Journal* journal_for_test() PANDIA_NO_THREAD_SAFETY_ANALYSIS {
+    return journal_.get();
+  }
+
+  // True while the service is in read-only degraded mode.
+  bool degraded() const PANDIA_EXCLUDES(mu_);
+
  private:
   PlacementService(std::vector<rack::RackMachine> machines, ServiceOptions options);
 
+  // Dispatch wraps DispatchVerb with the journal gates: the degraded-mode
+  // probe and v1 upgrade before a mutation, the automatic-compaction check
+  // after a successful one.
   wire::Response Dispatch(const wire::Request& request) PANDIA_REQUIRES(mu_);
+  wire::Response DispatchVerb(const wire::Request& request)
+      PANDIA_REQUIRES(mu_);
   wire::Response HandleAdmit(const wire::Request& request) PANDIA_REQUIRES(mu_);
   wire::Response HandleDepart(const wire::Request& request) PANDIA_REQUIRES(mu_);
   wire::Response HandleRebalance(const wire::Request& request)
+      PANDIA_REQUIRES(mu_);
+  wire::Response HandleCompact(const wire::Request& request)
       PANDIA_REQUIRES(mu_);
   wire::Response HandleStatus() const PANDIA_REQUIRES(mu_);
   wire::Response HandleMetrics(const wire::Request& request) const
@@ -139,19 +181,39 @@ class PlacementService {
   Status ReplaceDegraded(int machine_index, std::vector<std::string>& payload)
       PANDIA_REQUIRES(mu_);
 
-  // Replays journal text into the rack. `saw_magic_out` reports whether the
-  // header line was present; a record-less headerless file (0 bytes) is a
-  // fresh journal, not corruption, and Create() then writes the header.
-  Status ReplayJournal(const std::string& text, bool* saw_magic_out)
+  // Applies one recovered journal record (ADMITTED / DEPARTED / MOVED) to
+  // the rack; `line` names the journal line in error messages.
+  Status ApplyRecord(const wire::Request& record, size_t line)
       PANDIA_REQUIRES(mu_);
+  // Serializes the rack's SavedState as one SNAPSHOT record / restores it.
+  wire::Request BuildSnapshot() const PANDIA_REQUIRES(mu_);
+  Status RestoreSnapshot(const wire::Request& record, size_t line)
+      PANDIA_REQUIRES(mu_);
+
+  // Appends through the Journal with degraded-mode accounting: consecutive
+  // failures past the threshold enter degraded mode, any success leaves it.
   Status AppendJournal(const wire::Request& record) PANDIA_REQUIRES(mu_);
+  // Degraded-mode gate for mutating verbs: appends a NOTE probe record
+  // (replay skips NOTEs); true restores normal service.
+  bool ProbeJournal() PANDIA_REQUIRES(mu_);
+  // Snapshots the rack into the journal (COMPACT verb, the automatic
+  // trigger, and the v1-to-v2 upgrade all funnel through here).
+  Status CompactJournal() PANDIA_REQUIRES(mu_);
+  // Resident jobs per post-snapshot journal record, in [0, 1].
+  double LiveRatio() const PANDIA_REQUIRES(mu_);
+  void NoteJournalFailure() PANDIA_REQUIRES(mu_);
+  void NoteJournalSuccess() PANDIA_REQUIRES(mu_);
 
   ServiceOptions options_;  // immutable after construction
   // Serializes every request against the mutable daemon state below.
   mutable util::Mutex mu_;
   rack::Rack rack_ PANDIA_GUARDED_BY(mu_);
-  std::FILE* journal_ PANDIA_GUARDED_BY(mu_) = nullptr;  // null: disabled
+  std::unique_ptr<Journal> journal_ PANDIA_GUARDED_BY(mu_);  // null: disabled
   bool shutdown_ PANDIA_GUARDED_BY(mu_) = false;
+  // Read-only degraded mode (persistent journal failure). `failures_` is
+  // the consecutive-append-failure streak feeding the entry threshold.
+  bool degraded_ PANDIA_GUARDED_BY(mu_) = false;
+  int journal_failures_ PANDIA_GUARDED_BY(mu_) = 0;
   // Internally synchronized; heap-owned so the service stays movable.
   std::unique_ptr<obs::FlightRecorder> recorder_;
 };

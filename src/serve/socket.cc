@@ -224,8 +224,9 @@ Status RunEventLoop(PlacementService& service, int stdin_fd,
           stdin_open = false;
         }
         if (!responses.empty()) {
-          std::fputs(responses.c_str(), stdout_stream);
-          std::fflush(stdout_stream);
+          // Response stream to the stdin client, not a journal file.
+          std::fputs(responses.c_str(), stdout_stream);   // pandia-lint: allow(no-raw-journal-io)
+          std::fflush(stdout_stream);                     // pandia-lint: allow(no-raw-journal-io)
         }
         // Stdin EOF ends a stdin-only loop (the top-of-loop check fires);
         // with a socket server the daemon merely detaches stdin and keeps
@@ -269,20 +270,62 @@ Status RunEventLoop(PlacementService& service, int stdin_fd,
   return Status::Ok();
 }
 
+namespace {
+
+// Connects with retry-on-refused: a refused or absent socket usually means
+// the daemon is restarting, so waiting out the backoff schedule rides
+// through it. Other connect errors (permissions, path too long inside the
+// kernel) fail immediately — retrying cannot fix them.
+StatusOr<int> ConnectWithRetry(const sockaddr_un& addr, const std::string& path,
+                               const ExchangeOptions& options) {
+  int backoff_ms = options.backoff_initial_ms > 0 ? options.backoff_initial_ms : 1;
+  for (int attempt = 0;; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return ErrnoStatus("cannot create socket", path);
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    const int connect_errno = errno;
+    ::close(fd);
+    const bool retryable =
+        connect_errno == ECONNREFUSED || connect_errno == ENOENT;
+    if (!retryable || attempt >= options.retries) {
+      errno = connect_errno;
+      return ErrnoStatus(
+          attempt > 0 ? "cannot connect (retries exhausted)" : "cannot connect",
+          path);
+    }
+    ::poll(nullptr, 0, backoff_ms);  // portable millisecond sleep
+    if (backoff_ms < 1 << 20) {
+      backoff_ms *= 2;
+    }
+  }
+}
+
+}  // namespace
+
 StatusOr<std::string> SocketExchange(const std::string& path,
-                                     const std::string& request_text) {
+                                     const std::string& request_text,
+                                     const ExchangeOptions& options) {
   StatusOr<sockaddr_un> addr = SocketAddress(path);
   if (!addr.ok()) {
     return addr.status();
   }
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return ErrnoStatus("cannot create socket", path);
+  StatusOr<int> connected = ConnectWithRetry(*addr, path, options);
+  if (!connected.ok()) {
+    return connected.status();
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&*addr), sizeof(*addr)) != 0) {
-    const Status status = ErrnoStatus("cannot connect", path);
-    ::close(fd);
-    return status;
+  const int fd = *connected;
+  if (options.timeout_ms >= 0) {
+    timeval deadline{};
+    deadline.tv_sec = options.timeout_ms / 1000;
+    deadline.tv_usec = (options.timeout_ms % 1000) * 1000;
+    // Best effort: a socket that refuses the option still works, just
+    // without the deadline.
+    (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &deadline, sizeof(deadline));
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &deadline, sizeof(deadline));
   }
   if (Status written = WriteAll(fd, request_text); !written.ok()) {
     ::close(fd);
@@ -296,7 +339,19 @@ StatusOr<std::string> SocketExchange(const std::string& path,
     if (n < 0 && errno == EINTR) {
       continue;
     }
-    if (n <= 0) {
+    if (n < 0) {
+      // SO_RCVTIMEO expiry lands here as EAGAIN: report the deadline
+      // instead of silently returning a truncated stream.
+      const Status status =
+          (errno == EAGAIN || errno == EWOULDBLOCK)
+              ? Status::Unavailable(StrFormat(
+                    "response from '%s' timed out after %d ms", path.c_str(),
+                    options.timeout_ms))
+              : ErrnoStatus("read from daemon failed", path);
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) {
       break;
     }
     response.append(chunk, static_cast<size_t>(n));

@@ -49,11 +49,29 @@ class SocketServer {
 Status RunEventLoop(PlacementService& service, int stdin_fd,
                     std::FILE* stdout_stream, SocketServer* server);
 
+// Client-side exchange knobs. Defaults preserve the historical behaviour:
+// one connection attempt, no deadline.
+struct ExchangeOptions {
+  // Per-operation deadline (SO_SNDTIMEO/SO_RCVTIMEO) in milliseconds; a
+  // stalled daemon fails the exchange instead of hanging the client.
+  // Negative: no deadline.
+  int timeout_ms = -1;
+  // Extra connection attempts after a refused/absent socket (the daemon is
+  // restarting), spaced by exponential backoff starting at
+  // backoff_initial_ms and doubling per retry.
+  int retries = 0;
+  int backoff_initial_ms = 50;
+};
+
 // Client side: connects to `path`, sends `request_text` (one or more
 // newline-terminated request lines), half-closes, and returns everything
-// the daemon wrote back (a sequence of response blocks).
+// the daemon wrote back (a sequence of response blocks). Retries only the
+// connect step (ECONNREFUSED/ENOENT — a daemon mid-restart); a connection
+// that dies mid-response is never retried, so a truncated stream surfaces
+// as a short read the caller's response parser rejects.
 StatusOr<std::string> SocketExchange(const std::string& path,
-                                     const std::string& request_text);
+                                     const std::string& request_text,
+                                     const ExchangeOptions& options = {});
 
 }  // namespace serve
 }  // namespace pandia

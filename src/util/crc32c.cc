@@ -1,0 +1,38 @@
+#include "src/util/crc32c.h"
+
+#include <array>
+
+namespace pandia {
+namespace {
+
+// Byte-at-a-time table for the reflected Castagnoli polynomial.
+const std::array<uint32_t, 256>& Crc32cTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    constexpr uint32_t kPolynomial = 0x82F63B78u;  // reflected 0x1EDC6F41
+    std::array<uint32_t, 256> t{};
+    for (uint32_t byte = 0; byte < 256; ++byte) {
+      uint32_t crc = byte;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPolynomial : 0u);
+      }
+      t[byte] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t ExtendCrc32c(uint32_t crc, std::string_view data) {
+  const std::array<uint32_t, 256>& table = Crc32cTable();
+  crc = ~crc;
+  for (const char c : data) {
+    crc = table[(crc ^ static_cast<uint8_t>(c)) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(std::string_view data) { return ExtendCrc32c(0, data); }
+
+}  // namespace pandia

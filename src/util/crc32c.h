@@ -1,0 +1,26 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum guarding the
+// placement service's journal records (src/serve/journal.h). Chosen over
+// CRC32 (zlib) for its better error-detection properties on short records;
+// this is the same polynomial used by ext4, btrfs, and leveldb.
+//
+// Software table implementation: journal records are short text lines, so
+// a byte-at-a-time table walk is plenty and keeps the code portable.
+#ifndef PANDIA_SRC_UTIL_CRC32C_H_
+#define PANDIA_SRC_UTIL_CRC32C_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace pandia {
+
+// CRC32C of `data`. Crc32c("") == 0; the RFC 3720 check value is
+// Crc32c("123456789") == 0xE3069283.
+uint32_t Crc32c(std::string_view data);
+
+// Incremental form: extends a running checksum with more bytes.
+// Crc32c(a + b) == ExtendCrc32c(Crc32c(a), b).
+uint32_t ExtendCrc32c(uint32_t crc, std::string_view data);
+
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_UTIL_CRC32C_H_

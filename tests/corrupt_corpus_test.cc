@@ -10,6 +10,7 @@
 
 #include "gtest/gtest.h"
 #include "src/serialize/serialize.h"
+#include "src/serve/journal.h"
 
 #ifndef PANDIA_TEST_DATA_DIR
 #error "PANDIA_TEST_DATA_DIR must be defined by the build"
@@ -87,6 +88,68 @@ TEST(CorruptCorpus, MessagesNameTheDefect) {
     EXPECT_EQ(status.code(), c.code) << status.ToString();
     EXPECT_NE(status.message().find(c.needle), std::string::npos)
         << status.ToString();
+  }
+}
+
+// --- journal corpus -----------------------------------------------------
+//
+// The journal/ subdirectory holds broken journal-v2 files. Recovery may
+// truncate a torn tail in place, so every file is copied to a scratch path
+// before Journal::Open sees it — the checked-in corpus is never modified.
+
+std::string ScratchCopy(const std::filesystem::path& source) {
+  const std::filesystem::path dest =
+      std::filesystem::path(::testing::TempDir()) /
+      ("corpus_" + source.filename().string());
+  std::filesystem::copy_file(source, dest,
+                             std::filesystem::copy_options::overwrite_existing);
+  return dest.string();
+}
+
+TEST(CorruptCorpus, TornJournalTailRecoversByTruncation) {
+  const std::filesystem::path dir =
+      std::filesystem::path(PANDIA_TEST_DATA_DIR) / "corrupt" / "journal";
+  StatusOr<serve::Journal> journal =
+      serve::Journal::Open(ScratchCopy(dir / "torn_tail.journal"), {});
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+  EXPECT_TRUE(journal->recovery().truncated_torn_tail);
+  EXPECT_GT(journal->recovery().truncated_bytes, 0u);
+  ASSERT_EQ(journal->recovery().records.size(), 1u);
+  EXPECT_EQ(journal->recovery().records[0].request.verb, "NOTE");
+  // The torn record's sequence number was never acknowledged; it is reused.
+  EXPECT_EQ(journal->next_seq(), 2u);
+}
+
+TEST(CorruptCorpus, BrokenJournalsAreRefusedWithTheDefectNamed) {
+  const std::filesystem::path dir =
+      std::filesystem::path(PANDIA_TEST_DATA_DIR) / "corrupt" / "journal";
+  struct Case {
+    const char* file;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {"bad_crc.journal", "journal line 2: checksum mismatch"},
+      {"bad_length.journal", "the frame declares 999"},
+      {"bad_seq.journal", "sequence 5 where 2 was expected"},
+      {"interleaved_v1_v2.journal", "journal line 3: bad sequence number"},
+      {"truncated_snapshot.journal", "snapshot record is truncated"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.file);
+    const std::string scratch = ScratchCopy(dir / c.file);
+    const StatusOr<std::string> before = ReadTextFile(scratch);
+    ASSERT_TRUE(before.ok());
+    const StatusOr<serve::Journal> journal = serve::Journal::Open(scratch, {});
+    ASSERT_FALSE(journal.ok());
+    EXPECT_EQ(journal.status().code(), StatusCode::kDataLoss)
+        << journal.status().ToString();
+    EXPECT_NE(journal.status().message().find(c.needle), std::string::npos)
+        << journal.status().ToString();
+    // A refused journal is left byte-for-byte as found: corruption is for
+    // the operator to inspect, not for recovery to paper over.
+    const StatusOr<std::string> after = ReadTextFile(scratch);
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(*after, *before);
   }
 }
 

@@ -1,0 +1,512 @@
+// src/serve/journal: the durable checksummed journal v2 — the recovery
+// matrix (round-trip, torn tail vs mid-file corruption, torn snapshot,
+// sequence gaps), compaction atomicity (snapshot rewrite, stale tmp
+// cleanup, sequence continuity), sync policies, v1 read-only compatibility
+// with upgrade-on-first-mutation, and the service-level degraded mode that
+// injected append failures drive.
+#include "src/serve/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/eval/pipeline.h"
+#include "src/serialize/serialize.h"
+#include "src/serve/service.h"
+#include "src/util/crc32c.h"
+#include "src/util/strings.h"
+#include "src/workloads/workloads.h"
+
+namespace pandia {
+namespace serve {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  return path;
+}
+
+wire::Request Note(const std::string& value) {
+  wire::Request request;
+  request.verb = "NOTE";
+  request.params.emplace_back("kind", value);
+  return request;
+}
+
+// Frames a payload exactly as the journal does — the handcrafted-corpus
+// counterpart of the implementation's framing.
+std::string Framed(uint64_t seq, const std::string& payload) {
+  return StrFormat("%llu %08x %zu %s\n", static_cast<unsigned long long>(seq),
+                   Crc32c(payload), payload.size(), payload.c_str());
+}
+
+Journal MustOpen(const std::string& path, JournalOptions options = {}) {
+  StatusOr<Journal> journal = Journal::Open(path, options);
+  EXPECT_TRUE(journal.ok()) << journal.status().ToString();
+  return std::move(*journal);
+}
+
+TEST(Journal, FreshJournalRoundTripsRecords) {
+  const std::string path = TempPath("journal_roundtrip.wire");
+  {
+    Journal journal = MustOpen(path);
+    EXPECT_EQ(journal.next_seq(), 1u);
+    EXPECT_EQ(journal.record_count(), 0u);
+    ASSERT_TRUE(journal.Append(Note("one")).ok());
+    ASSERT_TRUE(journal.Append(Note("two")).ok());
+    ASSERT_TRUE(journal.Append(Note("three")).ok());
+    EXPECT_EQ(journal.next_seq(), 4u);
+  }
+  Journal replayed = MustOpen(path);
+  EXPECT_FALSE(replayed.recovery().truncated_torn_tail);
+  EXPECT_EQ(replayed.recovery().version, 2);
+  ASSERT_EQ(replayed.recovery().records.size(), 3u);
+  // Line numbers are exact: the magic is line 1, records start at line 2.
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(replayed.recovery().records[i].request.verb, "NOTE");
+    EXPECT_EQ(replayed.recovery().records[i].line, i + 2);
+  }
+  EXPECT_EQ(*replayed.recovery().records[0].request.Find("kind"), "one");
+  EXPECT_EQ(*replayed.recovery().records[2].request.Find("kind"), "three");
+  EXPECT_EQ(replayed.next_seq(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, TornFinalRecordIsTruncatedAndAppendingContinues) {
+  const std::string path = TempPath("journal_torn_tail.wire");
+  {
+    Journal journal = MustOpen(path);
+    ASSERT_TRUE(journal.Append(Note("kept")).ok());
+  }
+  // Simulate a crash mid-append: half of a framed record, no newline.
+  const std::string torn = Framed(2, wire::FormatRequest(Note("torn")));
+  {
+    const StatusOr<std::string> text = ReadTextFile(path);
+    ASSERT_TRUE(text.ok());
+    ASSERT_TRUE(
+        WriteTextFile(path, *text + torn.substr(0, torn.size() / 2)).ok());
+  }
+  Journal recovered = MustOpen(path);
+  EXPECT_TRUE(recovered.recovery().truncated_torn_tail);
+  EXPECT_EQ(recovered.recovery().truncated_bytes, torn.size() / 2);
+  ASSERT_EQ(recovered.recovery().records.size(), 1u);
+  EXPECT_EQ(*recovered.recovery().records[0].request.Find("kind"), "kept");
+  // The torn record was never acknowledged; its sequence number is reused.
+  EXPECT_EQ(recovered.next_seq(), 2u);
+  ASSERT_TRUE(recovered.Append(Note("after")).ok());
+
+  Journal clean = MustOpen(path);
+  EXPECT_FALSE(clean.recovery().truncated_torn_tail);
+  ASSERT_EQ(clean.recovery().records.size(), 2u);
+  EXPECT_EQ(*clean.recovery().records[1].request.Find("kind"), "after");
+  std::remove(path.c_str());
+}
+
+TEST(Journal, CompleteButUnterminatedFinalRecordIsAlsoATear) {
+  const std::string path = TempPath("journal_no_newline.wire");
+  {
+    Journal journal = MustOpen(path);
+    ASSERT_TRUE(journal.Append(Note("kept")).ok());
+    ASSERT_TRUE(journal.Append(Note("unterminated")).ok());
+  }
+  {
+    const StatusOr<std::string> text = ReadTextFile(path);
+    ASSERT_TRUE(text.ok());
+    ASSERT_TRUE(WriteTextFile(path, text->substr(0, text->size() - 1)).ok());
+  }
+  // Keeping the record would glue the next append onto its line; recovery
+  // treats the missing separator as part of the tear.
+  Journal recovered = MustOpen(path);
+  EXPECT_TRUE(recovered.recovery().truncated_torn_tail);
+  ASSERT_EQ(recovered.recovery().records.size(), 1u);
+  EXPECT_EQ(*recovered.recovery().records[0].request.Find("kind"), "kept");
+  std::remove(path.c_str());
+}
+
+TEST(Journal, MidFileCorruptionIsRefusedWithTheExactLine) {
+  const std::string path = TempPath("journal_midfile.wire");
+  {
+    Journal journal = MustOpen(path);
+    ASSERT_TRUE(journal.Append(Note("first")).ok());
+    ASSERT_TRUE(journal.Append(Note("second")).ok());
+    ASSERT_TRUE(journal.Append(Note("third")).ok());
+  }
+  StatusOr<std::string> text = ReadTextFile(path);
+  ASSERT_TRUE(text.ok());
+  // Flip one payload byte of the SECOND record (file line 3): the CRC now
+  // mismatches before the final record, which is corruption, not a tear.
+  const size_t at = text->find("second");
+  ASSERT_NE(at, std::string::npos);
+  (*text)[at] = 'X';
+  ASSERT_TRUE(WriteTextFile(path, *text).ok());
+
+  StatusOr<Journal> refused = Journal::Open(path, JournalOptions{});
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(refused.status().message().find("journal line 3"),
+            std::string::npos)
+      << refused.status().ToString();
+  EXPECT_NE(refused.status().message().find("checksum mismatch"),
+            std::string::npos)
+      << refused.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(Journal, BadLengthAndBadSequenceAreCorruption) {
+  const std::string path = TempPath("journal_frame_defects.wire");
+  const std::string payload = wire::FormatRequest(Note("x"));
+  // Length field disagrees with the payload, mid-file.
+  ASSERT_TRUE(WriteTextFile(path, "pandia-journal v2\n" +
+                                      StrFormat("1 %08x 999 %s\n",
+                                                Crc32c(payload),
+                                                payload.c_str()) +
+                                      Framed(2, payload))
+                  .ok());
+  StatusOr<Journal> bad_length = Journal::Open(path, JournalOptions{});
+  ASSERT_FALSE(bad_length.ok());
+  EXPECT_EQ(bad_length.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(bad_length.status().message().find("journal line 2"),
+            std::string::npos);
+
+  // A sequence gap mid-file: record 2 claims seq 7.
+  ASSERT_TRUE(WriteTextFile(path, "pandia-journal v2\n" + Framed(1, payload) +
+                                      Framed(7, payload) + Framed(3, payload))
+                  .ok());
+  StatusOr<Journal> bad_seq = Journal::Open(path, JournalOptions{});
+  ASSERT_FALSE(bad_seq.ok());
+  EXPECT_EQ(bad_seq.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(bad_seq.status().message().find("journal line 3"),
+            std::string::npos)
+      << bad_seq.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(Journal, TornSnapshotIsRefusedEvenAtTheTail) {
+  const std::string path = TempPath("journal_torn_snapshot.wire");
+  const std::string line = Framed(1, "SNAPSHOT mutation-seq=9");
+  // Final record, torn mid-payload — but it is a SNAPSHOT, which only
+  // reaches disk via fsync-then-rename. Truncating it would drop the whole
+  // compacted history, so recovery must refuse.
+  ASSERT_TRUE(WriteTextFile(path, "pandia-journal v2\n" +
+                                      line.substr(0, line.size() - 4))
+                  .ok());
+  StatusOr<Journal> refused = Journal::Open(path, JournalOptions{});
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(refused.status().message().find("snapshot record is truncated"),
+            std::string::npos)
+      << refused.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(Journal, CompactionRewritesToOneSnapshotAndKeepsSequencing) {
+  const std::string path = TempPath("journal_compact.wire");
+  // A stale tmp from a crashed compaction must be swept on Open.
+  ASSERT_TRUE(WriteTextFile(path + ".tmp", "leftover").ok());
+  Journal journal = MustOpen(path);
+  ASSERT_EQ(ReadTextFile(path + ".tmp").ok(), false);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(journal.Append(Note(StrFormat("r%d", i))).ok());
+  }
+  const uint64_t seq_before = journal.next_seq();
+  ASSERT_TRUE(journal.Compact(Note("snapshot-stand-in")).ok());
+  EXPECT_EQ(journal.record_count(), 1u);
+  EXPECT_EQ(journal.records_since_snapshot(), 0u);
+  // The snapshot took seq_before; appends continue monotonically after it.
+  EXPECT_EQ(journal.next_seq(), seq_before + 1);
+  ASSERT_TRUE(journal.Append(Note("post")).ok());
+
+  Journal replayed = MustOpen(path);
+  ASSERT_EQ(replayed.recovery().records.size(), 2u);
+  EXPECT_EQ(*replayed.recovery().records[0].request.Find("kind"),
+            "snapshot-stand-in");
+  EXPECT_EQ(*replayed.recovery().records[1].request.Find("kind"), "post");
+  EXPECT_EQ(replayed.next_seq(), seq_before + 2);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, SyncPolicyNamesRoundTrip) {
+  for (const SyncPolicy policy :
+       {SyncPolicy::kNone, SyncPolicy::kInterval, SyncPolicy::kEveryRecord}) {
+    const StatusOr<SyncPolicy> parsed = SyncPolicyFromName(SyncPolicyName(policy));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_FALSE(SyncPolicyFromName("sometimes").ok());
+}
+
+TEST(Journal, EveryRecordSyncPolicyAppendsFine) {
+  const std::string path = TempPath("journal_every_record.wire");
+  JournalOptions options;
+  options.sync = SyncPolicy::kEveryRecord;
+  Journal journal = MustOpen(path, options);
+  ASSERT_TRUE(journal.Append(Note("durable")).ok());
+  ASSERT_TRUE(journal.Sync().ok());
+  std::remove(path.c_str());
+}
+
+TEST(Journal, InjectedFailuresLeaveTheFileUntouched) {
+  const std::string path = TempPath("journal_injected.wire");
+  Journal journal = MustOpen(path);
+  ASSERT_TRUE(journal.Append(Note("before")).ok());
+  const uint64_t size_before = journal.size_bytes();
+  journal.InjectAppendFailures(2);
+  for (int i = 0; i < 2; ++i) {
+    const Status failed = journal.Append(Note("lost"));
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(journal.size_bytes(), size_before);
+  EXPECT_EQ(journal.record_count(), 1u);
+  ASSERT_TRUE(journal.Append(Note("after")).ok());
+  Journal replayed = MustOpen(path);
+  ASSERT_EQ(replayed.recovery().records.size(), 2u);
+  EXPECT_EQ(*replayed.recovery().records[1].request.Find("kind"), "after");
+  std::remove(path.c_str());
+}
+
+TEST(Journal, V1JournalsRecoverReadOnly) {
+  const std::string path = TempPath("journal_v1.wire");
+  ASSERT_TRUE(WriteTextFile(path,
+                            "pandia-journal v1\n"
+                            "NOTE kind=legacy\n")
+                  .ok());
+  Journal journal = MustOpen(path);
+  EXPECT_TRUE(journal.needs_upgrade());
+  EXPECT_EQ(journal.recovery().version, 1);
+  ASSERT_EQ(journal.recovery().records.size(), 1u);
+  const Status append = journal.Append(Note("new"));
+  ASSERT_FALSE(append.ok());
+  EXPECT_EQ(append.code(), StatusCode::kFailedPrecondition);
+  // Compact upgrades in place; appending then works and the file is v2.
+  ASSERT_TRUE(journal.Compact(Note("upgraded-state")).ok());
+  EXPECT_FALSE(journal.needs_upgrade());
+  ASSERT_TRUE(journal.Append(Note("new")).ok());
+  const StatusOr<std::string> text = ReadTextFile(path);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->rfind("pandia-journal v2\n", 0), 0u) << *text;
+  std::remove(path.c_str());
+}
+
+// --- service-level: degraded mode, COMPACT, v1 upgrade ------------------
+
+const eval::Pipeline& X3() {
+  static const eval::Pipeline* pipeline = new eval::Pipeline("x3-2");
+  return *pipeline;
+}
+
+const std::string& DescriptionText(const std::string& workload) {
+  static std::map<std::string, std::string>* cache =
+      new std::map<std::string, std::string>();
+  auto it = cache->find(workload);
+  if (it == cache->end()) {
+    it = cache
+             ->emplace(workload, WorkloadDescriptionToText(
+                                     X3().Profile(workloads::ByName(workload))))
+             .first;
+  }
+  return it->second;
+}
+
+std::vector<rack::RackMachine> TwoNodeRack() {
+  std::vector<rack::RackMachine> machines;
+  for (int i = 0; i < 2; ++i) {
+    machines.push_back({StrFormat("node%d", i), X3().description()});
+  }
+  return machines;
+}
+
+std::string AdmitLine(const std::string& name, const std::string& workload,
+                      int threads) {
+  wire::Request request;
+  request.verb = "ADMIT";
+  request.params.emplace_back("name", name);
+  request.params.emplace_back("threads", StrFormat("%d", threads));
+  request.params.emplace_back("desc.x3-2", DescriptionText(workload));
+  return wire::FormatRequest(request);
+}
+
+PlacementService MustCreate(std::vector<rack::RackMachine> machines,
+                            ServiceOptions options) {
+  StatusOr<PlacementService> service =
+      PlacementService::Create(std::move(machines), std::move(options));
+  EXPECT_TRUE(service.ok()) << service.status().ToString();
+  return std::move(*service);
+}
+
+bool IsOkBlock(const std::string& block) { return block.rfind("ok ", 0) == 0; }
+bool IsErrBlock(const std::string& block) { return block.rfind("err ", 0) == 0; }
+
+TEST(ServiceDegraded, PersistentAppendFailureEntersReadOnlyModeAndRecovers) {
+  const std::string journal = TempPath("service_degraded.wire");
+  ServiceOptions options;
+  options.journal_path = journal;
+  // Appends 1-5 fail, everything after succeeds. With the default threshold
+  // of 3 consecutive failures the service degrades on the third admit.
+  options.journal.fail_next_appends = 5;
+  PlacementService service = MustCreate(TwoNodeRack(), options);
+
+  const std::string telemetry_before = service.HandleLine("TELEMETRY");
+  for (int i = 0; i < 3; ++i) {
+    const std::string response =
+        service.HandleLine(AdmitLine(StrFormat("job%d", i), "EP", 2));
+    ASSERT_TRUE(IsErrBlock(response)) << response;
+    EXPECT_NE(response.find("unavailable"), std::string::npos) << response;
+  }
+  EXPECT_TRUE(service.degraded());
+  // Failed appends rolled every mutation back: TELEMETRY is byte-identical
+  // to never having tried (the DEPART-rollback telemetry fix rides on the
+  // same SaveState/RestoreState path).
+  EXPECT_EQ(service.HandleLine("TELEMETRY"), telemetry_before);
+
+  // Read verbs keep serving; mutating verbs are refused with a read-only
+  // hint and the gauge reports the mode.
+  EXPECT_TRUE(IsOkBlock(service.HandleLine("STATUS")));
+  const std::string metrics = service.HandleLine("METRICS format=expo");
+  EXPECT_NE(metrics.find("serve.degraded 1"), std::string::npos) << metrics;
+  const std::string refused = service.HandleLine(AdmitLine("jobx", "EP", 2));
+  ASSERT_TRUE(IsErrBlock(refused)) << refused;
+  EXPECT_NE(refused.find("read-only"), std::string::npos) << refused;
+
+  // That refusal burned injected failure #4 as a probe; #5 fails the next
+  // probe too; the probe after that succeeds and service resumes.
+  ASSERT_TRUE(IsErrBlock(service.HandleLine(AdmitLine("joby", "EP", 2))));
+  const std::string recovered = service.HandleLine(AdmitLine("jobz", "EP", 2));
+  ASSERT_TRUE(IsOkBlock(recovered)) << recovered;
+  EXPECT_FALSE(service.degraded());
+  EXPECT_NE(service.HandleLine("METRICS format=expo").find("serve.degraded 0"),
+            std::string::npos);
+  std::remove(journal.c_str());
+}
+
+TEST(ServiceCompact, CompactVerbSnapshotsAndRestartIsByteIdentical) {
+  const std::string journal = TempPath("service_compact.wire");
+  ServiceOptions options;
+  options.journal_path = journal;
+  std::optional<PlacementService> service(MustCreate(TwoNodeRack(), options));
+  ASSERT_TRUE(IsOkBlock(service->HandleLine(AdmitLine("web", "EP", 2))));
+  ASSERT_TRUE(IsOkBlock(service->HandleLine(AdmitLine("db", "MD", 2))));
+  ASSERT_TRUE(IsOkBlock(service->HandleLine(AdmitLine("cache", "CG", 1))));
+  (void)service->HandleLine("REBALANCE max-migrations=2");
+  ASSERT_TRUE(IsOkBlock(service->HandleLine("DEPART name=db")));
+
+  const std::string status_before = service->HandleLine("STATUS");
+  const std::string telemetry_before = service->HandleLine("TELEMETRY");
+
+  const std::string compacted = service->HandleLine("COMPACT");
+  ASSERT_TRUE(IsOkBlock(compacted)) << compacted;
+  EXPECT_NE(compacted.find("records-before = "), std::string::npos);
+  EXPECT_NE(compacted.find("records-after = 1"), std::string::npos);
+  EXPECT_NE(compacted.find("reclaimed-bytes = "), std::string::npos);
+  // Compaction itself mutates no rack state.
+  EXPECT_EQ(service->HandleLine("STATUS"), status_before);
+  EXPECT_EQ(service->HandleLine("TELEMETRY"), telemetry_before);
+  EXPECT_TRUE(IsErrBlock(service->HandleLine("COMPACT now=1")));
+
+  service.reset();  // the "kill"
+  std::optional<PlacementService> replayed(MustCreate(TwoNodeRack(), options));
+  // Restart replays exactly one SNAPSHOT record (the post-snapshot suffix
+  // is empty) and reproduces the full state byte for byte.
+  ASSERT_NE(replayed->journal_for_test(), nullptr);
+  EXPECT_EQ(replayed->journal_for_test()->record_count(), 1u);
+  EXPECT_EQ(replayed->HandleLine("STATUS"), status_before);
+  EXPECT_EQ(replayed->HandleLine("TELEMETRY"), telemetry_before);
+
+  // The revived journal keeps accepting post-snapshot mutations.
+  ASSERT_TRUE(IsOkBlock(replayed->HandleLine(AdmitLine("more", "EP", 1))));
+  std::remove(journal.c_str());
+}
+
+TEST(ServiceCompact, CompactWithoutAJournalIsAFailedPrecondition) {
+  PlacementService service = MustCreate(TwoNodeRack(), ServiceOptions{});
+  const std::string response = service.HandleLine("COMPACT");
+  ASSERT_TRUE(IsErrBlock(response)) << response;
+  EXPECT_NE(response.find("failed-precondition"), std::string::npos);
+}
+
+TEST(ServiceCompact, AutomaticCompactionFiresWhenTheLiveRatioDrops) {
+  const std::string journal = TempPath("service_autocompact.wire");
+  ServiceOptions options;
+  options.journal_path = journal;
+  options.compact_min_records = 8;  // tiny threshold so the test is fast
+  options.compact_live_ratio = 0.5;
+  PlacementService service = MustCreate(TwoNodeRack(), options);
+  // Admit+depart churn: every pair adds two records but zero live jobs, so
+  // the live ratio decays toward 0 and crosses 0.5 past 8 records.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        IsOkBlock(service.HandleLine(AdmitLine(StrFormat("t%d", i), "EP", 1))));
+    ASSERT_TRUE(
+        IsOkBlock(service.HandleLine(StrFormat("DEPART name=t%d", i))));
+  }
+  ASSERT_NE(service.journal_for_test(), nullptr);
+  // Compaction folded the churn into one snapshot; the journal did not keep
+  // all 16 records.
+  EXPECT_LE(service.journal_for_test()->record_count(), 8u);
+  const std::string metrics = service.HandleLine("METRICS format=expo");
+  EXPECT_NE(metrics.find("serve.journal.live_ratio"), std::string::npos);
+  std::remove(journal.c_str());
+}
+
+TEST(ServiceV1, LegacyJournalReplaysAndUpgradesOnFirstMutation) {
+  const std::string journal = TempPath("service_v1_upgrade.wire");
+  ServiceOptions options;
+  options.journal_path = journal;
+  // Produce genuine journal payloads by running a v2 service, then rewrite
+  // them as a legacy v1 file (raw request lines, no framing).
+  {
+    PlacementService seeder = MustCreate(TwoNodeRack(), options);
+    ASSERT_TRUE(IsOkBlock(seeder.HandleLine(AdmitLine("web", "EP", 2))));
+    ASSERT_TRUE(IsOkBlock(seeder.HandleLine(AdmitLine("db", "MD", 1))));
+  }
+  const StatusOr<std::string> v2_text = ReadTextFile(journal);
+  ASSERT_TRUE(v2_text.ok());
+  std::string v1_text = "pandia-journal v1\n";
+  bool header = true;
+  for (const std::string& line : StrSplit(*v2_text, '\n')) {
+    if (header) {
+      header = false;
+      continue;
+    }
+    if (line.empty()) {
+      continue;
+    }
+    // Strip the "seq crc len " frame, keeping the raw payload.
+    size_t at = 0;
+    for (int spaces = 0; spaces < 3; ++spaces) {
+      at = line.find(' ', at) + 1;
+    }
+    v1_text += line.substr(at) + "\n";
+  }
+  ASSERT_TRUE(WriteTextFile(journal, v1_text).ok());
+
+  std::optional<PlacementService> service(MustCreate(TwoNodeRack(), options));
+  EXPECT_EQ(service->rack().JobCount(), 2);
+  ASSERT_NE(service->journal_for_test(), nullptr);
+  EXPECT_TRUE(service->journal_for_test()->needs_upgrade());
+  const std::string status_before = service->HandleLine("STATUS");
+
+  // The first mutation upgrades the journal (snapshot of the pre-mutation
+  // state) and then applies normally.
+  ASSERT_TRUE(IsOkBlock(service->HandleLine("DEPART name=db")));
+  EXPECT_FALSE(service->journal_for_test()->needs_upgrade());
+  const StatusOr<std::string> upgraded = ReadTextFile(journal);
+  ASSERT_TRUE(upgraded.ok());
+  EXPECT_EQ(upgraded->rfind("pandia-journal v2\n", 0), 0u);
+
+  const std::string status_after_depart = service->HandleLine("STATUS");
+  service.reset();
+  std::optional<PlacementService> replayed(MustCreate(TwoNodeRack(), options));
+  EXPECT_EQ(replayed->HandleLine("STATUS"), status_after_depart);
+  std::remove(journal.c_str());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace pandia

@@ -23,13 +23,14 @@ std::vector<std::string> RuleNames(const std::vector<Finding>& findings) {
 
 TEST(LintRules, RegistryListsEveryRule) {
   const std::vector<RuleInfo>& rules = Rules();
-  ASSERT_EQ(rules.size(), 6u);
+  ASSERT_EQ(rules.size(), 7u);
   EXPECT_EQ(rules[0].name, "naked-mutex");
   EXPECT_EQ(rules[1].name, "no-abort");
   EXPECT_EQ(rules[2].name, "unseeded-rand");
   EXPECT_EQ(rules[3].name, "unordered-wire");
-  EXPECT_EQ(rules[4].name, "todo-owner");
-  EXPECT_EQ(rules[5].name, "metric-name");
+  EXPECT_EQ(rules[4].name, "no-raw-journal-io");
+  EXPECT_EQ(rules[5].name, "todo-owner");
+  EXPECT_EQ(rules[6].name, "metric-name");
   for (const RuleInfo& rule : rules) EXPECT_FALSE(rule.summary.empty());
 }
 
@@ -181,6 +182,43 @@ TEST(UnorderedWire, CatchesSetsAndIncludes) {
   ASSERT_EQ(findings.size(), 2u);
   EXPECT_EQ(findings[0].line, 1);
   EXPECT_EQ(findings[1].line, 2);
+}
+
+// --- no-raw-journal-io ---------------------------------------------------
+
+TEST(NoRawJournalIo, FiresOnDirectFileIoInServe) {
+  const std::vector<Finding> findings =
+      LintFile("src/serve/service.cc",
+               "std::FILE* f = std::fopen(path.c_str(), \"ab\");\n"
+               "std::fwrite(line.data(), 1, line.size(), f);\n"
+               "std::fflush(f);\n"
+               "::fsync(::fileno(f));\n"
+               "std::rename(tmp.c_str(), path.c_str());\n");
+  ASSERT_EQ(findings.size(), 5u);
+  for (size_t i = 0; i < findings.size(); ++i) {
+    EXPECT_EQ(findings[i].rule, "no-raw-journal-io");
+    EXPECT_EQ(findings[i].line, static_cast<int>(i) + 1);
+  }
+}
+
+TEST(NoRawJournalIo, JournalImplementationAndOtherPathsAreExempt) {
+  const std::string body = "std::fwrite(line.data(), 1, line.size(), f);\n";
+  EXPECT_TRUE(LintFile("src/serve/journal.cc", body).empty());
+  EXPECT_TRUE(LintFile("src/eval/pipeline.cc", body).empty());
+  EXPECT_TRUE(LintFile("tools/pandia_serve.cc", body).empty());
+  EXPECT_TRUE(LintFile("tests/serve_test.cc", body).empty());
+}
+
+TEST(NoRawJournalIo, IdentifierBoundariesAndAllowsHold) {
+  EXPECT_TRUE(LintFile("src/serve/socket.cc",
+                       "int buffered_fwrite_count = 0;\n"
+                       "void renamed(const std::string& s);\n")
+                  .empty());
+  EXPECT_TRUE(
+      LintFile("src/serve/socket.cc",
+               "std::fflush(stdout_stream);  "
+               "// pandia-lint: allow(no-raw-journal-io)\n")
+          .empty());
 }
 
 // --- todo-owner ----------------------------------------------------------

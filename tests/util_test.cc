@@ -3,6 +3,7 @@
 #include <cmath>
 #include <set>
 
+#include "src/util/crc32c.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 #include "src/util/strings.h"
@@ -212,6 +213,28 @@ TEST(Table, CsvOutput) {
   ASSERT_NE(std::fgets(buffer, sizeof buffer, tmp), nullptr);
   EXPECT_EQ(std::string(buffer), "1,2\n");
   std::fclose(tmp);
+}
+
+TEST(Crc32c, EmptyInputIsZero) { EXPECT_EQ(Crc32c(""), 0u); }
+
+TEST(Crc32c, Rfc3720CheckValue) {
+  // The CRC32C check value (RFC 3720 appendix B.4).
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+}
+
+TEST(Crc32c, SensitiveToEveryByte) {
+  EXPECT_NE(Crc32c("ADMITTED name=web"), Crc32c("ADMITTED name=wec"));
+  EXPECT_NE(Crc32c("a"), Crc32c(std::string("a\0", 2)));
+  EXPECT_NE(Crc32c("ab"), Crc32c("ba"));
+}
+
+TEST(Crc32c, ExtendComposesLikeOneShot) {
+  const std::string text = "pandia journal record payload";
+  for (size_t split = 0; split <= text.size(); ++split) {
+    uint32_t crc = ExtendCrc32c(0, text.substr(0, split));
+    crc = ExtendCrc32c(crc, text.substr(split));
+    EXPECT_EQ(crc, Crc32c(text)) << "split at " << split;
+  }
 }
 
 }  // namespace

@@ -18,8 +18,14 @@
 //   --machine NAME=SPEC  add a rack machine (repeatable, at least one)
 //   --policy=P           default admission policy: first-fit, best-speedup
 //                        (default), least-interference
-//   --journal=FILE       append-only mutation journal; replayed on startup
-//                        when the file exists (restart recovery)
+//   --journal=FILE       durable checksummed mutation journal; recovered and
+//                        replayed on startup when the file exists (restart
+//                        recovery, including torn-tail truncation)
+//   --sync=P             journal fsync policy: none, interval (default:
+//                        fsync every --sync-interval records), every-record
+//   --sync-interval=N    records per fsync under --sync=interval (default 32)
+//   --compact-min-records=N  automatic-compaction floor: never snapshot
+//                        before N records accumulated past the last one
 //   --socket=PATH        also listen on a Unix-domain socket at PATH
 //   --jobs=N, --trace-out=FILE, --metrics  (tools/tool_common.h; the
 //                        observability tables go to stderr — stdout carries
@@ -42,8 +48,9 @@ using namespace pandia;
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --machine NAME=SPEC [--machine NAME=SPEC ...] "
-               "[--policy=P] [--journal=FILE] [--socket=PATH] [--jobs=N] "
-               "[--trace-out=FILE] [--metrics] [--metrics-out=FILE]\n"
+               "[--policy=P] [--journal=FILE] [--sync=none|interval|every-record] "
+               "[--sync-interval=N] [--compact-min-records=N] [--socket=PATH] "
+               "[--jobs=N] [--trace-out=FILE] [--metrics] [--metrics-out=FILE]\n"
                "  SPEC: a machine-description file or a simulated machine "
                "(x5-2, x4-2, x3-2, x2-4)\n",
                argv0);
@@ -119,6 +126,30 @@ int main(int argc, char** argv) {
       options.default_policy = *policy;
     } else if (std::strncmp(argv[i], "--journal=", 10) == 0) {
       options.journal_path = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--sync=", 7) == 0) {
+      const StatusOr<serve::SyncPolicy> policy =
+          serve::SyncPolicyFromName(argv[i] + 7);
+      if (!policy.ok()) {
+        return tools::FailWith(policy.status());
+      }
+      options.journal.sync = *policy;
+    } else if (std::strncmp(argv[i], "--sync-interval=", 16) == 0) {
+      const StatusOr<int> value =
+          tools::ParseIntFlag(argv[i] + 16, "--sync-interval");
+      if (!value.ok() || *value < 1) {
+        std::fprintf(stderr, "error: --sync-interval needs a positive integer\n");
+        return 2;
+      }
+      options.journal.sync_interval_records = *value;
+    } else if (std::strncmp(argv[i], "--compact-min-records=", 22) == 0) {
+      const StatusOr<int> value =
+          tools::ParseIntFlag(argv[i] + 22, "--compact-min-records");
+      if (!value.ok() || *value < 1) {
+        std::fprintf(stderr,
+                     "error: --compact-min-records needs a positive integer\n");
+        return 2;
+      }
+      options.compact_min_records = static_cast<uint64_t>(*value);
     } else if (std::strncmp(argv[i], "--socket=", 9) == 0) {
       socket_path = argv[i] + 9;
     } else {

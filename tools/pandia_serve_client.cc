@@ -1,7 +1,7 @@
 // pandia-serve-client: one-shot client for a running pandia_serve daemon.
 //
 //   pandia_serve_client --socket=PATH [--admit=NAME:THREADS:TYPE:FILE ...]
-//                       [request ...]
+//                       [--timeout-ms=N] [--retries=N] [request ...]
 //
 // Each positional argument is one wire-v1 request line sent verbatim
 // (quote it: 'ADMIT name=web threads=4 ...'). --admit builds an ADMIT
@@ -12,6 +12,13 @@
 // stdin until EOF. All responses are printed to stdout exactly as the
 // daemon framed them; the exit code is 0 only when every response block
 // reports ok.
+//
+// --timeout-ms bounds each socket send/receive (a stalled daemon fails the
+// call instead of hanging). --retries re-attempts a refused/absent socket
+// with exponential backoff (50 ms doubling), riding through a daemon
+// restart. Only the connect is ever retried: a stream truncated
+// mid-response still exits 1 — a half-delivered answer must never be
+// mistaken for success.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -60,10 +67,25 @@ pandia::StatusOr<std::string> BuildAdmit(const std::string& spec) {
 int main(int argc, char** argv) {
   using namespace pandia;
   std::string socket_path;
+  serve::ExchangeOptions exchange;
   std::vector<std::string> requests;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--socket=", 9) == 0) {
       socket_path = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--timeout-ms=", 13) == 0) {
+      const StatusOr<int> value = tools::ParseIntFlag(argv[i] + 13, "--timeout-ms");
+      if (!value.ok() || *value < 0) {
+        std::fprintf(stderr, "error: --timeout-ms needs a non-negative integer\n");
+        return 2;
+      }
+      exchange.timeout_ms = *value;
+    } else if (std::strncmp(argv[i], "--retries=", 10) == 0) {
+      const StatusOr<int> value = tools::ParseIntFlag(argv[i] + 10, "--retries");
+      if (!value.ok() || *value < 0) {
+        std::fprintf(stderr, "error: --retries needs a non-negative integer\n");
+        return 2;
+      }
+      exchange.retries = *value;
     } else if (std::strncmp(argv[i], "--admit=", 8) == 0) {
       StatusOr<std::string> request = BuildAdmit(argv[i] + 8);
       if (!request.ok()) {
@@ -102,7 +124,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const StatusOr<std::string> response =
-      serve::SocketExchange(socket_path, request_text);
+      serve::SocketExchange(socket_path, request_text, exchange);
   if (!response.ok()) {
     return tools::FailWith(response.status(), socket_path);
   }

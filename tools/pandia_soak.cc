@@ -1,0 +1,454 @@
+// pandia-soak: the kill-injection soak harness for the crash-safe serving
+// stack (journal v2 + snapshot/compaction + torn-write recovery).
+//
+//   pandia_soak [--cycles=N] [--events-per-cycle=N] [--seed=S] [--dir=PATH]
+//               [--report=FILE] [--sync=none|interval|every-record]
+//               [--max-journal-bytes=N]
+//
+// Each cycle forks a child that runs an in-process PlacementService against
+// a shared on-disk journal and drives it through seeded random traffic
+// (ADMIT/DEPART/REBALANCE/COMPACT). The child dies one of two ways:
+//
+//   - clean kill: after a seeded number of events the child snapshots its
+//     acknowledged STATUS + TELEMETRY to a file, then raise(SIGKILL)s
+//     itself — uncatchable, no destructors, no extra flushing. The parent
+//     recovers from the journal and asserts the recovered STATUS and
+//     TELEMETRY are byte-identical to what the dead child had acknowledged.
+//   - torn crash: the child sets PANDIA_JOURNAL_CRASH_AT (a test-only hook;
+//     see src/serve/journal.h) so the journal itself dies mid-append —
+//     half a record flushed — or mid-compaction (after the tmp fsync, or
+//     right after the rename). Nothing was acknowledged for the torn
+//     record, so the assertion is recovery determinism: two independent
+//     replays of the damaged journal must agree byte for byte.
+//
+// Every cycle additionally asserts the journal stays bounded (compaction is
+// doing its job), and the run ends with an explicit COMPACT + restart
+// proving the whole state fits one snapshot record whose replay is
+// byte-identical.
+//
+// Defaults (--cycles=100 --events-per-cycle=20000) cover >= 100 kills over
+// >= 1,000,000 attempted events (clean kills stop mid-cycle, so the mean
+// per-cycle count is about 2/3 of the flag) — the acceptance-criterion
+// soak; budget tens of minutes for it. CI runs a reduced --cycles=25; the
+// ctest smoke runs 4.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/pandia.h"
+#include "tools/tool_common.h"
+
+namespace {
+
+using namespace pandia;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--cycles=N] [--events-per-cycle=N] [--seed=S] "
+               "[--dir=PATH] [--report=FILE] "
+               "[--sync=none|interval|every-record] [--max-journal-bytes=N]\n",
+               argv0);
+  return 2;
+}
+
+const eval::Pipeline& X3() {
+  static const eval::Pipeline* pipeline = new eval::Pipeline("x3-2");
+  return *pipeline;
+}
+
+const std::string& DescriptionText(const std::string& workload) {
+  static std::map<std::string, std::string>* cache =
+      new std::map<std::string, std::string>();
+  auto it = cache->find(workload);
+  if (it == cache->end()) {
+    it = cache
+             ->emplace(workload, WorkloadDescriptionToText(
+                                     X3().Profile(workloads::ByName(workload))))
+             .first;
+  }
+  return it->second;
+}
+
+std::vector<rack::RackMachine> SoakRack() {
+  std::vector<rack::RackMachine> machines;
+  for (int i = 0; i < 2; ++i) {
+    machines.push_back({StrFormat("node%d", i), X3().description()});
+  }
+  return machines;
+}
+
+serve::ServiceOptions SoakOptions(const std::string& journal_path,
+                                  serve::SyncPolicy sync) {
+  serve::ServiceOptions options;
+  options.journal_path = journal_path;
+  options.journal.sync = sync;
+  // Low floor so compaction fires many times per cycle, not once an hour.
+  options.compact_min_records = 128;
+  return options;
+}
+
+// What a cycle does to the child, decided up front from the seeded RNG so a
+// failure reproduces from (--seed, cycle index) alone.
+struct CyclePlan {
+  std::string crash_at;   // PANDIA_JOURNAL_CRASH_AT value; empty = clean kill
+  uint64_t kill_after;    // clean kill: events processed before SIGKILL
+  uint64_t events;
+};
+
+CyclePlan PlanCycle(Rng& rng, uint64_t events_per_cycle) {
+  CyclePlan plan;
+  plan.events = events_per_cycle;
+  plan.kill_after = 1 + rng.NextBounded(events_per_cycle);
+  // Every third cycle (on average) injects a torn write instead of a clean
+  // kill, rotating through the three crash stages.
+  if (rng.NextBounded(3) == 0) {
+    switch (rng.NextBounded(3)) {
+      case 0:
+        plan.crash_at = StrFormat(
+            "append:%llu",
+            static_cast<unsigned long long>(1 + rng.NextBounded(
+                                                    events_per_cycle / 2 + 1)));
+        break;
+      case 1:
+        plan.crash_at = "compact-tmp";
+        break;
+      default:
+        plan.crash_at = "compact-rename";
+        break;
+    }
+  }
+  return plan;
+}
+
+std::vector<std::string> ResidentNames(serve::PlacementService& service) {
+  std::vector<std::string> names;
+  const std::string status = service.HandleLine("STATUS");
+  size_t at = 0;
+  while ((at = status.find("job = ", at)) != std::string::npos) {
+    at += 6;
+    const size_t end = status.find(' ', at);
+    names.push_back(status.substr(at, end - at));
+  }
+  return names;
+}
+
+// The child half of one cycle: runs the service, applies traffic, dies.
+// Never returns. Everything here must be deterministic in `rng`.
+[[noreturn]] void RunChildCycle(const CyclePlan& plan, Rng rng,
+                                const std::string& journal_path,
+                                const std::string& prekill_path,
+                                serve::SyncPolicy sync, uint64_t cycle,
+                                uint64_t names_minted) {
+  if (!plan.crash_at.empty()) {
+    ::setenv("PANDIA_JOURNAL_CRASH_AT", plan.crash_at.c_str(), 1);
+  }
+  StatusOr<serve::PlacementService> service = serve::PlacementService::Create(
+      SoakRack(), SoakOptions(journal_path, sync));
+  if (!service.ok()) {
+    std::fprintf(stderr, "soak child (cycle %llu): %s\n",
+                 static_cast<unsigned long long>(cycle),
+                 service.status().ToString().c_str());
+    std::_Exit(3);
+  }
+  std::vector<std::string> resident = ResidentNames(*service);
+  static const char* const kWorkloads[] = {"EP", "MD", "CG", "BT"};
+  uint64_t minted = names_minted;
+  for (uint64_t i = 0; i < plan.events; ++i) {
+    if (plan.crash_at.empty() && i == plan.kill_after) {
+      break;
+    }
+    std::string line;
+    const uint64_t dice = rng.NextBounded(100);
+    // Crash-injected cycles force periodic COMPACTs so the compact-tmp and
+    // compact-rename hooks actually get a compaction to die inside.
+    const bool forced_compact = !plan.crash_at.empty() && i % 40 == 13;
+    if (forced_compact || dice >= 96) {
+      line = "COMPACT";
+    } else if (dice < 55 || resident.empty()) {
+      wire::Request request;
+      request.verb = "ADMIT";
+      const std::string name =
+          StrFormat("job%llu", static_cast<unsigned long long>(minted++));
+      request.params.emplace_back("name", name);
+      request.params.emplace_back(
+          "threads", StrFormat("%llu", static_cast<unsigned long long>(
+                                           1 + rng.NextBounded(3))));
+      request.params.emplace_back("desc.x3-2",
+                                  DescriptionText(kWorkloads[rng.NextBounded(4)]));
+      line = wire::FormatRequest(request);
+      if (service->HandleLine(line).rfind("ok ", 0) == 0) {
+        resident.push_back(name);
+      }
+      continue;
+    } else if (dice < 90) {
+      const size_t victim = rng.NextBounded(resident.size());
+      line = StrFormat("DEPART name=%s", resident[victim].c_str());
+      if (service->HandleLine(line).rfind("ok ", 0) == 0) {
+        resident.erase(resident.begin() + static_cast<long>(victim));
+      }
+      continue;
+    } else {
+      line = StrFormat("REBALANCE max-migrations=%llu",
+                       static_cast<unsigned long long>(1 + rng.NextBounded(4)));
+    }
+    (void)service->HandleLine(line);
+  }
+  // Snapshot the acknowledged state, then die without any cleanup. For
+  // crash-injected cycles this is only reached when the hook never fired
+  // (e.g. append:N beyond the cycle's appends) — the parent tells the two
+  // apart by the wait status, since the hook exits 137 instead.
+  const std::string prekill =
+      service->HandleLine("STATUS") + "\n" + service->HandleLine("TELEMETRY");
+  if (const Status written = WriteTextFile(prekill_path, prekill);
+      !written.ok()) {
+    std::fprintf(stderr, "soak child: %s\n", written.ToString().c_str());
+    std::_Exit(3);
+  }
+  ::raise(SIGKILL);
+  std::_Exit(3);  // unreachable: SIGKILL cannot be caught or ignored
+}
+
+struct SoakStats {
+  uint64_t clean_kills = 0;
+  uint64_t torn_crashes = 0;
+  uint64_t torn_tails_truncated = 0;
+  uint64_t events_attempted = 0;
+  uint64_t max_journal_bytes = 0;
+};
+
+int Fail(const char* stage, uint64_t cycle, const std::string& detail) {
+  std::fprintf(stderr, "pandia_soak: FAILED at cycle %llu (%s)\n%s\n",
+               static_cast<unsigned long long>(cycle), stage, detail.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t cycles = 100;
+  uint64_t events_per_cycle = 20000;
+  uint64_t seed = 42;
+  uint64_t max_journal_bytes = 8ull << 20;
+  std::string dir = ".";
+  std::string report_path;
+  serve::SyncPolicy sync = serve::SyncPolicy::kInterval;
+  bool flag_error = false;
+  for (int i = 1; i < argc; ++i) {
+    const auto int_flag = [&](const char* prefix, uint64_t* out) {
+      const size_t n = std::strlen(prefix);
+      if (std::strncmp(argv[i], prefix, n) != 0) {
+        return false;
+      }
+      const StatusOr<int> value = tools::ParseIntFlag(argv[i] + n, prefix);
+      if (!value.ok() || *value < 1) {
+        std::fprintf(stderr, "error: %s needs a positive integer\n", prefix);
+        flag_error = true;
+      } else {
+        *out = static_cast<uint64_t>(*value);
+      }
+      return true;
+    };
+    if (int_flag("--cycles=", &cycles) ||
+        int_flag("--events-per-cycle=", &events_per_cycle) ||
+        int_flag("--seed=", &seed) ||
+        int_flag("--max-journal-bytes=", &max_journal_bytes)) {
+      continue;
+    }
+    if (std::strncmp(argv[i], "--dir=", 6) == 0) {
+      dir = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--report=", 9) == 0) {
+      report_path = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--sync=", 7) == 0) {
+      const StatusOr<serve::SyncPolicy> parsed =
+          serve::SyncPolicyFromName(argv[i] + 7);
+      if (!parsed.ok()) {
+        return tools::FailWith(parsed.status());
+      }
+      sync = *parsed;
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", argv[i]);
+      return Usage(argv[0]);
+    }
+  }
+  if (flag_error) {
+    return Usage(argv[0]);
+  }
+
+  // Pre-warm the workload profiles and the machine description in the
+  // parent: every forked child inherits them, so no cycle pays the
+  // profiling cost again.
+  for (const char* workload : {"EP", "MD", "CG", "BT"}) {
+    (void)DescriptionText(workload);
+  }
+  (void)SoakRack();
+
+  const std::string journal_path = dir + "/soak_journal.wire";
+  const std::string prekill_path = dir + "/soak_prekill.txt";
+  std::remove(journal_path.c_str());
+  std::remove((journal_path + ".tmp").c_str());
+
+  Rng rng(seed);
+  SoakStats stats;
+  uint64_t names_minted = 0;
+  for (uint64_t cycle = 0; cycle < cycles; ++cycle) {
+    const CyclePlan plan = PlanCycle(rng, events_per_cycle);
+    // The child consumes its own deterministic stream; keep the parent's
+    // planning stream independent of traffic so cycle plans are stable.
+    Rng child_rng(HashCombine(seed, cycle + 1));
+    std::remove(prekill_path.c_str());
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      return Fail("fork", cycle, std::strerror(errno));
+    }
+    if (pid == 0) {
+      RunChildCycle(plan, child_rng, journal_path, prekill_path, sync, cycle,
+                    names_minted);
+    }
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid) {
+      return Fail("waitpid", cycle, std::strerror(errno));
+    }
+    const bool torn = WIFEXITED(status) && WEXITSTATUS(status) == 137;
+    const bool killed = WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+    if (!torn && !killed) {
+      return Fail("child exit", cycle,
+                  StrFormat("unexpected wait status %d "
+                            "(want SIGKILL or the crash hook's exit 137)",
+                            status));
+    }
+    torn ? ++stats.torn_crashes : ++stats.clean_kills;
+    stats.events_attempted +=
+        plan.crash_at.empty() ? plan.kill_after : plan.events;
+
+    // First recovery. For a clean kill, it must reproduce exactly what the
+    // child acknowledged before dying.
+    StatusOr<serve::PlacementService> created = serve::PlacementService::Create(
+        SoakRack(), SoakOptions(journal_path, sync));
+    if (!created.ok()) {
+      return Fail("recovery", cycle, created.status().ToString());
+    }
+    std::optional<serve::PlacementService> first(std::move(*created));
+    if (first->journal_for_test()->recovery().truncated_torn_tail) {
+      ++stats.torn_tails_truncated;
+    }
+    const std::string recovered =
+        first->HandleLine("STATUS") + "\n" + first->HandleLine("TELEMETRY");
+    if (killed) {
+      const StatusOr<std::string> prekill = ReadTextFile(prekill_path);
+      if (!prekill.ok()) {
+        return Fail("prekill snapshot", cycle, prekill.status().ToString());
+      }
+      if (recovered != *prekill) {
+        return Fail("byte-identity", cycle,
+                    StrFormat("recovered state differs from the killed "
+                              "child's acknowledged state\n--- acknowledged "
+                              "---\n%s\n--- recovered ---\n%s",
+                              prekill->c_str(), recovered.c_str()));
+      }
+    }
+    const uint64_t journal_bytes = first->journal_for_test()->size_bytes();
+    stats.max_journal_bytes = std::max(stats.max_journal_bytes, journal_bytes);
+    if (journal_bytes > max_journal_bytes) {
+      return Fail("journal bound", cycle,
+                  StrFormat("journal grew to %llu bytes (cap %llu): "
+                            "compaction is not keeping up",
+                            static_cast<unsigned long long>(journal_bytes),
+                            static_cast<unsigned long long>(max_journal_bytes)));
+    }
+    first.reset();  // close the journal before reopening
+
+    // Second recovery: replay is deterministic — two independent recoveries
+    // of the same (possibly torn) journal agree byte for byte.
+    StatusOr<serve::PlacementService> second = serve::PlacementService::Create(
+        SoakRack(), SoakOptions(journal_path, sync));
+    if (!second.ok()) {
+      return Fail("second recovery", cycle, second.status().ToString());
+    }
+    const std::string replayed =
+        second->HandleLine("STATUS") + "\n" + second->HandleLine("TELEMETRY");
+    if (replayed != recovered) {
+      return Fail("replay determinism", cycle,
+                  "two recoveries of the same journal disagree");
+    }
+    // Advance the name counter past anything the child might have admitted
+    // so the next cycle never reuses a journaled job name.
+    names_minted += plan.events;
+    std::fprintf(stderr,
+                 "pandia_soak: cycle %llu/%llu ok (%s, journal %llu bytes, "
+                 "%d jobs)\n",
+                 static_cast<unsigned long long>(cycle + 1),
+                 static_cast<unsigned long long>(cycles),
+                 torn ? plan.crash_at.c_str() : "clean kill",
+                 static_cast<unsigned long long>(journal_bytes),
+                 second->rack().JobCount());
+  }
+
+  // Finale: one explicit COMPACT must fold the whole surviving state into a
+  // single snapshot record, and a restart replaying only that snapshot (the
+  // post-snapshot suffix is empty) must be byte-identical.
+  {
+    StatusOr<serve::PlacementService> created = serve::PlacementService::Create(
+        SoakRack(), SoakOptions(journal_path, sync));
+    if (!created.ok()) {
+      return Fail("final open", cycles, created.status().ToString());
+    }
+    std::optional<serve::PlacementService> service(std::move(*created));
+    const std::string compacted = service->HandleLine("COMPACT");
+    if (compacted.rfind("ok ", 0) != 0) {
+      return Fail("final COMPACT", cycles, compacted);
+    }
+    if (service->journal_for_test()->record_count() != 1) {
+      return Fail("final COMPACT", cycles, "expected exactly 1 record");
+    }
+    const std::string before =
+        service->HandleLine("STATUS") + "\n" + service->HandleLine("TELEMETRY");
+    service.reset();
+    StatusOr<serve::PlacementService> reopened =
+        serve::PlacementService::Create(SoakRack(),
+                                        SoakOptions(journal_path, sync));
+    if (!reopened.ok()) {
+      return Fail("final replay", cycles, reopened.status().ToString());
+    }
+    const std::string after = reopened->HandleLine("STATUS") + "\n" +
+                              reopened->HandleLine("TELEMETRY");
+    if (after != before) {
+      return Fail("final replay", cycles,
+                  "snapshot-only replay is not byte-identical");
+    }
+  }
+
+  const std::string report = StrFormat(
+      "pandia_soak report\n"
+      "cycles = %llu\n"
+      "clean-kills = %llu\n"
+      "torn-crashes = %llu\n"
+      "torn-tails-truncated = %llu\n"
+      "events-attempted = %llu\n"
+      "max-journal-bytes = %llu\n"
+      "result = PASS\n",
+      static_cast<unsigned long long>(cycles),
+      static_cast<unsigned long long>(stats.clean_kills),
+      static_cast<unsigned long long>(stats.torn_crashes),
+      static_cast<unsigned long long>(stats.torn_tails_truncated),
+      static_cast<unsigned long long>(stats.events_attempted),
+      static_cast<unsigned long long>(stats.max_journal_bytes));
+  std::fputs(report.c_str(), stderr);
+  if (!report_path.empty()) {
+    if (const Status written = WriteTextFile(report_path, report);
+        !written.ok()) {
+      return tools::FailWith(written);
+    }
+  }
+  return 0;
+}

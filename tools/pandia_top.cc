@@ -5,8 +5,10 @@
 // Polls the daemon over its Unix-domain socket with `METRICS format=expo`
 // and `TELEMETRY`, then renders request latency percentiles (p50/p90/p99
 // per verb, interpolated client-side from the exported histogram buckets),
-// verb rates (counter deltas between polls), journal throughput, and the
-// per-job rack telemetry (predicted slowdown at admit, current prediction,
+// verb rates (counter deltas between polls), journal health (append and
+// fsync p99, compactions, bytes reclaimed, live ratio, torn tails, and a
+// DEGRADED banner when the daemon is serving read-only), and the per-job
+// rack telemetry (predicted slowdown at admit, current prediction,
 // degradation, re-placements, co-runner events).
 //
 // By default the display refreshes every --interval seconds (ANSI
@@ -162,15 +164,26 @@ void Render(const PollResult& poll, const ExpoSnapshot* previous,
   const double appends =
       SampleOr(poll.expo, "serve.journal.append_latency_us.count", 0.0);
   if (appends > 0.0) {
-    std::printf("\njournal: appends=%.0f bytes=%.0f append-p99=%.1fus\n",
+    const auto histogram_p99 = [&](const char* name) {
+      const auto it = poll.expo.histograms.find(name);
+      return it != poll.expo.histograms.end() ? ExpoPercentile(it->second, 0.99)
+                                              : 0.0;
+    };
+    std::printf("\njournal: appends=%.0f bytes=%.0f append-p99=%.1fus "
+                "fsync-p99=%.1fus\n",
                 appends, SampleOr(poll.expo, "serve.journal.bytes", 0.0),
-                [&] {
-                  const auto it = poll.expo.histograms.find(
-                      "serve.journal.append_latency_us");
-                  return it != poll.expo.histograms.end()
-                             ? ExpoPercentile(it->second, 0.99)
-                             : 0.0;
-                }());
+                histogram_p99("serve.journal.append_latency_us"),
+                histogram_p99("serve.journal.fsync_latency_us"));
+    std::printf("         compactions=%.0f reclaimed=%.0fB live-ratio=%.2f "
+                "torn-tails=%.0f%s\n",
+                SampleOr(poll.expo, "serve.journal.compactions", 0.0),
+                SampleOr(poll.expo,
+                         "serve.journal.compaction_bytes_reclaimed", 0.0),
+                SampleOr(poll.expo, "serve.journal.live_ratio", 1.0),
+                SampleOr(poll.expo, "serve.journal.torn_tails", 0.0),
+                SampleOr(poll.expo, "serve.degraded", 0.0) > 0.0
+                    ? "  DEGRADED (read-only)"
+                    : "");
   }
   std::printf("\ntelemetry:\n");
   for (const std::string& line : poll.telemetry) {

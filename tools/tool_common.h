@@ -9,6 +9,7 @@
 #ifndef PANDIA_TOOLS_TOOL_COMMON_H_
 #define PANDIA_TOOLS_TOOL_COMMON_H_
 
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +22,17 @@ namespace pandia {
 namespace tools {
 
 enum class FlagParse { kNoMatch, kOk, kError };
+
+// Parses a whole decimal integer flag value; `flag` names it in the error.
+inline StatusOr<int> ParseIntFlag(const char* value, const char* flag) {
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (*value == '\0' || *end != '\0' || parsed < INT_MIN || parsed > INT_MAX) {
+    return Status::InvalidArgument(
+        StrFormat("%s needs an integer, got '%s'", flag, value));
+  }
+  return static_cast<int>(parsed);
+}
 
 // The shared fan-out/observability flags, threaded through CommonOptions so
 // every tool parses and applies them the same way:
