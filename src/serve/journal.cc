@@ -114,12 +114,22 @@ bool ParseUint(std::string_view text, uint64_t* out) {
   return true;
 }
 
-bool ParseFrame(std::string_view line, Frame* frame, std::string* reason) {
+// `could_be_tear` reports whether the defect can be produced by a
+// sequential write cut short: frame fields missing from the end, or a
+// payload shorter than its declared length. Defects a tear cannot cause —
+// malformed digits with all fields present (a tear would have removed the
+// later fields first), a payload longer than declared, a checksum mismatch
+// over a full-length payload (a tear only removes a suffix, it cannot
+// alter bytes) — mean bit-rot or a writer bug even on the final line.
+bool ParseFrame(std::string_view line, Frame* frame, std::string* reason,
+                bool* could_be_tear) {
+  *could_be_tear = false;
   const size_t sp1 = line.find(' ');
   const size_t sp2 = sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
   const size_t sp3 = sp2 == std::string_view::npos ? sp2 : line.find(' ', sp2 + 1);
   if (sp3 == std::string_view::npos) {
     *reason = "record is not 'seq crc len payload'";
+    *could_be_tear = true;
     return false;
   }
   if (!ParseUint(line.substr(0, sp1), &frame->seq)) {
@@ -154,6 +164,7 @@ bool ParseFrame(std::string_view line, Frame* frame, std::string* reason) {
     *reason = StrFormat("payload is %zu bytes but the frame declares %llu",
                         frame->payload.size(),
                         static_cast<unsigned long long>(frame->len));
+    *could_be_tear = frame->payload.size() < frame->len;
     return false;
   }
   if (Crc32c(frame->payload) != frame->crc) {
@@ -250,6 +261,7 @@ Journal::Journal(Journal&& other) noexcept
       records_since_snapshot_(other.records_since_snapshot_),
       size_bytes_(other.size_bytes_),
       records_since_sync_(other.records_since_sync_),
+      dirty_(other.dirty_),
       crash_appends_left_(other.crash_appends_left_),
       crash_stage_(std::move(other.crash_stage_)) {}
 
@@ -266,6 +278,7 @@ Journal& Journal::operator=(Journal&& other) noexcept {
     records_since_snapshot_ = other.records_since_snapshot_;
     size_bytes_ = other.size_bytes_;
     records_since_sync_ = other.records_since_sync_;
+    dirty_ = other.dirty_;
     crash_appends_left_ = other.crash_appends_left_;
     crash_stage_ = std::move(other.crash_stage_);
   }
@@ -363,6 +376,7 @@ StatusOr<Journal> Journal::Open(std::string path, JournalOptions options) {
 
         std::string reason;
         bool good = false;
+        bool could_be_tear = false;
         Frame frame;
         wire::Request request;
         if (journal.version_ == 1) {
@@ -376,7 +390,7 @@ StatusOr<Journal> Journal::Open(std::string path, JournalOptions options) {
           }
           request = *std::move(parsed);
           good = true;
-        } else if (ParseFrame(line, &frame, &reason)) {
+        } else if (ParseFrame(line, &frame, &reason, &could_be_tear)) {
           if (journal.recovery_.records.empty()) {
             // Sequence numbers continue across compaction, so a compacted
             // journal legitimately starts above 1: the first record
@@ -403,7 +417,13 @@ StatusOr<Journal> Journal::Open(std::string path, JournalOptions options) {
         }
 
         if (!good && journal.version_ == 2) {
-          if (!final_line) {
+          // Only a tear signature on an unterminated final line is
+          // recoverable. A terminated defective record (the newline proves
+          // the whole line landed), a full-length payload with a CRC
+          // mismatch, or a checksum-valid record with the wrong sequence
+          // number cannot come from a write cut short — that is bit-rot or
+          // a writer bug, refused like mid-file corruption (journal.h).
+          if (terminated || !could_be_tear) {
             return Status::DataLoss(StrFormat("journal line %zu: %s",
                                               line_number, reason.c_str()));
           }
@@ -507,20 +527,60 @@ Status Journal::FsyncNow() {
   return Status::Ok();
 }
 
+// A failed append can leave partial — or complete but unacknowledged —
+// record bytes in the file and in the stdio buffer while the in-memory
+// counters roll back; writing after them would glue the next record onto a
+// mid-line fragment (mid-file corruption on the next recovery) or duplicate
+// a sequence number. Discard the stream (dropping its buffer), cut the file
+// back to the last acknowledged record, and reopen. Each step can itself
+// fail on a misbehaving disk: dirty_ records whether the tail is known
+// good, and Append retries the restore before touching a dirty file.
+void Journal::RestoreTail() {
+  Close();
+  dirty_ = ::truncate(path_.c_str(), static_cast<off_t>(size_bytes_)) != 0;
+  if (!dirty_) {
+    file_ = std::fopen(path_.c_str(), "ab");
+    dirty_ = file_ == nullptr;
+  }
+}
+
 Status Journal::Append(const wire::Request& record) {
   if (version_ == 1) {
     return Status::FailedPrecondition(StrFormat(
         "journal '%s' is v1 (read-only); compact it to v2 before appending",
         path_.c_str()));
   }
+  if (dirty_) {
+    RestoreTail();
+    if (dirty_) {
+      return Status::Unavailable(StrFormat(
+          "journal '%s' holds an unrepaired tail from a failed append",
+          path_.c_str()));
+    }
+  }
+  const std::string payload = wire::FormatRequest(record);
+  const std::string line = FormatFrame(next_seq_, payload) + "\n";
+
+  bool inject_failure = false;
   if (options_.fail_next_appends > 0) {
-    --options_.fail_next_appends;
+    if (options_.fail_after_appends > 0) {
+      --options_.fail_after_appends;
+    } else {
+      --options_.fail_next_appends;
+      inject_failure = true;
+    }
+  }
+  if (inject_failure) {
+    // The injected fault mimics a disk that accepted part of the record
+    // before giving out: half the line lands, then the same repair a real
+    // failure takes must erase it.
+    std::fwrite(line.data(), 1, line.size() / 2, file_);
+    (void)std::fflush(file_);
+    RestoreTail();
     return Status::Unavailable(
         StrFormat("cannot append to journal '%s' (injected failure)",
                   path_.c_str()));
   }
-  const std::string payload = wire::FormatRequest(record);
-  const std::string line = FormatFrame(next_seq_, payload) + "\n";
 
   if (crash_stage_ == "append" && crash_appends_left_ > 0 &&
       --crash_appends_left_ == 0) {
@@ -532,21 +592,30 @@ Status Journal::Append(const wire::Request& record) {
   }
 
   const int64_t start_ns = NowNs();
+  Status appended = Status::Ok();
   if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
       std::fflush(file_) != 0) {
-    return ErrnoStatus("cannot append to journal", path_);
+    appended = ErrnoStatus("cannot append to journal", path_);
+  } else {
+    switch (options_.sync) {
+      case SyncPolicy::kNone:
+        break;
+      case SyncPolicy::kEveryRecord:
+        appended = FsyncNow();
+        break;
+      case SyncPolicy::kInterval:
+        if (++records_since_sync_ >= options_.sync_interval_records) {
+          appended = FsyncNow();
+        }
+        break;
+    }
   }
-  switch (options_.sync) {
-    case SyncPolicy::kNone:
-      break;
-    case SyncPolicy::kEveryRecord:
-      PANDIA_RETURN_IF_ERROR(FsyncNow());
-      break;
-    case SyncPolicy::kInterval:
-      if (++records_since_sync_ >= options_.sync_interval_records) {
-        PANDIA_RETURN_IF_ERROR(FsyncNow());
-      }
-      break;
+  if (!appended.ok()) {
+    // The record is unacknowledged but its bytes (some or all, fsync
+    // failure included) may have reached the file; restore the tail so the
+    // stream and the counters agree again.
+    RestoreTail();
+    return appended;
   }
   AppendLatency().Observe(static_cast<double>(NowNs() - start_ns) / 1000.0);
   BytesCounter().Increment(line.size());
@@ -606,12 +675,10 @@ Status Journal::Compact(const wire::Request& snapshot) {
     }
   }
   // The old stream now writes to an unlinked inode; reopen onto the new
-  // journal.
+  // journal. The rename landed, so the counters describe the new file even
+  // if the reopen fails — in that case dirty_ makes the next Append retry
+  // the reopen (via RestoreTail) instead of writing through a dead stream.
   Close();
-  file_ = std::fopen(path_.c_str(), "ab");
-  if (file_ == nullptr) {
-    return ErrnoStatus("cannot reopen journal after compaction", path_);
-  }
   version_ = 2;
   next_seq_ = snapshot_seq + 1;
   record_count_ = 1;
@@ -622,10 +689,21 @@ Status Journal::Compact(const wire::Request& snapshot) {
   if (old_bytes > size_bytes_) {
     ReclaimedCounter().Increment(old_bytes - size_bytes_);
   }
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    dirty_ = true;
+    return ErrnoStatus("cannot reopen journal after compaction", path_);
+  }
+  dirty_ = false;
   return Status::Ok();
 }
 
 Status Journal::Sync() {
+  if (file_ == nullptr || dirty_) {
+    return Status::Unavailable(StrFormat(
+        "journal '%s' holds an unrepaired tail from a failed append",
+        path_.c_str()));
+  }
   if (std::fflush(file_) != 0) {
     return ErrnoStatus("cannot flush journal", path_);
   }

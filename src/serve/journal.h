@@ -19,15 +19,23 @@
 //
 // Recovery distinguishes two failure shapes:
 //
-//   * A torn FINAL record (missing newline, short payload, CRC mismatch —
-//     the signature of a crash mid-append) is truncated away and replay
-//     continues; the caller is told via JournalRecovery so it can log the
-//     event. Under the kill -9 crash model every acknowledged append was
-//     fflush()ed first, so a torn tail can only be an unacknowledged
-//     mutation — dropping it is correct, not lossy.
-//   * Any defect BEFORE the final record is corruption: Open refuses with
-//     a DataLoss status naming the exact line, because silently skipping a
-//     mid-file record would replay a state the daemon never held.
+//   * A torn FINAL record — an UNTERMINATED last line whose defect a
+//     sequential write cut short can actually produce (frame fields
+//     missing from the end, payload shorter than declared, or only the
+//     newline lost) — is truncated away and replay continues; the caller
+//     is told via JournalRecovery so it can log the event. Under the
+//     kill -9 crash model every acknowledged append was fflush()ed first,
+//     so a torn tail can only be an unacknowledged mutation — dropping it
+//     is correct, not lossy.
+//   * Everything else is corruption: Open refuses with a DataLoss status
+//     naming the exact line. That covers any defect BEFORE the final
+//     record (silently skipping it would replay a state the daemon never
+//     held), but also tail defects a tear cannot cause: a terminated
+//     final record with any defect (the newline proves the whole line
+//     landed), a CRC mismatch over a full-length payload (a tear only
+//     removes a suffix, it cannot alter bytes), or a wrong sequence
+//     number on a checksum-valid record (a writer bug, possibly on an
+//     acknowledged record).
 //
 // One exception: a torn SNAPSHOT record is refused even at the tail.
 // Snapshots are only written via fsync-then-rename compaction, so a torn
@@ -51,11 +59,20 @@
 // recovered read-only for backward compatibility; the owner compacts to v2
 // before the first new append (needs_upgrade()).
 //
+// A failed append (real or injected) may leave partial — or even
+// complete but unacknowledged — record bytes in the file. Append repairs
+// that immediately: it discards the stream's buffer, truncates the file
+// back to the last acknowledged record, and reopens, so the next write
+// never glues onto a dirty tail. If the repair itself fails (the disk is
+// already misbehaving) the journal refuses further appends until a retry
+// of the repair succeeds.
+//
 // Test hooks (never set in production): PANDIA_JOURNAL_CRASH_AT kills the
 // process at a scripted point mid-append or mid-compaction (see
-// journal.cc), and InjectAppendFailures makes the next N appends fail —
-// how the degraded-mode and soak tests exercise torn writes and disk
-// faults deterministically.
+// journal.cc), and InjectAppendFailures makes the next N appends fail
+// after spilling half the record into the file — exercising exactly the
+// partial-write repair above — which is how the degraded-mode and soak
+// tests drive torn writes and disk faults deterministically.
 #ifndef PANDIA_SRC_SERVE_JOURNAL_H_
 #define PANDIA_SRC_SERVE_JOURNAL_H_
 
@@ -83,9 +100,13 @@ struct JournalOptions {
   SyncPolicy sync = SyncPolicy::kInterval;
   // fsync cadence under SyncPolicy::kInterval (records per fsync).
   int sync_interval_records = 32;
-  // Test-only: fail the next N appends without touching the file, as a
-  // persistently-failing disk would (see PlacementService degraded mode).
+  // Test-only: fail the next `fail_next_appends` appends after letting
+  // `fail_after_appends` succeed first. An injected failure spills half
+  // the record into the file before failing, like a partial fwrite on a
+  // full disk, so it exercises the same tail repair a real failure takes
+  // (see PlacementService degraded mode).
   int fail_next_appends = 0;
+  int fail_after_appends = 0;
 };
 
 // One recovered record with its 1-based line number in the file (line 1 is
@@ -137,8 +158,8 @@ class Journal {
   // Appends one record (fails on a v1 journal until it is upgraded). On
   // success the record is at least page-cache durable (fflush), fsync'd per
   // the sync policy. A failed append leaves the in-memory counters
-  // unchanged; the file may hold a torn record that the next recovery
-  // truncates.
+  // unchanged AND restores the file to the last acknowledged record (see
+  // the tail-repair note above), so a later append continues cleanly.
   [[nodiscard]] Status Append(const wire::Request& record);
 
   // Atomically replaces the journal with header + `snapshot` (one record
@@ -149,14 +170,19 @@ class Journal {
   // Forces an fsync now (e.g. before a clean shutdown).
   [[nodiscard]] Status Sync();
 
-  // Test-only: fail the next `n` appends (see JournalOptions).
-  void InjectAppendFailures(int n) { options_.fail_next_appends = n; }
+  // Test-only: fail the next `n` appends, after letting `after` appends
+  // succeed first (see JournalOptions).
+  void InjectAppendFailures(int n, int after = 0) {
+    options_.fail_next_appends = n;
+    options_.fail_after_appends = after;
+  }
 
  private:
   Journal(std::string path, JournalOptions options);
 
   void Close();
   Status FsyncNow();
+  void RestoreTail();
 
   std::string path_;
   JournalOptions options_;
@@ -168,6 +194,9 @@ class Journal {
   uint64_t records_since_snapshot_ = 0;
   uint64_t size_bytes_ = 0;
   int records_since_sync_ = 0;
+  // A failed append left bytes past the acknowledged tail and the repair
+  // (RestoreTail) has not yet succeeded; appends retry it before writing.
+  bool dirty_ = false;
   // PANDIA_JOURNAL_CRASH_AT state: appends (and compaction stages) left
   // before the scripted _Exit. Negative: hook disarmed.
   int crash_appends_left_ = -1;

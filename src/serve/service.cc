@@ -547,10 +547,15 @@ wire::Response PlacementService::HandleDepart(const wire::Request& request) {
   wire::Response response = wire::Response::Success("DEPART");
   response.payload.push_back(StrFormat("machine = %d", *departed));
   // Freed threads are an opportunity: re-place neighbours the departed job
-  // was degrading.
+  // was degrading. The departure itself is already durable and applied, so
+  // a failed re-placement (journal append mid-MOVE; the move is rolled
+  // back inside ReplaceDegraded) must not convert this response into an
+  // error — the client would be told a committed departure failed, and a
+  // retry would get 'not resident'. Report it as a warning row instead.
   if (Status replaced = ReplaceDegraded(*departed, response.payload);
       !replaced.ok()) {
-    return wire::Response::Failure(replaced);
+    response.payload.push_back(StrFormat("warning = re-placement skipped: %s",
+                                         replaced.message().c_str()));
   }
   return response;
 }

@@ -319,9 +319,12 @@ StatusOr<std::string> SocketExchange(const std::string& path,
   }
   const int fd = *connected;
   if (options.timeout_ms >= 0) {
+    // A zero timeval means "no timeout" to the kernel — the opposite of the
+    // tightest deadline the caller asked for — so 0 is clamped to 1 ms.
+    const int timeout_ms = options.timeout_ms > 0 ? options.timeout_ms : 1;
     timeval deadline{};
-    deadline.tv_sec = options.timeout_ms / 1000;
-    deadline.tv_usec = (options.timeout_ms % 1000) * 1000;
+    deadline.tv_sec = timeout_ms / 1000;
+    deadline.tv_usec = (timeout_ms % 1000) * 1000;
     // Best effort: a socket that refuses the option still works, just
     // without the deadline.
     (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &deadline, sizeof(deadline));

@@ -54,7 +54,8 @@ Status RunEventLoop(PlacementService& service, int stdin_fd,
 struct ExchangeOptions {
   // Per-operation deadline (SO_SNDTIMEO/SO_RCVTIMEO) in milliseconds; a
   // stalled daemon fails the exchange instead of hanging the client.
-  // Negative: no deadline.
+  // Negative: no deadline. 0 is clamped to 1 ms (a zero timeval would tell
+  // the kernel "no timeout", the opposite of the tightest deadline).
   int timeout_ms = -1;
   // Extra connection attempts after a refused/absent socket (the daemon is
   // restarting), spaced by exponential backoff starting at

@@ -129,8 +129,14 @@ TEST(CorruptCorpus, BrokenJournalsAreRefusedWithTheDefectNamed) {
   };
   const Case cases[] = {
       {"bad_crc.journal", "journal line 2: checksum mismatch"},
+      // Tail defects a tear cannot produce are refused like mid-file
+      // corruption: a terminated final record with a CRC mismatch (the
+      // newline proves the line landed whole) and a checksum-valid but
+      // wrong-sequence final record (a writer bug, not a torn write).
+      {"bad_crc_tail.journal", "journal line 3: checksum mismatch"},
       {"bad_length.journal", "the frame declares 999"},
       {"bad_seq.journal", "sequence 5 where 2 was expected"},
+      {"bad_seq_tail.journal", "sequence 5 where 2 was expected"},
       {"interleaved_v1_v2.journal", "journal line 3: bad sequence number"},
       {"truncated_snapshot.journal", "snapshot record is truncated"},
   };

@@ -251,11 +251,16 @@ TEST(Journal, EveryRecordSyncPolicyAppendsFine) {
   std::remove(path.c_str());
 }
 
-TEST(Journal, InjectedFailuresLeaveTheFileUntouched) {
+TEST(Journal, FailedAppendsRestoreTheTailByteForByte) {
   const std::string path = TempPath("journal_injected.wire");
   Journal journal = MustOpen(path);
   ASSERT_TRUE(journal.Append(Note("before")).ok());
   const uint64_t size_before = journal.size_bytes();
+  const StatusOr<std::string> bytes_before = ReadTextFile(path);
+  ASSERT_TRUE(bytes_before.ok());
+  // Each injected failure spills half a record into the file before
+  // failing; the tail repair must erase exactly those bytes, or the next
+  // append would glue onto a mid-line fragment.
   journal.InjectAppendFailures(2);
   for (int i = 0; i < 2; ++i) {
     const Status failed = journal.Append(Note("lost"));
@@ -264,10 +269,77 @@ TEST(Journal, InjectedFailuresLeaveTheFileUntouched) {
   }
   EXPECT_EQ(journal.size_bytes(), size_before);
   EXPECT_EQ(journal.record_count(), 1u);
+  const StatusOr<std::string> bytes_after = ReadTextFile(path);
+  ASSERT_TRUE(bytes_after.ok());
+  EXPECT_EQ(*bytes_after, *bytes_before);
   ASSERT_TRUE(journal.Append(Note("after")).ok());
   Journal replayed = MustOpen(path);
+  EXPECT_FALSE(replayed.recovery().truncated_torn_tail);
   ASSERT_EQ(replayed.recovery().records.size(), 2u);
   EXPECT_EQ(*replayed.recovery().records[1].request.Find("kind"), "after");
+  std::remove(path.c_str());
+}
+
+TEST(Journal, InjectedFailuresCanSkipLeadingAppends) {
+  const std::string path = TempPath("journal_injected_after.wire");
+  Journal journal = MustOpen(path);
+  journal.InjectAppendFailures(1, /*after=*/1);
+  ASSERT_TRUE(journal.Append(Note("first-lands")).ok());
+  const Status failed = journal.Append(Note("second-fails"));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+  ASSERT_TRUE(journal.Append(Note("third-lands")).ok());
+  Journal replayed = MustOpen(path);
+  ASSERT_EQ(replayed.recovery().records.size(), 2u);
+  EXPECT_EQ(*replayed.recovery().records[0].request.Find("kind"),
+            "first-lands");
+  EXPECT_EQ(*replayed.recovery().records[1].request.Find("kind"),
+            "third-lands");
+  std::remove(path.c_str());
+}
+
+TEST(Journal, TailDefectsATearCannotProduceAreRefused) {
+  const std::string path = TempPath("journal_tail_corruption.wire");
+  const std::string first = Framed(1, wire::FormatRequest(Note("alpha")));
+  const std::string second = Framed(2, wire::FormatRequest(Note("beta")));
+
+  // A terminated final record with a flipped payload byte: the newline
+  // proves the whole line landed, so this is bit-rot, not a tear.
+  std::string flipped = second;
+  flipped[flipped.size() - 2] ^= 0x01;
+  ASSERT_TRUE(
+      WriteTextFile(path, "pandia-journal v2\n" + first + flipped).ok());
+  StatusOr<Journal> terminated_bad_crc = Journal::Open(path, JournalOptions{});
+  ASSERT_FALSE(terminated_bad_crc.ok());
+  EXPECT_EQ(terminated_bad_crc.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(terminated_bad_crc.status().message().find("checksum mismatch"),
+            std::string::npos)
+      << terminated_bad_crc.status().ToString();
+
+  // Unterminated, but the payload is full length and the CRC mismatches: a
+  // tear only removes a suffix, it cannot alter bytes — refuse.
+  std::string unterminated = flipped;
+  unterminated.pop_back();
+  ASSERT_TRUE(
+      WriteTextFile(path, "pandia-journal v2\n" + first + unterminated).ok());
+  StatusOr<Journal> full_length_bad_crc = Journal::Open(path, JournalOptions{});
+  ASSERT_FALSE(full_length_bad_crc.ok());
+  EXPECT_EQ(full_length_bad_crc.status().code(), StatusCode::kDataLoss)
+      << full_length_bad_crc.status().ToString();
+
+  // A checksum-valid final record with the wrong sequence number (even
+  // unterminated): the payload bytes all landed, so the bad sequence is a
+  // writer bug on a possibly-acknowledged record — refuse.
+  std::string wrong_seq = Framed(7, wire::FormatRequest(Note("beta")));
+  wrong_seq.pop_back();
+  ASSERT_TRUE(
+      WriteTextFile(path, "pandia-journal v2\n" + first + wrong_seq).ok());
+  StatusOr<Journal> bad_seq = Journal::Open(path, JournalOptions{});
+  ASSERT_FALSE(bad_seq.ok());
+  EXPECT_EQ(bad_seq.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(bad_seq.status().message().find("sequence 7 where 2 was expected"),
+            std::string::npos)
+      << bad_seq.status().ToString();
   std::remove(path.c_str());
 }
 
@@ -382,6 +454,48 @@ TEST(ServiceDegraded, PersistentAppendFailureEntersReadOnlyModeAndRecovers) {
   EXPECT_FALSE(service.degraded());
   EXPECT_NE(service.HandleLine("METRICS format=expo").find("serve.degraded 0"),
             std::string::npos);
+  std::remove(journal.c_str());
+}
+
+TEST(ServiceDegraded, DepartStaysAcknowledgedWhenReplacementJournalFails) {
+  const std::string journal = TempPath("service_depart_warning.wire");
+  ServiceOptions options;
+  options.journal_path = journal;
+  // Any re-placement candidate beats a negative margin, so departing one of
+  // the two hogs deterministically makes the service try to re-place the
+  // survivor (a journaled MOVED).
+  options.replace_margin = -1.0;
+  std::vector<rack::RackMachine> machines{{"node0", X3().description()}};
+  std::optional<PlacementService> service(
+      MustCreate(std::move(machines), options));
+  ASSERT_TRUE(IsOkBlock(service->HandleLine(AdmitLine("hog-a", "Swim", 16))));
+  ASSERT_TRUE(IsOkBlock(service->HandleLine(AdmitLine("hog-b", "Swim", 16))));
+  // The DEPARTED append lands; the MOVED append of the follow-up
+  // re-placement fails. The departure is durable and applied, so the
+  // response must stay ok — converting it to an error would tell the
+  // client a committed mutation failed (and a retry would get 'not
+  // resident'). The failed move itself is rolled back and reported as a
+  // warning row.
+  ASSERT_NE(service->journal_for_test(), nullptr);
+  service->journal_for_test()->InjectAppendFailures(1, /*after=*/1);
+  const std::string departed = service->HandleLine("DEPART name=hog-a");
+  ASSERT_TRUE(IsOkBlock(departed)) << departed;
+  EXPECT_EQ(service->rack().JobCount(), 1);
+  ASSERT_NE(departed.find("warning = "), std::string::npos) << departed;
+  EXPECT_NE(departed.find("re-placement skipped"), std::string::npos)
+      << departed;
+  // The rolled-back move must not be reported as having happened.
+  EXPECT_EQ(departed.find("moved = "), std::string::npos) << departed;
+  // The acknowledged state matches the journal: a restart replays to the
+  // same bytes.
+  const std::string status = service->HandleLine("STATUS");
+  const std::string telemetry = service->HandleLine("TELEMETRY");
+  service.reset();
+  std::vector<rack::RackMachine> machines_again{{"node0", X3().description()}};
+  std::optional<PlacementService> replayed(
+      MustCreate(std::move(machines_again), options));
+  EXPECT_EQ(replayed->HandleLine("STATUS"), status);
+  EXPECT_EQ(replayed->HandleLine("TELEMETRY"), telemetry);
   std::remove(journal.c_str());
 }
 
