@@ -66,8 +66,12 @@
 #include "src/predictor/predictor.h"
 #include "src/predictor/report.h"
 
+#include "src/rack/fleet.h"
 #include "src/rack/rack.h"
 
+#include "src/serve/client.h"
+#include "src/serve/fleet_service.h"
+#include "src/serve/handler.h"
 #include "src/serve/journal.h"
 #include "src/serve/service.h"
 #include "src/serve/socket.h"

@@ -137,21 +137,42 @@ CoSchedulePrediction CoSchedulePredictor::Predict(
   return PredictWithScratch(requests, ThreadLocalScratch(), warm);
 }
 
+void CoSchedulePredictor::PredictInto(
+    std::span<const CoScheduleRequest> requests, SolverWarmStart* warm,
+    CoSchedulePrediction* out) const {
+  PredictIntoWithScratch(requests, ThreadLocalScratch(), warm, out);
+}
+
 Prediction CoSchedulePredictor::PredictOne(const WorkloadDescription& workload,
                                            const Placement& placement,
                                            SolverWarmStart* warm) const {
+  Prediction prediction;
+  PredictOneInto(workload, placement, warm, &prediction);
+  return prediction;
+}
+
+void CoSchedulePredictor::PredictOneInto(const WorkloadDescription& workload,
+                                         const Placement& placement,
+                                         SolverWarmStart* warm,
+                                         Prediction* out) const {
   SolverScratch& s = ThreadLocalScratch();
   const SolverJobRef job{&workload, &placement};
   const SolveOutcome outcome = Solve(std::span<const SolverJobRef>(&job, 1), s, warm);
-  Prediction prediction;
-  AssembleJob(0, s, outcome, workload.t1, &prediction);
-  prediction.resource_load.assign(s.load.begin(), s.load.end());
-  return prediction;
+  AssembleJob(0, s, outcome, workload.t1, out);
+  out->resource_load.assign(s.load.begin(), s.load.end());
 }
 
 CoSchedulePrediction CoSchedulePredictor::PredictWithScratch(
     std::span<const CoScheduleRequest> requests, SolverScratch& s,
     SolverWarmStart* warm) const {
+  CoSchedulePrediction result;
+  PredictIntoWithScratch(requests, s, warm, &result);
+  return result;
+}
+
+void CoSchedulePredictor::PredictIntoWithScratch(
+    std::span<const CoScheduleRequest> requests, SolverScratch& s,
+    SolverWarmStart* warm, CoSchedulePrediction* out) const {
   PANDIA_CHECK(!requests.empty());
   const size_t num_jobs = requests.size();
   s.Size(s.job_refs, num_jobs);
@@ -161,14 +182,12 @@ CoSchedulePrediction CoSchedulePredictor::PredictWithScratch(
   const SolveOutcome outcome =
       Solve(std::span<const SolverJobRef>(s.job_refs.data(), num_jobs), s, warm);
 
-  CoSchedulePrediction result;
-  result.resource_load.assign(s.load.begin(), s.load.end());
-  result.jobs.resize(num_jobs);
+  out->resource_load.assign(s.load.begin(), s.load.end());
+  out->jobs.resize(num_jobs);
   for (size_t j = 0; j < num_jobs; ++j) {
-    AssembleJob(j, s, outcome, requests[j].workload->t1, &result.jobs[j]);
-    result.jobs[j].resource_load = result.resource_load;
+    AssembleJob(j, s, outcome, requests[j].workload->t1, &out->jobs[j]);
+    out->jobs[j].resource_load = out->resource_load;
   }
-  return result;
 }
 
 CoSchedulePredictor::SolveOutcome CoSchedulePredictor::Solve(

@@ -68,6 +68,18 @@ class CoSchedulePredictor {
                                           SolverScratch& scratch,
                                           SolverWarmStart* warm) const;
 
+  // Allocation-free output-param variant: identical results to
+  // Predict(requests, warm), but written into *out, reusing its vectors'
+  // capacity. Callers that score many candidates in a loop (the rack's
+  // admission probes) keep one CoSchedulePrediction alive and stop paying
+  // a result-vector allocation per call.
+  void PredictInto(std::span<const CoScheduleRequest> requests,
+                   SolverWarmStart* warm, CoSchedulePrediction* out) const;
+
+  // Output-param form of PredictOne; same reuse contract as PredictInto.
+  void PredictOneInto(const WorkloadDescription& workload, const Placement& placement,
+                      SolverWarmStart* warm, Prediction* out) const;
+
   // Single-job fast path: byte-identical to Predict() on a one-element
   // request span, but reads the placement by reference and assembles the
   // Prediction directly, skipping the CoSchedulePrediction wrapper and its
@@ -91,6 +103,12 @@ class CoSchedulePredictor {
   // resource loads in `s`.
   SolveOutcome Solve(std::span<const SolverJobRef> jobs, SolverScratch& s,
                      SolverWarmStart* warm) const;
+
+  // The shared core of PredictWithScratch / PredictInto: solves and writes
+  // the joint prediction into *out (resize/assign, capacity reused).
+  void PredictIntoWithScratch(std::span<const CoScheduleRequest> requests,
+                              SolverScratch& scratch, SolverWarmStart* warm,
+                              CoSchedulePrediction* out) const;
 
   // Builds job j's Prediction from the solved scratch state. Does not fill
   // Prediction::resource_load; callers assign it from s.load.

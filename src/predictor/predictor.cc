@@ -51,11 +51,19 @@ Prediction Predictor::Predict(const Placement& placement) const {
 
 Prediction Predictor::PredictWarm(const Placement& placement,
                                   SolverWarmStart* warm) const {
+  Prediction prediction;
+  PredictInto(placement, warm, &prediction);
+  return prediction;
+}
+
+void Predictor::PredictInto(const Placement& placement, SolverWarmStart* warm,
+                            Prediction* out) const {
   // The single-workload model (§5) is the one-job case of the co-scheduling
   // engine; see co_schedule.cc for the iterative model itself. The one-job
   // fast path skips the CoSchedulePrediction wrapper and the Placement copy
   // a CoScheduleRequest would cost.
-  Prediction prediction = engine_->PredictOne(workload_, placement, warm);
+  Prediction& prediction = *out;
+  engine_->PredictOneInto(workload_, placement, warm, &prediction);
 
   // Adaptive damping: a run that hit max_iterations while still moving by a
   // lot is oscillating, not slowly converging. Retry once with dampening
@@ -92,7 +100,6 @@ Prediction Predictor::PredictWarm(const Placement& placement,
       warm->f_start.clear();
     }
   }
-  return prediction;
 }
 
 StatusOr<Prediction> Predictor::TryPredict(const Placement& placement) const {

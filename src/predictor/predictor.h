@@ -138,6 +138,14 @@ class Predictor {
   // back. With the option off or `warm` null this is exactly Predict().
   Prediction PredictWarm(const Placement& placement, SolverWarmStart* warm) const;
 
+  // Allocation-free output-param overload: identical results to
+  // PredictWarm(placement, warm), but written into *out with its vectors'
+  // capacity reused, so tight scoring loops (candidate scans, rack
+  // admission probes) stop paying a result-vector allocation per call.
+  // The returning APIs above are thin wrappers over this.
+  void PredictInto(const Placement& placement, SolverWarmStart* warm,
+                   Prediction* out) const;
+
   // Predict with the placement validated first (shape and thread count);
   // for placements assembled from user input.
   [[nodiscard]] StatusOr<Prediction> TryPredict(const Placement& placement) const;

@@ -1,0 +1,94 @@
+// Fleet-scale sharding — the routing layer that turns many racks into one
+// logical placement fleet.
+//
+// A fleet is N shards, each shard an independent rack (its own machines,
+// residents, journal, and telemetry — see src/serve/fleet_service.h for the
+// serving composition). The Fleet router answers exactly one question:
+// given a job name and the shards' current loads, in what order should the
+// shards be tried for admission?
+//
+// Two admission policies:
+//
+//   * consistent-hash — a fixed virtual-node hash ring (FNV-1a over
+//     "shard<k>#<v>" labels). A job's preference order is the clockwise
+//     ring walk from the hash of its name, so placement is sticky: the
+//     same name always prefers the same shard, and adding a shard moves
+//     only ~1/N of the keyspace. Loads are ignored.
+//   * least-loaded — shards ordered by most free hardware threads, then
+//     fewest resident jobs, then lowest shard index. Follows load, at the
+//     cost of name stickiness.
+//
+// Both orders are pure functions of (name, loads): no randomness, no
+// clocks, no iteration over unordered containers. That determinism is a
+// hard requirement — the serving layer journals admissions per shard, and
+// replaying the same admission sequence must route every job to the same
+// shard byte for byte.
+#ifndef PANDIA_SRC_RACK_FLEET_H_
+#define PANDIA_SRC_RACK_FLEET_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace pandia {
+namespace rack {
+
+enum class ShardPolicy {
+  kConsistentHash,  // sticky hash-ring routing, load-oblivious
+  kLeastLoaded,     // most free threads first, deterministic tie-break
+};
+
+std::string ShardPolicyName(ShardPolicy policy);
+StatusOr<ShardPolicy> ShardPolicyFromName(const std::string& name);
+
+// One shard's load summary, as the router sees it.
+struct ShardLoad {
+  int free_threads = 0;  // free hardware threads across the shard's machines
+  int jobs = 0;          // resident jobs on the shard
+};
+
+// FNV-1a 64-bit — the fleet's stable name hash. Exposed so tests can pin
+// ring positions and so the serving layer can hash without a Fleet.
+uint64_t FleetHash(std::string_view text);
+
+class Fleet {
+ public:
+  // `num_shards` must be >= 1. The hash ring is built once here;
+  // ShardOrder never allocates ring state.
+  Fleet(int num_shards, ShardPolicy policy);
+
+  int num_shards() const { return num_shards_; }
+  ShardPolicy policy() const { return policy_; }
+
+  // Full admission preference order for `job_name`: a permutation of
+  // [0, num_shards). `loads` must have one entry per shard for
+  // kLeastLoaded (it is ignored for kConsistentHash). The first entry is
+  // the preferred shard; the serving layer falls through the rest when a
+  // shard has no feasible placement.
+  std::vector<int> ShardOrder(std::string_view job_name,
+                              std::span<const ShardLoad> loads) const;
+
+  // Convenience: ShardOrder's first entry.
+  int PreferredShard(std::string_view job_name,
+                     std::span<const ShardLoad> loads) const;
+
+ private:
+  int num_shards_;
+  ShardPolicy policy_;
+  // Consistent-hash ring: (position, shard) sorted by position, ties by
+  // shard index so the ring order is unambiguous even on a hash collision.
+  struct VirtualNode {
+    uint64_t position = 0;
+    int shard = 0;
+  };
+  std::vector<VirtualNode> ring_;
+};
+
+}  // namespace rack
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_RACK_FLEET_H_

@@ -350,6 +350,21 @@ std::optional<Rack::Candidate> Rack::BestCandidateOn(
   std::set<std::vector<uint8_t>> seen;
   std::optional<Candidate> best;
   const CoSchedulePredictor& engine = engines_[machine_index];
+  // The joint-solve inputs and output are hoisted out of the candidate
+  // loop: the residents' requests never change between candidates (only
+  // the new job's trailing slot does), and PredictInto reuses the
+  // prediction's vector capacity, so the scan performs no per-candidate
+  // result allocations (ROADMAP item-2 leftover).
+  std::vector<CoScheduleRequest> requests;
+  requests.reserve(others.size() + 1);
+  for (const RackJob* resident : others) {
+    requests.push_back(
+        CoScheduleRequest{&resident->description, resident->placement});
+  }
+  requests.push_back(CoScheduleRequest{
+      &workload,
+      Placement(topo, std::vector<uint8_t>(static_cast<size_t>(topo.NumCores()), 0))});
+  CoSchedulePrediction joint;
   // Candidate joint solves chain a warm-start seed when the option is on:
   // consecutive candidates differ in one placement, so the previous
   // converged state is an excellent starting point. The seed is local to
@@ -382,14 +397,8 @@ std::optional<Rack::Candidate> Rack::BestCandidateOn(
         // Joint prediction with the machine's residents. Not memoized: each
         // candidate is a novel transient context, and inserting thousands of
         // them would only churn the cache.
-        std::vector<CoScheduleRequest> requests;
-        requests.reserve(others.size() + 1);
-        for (const RackJob* resident : others) {
-          requests.push_back(
-              CoScheduleRequest{&resident->description, resident->placement});
-        }
-        requests.push_back(CoScheduleRequest{&workload, placement});
-        const CoSchedulePrediction joint = engine.Predict(requests, warm_ptr);
+        requests.back().placement = placement;
+        engine.PredictInto(requests, warm_ptr, &joint);
         Candidate candidate{placement, joint.jobs.back().speedup, 0.0};
         for (const Prediction& prediction : joint.jobs) {
           candidate.total_speedup += prediction.speedup;

@@ -15,9 +15,11 @@
 //
 // The grammar is verb-agnostic; the service (src/serve) defines the v1 verb
 // set: ADMIT, DEPART, REBALANCE, COMPACT, STATUS, METRICS, TELEMETRY,
-// RECORDER, and SHUTDOWN (COMPACT is a post-v1 extension; the protocol
-// version only moves on incompatible changes). Unknown verbs parse fine and
-// earn a structured err response.
+// RECORDER, and SHUTDOWN (COMPACT and the HELLO handshake — protocol
+// version + capability list — are post-v1 extensions; the protocol version
+// only moves on incompatible changes). Unknown verbs parse fine and earn a
+// structured err response, which is what lets HELLO-speaking clients
+// negotiate with pre-HELLO servers.
 //
 // Values are escaped so arbitrary text — including the multi-line workload
 // description documents carried by ADMIT — fits in one space-separated

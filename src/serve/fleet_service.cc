@@ -1,0 +1,252 @@
+#include "src/serve/fleet_service.h"
+
+#include <algorithm>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/util/strings.h"
+
+namespace pandia {
+namespace serve {
+namespace {
+
+obs::Counter& AdmitFallbacks() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().counter("serve.fleet.admit_fallback");
+  return counter;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<FleetService>> FleetService::Create(
+    std::vector<rack::RackMachine> machines, FleetOptions options) {
+  if (options.shards < 1) {
+    return Status::InvalidArgument(
+        StrFormat("fleet needs at least 1 shard, got %d", options.shards));
+  }
+  if (machines.size() < static_cast<size_t>(options.shards)) {
+    return Status::InvalidArgument(
+        StrFormat("fleet of %d shards needs at least %d machines, got %zu",
+                  options.shards, options.shards, machines.size()));
+  }
+  // Deal machines round-robin so heterogeneous machine lists spread their
+  // types across shards instead of clustering per shard.
+  std::vector<std::vector<rack::RackMachine>> per_shard(
+      static_cast<size_t>(options.shards));
+  for (size_t i = 0; i < machines.size(); ++i) {
+    per_shard[i % static_cast<size_t>(options.shards)].push_back(
+        std::move(machines[i]));
+  }
+  std::vector<std::unique_ptr<PlacementService>> shards;
+  shards.reserve(per_shard.size());
+  for (size_t k = 0; k < per_shard.size(); ++k) {
+    ServiceOptions shard_options = options.service;
+    if (!shard_options.journal_path.empty()) {
+      shard_options.journal_path =
+          StrFormat("%s.shard%zu", options.service.journal_path.c_str(), k);
+    }
+    StatusOr<PlacementService> shard =
+        PlacementService::Create(std::move(per_shard[k]), std::move(shard_options));
+    if (!shard.ok()) {
+      return Status(shard.status().code(),
+                    StrFormat("shard %zu: %s", k, shard.status().message().c_str()));
+    }
+    shards.push_back(
+        std::make_unique<PlacementService>(std::move(shard).value()));
+  }
+  obs::MetricsRegistry::Global()
+      .gauge("serve.fleet.shards")
+      .Set(static_cast<double>(options.shards));
+  return std::unique_ptr<FleetService>(
+      new FleetService(std::move(shards), std::move(options)));
+}
+
+FleetService::FleetService(std::vector<std::unique_ptr<PlacementService>> shards,
+                           FleetOptions options)
+    : options_(std::move(options)),
+      fleet_(static_cast<int>(shards.size()), options_.shard_policy),
+      shards_(std::move(shards)) {}
+
+std::string FleetService::HandleLine(const std::string& line) {
+  StatusOr<wire::Request> request = wire::ParseRequest(line);
+  if (!request.ok()) {
+    // Shard 0 owns the canonical parse-error path (metrics, event log,
+    // flight recorder), so stdin garbage is accounted exactly once.
+    return shards_.front()->HandleLine(line);
+  }
+  return wire::FormatResponse(Handle(*request));
+}
+
+wire::Response FleetService::Handle(const wire::Request& request) {
+  util::MutexLock lock(mu_);
+  return Dispatch(request);
+}
+
+wire::Response FleetService::Dispatch(const wire::Request& request) {
+  if (request.verb == "HELLO") {
+    return RouteHello(request);
+  }
+  if (request.verb == "ADMIT") {
+    return RouteAdmit(request);
+  }
+  if (request.verb == "DEPART") {
+    return RouteDepart(request);
+  }
+  if (request.verb == "REBALANCE" || request.verb == "COMPACT" ||
+      request.verb == "STATUS" || request.verb == "TELEMETRY" ||
+      request.verb == "RECORDER") {
+    return FanOut(request);
+  }
+  if (request.verb == "SHUTDOWN") {
+    // Every shard acknowledges (and syncs its journal); one block answers.
+    wire::Response response = shards_.front()->Handle(request);
+    for (size_t k = 1; k < shards_.size(); ++k) {
+      wire::Response rest = shards_[k]->Handle(request);
+      if (!rest.ok && response.ok) {
+        response = std::move(rest);
+      }
+    }
+    return response;
+  }
+  // METRICS (the obs registry is process-global) and unknown verbs: shard 0
+  // answers for the fleet, including the canonical unknown-verb error.
+  return shards_.front()->Handle(request);
+}
+
+wire::Response FleetService::RouteHello(const wire::Request& request) {
+  wire::Response response = shards_.front()->Handle(request);
+  if (!response.ok) {
+    return response;  // e.g. HELLO with parameters: same error fleet-wide
+  }
+  for (std::string& row : response.payload) {
+    constexpr std::string_view kPrefix = "capabilities = ";
+    if (row.rfind(kPrefix, 0) != 0) {
+      continue;
+    }
+    std::vector<std::string> capabilities =
+        StrSplit(row.substr(kPrefix.size()), ',');
+    capabilities.push_back("fleet");
+    std::sort(capabilities.begin(), capabilities.end());
+    capabilities.erase(std::unique(capabilities.begin(), capabilities.end()),
+                       capabilities.end());
+    std::string joined;
+    for (const std::string& capability : capabilities) {
+      if (!joined.empty()) {
+        joined += ',';
+      }
+      joined += capability;
+    }
+    row = std::string(kPrefix) + joined;
+  }
+  response.payload.push_back(StrFormat("shards = %d", num_shards()));
+  response.payload.push_back(StrFormat(
+      "shard-policy = %s", rack::ShardPolicyName(options_.shard_policy).c_str()));
+  return response;
+}
+
+std::vector<rack::ShardLoad> FleetService::ShardLoads() const {
+  std::vector<rack::ShardLoad> loads;
+  loads.reserve(shards_.size());
+  for (const std::unique_ptr<PlacementService>& shard : shards_) {
+    rack::ShardLoad load;
+    const rack::Rack& rack = shard->rack();
+    for (size_t m = 0; m < rack.machines().size(); ++m) {
+      load.free_threads += rack.FreeThreadCount(static_cast<int>(m));
+    }
+    load.jobs = rack.JobCount();
+    loads.push_back(load);
+  }
+  return loads;
+}
+
+wire::Response FleetService::RouteAdmit(const wire::Request& request) {
+  const std::string* name = request.Find("name");
+  if (name == nullptr || name->empty()) {
+    // Let the shard produce the canonical invalid-argument error.
+    return shards_.front()->Handle(request);
+  }
+  // Cross-shard duplicate check first: per-shard checks only see their own
+  // residents, and the same name must never be live on two shards.
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    if (shards_[k]->rack().Has(*name)) {
+      return wire::Response::Failure(Status::FailedPrecondition(StrFormat(
+          "a job named '%s' is already resident (shard %zu)", name->c_str(), k)));
+    }
+  }
+  const std::vector<rack::ShardLoad> loads = ShardLoads();
+  const std::vector<int> order = fleet_.ShardOrder(*name, loads);
+  std::optional<wire::Response> first_failure;
+  for (size_t attempt = 0; attempt < order.size(); ++attempt) {
+    const int k = order[attempt];
+    wire::Response response = shards_[static_cast<size_t>(k)]->Handle(request);
+    if (response.ok) {
+      if (attempt > 0) {
+        AdmitFallbacks().Increment();
+      }
+      response.payload.push_back(StrFormat("shard = %d", k));
+      return response;
+    }
+    // Shard-local infeasibility (nothing fits: failed-precondition; no
+    // machine of a matching type: not-found) falls through to the next
+    // shard in the preference order. Anything else — a malformed request,
+    // a degraded journal — would fail identically everywhere.
+    const bool try_next = response.code == StatusCode::kFailedPrecondition ||
+                          response.code == StatusCode::kNotFound;
+    if (!try_next) {
+      return response;
+    }
+    if (!first_failure.has_value()) {
+      first_failure = std::move(response);
+    }
+  }
+  return *std::move(first_failure);  // preferred shard's refusal
+}
+
+wire::Response FleetService::RouteDepart(const wire::Request& request) {
+  const std::string* name = request.Find("name");
+  if (name != nullptr) {
+    for (size_t k = 0; k < shards_.size(); ++k) {
+      if (!shards_[k]->rack().Has(*name)) {
+        continue;
+      }
+      wire::Response response = shards_[k]->Handle(request);
+      if (response.ok) {
+        response.payload.push_back(StrFormat("shard = %zu", k));
+      }
+      return response;
+    }
+  }
+  // Missing parameter or unknown job: shard 0 produces the canonical error.
+  return shards_.front()->Handle(request);
+}
+
+wire::Response FleetService::FanOut(const wire::Request& request) {
+  wire::Response aggregate = wire::Response::Success(request.verb);
+  if (request.verb == "STATUS") {
+    aggregate.payload.push_back(StrFormat("shards = %d", num_shards()));
+    aggregate.payload.push_back(StrFormat(
+        "shard-policy = %s",
+        rack::ShardPolicyName(options_.shard_policy).c_str()));
+  }
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    wire::Response response = shards_[k]->Handle(request);
+    if (!response.ok) {
+      return response;  // first shard error fails the fleet request
+    }
+    aggregate.payload.push_back(StrFormat("shard = %zu", k));
+    for (std::string& row : response.payload) {
+      aggregate.payload.push_back(std::move(row));
+    }
+  }
+  return aggregate;
+}
+
+bool FleetService::shutdown_requested() const {
+  // Shards receive SHUTDOWN together; shard 0 answers for the fleet.
+  return shards_.front()->shutdown_requested();
+}
+
+}  // namespace serve
+}  // namespace pandia

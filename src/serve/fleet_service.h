@@ -1,0 +1,126 @@
+// Fleet-scale serving: one daemon fronting N placement shards.
+//
+// FleetService implements the same RequestHandler contract as
+// PlacementService, but owns N independent shards — each a full
+// PlacementService with its own rack, journal (`<base>.shard<k>`), and
+// flight recorder — and routes requests across them:
+//
+//   HELLO      shard 0's handshake with "fleet" added to the capability
+//              list, plus `shards =` and `shard-policy =` rows
+//   ADMIT      routed by the admission policy (rack::Fleet): consistent
+//              hashing on the job name, or least-loaded. If the chosen
+//              shard cannot place the job (full, or no matching machine
+//              type), the next shard in the deterministic preference order
+//              is tried; the response gains a `shard =` row naming the
+//              shard that admitted.
+//   DEPART     routed to the shard where the job is resident
+//   REBALANCE  fanned out to every shard (migrations stay within a shard —
+//              cross-shard migration would need to move journal ownership)
+//   COMPACT    fanned out to every shard
+//   STATUS     fleet header rows, then every shard's payload under a
+//   TELEMETRY  `shard = k` delimiter row, shards in index order — the
+//   RECORDER   aggregate is deterministic, so replaying every shard's
+//              journal reproduces it byte for byte
+//   METRICS    shard 0 only (the obs registry is process-global)
+//   SHUTDOWN   every shard (each syncs its journal), one acknowledgement
+//
+// Determinism: routing reads only shard state (free threads, job counts,
+// residency) that journal replay reconstructs exactly, and rack::Fleet
+// breaks every tie deterministically — so a fleet rebuilt from its shards'
+// journals routes, reports, and admits identically to the original.
+//
+// Thread safety: the fleet mutex serializes every request end to end, so
+// cross-shard decisions (duplicate-name checks, load snapshots, routing)
+// are atomic with the forwarded mutation. Shards are never touched
+// concurrently through the fleet; direct shard access (tests) requires
+// external quiescence, like PlacementService::rack().
+#ifndef PANDIA_SRC_SERVE_FLEET_SERVICE_H_
+#define PANDIA_SRC_SERVE_FLEET_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/rack/fleet.h"
+#include "src/rack/rack.h"
+#include "src/serialize/wire.h"
+#include "src/serve/handler.h"
+#include "src/serve/service.h"
+#include "src/util/mutex.h"
+#include "src/util/status.h"
+#include "src/util/thread_annotations.h"
+
+namespace pandia {
+namespace serve {
+
+struct FleetOptions {
+  // Number of placement shards; machines are dealt round-robin (machine i
+  // goes to shard i % shards), so heterogeneous machine lists spread types
+  // across shards.
+  int shards = 2;
+  // Admission routing policy (see rack::Fleet).
+  rack::ShardPolicy shard_policy = rack::ShardPolicy::kConsistentHash;
+  // Per-shard service options. `service.journal_path` is a base path: shard
+  // k journals to "<base>.shard<k>"; empty disables journaling fleet-wide.
+  ServiceOptions service;
+};
+
+class FleetService : public RequestHandler {
+ public:
+  // Builds every shard (replaying per-shard journals when present). Fails
+  // on shards < 1, machines.size() < shards, or any shard's journal error.
+  static StatusOr<std::unique_ptr<FleetService>> Create(
+      std::vector<rack::RackMachine> machines, FleetOptions options);
+
+  FleetService(const FleetService&) = delete;
+  FleetService& operator=(const FleetService&) = delete;
+
+  // RequestHandler: one request line to one response block; requests are
+  // serialized on the fleet mutex. Never aborts.
+  [[nodiscard]] std::string HandleLine(const std::string& line)
+      PANDIA_EXCLUDES(mu_) override;
+
+  // Structured form for in-process callers.
+  [[nodiscard]] wire::Response Handle(const wire::Request& request)
+      PANDIA_EXCLUDES(mu_);
+
+  // True once a SHUTDOWN was acknowledged (every shard's flag is set
+  // together; shard 0 answers for the fleet).
+  bool shutdown_requested() const override;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const rack::Fleet& fleet() const { return fleet_; }
+
+  // Quiescent inspection only (tests): no concurrent Handle/HandleLine
+  // while the reference is used.
+  PlacementService& shard(int index) PANDIA_NO_THREAD_SAFETY_ANALYSIS {
+    return *shards_[static_cast<size_t>(index)];
+  }
+
+ private:
+  FleetService(std::vector<std::unique_ptr<PlacementService>> shards,
+               FleetOptions options);
+
+  wire::Response Dispatch(const wire::Request& request) PANDIA_REQUIRES(mu_);
+  wire::Response RouteHello(const wire::Request& request) PANDIA_REQUIRES(mu_);
+  wire::Response RouteAdmit(const wire::Request& request) PANDIA_REQUIRES(mu_);
+  wire::Response RouteDepart(const wire::Request& request) PANDIA_REQUIRES(mu_);
+  // STATUS / TELEMETRY / RECORDER / REBALANCE / COMPACT: every shard in
+  // index order, shard payloads under `shard = k` delimiter rows.
+  wire::Response FanOut(const wire::Request& request) PANDIA_REQUIRES(mu_);
+
+  // Per-shard load snapshot for least-loaded routing.
+  std::vector<rack::ShardLoad> ShardLoads() const PANDIA_REQUIRES(mu_);
+
+  FleetOptions options_;  // immutable after construction
+  rack::Fleet fleet_;     // immutable after construction
+  // Serializes every fleet request: routing reads of shard state must be
+  // atomic with the forwarded mutation.
+  mutable util::Mutex mu_;
+  std::vector<std::unique_ptr<PlacementService>> shards_;
+};
+
+}  // namespace serve
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_SERVE_FLEET_SERVICE_H_

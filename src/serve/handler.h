@@ -1,0 +1,41 @@
+// The transport-facing request interface the serving event loop drives.
+//
+// A RequestHandler maps one wire-v1 request line to one complete response
+// block; the event loop (src/serve/socket.h) neither parses nor frames
+// anything beyond newline-splitting the byte stream. Two implementations
+// exist: PlacementService (one rack — src/serve/service.h) and
+// FleetService (N sharded racks — src/serve/fleet_service.h). The daemon
+// binary picks one at startup; transports cannot tell them apart.
+//
+// Contract: HandleLine never aborts, never blocks indefinitely on daemon
+// state, and is safe to call concurrently from any number of transport
+// threads (implementations serialize internally). The returned text is a
+// complete response block: newline-terminated lines ending with ".\n".
+#ifndef PANDIA_SRC_SERVE_HANDLER_H_
+#define PANDIA_SRC_SERVE_HANDLER_H_
+
+#include <string>
+
+namespace pandia {
+namespace serve {
+
+class RequestHandler {
+ public:
+  virtual ~RequestHandler() = default;
+
+  // Processes one request line end to end; returns the response block.
+  [[nodiscard]] virtual std::string HandleLine(const std::string& line) = 0;
+
+  // True once a SHUTDOWN request was acknowledged; serving loops exit.
+  virtual bool shutdown_requested() const = 0;
+
+ protected:
+  RequestHandler() = default;
+  RequestHandler(const RequestHandler&) = default;
+  RequestHandler& operator=(const RequestHandler&) = default;
+};
+
+}  // namespace serve
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_SERVE_HANDLER_H_

@@ -39,6 +39,7 @@ const VerbInstruments& InstrumentsFor(const std::string& verb) {
     obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
     for (const auto& [verb_key, stem] :
          std::initializer_list<std::pair<const char*, const char*>>{
+             {"HELLO", "hello"},
              {"ADMIT", "admit"},
              {"DEPART", "depart"},
              {"REBALANCE", "rebalance"},
@@ -324,6 +325,9 @@ wire::Response PlacementService::Dispatch(const wire::Request& request) {
 }
 
 wire::Response PlacementService::DispatchVerb(const wire::Request& request) {
+  if (request.verb == "HELLO") {
+    return HandleHello(request);
+  }
   if (request.verb == "ADMIT") {
     return HandleAdmit(request);
   }
@@ -363,9 +367,28 @@ wire::Response PlacementService::DispatchVerb(const wire::Request& request) {
     return wire::Response::Success("SHUTDOWN");
   }
   return wire::Response::Failure(Status::InvalidArgument(
-      StrFormat("unknown verb '%s' (want ADMIT, DEPART, REBALANCE, COMPACT, "
-                "STATUS, METRICS, TELEMETRY, RECORDER, or SHUTDOWN)",
+      StrFormat("unknown verb '%s' (want HELLO, ADMIT, DEPART, REBALANCE, "
+                "COMPACT, STATUS, METRICS, TELEMETRY, RECORDER, or SHUTDOWN)",
                 request.verb.c_str())));
+}
+
+wire::Response PlacementService::HandleHello(const wire::Request& request) const {
+  // Strict like TELEMETRY: the handshake takes no parameters, so future
+  // parameterized hellos can be detected by old servers as errors instead
+  // of being silently half-understood.
+  if (!request.params.empty()) {
+    return wire::Response::Failure(Status::InvalidArgument(
+        StrFormat("HELLO does not take parameter '%s'",
+                  request.params.front().first.c_str())));
+  }
+  wire::Response response = wire::Response::Success("HELLO");
+  response.payload.push_back(
+      StrFormat("protocol = %d", wire::kProtocolVersion));
+  // Capabilities are sorted, comma-separated tokens; the list names
+  // post-v1 extensions this server speaks (the fleet layer appends its
+  // own). Kept static per service type so handshakes are deterministic.
+  response.payload.push_back("capabilities = compact,recorder,telemetry");
+  return response;
 }
 
 wire::Response PlacementService::HandleAdmit(const wire::Request& request) {

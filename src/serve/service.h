@@ -3,6 +3,8 @@
 // PlacementService holds a rack::Rack as mutable online state and processes
 // the wire-v1 request protocol (src/serialize/wire.h):
 //
+//   HELLO      handshake: protocol version + capability list, so clients
+//              negotiate before speaking (serve::Client sends it on connect)
 //   ADMIT      place a new job co-scheduled against the running jobs
 //   DEPART     free a job; opportunistically re-place degraded neighbours
 //   REBALANCE  bounded-migration global re-placement
@@ -59,6 +61,7 @@
 #include "src/obs/flight_recorder.h"
 #include "src/rack/rack.h"
 #include "src/serialize/wire.h"
+#include "src/serve/handler.h"
 #include "src/serve/journal.h"
 #include "src/util/mutex.h"
 #include "src/util/status.h"
@@ -101,7 +104,7 @@ struct ServiceOptions {
   int default_max_migrations = 4;
 };
 
-class PlacementService {
+class PlacementService : public RequestHandler {
  public:
   // Builds the service; replays options.journal_path if the file exists,
   // then reopens it for appending. Fails (instead of aborting) on an
@@ -125,14 +128,14 @@ class PlacementService {
   // (newline-terminated lines ending with ".\n"). Never aborts. Safe to
   // call concurrently; requests are serialized on the service mutex.
   [[nodiscard]] std::string HandleLine(const std::string& line)
-      PANDIA_EXCLUDES(mu_);
+      PANDIA_EXCLUDES(mu_) override;
 
   // Structured form of HandleLine for in-process callers.
   [[nodiscard]] wire::Response Handle(const wire::Request& request)
       PANDIA_EXCLUDES(mu_);
 
   // True once a SHUTDOWN request was acknowledged; serving loops exit.
-  bool shutdown_requested() const PANDIA_EXCLUDES(mu_);
+  bool shutdown_requested() const PANDIA_EXCLUDES(mu_) override;
 
   // Quiescent inspection only (tests, post-loop reporting): the caller must
   // guarantee no concurrent Handle/HandleLine while the reference is used,
@@ -168,6 +171,8 @@ class PlacementService {
   wire::Response HandleRebalance(const wire::Request& request)
       PANDIA_REQUIRES(mu_);
   wire::Response HandleCompact(const wire::Request& request)
+      PANDIA_REQUIRES(mu_);
+  wire::Response HandleHello(const wire::Request& request) const
       PANDIA_REQUIRES(mu_);
   wire::Response HandleStatus() const PANDIA_REQUIRES(mu_);
   wire::Response HandleMetrics(const wire::Request& request) const

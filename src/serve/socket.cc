@@ -1,63 +1,198 @@
 #include "src/serve/socket.h"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
 
-#include <algorithm>
 #include <cerrno>
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
+#include <string_view>
 #include <vector>
 
+#include "src/serve/socket_internal.h"
 #include "src/util/strings.h"
 
 namespace pandia {
 namespace serve {
 namespace {
 
-Status ErrnoStatus(const char* what, const std::string& detail) {
-  return Status::Unavailable(
-      StrFormat("%s (%s): %s", what, detail.c_str(), std::strerror(errno)));
+using sock_internal::ErrnoStatus;
+using sock_internal::SocketAddress;
+
+// Stop reading a client once this many unflushed response bytes are buffered
+// for it; resume once the backlog drains below the low watermark. Bounds
+// daemon memory per slow client without head-of-line blocking anyone else.
+constexpr size_t kWriteHighWatermark = 4u << 20;
+constexpr size_t kWriteLowWatermark = 64u << 10;
+// Compact the flushed prefix of a write buffer once it exceeds this.
+constexpr size_t kWriteCompactThreshold = 64u << 10;
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
 }
 
-// Writes all of `data` to the socket `fd`, retrying on short writes and
-// EINTR. MSG_NOSIGNAL: a peer that hung up must yield EPIPE, not a SIGPIPE
-// that kills the whole daemon.
-Status WriteAll(int fd, const std::string& data) {
-  size_t written = 0;
-  while (written < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + written, data.size() - written, MSG_NOSIGNAL);
-    if (n < 0) {
+void SetBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    (void)::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  }
+}
+
+struct PollerEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  bool error = false;
+};
+
+// Readiness-notification backend. Level-triggered semantics on both
+// implementations: an fd with unread input (or writable space while write
+// interest is registered) keeps firing until serviced.
+class Poller {
+ public:
+  virtual ~Poller() = default;
+  virtual Status Add(int fd, bool read, bool write) = 0;
+  virtual Status Update(int fd, bool read, bool write) = 0;
+  virtual void Remove(int fd) = 0;
+  // Blocks until at least one fd is ready; fills `out` (empty on EINTR).
+  virtual Status Wait(std::vector<PollerEvent>* out) = 0;
+};
+
+// Portable fallback: rebuilds the pollfd array from the interest map on
+// every wait. O(n) per wait, which is fine at the daemon's client counts.
+class PollPoller : public Poller {
+ public:
+  Status Add(int fd, bool read, bool write) override {
+    interest_[fd] = Events(read, write);
+    return Status::Ok();
+  }
+  Status Update(int fd, bool read, bool write) override {
+    interest_[fd] = Events(read, write);
+    return Status::Ok();
+  }
+  void Remove(int fd) override { interest_.erase(fd); }
+  Status Wait(std::vector<PollerEvent>* out) override {
+    out->clear();
+    fds_.clear();
+    for (const auto& [fd, events] : interest_) {
+      fds_.push_back(pollfd{fd, events, 0});
+    }
+    if (::poll(fds_.data(), fds_.size(), -1) < 0) {
       if (errno == EINTR) {
+        return Status::Ok();
+      }
+      return ErrnoStatus("poll failed", "event loop");
+    }
+    for (const pollfd& entry : fds_) {
+      if (entry.revents == 0) {
         continue;
       }
-      return ErrnoStatus("write to client failed", StrFormat("fd %d", fd));
+      out->push_back(PollerEvent{
+          entry.fd,
+          (entry.revents & (POLLIN | POLLHUP | POLLERR)) != 0,
+          (entry.revents & POLLOUT) != 0,
+          (entry.revents & (POLLERR | POLLNVAL)) != 0});
     }
-    written += static_cast<size_t>(n);
+    return Status::Ok();
   }
-  return Status::Ok();
-}
 
-StatusOr<sockaddr_un> SocketAddress(const std::string& path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
-    return Status::InvalidArgument(
-        StrFormat("socket path '%s' must be 1..%zu bytes", path.c_str(),
-                  sizeof(addr.sun_path) - 1));
+ private:
+  static short Events(bool read, bool write) {
+    return static_cast<short>((read ? POLLIN : 0) | (write ? POLLOUT : 0));
   }
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  return addr;
+  std::map<int, short> interest_;
+  std::vector<pollfd> fds_;
+};
+
+#if defined(__linux__)
+class EpollPoller : public Poller {
+ public:
+  static std::unique_ptr<EpollPoller> Create() {
+    const int fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (fd < 0) {
+      return nullptr;
+    }
+    return std::unique_ptr<EpollPoller>(new EpollPoller(fd));
+  }
+  ~EpollPoller() override { ::close(epfd_); }
+
+  Status Add(int fd, bool read, bool write) override {
+    return Ctl(EPOLL_CTL_ADD, fd, read, write);
+  }
+  Status Update(int fd, bool read, bool write) override {
+    return Ctl(EPOLL_CTL_MOD, fd, read, write);
+  }
+  void Remove(int fd) override {
+    epoll_event unused{};
+    (void)::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, &unused);
+  }
+  Status Wait(std::vector<PollerEvent>* out) override {
+    out->clear();
+    epoll_event events[64];
+    const int n = ::epoll_wait(epfd_, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) {
+        return Status::Ok();
+      }
+      return ErrnoStatus("epoll_wait failed", "event loop");
+    }
+    for (int i = 0; i < n; ++i) {
+      out->push_back(PollerEvent{
+          events[i].data.fd,
+          (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0,
+          (events[i].events & EPOLLOUT) != 0,
+          (events[i].events & EPOLLERR) != 0});
+    }
+    return Status::Ok();
+  }
+
+ private:
+  explicit EpollPoller(int fd) : epfd_(fd) {}
+  Status Ctl(int op, int fd, bool read, bool write) {
+    epoll_event event{};
+    event.events = (read ? static_cast<uint32_t>(EPOLLIN) : 0u) |
+                   (write ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+    event.data.fd = fd;
+    if (::epoll_ctl(epfd_, op, fd, &event) != 0) {
+      return ErrnoStatus("epoll_ctl failed", StrFormat("fd %d", fd));
+    }
+    return Status::Ok();
+  }
+  int epfd_;
+};
+#endif  // defined(__linux__)
+
+std::unique_ptr<Poller> MakePoller() {
+#if defined(__linux__)
+  const char* forced = std::getenv("PANDIA_EVENT_LOOP");
+  if (forced == nullptr || std::string_view(forced) != "poll") {
+    std::unique_ptr<Poller> epoll = EpollPoller::Create();
+    if (epoll != nullptr) {
+      return epoll;
+    }
+  }
+#endif
+  return std::make_unique<PollPoller>();
 }
 
 // Per-connection (or stdin) line assembly: consumes complete lines from the
 // buffer, feeding each to the service; returns the concatenated responses.
-std::string DrainLines(PlacementService& service, std::string& buffer) {
+// This is where pipelining happens — a client that wrote N request lines
+// before reading gets N response blocks queued back to back.
+std::string DrainLines(RequestHandler& service, std::string& buffer) {
   std::string responses;
   size_t start = 0;
   while (true) {
@@ -80,6 +215,127 @@ std::string DrainLines(PlacementService& service, std::string& buffer) {
   }
   buffer.erase(0, start);
   return responses;
+}
+
+// One socket client: partial-request input buffer, unflushed response bytes,
+// and the backpressure state machine described in socket.h.
+struct Connection {
+  std::string in;
+  std::string out;
+  size_t out_offset = 0;  // bytes of `out` already written to the socket
+  bool peer_eof = false;  // read side closed: flush what remains, then close
+  bool paused = false;    // over the high watermark: read interest dropped
+  // Interest currently registered with the poller (avoids no-op syscalls).
+  bool want_read = true;
+  bool want_write = false;
+
+  size_t pending() const { return out.size() - out_offset; }
+};
+
+// Writes as much buffered output as the socket accepts without blocking.
+// Returns false on a fatal transport error (peer reset, EPIPE).
+bool FlushSome(int fd, Connection& conn) {
+  while (conn.out_offset < conn.out.size()) {
+    const ssize_t n = ::send(fd, conn.out.data() + conn.out_offset,
+                             conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    }
+    return false;
+  }
+  if (conn.out_offset == conn.out.size()) {
+    conn.out.clear();
+    conn.out_offset = 0;
+  } else if (conn.out_offset >= kWriteCompactThreshold) {
+    conn.out.erase(0, conn.out_offset);
+    conn.out_offset = 0;
+  }
+  return true;
+}
+
+// Services one readiness event on a client connection. Returns false when
+// the connection should be closed (clean EOF fully flushed, or error).
+bool HandleClient(RequestHandler& service, Poller& poller, int fd,
+                  const PollerEvent& event, Connection& conn) {
+  bool fatal = event.error;
+  if (!fatal && event.readable && !conn.paused && !conn.peer_eof) {
+    char chunk[64 * 1024];
+    while (true) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n > 0) {
+        conn.in.append(chunk, static_cast<size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        conn.peer_eof = true;
+        break;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      }
+      fatal = true;
+      break;
+    }
+    if (!fatal) {
+      conn.out += DrainLines(service, conn.in);
+      // EOF: a trailing unterminated line still counts as a request.
+      if (conn.peer_eof && !conn.in.empty() && !service.shutdown_requested()) {
+        conn.out += service.HandleLine(conn.in);
+        conn.in.clear();
+      }
+    }
+  }
+  if (!fatal) {
+    fatal = !FlushSome(fd, conn);
+  }
+  if (fatal) {
+    return false;
+  }
+  if (conn.peer_eof && conn.pending() == 0) {
+    return false;  // clean close: everything owed has been delivered
+  }
+  if (!conn.paused && conn.pending() >= kWriteHighWatermark) {
+    conn.paused = true;
+  } else if (conn.paused && conn.pending() <= kWriteLowWatermark) {
+    conn.paused = false;
+  }
+  const bool want_read = !conn.paused && !conn.peer_eof;
+  const bool want_write = conn.pending() > 0;
+  if (want_read != conn.want_read || want_write != conn.want_write) {
+    conn.want_read = want_read;
+    conn.want_write = want_write;
+    (void)poller.Update(fd, want_read, want_write);
+  }
+  return true;
+}
+
+void AcceptClients(Poller& poller, int listen_fd,
+                   std::map<int, Connection>& clients) {
+  while (true) {
+    const int client = ::accept(listen_fd, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // EAGAIN, or a transient accept failure: retry on next event
+    }
+    SetNonBlocking(client);
+    if (!poller.Add(client, /*read=*/true, /*write=*/false).ok()) {
+      ::close(client);
+      continue;
+    }
+    clients.emplace(client, Connection{});
+  }
 }
 
 }  // namespace
@@ -127,7 +383,7 @@ StatusOr<SocketServer> SocketServer::Listen(const std::string& path) {
     ::close(fd);
     return status;
   }
-  if (::listen(fd, 16) != 0) {
+  if (::listen(fd, 64) != 0) {
     const Status status = ErrnoStatus("cannot listen on socket", path);
     ::close(fd);
     ::unlink(path.c_str());
@@ -163,50 +419,61 @@ SocketServer::~SocketServer() {
   }
 }
 
-Status RunEventLoop(PlacementService& service, int stdin_fd,
+Status RunEventLoop(RequestHandler& service, int stdin_fd,
                     std::FILE* stdout_stream, SocketServer* server) {
   // stdout_stream may be a pipe whose reader is gone; without this a single
   // fputs would SIGPIPE the process instead of failing the one write.
   std::signal(SIGPIPE, SIG_IGN);
+  std::unique_ptr<Poller> poller = MakePoller();
   std::string stdin_buffer;
-  std::map<int, std::string> clients;  // client fd -> partial line buffer
+  std::map<int, Connection> clients;
   bool stdin_open = stdin_fd >= 0;
-  const auto close_clients = [&clients] {
-    for (const auto& [fd, buffer] : clients) {
-      ::close(fd);
+
+  const auto drop_client = [&](std::map<int, Connection>::iterator it) {
+    poller->Remove(it->first);
+    ::close(it->first);
+    clients.erase(it);
+  };
+  const auto close_clients = [&] {
+    while (!clients.empty()) {
+      drop_client(clients.begin());
     }
-    clients.clear();
   };
 
+  if (stdin_open) {
+    if (Status added = poller->Add(stdin_fd, /*read=*/true, /*write=*/false);
+        !added.ok()) {
+      // epoll cannot watch regular files (a redirected stdin); fall back to
+      // poll for the whole loop rather than losing the stdin transport.
+      poller = std::make_unique<PollPoller>();
+      (void)poller->Add(stdin_fd, /*read=*/true, /*write=*/false);
+    }
+  }
+  if (server != nullptr) {
+    SetNonBlocking(server->listen_fd());
+    if (Status added =
+            poller->Add(server->listen_fd(), /*read=*/true, /*write=*/false);
+        !added.ok()) {
+      return added;
+    }
+  }
+
+  std::vector<PollerEvent> events;
   while (!service.shutdown_requested()) {
     // Without stdin, a rack with no listener could never terminate; the
     // loop still exits on SHUTDOWN, which is the supported path.
     if (!stdin_open && server == nullptr) {
       break;
     }
-    std::vector<pollfd> fds;
-    if (stdin_open) {
-      fds.push_back(pollfd{stdin_fd, POLLIN, 0});
-    }
-    if (server != nullptr) {
-      fds.push_back(pollfd{server->listen_fd(), POLLIN, 0});
-    }
-    for (const auto& [fd, buffer] : clients) {
-      fds.push_back(pollfd{fd, POLLIN, 0});
-    }
-    if (::poll(fds.data(), fds.size(), -1) < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
+    if (Status waited = poller->Wait(&events); !waited.ok()) {
       close_clients();
-      return ErrnoStatus("poll failed", "event loop");
+      return waited;
     }
-
-    for (const pollfd& entry : fds) {
-      if (entry.revents == 0 || service.shutdown_requested()) {
-        continue;
+    for (const PollerEvent& event : events) {
+      if (service.shutdown_requested()) {
+        break;  // later events flush below, after the loop
       }
-      if (stdin_open && entry.fd == stdin_fd) {
+      if (stdin_open && event.fd == stdin_fd) {
         char chunk[4096];
         const ssize_t n = ::read(stdin_fd, chunk, sizeof(chunk));
         if (n < 0 && errno == EINTR) {
@@ -221,6 +488,7 @@ Status RunEventLoop(PlacementService& service, int stdin_fd,
             responses += service.HandleLine(stdin_buffer);
             stdin_buffer.clear();
           }
+          poller->Remove(stdin_fd);
           stdin_open = false;
         }
         if (!responses.empty()) {
@@ -231,136 +499,31 @@ Status RunEventLoop(PlacementService& service, int stdin_fd,
         // Stdin EOF ends a stdin-only loop (the top-of-loop check fires);
         // with a socket server the daemon merely detaches stdin and keeps
         // serving clients until SHUTDOWN.
-      } else if (server != nullptr && entry.fd == server->listen_fd()) {
-        const int client = ::accept(server->listen_fd(), nullptr, nullptr);
-        if (client >= 0) {
-          clients.emplace(client, std::string());
-        }
+      } else if (server != nullptr && event.fd == server->listen_fd()) {
+        AcceptClients(*poller, server->listen_fd(), clients);
       } else {
-        const auto it = clients.find(entry.fd);
+        const auto it = clients.find(event.fd);
         if (it == clients.end()) {
           continue;
         }
-        char chunk[4096];
-        const ssize_t n = ::read(entry.fd, chunk, sizeof(chunk));
-        if (n < 0 && errno == EINTR) {
-          continue;
-        }
-        if (n > 0) {
-          it->second.append(chunk, static_cast<size_t>(n));
-        }
-        std::string responses = DrainLines(service, it->second);
-        if (n <= 0 && !it->second.empty()) {
-          responses += service.HandleLine(it->second);
-          it->second.clear();
-        }
-        if (!responses.empty()) {
-          // A client that hung up mid-response is its own problem; the
-          // daemon keeps serving everyone else.
-          (void)WriteAll(entry.fd, responses);
-        }
-        if (n <= 0) {
-          ::close(entry.fd);
-          clients.erase(it);
+        if (!HandleClient(service, *poller, event.fd, event, it->second)) {
+          drop_client(it);
         }
       }
     }
   }
-  close_clients();
-  return Status::Ok();
-}
-
-namespace {
-
-// Connects with retry-on-refused: a refused or absent socket usually means
-// the daemon is restarting, so waiting out the backoff schedule rides
-// through it. Other connect errors (permissions, path too long inside the
-// kernel) fail immediately — retrying cannot fix them.
-StatusOr<int> ConnectWithRetry(const sockaddr_un& addr, const std::string& path,
-                               const ExchangeOptions& options) {
-  int backoff_ms = options.backoff_initial_ms > 0 ? options.backoff_initial_ms : 1;
-  for (int attempt = 0;; ++attempt) {
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0) {
-      return ErrnoStatus("cannot create socket", path);
-    }
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
-      return fd;
-    }
-    const int connect_errno = errno;
-    ::close(fd);
-    const bool retryable =
-        connect_errno == ECONNREFUSED || connect_errno == ENOENT;
-    if (!retryable || attempt >= options.retries) {
-      errno = connect_errno;
-      return ErrnoStatus(
-          attempt > 0 ? "cannot connect (retries exhausted)" : "cannot connect",
-          path);
-    }
-    ::poll(nullptr, 0, backoff_ms);  // portable millisecond sleep
-    if (backoff_ms < 1 << 20) {
-      backoff_ms *= 2;
-    }
-  }
-}
-
-}  // namespace
-
-StatusOr<std::string> SocketExchange(const std::string& path,
-                                     const std::string& request_text,
-                                     const ExchangeOptions& options) {
-  StatusOr<sockaddr_un> addr = SocketAddress(path);
-  if (!addr.ok()) {
-    return addr.status();
-  }
-  StatusOr<int> connected = ConnectWithRetry(*addr, path, options);
-  if (!connected.ok()) {
-    return connected.status();
-  }
-  const int fd = *connected;
-  if (options.timeout_ms >= 0) {
-    // A zero timeval means "no timeout" to the kernel — the opposite of the
-    // tightest deadline the caller asked for — so 0 is clamped to 1 ms.
-    const int timeout_ms = options.timeout_ms > 0 ? options.timeout_ms : 1;
-    timeval deadline{};
-    deadline.tv_sec = timeout_ms / 1000;
-    deadline.tv_usec = (timeout_ms % 1000) * 1000;
-    // Best effort: a socket that refuses the option still works, just
-    // without the deadline.
-    (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &deadline, sizeof(deadline));
-    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &deadline, sizeof(deadline));
-  }
-  if (Status written = WriteAll(fd, request_text); !written.ok()) {
-    ::close(fd);
-    return written;
-  }
-  ::shutdown(fd, SHUT_WR);  // half-close: tell the daemon we are done asking
-  std::string response;
-  char chunk[4096];
-  while (true) {
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    if (n < 0 && errno == EINTR) {
+  // Deliver what is owed — in particular the "ok SHUTDOWN" block to the
+  // client that asked for it — with blocking writes; the buffers are
+  // watermark-bounded so this terminates promptly.
+  for (auto& [fd, conn] : clients) {
+    if (conn.pending() == 0) {
       continue;
     }
-    if (n < 0) {
-      // SO_RCVTIMEO expiry lands here as EAGAIN: report the deadline
-      // instead of silently returning a truncated stream.
-      const Status status =
-          (errno == EAGAIN || errno == EWOULDBLOCK)
-              ? Status::Unavailable(StrFormat(
-                    "response from '%s' timed out after %d ms", path.c_str(),
-                    options.timeout_ms))
-              : ErrnoStatus("read from daemon failed", path);
-      ::close(fd);
-      return status;
-    }
-    if (n == 0) {
-      break;
-    }
-    response.append(chunk, static_cast<size_t>(n));
+    SetBlocking(fd);
+    (void)sock_internal::WriteAll(fd, conn.out.substr(conn.out_offset));
   }
-  ::close(fd);
-  return response;
+  close_clients();
+  return Status::Ok();
 }
 
 }  // namespace serve

@@ -1,19 +1,35 @@
-// Transports for the placement service: a Unix-domain socket listener, the
-// poll()-based event loop the daemon runs, and the client-side exchange
-// helper the pandia_serve_client tool and the tests use.
+// Server-side transports for the placement daemon: a Unix-domain socket
+// listener and the multi-client event loop that drives a RequestHandler
+// (PlacementService or FleetService — the loop cannot tell them apart).
 //
 // The event loop multiplexes line-delimited requests from an optional stdin
 // file descriptor (answers go to a stdio stream) and from any number of
 // socket clients (each answered on its own connection). Requests are
 // processed strictly serially in arrival order, so daemon state stays
 // deterministic regardless of transport.
+//
+// Mechanics (see socket.cc):
+//   * epoll on Linux, with an automatic poll() fallback; setting the
+//     PANDIA_EVENT_LOOP=poll environment variable forces the fallback
+//     (tests use it to cover both backends).
+//   * client sockets are nonblocking; requests pipeline — a client may
+//     write any number of request lines before reading, and responses
+//     stream back in order.
+//   * per-connection bounded write buffering: responses a slow client has
+//     not drained are buffered up to a high watermark, past which the
+//     daemon stops *reading* that client (backpressure) while continuing
+//     to serve everyone else — one stalled reader cannot head-of-line
+//     block the fleet.
+//
+// The client side of the protocol lives in src/serve/client.h
+// (serve::Client and the one-shot SocketExchange wrapper).
 #ifndef PANDIA_SRC_SERVE_SOCKET_H_
 #define PANDIA_SRC_SERVE_SOCKET_H_
 
 #include <cstdio>
 #include <string>
 
-#include "src/serve/service.h"
+#include "src/serve/handler.h"
 #include "src/util/status.h"
 
 namespace pandia {
@@ -46,33 +62,10 @@ class SocketServer {
 // stdin EOF also ends the loop); `stdin_fd` may be -1 (socket only). With
 // both transports, stdin EOF merely detaches stdin: the daemon keeps
 // serving socket clients, so it can be backgrounded with stdin closed.
-Status RunEventLoop(PlacementService& service, int stdin_fd,
+// On shutdown, pending response bytes are flushed to every connected
+// client best-effort before the loop returns.
+Status RunEventLoop(RequestHandler& service, int stdin_fd,
                     std::FILE* stdout_stream, SocketServer* server);
-
-// Client-side exchange knobs. Defaults preserve the historical behaviour:
-// one connection attempt, no deadline.
-struct ExchangeOptions {
-  // Per-operation deadline (SO_SNDTIMEO/SO_RCVTIMEO) in milliseconds; a
-  // stalled daemon fails the exchange instead of hanging the client.
-  // Negative: no deadline. 0 is clamped to 1 ms (a zero timeval would tell
-  // the kernel "no timeout", the opposite of the tightest deadline).
-  int timeout_ms = -1;
-  // Extra connection attempts after a refused/absent socket (the daemon is
-  // restarting), spaced by exponential backoff starting at
-  // backoff_initial_ms and doubling per retry.
-  int retries = 0;
-  int backoff_initial_ms = 50;
-};
-
-// Client side: connects to `path`, sends `request_text` (one or more
-// newline-terminated request lines), half-closes, and returns everything
-// the daemon wrote back (a sequence of response blocks). Retries only the
-// connect step (ECONNREFUSED/ENOENT — a daemon mid-restart); a connection
-// that dies mid-response is never retried, so a truncated stream surfaces
-// as a short read the caller's response parser rejects.
-StatusOr<std::string> SocketExchange(const std::string& path,
-                                     const std::string& request_text,
-                                     const ExchangeOptions& options = {});
 
 }  // namespace serve
 }  // namespace pandia

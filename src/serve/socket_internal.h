@@ -1,0 +1,62 @@
+// Shared Unix-domain-socket plumbing for the server event loop (socket.cc)
+// and the client transport (client.cc). Internal — not part of the public
+// header set; include only from src/serve/*.cc.
+#ifndef PANDIA_SRC_SERVE_SOCKET_INTERNAL_H_
+#define PANDIA_SRC_SERVE_SOCKET_INTERNAL_H_
+
+#include <sys/socket.h>
+#include <sys/un.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "src/util/status.h"
+#include "src/util/strings.h"
+
+namespace pandia {
+namespace serve {
+namespace sock_internal {
+
+inline Status ErrnoStatus(const char* what, const std::string& detail) {
+  return Status::Unavailable(
+      StrFormat("%s (%s): %s", what, detail.c_str(), std::strerror(errno)));
+}
+
+// Writes all of `data` to the socket `fd`, retrying on short writes and
+// EINTR. MSG_NOSIGNAL: a peer that hung up must yield EPIPE, not a SIGPIPE
+// that kills the whole process. Assumes a blocking socket (EAGAIN from a
+// send timeout surfaces as an error, which is what the deadline wants).
+inline Status WriteAll(int fd, const std::string& data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + written, data.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoStatus("write to socket failed", StrFormat("fd %d", fd));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+inline StatusOr<sockaddr_un> SocketAddress(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument(
+        StrFormat("socket path '%s' must be 1..%zu bytes", path.c_str(),
+                  sizeof(addr.sun_path) - 1));
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace sock_internal
+}  // namespace serve
+}  // namespace pandia
+
+#endif  // PANDIA_SRC_SERVE_SOCKET_INTERNAL_H_

@@ -12,6 +12,8 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,6 +25,8 @@
 #include "src/predictor/prediction_cache.h"
 #include "src/serialize/serialize.h"
 #include "src/serve/service.h"
+#include "src/serve/client.h"
+#include "src/serve/fleet_service.h"
 #include "src/serve/socket.h"
 #include "src/util/parallel.h"
 #include "src/util/strings.h"
@@ -276,6 +280,102 @@ TEST(ConcurrencyRegression, ServiceSurvivesConcurrentSocketClients) {
   ASSERT_TRUE(bye.ok()) << bye.status().ToString();
   loop.join();
   EXPECT_TRUE(service->shutdown_requested());
+}
+
+// Concurrent pipelined clients against the multi-client event loop: each
+// serve::Client pipelines its whole batch (CallMany) so the loop must
+// interleave partially-read requests and partially-written responses across
+// connections without cross-talk. Run against a 2-shard fleet so the fleet
+// mutex is also under contention. Exercised twice — once with the default
+// poller (epoll on Linux) and once forced onto the poll() fallback.
+void PipelinedFleetClients(const char* event_loop) {
+  if (event_loop != nullptr) {
+    ASSERT_EQ(setenv("PANDIA_EVENT_LOOP", event_loop, 1), 0);
+  } else {
+    unsetenv("PANDIA_EVENT_LOOP");
+  }
+  const eval::Pipeline pipeline("x3-2");
+  std::vector<rack::RackMachine> machines;
+  for (int i = 0; i < 4; ++i) {
+    machines.push_back({StrFormat("node%d", i), pipeline.description()});
+  }
+  serve::FleetOptions options;
+  options.shards = 2;
+  StatusOr<std::unique_ptr<serve::FleetService>> fleet =
+      serve::FleetService::Create(std::move(machines), options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+
+  const std::string path = StrFormat(
+      "%s/pandia_pipelined_%s.sock", ::testing::TempDir().c_str(),
+      event_loop == nullptr ? "default" : event_loop);
+  std::remove(path.c_str());
+  StatusOr<serve::SocketServer> server = serve::SocketServer::Listen(path);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  std::thread loop([&fleet, &server] {
+    const Status served =
+        serve::RunEventLoop(**fleet, /*stdin_fd=*/-1, stdout, &*server);
+    EXPECT_TRUE(served.ok()) << served.ToString();
+  });
+
+  const std::string desc =
+      WorkloadDescriptionToText(pipeline.Profile(workloads::ByName("EP")));
+  constexpr int kClients = 6;
+  constexpr int kRounds = 4;
+  std::atomic<int> ok_responses{0};
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&path, &desc, &ok_responses, c] {
+      StatusOr<serve::Client> client = serve::Client::Connect(path);
+      ASSERT_TRUE(client.ok()) << client.status().ToString();
+      EXPECT_TRUE(client->has_capability("fleet"));
+      for (int round = 0; round < kRounds; ++round) {
+        wire::Request admit;
+        admit.verb = "ADMIT";
+        admit.params.emplace_back("name", StrFormat("job-%d-%d", c, round));
+        admit.params.emplace_back("threads", "2");
+        admit.params.emplace_back("desc.x3-2", desc);
+        const std::vector<std::string> batch = {
+            wire::FormatRequest(admit), "STATUS", "TELEMETRY",
+            StrFormat("DEPART name=job-%d-%d", c, round)};
+        StatusOr<std::vector<wire::Response>> responses =
+            client->CallMany(batch);
+        ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+        ASSERT_EQ(responses->size(), batch.size());
+        // Responses must come back in request order, on the right
+        // connection: the DEPART can only succeed if it was this client's
+        // ADMIT that preceded it.
+        EXPECT_EQ((*responses)[0].verb, "ADMIT");
+        EXPECT_EQ((*responses)[1].verb, "STATUS");
+        EXPECT_EQ((*responses)[2].verb, "TELEMETRY");
+        EXPECT_EQ((*responses)[3].verb, "DEPART");
+        for (const wire::Response& response : *responses) {
+          if (response.ok) {
+            ok_responses.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  EXPECT_EQ(ok_responses.load(), kClients * kRounds * 4);
+
+  StatusOr<serve::Client> closer = serve::Client::Connect(path);
+  ASSERT_TRUE(closer.ok()) << closer.status().ToString();
+  const StatusOr<wire::Response> bye = closer->Call("SHUTDOWN");
+  ASSERT_TRUE(bye.ok()) << bye.status().ToString();
+  EXPECT_TRUE(bye->ok);
+  loop.join();
+  unsetenv("PANDIA_EVENT_LOOP");
+}
+
+TEST(ConcurrencyRegression, PipelinedFleetClientsDefaultPoller) {
+  PipelinedFleetClients(nullptr);
+}
+
+TEST(ConcurrencyRegression, PipelinedFleetClientsPollFallback) {
+  PipelinedFleetClients("poll");
 }
 
 }  // namespace

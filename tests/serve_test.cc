@@ -20,6 +20,7 @@
 
 #include "src/eval/pipeline.h"
 #include "src/serialize/serialize.h"
+#include "src/serve/client.h"
 #include "src/serve/socket.h"
 #include "src/util/rng.h"
 #include "src/util/strings.h"

@@ -1,0 +1,93 @@
+# End-to-end load-generator smoke driven by ctest (see tools/CMakeLists.txt):
+# run a 2-shard pandia_serve fleet headless on a Unix-domain socket, replay a
+# short closed-loop trace plus a short open-loop Poisson trace through
+# pandia_loadgen, and assert
+#   * both runs complete with zero generator errors,
+#   * the closed-loop run admits every request it offered,
+#   * the JSON report carries an LG_AdmitThroughput row with a positive
+#     items_per_second and all three LG_AdmitLatency percentile rows (the
+#     shape tools/check_bench_regression.py gates in CI against
+#     bench/BENCH_serve_baseline.json), and
+#   * the fleet answers STATUS with both shards after the load.
+#
+# The daemon must run in the background while the generator drives it, so
+# the session is scripted through `bash -c` (this repo targets Linux).
+#
+# Variables (passed via -D): SERVE, LOADGEN, CLIENT, WORK.
+
+file(MAKE_DIRECTORY ${WORK})
+file(REMOVE ${WORK}/serve.sock ${WORK}/loadgen.json)
+
+execute_process(
+  COMMAND bash -c "\
+set -e; \
+'${SERVE}' --machine node0=x3-2 --machine node1=x3-2 \
+  --machine node2=x3-2 --machine node3=x3-2 \
+  --shards=2 --replace-margin=10 --socket='${WORK}/serve.sock' \
+  < /dev/null > '${WORK}/serve.out' 2> '${WORK}/serve.err' & \
+serve_pid=$!; \
+for i in $(seq 1 100); do [ -S '${WORK}/serve.sock' ] && break; sleep 0.1; done; \
+[ -S '${WORK}/serve.sock' ] || { echo 'daemon never opened its socket' >&2; exit 1; }; \
+'${LOADGEN}' --socket='${WORK}/serve.sock' --connections=2 --requests=200 \
+  --batch=2 --seed=3 --json-out='${WORK}/loadgen.json' \
+  2> '${WORK}/loadgen_closed.err'; \
+'${LOADGEN}' --socket='${WORK}/serve.sock' --mode=open --pattern=poisson \
+  --rate=2000 --requests=100 --seed=5 2> '${WORK}/loadgen_open.err'; \
+'${CLIENT}' --socket='${WORK}/serve.sock' 'STATUS' > '${WORK}/status.out'; \
+'${CLIENT}' --socket='${WORK}/serve.sock' 'SHUTDOWN' > '${WORK}/shutdown.out'; \
+wait $serve_pid"
+  RESULT_VARIABLE session_result
+  OUTPUT_VARIABLE session_output
+  ERROR_VARIABLE session_stderr
+)
+if(NOT session_result EQUAL 0)
+  message(FATAL_ERROR "scripted loadgen session failed (${session_result}):\n${session_output}\n${session_stderr}")
+endif()
+
+# Closed loop: every offered request admitted, none errored.
+file(READ ${WORK}/loadgen_closed.err closed_report)
+if(NOT closed_report MATCHES "200 admit\\(s\\) in ")
+  message(FATAL_ERROR "closed-loop run did not admit all 200 requests:\n${closed_report}")
+endif()
+if(NOT closed_report MATCHES "error\\(s\\)=0")
+  message(FATAL_ERROR "closed-loop run reported generator errors:\n${closed_report}")
+endif()
+
+# Open loop: the trace replayed to completion without errors.
+file(READ ${WORK}/loadgen_open.err open_report)
+if(NOT open_report MATCHES "100 admit\\(s\\) in ")
+  message(FATAL_ERROR "open-loop run did not admit all 100 requests:\n${open_report}")
+endif()
+if(NOT open_report MATCHES "error\\(s\\)=0")
+  message(FATAL_ERROR "open-loop run reported generator errors:\n${open_report}")
+endif()
+
+# The JSON report: google-benchmark shape with the rows the CI gate reads.
+file(READ ${WORK}/loadgen.json json_report)
+if(NOT json_report MATCHES "\"name\": \"LG_AdmitThroughput\"")
+  message(FATAL_ERROR "loadgen JSON is missing LG_AdmitThroughput:\n${json_report}")
+endif()
+if(NOT json_report MATCHES "\"items_per_second\": ([0-9.]+)")
+  message(FATAL_ERROR "loadgen JSON carries no items_per_second:\n${json_report}")
+endif()
+if(CMAKE_MATCH_1 LESS_EQUAL 0)
+  message(FATAL_ERROR "loadgen throughput is not positive (${CMAKE_MATCH_1}):\n${json_report}")
+endif()
+foreach(quantile P50 P90 P99)
+  if(NOT json_report MATCHES "\"name\": \"LG_AdmitLatency${quantile}\"")
+    message(FATAL_ERROR "loadgen JSON is missing LG_AdmitLatency${quantile}:\n${json_report}")
+  endif()
+endforeach()
+
+# The fleet survived the load: STATUS fans out across both shards, and no
+# loadgen job leaked past its DEPART.
+file(READ ${WORK}/status.out status_output)
+if(NOT status_output MATCHES "ok STATUS")
+  message(FATAL_ERROR "post-load STATUS failed:\n${status_output}")
+endif()
+if(NOT status_output MATCHES "shards = 2")
+  message(FATAL_ERROR "post-load STATUS is missing the shard count:\n${status_output}")
+endif()
+if(status_output MATCHES "job = lg-")
+  message(FATAL_ERROR "a loadgen job leaked past its DEPART:\n${status_output}")
+endif()

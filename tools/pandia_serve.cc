@@ -26,6 +26,15 @@
 //   --sync-interval=N    records per fsync under --sync=interval (default 32)
 //   --compact-min-records=N  automatic-compaction floor: never snapshot
 //                        before N records accumulated past the last one
+//   --replace-margin=X   relative speedup margin before DEPART/REBALANCE
+//                        re-places a neighbour (default 0.02; raise it to
+//                        make departures cheaper under heavy load)
+//   --shards=N           fleet mode: shard the machines across N placement
+//                        shards, each with its own journal
+//                        (<journal>.shard<k>) and telemetry (default 1:
+//                        plain single-rack service)
+//   --shard-policy=P     fleet admission routing: consistent-hash (default)
+//                        or least-loaded
 //   --socket=PATH        also listen on a Unix-domain socket at PATH
 //   --jobs=N, --trace-out=FILE, --metrics  (tools/tool_common.h; the
 //                        observability tables go to stderr — stdout carries
@@ -33,7 +42,9 @@
 #include <algorithm>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -49,7 +60,9 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --machine NAME=SPEC [--machine NAME=SPEC ...] "
                "[--policy=P] [--journal=FILE] [--sync=none|interval|every-record] "
-               "[--sync-interval=N] [--compact-min-records=N] [--socket=PATH] "
+               "[--sync-interval=N] [--compact-min-records=N] "
+               "[--replace-margin=X] [--shards=N] "
+               "[--shard-policy=consistent-hash|least-loaded] [--socket=PATH] "
                "[--jobs=N] [--trace-out=FILE] [--metrics] [--metrics-out=FILE]\n"
                "  SPEC: a machine-description file or a simulated machine "
                "(x5-2, x4-2, x3-2, x2-4)\n",
@@ -98,6 +111,8 @@ int main(int argc, char** argv) {
   std::vector<rack::RackMachine> machines;
   serve::ServiceOptions options;
   std::string socket_path;
+  int shards = 1;
+  rack::ShardPolicy shard_policy = rack::ShardPolicy::kConsistentHash;
   for (int i = 1; i < argc; ++i) {
     const tools::FlagParse parsed = common.Match(argv[i]);
     if (parsed == tools::FlagParse::kError) {
@@ -150,6 +165,29 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.compact_min_records = static_cast<uint64_t>(*value);
+    } else if (std::strncmp(argv[i], "--replace-margin=", 17) == 0) {
+      char* end = nullptr;
+      const double margin = std::strtod(argv[i] + 17, &end);
+      if (end == argv[i] + 17 || *end != '\0' || margin < 0.0) {
+        std::fprintf(stderr,
+                     "error: --replace-margin needs a non-negative number\n");
+        return 2;
+      }
+      options.replace_margin = margin;
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      const StatusOr<int> value = tools::ParseIntFlag(argv[i] + 9, "--shards");
+      if (!value.ok() || *value < 1) {
+        std::fprintf(stderr, "error: --shards needs a positive integer\n");
+        return 2;
+      }
+      shards = *value;
+    } else if (std::strncmp(argv[i], "--shard-policy=", 15) == 0) {
+      const StatusOr<rack::ShardPolicy> policy =
+          rack::ShardPolicyFromName(argv[i] + 15);
+      if (!policy.ok()) {
+        return tools::FailWith(policy.status());
+      }
+      shard_policy = *policy;
     } else if (std::strncmp(argv[i], "--socket=", 9) == 0) {
       socket_path = argv[i] + 9;
     } else {
@@ -164,25 +202,54 @@ int main(int argc, char** argv) {
   common.ActivateTracing();
   common.Apply(options.prediction.common);
 
-  StatusOr<serve::PlacementService> service =
-      serve::PlacementService::Create(std::move(machines), std::move(options));
-  if (!service.ok()) {
-    return tools::FailWith(service.status());
+  const size_t machine_count = machines.size();
+  // Fleet mode owns N services; single-rack mode keeps the plain service so
+  // a 1-shard daemon is byte-identical to the pre-fleet one.
+  std::unique_ptr<serve::FleetService> fleet;
+  std::unique_ptr<serve::PlacementService> single;
+  serve::RequestHandler* handler = nullptr;
+  int replayed = 0;
+  if (shards > 1) {
+    serve::FleetOptions fleet_options;
+    fleet_options.shards = shards;
+    fleet_options.shard_policy = shard_policy;
+    fleet_options.service = std::move(options);
+    StatusOr<std::unique_ptr<serve::FleetService>> created =
+        serve::FleetService::Create(std::move(machines), std::move(fleet_options));
+    if (!created.ok()) {
+      return tools::FailWith(created.status());
+    }
+    fleet = std::move(created).value();
+    for (int k = 0; k < fleet->num_shards(); ++k) {
+      replayed += fleet->shard(k).rack().JobCount();
+    }
+    handler = fleet.get();
+  } else {
+    StatusOr<serve::PlacementService> service =
+        serve::PlacementService::Create(std::move(machines), std::move(options));
+    if (!service.ok()) {
+      return tools::FailWith(service.status());
+    }
+    single = std::make_unique<serve::PlacementService>(std::move(service).value());
+    replayed = single->rack().JobCount();
+    handler = single.get();
   }
-  std::fprintf(stderr, "pandia_serve: %zu machine(s), %d job(s) replayed%s%s\n",
-               service->rack().machines().size(), service->rack().JobCount(),
+  std::fprintf(stderr,
+               "pandia_serve: %zu machine(s), %d shard(s), %d job(s) "
+               "replayed%s%s\n",
+               machine_count, shards, replayed,
                socket_path.empty() ? "" : ", listening on ",
                socket_path.c_str());
 
   Status served = Status::Ok();
   if (socket_path.empty()) {
-    served = serve::RunEventLoop(*service, /*stdin_fd=*/0, stdout, nullptr);
+    served = serve::RunEventLoop(*handler, /*stdin_fd=*/0, stdout, nullptr);
   } else {
     StatusOr<serve::SocketServer> server = serve::SocketServer::Listen(socket_path);
     if (!server.ok()) {
       return tools::FailWith(server.status());
     }
-    served = serve::RunEventLoop(*service, /*stdin_fd=*/0, stdout, &*server);
+    served = serve::RunEventLoop(*handler, /*stdin_fd=*/0, stdout, &*server);
   }
   if (!served.ok()) {
     return tools::FailWith(served);

@@ -19,6 +19,10 @@
 // restart. Only the connect is ever retried: a stream truncated
 // mid-response still exits 1 — a half-delivered answer must never be
 // mistaken for success.
+//
+// Built on serve::Client (src/serve/client.h): one connection, a HELLO
+// handshake, then every request line pipelined before the first response
+// block is read back.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -67,7 +71,7 @@ pandia::StatusOr<std::string> BuildAdmit(const std::string& spec) {
 int main(int argc, char** argv) {
   using namespace pandia;
   std::string socket_path;
-  serve::ExchangeOptions exchange;
+  serve::ClientOptions exchange;
   std::vector<std::string> requests;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--socket=", 9) == 0) {
@@ -103,54 +107,58 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "usage: %s --socket=PATH [request ...]\n", argv[0]);
     return 2;
   }
-  std::string request_text;
   if (requests.empty()) {
+    // Request lines from stdin until EOF; blank lines are no-ops the daemon
+    // never answers, so they are dropped here too.
+    std::string stdin_text;
     char chunk[4096];
     size_t n;
     while ((n = std::fread(chunk, 1, sizeof(chunk), stdin)) > 0) {
-      request_text.append(chunk, n);
+      stdin_text.append(chunk, n);
     }
-    if (!request_text.empty() && request_text.back() != '\n') {
-      request_text += '\n';
-    }
-  } else {
-    for (const std::string& request : requests) {
-      request_text += request;
-      request_text += '\n';
+    for (std::string& line : StrSplit(stdin_text, '\n')) {
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      if (!line.empty()) {
+        requests.push_back(std::move(line));
+      }
     }
   }
-  if (request_text.empty()) {
+  if (requests.empty()) {
     std::fprintf(stderr, "error: no requests to send\n");
     return 2;
   }
-  const StatusOr<std::string> response =
-      serve::SocketExchange(socket_path, request_text, exchange);
-  if (!response.ok()) {
-    return tools::FailWith(response.status(), socket_path);
+  StatusOr<serve::Client> client = serve::Client::Connect(socket_path, exchange);
+  if (!client.ok()) {
+    return tools::FailWith(client.status(), socket_path);
   }
-  std::fputs(response->c_str(), stdout);
-  // Any failed request fails the invocation. Responses are blocks
-  // terminated by a lone "." line; only each block's status line decides —
-  // payload rows are free-form and may themselves start with "err ".
+  // Pipeline: every request line goes out before the first response block
+  // is read back, then one block per request in order.
+  std::string batch;
+  for (const std::string& request : requests) {
+    batch += request;
+    batch += '\n';
+  }
+  if (Status sent = client->Send(batch); !sent.ok()) {
+    return tools::FailWith(sent, socket_path);
+  }
+  // Any failed request fails the invocation. Only each block's status line
+  // decides — payload rows are free-form and may themselves start with
+  // "err ".
   int exit_code = 0;
-  std::vector<std::string> block;
-  for (const std::string& line : StrSplit(*response, '\n')) {
-    block.push_back(line);
-    if (line != ".") {
-      continue;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const StatusOr<std::string> block = client->ReceiveRaw();
+    if (!block.ok()) {
+      std::fprintf(stderr, "error: truncated response block (%s)\n",
+                   std::string(block.status().message()).c_str());
+      return 1;
     }
-    const StatusOr<wire::Response> parsed = wire::ParseResponse(block);
+    std::fputs(block->c_str(), stdout);
+    const StatusOr<wire::Response> parsed =
+        wire::ParseResponse(StrSplit(block->substr(0, block->size() - 1), '\n'));
     if (!parsed.ok() || !parsed->ok) {
       exit_code = 1;
-    }
-    block.clear();
-  }
-  for (const std::string& line : block) {
-    if (!line.empty()) {
-      // Trailing lines with no terminator: the stream was cut mid-block.
-      std::fprintf(stderr, "error: truncated response block\n");
-      exit_code = 1;
-      break;
     }
   }
   return exit_code;

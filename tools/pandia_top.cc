@@ -93,41 +93,39 @@ struct PollResult {
   std::vector<std::string> telemetry;  // TELEMETRY payload lines
 };
 
+// One serve::Client connection per poll (reconnecting each frame rides
+// through daemon restarts), both requests pipelined in one round trip.
 StatusOr<PollResult> Poll(const std::string& socket_path) {
-  const StatusOr<std::string> exchanged =
-      serve::SocketExchange(socket_path, "METRICS format=expo\nTELEMETRY\n");
-  if (!exchanged.ok()) {
-    return exchanged.status();
+  StatusOr<serve::Client> client = serve::Client::Connect(socket_path);
+  if (!client.ok()) {
+    return client.status();
+  }
+  const std::vector<std::string> requests = {"METRICS format=expo",
+                                             "TELEMETRY"};
+  StatusOr<std::vector<wire::Response>> responses = client->CallMany(requests);
+  if (!responses.ok()) {
+    return responses.status();
   }
   PollResult result;
-  std::vector<std::string> block;
-  for (const std::string& line : StrSplit(*exchanged, '\n')) {
-    block.push_back(line);
-    if (line != ".") {
-      continue;
+  for (const wire::Response& response : *responses) {
+    if (!response.ok) {
+      return Status(response.code, response.error);
     }
-    const StatusOr<wire::Response> response = wire::ParseResponse(block);
-    block.clear();
-    if (!response.ok()) {
-      return response.status();
-    }
-    if (!response->ok) {
-      return Status(response->code, response->error);
-    }
-    if (response->verb == "METRICS") {
-      for (const std::string& payload : response->payload) {
+    if (response.verb == "METRICS") {
+      for (const std::string& payload : response.payload) {
         ParseExpoLine(payload, result.expo);
       }
-    } else if (response->verb == "TELEMETRY") {
-      result.telemetry = response->payload;
+    } else if (response.verb == "TELEMETRY") {
+      result.telemetry = response.payload;
     }
   }
   return result;
 }
 
-constexpr const char* kVerbs[] = {"admit",     "depart",   "rebalance",
-                                  "status",    "metrics",  "telemetry",
-                                  "recorder",  "shutdown", "other"};
+constexpr const char* kVerbs[] = {"hello",     "admit",    "depart",
+                                  "rebalance", "status",   "metrics",
+                                  "telemetry", "recorder", "shutdown",
+                                  "other"};
 
 void Render(const PollResult& poll, const ExpoSnapshot* previous,
             double interval_s, int frame, const std::string& socket_path) {
