@@ -1,0 +1,259 @@
+#include "src/lint/lexer.h"
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace pandia {
+namespace lint {
+namespace {
+
+// True when the '"' at `pos` opens a raw string literal: it is directly
+// preceded by an encoding prefix ending in R (R", u8R", uR", UR", LR") that
+// is itself not the tail of a longer identifier.
+bool IsRawStringQuote(std::string_view content, size_t pos) {
+  if (pos == 0 || content[pos - 1] != 'R') return false;
+  size_t start = pos - 1;  // first char of the prefix
+  if (start >= 2 && content[start - 2] == 'u' && content[start - 1] == '8') {
+    start -= 2;
+  } else if (start >= 1 && (content[start - 1] == 'u' || content[start - 1] == 'U' ||
+                            content[start - 1] == 'L')) {
+    start -= 1;
+  }
+  return start == 0 || !IsIdentChar(content[start - 1]);
+}
+
+}  // namespace
+
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+int LineOfOffset(std::string_view content, size_t offset) {
+  int line = 1;
+  for (size_t i = 0; i < offset && i < content.size(); ++i) {
+    if (content[i] == '\n') ++line;
+  }
+  return line;
+}
+
+SeparatedSource Separate(std::string_view content) {
+  SeparatedSource out;
+  out.code.assign(content.size(), ' ');
+  out.comments.assign(content.size(), ' ');
+  for (size_t i = 0; i < content.size(); ++i) {
+    if (content[i] == '\n') {
+      out.code[i] = '\n';
+      out.comments[i] = '\n';
+    }
+  }
+
+  // Literals are discovered in offset order, so their line numbers are
+  // computed with one incremental newline scan instead of LineOfOffset's
+  // from-the-top walk per literal.
+  size_t counted_to = 0;
+  int line_at_counted = 1;
+  auto line_of = [&](size_t offset) {
+    for (; counted_to < offset && counted_to < content.size(); ++counted_to) {
+      if (content[counted_to] == '\n') ++line_at_counted;
+    }
+    return line_at_counted;
+  };
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  size_t string_start = 0;   // offset of the opening quote (kString only)
+  std::string string_text;   // body of the literal being scanned
+  size_t i = 0;
+  while (i < content.size()) {
+    char c = content[i];
+    switch (state) {
+      case State::kCode: {
+        if (c == '/' && i + 1 < content.size() && content[i + 1] == '/') {
+          state = State::kLineComment;
+          i += 2;
+          break;
+        }
+        if (c == '/' && i + 1 < content.size() && content[i + 1] == '*') {
+          state = State::kBlockComment;
+          i += 2;
+          break;
+        }
+        if (c == '"' && IsRawStringQuote(content, i)) {
+          // R"delim( ... )delim" — no escapes inside; skip to the matching
+          // close sequence (or end of file for an unterminated literal).
+          size_t open = content.find('(', i + 1);
+          if (open == std::string_view::npos) {
+            i = content.size();
+            break;
+          }
+          std::string closer = ")";
+          closer.append(content.substr(i + 1, open - i - 1));
+          closer.push_back('"');
+          size_t close = content.find(closer, open + 1);
+          size_t body_end = close == std::string_view::npos ? content.size() : close;
+          Literal literal;
+          literal.offset = i;
+          literal.line = line_of(i);
+          literal.text = std::string(content.substr(open + 1, body_end - open - 1));
+          out.literals.push_back(std::move(literal));
+          i = close == std::string_view::npos ? content.size()
+                                              : close + closer.size();
+          break;
+        }
+        if (c == '"') {
+          state = State::kString;
+          string_start = i;
+          string_text.clear();
+          ++i;
+          break;
+        }
+        // A ' is a char literal only when it does not follow an identifier
+        // character (digit separators like 1'000'000 stay code).
+        if (c == '\'' && (i == 0 || !IsIdentChar(content[i - 1]))) {
+          state = State::kChar;
+          ++i;
+          break;
+        }
+        if (c != '\n') out.code[i] = c;
+        ++i;
+        break;
+      }
+      case State::kLineComment: {
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out.comments[i] = c;
+        }
+        ++i;
+        break;
+      }
+      case State::kBlockComment: {
+        if (c == '*' && i + 1 < content.size() && content[i + 1] == '/') {
+          state = State::kCode;
+          i += 2;
+          break;
+        }
+        if (c != '\n') out.comments[i] = c;
+        ++i;
+        break;
+      }
+      case State::kString:
+      case State::kChar: {
+        if (c == '\\' && i + 1 < content.size()) {
+          if (state == State::kString) {
+            string_text.push_back(c);
+            string_text.push_back(content[i + 1]);
+          }
+          i += 2;
+          break;
+        }
+        if (state == State::kString && c == '"') {
+          Literal literal;
+          literal.offset = string_start;
+          literal.line = line_of(string_start);
+          literal.text = std::move(string_text);
+          out.literals.push_back(std::move(literal));
+          string_text.clear();
+          state = State::kCode;
+        } else if (state == State::kChar && c == '\'') {
+          state = State::kCode;
+        } else if (state == State::kString && c != '\n') {
+          string_text.push_back(c);
+        }
+        ++i;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> SplitLines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+size_t FindToken(std::string_view text, std::string_view token, size_t from) {
+  for (size_t pos = text.find(token, from); pos != std::string_view::npos;
+       pos = text.find(token, pos + 1)) {
+    bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+    size_t end = pos + token.size();
+    bool right_ok = end >= text.size() || !IsIdentChar(text[end]);
+    if (left_ok && right_ok) return pos;
+  }
+  return std::string_view::npos;
+}
+
+bool HasToken(std::string_view text, std::string_view token) {
+  return FindToken(text, token, 0) != std::string_view::npos;
+}
+
+bool HasCall(std::string_view text, std::string_view name) {
+  for (size_t pos = FindToken(text, name, 0); pos != std::string_view::npos;
+       pos = FindToken(text, name, pos + 1)) {
+    size_t after = pos + name.size();
+    while (after < text.size() && (text[after] == ' ' || text[after] == '\t')) {
+      ++after;
+    }
+    if (after < text.size() && text[after] == '(') return true;
+  }
+  return false;
+}
+
+std::map<int, std::set<std::string>> CollectAllows(
+    const std::vector<std::string_view>& comment_lines) {
+  std::map<int, std::set<std::string>> allows;
+  constexpr std::string_view kDirective = "pandia-lint:";
+  for (size_t li = 0; li < comment_lines.size(); ++li) {
+    std::string_view line = comment_lines[li];
+    for (size_t pos = line.find(kDirective); pos != std::string_view::npos;
+         pos = line.find(kDirective, pos + 1)) {
+      size_t p = pos + kDirective.size();
+      while (p < line.size() && line[p] == ' ') ++p;
+      constexpr std::string_view kAllow = "allow(";
+      if (!StartsWith(line.substr(p), kAllow)) continue;
+      p += kAllow.size();
+      size_t close = line.find(')', p);
+      if (close == std::string_view::npos) continue;
+      std::string_view args = line.substr(p, close - p);
+      size_t start = 0;
+      while (start <= args.size()) {
+        size_t comma = args.find(',', start);
+        std::string_view name = comma == std::string_view::npos
+                                    ? args.substr(start)
+                                    : args.substr(start, comma - start);
+        while (!name.empty() && name.front() == ' ') name.remove_prefix(1);
+        while (!name.empty() && name.back() == ' ') name.remove_suffix(1);
+        if (!name.empty()) {
+          allows[static_cast<int>(li) + 1].emplace(name);
+        }
+        if (comma == std::string_view::npos) break;
+        start = comma + 1;
+      }
+    }
+  }
+  return allows;
+}
+
+}  // namespace lint
+}  // namespace pandia

@@ -9,193 +9,11 @@
 #include <utility>
 #include <vector>
 
+#include "src/lint/lexer.h"
+
 namespace pandia {
 namespace lint {
 namespace {
-
-bool IsIdentChar(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-         (c >= '0' && c <= '9') || c == '_';
-}
-
-bool StartsWith(std::string_view s, std::string_view prefix) {
-  return s.substr(0, prefix.size()) == prefix;
-}
-
-bool EndsWith(std::string_view s, std::string_view suffix) {
-  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
-}
-
-// The separation pass. Produces two buffers the same length as `content`:
-// `code` holds the program text with comments and string/char literals
-// blanked to spaces, `comments` holds the comment text with everything else
-// blanked. Newlines survive in both so byte offsets map to the same line
-// numbers everywhere. This is what keeps the linter from flagging its own
-// rule names in doc comments or the forbidden tokens inside test-fixture
-// string literals.
-struct SeparatedSource {
-  std::string code;
-  std::string comments;
-};
-
-// True when the '"' at `pos` opens a raw string literal: it is directly
-// preceded by an encoding prefix ending in R (R", u8R", uR", UR", LR") that
-// is itself not the tail of a longer identifier.
-bool IsRawStringQuote(std::string_view content, size_t pos) {
-  if (pos == 0 || content[pos - 1] != 'R') return false;
-  size_t start = pos - 1;  // first char of the prefix
-  if (start >= 2 && content[start - 2] == 'u' && content[start - 1] == '8') {
-    start -= 2;
-  } else if (start >= 1 && (content[start - 1] == 'u' || content[start - 1] == 'U' ||
-                            content[start - 1] == 'L')) {
-    start -= 1;
-  }
-  return start == 0 || !IsIdentChar(content[start - 1]);
-}
-
-SeparatedSource Separate(std::string_view content) {
-  SeparatedSource out;
-  out.code.assign(content.size(), ' ');
-  out.comments.assign(content.size(), ' ');
-  for (size_t i = 0; i < content.size(); ++i) {
-    if (content[i] == '\n') {
-      out.code[i] = '\n';
-      out.comments[i] = '\n';
-    }
-  }
-
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  size_t i = 0;
-  while (i < content.size()) {
-    char c = content[i];
-    switch (state) {
-      case State::kCode: {
-        if (c == '/' && i + 1 < content.size() && content[i + 1] == '/') {
-          state = State::kLineComment;
-          i += 2;
-          break;
-        }
-        if (c == '/' && i + 1 < content.size() && content[i + 1] == '*') {
-          state = State::kBlockComment;
-          i += 2;
-          break;
-        }
-        if (c == '"' && IsRawStringQuote(content, i)) {
-          // R"delim( ... )delim" — no escapes inside; skip to the matching
-          // close sequence (or end of file for an unterminated literal).
-          size_t open = content.find('(', i + 1);
-          if (open == std::string_view::npos) {
-            i = content.size();
-            break;
-          }
-          std::string closer = ")";
-          closer.append(content.substr(i + 1, open - i - 1));
-          closer.push_back('"');
-          size_t close = content.find(closer, open + 1);
-          i = close == std::string_view::npos ? content.size()
-                                              : close + closer.size();
-          break;
-        }
-        if (c == '"') {
-          state = State::kString;
-          ++i;
-          break;
-        }
-        // A ' is a char literal only when it does not follow an identifier
-        // character (digit separators like 1'000'000 stay code).
-        if (c == '\'' && (i == 0 || !IsIdentChar(content[i - 1]))) {
-          state = State::kChar;
-          ++i;
-          break;
-        }
-        if (c != '\n') out.code[i] = c;
-        ++i;
-        break;
-      }
-      case State::kLineComment: {
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out.comments[i] = c;
-        }
-        ++i;
-        break;
-      }
-      case State::kBlockComment: {
-        if (c == '*' && i + 1 < content.size() && content[i + 1] == '/') {
-          state = State::kCode;
-          i += 2;
-          break;
-        }
-        if (c != '\n') out.comments[i] = c;
-        ++i;
-        break;
-      }
-      case State::kString:
-      case State::kChar: {
-        if (c == '\\' && i + 1 < content.size()) {
-          i += 2;
-          break;
-        }
-        if ((state == State::kString && c == '"') ||
-            (state == State::kChar && c == '\'')) {
-          state = State::kCode;
-        }
-        ++i;
-        break;
-      }
-    }
-  }
-  return out;
-}
-
-std::vector<std::string_view> SplitLines(std::string_view text) {
-  std::vector<std::string_view> lines;
-  size_t start = 0;
-  while (start <= text.size()) {
-    size_t nl = text.find('\n', start);
-    if (nl == std::string_view::npos) {
-      lines.push_back(text.substr(start));
-      break;
-    }
-    lines.push_back(text.substr(start, nl - start));
-    start = nl + 1;
-  }
-  return lines;
-}
-
-// Position of the next whole-identifier occurrence of `token` in `line` at
-// or after `from`, or npos. Both neighbors must be non-identifier characters
-// so "rand" does not match inside "srand" or "operand".
-size_t FindToken(std::string_view line, std::string_view token, size_t from) {
-  for (size_t pos = line.find(token, from); pos != std::string_view::npos;
-       pos = line.find(token, pos + 1)) {
-    bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
-    size_t end = pos + token.size();
-    bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
-    if (left_ok && right_ok) return pos;
-  }
-  return std::string_view::npos;
-}
-
-bool HasToken(std::string_view line, std::string_view token) {
-  return FindToken(line, token, 0) != std::string_view::npos;
-}
-
-// True when a whole-identifier occurrence of `name` is followed (after
-// optional spaces) by '(' — a call like abort(), exit(0), srand(seed).
-bool HasCall(std::string_view line, std::string_view name) {
-  for (size_t pos = FindToken(line, name, 0); pos != std::string_view::npos;
-       pos = FindToken(line, name, pos + 1)) {
-    size_t after = pos + name.size();
-    while (after < line.size() && (line[after] == ' ' || line[after] == '\t')) {
-      ++after;
-    }
-    if (after < line.size() && line[after] == '(') return true;
-  }
-  return false;
-}
 
 // True for time(nullptr) / time(NULL) — the classic unseeded-clock seed.
 bool HasTimeNullCall(std::string_view line) {
@@ -225,44 +43,6 @@ bool HasTimeNullCall(std::string_view line) {
     if (after < line.size() && line[after] == ')') return true;
   }
   return false;
-}
-
-// Per-line suppression directives gathered from comment text:
-//   // pandia-lint: allow(rule)            one rule
-//   // pandia-lint: allow(rule-a, rule-b)  several
-std::map<int, std::set<std::string>> CollectAllows(
-    const std::vector<std::string_view>& comment_lines) {
-  std::map<int, std::set<std::string>> allows;
-  constexpr std::string_view kDirective = "pandia-lint:";
-  for (size_t li = 0; li < comment_lines.size(); ++li) {
-    std::string_view line = comment_lines[li];
-    for (size_t pos = line.find(kDirective); pos != std::string_view::npos;
-         pos = line.find(kDirective, pos + 1)) {
-      size_t p = pos + kDirective.size();
-      while (p < line.size() && line[p] == ' ') ++p;
-      constexpr std::string_view kAllow = "allow(";
-      if (!StartsWith(line.substr(p), kAllow)) continue;
-      p += kAllow.size();
-      size_t close = line.find(')', p);
-      if (close == std::string_view::npos) continue;
-      std::string_view args = line.substr(p, close - p);
-      size_t start = 0;
-      while (start <= args.size()) {
-        size_t comma = args.find(',', start);
-        std::string_view name = comma == std::string_view::npos
-                                    ? args.substr(start)
-                                    : args.substr(start, comma - start);
-        while (!name.empty() && name.front() == ' ') name.remove_prefix(1);
-        while (!name.empty() && name.back() == ' ') name.remove_suffix(1);
-        if (!name.empty()) {
-          allows[static_cast<int>(li) + 1].emplace(name);
-        }
-        if (comma == std::string_view::npos) break;
-        start = comma + 1;
-      }
-    }
-  }
-  return allows;
 }
 
 struct Sink {
@@ -519,6 +299,40 @@ void CheckNoRawJournalIo(const Sink& sink,
   }
 }
 
+// no-raw-poll-io — the Poller abstraction and the socket helpers in
+// src/serve/socket.cc (plus the shared plumbing in socket_internal.h) own
+// every raw event-loop and socket-creation syscall. A stray epoll_ctl or
+// socket() elsewhere is a second event-loop entry point: it bypasses the
+// nonblocking/backpressure/pipelining contracts the one loop enforces.
+void CheckNoRawPollIo(const Sink& sink,
+                      const std::vector<std::string_view>& code_lines) {
+  if (!StartsWith(sink.path, "src/")) return;
+  if (EndsWith(sink.path, "serve/socket.cc") ||
+      EndsWith(sink.path, "serve/socket_internal.h")) {
+    return;
+  }
+  static constexpr std::string_view kCalls[] = {
+      "epoll_create", "epoll_create1", "epoll_ctl", "epoll_wait",
+      "poll",         "ppoll",         "select",    "socket",
+      "accept",       "accept4",
+  };
+  for (size_t li = 0; li < code_lines.size(); ++li) {
+    std::string_view line = code_lines[li];
+    const int lineno = static_cast<int>(li) + 1;
+    for (std::string_view call : kCalls) {
+      if (HasCall(line, call)) {
+        sink.Report(lineno, "no-raw-poll-io",
+                    std::string(call) +
+                        "() outside src/serve/socket.cc and "
+                        "socket_internal.h; event-loop and socket syscalls "
+                        "go through the Poller/SocketServer/Client "
+                        "abstractions so the one event loop keeps its "
+                        "nonblocking and backpressure contracts");
+      }
+    }
+  }
+}
+
 // todo-owner — every TODO(owner) must actually name the owner.
 void CheckTodoOwner(const Sink& sink,
                     const std::vector<std::string_view>& comment_lines) {
@@ -560,6 +374,10 @@ const std::vector<RuleInfo>& Rules() {
        "no direct file I/O (fopen/fwrite/fflush/fsync/rename/...) in "
        "src/serve/ outside journal.cc; the Journal class owns every journal "
        "byte"},
+      {"no-raw-poll-io",
+       "no raw event-loop/socket syscalls (epoll_*/poll/select/socket/"
+       "accept) in src/ outside serve/socket.cc and socket_internal.h; the "
+       "Poller abstraction is the only event-loop entry point"},
       {"todo-owner", "TODO comments must name an owner: TODO(name): ..."},
       {"metric-name",
        "instrument names at counter(/gauge(/histogram( call sites follow "
@@ -582,6 +400,7 @@ std::vector<Finding> LintFile(std::string_view path, std::string_view content) {
   CheckUnseededRand(sink, code_lines);
   CheckUnorderedWire(sink, code_lines);
   CheckNoRawJournalIo(sink, code_lines);
+  CheckNoRawPollIo(sink, code_lines);
   CheckTodoOwner(sink, comment_lines);
   CheckMetricName(sink, code_lines, raw_lines);
 

@@ -20,7 +20,17 @@
 //   unordered-wire  unordered containers in src/serialize/ or src/serve/
 //                   risk hash-order-dependent wire output; serialization
 //                   paths iterate ordered containers only.
+//   no-raw-journal-io  direct file I/O in src/serve/ outside journal.cc;
+//                   serve::Journal owns framing, fsync policy, compaction.
+//   no-raw-poll-io  raw event-loop/socket syscalls (epoll_*/poll/select/
+//                   socket/accept) outside serve/socket.cc and
+//                   socket_internal.h; the Poller is the one event loop.
 //   todo-owner      TODOs must name an owner: TODO(name): ...
+//   metric-name     instrument names at counter(/gauge(/histogram( sites
+//                   follow subsystem.dotted_lowercase.
+//
+// Cross-file rules (lock-order, discarded-status, wire-verb-drift,
+// metric-drift) live in the whole-program analyzer, src/lint/analyze.h.
 //
 // Any finding can be suppressed on its line with a trailing comment:
 //

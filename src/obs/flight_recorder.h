@@ -62,7 +62,8 @@ class FlightRecorder {
   void Clear() PANDIA_EXCLUDES(mu_);
 
  private:
-  mutable util::Mutex mu_;
+  mutable util::Mutex mu_{"obs.flight_recorder",
+                          util::kLockRankObsFlightRecorder};
   std::vector<FlightEvent> ring_;  // fixed size; slot i valid when seq > 0
   size_t next_ PANDIA_GUARDED_BY(mu_) = 0;  // ring_ index of the next write
   uint64_t recorded_ PANDIA_GUARDED_BY(mu_) = 0;

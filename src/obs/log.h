@@ -116,7 +116,7 @@ class EventLog {
 
   std::atomic<int> min_level_{static_cast<int>(LogLevel::kInfo)};
   std::atomic<uint64_t> suppressed_{0};
-  mutable util::Mutex mu_;
+  mutable util::Mutex mu_{"obs.log", util::kLockRankObsLog};
   std::FILE* stream_ PANDIA_GUARDED_BY(mu_) = nullptr;  // nullptr => stderr
   std::FILE* file_sink_ PANDIA_GUARDED_BY(mu_) = nullptr;
   int burst_ PANDIA_GUARDED_BY(mu_) = 10;

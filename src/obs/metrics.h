@@ -152,7 +152,7 @@ class MetricsRegistry {
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
   };
-  mutable util::Mutex mu_;
+  mutable util::Mutex mu_{"obs.metrics", util::kLockRankObsMetrics};
   std::map<std::string, Entry, std::less<>> entries_ PANDIA_GUARDED_BY(mu_);
 };
 

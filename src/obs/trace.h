@@ -71,7 +71,8 @@ class Tracer {
 
   // --- used by TraceSpan ---
   struct ThreadBuffer {
-    util::Mutex mu;  // serializes Append vs export
+    // serializes Append vs export
+    util::Mutex mu{"obs.trace_buffer", util::kLockRankObsTraceBuffer};
     std::vector<TraceEvent> events PANDIA_GUARDED_BY(mu);
     int open_depth = 0;  // touched only by the owning thread
     uint32_t tid = 0;    // written once at registration, then read-only
@@ -86,7 +87,7 @@ class Tracer {
   int64_t epoch_ns_ = 0;
   // Guards buffers_ registration and iteration; individual events are
   // guarded per buffer, so recording threads never contend on the tracer.
-  mutable util::Mutex mu_;
+  mutable util::Mutex mu_{"obs.trace", util::kLockRankObsTrace};
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_ PANDIA_GUARDED_BY(mu_);
 };
 

@@ -114,7 +114,8 @@ class PredictionCache {
     uint64_t generation = 0;
   };
   struct Shard {
-    mutable util::Mutex mu;
+    mutable util::Mutex mu{"predictor.cache_shard",
+                           util::kLockRankPredictorCacheShard};
     std::unordered_map<PredictionCacheKey, Entry, KeyHash> entries
         PANDIA_GUARDED_BY(mu);
     // Insertion order, for eviction.

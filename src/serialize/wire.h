@@ -57,6 +57,25 @@ namespace wire {
 
 inline constexpr int kProtocolVersion = 1;
 
+// The canonical verb inventory — the single source of truth that the
+// whole-program analyzer (pandia_analyze, rule `wire-verb-drift`) checks
+// against both dispatchers (serve/service.cc, serve/fleet_service.cc) and
+// against the documented protocol in DESIGN.md. Adding a verb means adding
+// it here, dispatching it in both services, and documenting it, or the
+// analyzer fails CI. Sorted; uppercase per the VERB grammar above.
+inline constexpr std::string_view kVerbs[] = {
+    "ADMIT",    "COMPACT",  "DEPART",   "HELLO",    "METRICS",
+    "RECORDER", "REBALANCE", "SHUTDOWN", "STATUS",   "TELEMETRY",
+};
+
+// Journal-record verbs: the request grammar reused for mutation-journal
+// payloads (see src/serve/journal.h). Replayed by PlacementService only —
+// never dispatched by the fleet, never sent by clients. JOB is the
+// sub-record a SNAPSHOT embeds, one per resident job.
+inline constexpr std::string_view kJournalRecordVerbs[] = {
+    "ADMITTED", "DEPARTED", "JOB", "MOVED", "NOTE", "SNAPSHOT",
+};
+
 // Escapes backslash, newline, carriage return, tab, and space so any text
 // travels as one token on a request line. Round-trips exactly.
 std::string EscapeValue(std::string_view raw);

@@ -1,13 +1,14 @@
 #include "src/serve/client.h"
 
-#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "src/serve/socket_internal.h"
@@ -29,15 +30,11 @@ StatusOr<int> ConnectWithRetry(const sockaddr_un& addr, const std::string& path,
                                const ClientOptions& options) {
   int backoff_ms = options.backoff_initial_ms > 0 ? options.backoff_initial_ms : 1;
   for (int attempt = 0;; ++attempt) {
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0) {
-      return ErrnoStatus("cannot create socket", path);
-    }
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+    const int fd = sock_internal::ConnectStream(addr);
+    if (fd >= 0) {
       return fd;
     }
     const int connect_errno = errno;
-    ::close(fd);
     const bool retryable =
         connect_errno == ECONNREFUSED || connect_errno == ENOENT;
     if (!retryable || attempt >= options.retries) {
@@ -46,7 +43,7 @@ StatusOr<int> ConnectWithRetry(const sockaddr_un& addr, const std::string& path,
           attempt > 0 ? "cannot connect (retries exhausted)" : "cannot connect",
           path);
     }
-    ::poll(nullptr, 0, backoff_ms);  // portable millisecond sleep
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
     if (backoff_ms < 1 << 20) {
       backoff_ms *= 2;
     }

@@ -110,8 +110,13 @@ wire::Response FleetService::Dispatch(const wire::Request& request) {
     }
     return response;
   }
-  // METRICS (the obs registry is process-global) and unknown verbs: shard 0
-  // answers for the fleet, including the canonical unknown-verb error.
+  if (request.verb == "METRICS") {
+    // The obs registry is process-global, so any shard's answer is the
+    // fleet's; shard 0 speaks for all.
+    return shards_.front()->Handle(request);
+  }
+  // Unknown verbs: shard 0 answers for the fleet with the canonical
+  // unknown-verb error.
   return shards_.front()->Handle(request);
 }
 

@@ -116,7 +116,7 @@ class FleetService : public RequestHandler {
   rack::Fleet fleet_;     // immutable after construction
   // Serializes every fleet request: routing reads of shard state must be
   // atomic with the forwarded mutation.
-  mutable util::Mutex mu_;
+  mutable util::Mutex mu_{"serve.fleet", util::kLockRankServeFleet};
   std::vector<std::unique_ptr<PlacementService>> shards_;
 };
 

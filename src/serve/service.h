@@ -211,7 +211,7 @@ class PlacementService : public RequestHandler {
 
   ServiceOptions options_;  // immutable after construction
   // Serializes every request against the mutable daemon state below.
-  mutable util::Mutex mu_;
+  mutable util::Mutex mu_{"serve.service", util::kLockRankServeService};
   rack::Rack rack_ PANDIA_GUARDED_BY(mu_);
   std::unique_ptr<Journal> journal_ PANDIA_GUARDED_BY(mu_);  // null: disabled
   bool shutdown_ PANDIA_GUARDED_BY(mu_) = false;

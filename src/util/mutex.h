@@ -28,32 +28,88 @@
 // CondVar deliberately has no predicate overload: a predicate lambda is a
 // separate function to the analysis and reads of guarded state inside it
 // would be flagged (or worse, silently unchecked). Spell the wait loop out.
+//
+// Mutexes optionally carry a name and a rank (the kLockRank* constants
+// below): ranked mutexes participate in the runtime lock-rank check
+// (src/util/lock_rank.h), which enforces the strictly-ascending acquisition
+// order that the static lock-order analysis (pandia_analyze) derives from
+// the source. CondVar::Wait releases and re-acquires the native mutex
+// directly, so the held-rank stack is untouched across a wait — the lock is
+// conceptually held the whole time.
 #ifndef PANDIA_SRC_UTIL_MUTEX_H_
 #define PANDIA_SRC_UTIL_MUTEX_H_
 
 #include <condition_variable>
 #include <mutex>
 
+#include "src/util/lock_rank.h"
 #include "src/util/thread_annotations.h"
 
 namespace pandia {
 namespace util {
+
+// Lock ranks — the repo-wide acquisition order, strictly ascending: a thread
+// holding a ranked mutex may only acquire mutexes of *greater* rank. The
+// values come from the topological order of the static lock-ordering digraph
+// (`pandia_analyze`, rule `lock-order`); the runtime checker in
+// src/util/lock_rank.h enforces the same order under the concurrency
+// regression tests. Gaps are deliberate so a new lock slots in without
+// renumbering. When adding a lock: place it in the digraph (what does it
+// nest inside? what nests inside it?), pick a value between its neighbors,
+// and name the mutex at its declaration:
+//
+//   util::Mutex mu_{"serve.service", util::kLockRankServeService};
+inline constexpr int kLockRankUnranked = -1;
+inline constexpr int kLockRankServeFleet = 10;        // fleet admission/route state
+inline constexpr int kLockRankServeService = 20;      // per-rack service state
+inline constexpr int kLockRankParallelPool = 30;      // ThreadPool queue
+inline constexpr int kLockRankParallelDone = 35;      // ParallelFor completion latch
+inline constexpr int kLockRankPredictorCacheShard = 40;  // prediction-cache shard
+inline constexpr int kLockRankObsMetrics = 50;        // metrics registry
+inline constexpr int kLockRankObsTrace = 55;          // tracer registry
+inline constexpr int kLockRankObsTraceBuffer = 56;    // per-thread trace buffer
+inline constexpr int kLockRankObsLog = 60;            // log sink
+inline constexpr int kLockRankObsFlightRecorder = 65;  // flight-recorder ring
 
 class CondVar;
 
 class PANDIA_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  // A named, ranked mutex participating in the runtime lock-rank check.
+  // `name` must outlive the mutex (string literals only).
+  Mutex(const char* name, int rank) : name_(name), rank_(rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() PANDIA_ACQUIRE() { mu_.lock(); }
-  void Unlock() PANDIA_RELEASE() { mu_.unlock(); }
-  bool TryLock() PANDIA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() PANDIA_ACQUIRE() {
+    if (rank_ != kLockRankUnranked && LockRankCheckingEnabled()) {
+      lock_rank_internal::OnLock(this, name_, rank_);
+    }
+    mu_.lock();
+  }
+  void Unlock() PANDIA_RELEASE() {
+    mu_.unlock();
+    if (rank_ != kLockRankUnranked && LockRankCheckingEnabled()) {
+      lock_rank_internal::OnUnlock(this);
+    }
+  }
+  bool TryLock() PANDIA_TRY_ACQUIRE(true) {
+    const bool acquired = mu_.try_lock();
+    if (acquired && rank_ != kLockRankUnranked && LockRankCheckingEnabled()) {
+      lock_rank_internal::OnTryLock(this, name_, rank_);
+    }
+    return acquired;
+  }
+
+  const char* name() const { return name_; }
+  int rank() const { return rank_; }
 
  private:
   friend class CondVar;
   std::mutex mu_;
+  const char* name_ = nullptr;
+  int rank_ = kLockRankUnranked;
 };
 
 // RAII lock: held for the lifetime of the object.

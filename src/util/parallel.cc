@@ -135,7 +135,7 @@ void ParallelFor(size_t n, int jobs, const std::function<void(size_t)>& fn) {
     }
   };
 
-  Mutex done_mu;
+  Mutex done_mu{"parallel.done", kLockRankParallelDone};
   CondVar done_cv;
   size_t outstanding = chunks - 1;  // guarded by done_mu
   ThreadPool& pool = ThreadPool::Shared();

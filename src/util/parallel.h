@@ -82,7 +82,7 @@ class ThreadPool {
  private:
   void WorkerLoop() PANDIA_EXCLUDES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"parallel.pool", kLockRankParallelPool};
   CondVar cv_;
   std::deque<std::function<void()>> queue_ PANDIA_GUARDED_BY(mu_);
   bool stop_ PANDIA_GUARDED_BY(mu_) = false;

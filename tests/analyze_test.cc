@@ -1,0 +1,553 @@
+// src/lint/analyze.h: the whole-program analyzer's engine on synthetic
+// multi-file trees — lock-order cycles come back with exact witness paths,
+// every drift rule fires in both directions, discarded-status sees through
+// qualifier chains, and allow() suppresses on the anchor line — plus the
+// runtime half of the deadlock defense (src/util/lock_rank.h): a conforming
+// ascending acquisition order passes, an inversion dies naming both locks.
+// The final test analyzes the real repo and requires zero findings, so the
+// in-tree ctest and this unit suite can never drift apart.
+//
+// Fixture sources live in string literals, which the shared lexer blanks
+// out of the code buffer — so this file being indexed by the real
+// pandia_analyze run cannot leak fixture facts into the repo's own graph.
+#include "src/lint/analyze.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/util/lock_rank.h"
+#include "src/util/mutex.h"
+
+namespace pandia {
+namespace lint {
+namespace {
+
+std::vector<Finding> RunAnalyzer(const std::vector<SourceFile>& files) {
+  return AnalyzeFiles(files).findings;
+}
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(AnalyzerRegistry, ListsEveryCrossFileRule) {
+  const std::vector<RuleInfo>& rules = AnalyzerRules();
+  ASSERT_EQ(rules.size(), 4u);
+  EXPECT_EQ(rules[0].name, "lock-order");
+  EXPECT_EQ(rules[1].name, "discarded-status");
+  EXPECT_EQ(rules[2].name, "wire-verb-drift");
+  EXPECT_EQ(rules[3].name, "metric-drift");
+  for (const RuleInfo& rule : rules) EXPECT_FALSE(rule.summary.empty());
+}
+
+// --- lock-order ----------------------------------------------------------
+
+// Three locks, three functions, one a -> b -> c -> a cycle.
+std::vector<SourceFile> CycleTree() {
+  return {{"src/x/x.cc",
+           "#include \"src/util/mutex.h\"\n"       // 1
+           "util::Mutex a_mu{\"x.a\"};\n"          // 2
+           "util::Mutex b_mu{\"x.b\"};\n"          // 3
+           "util::Mutex c_mu{\"x.c\"};\n"          // 4
+           "void F1() {\n"                         // 5
+           "  util::MutexLock g1(a_mu);\n"         // 6
+           "  util::MutexLock g2(b_mu);\n"         // 7
+           "}\n"                                   // 8
+           "void F2() {\n"                         // 9
+           "  util::MutexLock g1(b_mu);\n"         // 10
+           "  util::MutexLock g2(c_mu);\n"         // 11
+           "}\n"                                   // 12
+           "void F3() {\n"                         // 13
+           "  util::MutexLock g1(c_mu);\n"         // 14
+           "  util::MutexLock g2(a_mu);\n"         // 15
+           "}\n"}};                                // 16
+}
+
+TEST(LockOrder, ThreeLockCycleReportsCanonicalIdsAndWitnessPath) {
+  const std::vector<Finding> findings = RunAnalyzer(CycleTree());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "src/x/x.cc");
+  EXPECT_EQ(findings[0].line, 7);  // the cycle's anchor acquisition
+  EXPECT_EQ(findings[0].rule, "lock-order");
+  // Canonicalized cycle: the smallest id leads.
+  EXPECT_TRUE(Contains(findings[0].message,
+                       "cycle \"x.a\" -> \"x.b\" -> \"x.c\" -> \"x.a\""))
+      << findings[0].message;
+  // Each edge carries its witness acquisition site.
+  EXPECT_TRUE(Contains(findings[0].message,
+                       "\"x.b\" acquired at src/x/x.cc:7 while \"x.a\" held "
+                       "(since src/x/x.cc:6)"))
+      << findings[0].message;
+  EXPECT_TRUE(Contains(findings[0].message,
+                       "\"x.c\" acquired at src/x/x.cc:11 while \"x.b\" held "
+                       "(since src/x/x.cc:10)"))
+      << findings[0].message;
+  EXPECT_TRUE(Contains(findings[0].message,
+                       "\"x.a\" acquired at src/x/x.cc:15 while \"x.c\" held "
+                       "(since src/x/x.cc:14)"))
+      << findings[0].message;
+}
+
+TEST(LockOrder, AcyclicNestingIsClean) {
+  const std::vector<Finding> findings = RunAnalyzer(
+      {{"src/x/x.cc",
+        "util::Mutex a_mu{\"x.a\"};\n"
+        "util::Mutex b_mu{\"x.b\"};\n"
+        "void F() {\n"
+        "  util::MutexLock g1(a_mu);\n"
+        "  util::MutexLock g2(b_mu);\n"
+        "}\n"}});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LockOrder, RankContradictionNamesBothLocksAndRanks) {
+  const std::vector<Finding> findings = RunAnalyzer(
+      {{"src/y/y.cc",
+        "util::Mutex hi_mu{\"y.hi\", 20};\n"  // 1
+        "util::Mutex lo_mu{\"y.lo\", 10};\n"  // 2
+        "void F() {\n"                        // 3
+        "  util::MutexLock g1(hi_mu);\n"      // 4
+        "  util::MutexLock g2(lo_mu);\n"      // 5
+        "}\n"}});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "src/y/y.cc");
+  EXPECT_EQ(findings[0].line, 5);
+  EXPECT_EQ(findings[0].rule, "lock-order");
+  EXPECT_TRUE(Contains(findings[0].message, "contradicts declared lock ranks"))
+      << findings[0].message;
+  EXPECT_TRUE(Contains(findings[0].message, "\"y.lo\" (rank 10)"));
+  EXPECT_TRUE(Contains(findings[0].message, "\"y.hi\" (rank 20)"));
+}
+
+TEST(LockOrder, RanksResolveThroughKLockRankConstants) {
+  const std::vector<Finding> findings = RunAnalyzer(
+      {{"src/util/mutex.h",
+        "inline constexpr int kLockRankYHi = 20;\n"
+        "inline constexpr int kLockRankYLo = 10;\n"},
+       {"src/y/y.cc",
+        "util::Mutex hi_mu{\"y.hi\", util::kLockRankYHi};\n"
+        "util::Mutex lo_mu{\"y.lo\", util::kLockRankYLo};\n"
+        "void F() {\n"
+        "  util::MutexLock g1(hi_mu);\n"
+        "  util::MutexLock g2(lo_mu);\n"
+        "}\n"}});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(Contains(findings[0].message, "\"y.lo\" (rank 10)"));
+}
+
+TEST(LockOrder, HeaderAnnotationAppliesToSameStemDefinition) {
+  // The REQUIRES annotation lives on the header declaration; the .cc
+  // definition inherits the held lock, so its nested acquisition is an edge.
+  const std::vector<Finding> findings = RunAnalyzer(
+      {{"src/z/z.h",
+        "class Z {\n"
+        "  void Drain() PANDIA_REQUIRES(hi_mu);\n"
+        "  util::Mutex hi_mu{\"z.hi\", 20};\n"
+        "  util::Mutex lo_mu{\"z.lo\", 10};\n"
+        "};\n"},
+       {"src/z/z.cc",
+        "void Z::Drain() {\n"             // 1: inherits hi_mu held
+        "  util::MutexLock g(lo_mu);\n"   // 2: lower rank while hi held
+        "}\n"}});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "src/z/z.cc");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_TRUE(Contains(findings[0].message, "contradicts declared lock ranks"));
+}
+
+TEST(LockOrder, AllowSuppressesOnTheAnchorLine) {
+  const std::vector<Finding> findings = RunAnalyzer(
+      {{"src/y/y.cc",
+        "util::Mutex hi_mu{\"y.hi\", 20};\n"
+        "util::Mutex lo_mu{\"y.lo\", 10};\n"
+        "void F() {\n"
+        "  util::MutexLock g1(hi_mu);\n"
+        "  util::MutexLock g2(lo_mu);  "
+        "// pandia-lint: allow(lock-order) teardown-only path\n"
+        "}\n"}});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LockGraph, DotExportLabelsRanksAndHighlightsBadEdges) {
+  const RepoFacts facts = IndexFiles(
+      {{"src/y/y.cc",
+        "util::Mutex hi_mu{\"y.hi\", 20};\n"
+        "util::Mutex lo_mu{\"y.lo\", 10};\n"
+        "void F() {\n"
+        "  util::MutexLock g1(hi_mu);\n"
+        "  util::MutexLock g2(lo_mu);\n"
+        "}\n"}});
+  const std::string dot = LockGraphDot(facts);
+  EXPECT_TRUE(Contains(dot, "digraph lock_order"));
+  EXPECT_TRUE(Contains(dot, "\"y.hi\" [label=\"y.hi\\nrank 20\"]"));
+  EXPECT_TRUE(Contains(dot, "\"y.hi\" -> \"y.lo\""));
+  EXPECT_TRUE(Contains(dot, "color=red"));  // the contradicting edge
+}
+
+TEST(LockGraph, TopologicalOrderFollowsAcquisitionChain) {
+  const RepoFacts facts = IndexFiles(
+      {{"src/x/x.cc",
+        "util::Mutex a_mu{\"x.a\"};\n"
+        "util::Mutex b_mu{\"x.b\"};\n"
+        "util::Mutex c_mu{\"x.c\"};\n"
+        "void F() {\n"
+        "  util::MutexLock g1(a_mu);\n"
+        "  util::MutexLock g2(b_mu);\n"
+        "  util::MutexLock g3(c_mu);\n"
+        "}\n"}});
+  const std::vector<std::string> order = TopologicalLockOrder(facts);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "x.a");
+  EXPECT_EQ(order[1], "x.b");
+  EXPECT_EQ(order[2], "x.c");
+}
+
+// --- discarded-status ----------------------------------------------------
+
+TEST(DiscardedStatus, FiresOnBareCallsIncludingQualifierChains) {
+  const std::vector<Finding> findings = RunAnalyzer(
+      {{"src/x/x.h",
+        "Status Save(const std::string& path);\n"
+        "StatusOr<int> Load();\n"
+        "void Touch();\n"},
+       {"src/x/x.cc",
+        "#include \"src/x/x.h\"\n"        // 1
+        "void F(Store* store) {\n"        // 2
+        "  Save(\"f\");\n"                // 3: discarded
+        "  Status s = Save(\"f\");\n"     // 4: assigned
+        "  if (!Save(\"f\").ok()) {\n"    // 5: value used
+        "  }\n"                           // 6
+        "  store->Save(\"g\");\n"         // 7: discarded through ->
+        "  Load();\n"                     // 8: discarded StatusOr
+        "  (void)Save(\"h\");\n"          // 9: explicit void cast
+        "  Touch();\n"                    // 10: not a status function
+        "}\n"}});
+  ASSERT_EQ(findings.size(), 3u);
+  for (const Finding& finding : findings) {
+    EXPECT_EQ(finding.rule, "discarded-status");
+    EXPECT_EQ(finding.path, "src/x/x.cc");
+  }
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_TRUE(Contains(findings[0].message, "'Save'"));
+  EXPECT_EQ(findings[1].line, 7);
+  EXPECT_EQ(findings[2].line, 8);
+  EXPECT_TRUE(Contains(findings[2].message, "'Load'"));
+}
+
+TEST(DiscardedStatus, WrapperCallChainsBackThroughTheCall) {
+  // `Wrap().Save();` — the chain walks back over the call's parens to the
+  // statement boundary, so the discarded wrapper result still fires.
+  const std::vector<Finding> findings = RunAnalyzer(
+      {{"src/x/x.h", "Status Save();\n"},
+       {"src/x/x.cc",
+        "void F() {\n"
+        "  Wrap(1, 2).Save();\n"
+        "}\n"}});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(DiscardedStatus, AmbiguousReturnTypeNamesDropOut) {
+  // `Validate` returns Status in one class and void in another: the voting
+  // rule withdraws the name entirely rather than flag the void one.
+  const std::vector<Finding> findings = RunAnalyzer(
+      {{"src/a/a.h", "Status Validate();\n"},
+       {"src/b/b.h", "void Validate();\n"},
+       {"src/b/b.cc", "void G() { Validate(); }\n"}});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(DiscardedStatus, AllowSuppresses) {
+  const std::vector<Finding> findings = RunAnalyzer(
+      {{"src/x/x.h", "Status Save();\n"},
+       {"src/x/x.cc",
+        "void F() {\n"
+        "  Save();  // pandia-lint: allow(discarded-status) fire and forget\n"
+        "}\n"}});
+  EXPECT_TRUE(findings.empty());
+}
+
+// --- wire-verb-drift -----------------------------------------------------
+
+SourceFile WireHeader() {
+  return {"src/serialize/wire.h",
+          "inline constexpr std::string_view kVerbs[] = {\n"    // 1
+          "    \"PING\", \"STATS\",\n"                          // 2
+          "};\n"                                                // 3
+          "inline constexpr std::string_view kJournalRecordVerbs[] = {\n"  // 4
+          "    \"NOTED\",\n"                                    // 5
+          "};\n"};                                              // 6
+}
+
+SourceFile ServiceDispatchingAll() {
+  return {"src/serve/service.cc",
+          "void Dispatch(const Request& request) {\n"
+          "  if (request.verb == \"PING\") { return; }\n"
+          "  if (request.verb == \"STATS\") { return; }\n"
+          "}\n"
+          "void Replay(const Record& record) {\n"
+          "  if (record.verb == \"NOTED\") { return; }\n"
+          "}\n"};
+}
+
+SourceFile FleetDispatching(const std::string& body) {
+  return {"src/serve/fleet_service.cc",
+          "void Dispatch(const Request& request) {\n" + body + "}\n"};
+}
+
+SourceFile DesignDocumenting(const std::string& text) {
+  return {"DESIGN.md", text};
+}
+
+TEST(WireVerbDrift, DeclaredVerbMissingFromOneDispatcher) {
+  const std::vector<Finding> findings = RunAnalyzer(
+      {WireHeader(), ServiceDispatchingAll(),
+       FleetDispatching("  if (request.verb == \"PING\") { return; }\n"),
+       DesignDocumenting("Verbs: PING, STATS; journal records: NOTED.\n")});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "src/serialize/wire.h");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[0].rule, "wire-verb-drift");
+  EXPECT_TRUE(Contains(findings[0].message,
+                       "verb STATS declared in the wire inventory but never "
+                       "dispatched by src/serve/fleet_service.cc"))
+      << findings[0].message;
+}
+
+TEST(WireVerbDrift, DispatchedVerbMissingFromTheInventory) {
+  const std::vector<Finding> findings = RunAnalyzer(
+      {WireHeader(), ServiceDispatchingAll(),
+       FleetDispatching("  if (request.verb == \"PING\") { return; }\n"
+                        "  if (request.verb == \"STATS\") { return; }\n"
+                        "  if (request.verb == \"BOGUS\") { return; }\n"),
+       DesignDocumenting("Verbs: PING, STATS; journal records: NOTED.\n")});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "src/serve/fleet_service.cc");
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_TRUE(Contains(findings[0].message,
+                       "verb BOGUS dispatched by src/serve/fleet_service.cc "
+                       "but missing from the wire.h verb inventory"))
+      << findings[0].message;
+}
+
+TEST(WireVerbDrift, JournalVerbMustBeReplayedByTheService) {
+  const std::vector<Finding> findings = RunAnalyzer(
+      {WireHeader(),
+       {"src/serve/service.cc",
+        "void Dispatch(const Request& request) {\n"
+        "  if (request.verb == \"PING\") { return; }\n"
+        "  if (request.verb == \"STATS\") { return; }\n"
+        "}\n"},  // no NOTED replay
+       FleetDispatching("  if (request.verb == \"PING\") { return; }\n"
+                        "  if (request.verb == \"STATS\") { return; }\n"),
+       DesignDocumenting("Verbs: PING, STATS; journal records: NOTED.\n")});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 5);  // NOTED's inventory line
+  EXPECT_TRUE(Contains(findings[0].message,
+                       "journal record verb NOTED declared in the wire "
+                       "inventory but never replayed by src/serve/service.cc"))
+      << findings[0].message;
+}
+
+TEST(WireVerbDrift, UndocumentedVerbOnlyWhenDesignPresent) {
+  const std::vector<SourceFile> tree = {
+      WireHeader(), ServiceDispatchingAll(),
+      FleetDispatching("  if (request.verb == \"PING\") { return; }\n"
+                       "  if (request.verb == \"STATS\") { return; }\n")};
+
+  // Without DESIGN.md, no documentation findings.
+  EXPECT_TRUE(RunAnalyzer(tree).empty());
+
+  // With DESIGN.md missing STATS, exactly the documentation finding fires.
+  std::vector<SourceFile> documented = tree;
+  documented.push_back(DesignDocumenting("Verbs: PING; records: NOTED.\n"));
+  const std::vector<Finding> findings = RunAnalyzer(documented);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "src/serialize/wire.h");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_TRUE(
+      Contains(findings[0].message, "verb STATS is not documented in DESIGN.md"))
+      << findings[0].message;
+}
+
+// --- metric-drift --------------------------------------------------------
+
+TEST(MetricDrift, OneNameTwoInstrumentTypes) {
+  const std::vector<Finding> findings = RunAnalyzer(
+      {{"src/a/a.cc",
+        "void A(Registry& r) { r.counter(\"dup.name\").Increment(); }\n"},
+       {"src/b/b.cc",
+        "void B(Registry& r) { r.gauge(\"dup.name\").Set(1.0); }\n"},
+       DesignDocumenting("| `dup.name` | a metric |\n")});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "src/b/b.cc");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[0].rule, "metric-drift");
+  EXPECT_TRUE(Contains(findings[0].message,
+                       "metric 'dup.name' registered as gauge here but as "
+                       "counter at src/a/a.cc:1"))
+      << findings[0].message;
+}
+
+TEST(MetricDrift, UndocumentedMetricFiresOnlyForSrcSites) {
+  const std::vector<Finding> findings = RunAnalyzer(
+      {{"src/a/a.cc",
+        "void A(Registry& r) { r.counter(\"only.here\").Increment(); }\n"},
+       {"tests/t.cc",
+        "void T(Registry& r) { r.counter(\"test.only\").Increment(); }\n"},
+       DesignDocumenting("no inventory\n")});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "src/a/a.cc");
+  EXPECT_TRUE(Contains(findings[0].message,
+                       "metric 'only.here' is registered but missing from "
+                       "DESIGN.md's metric inventory"))
+      << findings[0].message;
+}
+
+TEST(MetricDrift, NoDesignMeansNoDocumentationFindings) {
+  EXPECT_TRUE(
+      RunAnalyzer({{"src/a/a.cc",
+            "void A(Registry& r) { r.counter(\"only.here\").Increment(); }\n"}})
+          .empty());
+}
+
+// --- runtime lock-rank checker -------------------------------------------
+
+TEST(LockRankRuntime, ConformingAscendingOrderPasses) {
+  util::SetLockRankChecking(true);
+  util::Mutex low{"analyze_test.low", 1};
+  util::Mutex high{"analyze_test.high", 2};
+  {
+    util::MutexLock outer(low);
+    util::MutexLock inner(high);
+    EXPECT_EQ(util::lock_rank_internal::HeldCountForTest(), 2u);
+  }
+  EXPECT_EQ(util::lock_rank_internal::HeldCountForTest(), 0u);
+  util::SetLockRankChecking(false);
+}
+
+TEST(LockRankRuntime, UnrankedMutexesAreExempt) {
+  util::SetLockRankChecking(true);
+  util::Mutex ranked{"analyze_test.ranked", 5};
+  util::Mutex plain;  // unranked: neither checked nor recorded
+  ranked.Lock();
+  plain.Lock();  // lower "rank" conceptually, but exempt — no death
+  EXPECT_EQ(util::lock_rank_internal::HeldCountForTest(), 1u);
+  plain.Unlock();
+  ranked.Unlock();
+  util::SetLockRankChecking(false);
+}
+
+TEST(LockRankRuntime, TryLockRecordsWithoutChecking) {
+  util::SetLockRankChecking(true);
+  util::Mutex low{"analyze_test.try_low", 1};
+  util::Mutex high{"analyze_test.try_high", 2};
+  high.Lock();
+  // A try-acquisition cannot deadlock, so the inversion is tolerated — but
+  // the hold is recorded so later blocking acquisitions see it.
+  ASSERT_TRUE(low.TryLock());
+  EXPECT_EQ(util::lock_rank_internal::HeldCountForTest(), 2u);
+  low.Unlock();
+  high.Unlock();
+  EXPECT_EQ(util::lock_rank_internal::HeldCountForTest(), 0u);
+  util::SetLockRankChecking(false);
+}
+
+TEST(LockRankDeathTest, InversionDiesNamingBothLocks) {
+  util::SetLockRankChecking(true);
+  util::Mutex low{"analyze_test.death_low", 1};
+  util::Mutex high{"analyze_test.death_high", 2};
+  high.Lock();
+  EXPECT_DEATH(low.Lock(),
+               "lock rank inversion.*analyze_test\\.death_low.*rank 1.*"
+               "analyze_test\\.death_high.*rank 2");
+  high.Unlock();
+  util::SetLockRankChecking(false);
+}
+
+TEST(LockRankDeathTest, EqualRanksAlsoDie) {
+  util::SetLockRankChecking(true);
+  util::Mutex first{"analyze_test.eq_first", 7};
+  util::Mutex second{"analyze_test.eq_second", 7};
+  first.Lock();
+  EXPECT_DEATH(second.Lock(), "lock rank inversion");
+  first.Unlock();
+  util::SetLockRankChecking(false);
+}
+
+// --- the real repo -------------------------------------------------------
+
+#ifdef PANDIA_SOURCE_DIR
+
+// The tree must analyze clean — the same invariant the pandia_analyze ctest
+// enforces, exercised here through the library API so the engine tests and
+// the in-tree gate cannot drift apart.
+TEST(WholeRepo, AnalyzesCleanWithSaneFacts) {
+  namespace fs = std::filesystem;
+  const fs::path root(PANDIA_SOURCE_DIR);
+  std::vector<SourceFile> files;
+  for (const char* dir : {"src", "tests", "tools"}) {
+    for (fs::recursive_directory_iterator it(root / dir), end; it != end;
+         ++it) {
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext != ".h" && ext != ".cc") continue;
+      std::ifstream in(it->path(), std::ios::binary);
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      files.push_back(
+          SourceFile{fs::relative(it->path(), root).generic_string(),
+                     buffer.str()});
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  {
+    std::ifstream in(root / "DESIGN.md", std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    files.push_back(SourceFile{"DESIGN.md", buffer.str()});
+  }
+
+  const AnalyzeResult result = AnalyzeFiles(files);
+  for (const Finding& finding : result.findings) {
+    ADD_FAILURE() << FormatFinding(finding);
+  }
+
+  // Sanity on the fact index: the repo's protocol is 10 verbs, every ranked
+  // lock from the kLockRank* table is seen, and the acquisition digraph is
+  // non-trivial and acyclic (the topological order covers every node).
+  EXPECT_EQ(result.facts.declared_verbs.size(), 10u);
+  EXPECT_FALSE(result.facts.journal_verbs.empty());
+  EXPECT_FALSE(result.facts.status_functions.empty());
+  EXPECT_FALSE(result.facts.lock_edges.empty());
+  std::vector<std::string> named;
+  for (const LockDecl& decl : result.facts.locks) {
+    if (decl.has_rank) named.push_back(decl.id);
+  }
+  for (const char* id : {"serve.fleet", "serve.service", "parallel.pool",
+                         "parallel.done", "predictor.cache_shard",
+                         "obs.metrics", "obs.trace", "obs.trace_buffer",
+                         "obs.log", "obs.flight_recorder"}) {
+    EXPECT_TRUE(std::find(named.begin(), named.end(), id) != named.end())
+        << "missing ranked lock " << id;
+  }
+  const std::string dot = LockGraphDot(result.facts);
+  EXPECT_TRUE(Contains(dot, "digraph lock_order"));
+  EXPECT_FALSE(Contains(dot, "color=red")) << dot;
+}
+
+#endif  // PANDIA_SOURCE_DIR
+
+}  // namespace
+}  // namespace lint
+}  // namespace pandia

@@ -23,14 +23,15 @@ std::vector<std::string> RuleNames(const std::vector<Finding>& findings) {
 
 TEST(LintRules, RegistryListsEveryRule) {
   const std::vector<RuleInfo>& rules = Rules();
-  ASSERT_EQ(rules.size(), 7u);
+  ASSERT_EQ(rules.size(), 8u);
   EXPECT_EQ(rules[0].name, "naked-mutex");
   EXPECT_EQ(rules[1].name, "no-abort");
   EXPECT_EQ(rules[2].name, "unseeded-rand");
   EXPECT_EQ(rules[3].name, "unordered-wire");
   EXPECT_EQ(rules[4].name, "no-raw-journal-io");
-  EXPECT_EQ(rules[5].name, "todo-owner");
-  EXPECT_EQ(rules[6].name, "metric-name");
+  EXPECT_EQ(rules[5].name, "no-raw-poll-io");
+  EXPECT_EQ(rules[6].name, "todo-owner");
+  EXPECT_EQ(rules[7].name, "metric-name");
   for (const RuleInfo& rule : rules) EXPECT_FALSE(rule.summary.empty());
 }
 
@@ -221,6 +222,44 @@ TEST(NoRawJournalIo, IdentifierBoundariesAndAllowsHold) {
           .empty());
 }
 
+// --- no-raw-poll-io ------------------------------------------------------
+
+TEST(NoRawPollIo, FiresOnEventLoopAndSocketSyscalls) {
+  const std::vector<Finding> findings =
+      LintFile("src/serve/client.cc",
+               "int ep = epoll_create1(EPOLL_CLOEXEC);\n"
+               "epoll_ctl(ep, EPOLL_CTL_ADD, fd, &ev);\n"
+               "int n = epoll_wait(ep, events, 64, -1);\n"
+               "::poll(nullptr, 0, backoff_ms);\n"
+               "int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);\n"
+               "int conn = ::accept(listen_fd, nullptr, nullptr);\n");
+  ASSERT_EQ(findings.size(), 6u);
+  for (size_t i = 0; i < findings.size(); ++i) {
+    EXPECT_EQ(findings[i].rule, "no-raw-poll-io");
+    EXPECT_EQ(findings[i].line, static_cast<int>(i) + 1);
+  }
+}
+
+TEST(NoRawPollIo, SocketOwnersAndNonSrcPathsAreExempt) {
+  const std::string body = "int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);\n";
+  EXPECT_TRUE(LintFile("src/serve/socket.cc", body).empty());
+  EXPECT_TRUE(LintFile("src/serve/socket_internal.h", body).empty());
+  EXPECT_TRUE(LintFile("tools/pandia_top.cc", body).empty());
+  EXPECT_TRUE(LintFile("tests/client_test.cc", body).empty());
+}
+
+TEST(NoRawPollIo, IdentifierBoundariesAndProseAreFine) {
+  // Substrings of longer identifiers, member accesses without a call, and
+  // mentions in comments or strings must not fire.
+  EXPECT_TRUE(LintFile("src/serve/service.cc",
+                       "int poll_interval_ms = 5;\n"
+                       "options.select_policy = kRoundRobin;\n"
+                       "Unsocket(fd);\n"
+                       "// the Poller wraps epoll_wait for the loop\n"
+                       "const char* s = \"socket(AF_UNIX)\";\n")
+                  .empty());
+}
+
 // --- todo-owner ----------------------------------------------------------
 
 TEST(TodoOwner, FiresOnOwnerlessTodo) {
@@ -346,6 +385,10 @@ TEST(Allow, EveryRegisteredRuleIsSuppressible) {
       {"src/foo/foo.cc", "int a = rand();  // pandia-lint: allow(unseeded-rand)\n"},
       {"src/serve/x.cc",
        "std::unordered_map<int, int> m;  // pandia-lint: allow(unordered-wire)\n"},
+      {"src/serve/x.cc",
+       "std::fflush(f);  // pandia-lint: allow(no-raw-journal-io)\n"},
+      {"src/serve/x.cc",
+       "::poll(fds, 1, -1);  // pandia-lint: allow(no-raw-poll-io)\n"},
       {"src/foo/foo.cc", "// TODO revisit  pandia-lint: allow(todo-owner)\n"},
       {"src/foo/foo.cc",
        "registry.counter(\"Bad\");  // pandia-lint: allow(metric-name)\n"},

@@ -1,0 +1,186 @@
+// pandia_analyze — the whole-repo semantic analyzer (src/lint/analyze.h).
+//
+//   pandia_analyze [--root=DIR] [PATH...]   analyze PATHs (default: src tests
+//                                           tools, plus DESIGN.md when present)
+//   pandia_analyze --dot-out=FILE           also write the lock-order digraph
+//                                           as Graphviz DOT
+//   pandia_analyze --ranks                  print the topological lock order
+//                                           and declared ranks, then exit
+//   pandia_analyze --list-rules             print the cross-file rules
+//
+// Two phases: every .h/.cc under the targets is lexed into cross-file facts
+// (Status-returning functions, lock declarations and acquisition edges, the
+// wire-verb inventory vs. dispatch sites, metric registrations, DESIGN.md's
+// documented inventories), then the cross-file rules run over the facts.
+// Output is one "file:line: rule: message" diagnostic per finding; exit code
+// 0 when clean, 1 when anything fired, 2 on usage or I/O errors. Suppress a
+// deliberate violation on its anchor line with
+//   // pandia-lint: allow(<rule>) <why>
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/lint/analyze.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool IsSourceFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+bool CollectFiles(const fs::path& root, const std::string& target,
+                  std::vector<std::string>* files) {
+  std::error_code ec;
+  const fs::path full = root / target;
+  if (fs::is_regular_file(full, ec)) {
+    files->push_back(target);
+    return true;
+  }
+  if (!fs::is_directory(full, ec)) {
+    std::fprintf(stderr, "pandia_analyze: no such file or directory: %s\n",
+                 full.string().c_str());
+    return false;
+  }
+  for (fs::recursive_directory_iterator it(full, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) {
+      std::fprintf(stderr, "pandia_analyze: error walking %s: %s\n",
+                   full.string().c_str(), ec.message().c_str());
+      return false;
+    }
+    if (it->is_regular_file() && IsSourceFile(it->path())) {
+      files->push_back(fs::relative(it->path(), root, ec).generic_string());
+    }
+  }
+  std::sort(files->begin(), files->end());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string dot_out;
+  bool print_ranks = false;
+  std::vector<std::string> targets;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const pandia::lint::RuleInfo& rule : pandia::lint::AnalyzerRules()) {
+        std::printf("%-17s %s\n", std::string(rule.name).c_str(),
+                    std::string(rule.summary).c_str());
+      }
+      return 0;
+    }
+    if (arg.rfind("--root=", 0) == 0) {
+      root = std::string(arg.substr(7));
+      continue;
+    }
+    if (arg.rfind("--dot-out=", 0) == 0) {
+      dot_out = std::string(arg.substr(10));
+      continue;
+    }
+    if (arg == "--ranks") {
+      print_ranks = true;
+      continue;
+    }
+    if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "usage: pandia_analyze [--root=DIR] [--dot-out=FILE] "
+                   "[--ranks] [PATH...]\n"
+                   "       pandia_analyze --list-rules\n");
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+    targets.emplace_back(arg);
+  }
+  if (targets.empty()) {
+    targets = {"src", "tests", "tools"};
+  }
+
+  std::vector<std::string> paths;
+  for (const std::string& target : targets) {
+    if (!CollectFiles(root, target, &paths)) return 2;
+  }
+
+  std::vector<pandia::lint::SourceFile> files;
+  files.reserve(paths.size() + 1);
+  for (const std::string& path : paths) {
+    pandia::lint::SourceFile file;
+    file.path = path;
+    if (!ReadFile(fs::path(root) / path, &file.content)) {
+      std::fprintf(stderr, "pandia_analyze: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    files.push_back(std::move(file));
+  }
+  {
+    std::error_code ec;
+    const fs::path design = fs::path(root) / "DESIGN.md";
+    if (fs::is_regular_file(design, ec)) {
+      pandia::lint::SourceFile file;
+      file.path = "DESIGN.md";
+      if (!ReadFile(design, &file.content)) {
+        std::fprintf(stderr, "pandia_analyze: cannot read DESIGN.md\n");
+        return 2;
+      }
+      files.push_back(std::move(file));
+    }
+  }
+
+  pandia::lint::AnalyzeResult result = pandia::lint::AnalyzeFiles(files);
+
+  if (!dot_out.empty()) {
+    std::ofstream out(dot_out, std::ios::binary);
+    out << pandia::lint::LockGraphDot(result.facts);
+    if (!out) {
+      std::fprintf(stderr, "pandia_analyze: cannot write %s\n",
+                   dot_out.c_str());
+      return 2;
+    }
+  }
+
+  if (print_ranks) {
+    std::printf("%-28s %-8s declared at\n", "lock (topological order)", "rank");
+    for (const std::string& id :
+         pandia::lint::TopologicalLockOrder(result.facts)) {
+      std::string rank = "-";
+      std::string where = "-";
+      for (const pandia::lint::LockDecl& decl : result.facts.locks) {
+        if (decl.id != id) continue;
+        if (decl.has_rank) rank = std::to_string(decl.rank);
+        where = decl.file + ":" + std::to_string(decl.line);
+        break;
+      }
+      std::printf("%-28s %-8s %s\n", id.c_str(), rank.c_str(), where.c_str());
+    }
+    return 0;
+  }
+
+  for (const pandia::lint::Finding& finding : result.findings) {
+    std::printf("%s\n", pandia::lint::FormatFinding(finding).c_str());
+  }
+  if (!result.findings.empty()) {
+    std::fprintf(stderr, "pandia_analyze: %zu finding%s across %zu files\n",
+                 result.findings.size(),
+                 result.findings.size() == 1 ? "" : "s", files.size());
+    return 1;
+  }
+  return 0;
+}

@@ -2,6 +2,9 @@
 // (src/lint/lint.h) over every .h/.cc file.
 //
 //   pandia_lint [--root=DIR] [PATH...]   lint PATHs (default: src tests tools)
+//   pandia_lint --analyze [...]          also run the whole-program analyzer
+//                                        (lock-order, discarded-status,
+//                                        wire-verb-drift, metric-drift)
 //   pandia_lint --list-rules             print the rules and exit
 //
 // Paths are relative to --root (default: the current directory). Output is
@@ -18,6 +21,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/lint/analyze.h"
 #include "src/lint/lint.h"
 
 namespace {
@@ -73,15 +77,24 @@ bool CollectFiles(const fs::path& root, const std::string& target,
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  bool analyze = false;
   std::vector<std::string> targets;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     if (arg == "--list-rules") {
       for (const pandia::lint::RuleInfo& rule : pandia::lint::Rules()) {
-        std::printf("%-15s %s\n", std::string(rule.name).c_str(),
+        std::printf("%-17s %s\n", std::string(rule.name).c_str(),
+                    std::string(rule.summary).c_str());
+      }
+      for (const pandia::lint::RuleInfo& rule : pandia::lint::AnalyzerRules()) {
+        std::printf("%-17s [--analyze] %s\n", std::string(rule.name).c_str(),
                     std::string(rule.summary).c_str());
       }
       return 0;
+    }
+    if (arg == "--analyze") {
+      analyze = true;
+      continue;
     }
     if (arg.rfind("--root=", 0) == 0) {
       root = std::string(arg.substr(7));
@@ -89,7 +102,7 @@ int main(int argc, char** argv) {
     }
     if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0) {
       std::fprintf(stderr,
-                   "usage: pandia_lint [--root=DIR] [PATH...]\n"
+                   "usage: pandia_lint [--root=DIR] [--analyze] [PATH...]\n"
                    "       pandia_lint --list-rules\n");
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
@@ -105,6 +118,7 @@ int main(int argc, char** argv) {
   }
 
   size_t finding_count = 0;
+  std::vector<pandia::lint::SourceFile> sources;
   for (const std::string& file : files) {
     std::string content;
     if (!ReadFile(fs::path(root) / file, &content)) {
@@ -113,6 +127,23 @@ int main(int argc, char** argv) {
     }
     for (const pandia::lint::Finding& finding :
          pandia::lint::LintFile(file, content)) {
+      std::printf("%s\n", pandia::lint::FormatFinding(finding).c_str());
+      ++finding_count;
+    }
+    if (analyze) {
+      sources.push_back(pandia::lint::SourceFile{file, std::move(content)});
+    }
+  }
+  if (analyze) {
+    std::error_code ec;
+    const fs::path design = fs::path(root) / "DESIGN.md";
+    std::string design_text;
+    if (fs::is_regular_file(design, ec) && ReadFile(design, &design_text)) {
+      sources.push_back(
+          pandia::lint::SourceFile{"DESIGN.md", std::move(design_text)});
+    }
+    for (const pandia::lint::Finding& finding :
+         pandia::lint::AnalyzeFiles(sources).findings) {
       std::printf("%s\n", pandia::lint::FormatFinding(finding).c_str());
       ++finding_count;
     }
